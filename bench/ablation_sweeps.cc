@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out: the
+ * eager-lazy split (monitor cadence, including a "no lazy points"
+ * variant), the LaneMgr re-planning latency, the stream prefetcher and
+ * the load-queue depth. Each sweep runs the motivating pair (WL6+WL16)
+ * and reports the metric that the knob trades off.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/phases.hh"
+
+using namespace occamy;
+using namespace occamy::bench;
+
+namespace
+{
+
+RunResult
+runWith(MachineConfig cfg)
+{
+    System sys(cfg);
+    sys.setWorkload(0, "WL6",
+                    {workloads::makeNamedPhase("rho_eos1"),
+                     workloads::makeNamedPhase("rho_eos4")});
+    sys.setWorkload(1, "WL16", {workloads::makeNamedPhase("wsm51")});
+    return sys.run(40'000'000);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("ablation_sweeps: design-choice sensitivity on WL6+WL16",
+           "DESIGN.md section 5 (not a paper figure)");
+
+    const Cycle private_c1 =
+        runWith(MachineConfig::forPolicy(SharingPolicy::Private, 2))
+            .cores[1].finish;
+
+    std::printf("\n[A] eager-lazy split: partition-monitor cadence "
+                "(Occamy)\n");
+    std::printf("  %-14s %10s %12s %12s\n", "monitorPeriod",
+                "c1 speedup", "monitor ovh", "vl switches");
+    for (unsigned period : {1u, 2u, 4u, 8u, 16u, 64u, 1u << 20}) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+        cfg.monitorPeriod = period;
+        const RunResult r = runWith(cfg);
+        double ovh = 0.0;
+        for (const auto &core : r.cores)
+            ovh += 50.0 * core.monitorOverhead(cfg.transmitWidth);
+        std::printf("  %-14u %9.2fx %11.2f%% %12llu%s\n", period,
+                    static_cast<double>(private_c1) / r.cores[1].finish,
+                    ovh, static_cast<unsigned long long>(r.vlSwitches),
+                    period >= (1u << 20) ? "  (lazy points disabled)"
+                                         : "");
+    }
+    std::printf("  -> monitoring every iteration buys nothing but "
+                "overhead; no lazy points loses elasticity.\n");
+
+    std::printf("\n[B] LaneMgr re-planning latency (Occamy)\n");
+    std::printf("  %-14s %10s %10s\n", "latency(cyc)", "c1 speedup",
+                "util");
+    for (unsigned lat : {1u, 8u, 64u, 512u, 4096u}) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+        cfg.laneMgrLatency = lat;
+        const RunResult r = runWith(cfg);
+        std::printf("  %-14u %9.2fx %9.1f%%\n", lat,
+                    static_cast<double>(private_c1) / r.cores[1].finish,
+                    100.0 * r.simdUtil);
+    }
+    std::printf("  -> plans are needed only at phase boundaries, so "
+                "even a slow manager barely hurts.\n");
+
+    std::printf("\n[C] stream-prefetch degree (Private, memory core)\n");
+    std::printf("  %-14s %12s %12s\n", "degree", "c0 finish",
+                "dram MB");
+    for (unsigned deg : {0u, 4u, 8u, 16u, 32u, 64u}) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Private, 2);
+        cfg.prefetchDegree = deg;
+        const RunResult r = runWith(cfg);
+        std::printf("  %-14u %12llu %11.2f\n", deg,
+                    static_cast<unsigned long long>(r.cores[0].finish),
+                    r.dramBytes / 1048576.0);
+    }
+    std::printf("  -> without prefetching the streaming phases are "
+                "latency- instead of bandwidth-bound.\n");
+
+    std::printf("\n[D] load-queue depth (Private, memory core)\n");
+    std::printf("  %-14s %12s\n", "LQ entries", "c0 finish");
+    for (unsigned lq : {4u, 8u, 16u, 32u, 64u}) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Private, 2);
+        cfg.loadQueueEntries = lq;
+        const RunResult r = runWith(cfg);
+        std::printf("  %-14u %12llu\n", lq,
+                    static_cast<unsigned long long>(r.cores[0].finish));
+    }
+
+    std::printf("\n[E] FTS register-file pressure: pinned-context cost "
+                "(2-core FTS)\n");
+    std::printf("  %-14s %10s %14s\n", "VRegs/RegBlk", "c1 speedup",
+                "rename stall%");
+    for (unsigned regs : {96u, 128u, 160u, 224u, 320u}) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Temporal, 2);
+        cfg.vregsPerBlk = regs;
+        const RunResult r = runWith(cfg);
+        std::printf("  %-14u %9.2fx %13.1f%%\n", regs,
+                    static_cast<double>(private_c1) / r.cores[1].finish,
+                    100.0 * r.cores[1].renameRegStallCycles /
+                        std::max<Cycle>(r.cores[1].finish, 1));
+    }
+    std::printf("  -> FTS approaches Occamy only with far more "
+                "physical registers (the paper's +33.5%% area).\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: run a
+ * workload pair across the four SIMD architectures, format tables, and
+ * compute the geometric means the paper reports.
+ */
+
+#ifndef OCCAMY_BENCH_BENCH_UTIL_HH
+#define OCCAMY_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+namespace occamy::bench
+{
+
+/** The four architectures, in the paper's presentation order. */
+inline const std::vector<SharingPolicy> kPolicies = {
+    SharingPolicy::Private,
+    SharingPolicy::Temporal,
+    SharingPolicy::StaticSpatial,
+    SharingPolicy::Elastic,
+};
+
+/** Results of one pair on all four architectures (Private first). */
+struct PairResults
+{
+    std::string label;
+    std::vector<RunResult> byPolicy;   ///< Indexed like kPolicies.
+
+    /** Core-@p c speedup of policy @p p over Private. */
+    double
+    speedup(std::size_t p, unsigned c) const
+    {
+        const Cycle base = byPolicy[0].cores[c].finish;
+        const Cycle t = byPolicy[p].cores[c].finish;
+        return t ? static_cast<double>(base) / static_cast<double>(t)
+                 : 0.0;
+    }
+};
+
+/** Run @p pair on all four 2-core architectures. */
+inline PairResults
+runPair(const workloads::Pair &pair, Cycle max_cycles = 40'000'000)
+{
+    PairResults r;
+    r.label = pair.label;
+    for (SharingPolicy p : kPolicies) {
+        System sys(MachineConfig::forPolicy(p, 2));
+        sys.setWorkload(0, pair.core0.name, pair.core0.loops);
+        sys.setWorkload(1, pair.core1.name, pair.core1.loops);
+        r.byPolicy.push_back(sys.run(max_cycles));
+    }
+    return r;
+}
+
+/** Geometric mean. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x > 0 ? x : 1e-9);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** Print a rule line. */
+inline void
+rule(unsigned width = 78)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a bench header in a consistent style. */
+inline void
+header(const std::string &title, const std::string &paper_ref)
+{
+    rule();
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    rule();
+}
+
+} // namespace occamy::bench
+
+#endif // OCCAMY_BENCH_BENCH_UTIL_HH

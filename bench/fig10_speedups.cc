@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Fig. 10: per-core speedups of FTS, VLS and Occamy over
+ * Private for the 25 co-running pairs (16 SPEC + 9 OpenCV), plus the
+ * geometric means. The paper reports Core1 GM speedups of 1.20 (FTS),
+ * 1.11 (VLS) and 1.39 (Occamy) with Core0 unchanged.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace occamy;
+using namespace occamy::bench;
+
+int
+main()
+{
+    header("fig10_speedups: 25 co-running pairs, 4 architectures",
+           "Fig. 10, Section 7.2");
+
+    std::printf("%-8s | %-21s | %-21s\n", "", "Core0 speedup (memory)",
+                "Core1 speedup (compute)");
+    std::printf("%-8s | %6s %6s %6s | %6s %6s %6s\n", "pair", "FTS",
+                "VLS", "Occamy", "FTS", "VLS", "Occamy");
+    rule(64);
+
+    std::vector<std::vector<double>> s0(4), s1(4);
+    const auto pairs = workloads::allPairs();
+    std::size_t idx = 0;
+    for (const auto &pair : pairs) {
+        if (idx == 16)
+            std::printf("-- OpenCV --\n");
+        ++idx;
+        PairResults res = runPair(pair);
+        std::printf("%-8s |", pair.label.c_str());
+        for (std::size_t p = 1; p < kPolicies.size(); ++p) {
+            s0[p].push_back(res.speedup(p, 0));
+            std::printf(" %5.2fx", res.speedup(p, 0));
+        }
+        std::printf(" |");
+        for (std::size_t p = 1; p < kPolicies.size(); ++p) {
+            s1[p].push_back(res.speedup(p, 1));
+            std::printf(" %5.2fx", res.speedup(p, 1));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    rule(64);
+    std::printf("%-8s |", "GM");
+    for (std::size_t p = 1; p < kPolicies.size(); ++p)
+        std::printf(" %5.2fx", geomean(s0[p]));
+    std::printf(" |");
+    for (std::size_t p = 1; p < kPolicies.size(); ++p)
+        std::printf(" %5.2fx", geomean(s1[p]));
+    std::printf("\n");
+    std::printf("paper GM |  1.00x  1.00x  1.00x |  1.20x  1.11x  1.39x\n");
+    return 0;
+}

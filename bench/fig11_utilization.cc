@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Fig. 11: whole-run SIMD utilization (Section 2's
+ * definition) per pair and architecture. Paper geometric means:
+ * Private 63.2%, FTS 72.5%, VLS 70.8%, Occamy 84.2%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace occamy;
+using namespace occamy::bench;
+
+int
+main()
+{
+    header("fig11_utilization: SIMD utilization across 25 pairs",
+           "Fig. 11, Section 7.2");
+
+    std::printf("%-8s | %8s %8s %8s %8s\n", "pair", "Private", "FTS",
+                "VLS", "Occamy");
+    rule(48);
+
+    std::vector<std::vector<double>> util(4);
+    const auto pairs = workloads::allPairs();
+    std::size_t idx = 0;
+    for (const auto &pair : pairs) {
+        if (idx == 16)
+            std::printf("-- OpenCV --\n");
+        ++idx;
+        PairResults res = runPair(pair);
+        std::printf("%-8s |", pair.label.c_str());
+        for (std::size_t p = 0; p < kPolicies.size(); ++p) {
+            util[p].push_back(res.byPolicy[p].simdUtil);
+            std::printf(" %7.1f%%", 100.0 * res.byPolicy[p].simdUtil);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    rule(48);
+    std::printf("%-8s |", "GM");
+    for (std::size_t p = 0; p < kPolicies.size(); ++p)
+        std::printf(" %7.1f%%", 100.0 * geomean(util[p]));
+    std::printf("\n");
+    std::printf("paper GM |    63.2%%    72.5%%    70.8%%    84.2%%\n");
+    return 0;
+}

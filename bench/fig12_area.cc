@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces Fig. 12 (area breakdown) and the Section 7.3/7.6 area
+ * claims: ~1.263 mm^2 (Private) vs ~1.265 mm^2 (shared designs) for the
+ * 2-core configuration with the Manager under 1% of total area, plus
+ * the 4-core scaling including FTS's per-core register-context blow-up.
+ */
+
+#include <cstdio>
+
+#include "area/area_model.hh"
+#include "bench_util.hh"
+
+using namespace occamy;
+using namespace occamy::bench;
+
+namespace
+{
+
+void
+printBreakdown(unsigned cores)
+{
+    AreaModel model;
+    std::printf("\n%u-core configuration (mm^2, TSMC 7 nm analytic "
+                "model):\n", cores);
+    std::printf("%-16s", "component");
+    for (SharingPolicy p : kPolicies)
+        std::printf(" %9s", policyName(p));
+    std::printf("\n");
+    rule(58);
+
+    std::vector<AreaBreakdown> all;
+    for (SharingPolicy p : kPolicies)
+        all.push_back(model.breakdown(p, cores));
+
+    for (std::size_t i = 0; i < all[0].components.size(); ++i) {
+        std::printf("%-16s", all[0].components[i].name.c_str());
+        for (const auto &b : all)
+            std::printf(" %9.4f", b.components[i].mm2);
+        std::printf("\n");
+    }
+    rule(58);
+    std::printf("%-16s", "total");
+    for (const auto &b : all)
+        std::printf(" %9.4f", b.total());
+    std::printf("\n%-16s", "exe fraction");
+    for (const auto &b : all)
+        std::printf(" %8.1f%%", 100.0 * b.fraction("simd_exe_units"));
+    std::printf("\n%-16s", "lsu fraction");
+    for (const auto &b : all)
+        std::printf(" %8.1f%%", 100.0 * b.fraction("lsu"));
+    std::printf("\n%-16s", "rf fraction");
+    for (const auto &b : all)
+        std::printf(" %8.1f%%", 100.0 * b.fraction("register_file"));
+    std::printf("\n%-16s", "mgr fraction");
+    for (const auto &b : all)
+        std::printf(" %8.2f%%", 100.0 * b.fraction("manager"));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    header("fig12_area: chip-area breakdown of the four architectures",
+           "Fig. 12 + Sections 7.3 and 7.6");
+
+    printBreakdown(2);
+    std::printf("\npaper (2-core): Private 1.263 mm^2, others 1.265 "
+                "mm^2;\n  exe units 46%%, LSU 23%%, register file 15%%, "
+                "Manager < 1%%\n");
+
+    printBreakdown(4);
+    AreaModel model;
+    const double fts4 =
+        model.breakdown(SharingPolicy::Temporal, 4).total();
+    const double occ4 =
+        model.breakdown(SharingPolicy::Elastic, 4).total();
+    std::printf("\nFTS(4-core) / Occamy(4-core) area = %.3fx "
+                "(paper: +33.5%% for FTS keeping per-core contexts)\n",
+                fts4 / occ4);
+    auto controlArea = [&](unsigned cores) {
+        const AreaBreakdown b =
+            model.breakdown(SharingPolicy::Elastic, cores);
+        double a = 0.0;
+        for (const char *name : {"inst_pool", "decode", "rename",
+                                 "dispatch", "rob", "manager"})
+            a += b.fraction(name) * b.total();
+        return a;
+    };
+    std::printf("control-structure growth 2->4 cores: +%.1f%% beyond "
+                "linear scaling (paper: ~3%%)\n",
+                100.0 * (controlArea(4) / (2 * controlArea(2)) - 1.0));
+    return 0;
+}

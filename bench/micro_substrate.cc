@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulation substrate itself:
+ * cache tag lookups, memory-system accesses, roofline evaluation, the
+ * greedy partitioner, the compiler, and end-to-end simulated
+ * cycles/second. These quantify the cost of regenerating the paper's
+ * figures and guard against performance regressions in the simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.hh"
+#include "kir/analysis.hh"
+#include "lanemgr/partitioner.hh"
+#include "mem/memsystem.hh"
+#include "sim/system.hh"
+#include "workloads/phases.hh"
+
+using namespace occamy;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg{128 * 1024, 8, 64, 5, 128};
+    Cache cache("bench", cfg);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_MemSystemStream(benchmark::State &state)
+{
+    MachineConfig cfg;
+    MemSystem mem(cfg);
+    Addr addr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(addr, 64, false, now));
+        addr += 64;
+        now += 2;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSystemStream);
+
+void
+BM_RooflineAttainable(benchmark::State &state)
+{
+    RooflineParams p;
+    PhaseOI oi{0.17, 0.25, MemLevel::Dram};
+    unsigned vl = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(attainable(p, oi, vl));
+        vl = vl % 8 + 1;
+    }
+}
+BENCHMARK(BM_RooflineAttainable);
+
+void
+BM_GreedyPartition(benchmark::State &state)
+{
+    RooflineParams p;
+    std::vector<PhaseOI> ois(static_cast<std::size_t>(state.range(0)));
+    for (std::size_t i = 0; i < ois.size(); ++i) {
+        ois[i].issue = 0.1 + 0.2 * static_cast<double>(i);
+        ois[i].mem = 0.1 + 0.25 * static_cast<double>(i);
+        ois[i].level = MemLevel::Dram;
+    }
+    const unsigned total = 4 * static_cast<unsigned>(ois.size());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(greedyPartition(p, ois, total));
+}
+BENCHMARK(BM_GreedyPartition)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_CompilePhase(benchmark::State &state)
+{
+    const kir::Loop loop = workloads::makeNamedPhase("rho_eos4");
+    CompileOptions opts =
+        CompileOptions::forMachine(MachineConfig{});
+    Compiler compiler(opts);
+    for (auto _ : state) {
+        std::vector<ArrayInfo> arrays;
+        benchmark::DoNotOptimize(compiler.compileLoop(loop, arrays));
+    }
+}
+BENCHMARK(BM_CompilePhase);
+
+void
+BM_SimulatedCycles(benchmark::State &state)
+{
+    const auto policy = static_cast<SharingPolicy>(state.range(0));
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        System sys(MachineConfig::forPolicy(policy, 2));
+        sys.setWorkload(0, "mem",
+                        {workloads::makeNamedPhase("rho_eos1", 8192)});
+        sys.setWorkload(1, "comp",
+                        {workloads::makeNamedPhase("wsm51", 32768)});
+        RunResult r = sys.run(4'000'000);
+        cycles += r.cycles;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedCycles)
+    ->Arg(static_cast<int>(SharingPolicy::Private))
+    ->Arg(static_cast<int>(SharingPolicy::Temporal))
+    ->Arg(static_cast<int>(SharingPolicy::Elastic))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Table 5: the vector-length-aware roofline's attainable
+ * performance (GFLOP/s) for WL8.p1 (rho_eos2: oi_issue = 0.17,
+ * oi_mem = 0.25, DRAM-resident) as the vector length varies, showing
+ * the SIMD-issue-bandwidth ceiling binding below 12 lanes and the
+ * memory ceiling binding beyond.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kir/analysis.hh"
+#include "lanemgr/roofline.hh"
+#include "workloads/phases.hh"
+
+using namespace occamy;
+using namespace occamy::bench;
+
+int
+main()
+{
+    header("table5_roofline: attainable performance for WL8.p1",
+           "Table 5, Section 7.4 Case 4");
+
+    // Derive the OI pair from the actual compiled phase, as the Occamy
+    // compiler would write it into <OI>.
+    const kir::Loop loop = workloads::makeNamedPhase("rho_eos2");
+    const MachineConfig cfg;
+    const PhaseOI oi =
+        kir::phaseOI(loop, cfg.vecCache.sizeBytes, cfg.l2.sizeBytes);
+    std::printf("\nphase rho_eos2 (WL8.p1): oi_issue=%.3f oi_mem=%.3f "
+                "(paper: 0.17 / 0.25)\n\n", oi.issue, oi.mem);
+
+    const RooflineParams p = RooflineParams::fromConfig(cfg);
+
+    std::printf("%-18s", "VL (lanes)");
+    for (unsigned bus = 1; bus <= 8; ++bus)
+        std::printf(" %6u", bus * kLanesPerBu);
+    std::printf("\n");
+    rule(74);
+
+    std::printf("%-18s", "SIMDIssueBound");
+    for (unsigned bus = 1; bus <= 8; ++bus)
+        std::printf(" %6.1f", simdIssueBandwidth(p, bus) * oi.issue);
+    std::printf("\n%-18s", "MemBound");
+    for (unsigned bus = 1; bus <= 8; ++bus)
+        std::printf(" %6.1f", memBandwidth(p, oi.level) * oi.mem);
+    std::printf("\n%-18s", "CompBound");
+    for (unsigned bus = 1; bus <= 8; ++bus)
+        std::printf(" %6.1f", fpPeak(p, bus));
+    std::printf("\n%-18s", "Performance");
+    for (unsigned bus = 1; bus <= 8; ++bus)
+        std::printf(" %6.1f", attainable(p, oi, bus));
+    std::printf("\n");
+    rule(74);
+    std::printf("paper row (VL=4..32): 5.3 10.7 16 16 16 16 16 16 "
+                "(issue-bound < 12 lanes)\n");
+    std::printf("roofline knee: %u lanes (paper assigns WL8.p1 "
+                "12 lanes)\n", kneeVl(p, oi, 8) * kLanesPerBu);
+    return 0;
+}

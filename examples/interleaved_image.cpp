@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Domain example: interleaved vs planar image processing with
+ * gather/scatter.
+ *
+ * OpenCV-style pipelines often receive interleaved RGB buffers; a
+ * vectorized grayscale conversion then needs stride-3 gathers, which
+ * cost one port beat per element and monopolize the ld/st issue slots.
+ * This example measures the same math over planar and interleaved
+ * layouts, then shows a de-interleave (scatter) + planar pipeline, on
+ * the elastic machine.
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+
+using namespace occamy;
+
+namespace
+{
+
+constexpr std::uint64_t kTile = 3072;   // VecCache-resident tile.
+
+kir::Loop
+planarGray(std::uint64_t pixels)
+{
+    kir::Loop loop;
+    loop.name = "gray_planar";
+    loop.trip = pixels;
+    const int r = loop.addArray("r", kTile, false);
+    const int g = loop.addArray("g", kTile, false);
+    const int b = loop.addArray("b", kTile, false);
+    const int gray = loop.addArray("gray", kTile, false);
+    loop.store(gray,
+               kir::add(kir::mul(kir::cst(0.299), kir::load(r)),
+                        kir::add(kir::mul(kir::cst(0.587), kir::load(g)),
+                                 kir::mul(kir::cst(0.114),
+                                          kir::load(b)))));
+    return loop;
+}
+
+kir::Loop
+interleavedGray(std::uint64_t pixels)
+{
+    kir::Loop loop;
+    loop.name = "gray_ilv";
+    loop.trip = pixels;
+    const int rgb = loop.addArray("rgb", kTile * 3, false);
+    const int gray = loop.addArray("gray", kTile, false);
+    loop.store(gray,
+               kir::add(kir::mul(kir::cst(0.299),
+                                 kir::loadStrided(rgb, 3, 0)),
+                        kir::add(kir::mul(kir::cst(0.587),
+                                          kir::loadStrided(rgb, 3, 1)),
+                                 kir::mul(kir::cst(0.114),
+                                          kir::loadStrided(rgb, 3, 2)))));
+    return loop;
+}
+
+kir::Loop
+deinterleaveChannel(std::uint64_t pixels, int channel)
+{
+    kir::Loop loop;
+    loop.name = "deilv_c" + std::to_string(channel);
+    loop.trip = pixels;
+    const int rgb = loop.addArray("rgb", kTile * 3, false);
+    const int plane = loop.addArray("plane", kTile, false);
+    loop.store(plane, kir::loadStrided(rgb, 3, channel));
+    return loop;
+}
+
+Cycle
+timeIt(const char *tag, std::vector<kir::Loop> loops)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, tag, std::move(loops));
+    sys.setWorkload(1, "idle", {});
+    const RunResult r = sys.run(40'000'000);
+    std::printf("  %-28s %10llu cycles  (%.2f MB DRAM, util %.1f%%)\n",
+                tag, static_cast<unsigned long long>(r.cores[0].finish),
+                r.dramBytes / 1048576.0, 100.0 * r.simdUtil);
+    return r.cores[0].finish;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t pixels = 262144;   // A 512x512 image.
+    std::printf("grayscale conversion of a %llu-pixel image on the "
+                "elastic machine:\n\n",
+                static_cast<unsigned long long>(pixels));
+
+    const Cycle planar = timeIt("planar R/G/B", {planarGray(pixels)});
+    const Cycle ilv =
+        timeIt("interleaved RGB (gathers)", {interleavedGray(pixels)});
+    const Cycle deilv = timeIt(
+        "de-interleave then planar",
+        {deinterleaveChannel(pixels, 0), deinterleaveChannel(pixels, 1),
+         deinterleaveChannel(pixels, 2), planarGray(pixels)});
+
+    std::printf("\ninterleaved costs %.2fx planar; de-interleaving "
+                "first costs %.2fx\n",
+                static_cast<double>(ilv) / planar,
+                static_cast<double>(deilv) / planar);
+    std::printf("(gathers move one element per port beat and crack "
+                "into both ld/st issue slots)\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Domain example: use the LaneMgr's vector-length-aware roofline and
+ * greedy partitioner as a standalone planning library — the same
+ * decision procedure the hardware runs — to size lane allocations for
+ * a mixed set of workloads before committing silicon time.
+ *
+ * Prints an annotated roofline (which ceiling binds at each vector
+ * length) and the partition plans for several co-run scenarios.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "kir/analysis.hh"
+#include "lanemgr/partitioner.hh"
+#include "workloads/phases.hh"
+
+using namespace occamy;
+
+namespace
+{
+
+void
+annotate(const RooflineParams &p, const char *name, const PhaseOI &oi)
+{
+    std::printf("\n%s (oi_issue=%.2f, oi_mem=%.2f, level=%s)\n", name,
+                oi.issue, oi.mem,
+                oi.level == MemLevel::Dram
+                    ? "DRAM"
+                    : (oi.level == MemLevel::L2 ? "L2" : "VecCache"));
+    std::printf("  %-8s %12s %10s\n", "lanes", "GFLOP/s", "bound by");
+    for (unsigned bus = 1; bus <= 8; ++bus) {
+        const double ap = attainable(p, oi, bus);
+        const char *bound = "compute";
+        if (ap >= memBandwidth(p, oi.level) * oi.mem - 1e-9)
+            bound = "memory BW";
+        else if (ap >= simdIssueBandwidth(p, bus) * oi.issue - 1e-9)
+            bound = "SIMD issue BW";
+        std::printf("  %-8u %12.1f %10s\n", bus * kLanesPerBu, ap,
+                    bound);
+    }
+    std::printf("  knee: %u lanes\n", kneeVl(p, oi, 8) * kLanesPerBu);
+}
+
+PhaseOI
+oiOf(const char *phase)
+{
+    const MachineConfig cfg;
+    return kir::phaseOI(workloads::makeNamedPhase(phase),
+                        cfg.vecCache.sizeBytes, cfg.l2.sizeBytes);
+}
+
+void
+plan(const RooflineParams &p, const char *title,
+     const std::vector<std::pair<const char *, PhaseOI>> &phases)
+{
+    std::printf("\nplan: %s\n", title);
+    std::vector<PhaseOI> ois;
+    for (const auto &[name, oi] : phases)
+        ois.push_back(oi);
+    const auto vls = greedyPartition(p, ois, 8);
+    unsigned used = 0;
+    for (std::size_t i = 0; i < vls.size(); ++i) {
+        std::printf("  %-12s -> %u lanes\n", phases[i].first,
+                    vls[i] * kLanesPerBu);
+        used += vls[i];
+    }
+    std::printf("  free: %u lanes\n", (8 - used) * kLanesPerBu);
+}
+
+} // namespace
+
+int
+main()
+{
+    const RooflineParams p = RooflineParams::fromConfig(MachineConfig{});
+
+    std::printf("vector-length-aware roofline (2 GHz, 32 lanes, "
+                "64 GB/s DRAM)\n");
+    annotate(p, "rho_eos1 (memory-intensive)", oiOf("rho_eos1"));
+    annotate(p, "rho_eos2 (reuse: issue-bound below 12 lanes)",
+             oiOf("rho_eos2"));
+    annotate(p, "wsm51 (compute-intensive)", oiOf("wsm51"));
+
+    plan(p, "memory + compute",
+         {{"rho_eos1", oiOf("rho_eos1")}, {"wsm51", oiOf("wsm51")}});
+    plan(p, "two compute workloads (fair split)",
+         {{"wsm51", oiOf("wsm51")}, {"set_vbc1", oiOf("set_vbc1")}});
+    plan(p, "two memory workloads (leftover lanes stay free)",
+         {{"rho_eos1", oiOf("rho_eos1")}, {"sff2", oiOf("sff2")}});
+    plan(p, "one active workload",
+         {{"wsm51", oiOf("wsm51")}, {"(idle)", PhaseOI{}}});
+    return 0;
+}

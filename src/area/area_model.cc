@@ -1,0 +1,82 @@
+#include "area/area_model.hh"
+
+#include <cmath>
+
+namespace occamy
+{
+
+double
+AreaBreakdown::total() const
+{
+    double t = 0.0;
+    for (const auto &c : components)
+        t += c.mm2;
+    return t;
+}
+
+double
+AreaBreakdown::fraction(const std::string &component) const
+{
+    const double t = total();
+    if (t <= 0)
+        return 0.0;
+    for (const auto &c : components)
+        if (c.name == component)
+            return c.mm2 / t;
+    return 0.0;
+}
+
+AreaBreakdown
+AreaModel::breakdown(SharingPolicy policy, unsigned cores) const
+{
+    AreaBreakdown b;
+    b.policy = policy;
+    b.cores = cores;
+
+    const unsigned bus = 4 * cores;   // Equal SIMD resources per core.
+
+    // Register file: N RegBlks of 160 rows. FTS must hold a full-width
+    // context per core; beyond 2 cores that multiplies the rows by the
+    // core count (Section 7.6), instead of sharing one 160-row pool.
+    double regfile = kRegfilePerBu * bus;
+    if (policy == SharingPolicy::Temporal && cores > 2)
+        regfile *= cores;
+
+    const double per_core_scale = static_cast<double>(cores);
+    double inst_pool = kInstPoolPerCore * per_core_scale;
+    double decode = kDecodePerCore * per_core_scale;
+    double rename = kRenamePerCore * per_core_scale;
+    double dispatch = kDispatchPerCore * per_core_scale;
+    double rob = kRobPerCore * per_core_scale;
+    double lsu = kLsuPerCore * per_core_scale;
+    double manager = policy == SharingPolicy::Private ? 0.0 : kManager;
+
+    // Control/table growth when scaling past 2 cores (~3% per doubling
+    // of the control-heavy structures, Section 4.2.1).
+    if (cores > 2) {
+        const double doublings = std::log2(cores / 2.0);
+        const double scale = 1.0 + kControlScalePerDoubling * doublings;
+        inst_pool *= scale;
+        decode *= scale;
+        rename *= scale;
+        dispatch *= scale;
+        rob *= scale;
+        manager *= scale;
+    }
+
+    b.components = {
+        {"inst_pool", inst_pool},
+        {"decode", decode},
+        {"rename", rename},
+        {"dispatch", dispatch},
+        {"simd_exe_units", kExePerBu * bus},
+        {"lsu", lsu},
+        {"manager", manager},
+        {"register_file", regfile},
+        {"rob", rob},
+        {"vec_cache", kVecCache * (cores / 2.0)},
+    };
+    return b;
+}
+
+} // namespace occamy

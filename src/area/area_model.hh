@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytic chip-area model (Section 7.3, Fig. 12).
+ *
+ * Substitutes for the paper's TSMC-7nm Synopsys DC synthesis: per
+ * component, area scales with the structure that dominates it (ExeBUs
+ * for execution units and the register file, cores for the per-core
+ * pipeline structures), calibrated so the 2-core configuration lands on
+ * the paper's published totals (Private 1.263 mm², shared designs
+ * 1.265 mm²) and breakdown (execution units 46%, LSU 23%, register
+ * file 15%, Manager <1%), control scaling of +3% from 2 to 4 cores,
+ * and FTS's +33.5% at 4 cores when it keeps per-core full-width
+ * register contexts.
+ */
+
+#ifndef OCCAMY_AREA_AREA_MODEL_HH
+#define OCCAMY_AREA_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace occamy
+{
+
+/** Area of one micro-architectural component in mm² (7 nm). */
+struct AreaComponent
+{
+    std::string name;
+    double mm2 = 0.0;
+};
+
+/** Full breakdown for one architecture/configuration. */
+struct AreaBreakdown
+{
+    SharingPolicy policy;
+    unsigned cores = 2;
+    std::vector<AreaComponent> components;
+
+    double total() const;
+    double fraction(const std::string &component) const;
+};
+
+/** Analytic area model. */
+class AreaModel
+{
+  public:
+    /**
+     * Compute the breakdown for @p policy with @p cores cores, total
+     * ExeBUs = 4 * cores (the paper's equal-resource scaling).
+     */
+    AreaBreakdown breakdown(SharingPolicy policy, unsigned cores) const;
+
+  private:
+    // 2-core calibration (mm²). Derived from Fig. 12's fractions of the
+    // 1.263 mm² Private total.
+    static constexpr double kExePerBu = 0.58098 / 8;      // 46%
+    static constexpr double kLsuPerCore = 0.29049 / 2;    // 23%
+    static constexpr double kRegfilePerBu = 0.18945 / 8;  // 15%
+    static constexpr double kVecCache = 0.12000;
+    static constexpr double kRobPerCore = 0.02400 / 2;
+    static constexpr double kInstPoolPerCore = 0.01600 / 2;
+    static constexpr double kDecodePerCore = 0.01000 / 2;
+    static constexpr double kRenamePerCore = 0.01400 / 2;
+    static constexpr double kDispatchPerCore = 0.01808 / 2;
+    static constexpr double kManager = 0.00200;           // <1% (shared).
+
+    /** Control/table overhead when scaling beyond 2 cores: +3% of the
+     *  per-core pipeline structures per doubling (Section 4.2.1). */
+    static constexpr double kControlScalePerDoubling = 0.03;
+
+    /** FTS per-core full-width register contexts: the register file
+     *  grows with cores * machine width instead of lanes. */
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_AREA_AREA_MODEL_HH

@@ -1,0 +1,34 @@
+#include "common/config.hh"
+
+namespace occamy
+{
+
+const char *
+policyName(SharingPolicy p)
+{
+    switch (p) {
+      case SharingPolicy::Private:
+        return "Private";
+      case SharingPolicy::Temporal:
+        return "FTS";
+      case SharingPolicy::StaticSpatial:
+        return "VLS";
+      case SharingPolicy::Elastic:
+        return "Occamy";
+    }
+    return "?";
+}
+
+MachineConfig
+MachineConfig::forPolicy(SharingPolicy p, unsigned cores)
+{
+    MachineConfig cfg;
+    cfg.policy = p;
+    cfg.numCores = cores;
+    // The paper keeps total SIMD resources equal across architectures:
+    // 16 lanes/core => 4 ExeBUs per core.
+    cfg.numExeBUs = 4 * cores;
+    return cfg;
+}
+
+} // namespace occamy

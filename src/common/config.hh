@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Machine configuration: every micro-architectural parameter from Table 4
+ * of the paper, plus the sharing-policy selector distinguishing the four
+ * evaluated SIMD architectures (Fig. 1).
+ */
+
+#ifndef OCCAMY_COMMON_CONFIG_HH
+#define OCCAMY_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace occamy
+{
+
+/** The four SIMD architectures compared in the paper (Fig. 1). */
+enum class SharingPolicy
+{
+    /** Core-private fixed-width SIMD units (Fig. 1a), e.g. Intel Xeon. */
+    Private,
+    /** Fine temporal sharing of one full-width unit (Fig. 1b), "FTS". */
+    Temporal,
+    /** Static spatial partitioning of the lanes (Fig. 1c), "VLS". */
+    StaticSpatial,
+    /** Occamy's elastic spatial sharing (Fig. 1d). */
+    Elastic,
+};
+
+/** @return the paper's short name for a policy (Private/FTS/VLS/Occamy). */
+const char *policyName(SharingPolicy p);
+
+/**
+ * Batch-queue dispatch discipline (Section 5 discusses FCFS and
+ * suggests, as future work, letting lane partitioning and OS
+ * scheduling work together -- OiAware implements that suggestion).
+ */
+enum class SchedPolicy
+{
+    /** First-come-first-serve: the queue head goes to the idle core. */
+    Fcfs,
+    /** Pick the queued workload whose first-phase operational
+     *  intensity maximizes the roofline-estimated machine throughput
+     *  given what the other cores are currently running. */
+    OiAware,
+};
+
+/** Cache parameters for one level of the hierarchy. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 0;
+    unsigned assoc = 8;
+    unsigned lineBytes = 64;
+    unsigned latency = 1;           ///< Hit latency in cycles.
+    unsigned bytesPerCycle = 64;    ///< Sustained bandwidth into this level.
+};
+
+/**
+ * Full machine configuration.
+ *
+ * Defaults reproduce the paper's 2-core setup (Table 4): 2 GHz, 32 lanes
+ * (8 ExeBUs) shared by 2 cores, vector issue width 4 (2 exec + 2 ld/st),
+ * 160x128b VRegs and 64x16b PRegs per RegBlk, 128 KB VecCache @ 5 cycles,
+ * 8 MB unified L2 @ 18 cycles, 64 GB/s DRAM.
+ */
+struct MachineConfig
+{
+    /** Number of scalar cores served by the co-processor. */
+    unsigned numCores = 2;
+
+    /** Sharing policy (which of the four architectures to model). */
+    SharingPolicy policy = SharingPolicy::Elastic;
+
+    /** Clock in GHz (for roofline GFLOP/s / GB/s conversions). */
+    double ghz = 2.0;
+
+    /** Total homogeneous 128-bit execution units (8 => 32 lanes). */
+    unsigned numExeBUs = 8;
+
+    /** 128-bit physical vector registers per RegBlk. */
+    unsigned vregsPerBlk = 160;
+
+    /** 16-bit physical predicate registers per RegBlk. */
+    unsigned pregsPerBlk = 64;
+
+    /** SIMD compute instructions issueable per core per cycle. */
+    unsigned computeIssueWidth = 2;
+
+    /** SIMD ld/st micro-ops issueable per core per cycle. */
+    unsigned memIssueWidth = 2;
+
+    /** Instructions a scalar core transmits to Occamy per cycle. */
+    unsigned transmitWidth = 4;
+
+    /** Per-core instruction-pool (in-Occamy queue) capacity. */
+    unsigned instPoolEntries = 32;
+
+    /** Per-core issue-queue capacity. */
+    unsigned issueQueueEntries = 64;
+
+    /** Per-core reorder-buffer capacity. */
+    unsigned robEntries = 128;
+
+    /** Commit width per core per cycle. */
+    unsigned commitWidth = 4;
+
+    /** Load-queue (LHQ) entries per LSU. */
+    unsigned loadQueueEntries = 32;
+
+    /** Store-queue (STQ) entries per LSU. */
+    unsigned storeQueueEntries = 32;
+
+    /** FP pipeline latency of an ExeBU in cycles. */
+    unsigned fpLatency = 4;
+
+    /** Cycles the LaneMgr takes to produce a new partition plan. */
+    unsigned laneMgrLatency = 8;
+
+    /** Pipeline depth charged when a scalar core retires an instruction
+     *  before transmitting it to Occamy (non-speculative hand-off). */
+    unsigned retireDelay = 4;
+
+    /** 128 KB 8-way vector cache @ 5 cycles, 2x64 B/cycle. */
+    CacheConfig vecCache{128 * 1024, 8, 64, 5, 128};
+
+    /** 8 MB shared unified L2 @ 18 cycles, 64 B/cycle. */
+    CacheConfig l2{8 * 1024 * 1024, 16, 64, 18, 64};
+
+    /** DRAM: 64 GB/s total (32 B/cycle @ 2 GHz), ~120-cycle latency. */
+    unsigned dramLatency = 120;
+    unsigned dramBytesPerCycle = 32;
+
+    /** Lines the stream prefetcher pulls ahead on a DRAM demand miss. */
+    unsigned prefetchDegree = 32;
+
+    /** Iterations between partition-monitor checks (compiler knob). */
+    unsigned monitorPeriod = 8;
+
+    /** OS context-switch cost when dispatching a queued workload onto
+     *  a core (covers saving/restoring the EM-SIMD registers after the
+     *  pipelines drain, Section 5). */
+    unsigned contextSwitchCycles = 200;
+
+    /** Batch-queue dispatch discipline. */
+    SchedPolicy schedPolicy = SchedPolicy::Fcfs;
+
+    /**
+     * Boot-time lane-partition plan in ExeBUs per core, used by the
+     * Private and VLS architectures (empty = equal split). For VLS the
+     * system computes it offline with staticPartition().
+     */
+    std::vector<unsigned> staticPlan;
+
+    /** Total lanes (derived). */
+    unsigned totalLanes() const { return numExeBUs * kLanesPerBu; }
+
+    /** ExeBUs statically owned by each core under Private. */
+    unsigned privateBusPerCore() const { return numExeBUs / numCores; }
+
+    /** @return config preset for one of the four architectures. */
+    static MachineConfig forPolicy(SharingPolicy p, unsigned cores = 2);
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_COMMON_CONFIG_HH

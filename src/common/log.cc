@@ -1,0 +1,89 @@
+#include "common/log.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace occamy
+{
+
+namespace
+{
+
+struct LogState
+{
+    std::set<std::string, std::less<>> flags;
+    bool all = false;
+    std::mutex mtx;
+};
+
+LogState &
+state()
+{
+    static LogState s;
+    return s;
+}
+
+} // namespace
+
+void
+Log::enable(std::string_view flag)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    if (flag == "All")
+        s.all = true;
+    else
+        s.flags.emplace(flag);
+}
+
+void
+Log::disable(std::string_view flag)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    if (flag == "All") {
+        s.all = false;
+        s.flags.clear();
+    } else {
+        auto it = s.flags.find(flag);
+        if (it != s.flags.end())
+            s.flags.erase(it);
+    }
+}
+
+bool
+Log::enabled(std::string_view flag)
+{
+    auto &s = state();
+    if (s.all)
+        return true;
+    if (s.flags.empty())
+        return false;
+    std::lock_guard<std::mutex> lock(s.mtx);
+    return s.flags.find(flag) != s.flags.end();
+}
+
+void
+Log::initFromEnv()
+{
+    const char *env = std::getenv("OCCAMY_DEBUG");
+    if (!env)
+        return;
+    std::stringstream ss{std::string(env)};
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            enable(item);
+}
+
+void
+Log::print(Cycle cycle, std::string_view flag, const std::string &msg)
+{
+    std::fprintf(stderr, "%12llu: %.*s: %s\n",
+                 static_cast<unsigned long long>(cycle),
+                 static_cast<int>(flag.size()), flag.data(), msg.c_str());
+}
+
+} // namespace occamy

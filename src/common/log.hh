@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lightweight component-tagged logging, modelled on gem5's debug flags.
+ *
+ * Every simulator component logs through a named flag; flags are enabled
+ * at run time via Log::enable("Coproc") or the OCCAMY_DEBUG environment
+ * variable (comma-separated flag names, or "All"). Logging is compiled in
+ * unconditionally but costs a single branch when disabled.
+ */
+
+#ifndef OCCAMY_COMMON_LOG_HH
+#define OCCAMY_COMMON_LOG_HH
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace occamy
+{
+
+/** Registry of debug flags and the printing backend. */
+class Log
+{
+  public:
+    /** Enable one flag by name ("All" enables everything). */
+    static void enable(std::string_view flag);
+
+    /** Disable one flag by name ("All" disables everything). */
+    static void disable(std::string_view flag);
+
+    /** @return true if the flag is currently enabled. */
+    static bool enabled(std::string_view flag);
+
+    /** Parse the OCCAMY_DEBUG environment variable once at startup. */
+    static void initFromEnv();
+
+    /**
+     * Print one log line: "<cycle>: <flag>: <message>".
+     *
+     * @param cycle Simulated cycle the event happened at.
+     * @param flag Component flag name.
+     * @param msg Already formatted message body.
+     */
+    static void print(Cycle cycle, std::string_view flag,
+                      const std::string &msg);
+};
+
+} // namespace occamy
+
+/**
+ * Log a formatted message under a debug flag.
+ *
+ * Usage: OCCAMY_LOG(curCycle, "Coproc", "core%u vl=%u", core, vl);
+ */
+#define OCCAMY_LOG(cycle, flag, ...)                                        \
+    do {                                                                    \
+        if (::occamy::Log::enabled(flag)) {                                \
+            char log_buf_[256];                                            \
+            std::snprintf(log_buf_, sizeof(log_buf_), __VA_ARGS__);        \
+            ::occamy::Log::print((cycle), (flag), log_buf_);               \
+        }                                                                   \
+    } while (0)
+
+#endif // OCCAMY_COMMON_LOG_HH

@@ -1,0 +1,112 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace occamy::stats
+{
+
+Distribution::Distribution(double min, double max, unsigned buckets)
+    : min_(min), max_(max), width_((max - min) / buckets),
+      buckets_(buckets, 0)
+{
+    assert(max > min && buckets > 0);
+}
+
+void
+Distribution::sample(double v)
+{
+    ++samples_;
+    sum_ += v;
+    long idx = static_cast<long>((v - min_) / width_);
+    if (idx < 0)
+        idx = 0;
+    if (idx >= static_cast<long>(buckets_.size()))
+        idx = static_cast<long>(buckets_.size()) - 1;
+    ++buckets_[static_cast<std::size_t>(idx)];
+}
+
+void
+Distribution::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    samples_ = 0;
+    sum_ = 0.0;
+}
+
+void
+Group::addCounter(const std::string &stat_name, const Counter *c,
+                  const std::string &desc)
+{
+    Entry e;
+    e.kind = Entry::Kind::CounterK;
+    e.counter = c;
+    e.desc = desc;
+    entries_[stat_name] = std::move(e);
+}
+
+void
+Group::addAverage(const std::string &stat_name, const Average *a,
+                  const std::string &desc)
+{
+    Entry e;
+    e.kind = Entry::Kind::AverageK;
+    e.average = a;
+    e.desc = desc;
+    entries_[stat_name] = std::move(e);
+}
+
+void
+Group::addFormula(const std::string &stat_name, std::function<double()> fn,
+                  const std::string &desc)
+{
+    Entry e;
+    e.kind = Entry::Kind::FormulaK;
+    e.formula = std::move(fn);
+    e.desc = desc;
+    entries_[stat_name] = std::move(e);
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, e] : entries_) {
+        os << std::left << std::setw(40) << (name_ + "." + stat_name)
+           << " " << std::right << std::setw(16);
+        switch (e.kind) {
+          case Entry::Kind::CounterK:
+            os << e.counter->value();
+            break;
+          case Entry::Kind::AverageK:
+            os << e.average->mean();
+            break;
+          case Entry::Kind::FormulaK:
+            os << e.formula();
+            break;
+        }
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+}
+
+double
+Group::get(const std::string &stat_name) const
+{
+    auto it = entries_.find(stat_name);
+    if (it == entries_.end())
+        throw std::out_of_range("no such stat: " + name_ + "." + stat_name);
+    const Entry &e = it->second;
+    switch (e.kind) {
+      case Entry::Kind::CounterK:
+        return static_cast<double>(e.counter->value());
+      case Entry::Kind::AverageK:
+        return e.average->mean();
+      case Entry::Kind::FormulaK:
+        return e.formula();
+    }
+    return 0.0;
+}
+
+} // namespace occamy::stats

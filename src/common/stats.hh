@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Minimal statistics package in the spirit of gem5's Stats: named scalar
+ * counters, averages, distributions and derived formulas, grouped per
+ * component and dumpable as text.
+ */
+
+#ifndef OCCAMY_COMMON_STATS_HH
+#define OCCAMY_COMMON_STATS_HH
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace occamy::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean of sampled values (e.g. queue occupancy per cycle). */
+class Average
+{
+  public:
+    void sample(double v) { sum_ += v; ++count_; }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t samples() const { return count_; }
+    double sum() const { return sum_; }
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [min, max). */
+class Distribution
+{
+  public:
+    /**
+     * @param min Inclusive lower bound of the first bucket.
+     * @param max Exclusive upper bound of the last bucket.
+     * @param buckets Number of equal-width buckets.
+     */
+    Distribution(double min, double max, unsigned buckets);
+
+    /** Record one sample; out-of-range samples clamp to the end buckets. */
+    void sample(double v);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    void reset();
+
+  private:
+    double min_;
+    double max_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of statistics belonging to one simulator component.
+ *
+ * Components register their counters once at construction; Group keeps
+ * pointers (no ownership) and renders them on dump(). Derived quantities
+ * are registered as formula callbacks evaluated at dump time.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &stat_name, const Counter *c,
+                    const std::string &desc = "");
+    void addAverage(const std::string &stat_name, const Average *a,
+                    const std::string &desc = "");
+    void addFormula(const std::string &stat_name,
+                    std::function<double()> fn,
+                    const std::string &desc = "");
+
+    /** Render "group.stat value # desc" lines, gem5 stats.txt style. */
+    void dump(std::ostream &os) const;
+
+    /** Look up any registered stat by name as a double. */
+    double get(const std::string &stat_name) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        enum class Kind { CounterK, AverageK, FormulaK } kind;
+        const Counter *counter = nullptr;
+        const Average *average = nullptr;
+        std::function<double()> formula;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace occamy::stats
+
+#endif // OCCAMY_COMMON_STATS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types and machine-wide constants shared by every
+ * Occamy module.
+ *
+ * Terminology follows the paper: a *lane* is one 32-bit SIMD element slot;
+ * an *ExeBU* (basic execution unit) is a homogeneous 128-bit unit, i.e.
+ * four lanes; the EM-SIMD <VL> register counts vector length at 128-bit
+ * granularity (one unit of <VL> == one ExeBU == four lanes).
+ */
+
+#ifndef OCCAMY_COMMON_TYPES_HH
+#define OCCAMY_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace occamy
+{
+
+/** Simulated clock cycle. One tick of the 2 GHz core/co-processor clock. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Index of a scalar CPU core attached to the co-processor. */
+using CoreId = std::uint16_t;
+
+/** Monotonic per-core dynamic-instruction sequence number. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not yet scheduled". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid core ids (e.g. a free ExeBU owner slot). */
+inline constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
+
+/** Bits per SIMD lane (single-precision float, the paper's unit). */
+inline constexpr unsigned kLaneBits = 32;
+
+/** Bits per ExeBU, the minimum SVE vector-length granularity. */
+inline constexpr unsigned kBuBits = 128;
+
+/** Lanes contained in one ExeBU. */
+inline constexpr unsigned kLanesPerBu = kBuBits / kLaneBits;
+
+/** Bytes moved per ExeBU-wide (128-bit) memory beat. */
+inline constexpr unsigned kBytesPerBu = kBuBits / 8;
+
+/** Architectural SVE vector registers visible to the compiler (z0..z31). */
+inline constexpr unsigned kNumArchVecRegs = 32;
+
+/** Architectural SVE predicate registers (p0..p15). */
+inline constexpr unsigned kNumArchPredRegs = 16;
+
+} // namespace occamy
+
+#endif // OCCAMY_COMMON_TYPES_HH

@@ -1,0 +1,433 @@
+#include "compiler/compiler.hh"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "kir/analysis.hh"
+
+namespace occamy
+{
+
+namespace
+{
+
+/** Architectural register plan used by the vectorizer. */
+constexpr int kFirstTemp = 0;      ///< z0..z23: expression temporaries.
+constexpr int kLastTemp = 23;
+constexpr int kFirstInvariant = 24;///< z24..z27: loop-invariant consts.
+constexpr int kLastInvariant = 27;
+constexpr int kFirstAcc = 28;      ///< z28..z31: rotating reduction accs.
+constexpr unsigned kNumAccs = 4;
+
+Opcode
+opcodeFor(kir::ArithOp op)
+{
+    using kir::ArithOp;
+    switch (op) {
+      case ArithOp::Add: return Opcode::VFAdd;
+      case ArithOp::Sub: return Opcode::VFSub;
+      case ArithOp::Mul: return Opcode::VFMul;
+      case ArithOp::Div: return Opcode::VFDiv;
+      case ArithOp::Min: return Opcode::VFMin;
+      case ArithOp::Max: return Opcode::VFMax;
+      case ArithOp::Neg: return Opcode::VFNeg;
+      case ArithOp::Sqrt: return Opcode::VFSqrt;
+      case ArithOp::Abs: return Opcode::VFAbs;
+      case ArithOp::Fma: return Opcode::VFMla;
+    }
+    return Opcode::VFAdd;
+}
+
+/**
+ * Expression-DAG code generator with structural CSE, refcount-driven
+ * temporary recycling and loop-invariant hoisting.
+ */
+class Codegen
+{
+  public:
+    Codegen(const kir::Loop &loop, int array_base, std::vector<Inst> &out)
+        : loop_(loop), array_base_(array_base), out_(out)
+    {
+        for (int r = kLastTemp; r >= kFirstTemp; --r)
+            free_temps_.push_back(r);
+    }
+
+    /** Pre-pass: count uses of every structurally unique node. */
+    void
+    countUses(const kir::ExprP &e)
+    {
+        const std::string k = keyOf(e);
+        ++uses_[k];
+        if (visited_.insert(k).second && e->kind == kir::Expr::Kind::Op) {
+            countUses(e->a);
+            if (e->b)
+                countUses(e->b);
+            if (e->c)
+                countUses(e->c);
+        }
+    }
+
+    /** Emit code computing @p e; @return its architectural register. */
+    int
+    emit(const kir::ExprP &e)
+    {
+        const std::string k = keyOf(e);
+        auto it = reg_of_.find(k);
+        if (it != reg_of_.end())
+            return it->second;
+
+        int reg = -1;
+        switch (e->kind) {
+          case kir::Expr::Kind::Const:
+            reg = invariantReg(e->value);
+            break;
+          case kir::Expr::Kind::Load: {
+            reg = allocTemp();
+            Inst inst;
+            inst.op = Opcode::VLoad;
+            inst.dst = static_cast<std::int16_t>(reg);
+            inst.arrayId =
+                static_cast<std::int16_t>(array_base_ + e->array);
+            inst.elemOffset = e->offset;
+            inst.stride = e->stride;
+            inst.elemBytes = loop_.arrays[e->array].elemBytes;
+            out_.push_back(inst);
+            break;
+          }
+          case kir::Expr::Kind::Op: {
+            const int ra = emit(e->a);
+            const int rb = e->b ? emit(e->b) : -1;
+            const int rc = e->c ? emit(e->c) : -1;
+            // Children are consumed exactly once by this (unique) node.
+            release(e->a);
+            if (e->b)
+                release(e->b);
+            if (e->c)
+                release(e->c);
+            reg = allocTemp();
+            Inst inst;
+            inst.op = opcodeFor(e->op);
+            inst.dst = static_cast<std::int16_t>(reg);
+            inst.src[inst.nsrc++] = static_cast<std::int16_t>(ra);
+            if (rb >= 0)
+                inst.src[inst.nsrc++] = static_cast<std::int16_t>(rb);
+            if (rc >= 0)
+                inst.src[inst.nsrc++] = static_cast<std::int16_t>(rc);
+            out_.push_back(inst);
+            break;
+          }
+        }
+        reg_of_[k] = reg;
+        return reg;
+    }
+
+    /** Note one consumption of @p e; recycle its temp on the last use. */
+    void
+    release(const kir::ExprP &e)
+    {
+        const std::string k = keyOf(e);
+        assert(uses_[k] > 0);
+        if (--uses_[k] == 0 && e->kind != kir::Expr::Kind::Const) {
+            auto it = reg_of_.find(k);
+            if (it != reg_of_.end()) {
+                free_temps_.push_back(it->second);
+                reg_of_.erase(it);
+            }
+        }
+    }
+
+    /** Map of hoisted constants to their invariant registers. */
+    const std::map<double, int> &invariants() const { return invariant_; }
+
+  private:
+    std::string
+    keyOf(const kir::ExprP &e)
+    {
+        auto it = key_memo_.find(e.get());
+        if (it != key_memo_.end())
+            return it->second;
+        std::ostringstream os;
+        switch (e->kind) {
+          case kir::Expr::Kind::Load:
+            os << "L" << e->array << "@" << e->offset << "s" << e->stride;
+            break;
+          case kir::Expr::Kind::Const:
+            os << "C" << e->value;
+            break;
+          case kir::Expr::Kind::Op:
+            os << "O" << static_cast<int>(e->op) << "(" << keyOf(e->a);
+            if (e->b)
+                os << "," << keyOf(e->b);
+            if (e->c)
+                os << "," << keyOf(e->c);
+            os << ")";
+            break;
+        }
+        auto k = os.str();
+        key_memo_.emplace(e.get(), k);
+        return k;
+    }
+
+    int
+    allocTemp()
+    {
+        if (free_temps_.empty())
+            throw std::runtime_error(
+                "vectorizer: out of temporary vector registers in loop " +
+                loop_.name);
+        const int r = free_temps_.back();
+        free_temps_.pop_back();
+        return r;
+    }
+
+    int
+    invariantReg(double v)
+    {
+        auto it = invariant_.find(v);
+        if (it != invariant_.end())
+            return it->second;
+        const int reg = kFirstInvariant + static_cast<int>(invariant_.size());
+        if (reg > kLastInvariant)
+            throw std::runtime_error(
+                "vectorizer: too many loop-invariant constants in loop " +
+                loop_.name);
+        invariant_.emplace(v, reg);
+        return reg;
+    }
+
+    const kir::Loop &loop_;
+    int array_base_;
+    std::vector<Inst> &out_;
+    std::map<const kir::Expr *, std::string> key_memo_;
+    std::map<std::string, unsigned> uses_;
+    std::set<std::string> visited_;
+    std::map<std::string, int> reg_of_;
+    std::vector<int> free_temps_;
+    std::map<double, int> invariant_;
+};
+
+Inst
+makeMsrOI(const PhaseOI &oi)
+{
+    Inst inst;
+    inst.op = Opcode::MsrOI;
+    inst.oi = oi;
+    return inst;
+}
+
+Inst
+makeMsrVL(unsigned vl_bus, bool from_decision = false)
+{
+    Inst inst;
+    inst.op = Opcode::MsrVL;
+    inst.imm = vl_bus;
+    inst.vlFromDecision = from_decision;
+    return inst;
+}
+
+Inst
+makeDup(int dst)
+{
+    Inst inst;
+    inst.op = Opcode::VDup;
+    inst.dst = static_cast<std::int16_t>(dst);
+    return inst;
+}
+
+} // namespace
+
+CompileOptions
+CompileOptions::forMachine(const MachineConfig &cfg, unsigned fixed_vl_bus)
+{
+    CompileOptions o;
+    o.policy = cfg.policy;
+    o.maxVlBus = cfg.numExeBUs;
+    o.fairShareBus = cfg.numExeBUs / cfg.numCores;
+    switch (cfg.policy) {
+      case SharingPolicy::Private:
+        o.fixedVlBus = cfg.privateBusPerCore();
+        break;
+      case SharingPolicy::Temporal:
+        o.fixedVlBus = cfg.numExeBUs;
+        break;
+      case SharingPolicy::StaticSpatial:
+        o.fixedVlBus =
+            fixed_vl_bus ? fixed_vl_bus : cfg.privateBusPerCore();
+        break;
+      case SharingPolicy::Elastic:
+        o.fixedVlBus = 0;
+        break;
+    }
+    o.vecCacheBytes = cfg.vecCache.sizeBytes;
+    o.l2Bytes = cfg.l2.sizeBytes;
+    o.monitorPeriod = cfg.monitorPeriod;
+    o.roofline = RooflineParams::fromConfig(cfg);
+    return o;
+}
+
+VectorLoop
+Compiler::compileLoop(const kir::Loop &loop,
+                      std::vector<ArrayInfo> &arrays) const
+{
+    VectorLoop vloop;
+    const int array_base = static_cast<int>(arrays.size());
+    for (const auto &decl : loop.arrays)
+        arrays.push_back(ArrayInfo{decl.name, decl.elems, decl.elemBytes,
+                                   decl.streaming, /*base=*/0});
+
+    // --- Phase-behaviour analysis (Section 6.3, Eq. 5). ---
+    const kir::LoopSummary summary = kir::analyze(loop);
+    PhaseInfo &phase = vloop.phase;
+    phase.name = loop.name;
+    phase.oi.issue = summary.oiIssue();
+    phase.oi.mem = summary.oiMem();
+    phase.oi.level =
+        kir::classifyMemLevel(loop, opts_.vecCacheBytes, opts_.l2Bytes);
+    phase.tripElems = loop.trip;
+    phase.computeInsts = summary.computeInsts;
+    phase.memInsts = summary.memInsts;
+    phase.footprintBytes = summary.footprintBytes;
+    phase.accessBytes = summary.accessBytes;
+    phase.memoryIntensive = phase.oi.level == MemLevel::Dram &&
+                            phase.oi.mem < 0.5;
+    unsigned widest = 0;
+    for (const auto &decl : loop.arrays)
+        widest = std::max<unsigned>(widest, decl.elemBytes);
+    if (widest == 0)
+        widest = 4;
+    phase.elemBytes = widest;
+    vloop.elemsPerBu = kBuBits / 8 / widest;
+    vloop.hasReduction = summary.hasReduction;
+    vloop.scalarThreshold = opts_.scalarThreshold;
+    vloop.monitorPeriod = opts_.monitorPeriod ? opts_.monitorPeriod : 1;
+
+    // --- Vectorized loop body. ---
+    {
+        Inst whilelt;
+        whilelt.op = Opcode::VWhilelt;
+        vloop.body.push_back(whilelt);
+    }
+    Codegen cg(loop, array_base, vloop.body);
+    for (const auto &st : loop.stores)
+        cg.countUses(st.value);
+    if (loop.reduction)
+        cg.countUses(loop.reduction);
+    for (const auto &st : loop.stores) {
+        const int reg = cg.emit(st.value);
+        Inst inst;
+        inst.op = Opcode::VStore;
+        inst.src[inst.nsrc++] = static_cast<std::int16_t>(reg);
+        inst.arrayId = static_cast<std::int16_t>(array_base + st.array);
+        inst.elemOffset = st.offset;
+        inst.stride = st.stride;
+        inst.elemBytes = loop.arrays[st.array].elemBytes;
+        vloop.body.push_back(inst);
+        cg.release(st.value);
+    }
+    if (loop.reduction) {
+        const int reg = cg.emit(loop.reduction);
+        Inst acc;
+        acc.op = Opcode::VFAdd;
+        acc.dst = kFirstAcc;
+        acc.src[acc.nsrc++] = kFirstAcc;
+        acc.src[acc.nsrc++] = static_cast<std::int16_t>(reg);
+        acc.rotateAcc = true;
+        vloop.body.push_back(acc);
+        cg.release(loop.reduction);
+    }
+
+    // --- Loop-invariant initialization (shared by prologue / reinit). ---
+    std::vector<Inst> invariant_init;
+    for (const auto &[value, reg] : cg.invariants()) {
+        (void)value;
+        invariant_init.push_back(makeDup(reg));
+    }
+    if (vloop.hasReduction)
+        for (unsigned a = 0; a < kNumAccs; ++a)
+            invariant_init.push_back(makeDup(kFirstAcc + static_cast<int>(a)));
+
+    // --- Default vector length. ---
+    const bool elastic = opts_.policy == SharingPolicy::Elastic;
+    if (elastic) {
+        const unsigned knee = kneeVl(opts_.roofline, phase.oi,
+                                     opts_.maxVlBus);
+        vloop.defaultVl = std::min(knee, opts_.fairShareBus);
+        if (vloop.defaultVl == 0)
+            vloop.defaultVl = 1;
+    } else {
+        vloop.defaultVl = opts_.fixedVlBus;
+    }
+
+    // --- Eager partitioning: phase prologue (Fig. 9). ---
+    if (elastic)
+        vloop.prologue.push_back(makeMsrOI(phase.oi));
+    vloop.prologue.push_back(makeMsrVL(vloop.defaultVl));
+    for (const auto &inst : invariant_init)
+        vloop.prologue.push_back(inst);
+
+    // --- Lazy partitioning: monitor + reconfiguration (elastic only). ---
+    if (elastic) {
+        Inst mon;
+        mon.op = Opcode::MrsDecision;
+        mon.dst = 4;    // x4 per Fig. 9.
+        vloop.monitor.push_back(mon);
+
+        vloop.reconfig.push_back(makeMsrVL(0, /*from_decision=*/true));
+        vloop.reinit = invariant_init;
+        if (vloop.hasReduction) {
+            // Fold the partial sums so they can seed the accumulators
+            // under the new vector length (Section 6.4).
+            for (unsigned a = 0; a < kNumAccs; ++a) {
+                Inst red;
+                red.op = Opcode::VRedAdd;
+                red.src[red.nsrc++] = kFirstAcc + static_cast<std::int16_t>(a);
+                vloop.reinit.push_back(red);
+            }
+        }
+    }
+
+    // --- Phase epilogue. ---
+    if (vloop.hasReduction) {
+        for (unsigned a = 0; a < kNumAccs; ++a) {
+            Inst red;
+            red.op = Opcode::VRedAdd;
+            red.src[red.nsrc++] = kFirstAcc + static_cast<std::int16_t>(a);
+            vloop.epilogue.push_back(red);
+        }
+    }
+    if (elastic) {
+        PhaseOI zero;
+        vloop.epilogue.push_back(makeMsrOI(zero));
+        vloop.epilogue.push_back(makeMsrVL(0));
+    }
+
+    // --- Multi-version scalar fallback (Section 6.3). ---
+    for (unsigned i = 0; i < phase.memInsts; ++i) {
+        Inst inst;
+        inst.op = Opcode::SLoad;
+        vloop.scalarBody.push_back(inst);
+    }
+    for (unsigned i = 0; i < phase.computeInsts; ++i) {
+        Inst inst;
+        inst.op = Opcode::SAlu;
+        vloop.scalarBody.push_back(inst);
+    }
+
+    return vloop;
+}
+
+Program
+Compiler::compile(const std::string &name,
+                  const std::vector<kir::Loop> &loops) const
+{
+    Program prog;
+    prog.name = name;
+    for (const auto &loop : loops)
+        prog.loops.push_back(compileLoop(loop, prog.arrays));
+    return prog;
+}
+
+} // namespace occamy

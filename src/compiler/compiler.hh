@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The Occamy compiler (Section 6): lowers kernel-IR loops to vectorized,
+ * vector-length-agnostic SVE code and inserts the EM-SIMD instructions
+ * implementing eager-lazy lane partitioning (Fig. 9).
+ *
+ * Responsibilities, by paper section:
+ *  - 6.1/6.2: phase prologue (MSR <OI>, default-VL set loop), per
+ *    iteration partition monitor (MRS <decision>), vector-length
+ *    reconfiguration (MSR <VL> retry loop), phase epilogue (MSR <OI>,0
+ *    and lane release);
+ *  - 6.3: phase-behaviour analysis (Eq. 5) and multi-version code
+ *    generation for small trip counts;
+ *  - 6.4: correctness across VL changes: re-broadcast of loop-invariant
+ *    registers and reduction fix-up code in the re-init block.
+ */
+
+#ifndef OCCAMY_COMPILER_COMPILER_HH
+#define OCCAMY_COMPILER_COMPILER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "isa/inst.hh"
+#include "kir/kir.hh"
+#include "lanemgr/roofline.hh"
+
+namespace occamy
+{
+
+/** Per-compilation options; policy decides which EM-SIMD code to emit. */
+struct CompileOptions
+{
+    /** Target architecture's sharing policy. */
+    SharingPolicy policy = SharingPolicy::Elastic;
+
+    /** Machine-wide number of ExeBUs (max vector length in BUs). */
+    unsigned maxVlBus = 8;
+
+    /**
+     * Fixed vector length in BUs for Private/VLS/FTS targets (ignored by
+     * Elastic, which negotiates at run time).
+     */
+    unsigned fixedVlBus = 4;
+
+    /** Elastic default-VL cap: a fair share so the prologue's first
+     *  request can always succeed promptly. */
+    unsigned fairShareBus = 4;
+
+    /** Below this trip count the multi-version scalar variant runs. */
+    std::uint64_t scalarThreshold = 128;
+
+    /** Run the lazy partition monitor every N iterations (Section 6.1
+     *  requires lazy points at iteration boundaries, not at every one;
+     *  amortizing keeps the monitoring overhead near the paper's
+     *  ~0.3%). */
+    unsigned monitorPeriod = 8;
+
+    /** Cache capacities used by phase classification. */
+    std::uint64_t vecCacheBytes = 128 * 1024;
+    std::uint64_t l2Bytes = 8 * 1024 * 1024;
+
+    /** Roofline ceilings used for the compiler's default-VL selection. */
+    RooflineParams roofline;
+
+    /** Build options matching a machine configuration. */
+    static CompileOptions forMachine(const MachineConfig &cfg,
+                                     unsigned fixed_vl_bus = 0);
+};
+
+/** The Occamy compiler. */
+class Compiler
+{
+  public:
+    explicit Compiler(CompileOptions opts) : opts_(opts) {}
+
+    /**
+     * Compile a workload (ordered list of loops == phases) into a
+     * Program ready to run on a scalar core.
+     */
+    Program compile(const std::string &name,
+                    const std::vector<kir::Loop> &loops) const;
+
+    /**
+     * Compile one loop. @p arrays is the program-level array table;
+     * the loop's arrays are appended and instructions reference them by
+     * program-level index.
+     */
+    VectorLoop compileLoop(const kir::Loop &loop,
+                           std::vector<ArrayInfo> &arrays) const;
+
+    const CompileOptions &options() const { return opts_; }
+
+  private:
+    CompileOptions opts_;
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_COMPILER_COMPILER_HH

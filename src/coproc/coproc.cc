@@ -1,0 +1,537 @@
+#include "coproc/coproc.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hh"
+
+namespace occamy
+{
+
+CoProcessor::CoProcessor(const MachineConfig &cfg, MemSystem &mem)
+    : cfg_(cfg), mem_(mem),
+      rt_(cfg.numCores, cfg.numExeBUs),
+      dispatch_cfg_(cfg.numExeBUs),
+      regfile_cfg_(cfg.numExeBUs),
+      regfile_(cfg),
+      lane_mgr_(RooflineParams::fromConfig(cfg), cfg.numExeBUs,
+                cfg.laneMgrLatency)
+{
+    // Under FTS the single full-width unit's load/store queues are
+    // statically split between the cores (SMT-style), so each core sees
+    // a fraction of the 2-core-per-core queue capacity -- the store-
+    // queue competition Section 2 blames for FTS's issue-rate drop.
+    MachineConfig core_cfg = cfg;
+    if (cfg.policy == SharingPolicy::Temporal) {
+        core_cfg.loadQueueEntries =
+            std::max(1u, cfg.loadQueueEntries / cfg.numCores);
+        core_cfg.storeQueueEntries =
+            std::max(1u, cfg.storeQueueEntries / cfg.numCores);
+    }
+    cores_.reserve(cfg.numCores);
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        cores_.emplace_back(core_cfg);
+    busy_lanes_.assign(cfg.numCores, 0);
+
+    // Boot-time lane ownership.
+    switch (cfg_.policy) {
+      case SharingPolicy::Private:
+      case SharingPolicy::StaticSpatial: {
+        // Static plan: equal split unless the config carries one.
+        for (unsigned c = 0; c < cfg_.numCores; ++c) {
+            unsigned share = cfg_.staticPlan.empty()
+                                 ? cfg_.privateBusPerCore()
+                                 : cfg_.staticPlan[c];
+            applyVl(static_cast<CoreId>(c), share);
+            rt_.core(static_cast<CoreId>(c)).status = true;
+        }
+        break;
+      }
+      case SharingPolicy::Temporal:
+        // No ownership: every instruction executes full-width.
+        for (unsigned c = 0; c < cfg_.numCores; ++c)
+            rt_.retarget(static_cast<CoreId>(c), 0);
+        break;
+      case SharingPolicy::Elastic:
+        // All lanes start free; workload prologues claim them.
+        break;
+    }
+}
+
+bool
+CoProcessor::canEnqueue(CoreId c) const
+{
+    return cores_[c].pool.size() < cfg_.instPoolEntries;
+}
+
+void
+CoProcessor::enqueue(DynInst inst)
+{
+    assert(isSve(inst.op));
+    assert(canEnqueue(inst.core));
+    cores_[inst.core].pool.push_back(inst);
+}
+
+bool
+CoProcessor::canEnqueueEmSimd(CoreId c) const
+{
+    return cores_[c].emq.size() < 8;
+}
+
+void
+CoProcessor::enqueueEmSimd(DynInst inst)
+{
+    assert(isEmSimd(inst.op));
+    assert(canEnqueueEmSimd(inst.core));
+    if (inst.op == Opcode::MsrVL)
+        cores_[inst.core].vlReq = VlRequestStatus{};
+    cores_[inst.core].emq.push_back(inst);
+}
+
+VlRequestStatus
+CoProcessor::vlRequestStatus(CoreId c) const
+{
+    return cores_[c].vlReq;
+}
+
+void
+CoProcessor::ackVlRequest(CoreId c)
+{
+    cores_[c].vlReq = VlRequestStatus{};
+}
+
+bool
+CoProcessor::coreDrained(CoreId c) const
+{
+    const CoreState &cs = cores_[c];
+    if (cfg_.policy == SharingPolicy::Temporal)
+        return cs.pool.empty() && cs.rob.empty();
+    return cs.pool.empty() && cs.rob.empty() && cs.lsu.empty();
+}
+
+unsigned
+CoProcessor::allocatedLanes(CoreId c) const
+{
+    if (cfg_.policy == SharingPolicy::Temporal)
+        return cfg_.totalLanes();
+    return rt_.core(c).vl * kLanesPerBu;
+}
+
+DynInst &
+CoProcessor::robEntry(CoreState &cs, SeqNum seq)
+{
+    assert(seq >= cs.robBase);
+    const std::size_t idx = static_cast<std::size_t>(seq - cs.robBase);
+    assert(idx < cs.rob.size());
+    return cs.rob[idx];
+}
+
+Lsu &
+CoProcessor::lsuFor(CoreId c)
+{
+    return cores_[c].lsu;
+}
+
+std::size_t
+CoProcessor::iqLoad(CoreId c) const
+{
+    // Issue queues stay per core even under FTS (each core keeps its
+    // own dispatch window); sharing them starves the faster core
+    // outright instead of merely slowing it.
+    return cores_[c].iq.size();
+}
+
+void
+CoProcessor::tick(Cycle now)
+{
+    std::fill(busy_lanes_.begin(), busy_lanes_.end(), 0u);
+    for (auto &cs : cores_)
+        cs.lsu.tick(now);
+
+    commitStage(now);
+    issueStage(now);
+    renameStage(now);
+    managerStage(now);
+}
+
+void
+CoProcessor::commitStage(Cycle now)
+{
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        CoreState &cs = cores_[c];
+        unsigned width = cfg_.commitWidth;
+        while (width > 0 && !cs.rob.empty()) {
+            DynInst &head = cs.rob.front();
+            if (!head.issued || head.readyCycle > now)
+                break;
+            if (head.prevPhys >= 0)
+                regfile_.free(static_cast<CoreId>(c), head.prevPhys);
+            cs.rob.pop_front();
+            ++cs.robBase;
+            --width;
+        }
+    }
+}
+
+bool
+CoProcessor::tryIssue(CoreId c, SeqNum seq, Cycle now,
+                      unsigned &compute_budget, unsigned &mem_budget)
+{
+    CoreState &cs = cores_[c];
+    DynInst &inst = robEntry(cs, seq);
+    assert(!inst.issued);
+
+    auto operandsReady = [&](const DynInst &di) {
+        for (unsigned i = 0; i < di.nsrc; ++i) {
+            if (di.srcPhys[i] >= 0 &&
+                regfile_.readyAt(di.srcPhys[i]) > now) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    if (inst.isCompute()) {
+        if (compute_budget == 0 || !operandsReady(inst))
+            return false;
+        --compute_budget;
+        inst.issued = true;
+        inst.readyCycle = now + computeLatency(inst.op, cfg_.fpLatency);
+        if (inst.dstPhys >= 0)
+            regfile_.setReadyAt(inst.dstPhys, inst.readyCycle);
+        busy_lanes_[c] += inst.activeLanes;
+        ++cs.computeIssued;
+        if (inst.phaseId >= cs.phaseCompute.size())
+            cs.phaseCompute.resize(inst.phaseId + 1, 0);
+        ++cs.phaseCompute[inst.phaseId];
+        return true;
+    }
+
+    assert(inst.isMem());
+    if (mem_budget == 0)
+        return false;
+    Lsu &lsu = lsuFor(c);
+    const bool strided = inst.stride != 1;
+    // Gathers/scatters crack into address-generation micro-ops and
+    // consume the core's full ld/st issue bandwidth for the cycle.
+    if (strided && mem_budget < cfg_.memIssueWidth)
+        return false;
+    if (inst.isStore()) {
+        if (!lsu.canIssueStore() || !operandsReady(inst))
+            return false;
+        mem_budget -= strided ? cfg_.memIssueWidth : 1;
+        inst.issued = true;
+        inst.readyCycle =
+            strided ? lsu.issueScatter(mem_, inst.addr, inst.elemBytes,
+                                       inst.stride, inst.activeElems,
+                                       now)
+                    : lsu.issueStore(mem_, inst.addr, inst.bytes, now);
+    } else {
+        if (!lsu.canIssueLoad())
+            return false;
+        mem_budget -= strided ? cfg_.memIssueWidth : 1;
+        inst.issued = true;
+        inst.readyCycle =
+            strided ? lsu.issueGather(mem_, inst.addr, inst.elemBytes,
+                                      inst.stride, inst.activeElems,
+                                      now)
+                    : lsu.issueLoad(mem_, inst.addr, inst.bytes, now);
+        if (inst.dstPhys >= 0)
+            regfile_.setReadyAt(inst.dstPhys, inst.readyCycle);
+    }
+    ++cs.memIssued;
+    return true;
+}
+
+void
+CoProcessor::issueStage(Cycle now)
+{
+    if (cfg_.policy == SharingPolicy::Temporal) {
+        // One full-width unit: issue budgets shared by all cores,
+        // arbitrated round-robin for fairness.
+        unsigned compute_budget = cfg_.computeIssueWidth;
+        unsigned mem_budget = cfg_.memIssueWidth;
+        const unsigned n = static_cast<unsigned>(cores_.size());
+        bool progress = true;
+        std::vector<std::size_t> cursor(n, 0);
+        while (progress && (compute_budget > 0 || mem_budget > 0)) {
+            progress = false;
+            for (unsigned i = 0; i < n; ++i) {
+                const CoreId c =
+                    static_cast<CoreId>((rr_start_ + i) % n);
+                CoreState &cs = cores_[c];
+                // Find the next issueable entry for this core.
+                for (std::size_t k = cursor[c]; k < cs.iq.size(); ++k) {
+                    if (tryIssue(c, cs.iq[k], now, compute_budget,
+                                 mem_budget)) {
+                        cs.iq.erase(cs.iq.begin() +
+                                    static_cast<std::ptrdiff_t>(k));
+                        cursor[c] = k;
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+        rr_start_ = (rr_start_ + 1) % n;
+    } else {
+        for (unsigned c = 0; c < cores_.size(); ++c) {
+            CoreState &cs = cores_[c];
+            if (rt_.core(static_cast<CoreId>(c)).vl == 0)
+                continue;
+            unsigned compute_budget = cfg_.computeIssueWidth;
+            unsigned mem_budget = cfg_.memIssueWidth;
+            for (std::size_t k = 0; k < cs.iq.size();) {
+                if (compute_budget == 0 && mem_budget == 0)
+                    break;
+                if (tryIssue(static_cast<CoreId>(c), cs.iq[k], now,
+                             compute_budget, mem_budget)) {
+                    cs.iq.erase(cs.iq.begin() +
+                                static_cast<std::ptrdiff_t>(k));
+                } else {
+                    ++k;
+                }
+            }
+        }
+    }
+}
+
+void
+CoProcessor::renameStage(Cycle now)
+{
+    // Rotate the per-cycle rename order so scarce shared physical
+    // registers (FTS) are allocated fairly across cores.
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        const CoreId c =
+            static_cast<CoreId>((now + i) % cores_.size());
+        CoreState &cs = cores_[c];
+        unsigned width = cfg_.transmitWidth;
+        bool reg_stall = false;
+        bool other_stall = false;
+        while (width > 0 && !cs.pool.empty()) {
+            DynInst &inst = cs.pool.front();
+            if (inst.enqueueCycle + cfg_.retireDelay > now)
+                break;
+            if (cs.rob.size() >= cfg_.robEntries ||
+                iqLoad(c) >= cfg_.issueQueueEntries) {
+                other_stall = true;
+                break;
+            }
+            // Rename sources.
+            for (unsigned i = 0; i < inst.nsrc; ++i)
+                inst.srcPhys[i] =
+                    inst.srcArch[i] >= 0
+                        ? regfile_.mapping(c, inst.srcArch[i])
+                        : -1;
+            // Allocate the destination row.
+            if (inst.dstArch >= 0) {
+                const std::int32_t phys = regfile_.alloc(c);
+                if (phys < 0) {
+                    reg_stall = true;
+                    break;
+                }
+                inst.dstPhys = phys;
+                regfile_.setReadyAt(phys, kCycleNever);
+                inst.prevPhys = regfile_.rename(c, inst.dstArch, phys);
+            }
+            const SeqNum seq = cs.robBase + cs.rob.size();
+            inst.seq = seq;
+            cs.iq.push_back(seq);
+            cs.rob.push_back(inst);
+            cs.pool.pop_front();
+            --width;
+        }
+        if (reg_stall)
+            ++cs.regStallCycles;
+        else if (other_stall)
+            ++cs.otherStallCycles;
+    }
+}
+
+void
+CoProcessor::applyVl(CoreId c, unsigned target)
+{
+    dispatch_cfg_.release(c);
+    regfile_cfg_.release(c);
+    if (target > 0) {
+        const bool ok_d = dispatch_cfg_.assign(c, target);
+        const bool ok_r = regfile_cfg_.assign(c, target);
+        assert(ok_d && ok_r);
+        (void)ok_d;
+        (void)ok_r;
+    }
+    regfile_.resetCore(c);
+    rt_.retarget(c, target);
+    assert(rt_.al() == dispatch_cfg_.countFree());
+    ++vl_switches_;
+}
+
+bool
+CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
+{
+    CoreState &cs = cores_[c];
+    ++em_insts_;
+    switch (inst.op) {
+      case Opcode::MsrOI:
+        rt_.core(c).oi = inst.oi;
+        if (cfg_.policy == SharingPolicy::Elastic)
+            lane_mgr_.notifyPhaseEvent(now);
+        return true;
+
+      case Opcode::MsrVL: {
+        unsigned target;
+        if (inst.vlFromDecision) {
+            const unsigned d = rt_.core(c).decision;
+            target = d > 0 ? d : rt_.core(c).vl;
+        } else {
+            target = inst.imm;
+        }
+
+        if (cfg_.policy == SharingPolicy::Temporal) {
+            // Full-width unit shared in time: <VL> is the machine width.
+            rt_.core(c).vl = cfg_.numExeBUs;
+            rt_.core(c).status = true;
+            cs.vlReq = VlRequestStatus{true, true};
+            return true;
+        }
+
+        if (target == rt_.core(c).vl) {
+            rt_.core(c).status = true;
+            cs.vlReq = VlRequestStatus{true, true};
+            return true;
+        }
+
+        if (cfg_.policy != SharingPolicy::Elastic) {
+            // Private / VLS never change the boot-time partition.
+            rt_.core(c).status = false;
+            cs.vlReq = VlRequestStatus{true, false};
+            return true;
+        }
+
+        if (target > rt_.core(c).vl + rt_.al()) {
+            // Not enough free lanes (Section 4.2.2 condition (1)).
+            rt_.core(c).status = false;
+            cs.vlReq = VlRequestStatus{true, false};
+            return true;
+        }
+
+        if (!coreDrained(c)) {
+            // Wait at the head of the EM-SIMD queue until the SIMD
+            // pipeline of this core is drained (condition (2)).
+            return false;
+        }
+
+        applyVl(c, target);
+        cs.vlReq = VlRequestStatus{true, true};
+        OCCAMY_LOG(now, "Coproc", "core%u vl -> %u (al=%u)", c, target,
+                   rt_.al());
+        return true;
+      }
+
+      case Opcode::MrsVL:
+      case Opcode::MrsStatus:
+      case Opcode::MrsDecision:
+      case Opcode::MrsAL:
+        // Reads complete immediately; the front-end already consumed the
+        // architectural value (speculative transmission, Section 4.1.1).
+        return true;
+
+      default:
+        assert(false && "non-EM-SIMD instruction in EM-SIMD queue");
+        return true;
+    }
+}
+
+void
+CoProcessor::managerStage(Cycle now)
+{
+    // Publish a due lane-partition plan into <decision> (Section 5).
+    if (cfg_.policy == SharingPolicy::Elastic && lane_mgr_.planDue(now)) {
+        const auto plan = lane_mgr_.makePlan(rt_.allOIs());
+        for (unsigned c = 0; c < cores_.size(); ++c)
+            rt_.core(static_cast<CoreId>(c)).decision = plan[c];
+        ++plans_published_;
+        OCCAMY_LOG(now, "LaneMgr", "plan: c0=%u c1=%u", plan[0],
+                   plan.size() > 1 ? plan[1] : 0);
+    }
+
+    // The EM-SIMD data path decodes 2 instructions per cycle (Fig. 5),
+    // in order per core.
+    unsigned budget = 2;
+    const unsigned n = static_cast<unsigned>(cores_.size());
+    for (unsigned i = 0; i < n && budget > 0; ++i) {
+        const CoreId c = static_cast<CoreId>((now + i) % n);
+        CoreState &cs = cores_[c];
+        while (budget > 0 && !cs.emq.empty()) {
+            if (!execEmSimd(c, cs.emq.front(), now))
+                break;      // Head is waiting (e.g. for drain).
+            cs.emq.pop_front();
+            --budget;
+        }
+    }
+}
+
+std::uint64_t
+CoProcessor::computeIssued(CoreId c) const
+{
+    return cores_[c].computeIssued;
+}
+
+std::uint64_t
+CoProcessor::memIssued(CoreId c) const
+{
+    return cores_[c].memIssued;
+}
+
+std::uint64_t
+CoProcessor::computeIssuedInPhase(CoreId c, unsigned phase) const
+{
+    const auto &v = cores_[c].phaseCompute;
+    return phase < v.size() ? v[phase] : 0;
+}
+
+std::uint64_t
+CoProcessor::renameRegStallCycles(CoreId c) const
+{
+    return cores_[c].regStallCycles;
+}
+
+std::uint64_t
+CoProcessor::renameOtherStallCycles(CoreId c) const
+{
+    return cores_[c].otherStallCycles;
+}
+
+void
+CoProcessor::regStats(stats::Group &group) const
+{
+    group.addCounter("vl_switches", &vl_switches_,
+                     "successful vector-length reconfigurations");
+    group.addCounter("em_insts", &em_insts_,
+                     "EM-SIMD instructions executed");
+    group.addCounter("plans_published", &plans_published_,
+                     "lane-partition plans published");
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        const std::string p = "core" + std::to_string(c) + ".";
+        group.addFormula(p + "compute_issued",
+                         [this, c] {
+                             return static_cast<double>(
+                                 cores_[c].computeIssued);
+                         },
+                         "SIMD compute instructions issued");
+        group.addFormula(p + "mem_issued",
+                         [this, c] {
+                             return static_cast<double>(
+                                 cores_[c].memIssued);
+                         },
+                         "SIMD ld/st instructions issued");
+        group.addFormula(p + "rename_reg_stall_cycles",
+                         [this, c] {
+                             return static_cast<double>(
+                                 cores_[c].regStallCycles);
+                         },
+                         "cycles renaming blocked on free registers");
+    }
+}
+
+} // namespace occamy

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The Occamy SIMD co-processor micro-architecture (Section 4, Fig. 5).
+ *
+ * One CoProcessor instance serves all scalar cores. Per cycle, in
+ * back-to-front stage order: commit (per-core ROBs), issue (compute to
+ * the owned ExeBUs, ld/st to the LSUs), rename (instruction pool ->
+ * IQ/ROB, allocating physical rows), and the Manager's EM-SIMD data
+ * path (ResourceTbl updates, LaneMgr plans, vector-length
+ * reconfiguration with pipeline-drain semantics, Section 4.2.2).
+ *
+ * The four sharing policies map onto the same structures:
+ *  - Private: ExeBUs/RegBlks statically owned, per-core issue budgets;
+ *  - FTS: no ownership, full-width execution, *shared* issue budgets
+ *    and one shared full-width physical register pool;
+ *  - VLS: static ownership from a boot-time plan;
+ *  - Elastic (Occamy): ownership retargeted at run time by EM-SIMD
+ *    instructions under LaneMgr guidance.
+ */
+
+#ifndef OCCAMY_COPROC_COPROC_HH
+#define OCCAMY_COPROC_COPROC_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "coproc/dyninst.hh"
+#include "coproc/lsu.hh"
+#include "coproc/regfile.hh"
+#include "coproc/tables.hh"
+#include "lanemgr/lanemgr.hh"
+#include "mem/memsystem.hh"
+
+namespace occamy
+{
+
+/** Result of a front-end poll on an outstanding <VL> write. */
+struct VlRequestStatus
+{
+    bool resolved = false;
+    bool ok = false;
+};
+
+/** The shared SIMD co-processor. */
+class CoProcessor
+{
+  public:
+    CoProcessor(const MachineConfig &cfg, MemSystem &mem);
+
+    // --- Front-end interface (scalar cores push work in). ---
+
+    /** @return true if core @p c's instruction pool has space. */
+    bool canEnqueue(CoreId c) const;
+
+    /** Enqueue a retired SVE instruction into the instruction pool. */
+    void enqueue(DynInst inst);
+
+    /** @return true if the EM-SIMD queue of core @p c has space. */
+    bool canEnqueueEmSimd(CoreId c) const;
+
+    /** Enqueue an EM-SIMD instruction (separate in-order data path). */
+    void enqueueEmSimd(DynInst inst);
+
+    /** Poll / acknowledge the outcome of an outstanding <VL> write. */
+    VlRequestStatus vlRequestStatus(CoreId c) const;
+    void ackVlRequest(CoreId c);
+
+    // --- Architectural state visible to software (MRS reads). ---
+    unsigned currentVl(CoreId c) const { return rt_.core(c).vl; }
+    unsigned decision(CoreId c) const { return rt_.core(c).decision; }
+    unsigned freeBus() const { return rt_.al(); }
+    const ResourceTable &resourceTable() const { return rt_; }
+
+    /** @return true when core @p c has nothing in flight (drained). */
+    bool coreDrained(CoreId c) const;
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    // --- Metrics. ---
+
+    /** Lanes of core @p c that executed compute µops this cycle. */
+    unsigned busyLanes(CoreId c) const { return busy_lanes_.at(c); }
+
+    /** Lanes currently allocated to core @p c. */
+    unsigned allocatedLanes(CoreId c) const;
+
+    std::uint64_t computeIssued(CoreId c) const;
+    std::uint64_t memIssued(CoreId c) const;
+    std::uint64_t computeIssuedInPhase(CoreId c, unsigned phase) const;
+    std::uint64_t renameRegStallCycles(CoreId c) const;
+    std::uint64_t renameOtherStallCycles(CoreId c) const;
+    std::uint64_t vlSwitches() const { return vl_switches_.value(); }
+    std::uint64_t plansMade() const { return lane_mgr_.plansMade(); }
+
+    void regStats(stats::Group &group) const;
+
+    const MachineConfig &config() const { return cfg_; }
+
+  private:
+    struct CoreState
+    {
+        explicit CoreState(const MachineConfig &cfg) : lsu(cfg) {}
+
+        std::deque<DynInst> pool;       ///< Instruction pool (FIFO).
+        std::deque<DynInst> rob;        ///< Renamed, program order.
+        SeqNum robBase = 0;             ///< seq of rob.front().
+        std::vector<SeqNum> iq;         ///< Awaiting issue.
+        Lsu lsu;
+        std::deque<DynInst> emq;        ///< EM-SIMD in-order queue.
+
+        VlRequestStatus vlReq;
+
+        std::uint64_t computeIssued = 0;
+        std::uint64_t memIssued = 0;
+        std::vector<std::uint64_t> phaseCompute;  ///< By phaseId.
+        std::uint64_t regStallCycles = 0;
+        std::uint64_t otherStallCycles = 0;
+    };
+
+    DynInst &robEntry(CoreState &cs, SeqNum seq);
+
+    /** The LSU serving core @p c (one shared LSU under FTS). */
+    Lsu &lsuFor(CoreId c);
+
+    /** IQ occupancy relevant to core @p c (machine-wide under FTS). */
+    std::size_t iqLoad(CoreId c) const;
+
+    void commitStage(Cycle now);
+    void issueStage(Cycle now);
+    void renameStage(Cycle now);
+    void managerStage(Cycle now);
+
+    /** Try to issue ROB entry @p seq of core @p c. @return true if it
+     *  left the IQ this cycle. */
+    bool tryIssue(CoreId c, SeqNum seq, Cycle now, unsigned &compute_budget,
+                  unsigned &mem_budget);
+
+    /** Execute the head EM-SIMD instruction of core @p c.
+     *  @return true if it retired (pop it). */
+    bool execEmSimd(CoreId c, const DynInst &inst, Cycle now);
+
+    /** Apply a successful vector-length retarget for core @p c. */
+    void applyVl(CoreId c, unsigned target);
+
+    MachineConfig cfg_;
+    MemSystem &mem_;
+
+    ResourceTable rt_;
+    ConfigTable dispatch_cfg_;      ///< ExeBU ownership.
+    ConfigTable regfile_cfg_;       ///< RegBlk ownership.
+    RegFileModel regfile_;
+    LaneMgr lane_mgr_;
+
+    std::vector<CoreState> cores_;
+    std::vector<unsigned> busy_lanes_;  ///< Per core, this cycle.
+    unsigned rr_start_ = 0;             ///< FTS round-robin pointer.
+
+    stats::Counter vl_switches_;
+    stats::Counter em_insts_;
+    stats::Counter plans_published_;
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_COPROC_COPROC_HH

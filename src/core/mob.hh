@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Memory Ordering Buffer (Section 4.1.2).
+ *
+ * Tracks memory regions with at least one incomplete SVE ld/st, so the
+ * scalar core can delay a younger scalar access that overlaps an older
+ * vector access (and vice versa), implementing the <Scalar, SVE> /
+ * <SVE, Scalar> ordering rows of Table 2.
+ */
+
+#ifndef OCCAMY_CORE_MOB_HH
+#define OCCAMY_CORE_MOB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace occamy
+{
+
+/** Memory Ordering Buffer: outstanding-region tracking. */
+class Mob
+{
+  public:
+    explicit Mob(unsigned entries = 32) : capacity_(entries) {}
+
+    /**
+     * Record an in-flight vector memory access.
+     * @return false if the MOB is full (the producer must stall).
+     */
+    bool
+    insert(Addr addr, unsigned bytes, bool is_store, Cycle completes_at)
+    {
+        if (entries_.size() >= capacity_)
+            return false;
+        entries_.push_back(Entry{addr, bytes, is_store, completes_at});
+        return true;
+    }
+
+    /** Deallocate entries whose accesses have completed. */
+    void
+    retire(Cycle now)
+    {
+        std::erase_if(entries_, [now](const Entry &e) {
+            return e.completesAt <= now;
+        });
+    }
+
+    /**
+     * Would a younger access of [addr, addr+bytes) conflict with any
+     * outstanding entry? Loads only conflict with stores; stores
+     * conflict with everything (conservative).
+     */
+    bool
+    conflicts(Addr addr, unsigned bytes, bool is_store) const
+    {
+        const Addr lo = addr;
+        const Addr hi = addr + bytes;
+        for (const Entry &e : entries_) {
+            if (!is_store && !e.isStore)
+                continue;
+            const Addr elo = e.addr;
+            const Addr ehi = e.addr + e.bytes;
+            if (lo < ehi && elo < hi)
+                return true;
+        }
+        return false;
+    }
+
+    /** Earliest cycle all currently conflicting entries complete. */
+    Cycle
+    readyCycle(Addr addr, unsigned bytes, bool is_store) const
+    {
+        Cycle ready = 0;
+        const Addr lo = addr;
+        const Addr hi = addr + bytes;
+        for (const Entry &e : entries_) {
+            if (!is_store && !e.isStore)
+                continue;
+            if (lo < e.addr + e.bytes && e.addr < hi)
+                ready = std::max(ready, e.completesAt);
+        }
+        return ready;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    unsigned capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        unsigned bytes;
+        bool isStore;
+        Cycle completesAt;
+    };
+
+    unsigned capacity_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_CORE_MOB_HH

@@ -1,0 +1,89 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+namespace occamy
+{
+
+std::string
+Inst::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? " " : ", ");
+        first = false;
+    };
+    if (dst >= 0) {
+        sep();
+        os << (isSve(op) ? "z" : "x") << dst;
+    }
+    for (unsigned i = 0; i < nsrc; ++i) {
+        sep();
+        os << "z" << src[i];
+    }
+    if (op == Opcode::VLoad || op == Opcode::VStore) {
+        sep();
+        os << "[arr" << arrayId;
+        if (elemOffset)
+            os << (elemOffset > 0 ? "+" : "") << elemOffset;
+        if (stride != 1)
+            os << ", stride " << stride;
+        os << "]";
+    }
+    if (op == Opcode::MsrVL) {
+        sep();
+        if (vlFromDecision)
+            os << "<decision>";
+        else
+            os << "#" << imm;   // #0 releases all lanes (phase exit).
+    }
+    if (op == Opcode::MsrOI) {
+        sep();
+        os << "(" << oi.issue << "," << oi.mem << ")";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+void
+dumpSection(std::ostringstream &os, const char *label,
+            const std::vector<Inst> &insts)
+{
+    if (insts.empty())
+        return;
+    os << "  ." << label << ":\n";
+    for (const auto &inst : insts)
+        os << "    " << inst.toString() << "\n";
+}
+
+} // namespace
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    os << "program " << name << ":\n";
+    for (const auto &arr : arrays)
+        os << "  array " << arr.name << "[" << arr.elems << "] x"
+           << static_cast<int>(arr.elemBytes) << "B\n";
+    for (const auto &loop : loops) {
+        os << " phase " << loop.phase.name
+           << " (oi_issue=" << loop.phase.oi.issue
+           << ", oi_mem=" << loop.phase.oi.mem
+           << ", trip=" << loop.phase.tripElems << "):\n";
+        dumpSection(os, "prologue", loop.prologue);
+        dumpSection(os, "monitor", loop.monitor);
+        dumpSection(os, "reconfig", loop.reconfig);
+        dumpSection(os, "reinit", loop.reinit);
+        dumpSection(os, "body", loop.body);
+        dumpSection(os, "scalar_body", loop.scalarBody);
+        dumpSection(os, "epilogue", loop.epilogue);
+    }
+    return os.str();
+}
+
+} // namespace occamy

@@ -1,0 +1,42 @@
+#include "isa/opcode.hh"
+
+namespace occamy
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::SNop: return "nop";
+      case Opcode::SAlu: return "alu";
+      case Opcode::SBranch: return "b";
+      case Opcode::SLoad: return "ldr";
+      case Opcode::SStore: return "str";
+      case Opcode::VFAdd: return "fadd";
+      case Opcode::VFSub: return "fsub";
+      case Opcode::VFMul: return "fmul";
+      case Opcode::VFDiv: return "fdiv";
+      case Opcode::VFMla: return "fmla";
+      case Opcode::VFNeg: return "fneg";
+      case Opcode::VFSqrt: return "fsqrt";
+      case Opcode::VFAbs: return "fabs";
+      case Opcode::VFMax: return "fmax";
+      case Opcode::VFMin: return "fmin";
+      case Opcode::VCmp: return "fcmp";
+      case Opcode::VSel: return "sel";
+      case Opcode::VDup: return "dup";
+      case Opcode::VRedAdd: return "faddv";
+      case Opcode::VWhilelt: return "whilelt";
+      case Opcode::VLoad: return "ld1w";
+      case Opcode::VStore: return "st1w";
+      case Opcode::MsrOI: return "msr_oi";
+      case Opcode::MsrVL: return "msr_vl";
+      case Opcode::MrsVL: return "mrs_vl";
+      case Opcode::MrsStatus: return "mrs_status";
+      case Opcode::MrsDecision: return "mrs_decision";
+      case Opcode::MrsAL: return "mrs_al";
+    }
+    return "?";
+}
+
+} // namespace occamy

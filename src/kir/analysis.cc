@@ -1,0 +1,201 @@
+#include "kir/analysis.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace occamy::kir
+{
+
+namespace
+{
+
+/**
+ * Structural CSE walker: assigns each structurally distinct node one
+ * canonical key so repeated subexpressions (e.g. (v[i]+v_1[i]) used by
+ * both Ufx and Ufe in Fig. 2a) count as a single SIMD instruction.
+ */
+class Canonicalizer
+{
+  public:
+    /** @return canonical key of @p e, visiting children first. */
+    std::string
+    key(const ExprP &e)
+    {
+        auto it = memo_.find(e.get());
+        if (it != memo_.end())
+            return it->second;
+
+        std::ostringstream os;
+        switch (e->kind) {
+          case Expr::Kind::Load:
+            os << "L" << e->array << "@" << e->offset << "s"
+               << e->stride;
+            loads_.emplace(std::tuple<int, std::int32_t, std::int32_t>(
+                e->array, e->offset, e->stride));
+            break;
+          case Expr::Kind::Const:
+            os << "C" << e->value;
+            consts_.insert(e->value);
+            break;
+          case Expr::Kind::Op: {
+            os << "O" << static_cast<int>(e->op);
+            os << "(" << key(e->a);
+            if (e->b)
+                os << "," << key(e->b);
+            if (e->c)
+                os << "," << key(e->c);
+            os << ")";
+            break;
+          }
+        }
+        std::string k = os.str();
+        if (e->kind == Expr::Kind::Op)
+            ops_.insert(k);
+        memo_.emplace(e.get(), k);
+        return k;
+    }
+
+    const std::set<std::tuple<int, std::int32_t, std::int32_t>> &
+    loads() const
+    {
+        return loads_;
+    }
+    const std::set<std::string> &ops() const { return ops_; }
+    const std::set<double> &consts() const { return consts_; }
+
+  private:
+    std::map<const Expr *, std::string> memo_;
+    std::set<std::tuple<int, std::int32_t, std::int32_t>> loads_;
+    std::set<std::string> ops_;
+    std::set<double> consts_;
+};
+
+} // namespace
+
+LoopSummary
+analyze(const Loop &loop)
+{
+    LoopSummary s;
+    Canonicalizer canon;
+
+    for (const auto &st : loop.stores)
+        canon.key(st.value);
+    if (loop.reduction) {
+        canon.key(loop.reduction);
+        s.hasReduction = true;
+        // The in-loop accumulate (fmla/fadd into the running vector
+        // accumulator) is one extra compute instruction per iteration.
+    }
+
+    // Unique stores per iteration.
+    std::set<std::pair<int, std::int32_t>> store_sites;
+    for (const auto &st : loop.stores)
+        store_sites.emplace(st.array, st.offset);
+    // Note: stride does not change Eq. 5's per-iteration instruction
+    // and byte counts; the cache model charges the real line traffic.
+
+    s.computeInsts = static_cast<unsigned>(canon.ops().size()) +
+                     (s.hasReduction ? 1 : 0);
+    s.invariants = static_cast<unsigned>(canon.consts().size());
+
+    // Memory instructions and Eq. 5 denominators.
+    double access_bytes = 0.0;
+    unsigned mem_insts = 0;
+
+    // Per array, the set of distinct offsets it is accessed at.
+    std::map<int, std::set<std::int32_t>> read_offsets;
+    for (const auto &[array, offset, stride] : canon.loads()) {
+        (void)stride;
+        ++mem_insts;
+        access_bytes += loop.arrays[array].elemBytes;
+        read_offsets[array].insert(offset);
+    }
+    std::map<int, std::set<std::int32_t>> write_offsets;
+    for (const auto &[array, offset] : store_sites) {
+        ++mem_insts;
+        access_bytes += loop.arrays[array].elemBytes;
+        write_offsets[array].insert(offset);
+    }
+
+    // Footprint with sliding-window reuse: per array, offsets that lie
+    // within a small window of each other re-touch the same stream, so
+    // each cluster of nearby offsets contributes one new element per
+    // iteration (e.g. dz[k-1] and dz[k] cost one element, not two).
+    auto cluster_count = [](const std::set<std::int32_t> &offs) {
+        unsigned clusters = 0;
+        std::int32_t prev = 0;
+        bool first = true;
+        for (std::int32_t o : offs) {
+            if (first || o - prev > 8)
+                ++clusters;
+            prev = o;
+            first = false;
+        }
+        return clusters;
+    };
+
+    double footprint = 0.0;
+    std::set<int> touched;
+    for (const auto &[array, offs] : read_offsets) {
+        footprint += cluster_count(offs) * loop.arrays[array].elemBytes;
+        touched.insert(array);
+    }
+    for (const auto &[array, offs] : write_offsets) {
+        // A store to an array already covered by a read cluster (e.g.
+        // in-place update a[i] = f(a[i])) adds no new footprint.
+        if (touched.count(array))
+            continue;
+        footprint += cluster_count(offs) * loop.arrays[array].elemBytes;
+        touched.insert(array);
+    }
+
+    s.memInsts = mem_insts;
+    s.accessBytes = access_bytes;
+    s.footprintBytes = footprint;
+    s.totalBytes = footprint * static_cast<double>(loop.trip);
+    return s;
+}
+
+MemLevel
+classifyMemLevel(const Loop &loop, std::uint64_t vec_cache_bytes,
+                 std::uint64_t l2_bytes)
+{
+    // Streaming arrays are traversed in a single cold pass: every line
+    // is a compulsory miss, so a streaming-dominated loop is DRAM-bound
+    // regardless of array size. Wrapped arrays form a resident working
+    // set classified against the cache capacities.
+    std::uint64_t resident = 0;
+    std::uint64_t streamed = 0;
+    for (const auto &arr : loop.arrays) {
+        const std::uint64_t bytes = arr.elems * arr.elemBytes;
+        if (arr.streaming)
+            streamed += bytes;
+        else
+            resident += bytes;
+    }
+
+    if (streamed > resident)
+        return MemLevel::Dram;
+    if (resident * 4 <= vec_cache_bytes * 3)      // <= 75% of VecCache
+        return MemLevel::VecCache;
+    if (resident * 4 <= l2_bytes * 3)             // <= 75% of L2
+        return MemLevel::L2;
+    return MemLevel::Dram;
+}
+
+PhaseOI
+phaseOI(const Loop &loop, std::uint64_t vec_cache_bytes,
+        std::uint64_t l2_bytes)
+{
+    const LoopSummary s = analyze(loop);
+    PhaseOI oi;
+    oi.issue = s.oiIssue();
+    oi.mem = s.oiMem();
+    oi.level = classifyMemLevel(loop, vec_cache_bytes, l2_bytes);
+    return oi;
+}
+
+} // namespace occamy::kir

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Phase-behaviour analysis (Section 6.3): computes the per-iteration
+ * instruction mix, the Eq. 5 operational-intensity pair
+ * (<OI>.issue, <OI>.mem), the reuse-aware memory footprint, and the
+ * memory-hierarchy level whose bandwidth ceiling applies.
+ */
+
+#ifndef OCCAMY_KIR_ANALYSIS_HH
+#define OCCAMY_KIR_ANALYSIS_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+#include "kir/kir.hh"
+
+namespace occamy::kir
+{
+
+/** Static summary of one loop, the basis of <OI> and vectorization. */
+struct LoopSummary
+{
+    /** SIMD compute instructions per iteration (after CSE; loop-invariant
+     *  constants are hoisted and excluded). */
+    unsigned computeInsts = 0;
+
+    /** SIMD memory instructions per iteration (unique loads + stores). */
+    unsigned memInsts = 0;
+
+    /** Sum over memory instructions of their element size in bytes
+     *  (Eq. 5 issue-side denominator). */
+    double accessBytes = 0.0;
+
+    /** Unique bytes consumed per iteration with sliding-window reuse
+     *  considered (Eq. 5 memory-side denominator, "fp"). */
+    double footprintBytes = 0.0;
+
+    /** Loop-invariant constants needing broadcast (VDup) at entry and
+     *  after every vector-length change. */
+    unsigned invariants = 0;
+
+    /** Total bytes the loop touches across its whole trip. */
+    double totalBytes = 0.0;
+
+    /** True if the loop carries a reduction. */
+    bool hasReduction = false;
+
+    /** Eq. 5 intensities. */
+    double oiIssue() const
+    {
+        return accessBytes > 0 ? computeInsts / accessBytes : 0.0;
+    }
+    double oiMem() const
+    {
+        return footprintBytes > 0 ? computeInsts / footprintBytes : 0.0;
+    }
+};
+
+/** Compute the static summary of @p loop. */
+LoopSummary analyze(const Loop &loop);
+
+/**
+ * Classify which bandwidth ceiling applies to @p loop (Section 5.1's
+ * "chosen level in the memory hierarchy"): the innermost cache whose
+ * capacity covers the loop's resident working set.
+ *
+ * @param vec_cache_bytes VecCache capacity.
+ * @param l2_bytes Unified L2 capacity.
+ */
+MemLevel classifyMemLevel(const Loop &loop, std::uint64_t vec_cache_bytes,
+                          std::uint64_t l2_bytes);
+
+/** Build the PhaseOI the compiler writes into <OI> for @p loop. */
+PhaseOI phaseOI(const Loop &loop, std::uint64_t vec_cache_bytes,
+                std::uint64_t l2_bytes);
+
+} // namespace occamy::kir
+
+#endif // OCCAMY_KIR_ANALYSIS_HH

@@ -1,0 +1,92 @@
+#include "kir/kir.hh"
+
+#include <cassert>
+
+namespace occamy::kir
+{
+
+namespace
+{
+
+ExprP
+makeOp(ArithOp op, ExprP a, ExprP b = nullptr, ExprP c = nullptr)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Op;
+    e->op = op;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    e->c = std::move(c);
+    return e;
+}
+
+} // namespace
+
+ExprP
+load(int array, std::int32_t offset)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Load;
+    e->array = array;
+    e->offset = offset;
+    return e;
+}
+
+ExprP
+loadStrided(int array, std::int32_t stride, std::int32_t offset)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Load;
+    e->array = array;
+    e->offset = offset;
+    e->stride = stride;
+    return e;
+}
+
+ExprP
+cst(double v)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::Const;
+    e->value = v;
+    return e;
+}
+
+ExprP add(ExprP a, ExprP b) { return makeOp(ArithOp::Add, a, b); }
+ExprP sub(ExprP a, ExprP b) { return makeOp(ArithOp::Sub, a, b); }
+ExprP mul(ExprP a, ExprP b) { return makeOp(ArithOp::Mul, a, b); }
+ExprP div(ExprP a, ExprP b) { return makeOp(ArithOp::Div, a, b); }
+ExprP vmin(ExprP a, ExprP b) { return makeOp(ArithOp::Min, a, b); }
+ExprP vmax(ExprP a, ExprP b) { return makeOp(ArithOp::Max, a, b); }
+ExprP neg(ExprP a) { return makeOp(ArithOp::Neg, a); }
+ExprP sqrt(ExprP a) { return makeOp(ArithOp::Sqrt, a); }
+ExprP abs(ExprP a) { return makeOp(ArithOp::Abs, a); }
+ExprP fma(ExprP a, ExprP b, ExprP c) { return makeOp(ArithOp::Fma, a, b, c); }
+ExprP op(ArithOp o, ExprP a, ExprP b, ExprP c) { return makeOp(o, a, b, c); }
+
+int
+Loop::addArray(std::string name, std::uint64_t elems, bool streaming,
+               std::uint8_t elem_bytes)
+{
+    arrays.push_back(ArrayDecl{std::move(name), elems, elem_bytes,
+                               streaming});
+    return static_cast<int>(arrays.size()) - 1;
+}
+
+void
+Loop::store(int array, ExprP value, std::int32_t offset)
+{
+    assert(array >= 0 && array < static_cast<int>(arrays.size()));
+    stores.push_back(Stmt{array, offset, 1, std::move(value)});
+}
+
+void
+Loop::storeStrided(int array, std::int32_t stride, ExprP value,
+                   std::int32_t offset)
+{
+    assert(array >= 0 && array < static_cast<int>(arrays.size()));
+    assert(stride >= 1);
+    stores.push_back(Stmt{array, offset, stride, std::move(value)});
+}
+
+} // namespace occamy::kir

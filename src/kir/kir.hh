@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Kernel IR: the small affine-loop language the Occamy compiler consumes.
+ *
+ * A kir::Loop describes one innermost loop over unit-stride arrays:
+ * a set of array declarations, a list of stores whose right-hand sides
+ * are expression DAGs over array loads and constants, and optionally a
+ * scalar reduction. This is exactly the shape of the SPECCPU2017 /
+ * OpenCV loops used in the paper (Fig. 2a, Table 3).
+ */
+
+#ifndef OCCAMY_KIR_KIR_HH
+#define OCCAMY_KIR_KIR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace occamy::kir
+{
+
+/** Arithmetic operators available in kernel expressions. */
+enum class ArithOp : std::uint8_t
+{
+    Add, Sub, Mul, Div, Min, Max,   // binary
+    Neg, Sqrt, Abs,                 // unary
+    Fma,                            // ternary a*b + c
+};
+
+/** @return number of operands an ArithOp takes. */
+constexpr unsigned
+arity(ArithOp op)
+{
+    switch (op) {
+      case ArithOp::Neg:
+      case ArithOp::Sqrt:
+      case ArithOp::Abs:
+        return 1;
+      case ArithOp::Fma:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+struct Expr;
+/** Shared immutable expression node (DAG-friendly). */
+using ExprP = std::shared_ptr<const Expr>;
+
+/** One expression node: an array load, a constant, or an operation. */
+struct Expr
+{
+    enum class Kind : std::uint8_t { Load, Const, Op } kind;
+
+    // Kind::Load
+    int array = -1;                 ///< Index into Loop::arrays.
+    std::int32_t offset = 0;        ///< Element offset vs induction var.
+    std::int32_t stride = 1;        ///< Element stride (>1 = gather).
+
+    // Kind::Const
+    double value = 0.0;
+
+    // Kind::Op
+    ArithOp op = ArithOp::Add;
+    ExprP a, b, c;
+};
+
+/** Build a load of arrays[array][i + offset]. */
+ExprP load(int array, std::int32_t offset = 0);
+/** Build a strided (gather) load of arrays[array][i*stride + offset]. */
+ExprP loadStrided(int array, std::int32_t stride,
+                  std::int32_t offset = 0);
+/** Build a loop-invariant floating-point constant. */
+ExprP cst(double v);
+ExprP add(ExprP a, ExprP b);
+ExprP sub(ExprP a, ExprP b);
+ExprP mul(ExprP a, ExprP b);
+ExprP div(ExprP a, ExprP b);
+ExprP vmin(ExprP a, ExprP b);
+ExprP vmax(ExprP a, ExprP b);
+ExprP neg(ExprP a);
+ExprP sqrt(ExprP a);
+ExprP abs(ExprP a);
+/** a * b + c. */
+ExprP fma(ExprP a, ExprP b, ExprP c);
+/** Build an operation node directly from an ArithOp tag. */
+ExprP op(ArithOp o, ExprP a, ExprP b = nullptr, ExprP c = nullptr);
+
+/** Array declaration local to one loop. */
+struct ArrayDecl
+{
+    std::string name;
+    std::uint64_t elems = 0;        ///< Logical length in elements.
+    std::uint8_t elemBytes = 4;     ///< 4 = f32, the paper's lane width.
+    /**
+     * True if the loop streams through the array once (index == i);
+     * false means accesses wrap modulo `elems`, keeping the working set
+     * cache-resident regardless of trip count (used by compute kernels).
+     */
+    bool streaming = true;
+};
+
+/** One store: arrays[array][i*stride + offset] = value. */
+struct Stmt
+{
+    int array = -1;
+    std::int32_t offset = 0;
+    std::int32_t stride = 1;        ///< Element stride (>1 = scatter).
+    ExprP value;
+};
+
+/** An innermost loop: the compiler's unit of vectorization (== phase). */
+struct Loop
+{
+    std::string name;
+    std::vector<ArrayDecl> arrays;
+    std::vector<Stmt> stores;
+
+    /** Optional reduction: acc += reduction(i) each iteration. */
+    ExprP reduction;
+
+    /** Scalar trip count. */
+    std::uint64_t trip = 0;
+
+    /** Declare an array, returning its index for load()/Stmt::array. */
+    int addArray(std::string name, std::uint64_t elems,
+                 bool streaming = true, std::uint8_t elem_bytes = 4);
+
+    /** Append a store arrays[array][i+offset] = value. */
+    void store(int array, ExprP value, std::int32_t offset = 0);
+
+    /** Append a scatter store arrays[array][i*stride+offset] = value. */
+    void storeStrided(int array, std::int32_t stride, ExprP value,
+                      std::int32_t offset = 0);
+};
+
+} // namespace occamy::kir
+
+#endif // OCCAMY_KIR_KIR_HH

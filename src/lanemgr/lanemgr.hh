@@ -1,0 +1,80 @@
+/**
+ * @file
+ * LaneMgr: the hardware lane-partitioning manager (Section 5).
+ *
+ * LaneMgr monitors MSR writes to <OI> (phase-changing points). On each
+ * such event it gathers the co-running workloads' phase behaviours and,
+ * after a fixed re-planning latency, publishes a new lane-partition plan
+ * into the per-core <decision> registers of the resource table.
+ */
+
+#ifndef OCCAMY_LANEMGR_LANEMGR_HH
+#define OCCAMY_LANEMGR_LANEMGR_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "lanemgr/partitioner.hh"
+#include "lanemgr/roofline.hh"
+
+namespace occamy
+{
+
+/** The hardware lane manager embedded in the co-processor's Manager. */
+class LaneMgr
+{
+  public:
+    /**
+     * @param params Roofline ceilings of this machine.
+     * @param total_bus ExeBUs available for partitioning.
+     * @param latency Cycles from phase event to plan publication.
+     */
+    LaneMgr(const RooflineParams &params, unsigned total_bus,
+            unsigned latency)
+        : params_(params), total_bus_(total_bus), latency_(latency)
+    {
+    }
+
+    /**
+     * A phase-changing point was observed (some core wrote <OI>).
+     * Schedules a re-plan completing at now + latency.
+     */
+    void notifyPhaseEvent(Cycle now) { plan_ready_at_ = now + latency_; }
+
+    /** @return true if a scheduled re-plan completes at/before @p now. */
+    bool planDue(Cycle now) const
+    {
+        return plan_ready_at_ != kCycleNever && now >= plan_ready_at_;
+    }
+
+    /**
+     * Produce the plan for the current <OI> values.
+     *
+     * @param ois Per-core operational intensities from the resource
+     *        table (inactive phases have OI == 0).
+     * @return ExeBUs per core.
+     */
+    std::vector<unsigned>
+    makePlan(const std::vector<PhaseOI> &ois)
+    {
+        plan_ready_at_ = kCycleNever;
+        ++plans_made_;
+        return greedyPartition(params_, ois, total_bus_);
+    }
+
+    std::uint64_t plansMade() const { return plans_made_.value(); }
+    const RooflineParams &params() const { return params_; }
+    unsigned totalBus() const { return total_bus_; }
+
+  private:
+    RooflineParams params_;
+    unsigned total_bus_;
+    unsigned latency_;
+    Cycle plan_ready_at_ = kCycleNever;
+    stats::Counter plans_made_;
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_LANEMGR_LANEMGR_HH

@@ -1,0 +1,84 @@
+#include "lanemgr/partitioner.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace occamy
+{
+
+std::vector<unsigned>
+greedyPartition(const RooflineParams &p, const std::vector<PhaseOI> &ois,
+                unsigned total_bus)
+{
+    const std::size_t m = ois.size();
+    std::vector<unsigned> vl(m, 0);
+
+    // Step 1: one ExeBU to every workload currently executing a phase.
+    unsigned used = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        if (ois[i].active() && used < total_bus) {
+            vl[i] = 1;
+            ++used;
+        }
+    }
+
+    // Step 2: per iteration, sort by net performance gain (Eq. 3) and
+    // give one ExeBU to each workload with a positive gain, in order.
+    while (used < total_bus) {
+        std::vector<std::size_t> order;
+        for (std::size_t i = 0; i < m; ++i)
+            if (vl[i] > 0)
+                order.push_back(i);
+
+        auto gain = [&](std::size_t i) {
+            return attainable(p, ois[i], vl[i] + 1) -
+                   attainable(p, ois[i], vl[i]);
+        };
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return gain(a) > gain(b);
+                         });
+
+        bool assigned = false;
+        for (std::size_t i : order) {
+            if (used >= total_bus)
+                break;
+            if (gain(i) > 1e-9) {
+                ++vl[i];
+                ++used;
+                assigned = true;
+            }
+        }
+        // Step 3: stop when no workload can gain any further.
+        if (!assigned)
+            break;
+    }
+    return vl;
+}
+
+std::vector<unsigned>
+staticPartition(const RooflineParams &p,
+                const std::vector<std::vector<PhaseOI>> &phase_ois,
+                unsigned total_bus)
+{
+    // Represent each workload by its most lane-demanding phase: a static
+    // split is fixed for the whole run, so it must satisfy the phase
+    // with the largest roofline knee.
+    std::vector<PhaseOI> rep(phase_ois.size());
+    for (std::size_t w = 0; w < phase_ois.size(); ++w) {
+        unsigned best_knee = 0;
+        for (const auto &oi : phase_ois[w]) {
+            if (!oi.active())
+                continue;
+            const unsigned k = kneeVl(p, oi, total_bus);
+            if (k > best_knee) {
+                best_knee = k;
+                rep[w] = oi;
+            }
+        }
+    }
+    return greedyPartition(p, rep, total_bus);
+}
+
+} // namespace occamy

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Greedy lane partitioner (Section 5.2).
+ *
+ * Given the <OI> of every co-running workload currently inside a phase,
+ * produce a lane-partition plan {vl_1 .. vl_M} in ExeBUs maximizing the
+ * sum of roofline-attainable performance, subject to Eq. 1:
+ * each active workload gets at least one ExeBU and the total does not
+ * exceed N.
+ *
+ * The algorithm is the paper's three-step greedy:
+ *  1. give each active workload one ExeBU;
+ *  2. repeatedly sort workloads by the net gain of one extra ExeBU
+ *     (Eq. 3) and hand one ExeBU to each with positive gain, in order;
+ *  3. stop when ExeBUs run out or nobody gains.
+ */
+
+#ifndef OCCAMY_LANEMGR_PARTITIONER_HH
+#define OCCAMY_LANEMGR_PARTITIONER_HH
+
+#include <vector>
+
+#include "isa/inst.hh"
+#include "lanemgr/roofline.hh"
+
+namespace occamy
+{
+
+/**
+ * Compute a lane-partition plan.
+ *
+ * @param p Roofline ceilings.
+ * @param ois Per-workload operational intensity; entries with
+ *        !oi.active() (OI == 0, i.e. not inside a phase) receive 0.
+ * @param total_bus Number of ExeBUs to distribute.
+ * @return ExeBUs per workload (same order as @p ois). The sum may be
+ *         less than @p total_bus when extra units would not help anyone.
+ */
+std::vector<unsigned> greedyPartition(const RooflineParams &p,
+                                      const std::vector<PhaseOI> &ois,
+                                      unsigned total_bus);
+
+/**
+ * Offline static partition used by the VLS architecture: each workload
+ * demands the maximum over its phases' roofline knees (a static split
+ * must satisfy its most demanding phase), then leftover units go to the
+ * workloads that still gain (compute-bound ones), round-robin.
+ *
+ * @param p Roofline ceilings.
+ * @param phase_ois Per workload, the OIs of all its phases.
+ * @param total_bus Number of ExeBUs to distribute.
+ * @return ExeBUs per workload; always >= 1 per workload, sums to
+ *         <= total_bus.
+ */
+std::vector<unsigned> staticPartition(
+    const RooflineParams &p,
+    const std::vector<std::vector<PhaseOI>> &phase_ois,
+    unsigned total_bus);
+
+} // namespace occamy
+
+#endif // OCCAMY_LANEMGR_PARTITIONER_HH

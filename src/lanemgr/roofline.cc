@@ -1,0 +1,76 @@
+#include "lanemgr/roofline.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/types.hh"
+
+namespace occamy
+{
+
+RooflineParams
+RooflineParams::fromConfig(const MachineConfig &cfg)
+{
+    RooflineParams p;
+    p.ghz = cfg.ghz;
+    p.vecCacheBytesPerCycle = cfg.vecCache.bytesPerCycle;
+    p.l2BytesPerCycle = cfg.l2.bytesPerCycle;
+    p.dramBytesPerCycle = cfg.dramBytesPerCycle;
+    return p;
+}
+
+double
+fpPeak(const RooflineParams &p, unsigned vl_bus)
+{
+    return p.flopsPerLanePerCycle * p.ghz * vl_bus * kLanesPerBu;
+}
+
+double
+simdIssueBandwidth(const RooflineParams &p, unsigned vl_bus)
+{
+    // Eq. 2: SIMD-issue_BW = SIMD-issue_width * vl * 16 bytes/cycle.
+    return p.simdIssueWidth * vl_bus * kBytesPerBu * p.ghz;
+}
+
+double
+memBandwidth(const RooflineParams &p, MemLevel level)
+{
+    switch (level) {
+      case MemLevel::VecCache:
+        return p.vecCacheBytesPerCycle * p.ghz;
+      case MemLevel::L2:
+        return p.l2BytesPerCycle * p.ghz;
+      case MemLevel::Dram:
+        return p.dramBytesPerCycle * p.ghz;
+    }
+    return 0.0;
+}
+
+double
+attainable(const RooflineParams &p, const PhaseOI &oi, unsigned vl_bus)
+{
+    if (vl_bus == 0 || !oi.active())
+        return 0.0;
+    const double comp = fpPeak(p, vl_bus);
+    const double issue = simdIssueBandwidth(p, vl_bus) * oi.issue;
+    const double mem = memBandwidth(p, oi.level) * oi.mem;
+    return std::min({comp, issue, mem});
+}
+
+unsigned
+kneeVl(const RooflineParams &p, const PhaseOI &oi, unsigned max_bus)
+{
+    assert(max_bus >= 1);
+    unsigned best = 1;
+    double best_ap = attainable(p, oi, 1);
+    for (unsigned vl = 2; vl <= max_bus; ++vl) {
+        const double ap = attainable(p, oi, vl);
+        if (ap > best_ap + 1e-9) {
+            best_ap = ap;
+            best = vl;
+        }
+    }
+    return best;
+}
+
+} // namespace occamy

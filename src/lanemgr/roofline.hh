@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Vector-length-aware roofline model (Section 5.1).
+ *
+ * Extends the classic roofline with vector-length-dependent ceilings:
+ *   - computation ceiling: FP_peak(vl) grows linearly with lanes;
+ *   - SIMD-issue-bandwidth ceiling (Eq. 2): a narrow data path caps the
+ *     bytes the LSU can request per cycle at issue_width * vl * 16 B;
+ *   - memory-bandwidth ceiling: fixed per hierarchy level (hierarchical
+ *     roofline), independent of vl.
+ *
+ * Attainable performance (Eq. 4):
+ *   AP_vl(OI) = min(FP_peak_vl,
+ *                   SIMD_issue_BW_vl * OI.issue,
+ *                   mem_BW_level * OI.mem)
+ *
+ * Units: GFLOP/s and GB/s at the configured clock. Calibrated to
+ * reproduce the paper's Table 5 exactly (see tests/lanemgr).
+ */
+
+#ifndef OCCAMY_LANEMGR_ROOFLINE_HH
+#define OCCAMY_LANEMGR_ROOFLINE_HH
+
+#include "common/config.hh"
+#include "isa/inst.hh"
+
+namespace occamy
+{
+
+/** Architecture-specific ceiling parameters. */
+struct RooflineParams
+{
+    double ghz = 2.0;
+
+    /** Peak FLOPs per lane per cycle (1.0 reproduces Table 5). */
+    double flopsPerLanePerCycle = 1.0;
+
+    /** Sustained vector-memory micro-ops dispatched per cycle
+     *  (SIMD-issue_width in Eq. 2; 1.0 reproduces Table 5). */
+    double simdIssueWidth = 1.0;
+
+    /** Bandwidths in bytes/cycle per hierarchy level. */
+    double vecCacheBytesPerCycle = 128.0;
+    double l2BytesPerCycle = 64.0;
+    double dramBytesPerCycle = 32.0;
+
+    /** Derive parameters from a machine configuration. */
+    static RooflineParams fromConfig(const MachineConfig &cfg);
+};
+
+/** Peak FP performance in GFLOP/s for @p vl_bus ExeBUs (128-bit units). */
+double fpPeak(const RooflineParams &p, unsigned vl_bus);
+
+/** Eq. 2: SIMD issue bandwidth in GB/s for @p vl_bus ExeBUs. */
+double simdIssueBandwidth(const RooflineParams &p, unsigned vl_bus);
+
+/** Bandwidth ceiling in GB/s of one memory-hierarchy level. */
+double memBandwidth(const RooflineParams &p, MemLevel level);
+
+/** Eq. 4: attainable GFLOP/s of a phase with @p vl_bus ExeBUs. */
+double attainable(const RooflineParams &p, const PhaseOI &oi,
+                  unsigned vl_bus);
+
+/**
+ * The smallest vl (in ExeBUs) achieving the plateau of attainable
+ * performance within [1, max_bus] — the compiler's default-VL choice and
+ * the static partitioner's per-workload demand.
+ */
+unsigned kneeVl(const RooflineParams &p, const PhaseOI &oi,
+                unsigned max_bus);
+
+} // namespace occamy
+
+#endif // OCCAMY_LANEMGR_ROOFLINE_HH

@@ -1,0 +1,105 @@
+#include "mem/cache.hh"
+
+#include <cassert>
+
+namespace occamy
+{
+
+Cache::Cache(std::string name, const CacheConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg)
+{
+    assert(cfg_.sizeBytes % (static_cast<std::uint64_t>(cfg_.lineBytes) *
+                             cfg_.assoc) == 0);
+    num_sets_ = static_cast<unsigned>(
+        cfg_.sizeBytes / (static_cast<std::uint64_t>(cfg_.lineBytes) *
+                          cfg_.assoc));
+    assert(num_sets_ > 0);
+    ways_.resize(static_cast<std::size_t>(num_sets_) * cfg_.assoc);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    CacheAccessResult res;
+    const Addr line = lineAddr(addr);
+    const std::size_t base = setIndex(line) * cfg_.assoc;
+
+    ++stamp_;
+
+    // Hit path.
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == line) {
+            way.lruStamp = stamp_;
+            way.dirty |= is_write;
+            ++hits_;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: fill into invalid way or evict true-LRU.
+    ++misses_;
+    std::size_t victim = base;
+    std::uint64_t oldest = ways_[base].lruStamp;
+    bool found_invalid = false;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (!way.valid) {
+            victim = base + w;
+            found_invalid = true;
+            break;
+        }
+        if (way.lruStamp <= oldest) {
+            oldest = way.lruStamp;
+            victim = base + w;
+        }
+    }
+
+    Way &way = ways_[victim];
+    if (!found_invalid && way.dirty) {
+        ++writebacks_;
+        res.writeback = true;
+        res.victimLine = way.tag * cfg_.lineBytes;
+    }
+    way.tag = line;
+    way.valid = true;
+    way.dirty = is_write;
+    way.lruStamp = stamp_;
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    const std::size_t base = setIndex(line) * cfg_.assoc;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        const Way &way = ways_[base + w];
+        if (way.valid && way.tag == line)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &way : ways_)
+        way = Way{};
+}
+
+void
+Cache::regStats(stats::Group &group) const
+{
+    group.addCounter(name_ + ".hits", &hits_, "line hits");
+    group.addCounter(name_ + ".misses", &misses_, "line misses");
+    group.addCounter(name_ + ".writebacks", &writebacks_,
+                     "dirty lines evicted");
+    group.addFormula(name_ + ".miss_rate", [this] {
+        const double total = static_cast<double>(hits() + misses());
+        return total > 0 ? misses() / total : 0.0;
+    }, "miss fraction");
+}
+
+} // namespace occamy

@@ -1,0 +1,222 @@
+#include "mem/memsystem.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace occamy
+{
+
+MemSystem::MemSystem(const MachineConfig &cfg)
+    : cfg_(cfg),
+      vec_cache_("vec_cache", cfg.vecCache),
+      l2_("l2", cfg.l2)
+{
+}
+
+Cycle
+MemSystem::reserve(Cycle &busy_until, unsigned bytes,
+                   unsigned bytes_per_cycle, Cycle now)
+{
+    assert(bytes_per_cycle > 0);
+    const Cycle start = std::max(now, busy_until);
+    const Cycle busy = (bytes + bytes_per_cycle - 1) / bytes_per_cycle;
+    busy_until = start + busy;
+    return start;
+}
+
+Cycle
+MemSystem::lineReady(Addr line, Cycle now)
+{
+    auto it = line_ready_.find(line);
+    if (it == line_ready_.end())
+        return 0;
+    const Cycle ready = it->second;
+    if (ready <= now)
+        line_ready_.erase(it);
+    return ready;
+}
+
+void
+MemSystem::maybePrefetch(Addr trigger_line, Cycle now)
+{
+    if (cfg_.prefetchDegree == 0)
+        return;
+    const unsigned line = cfg_.vecCache.lineBytes;
+    const Addr region = trigger_line / 4096;    // 4 KB stream region.
+
+    auto [it, inserted] = frontier_.try_emplace(region, trigger_line);
+    Addr frontier = inserted ? trigger_line : it->second;
+    const Addr target =
+        trigger_line + static_cast<Addr>(cfg_.prefetchDegree) * line;
+    if (frontier >= target)
+        return;
+
+    for (Addr pf = std::max(frontier + line, trigger_line + line);
+         pf <= target; pf += line) {
+        if (vec_cache_.contains(pf) || l2_.contains(pf))
+            continue;
+        const Cycle start =
+            reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, now);
+        dram_bytes_ += line;
+        ++prefetches_;
+        line_ready_[pf] = start + cfg_.dramLatency;
+        // Prefetch into L2 only: demand accesses pull lines into the
+        // VecCache, so streams do not flush co-runners' resident sets.
+        CacheAccessResult pr = l2_.access(pf, /*is_write=*/false);
+        if (pr.writeback)
+            reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, start);
+    }
+    it->second = target;
+}
+
+Cycle
+MemSystem::accessLine(Addr line_addr, bool is_write, Cycle now,
+                      Cycle vec_done)
+{
+    const unsigned line = cfg_.vecCache.lineBytes;
+
+    CacheAccessResult vc = vec_cache_.access(line_addr, is_write);
+    if (vc.hit) {
+        // Keep the stream frontier running ahead of the demand pointer.
+        maybePrefetch(line_addr, now);
+        return std::max(vec_done, lineReady(line_addr, now));
+    }
+
+    // Dirty victim from VecCache consumes L2 bandwidth but is off the
+    // critical path of this request.
+    if (vc.writeback)
+        reserve(l2_busy_until_, line, cfg_.l2.bytesPerCycle, vec_done);
+
+    // Miss in VecCache: go to the unified L2.
+    const Cycle l2_start =
+        reserve(l2_busy_until_, line, cfg_.l2.bytesPerCycle, vec_done);
+    const Cycle l2_done = l2_start + cfg_.l2.latency;
+
+    CacheAccessResult l2r = l2_.access(line_addr, is_write);
+    if (l2r.hit) {
+        maybePrefetch(line_addr, now);
+        return std::max(l2_done, lineReady(line_addr, now));
+    }
+
+    if (l2r.writeback) {
+        reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, l2_done);
+        dram_bytes_ += line;
+    }
+
+    // Miss in L2: DRAM, bandwidth-limited at 64 GB/s (32 B/cycle @2 GHz).
+    const Cycle dram_start =
+        reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, l2_done);
+    ++dram_reads_;
+    dram_bytes_ += line;
+    const Cycle ready = dram_start + cfg_.dramLatency;
+    line_ready_[line_addr] = ready;
+    maybePrefetch(line_addr, now);
+    return ready;
+}
+
+MemAccessResult
+MemSystem::access(Addr addr, unsigned bytes, bool is_write, Cycle now)
+{
+    assert(bytes > 0);
+    ++accesses_;
+    const unsigned line = cfg_.vecCache.lineBytes;
+    const Addr first = addr / line;
+    const Addr last = (addr + bytes - 1) / line;
+
+    // Port occupancy is proportional to the access width (the 2x64 B
+    // VecCache ports move B bytes in B/128 cycles).
+    const double start = std::max(static_cast<double>(now),
+                                  vec_busy_until_);
+    vec_busy_until_ =
+        start + static_cast<double>(bytes) / cfg_.vecCache.bytesPerCycle;
+    const Cycle vec_done =
+        static_cast<Cycle>(start) + cfg_.vecCache.latency;
+
+    Cycle done = now;
+    for (Addr l = first; l <= last; ++l)
+        done = std::max(done, accessLine(l * line, is_write, now,
+                                         vec_done));
+
+    MemAccessResult res;
+    res.queueRelease = done;
+    // Stores retire into the store buffer once the VecCache port
+    // accepted them; the fetch-for-ownership only holds the STQ entry.
+    res.dataReady = is_write ? now + cfg_.vecCache.latency : done;
+    return res;
+}
+
+MemAccessResult
+MemSystem::accessStrided(Addr addr, unsigned elem_bytes,
+                         std::int64_t stride, unsigned count,
+                         bool is_write, Cycle now)
+{
+    assert(count > 0 && elem_bytes > 0);
+    ++accesses_;
+    const unsigned line = cfg_.vecCache.lineBytes;
+
+    // Gathers move one element per port beat (16 B of port time each),
+    // the classic SVE gather cost.
+    const double start =
+        std::max(static_cast<double>(now), vec_busy_until_);
+    vec_busy_until_ = start + count * 16.0 /
+                              cfg_.vecCache.bytesPerCycle;
+    const Cycle vec_done =
+        static_cast<Cycle>(start) + cfg_.vecCache.latency +
+        (count * 16 + cfg_.vecCache.bytesPerCycle - 1) /
+            cfg_.vecCache.bytesPerCycle;
+
+    // Service every distinct line touched by the element addresses.
+    Cycle done = now;
+    Addr prev_line = ~static_cast<Addr>(0);
+    for (unsigned k = 0; k < count; ++k) {
+        const Addr a =
+            addr + static_cast<Addr>(static_cast<std::int64_t>(k) *
+                                     stride * elem_bytes);
+        const Addr la = a / line * line;
+        if (la == prev_line)
+            continue;
+        prev_line = la;
+        done = std::max(done, accessLine(la, is_write, now, vec_done));
+    }
+
+    MemAccessResult res;
+    res.queueRelease = done;
+    res.dataReady = is_write ? vec_done : done;
+    return res;
+}
+
+Cycle
+MemSystem::scalarAccess(Addr addr, bool is_write, Cycle now)
+{
+    // Scalar references ride the same L2/DRAM path; the private scalar
+    // L1s from Table 4 are approximated by the VecCache lookup since the
+    // kernels issue almost no scalar memory traffic.
+    return accessLine((addr / cfg_.l2.lineBytes) * cfg_.l2.lineBytes,
+                      is_write, now, now + cfg_.vecCache.latency);
+}
+
+void
+MemSystem::reset()
+{
+    vec_cache_.flush();
+    l2_.flush();
+    vec_busy_until_ = 0.0;
+    l2_busy_until_ = 0;
+    dram_busy_until_ = 0;
+    line_ready_.clear();
+    frontier_.clear();
+}
+
+void
+MemSystem::regStats(stats::Group &group) const
+{
+    vec_cache_.regStats(group);
+    l2_.regStats(group);
+    group.addCounter("dram.reads", &dram_reads_, "line fills from DRAM");
+    group.addCounter("dram.bytes", &dram_bytes_, "bytes moved to/from DRAM");
+    group.addCounter("mem.accesses", &accesses_, "vector accesses");
+    group.addCounter("mem.prefetches", &prefetches_,
+                     "stream-prefetched lines");
+}
+
+} // namespace occamy

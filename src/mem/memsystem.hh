@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Timing model of the shared memory hierarchy behind the co-processor's
+ * LSUs: VecCache -> unified L2 -> DRAM (Fig. 4 and Table 4).
+ *
+ * Bandwidth at each level is modelled with busy-until pointers: a request
+ * of B bytes occupies the level for ceil(B / bytes_per_cycle) cycles
+ * starting no earlier than the level's previous completion, then adds the
+ * level's latency. Contention between cores falls out naturally because
+ * all cores share one MemSystem, exactly as they share the VecCache, L2
+ * and DRAM in the paper.
+ *
+ * Two mechanisms make streaming loops bandwidth- rather than
+ * latency-bound, as on real hardware:
+ *  - a region stream prefetcher that keeps `prefetchDegree` lines ahead
+ *    of every demand stream, and
+ *  - MSHR-style per-line readiness: a hit on a line whose fill is still
+ *    in flight waits for the fill, so prefetching never teleports data.
+ */
+
+#ifndef OCCAMY_MEM_MEMSYSTEM_HH
+#define OCCAMY_MEM_MEMSYSTEM_HH
+
+#include <unordered_map>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace occamy
+{
+
+/** Completion times of one vector memory access. */
+struct MemAccessResult
+{
+    /** Cycle the data is available (loads) / line owned (stores). */
+    Cycle dataReady = 0;
+    /** Cycle the queue entry can be released (== dataReady for loads;
+     *  stores retire into the store buffer earlier than this). */
+    Cycle queueRelease = 0;
+};
+
+/** Timing + contents model of VecCache/L2/DRAM shared by all cores. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MachineConfig &cfg);
+
+    /**
+     * Perform a vector memory access of @p bytes starting at @p addr.
+     *
+     * The access is split into 64 B lines; each line is serviced at the
+     * innermost level that holds it. Stores are write-allocate but
+     * complete into a store buffer (dataReady is near-immediate; the
+     * fetch-for-ownership holds the queue entry via queueRelease).
+     *
+     * @param addr Starting byte address.
+     * @param bytes Access width (16 * vl bytes for an SVE ld/st).
+     * @param is_write True for stores.
+     * @param now Cycle the LSU presents the request.
+     */
+    MemAccessResult access(Addr addr, unsigned bytes, bool is_write,
+                           Cycle now);
+
+    /**
+     * Perform a strided (gather/scatter) access: @p count elements of
+     * @p elem_bytes spaced @p stride elements apart starting at
+     * @p addr. Each element occupies one port beat; distinct lines are
+     * serviced individually.
+     */
+    MemAccessResult accessStrided(Addr addr, unsigned elem_bytes,
+                                  std::int64_t stride, unsigned count,
+                                  bool is_write, Cycle now);
+
+    /** Scalar (single-word) reference; shares the hierarchy. */
+    Cycle scalarAccess(Addr addr, bool is_write, Cycle now);
+
+    const Cache &vecCache() const { return vec_cache_; }
+    const Cache &l2() const { return l2_; }
+
+    std::uint64_t dramReads() const { return dram_reads_.value(); }
+    std::uint64_t dramBytes() const { return dram_bytes_.value(); }
+    std::uint64_t prefetches() const { return prefetches_.value(); }
+
+    /** Drop all cached contents and reset busy pointers (tests only). */
+    void reset();
+
+    void regStats(stats::Group &group) const;
+
+  private:
+    /**
+     * Service one cache line. @p vec_done is the cycle the VecCache
+     * port delivers it on a hit (port occupancy is charged per access
+     * in access(), not per line). @return cycle the line's data is
+     * ready.
+     */
+    Cycle accessLine(Addr line_addr, bool is_write, Cycle now,
+                     Cycle vec_done);
+
+    /** Extend the stream frontier past @p trigger_line. */
+    void maybePrefetch(Addr trigger_line, Cycle now);
+
+    /** Readiness of an in-flight fill covering @p line (0 if settled). */
+    Cycle lineReady(Addr line, Cycle now);
+
+    /** Reserve @p bytes of bandwidth at a level. @return service start. */
+    static Cycle reserve(Cycle &busy_until, unsigned bytes,
+                         unsigned bytes_per_cycle, Cycle now);
+
+    MachineConfig cfg_;
+    Cache vec_cache_;
+    Cache l2_;
+
+    /** VecCache port busy time in fractional cycles (an access of B
+     *  bytes occupies the 2x64 B port for B/128 cycles). */
+    double vec_busy_until_ = 0.0;
+    Cycle l2_busy_until_ = 0;
+    Cycle dram_busy_until_ = 0;
+
+    /** Line address -> fill-ready cycle (MSHR-style). */
+    std::unordered_map<Addr, Cycle> line_ready_;
+
+    /** 4 KB region -> highest line prefetched for that stream. */
+    std::unordered_map<Addr, Addr> frontier_;
+
+    stats::Counter dram_reads_;
+    stats::Counter dram_bytes_;
+    stats::Counter accesses_;
+    stats::Counter prefetches_;
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_MEM_MEMSYSTEM_HH

@@ -1,0 +1,370 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <sstream>
+
+#include "kir/analysis.hh"
+#include "lanemgr/partitioner.hh"
+
+namespace occamy
+{
+
+System::System(MachineConfig cfg) : cfg_(std::move(cfg))
+{
+    names_.resize(cfg_.numCores);
+    loops_.resize(cfg_.numCores);
+}
+
+void
+System::setWorkload(CoreId core, std::string name,
+                    std::vector<kir::Loop> loops)
+{
+    names_.at(core) = std::move(name);
+    loops_.at(core) = std::move(loops);
+}
+
+void
+System::enqueueWorkload(std::string name, std::vector<kir::Loop> loops)
+{
+    queue_.emplace_back(std::move(name), std::move(loops));
+}
+
+RunResult
+System::run(Cycle max_cycles, unsigned bucket)
+{
+    MachineConfig cfg = cfg_;
+
+    // Offline static plan for VLS (Section 7.1's static spatial sharing).
+    if (cfg.policy == SharingPolicy::StaticSpatial &&
+        cfg.staticPlan.empty()) {
+        const RooflineParams params = RooflineParams::fromConfig(cfg);
+        std::vector<std::vector<PhaseOI>> phase_ois(cfg.numCores);
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            for (const auto &loop : loops_[c])
+                phase_ois[c].push_back(kir::phaseOI(
+                    loop, cfg.vecCache.sizeBytes, cfg.l2.sizeBytes));
+        cfg.staticPlan = staticPartition(params, phase_ois, cfg.numExeBUs);
+        // Cores that start empty but will receive batch-queued
+        // workloads need a static share too: VLS cannot adapt at
+        // dispatch time, so they get an equal split of the leftovers.
+        unsigned used = 0;
+        for (unsigned share : cfg.staticPlan)
+            used += share;
+        unsigned needy = 0;
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            if (cfg.staticPlan[c] == 0 &&
+                (!loops_[c].empty() || !queue_.empty()))
+                ++needy;
+        for (unsigned c = 0; c < cfg.numCores && needy; ++c) {
+            if (cfg.staticPlan[c] == 0 &&
+                (!loops_[c].empty() || !queue_.empty())) {
+                cfg.staticPlan[c] =
+                    std::max(1u, (cfg.numExeBUs - used) / needy);
+            }
+        }
+    }
+
+    MemSystem mem(cfg);
+    CoProcessor coproc(cfg, mem);
+
+    // Compile a workload for a core and bind its arrays into a private,
+    // staggered address region (distinct cache-set alignment per slot).
+    std::vector<std::unique_ptr<Program>> programs;
+    unsigned region = 0;
+    auto compileAndBind = [&](CoreId c, const std::string &name,
+                              const std::vector<kir::Loop> &loops)
+        -> const Program * {
+        unsigned fixed_vl = 0;
+        if (cfg.policy == SharingPolicy::StaticSpatial)
+            fixed_vl = cfg.staticPlan.empty() ? 0 : cfg.staticPlan[c];
+        CompileOptions opts = CompileOptions::forMachine(cfg, fixed_vl);
+        Compiler compiler(opts);
+        auto prog = std::make_unique<Program>(
+            compiler.compile(name, loops));
+        const unsigned slot = region++;
+        Addr next = ((static_cast<Addr>(slot) + 1) << 36) +
+                    static_cast<Addr>(slot % cfg.numCores) * 40960;
+        for (auto &arr : prog->arrays) {
+            arr.base = next;
+            const Addr size = arr.elems * arr.elemBytes;
+            next += (size + 4095) / 4096 * 4096 + 4096;
+        }
+        programs.push_back(std::move(prog));
+        return programs.back().get();
+    };
+
+    std::vector<std::unique_ptr<ScalarCore>> cores;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        cores.push_back(std::make_unique<ScalarCore>(
+            static_cast<CoreId>(c), cfg, coproc));
+        cores[c]->setProgram(compileAndBind(static_cast<CoreId>(c),
+                                            names_[c], loops_[c]));
+    }
+
+    // --- Cycle loop. ---
+    RunResult result;
+    result.cores.resize(cfg.numCores);
+    const unsigned total_lanes = cfg.totalLanes();
+
+    std::vector<Cycle> finish(cfg.numCores, 0);
+    std::vector<bool> done(cfg.numCores, false);
+    double busy_integral = 0.0;
+
+    std::vector<std::vector<double>> busy_buckets(cfg.numCores);
+    std::vector<std::vector<double>> alloc_buckets(cfg.numCores);
+
+    // Batch dispatch state (Section 5). For the OI-aware discipline we
+    // pre-analyze each queued workload's first-phase behaviour.
+    std::vector<bool> dispatched(queue_.size(), false);
+    std::size_t undispatched = queue_.size();
+    std::vector<PhaseOI> queue_oi(queue_.size());
+    if (cfg.schedPolicy == SchedPolicy::OiAware) {
+        for (std::size_t q = 0; q < queue_.size(); ++q)
+            if (!queue_[q].second.empty())
+                queue_oi[q] = kir::phaseOI(queue_[q].second.front(),
+                                           cfg.vecCache.sizeBytes,
+                                           cfg.l2.sizeBytes);
+    }
+    const RooflineParams roofline = RooflineParams::fromConfig(cfg);
+
+    // What each core is running or about to run, for placement
+    // decisions (the resource table lags behind pending dispatches).
+    std::vector<PhaseOI> sched_oi(cfg.numCores);
+
+    // Estimate the machine's *normalized progress* (the classic
+    // weighted-speedup co-scheduling objective) if candidate OI @p cand
+    // joins the other cores: sum over active workloads of their
+    // attainable rate relative to running alone with all lanes. Raw
+    // GFLOP/s would never schedule a memory workload next to a compute
+    // one; normalized progress rewards exactly that pairing.
+    auto progressWith = [&](const PhaseOI &cand, CoreId target) {
+        std::vector<PhaseOI> ois(cfg.numCores);
+        for (unsigned i = 0; i < cfg.numCores; ++i) {
+            const PhaseOI &running =
+                coproc.resourceTable().core(static_cast<CoreId>(i)).oi;
+            ois[i] = running.active() ? running : sched_oi[i];
+        }
+        ois[target] = cand;
+        const auto plan = greedyPartition(roofline, ois, cfg.numExeBUs);
+
+        // Memory-bandwidth ceilings are machine-wide: co-running
+        // workloads bound at the same level split it. Count them so
+        // mem+mem placements are not scored as if each had the full
+        // 64 GB/s.
+        std::array<unsigned, 3> bound_at{0, 0, 0};
+        std::vector<bool> membound(ois.size(), false);
+        for (std::size_t i = 0; i < ois.size(); ++i) {
+            if (!ois[i].active() || plan[i] == 0)
+                continue;
+            const double ap = attainable(roofline, ois[i], plan[i]);
+            const double ceiling =
+                memBandwidth(roofline, ois[i].level) * ois[i].mem;
+            if (ap >= ceiling - 1e-9) {
+                membound[i] = true;
+                ++bound_at[static_cast<unsigned>(ois[i].level)];
+            }
+        }
+
+        double total = 0.0;
+        for (std::size_t i = 0; i < ois.size(); ++i) {
+            if (!ois[i].active())
+                continue;
+            const double solo = attainable(roofline, ois[i],
+                                           cfg.numExeBUs);
+            if (solo <= 0)
+                continue;
+            double ap = attainable(roofline, ois[i], plan[i]);
+            if (membound[i])
+                ap /= bound_at[static_cast<unsigned>(ois[i].level)];
+            total += ap / solo;
+        }
+        return total;
+    };
+
+    // Choose which queued workload an idle core picks up next.
+    auto selectNext = [&](CoreId core) -> std::size_t {
+        if (cfg.schedPolicy == SchedPolicy::Fcfs) {
+            for (std::size_t q = 0; q < queue_.size(); ++q)
+                if (!dispatched[q])
+                    return q;
+        } else {
+            std::size_t best = queue_.size();
+            double best_tp = -1.0;
+            for (std::size_t q = 0; q < queue_.size(); ++q) {
+                if (dispatched[q])
+                    continue;
+                const double tp = progressWith(queue_oi[q], core);
+                if (tp > best_tp + 1e-9) {
+                    best_tp = tp;
+                    best = q;
+                }
+            }
+            return best;
+        }
+        return queue_.size();
+    };
+
+    std::vector<Cycle> dispatch_at(cfg.numCores, kCycleNever);
+    std::vector<std::size_t> pending_wl(cfg.numCores, 0);
+
+    Cycle now = 0;
+    Cycle last_finish = 0;
+    for (; now < max_cycles; ++now) {
+        coproc.tick(now);
+        for (auto &core : cores)
+            core->tick(now);
+
+        // Dispatch queued workloads onto cores whose context switch
+        // completed.
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            if (dispatch_at[c] != kCycleNever && now >= dispatch_at[c]) {
+                const auto &[wl_name, wl_loops] = queue_[pending_wl[c]];
+                cores[c]->setProgram(compileAndBind(
+                    static_cast<CoreId>(c), wl_name, wl_loops));
+                result.batch.push_back(BatchCompletion{
+                    wl_name, static_cast<CoreId>(c), now, 0});
+                dispatch_at[c] = kCycleNever;
+            }
+        }
+
+        bool all_done = true;
+        // Under FTS one full-width unit serves all cores, so busy lanes
+        // are capped machine-wide and attributed proportionally.
+        double fts_scale = 1.0;
+        if (cfg.policy == SharingPolicy::Temporal) {
+            unsigned sum = 0;
+            for (unsigned c = 0; c < cfg.numCores; ++c)
+                sum += coproc.busyLanes(static_cast<CoreId>(c));
+            if (sum > total_lanes)
+                fts_scale = static_cast<double>(total_lanes) / sum;
+        }
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            if (!done[c]) {
+                const bool idle =
+                    cores[c]->doneEmitting() &&
+                    coproc.coreDrained(static_cast<CoreId>(c)) &&
+                    dispatch_at[c] == kCycleNever;
+                if (idle) {
+                    // Close the batch record of the workload that just
+                    // completed on this core, if any.
+                    for (auto it = result.batch.rbegin();
+                         it != result.batch.rend(); ++it) {
+                        if (it->core == c && it->finished == 0) {
+                            it->finished = now;
+                            break;
+                        }
+                    }
+                    if (undispatched > 0) {
+                        // Grab the next workload (per the dispatch
+                        // discipline) after the OS context-switch cost.
+                        pending_wl[c] = selectNext(static_cast<CoreId>(c));
+                        dispatched[pending_wl[c]] = true;
+                        sched_oi[c] = queue_oi[pending_wl[c]];
+                        --undispatched;
+                        dispatch_at[c] = now + cfg.contextSwitchCycles;
+                        all_done = false;
+                    } else {
+                        done[c] = true;
+                        finish[c] = now;
+                        last_finish = std::max(last_finish, now);
+                    }
+                } else {
+                    all_done = false;
+                }
+            }
+            const unsigned alloc = coproc.allocatedLanes(
+                static_cast<CoreId>(c));
+            double busy = coproc.busyLanes(static_cast<CoreId>(c));
+            if (cfg.policy == SharingPolicy::Temporal)
+                busy *= fts_scale;
+            else
+                busy = std::min<double>(busy, alloc);
+            busy_integral += busy;
+
+            const std::size_t b = now / bucket;
+            if (busy_buckets[c].size() <= b) {
+                busy_buckets[c].resize(b + 1, 0.0);
+                alloc_buckets[c].resize(b + 1, 0.0);
+            }
+            busy_buckets[c][b] += busy;
+            alloc_buckets[c][b] += alloc;
+        }
+        if (all_done)
+            break;
+    }
+    result.timedOut = now >= max_cycles;
+    result.cycles = std::max<Cycle>(last_finish, 1);
+    result.simdUtil =
+        busy_integral / (static_cast<double>(total_lanes) *
+                         static_cast<double>(result.cycles));
+
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        CoreRunResult &cr = result.cores[c];
+        cr.workload = names_[c];
+        cr.finish = finish[c];
+        cr.computeIssued = coproc.computeIssued(static_cast<CoreId>(c));
+        cr.memIssued = coproc.memIssued(static_cast<CoreId>(c));
+        cr.renameRegStallCycles =
+            coproc.renameRegStallCycles(static_cast<CoreId>(c));
+        cr.monitorInsts = cores[c]->monitorInsts();
+        cr.reconfigWaitCycles = cores[c]->reconfigWaitCycles();
+        cr.reconfigEvents = cores[c]->reconfigEvents();
+        cr.reinitInsts = cores[c]->reinitInsts();
+
+        for (const PhaseTrace &t : cores[c]->phases()) {
+            PhaseResult pr;
+            pr.name = t.name;
+            pr.start = t.start;
+            pr.end = t.end ? t.end : finish[c];
+            pr.firstVl = t.firstVl;
+            pr.lastVl = t.lastVl;
+            pr.computeIssued = coproc.computeIssuedInPhase(
+                static_cast<CoreId>(c), t.phaseId);
+            const Cycle span = pr.end > pr.start ? pr.end - pr.start : 1;
+            pr.issueRate = static_cast<double>(pr.computeIssued) /
+                           static_cast<double>(span);
+            cr.phases.push_back(pr);
+        }
+
+        for (std::size_t b = 0; b < busy_buckets[c].size(); ++b) {
+            cr.busyLanesTimeline.push_back(busy_buckets[c][b] / bucket);
+            cr.allocLanesTimeline.push_back(alloc_buckets[c][b] / bucket);
+        }
+    }
+
+    result.dramBytes = mem.dramBytes();
+    result.vlSwitches = coproc.vlSwitches();
+    result.plansMade = coproc.plansMade();
+
+    // gem5-style stats dump.
+    {
+        stats::Group mem_group("system.mem");
+        mem.regStats(mem_group);
+        stats::Group cp_group("system.coproc");
+        coproc.regStats(cp_group);
+        std::ostringstream os;
+        mem_group.dump(os);
+        cp_group.dump(os);
+        result.statsText = os.str();
+    }
+    return result;
+}
+
+RunResult
+corun(SharingPolicy p,
+      const std::vector<std::pair<std::string,
+                                  std::vector<kir::Loop>>> &wls,
+      Cycle max_cycles)
+{
+    MachineConfig cfg = MachineConfig::forPolicy(
+        p, static_cast<unsigned>(wls.size()));
+    System sys(cfg);
+    for (unsigned c = 0; c < wls.size(); ++c)
+        sys.setWorkload(static_cast<CoreId>(c), wls[c].first,
+                        wls[c].second);
+    return sys.run(max_cycles);
+}
+
+} // namespace occamy

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * System assembly and co-run driver: builds one of the four SIMD
+ * architectures (Fig. 1), compiles each core's workload for that
+ * architecture, binds arrays to disjoint address regions, runs the
+ * cycle loop, and gathers the metrics the paper reports (speedups,
+ * per-phase SIMD issue rates, SIMD utilization per Section 2's
+ * definition, busy/allocated-lane timelines, rename-stall fractions,
+ * and EM-SIMD overhead).
+ */
+
+#ifndef OCCAMY_SIM_SYSTEM_HH
+#define OCCAMY_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "compiler/compiler.hh"
+#include "coproc/coproc.hh"
+#include "core/scalar_core.hh"
+#include "kir/kir.hh"
+#include "mem/memsystem.hh"
+
+namespace occamy
+{
+
+/** Per-phase outcome. */
+struct PhaseResult
+{
+    std::string name;
+    Cycle start = 0;
+    Cycle end = 0;
+    std::uint64_t computeIssued = 0;
+    double issueRate = 0.0;     ///< SIMD compute insts / cycle.
+    unsigned firstVl = 0;       ///< BUs.
+    unsigned lastVl = 0;
+};
+
+/** Per-core outcome of a co-run. */
+struct CoreRunResult
+{
+    std::string workload;
+    Cycle finish = 0;           ///< Cycle the workload fully completed.
+    std::vector<PhaseResult> phases;
+    std::uint64_t computeIssued = 0;
+    std::uint64_t memIssued = 0;
+    std::uint64_t renameRegStallCycles = 0;
+    std::uint64_t monitorInsts = 0;
+    Cycle reconfigWaitCycles = 0;
+    std::uint64_t reconfigEvents = 0;
+    std::uint64_t reinitInsts = 0;
+
+    /** Per-1000-cycle average busy lanes (timeline, Fig. 2b-e). */
+    std::vector<double> busyLanesTimeline;
+    /** Per-1000-cycle average allocated lanes (Fig. 14b). */
+    std::vector<double> allocLanesTimeline;
+
+    /** Fig. 15 monitoring overhead: emission slots spent on MRS
+     *  <decision>, as a fraction of the core's runtime. */
+    double monitorOverhead(unsigned transmit_width) const
+    {
+        if (!finish)
+            return 0.0;
+        return static_cast<double>(monitorInsts) / transmit_width /
+               static_cast<double>(finish);
+    }
+
+    /** Fig. 15 reconfiguration overhead fraction. */
+    double reconfigOverhead() const
+    {
+        if (!finish)
+            return 0.0;
+        return static_cast<double>(reconfigWaitCycles) /
+               static_cast<double>(finish);
+    }
+};
+
+/** Completion record of one batch-scheduled workload (Section 5's
+ *  FCFS co-scheduling regime). */
+struct BatchCompletion
+{
+    std::string name;
+    CoreId core = 0;
+    Cycle dispatched = 0;
+    Cycle finished = 0;
+};
+
+/** Whole-machine outcome of a co-run. */
+struct RunResult
+{
+    Cycle cycles = 0;           ///< Until the last workload finished.
+    double simdUtil = 0.0;      ///< Section 2's SIMD_util over `cycles`.
+    std::vector<CoreRunResult> cores;
+    std::uint64_t dramBytes = 0;
+    std::uint64_t vlSwitches = 0;
+    std::uint64_t plansMade = 0;
+    bool timedOut = false;      ///< Hit the run() cycle cap.
+
+    /** Per-workload records for batch-queued workloads (FCFS). */
+    std::vector<BatchCompletion> batch;
+
+    /** gem5-style stats dump of the memory system and co-processor. */
+    std::string statsText;
+};
+
+/** One simulated machine plus the workloads bound to its cores. */
+class System
+{
+  public:
+    explicit System(MachineConfig cfg);
+
+    /**
+     * Assign a workload (list of kernel loops) to a core. Must be
+     * called for every core before run(); pass an empty list for an
+     * idle core.
+     */
+    void setWorkload(CoreId core, std::string name,
+                     std::vector<kir::Loop> loops);
+
+    /**
+     * Queue a workload for FCFS dispatch (Section 5's co-scheduling
+     * assumption): whichever core first completes its current workload
+     * picks up the queue head after an OS context switch, whose cost
+     * covers draining the pipelines and saving/restoring the EM-SIMD
+     * dedicated registers.
+     */
+    void enqueueWorkload(std::string name, std::vector<kir::Loop> loops);
+
+    /**
+     * Run to completion of all workloads.
+     * @param max_cycles Safety cap; exceeding it sets RunResult::timedOut.
+     * @param bucket Timeline bucket size in cycles.
+     */
+    RunResult run(Cycle max_cycles = 20'000'000, unsigned bucket = 1000);
+
+    const MachineConfig &config() const { return cfg_; }
+
+  private:
+    MachineConfig cfg_;
+    std::vector<std::string> names_;
+    std::vector<std::vector<kir::Loop>> loops_;
+    std::vector<std::pair<std::string, std::vector<kir::Loop>>> queue_;
+};
+
+/**
+ * Convenience: co-run @p workloads (one per core) under policy @p p and
+ * return the result. The machine is sized with 4 ExeBUs per core.
+ */
+RunResult corun(SharingPolicy p,
+                const std::vector<std::pair<std::string,
+                                            std::vector<kir::Loop>>> &wls,
+                Cycle max_cycles = 20'000'000);
+
+} // namespace occamy
+
+#endif // OCCAMY_SIM_SYSTEM_HH

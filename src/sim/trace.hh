@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Result exporters: CSV timelines/phase tables for plotting (the same
+ * series the paper's Fig. 2 and Fig. 14 plots show) and a JSON summary
+ * for machine consumption (CI regression tracking, notebooks).
+ */
+
+#ifndef OCCAMY_SIM_TRACE_HH
+#define OCCAMY_SIM_TRACE_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/system.hh"
+
+namespace occamy::trace
+{
+
+/**
+ * Write per-bucket busy/allocated-lane series:
+ *   bucket,core0_busy,core0_alloc,core1_busy,core1_alloc,...
+ * one row per timeline bucket (the Fig. 2(b-e) / Fig. 14(b) series).
+ */
+void writeTimelinesCsv(std::ostream &os, const RunResult &r);
+
+/**
+ * Write the per-phase table:
+ *   core,phase,start,end,compute_insts,issue_rate,first_vl,last_vl
+ */
+void writePhasesCsv(std::ostream &os, const RunResult &r);
+
+/**
+ * Write batch-dispatch records:
+ *   workload,core,dispatched,finished
+ */
+void writeBatchCsv(std::ostream &os, const RunResult &r);
+
+/** Render the whole result as a JSON object (stable key order). */
+std::string toJson(const RunResult &r);
+
+} // namespace occamy::trace
+
+#endif // OCCAMY_SIM_TRACE_HH

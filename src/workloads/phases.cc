@@ -1,0 +1,344 @@
+#include "workloads/phases.hh"
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace occamy::workloads
+{
+
+namespace
+{
+
+/** Wrapped-array sizes per residency level (elements of 4 bytes). */
+constexpr std::uint64_t kVecCacheArrayElems = 3072;    // 12 KB each.
+constexpr std::uint64_t kL2ArrayElems = 262144;        // 1 MB each.
+
+std::uint64_t
+arrayElemsFor(const PhaseSpec &spec)
+{
+    switch (spec.level) {
+      case MemLevel::VecCache:
+        return kVecCacheArrayElems;
+      case MemLevel::L2:
+        return kL2ArrayElems;
+      case MemLevel::Dram:
+        return spec.trip;         // Single streaming pass.
+    }
+    return spec.trip;
+}
+
+} // namespace
+
+kir::Loop
+makePhase(const PhaseSpec &spec)
+{
+    kir::Loop loop;
+    loop.name = spec.name;
+    loop.trip = spec.trip;
+
+    const bool streaming = spec.level == MemLevel::Dram;
+    const std::uint64_t elems = arrayElemsFor(spec);
+
+    std::vector<int> inputs;
+    for (unsigned i = 0; i < spec.loads; ++i)
+        inputs.push_back(loop.addArray(
+            spec.name + "_in" + std::to_string(i), elems, streaming));
+    std::vector<int> outputs;
+    for (unsigned i = 0; i < spec.stores; ++i)
+        outputs.push_back(loop.addArray(
+            spec.name + "_out" + std::to_string(i), elems, streaming));
+
+    // Operand pool: one load per input array, plus reuse loads at
+    // offset +1 into the first arrays (issue bytes without footprint).
+    std::deque<kir::ExprP> pending;
+    for (unsigned i = 0; i < spec.loads; ++i)
+        pending.push_back(kir::load(inputs[i], 0));
+    for (unsigned i = 0; i < spec.reuseLoads; ++i)
+        pending.push_back(kir::load(inputs[i % spec.loads], 1));
+
+    assert(pending.size() <= 2ull * spec.flops + 1 &&
+           "phase spec infeasible: too many operands for flop budget");
+
+    const unsigned total_ops =
+        spec.flops - (spec.reduction ? 1u : 0u);
+    assert(total_ops >= 1);
+
+    // Emit the compute as K interleaved independent chains merged at the
+    // end: real vectorized loop bodies are wide DAGs, and the width is
+    // what lets the out-of-order window hide the FP latency (a serial
+    // chain would bottleneck every kernel at 1/latency IPC).
+    unsigned lanes_ilp = total_ops >= 8 ? 4u : (total_ops >= 4 ? 2u : 1u);
+    while (lanes_ilp > 1 && total_ops < 2 * lanes_ilp - 1)
+        lanes_ilp /= 2;
+    const unsigned chain_ops = total_ops - (lanes_ilp - 1);
+
+    std::vector<kir::ExprP> made;
+    std::vector<kir::ExprP> chains(lanes_ilp);
+    std::size_t recycle = 0;
+    auto take = [&]() -> kir::ExprP {
+        if (!pending.empty()) {
+            auto e = pending.front();
+            pending.pop_front();
+            return e;
+        }
+        assert(!made.empty());
+        return made[recycle++ % made.size()];
+    };
+
+    static const kir::ArithOp kCycle[] = {
+        kir::ArithOp::Add, kir::ArithOp::Mul, kir::ArithOp::Sub,
+        kir::ArithOp::Max, kir::ArithOp::Add, kir::ArithOp::Mul,
+    };
+
+    for (unsigned k = 0; k < chain_ops; ++k) {
+        kir::ExprP &cur = chains[k % lanes_ilp];
+        const unsigned rem_ops = chain_ops - k;
+        // Use an FMA whenever the remaining operand pool could not be
+        // drained by binary ops alone.
+        const bool need_fma =
+            pending.size() >= 2ull * (rem_ops - 1) + (cur ? 1u : 2u);
+        kir::ExprP a = cur ? cur : take();
+        if (need_fma) {
+            kir::ExprP b = pending.empty() && made.empty() ? a : take();
+            kir::ExprP c = pending.empty() && made.empty() ? a : take();
+            cur = kir::fma(a, b, c);
+        } else {
+            kir::ExprP b = pending.empty() && made.empty() ? a : take();
+            cur = kir::op(kCycle[k % 6], a, b);
+        }
+        made.push_back(cur);
+    }
+    assert(pending.empty() && "phase generator failed to drain operands");
+
+    // Merge the chains into a single root (log-depth tail).
+    kir::ExprP cur = chains[0];
+    for (unsigned j = 1; j < lanes_ilp; ++j) {
+        cur = kir::op(kCycle[(chain_ops + j) % 6], cur, chains[j]);
+        made.push_back(cur);
+    }
+
+    if (spec.reduction) {
+        loop.reduction = cur;
+    } else {
+        // First output stores the chain result; extra outputs store
+        // earlier intermediates (or plain copies of inputs).
+        for (unsigned j = 0; j < spec.stores; ++j) {
+            kir::ExprP v;
+            if (j == 0)
+                v = cur;
+            else if (j < made.size())
+                v = made[made.size() - 1 - j];
+            else
+                v = kir::load(inputs[j % spec.loads], 0);
+            loop.store(outputs[j], v);
+        }
+    }
+    return loop;
+}
+
+namespace
+{
+
+/** The Table 3 phase recipes (target oi_mem in parentheses). */
+std::vector<PhaseSpec>
+buildSpecs()
+{
+    auto mem = [](std::string n, unsigned l, unsigned e, unsigned s,
+                  unsigned f, double oi) {
+        PhaseSpec p;
+        p.name = std::move(n);
+        p.loads = l;
+        p.reuseLoads = e;
+        p.stores = s;
+        p.flops = f;
+        p.level = MemLevel::Dram;
+        p.trip = 49152;
+        p.tableOiMem = oi;
+        return p;
+    };
+    auto comp = [](std::string n, unsigned l, unsigned s, unsigned f,
+                   double oi, MemLevel lvl = MemLevel::VecCache) {
+        PhaseSpec p;
+        p.name = std::move(n);
+        p.loads = l;
+        p.stores = s;
+        p.flops = f;
+        p.level = lvl;
+        p.trip = 786432;
+        p.tableOiMem = oi;
+        return p;
+    };
+    auto red = [](std::string n, unsigned l, unsigned f, double oi,
+                  MemLevel lvl, std::uint64_t trip) {
+        PhaseSpec p;
+        p.name = std::move(n);
+        p.loads = l;
+        p.stores = 0;
+        p.flops = f;
+        p.reduction = true;
+        p.level = lvl;
+        p.trip = trip;
+        p.tableOiMem = oi;
+        return p;
+    };
+
+    std::vector<PhaseSpec> v;
+    // --- SPECCPU2017 phases. ---
+    v.push_back(mem("select_atoms1", 3, 0, 1, 4, 0.25));
+    v.push_back(mem("select_atoms2", 3, 0, 1, 4, 0.25));
+    v.push_back(mem("select_atoms3", 4, 0, 1, 5, 0.25));
+    v.push_back(mem("select_atoms4", 5, 0, 1, 2, 0.083));
+    v.push_back(comp("select_atoms5", 2, 1, 9, 0.75));
+    v.push_back(comp("select_atoms5b", 3, 1, 4, 0.25));
+    v.push_back(mem("step3d_uv1", 8, 0, 1, 4, 0.11));
+    v.push_back(mem("step3d_uv2", 8, 0, 3, 4, 0.09));
+    v.push_back(mem("step3d_uv3", 5, 0, 1, 3, 0.13));
+    v.push_back(mem("step3d_uv4", 5, 0, 1, 3, 0.13));
+    v.push_back(mem("rhs3d1", 5, 0, 1, 3, 0.13));
+    v.push_back(comp("rhs3d5", 3, 1, 5, 0.32));
+    v.push_back(mem("rhs3d7", 5, 0, 1, 4, 0.17));
+    v.push_back(mem("rho_eos1", 8, 0, 3, 4, 0.09));
+    v.push_back(mem("rho_eos2", 3, 2, 1, 4, 0.25));
+    v.push_back(mem("rho_eos2b", 5, 0, 1, 2, 0.08));
+    v.push_back(mem("rho_eos4", 7, 2, 1, 5, 0.16));
+    v.push_back(mem("rho_eos5", 5, 0, 1, 2, 0.08));
+    v.push_back(mem("rho_eos6", 3, 0, 1, 1, 0.06));
+    v.push_back(comp("set_vbc1", 3, 1, 9, 0.56));
+    v.push_back(comp("set_vbc2", 3, 1, 9, 0.56));
+    v.push_back(comp("wsm51", 2, 1, 12, 1.0));
+    v.push_back(comp("wsm52", 2, 1, 12, 1.0));
+    v.push_back(comp("wsm53", 3, 1, 9, 0.56));
+    v.push_back(mem("sff2", 5, 0, 1, 3, 0.13));
+    v.push_back(mem("sff5", 5, 2, 1, 5, 0.21));
+    v.push_back(mem("step2d1", 7, 0, 1, 7, 0.22));
+    v.push_back(mem("step2d6", 6, 0, 1, 5, 0.18));
+
+    // --- OpenCV phases. ---
+    v.push_back(red("fitLine2D", 3, 11, 0.92, MemLevel::VecCache,
+                    786432));
+    v.push_back(mem("addWeight", 2, 0, 1, 4, 0.33));
+    v.push_back(mem("compare", 2, 0, 1, 3, 0.25));
+    v.push_back(comp("rgb2xyz", 3, 1, 10, 0.63));
+    v.push_back(comp("calcDist3D", 3, 1, 14, 0.875));
+    v.push_back(comp("rgb2hsv", 2, 1, 22, 1.83));
+    v.push_back(mem("accProd", 2, 0, 1, 2, 0.17));
+    v.push_back(red("dotProd", 2, 2, 0.25, MemLevel::Dram, 49152));
+    v.push_back(red("normL1", 1, 2, 0.5, MemLevel::Dram, 49152));
+    v.push_back(red("normL2", 2, 2, 0.25, MemLevel::Dram, 49152));
+    v.push_back(mem("blend", 4, 0, 1, 6, 0.3));
+    v.push_back(red("fitLine3D", 4, 7, 0.44, MemLevel::Dram, 49152));
+    v.push_back(mem("rgb2ycrcb", 5, 0, 1, 10, 0.42));
+    v.push_back(mem("rgb2gray", 3, 0, 1, 5, 0.31));
+    return v;
+}
+
+} // namespace
+
+const std::vector<PhaseSpec> &
+allPhaseSpecs()
+{
+    static const std::vector<PhaseSpec> specs = buildSpecs();
+    return specs;
+}
+
+const PhaseSpec &
+phaseSpec(const std::string &name)
+{
+    for (const auto &s : allPhaseSpecs())
+        if (s.name == name)
+            return s;
+    throw std::out_of_range("unknown phase: " + name);
+}
+
+kir::Loop
+makeNamedPhase(const std::string &name, std::uint64_t trip)
+{
+    PhaseSpec spec = phaseSpec(name);
+    if (trip)
+        spec.trip = trip;
+    return makePhase(spec);
+}
+
+kir::Loop
+makeRh3dLoop(std::uint64_t trip)
+{
+    using namespace kir;
+    Loop loop;
+    loop.name = "rh3d";
+    loop.trip = trip;
+    const int dndx = loop.addArray("dndx", trip);
+    const int dmde = loop.addArray("dmde", trip);
+    const int v = loop.addArray("v", trip);
+    const int v1 = loop.addArray("v_1", trip);
+    const int u = loop.addArray("u", trip);
+    const int u1 = loop.addArray("u_1", trip);
+    const int ufx = loop.addArray("Ufx", trip);
+    const int ufe = loop.addArray("Ufe", trip);
+
+    // Ufx[i] = 0.5*dndx[i]*(v+v_1)^2 - dmde[i]*(v+v_1)*(u+u_1)
+    // Ufe[i] = 0.5*dndx[i]*(v+v_1)*(u+u_1) - dmde[i]*(u+u_1)^2
+    ExprP vv = add(load(v), load(v1));
+    ExprP uu = add(load(u), load(u1));
+    ExprP hd = mul(cst(0.5), load(dndx));
+    ExprP vu = mul(vv, uu);
+    loop.store(ufx, sub(mul(hd, mul(vv, vv)), mul(load(dmde), vu)));
+    loop.store(ufe, sub(mul(hd, vu), mul(load(dmde), mul(uu, uu))));
+    return loop;
+}
+
+kir::Loop
+makeRhoEosLoop(std::uint64_t trip)
+{
+    using namespace kir;
+    Loop loop;
+    loop.name = "rho_eos";
+    loop.trip = trip;
+    const int den = loop.addArray("den", trip);
+    const int bulk = loop.addArray("bulk", trip);
+    const int z_r = loop.addArray("z_r", trip);
+    const int bulk_dt = loop.addArray("bulkDT", trip);
+    const int den1 = loop.addArray("den1", trip);
+    const int den1_dt = loop.addArray("den1DT", trip);
+    const int bulk_ds = loop.addArray("bulkDS", trip);
+    const int den1_ds = loop.addArray("den1DS", trip);
+    const int wrk = loop.addArray("wrk", trip);
+    const int tcof = loop.addArray("Tcof", trip);
+    const int scof = loop.addArray("Scof", trip);
+
+    // wrk[i]  = (den+1000) * (bulk + 0.1*z_r)^2
+    // Tcof[i] = -(bulkDT*0.1*z_r*den1 + den1DT*bulk*(bulk+0.1*z_r))
+    // Scof[i] = -(bulkDS*0.1*z_r*den1 + den1DS*bulk*(bulk+0.1*z_r))
+    ExprP zr01 = mul(cst(0.1), load(z_r));
+    ExprP bz = add(load(bulk), zr01);
+    loop.store(wrk, mul(add(load(den), cst(1000.0)), mul(bz, bz)));
+    ExprP zd = mul(zr01, load(den1));
+    ExprP bbz = mul(load(bulk), bz);
+    loop.store(tcof, neg(add(mul(load(bulk_dt), zd),
+                             mul(load(den1_dt), bbz))));
+    loop.store(scof, neg(add(mul(load(bulk_ds), zd),
+                             mul(load(den1_ds), bbz))));
+    return loop;
+}
+
+kir::Loop
+makeWsm5Loop(std::uint64_t trip)
+{
+    using namespace kir;
+    Loop loop;
+    loop.name = "wsm5";
+    loop.trip = trip;
+    const int ww = loop.addArray("ww", kVecCacheArrayElems, false);
+    const int dz = loop.addArray("dz", kVecCacheArrayElems, false);
+    const int wi = loop.addArray("wi", kVecCacheArrayElems, false);
+
+    // wi[k] = (ww[k]*dz[k-1] + ww[k-1]*dz[k]) / (dz[k-1] + dz[k])
+    ExprP num = add(mul(load(ww, 0), load(dz, -1)),
+                    mul(load(ww, -1), load(dz, 0)));
+    ExprP den = add(load(dz, -1), load(dz, 0));
+    loop.store(wi, div(num, den));
+    return loop;
+}
+
+} // namespace occamy::workloads

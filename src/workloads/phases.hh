@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Phase kernels: kernel-IR re-creations of the SPECCPU2017 loops and
+ * OpenCV kernels of Table 3.
+ *
+ * Each phase is constructed so that the Eq. 5 analysis of its loop body
+ * reproduces the operational intensity the paper reports for it (see
+ * tests/workloads for the verification sweep). Memory-intensive phases
+ * stream DRAM-resident arrays; compute-intensive phases iterate over
+ * wrapped VecCache/L2-resident working sets, matching the co-running
+ * behaviour the paper studies.
+ */
+
+#ifndef OCCAMY_WORKLOADS_PHASES_HH
+#define OCCAMY_WORKLOADS_PHASES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "kir/kir.hh"
+
+namespace occamy::workloads
+{
+
+/** Recipe for one synthetic phase with a target instruction mix. */
+struct PhaseSpec
+{
+    std::string name;
+
+    /** Distinct streaming input arrays (one load each). */
+    unsigned loads = 3;
+
+    /** Extra loads at offset +1 into already-loaded arrays: they add
+     *  issue-side bytes but no footprint (data reuse, making
+     *  oi_issue < oi_mem as in the paper's Case 4). */
+    unsigned reuseLoads = 0;
+
+    /** Output arrays (one store each). */
+    unsigned stores = 1;
+
+    /** SIMD compute instructions per iteration (including the reduction
+     *  accumulate if `reduction`). */
+    unsigned flops = 4;
+
+    /** Reduction kernel (dot products, norms, line fits): no stores,
+     *  the last value accumulates. */
+    bool reduction = false;
+
+    /** Which level the working set lives at: Dram = streaming arrays,
+     *  VecCache/L2 = wrapped resident arrays. */
+    MemLevel level = MemLevel::Dram;
+
+    /** Scalar trip count. */
+    std::uint64_t trip = 49152;
+
+    /** Expected oi_mem from Table 3 (checked by tests). */
+    double tableOiMem = 0.0;
+};
+
+/** Build the kernel-IR loop realizing @p spec. */
+kir::Loop makePhase(const PhaseSpec &spec);
+
+/** Look up a named phase recipe (e.g. "rho_eos2", "wsm51"). */
+const PhaseSpec &phaseSpec(const std::string &name);
+
+/** All registered phase recipes. */
+const std::vector<PhaseSpec> &allPhaseSpecs();
+
+/** Convenience: build a named phase, optionally overriding the trip. */
+kir::Loop makeNamedPhase(const std::string &name, std::uint64_t trip = 0);
+
+/**
+ * The motivating loops of Fig. 2(a), written out literally:
+ *   rh3d (Ufx/Ufe), rho_eos (wrk/Tcof/Scof) and wsm5 (wi).
+ * These exercise the full expression DAG path (CSE, invariants,
+ * stencil offsets) rather than the synthetic generator.
+ */
+kir::Loop makeRh3dLoop(std::uint64_t trip = 49152);
+kir::Loop makeRhoEosLoop(std::uint64_t trip = 49152);
+kir::Loop makeWsm5Loop(std::uint64_t trip = 262144);
+
+} // namespace occamy::workloads
+
+#endif // OCCAMY_WORKLOADS_PHASES_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: stats package, logging
+ * registry and machine configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace occamy
+{
+namespace
+{
+
+TEST(Stats, CounterIncrements)
+{
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageMean)
+{
+    stats::Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(Stats, DistributionBucketsAndClamping)
+{
+    stats::Distribution d(0.0, 10.0, 5);
+    d.sample(0.5);     // bucket 0
+    d.sample(9.9);     // bucket 4
+    d.sample(-3.0);    // clamps to bucket 0
+    d.sample(42.0);    // clamps to bucket 4
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_EQ(d.buckets()[0], 2u);
+    EXPECT_EQ(d.buckets()[4], 2u);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+}
+
+TEST(Stats, GroupDumpAndGet)
+{
+    stats::Counter c;
+    c += 7;
+    stats::Average a;
+    a.sample(4.0);
+    stats::Group g("grp");
+    g.addCounter("events", &c, "number of events");
+    g.addAverage("occupancy", &a);
+    g.addFormula("double_events", [&] { return 2.0 * c.value(); });
+
+    EXPECT_DOUBLE_EQ(g.get("events"), 7.0);
+    EXPECT_DOUBLE_EQ(g.get("occupancy"), 4.0);
+    EXPECT_DOUBLE_EQ(g.get("double_events"), 14.0);
+    EXPECT_THROW(g.get("missing"), std::out_of_range);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("grp.events"), std::string::npos);
+    EXPECT_NE(text.find("number of events"), std::string::npos);
+}
+
+TEST(Log, EnableDisableFlags)
+{
+    EXPECT_FALSE(Log::enabled("TestFlagX"));
+    Log::enable("TestFlagX");
+    EXPECT_TRUE(Log::enabled("TestFlagX"));
+    EXPECT_FALSE(Log::enabled("TestFlagY"));
+    Log::disable("TestFlagX");
+    EXPECT_FALSE(Log::enabled("TestFlagX"));
+}
+
+TEST(Log, AllFlag)
+{
+    Log::enable("All");
+    EXPECT_TRUE(Log::enabled("anything"));
+    Log::disable("All");
+    EXPECT_FALSE(Log::enabled("anything"));
+}
+
+TEST(Config, PolicyNames)
+{
+    EXPECT_STREQ(policyName(SharingPolicy::Private), "Private");
+    EXPECT_STREQ(policyName(SharingPolicy::Temporal), "FTS");
+    EXPECT_STREQ(policyName(SharingPolicy::StaticSpatial), "VLS");
+    EXPECT_STREQ(policyName(SharingPolicy::Elastic), "Occamy");
+}
+
+TEST(Config, DefaultsMatchTable4)
+{
+    MachineConfig cfg;
+    EXPECT_EQ(cfg.numCores, 2u);
+    EXPECT_EQ(cfg.totalLanes(), 32u);
+    EXPECT_EQ(cfg.numExeBUs, 8u);
+    EXPECT_EQ(cfg.vregsPerBlk, 160u);
+    EXPECT_EQ(cfg.pregsPerBlk, 64u);
+    EXPECT_EQ(cfg.vecCache.sizeBytes, 128u * 1024u);
+    EXPECT_EQ(cfg.vecCache.latency, 5u);
+    EXPECT_EQ(cfg.l2.sizeBytes, 8u * 1024u * 1024u);
+    EXPECT_EQ(cfg.l2.latency, 18u);
+    EXPECT_EQ(cfg.dramBytesPerCycle, 32u);   // 64 GB/s at 2 GHz.
+    EXPECT_DOUBLE_EQ(cfg.ghz, 2.0);
+    EXPECT_EQ(cfg.computeIssueWidth + cfg.memIssueWidth, 4u);
+}
+
+TEST(Config, ForPolicyScalesWithCores)
+{
+    for (unsigned cores : {2u, 4u}) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Elastic, cores);
+        EXPECT_EQ(cfg.numCores, cores);
+        EXPECT_EQ(cfg.numExeBUs, 4 * cores);
+        EXPECT_EQ(cfg.privateBusPerCore(), 4u);
+        EXPECT_EQ(cfg.totalLanes(), 16 * cores);
+    }
+}
+
+TEST(Types, LaneArithmetic)
+{
+    EXPECT_EQ(kLanesPerBu, 4u);
+    EXPECT_EQ(kBytesPerBu, 16u);
+    static_assert(kBuBits == 128);
+    static_assert(kLaneBits == 32);
+}
+
+} // namespace
+} // namespace occamy

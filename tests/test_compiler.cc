@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the Occamy compiler (Section 6): the Fig. 9 code structure
+ * per sharing policy, vectorizer correctness (CSE, register recycling,
+ * invariant hoisting, reductions), default-VL selection, and
+ * multi-version thresholds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/compiler.hh"
+#include "workloads/phases.hh"
+
+namespace occamy
+{
+namespace
+{
+
+kir::Loop
+saxpy(std::uint64_t trip = 65536)
+{
+    kir::Loop loop;
+    loop.name = "saxpy";
+    loop.trip = trip;
+    const int x = loop.addArray("x", trip);
+    const int y = loop.addArray("y", trip);
+    loop.store(y, kir::fma(kir::cst(2.0), kir::load(x), kir::load(y)));
+    return loop;
+}
+
+Compiler
+elasticCompiler()
+{
+    return Compiler(CompileOptions::forMachine(
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2)));
+}
+
+unsigned
+countOps(const std::vector<Inst> &insts, Opcode op)
+{
+    unsigned n = 0;
+    for (const auto &inst : insts)
+        if (inst.op == op)
+            ++n;
+    return n;
+}
+
+TEST(Compiler, ElasticFig9Structure)
+{
+    const Program prog = elasticCompiler().compile("p", {saxpy()});
+    ASSERT_EQ(prog.loops.size(), 1u);
+    const VectorLoop &loop = prog.loops[0];
+
+    // Prologue: MSR <OI>, then the default-VL set, then invariants.
+    ASSERT_GE(loop.prologue.size(), 3u);
+    EXPECT_EQ(loop.prologue[0].op, Opcode::MsrOI);
+    EXPECT_EQ(loop.prologue[1].op, Opcode::MsrVL);
+    EXPECT_GT(loop.prologue[1].imm, 0u);
+    EXPECT_EQ(countOps(loop.prologue, Opcode::VDup), 1u);
+
+    // Partition monitor: MRS <decision>.
+    ASSERT_EQ(loop.monitor.size(), 1u);
+    EXPECT_EQ(loop.monitor[0].op, Opcode::MrsDecision);
+
+    // Reconfiguration: MSR <VL>, <decision>.
+    ASSERT_EQ(loop.reconfig.size(), 1u);
+    EXPECT_EQ(loop.reconfig[0].op, Opcode::MsrVL);
+    EXPECT_TRUE(loop.reconfig[0].vlFromDecision);
+
+    // Re-init: re-broadcast of the hoisted constant.
+    EXPECT_EQ(countOps(loop.reinit, Opcode::VDup), 1u);
+
+    // Epilogue: MSR <OI>,0 then the lane release MSR <VL>,0.
+    ASSERT_EQ(loop.epilogue.size(), 2u);
+    EXPECT_EQ(loop.epilogue[0].op, Opcode::MsrOI);
+    EXPECT_FALSE(loop.epilogue[0].oi.active());
+    EXPECT_EQ(loop.epilogue[1].op, Opcode::MsrVL);
+    EXPECT_EQ(loop.epilogue[1].imm, 0u);
+    EXPECT_FALSE(loop.epilogue[1].vlFromDecision);
+}
+
+TEST(Compiler, BodyShape)
+{
+    const Program prog = elasticCompiler().compile("p", {saxpy()});
+    const VectorLoop &loop = prog.loops[0];
+    // whilelt, 2 loads, fmla, store.
+    EXPECT_EQ(loop.body[0].op, Opcode::VWhilelt);
+    EXPECT_EQ(countOps(loop.body, Opcode::VLoad), 2u);
+    EXPECT_EQ(countOps(loop.body, Opcode::VFMla), 1u);
+    EXPECT_EQ(countOps(loop.body, Opcode::VStore), 1u);
+    EXPECT_EQ(loop.body.size(), 5u);
+}
+
+TEST(Compiler, NonElasticPoliciesEmitNoMonitor)
+{
+    for (SharingPolicy p :
+         {SharingPolicy::Private, SharingPolicy::Temporal,
+          SharingPolicy::StaticSpatial}) {
+        Compiler compiler(CompileOptions::forMachine(
+            MachineConfig::forPolicy(p, 2)));
+        const Program prog = compiler.compile("p", {saxpy()});
+        const VectorLoop &loop = prog.loops[0];
+        EXPECT_TRUE(loop.monitor.empty()) << policyName(p);
+        EXPECT_TRUE(loop.reconfig.empty()) << policyName(p);
+        EXPECT_EQ(countOps(loop.prologue, Opcode::MsrOI), 0u)
+            << policyName(p);
+        // Exactly one fixed-VL set in the prologue.
+        ASSERT_EQ(countOps(loop.prologue, Opcode::MsrVL), 1u);
+        EXPECT_TRUE(loop.epilogue.empty()) << policyName(p);
+    }
+}
+
+TEST(Compiler, FixedVlPerPolicy)
+{
+    auto fixed_vl = [](SharingPolicy p, unsigned static_vl = 0) {
+        MachineConfig cfg = MachineConfig::forPolicy(p, 2);
+        Compiler compiler(CompileOptions::forMachine(cfg, static_vl));
+        const Program prog = compiler.compile("p", {saxpy()});
+        return prog.loops[0].prologue[0].imm;
+    };
+    EXPECT_EQ(fixed_vl(SharingPolicy::Private), 4u);
+    EXPECT_EQ(fixed_vl(SharingPolicy::Temporal), 8u);
+    EXPECT_EQ(fixed_vl(SharingPolicy::StaticSpatial, 3), 3u);
+}
+
+TEST(Compiler, DefaultVlIsKneeCappedAtFairShare)
+{
+    // Memory-bound saxpy (oi_issue 1/12, oi_mem 1/8): the issue ceiling
+    // meets the DRAM ceiling at 3 BUs, below the fair share of 4.
+    const Program mem_prog = elasticCompiler().compile("p", {saxpy()});
+    EXPECT_EQ(mem_prog.loops[0].defaultVl, 3u);
+
+    // Compute-bound kernel: knee 8 capped at fair share 4.
+    const Program comp_prog = elasticCompiler().compile(
+        "c", {workloads::makeNamedPhase("wsm51")});
+    EXPECT_EQ(comp_prog.loops[0].defaultVl, 4u);
+}
+
+TEST(Compiler, CseSharesSubexpressions)
+{
+    const Program prog = elasticCompiler().compile(
+        "rh3d", {workloads::makeRh3dLoop(4096)});
+    const VectorLoop &loop = prog.loops[0];
+    // 6 unique loads (v, v_1, u, u_1, dndx, dmde), 12 unique ops,
+    // 2 stores, 1 whilelt.
+    EXPECT_EQ(countOps(loop.body, Opcode::VLoad), 6u);
+    EXPECT_EQ(countOps(loop.body, Opcode::VStore), 2u);
+    unsigned arith = 0;
+    for (const auto &inst : loop.body)
+        if (isVCompute(inst.op) && inst.op != Opcode::VWhilelt)
+            ++arith;
+    EXPECT_EQ(arith, 12u);
+}
+
+TEST(Compiler, RegisterDisciplineRespectsPlan)
+{
+    // Temps in z0..z23, invariants z24..z27, accumulators z28..z31.
+    const Program prog = elasticCompiler().compile(
+        "rho_eos", {workloads::makeRhoEosLoop(4096)});
+    for (const auto &inst : prog.loops[0].body) {
+        if ((inst.op == Opcode::VLoad || isVCompute(inst.op)) &&
+            inst.dst >= 0) {
+            EXPECT_LT(inst.dst, 28);
+        }
+        for (unsigned i = 0; i < inst.nsrc; ++i)
+            EXPECT_LT(inst.src[i], 32);
+    }
+}
+
+TEST(Compiler, TempRecyclingKeepsPressureLow)
+{
+    // A loop with 10 loads and a deep chain still fits the temp pool.
+    kir::Loop loop = workloads::makeNamedPhase("step3d_uv2");
+    const Program prog = elasticCompiler().compile("p", {loop});
+    std::set<int> temps;
+    for (const auto &inst : prog.loops[0].body)
+        if (inst.dst >= 0 && inst.dst < 24)
+            temps.insert(inst.dst);
+    EXPECT_LE(temps.size(), 16u);
+}
+
+TEST(Compiler, ReductionGetsRotatingAccumulatorAndFixup)
+{
+    kir::Loop dot;
+    dot.name = "dot";
+    dot.trip = 65536;
+    const int x = dot.addArray("x", dot.trip);
+    const int y = dot.addArray("y", dot.trip);
+    dot.reduction = kir::mul(kir::load(x), kir::load(y));
+
+    const Program prog = elasticCompiler().compile("p", {dot});
+    const VectorLoop &loop = prog.loops[0];
+    EXPECT_TRUE(loop.hasReduction);
+
+    // The body accumulates with rotation enabled.
+    bool found_acc = false;
+    for (const auto &inst : loop.body)
+        if (inst.rotateAcc) {
+            found_acc = true;
+            EXPECT_GE(inst.dst, 28);
+        }
+    EXPECT_TRUE(found_acc);
+
+    // Prologue zeroes 4 accumulators; re-init folds and re-seeds them;
+    // epilogue reduces them.
+    EXPECT_EQ(countOps(loop.prologue, Opcode::VDup), 4u);
+    EXPECT_EQ(countOps(loop.reinit, Opcode::VRedAdd), 4u);
+    EXPECT_EQ(countOps(loop.reinit, Opcode::VDup), 4u);
+    EXPECT_EQ(countOps(loop.epilogue, Opcode::VRedAdd), 4u);
+}
+
+TEST(Compiler, ScalarFallbackMirrorsInstMix)
+{
+    const Program prog = elasticCompiler().compile("p", {saxpy()});
+    const VectorLoop &loop = prog.loops[0];
+    EXPECT_EQ(countOps(loop.scalarBody, Opcode::SLoad),
+              loop.phase.memInsts);
+    EXPECT_EQ(countOps(loop.scalarBody, Opcode::SAlu),
+              loop.phase.computeInsts);
+}
+
+TEST(Compiler, PhaseInfoCarriesAnalysis)
+{
+    const Program prog = elasticCompiler().compile("p", {saxpy()});
+    const PhaseInfo &phase = prog.loops[0].phase;
+    EXPECT_EQ(phase.computeInsts, 1u);
+    EXPECT_EQ(phase.memInsts, 3u);
+    EXPECT_NEAR(phase.oi.issue, 1.0 / 12.0, 1e-9);
+    EXPECT_NEAR(phase.oi.mem, 1.0 / 8.0, 1e-9);   // y reused in place.
+    EXPECT_EQ(phase.oi.level, MemLevel::Dram);
+    EXPECT_TRUE(phase.memoryIntensive);
+}
+
+TEST(Compiler, MonitorPeriodPropagates)
+{
+    CompileOptions opts = CompileOptions::forMachine(
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    opts.monitorPeriod = 3;
+    Compiler compiler(opts);
+    const Program prog = compiler.compile("p", {saxpy()});
+    EXPECT_EQ(prog.loops[0].monitorPeriod, 3u);
+}
+
+TEST(Compiler, ArraysAccumulateAcrossLoops)
+{
+    const Program prog = elasticCompiler().compile(
+        "two", {saxpy(), workloads::makeWsm5Loop(4096)});
+    // saxpy contributes 2 arrays, wsm5 contributes 3.
+    EXPECT_EQ(prog.arrays.size(), 5u);
+    // The second loop's instructions reference program-level ids.
+    for (const auto &inst : prog.loops[1].body) {
+        if (isVMem(inst.op)) {
+            EXPECT_GE(inst.arrayId, 2);
+        }
+    }
+}
+
+TEST(Compiler, TooManyInvariantsThrows)
+{
+    kir::Loop loop;
+    loop.trip = 65536;
+    const int a = loop.addArray("a", loop.trip);
+    const int o = loop.addArray("o", loop.trip);
+    auto e = kir::load(a);
+    for (int i = 0; i < 6; ++i)
+        e = kir::mul(e, kir::cst(1.5 + i));
+    loop.store(o, e);
+    std::vector<ArrayInfo> arrays;
+    EXPECT_THROW(elasticCompiler().compileLoop(loop, arrays),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic fuzzing: generate pseudo-random (seeded) kernel loops
+ * and co-run them under every sharing policy, checking the global
+ * invariants that must survive any workload shape — completion, exact
+ * trip accounting, lane conservation, bounded utilization, and
+ * policy-invariant DRAM traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kir/analysis.hh"
+#include "sim/system.hh"
+
+namespace occamy
+{
+namespace
+{
+
+/** Small deterministic PRNG (xorshift32). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint32_t seed) : state_(seed ? seed : 1) {}
+
+    std::uint32_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 17;
+        state_ ^= state_ << 5;
+        return state_;
+    }
+
+    /** Uniform in [lo, hi]. */
+    std::uint32_t
+    range(std::uint32_t lo, std::uint32_t hi)
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+  private:
+    std::uint32_t state_;
+};
+
+/** Generate a random but well-formed loop. */
+kir::Loop
+randomLoop(Rng &rng, const std::string &name)
+{
+    kir::Loop loop;
+    loop.name = name;
+    loop.trip = 512u << rng.range(0, 4);          // 512 .. 8192.
+    const bool streaming = rng.range(0, 1) == 1;
+    const unsigned n_in = rng.range(1, 6);
+    const unsigned n_out = rng.range(0, 2);
+    const std::uint64_t elems =
+        streaming ? loop.trip : 1024u << rng.range(0, 2);
+
+    std::vector<kir::ExprP> values;
+    for (unsigned i = 0; i < n_in; ++i) {
+        const int a = loop.addArray(name + "_i" + std::to_string(i),
+                                    elems, streaming);
+        values.push_back(kir::load(a, static_cast<std::int32_t>(
+                                           rng.range(0, 2))));
+    }
+    if (rng.range(0, 3) == 0)
+        values.push_back(kir::cst(1.0 + rng.range(0, 7)));
+
+    // Random DAG: combine random pairs.
+    const unsigned ops = rng.range(1, 12);
+    for (unsigned k = 0; k < ops; ++k) {
+        const auto &a = values[rng.next() % values.size()];
+        const auto &b = values[rng.next() % values.size()];
+        static const kir::ArithOp kOps[] = {
+            kir::ArithOp::Add, kir::ArithOp::Mul, kir::ArithOp::Sub,
+            kir::ArithOp::Max, kir::ArithOp::Min};
+        values.push_back(kir::op(kOps[rng.range(0, 4)], a, b));
+    }
+
+    if (n_out == 0 && rng.range(0, 1) == 0) {
+        loop.reduction = values.back();
+    } else {
+        for (unsigned i = 0; i < std::max(n_out, 1u); ++i) {
+            const int o = loop.addArray(name + "_o" + std::to_string(i),
+                                        elems, streaming);
+            loop.store(o, values[values.size() - 1 - i]);
+        }
+    }
+    return loop;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzSweep, CorunInvariantsHoldForAllPolicies)
+{
+    Rng rng(0x9e3779b9u + GetParam() * 0x85ebca6bu);
+    std::vector<kir::Loop> wl0, wl1;
+    const unsigned n0 = rng.range(1, 3);
+    for (unsigned i = 0; i < n0; ++i)
+        wl0.push_back(randomLoop(rng, "a" + std::to_string(i)));
+    const unsigned n1 = rng.range(1, 2);
+    for (unsigned i = 0; i < n1; ++i)
+        wl1.push_back(randomLoop(rng, "b" + std::to_string(i)));
+
+    std::uint64_t dram_ref = 0;
+    for (SharingPolicy p :
+         {SharingPolicy::Private, SharingPolicy::Temporal,
+          SharingPolicy::StaticSpatial, SharingPolicy::Elastic}) {
+        System sys(MachineConfig::forPolicy(p, 2));
+        sys.setWorkload(0, "w0", wl0);
+        sys.setWorkload(1, "w1", wl1);
+        const RunResult r = sys.run(30'000'000);
+
+        ASSERT_FALSE(r.timedOut)
+            << policyName(p) << " seed " << GetParam();
+        EXPECT_GT(r.cores[0].finish, 0u);
+        EXPECT_GT(r.cores[1].finish, 0u);
+        EXPECT_GE(r.simdUtil, 0.0);
+        EXPECT_LE(r.simdUtil, 1.0 + 1e-9);
+        EXPECT_EQ(r.cores[0].phases.size(), wl0.size());
+        EXPECT_EQ(r.cores[1].phases.size(), wl1.size());
+
+        // Lane conservation at the end of an elastic run: everything
+        // released.
+        for (const auto &core : r.cores)
+            for (const auto &ph : core.phases) {
+                EXPECT_LE(ph.firstVl, 8u);
+                EXPECT_LE(ph.lastVl, 8u);
+            }
+
+        // Work conservation: identical DRAM traffic across policies
+        // (within prefetch-overshoot noise).
+        if (p == SharingPolicy::Private) {
+            dram_ref = r.dramBytes;
+        } else if (dram_ref > (1u << 20)) {
+            const double ratio = static_cast<double>(r.dramBytes) /
+                                 static_cast<double>(dram_ref);
+            EXPECT_GT(ratio, 0.85) << policyName(p);
+            EXPECT_LT(ratio, 1.15) << policyName(p);
+        }
+    }
+}
+
+TEST_P(FuzzSweep, ExactElementAccounting)
+{
+    Rng rng(0xdeadbeefu + GetParam() * 2654435761u);
+    kir::Loop loop = randomLoop(rng, "x");
+    loop.trip = 777 + GetParam() * 131;     // Awkward tails.
+    // Force the vector path even for small trips.
+    const kir::LoopSummary s = kir::analyze(loop);
+
+    System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
+    sys.setWorkload(0, "x", {loop});
+    sys.setWorkload(1, "idle", {});
+    const RunResult r = sys.run(30'000'000);
+    ASSERT_FALSE(r.timedOut);
+
+    if (loop.trip >= 128) {
+        const std::uint64_t iters = (loop.trip + 15) / 16;
+        EXPECT_EQ(r.cores[0].memIssued, iters * s.memInsts)
+            << "seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0u, 24u));
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for strided gather/scatter support: kernel-IR construction, CSE
+ * keys distinguishing strides, compiler lowering, the one-beat-per-
+ * element port cost, line-traffic amplification, and end-to-end runs of
+ * interleaved-data kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "kir/analysis.hh"
+#include "mem/memsystem.hh"
+#include "sim/system.hh"
+
+namespace occamy
+{
+namespace
+{
+
+/** rgb2gray over interleaved RGB: three stride-3 gathers. */
+kir::Loop
+interleavedGray(std::uint64_t pixels = 8192)
+{
+    kir::Loop loop;
+    loop.name = "gray_ilv";
+    loop.trip = pixels;
+    const int rgb = loop.addArray("rgb", pixels * 3);
+    const int gray = loop.addArray("gray", pixels);
+    auto r = kir::loadStrided(rgb, 3, 0);
+    auto g = kir::loadStrided(rgb, 3, 1);
+    auto b = kir::loadStrided(rgb, 3, 2);
+    loop.store(gray,
+               kir::add(kir::mul(kir::cst(0.299), r),
+                        kir::add(kir::mul(kir::cst(0.587), g),
+                                 kir::mul(kir::cst(0.114), b))));
+    return loop;
+}
+
+TEST(Gather, CseDistinguishesStrides)
+{
+    kir::Loop loop;
+    loop.trip = 1024;
+    const int a = loop.addArray("a", 4096);
+    const int o = loop.addArray("o", 1024);
+    // Same (array, offset) but different strides: two distinct loads.
+    loop.store(o, kir::add(kir::loadStrided(a, 2), kir::load(a)));
+    const kir::LoopSummary s = kir::analyze(loop);
+    EXPECT_EQ(s.memInsts, 3u);
+}
+
+TEST(Gather, CompilerLowersStride)
+{
+    Compiler compiler(CompileOptions::forMachine(
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2)));
+    const Program prog = compiler.compile("p", {interleavedGray()});
+    unsigned gathers = 0;
+    for (const auto &inst : prog.loops[0].body)
+        if (inst.op == Opcode::VLoad && inst.stride == 3)
+            ++gathers;
+    EXPECT_EQ(gathers, 3u);
+    EXPECT_NE(prog.disassemble().find("stride 3"), std::string::npos);
+}
+
+TEST(Gather, StridedAccessTouchesEveryLine)
+{
+    MachineConfig cfg;
+    cfg.prefetchDegree = 0;
+    MemSystem mem(cfg);
+    // 16 elements, stride 16 elements (64 B): one line per element.
+    mem.accessStrided(0, 4, 16, 16, false, 0);
+    EXPECT_EQ(mem.dramReads(), 16u);
+    // Contiguous 16 elements: one line.
+    MemSystem mem2(cfg);
+    mem2.access(0, 64, false, 0);
+    EXPECT_EQ(mem2.dramReads(), 1u);
+}
+
+TEST(Gather, SmallStrideSharesLines)
+{
+    MachineConfig cfg;
+    cfg.prefetchDegree = 0;
+    MemSystem mem(cfg);
+    // 16 elements at stride 2 span 128 B = 2 lines.
+    mem.accessStrided(0, 4, 2, 16, false, 0);
+    EXPECT_EQ(mem.dramReads(), 2u);
+}
+
+TEST(Gather, PortCostIsPerElement)
+{
+    MachineConfig cfg;
+    MemSystem mem(cfg);
+    // Warm the lines.
+    mem.access(0, 256, false, 0);
+    // A 16-element gather at t=10000 occupies 16 beats of the port:
+    // a subsequent access starts ~2 cycles later (16*16B / 128 B/cy).
+    const Cycle t = 10'000;
+    mem.accessStrided(0, 4, 2, 16, false, t);
+    const MemAccessResult next = mem.access(0, 64, false, t);
+    EXPECT_GE(next.dataReady, t + cfg.vecCache.latency + 2);
+}
+
+TEST(Gather, InterleavedKernelRunsEndToEnd)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "gray", {interleavedGray()});
+    sys.setWorkload(1, "idle", {});
+    const RunResult r = sys.run(20'000'000);
+    ASSERT_FALSE(r.timedOut);
+    EXPECT_GT(r.cores[0].finish, 0u);
+    // 3 gathers + 1 store per iteration at 16 lanes... iterations are
+    // width-dependent under elastic; just require the volume matches
+    // iterations * 4.
+    EXPECT_EQ(r.cores[0].memIssued % 4, 0u);
+}
+
+TEST(Gather, InterleavedSlowerThanPlanar)
+{
+    // The same grayscale math over planar R/G/B should beat the
+    // interleaved stride-3 version (gathers cost one beat per element
+    // and monopolize the ld/st issue slots).
+    auto runOn = [](kir::Loop loop) {
+        System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
+        sys.setWorkload(0, "k", {std::move(loop)});
+        sys.setWorkload(1, "idle", {});
+        return sys.run(20'000'000).cores[0].finish;
+    };
+
+    kir::Loop planar;
+    planar.trip = 8192;
+    const int rp = planar.addArray("r", planar.trip);
+    const int gp = planar.addArray("g", planar.trip);
+    const int bp = planar.addArray("b", planar.trip);
+    const int op = planar.addArray("gray", planar.trip);
+    planar.store(op, kir::add(kir::mul(kir::cst(0.299), kir::load(rp)),
+                              kir::add(kir::mul(kir::cst(0.587),
+                                                kir::load(gp)),
+                                       kir::mul(kir::cst(0.114),
+                                                kir::load(bp)))));
+
+    const Cycle planar_t = runOn(planar);
+    const Cycle ilv_t = runOn(interleavedGray(8192));
+    EXPECT_GT(ilv_t, planar_t);
+}
+
+TEST(Gather, ScatterStoreWorks)
+{
+    kir::Loop loop;
+    loop.name = "transpose_row";
+    loop.trip = 4096;
+    const int in = loop.addArray("in", loop.trip);
+    const int out = loop.addArray("out", loop.trip * 8);
+    loop.storeStrided(out, 8, kir::neg(kir::load(in)));
+
+    System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
+    sys.setWorkload(0, "scatter", {loop});
+    sys.setWorkload(1, "idle", {});
+    const RunResult r = sys.run(20'000'000);
+    ASSERT_FALSE(r.timedOut);
+    EXPECT_GT(r.cores[0].finish, 0u);
+    // Scatter at stride 8 (32 B) touches one line per 2 elements: the
+    // write-allocate traffic is ~4x the planar equivalent.
+    EXPECT_GT(r.dramBytes, 4096u * 4 * 4);
+}
+
+} // namespace
+} // namespace occamy

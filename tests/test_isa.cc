@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the ISA layer: opcode classification (the three instruction
+ * classes of Table 2), latency classes, and instruction / program
+ * rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+#include "isa/opcode.hh"
+
+namespace occamy
+{
+namespace
+{
+
+TEST(Opcode, ClassificationIsAPartition)
+{
+    // Every opcode belongs to exactly one of the three Table 2 classes.
+    for (int i = 0; i <= static_cast<int>(Opcode::MrsAL); ++i) {
+        const Opcode op = static_cast<Opcode>(i);
+        const int classes = (isScalar(op) ? 1 : 0) +
+                            (isSve(op) ? 1 : 0) + (isEmSimd(op) ? 1 : 0);
+        EXPECT_EQ(classes, 1) << opcodeName(op);
+    }
+}
+
+TEST(Opcode, SveSplitsIntoComputeAndMem)
+{
+    EXPECT_TRUE(isVCompute(Opcode::VFMla));
+    EXPECT_TRUE(isVCompute(Opcode::VWhilelt));
+    EXPECT_TRUE(isVCompute(Opcode::VRedAdd));
+    EXPECT_FALSE(isVCompute(Opcode::VLoad));
+    EXPECT_TRUE(isVMem(Opcode::VLoad));
+    EXPECT_TRUE(isVMem(Opcode::VStore));
+    EXPECT_FALSE(isVMem(Opcode::VFAdd));
+}
+
+TEST(Opcode, EmSimdInstructions)
+{
+    for (Opcode op : {Opcode::MsrOI, Opcode::MsrVL, Opcode::MrsVL,
+                      Opcode::MrsStatus, Opcode::MrsDecision,
+                      Opcode::MrsAL}) {
+        EXPECT_TRUE(isEmSimd(op)) << opcodeName(op);
+        EXPECT_FALSE(isSve(op)) << opcodeName(op);
+    }
+}
+
+TEST(Opcode, LatencyClasses)
+{
+    const unsigned fp = 4;
+    EXPECT_EQ(computeLatency(Opcode::VFAdd, fp), fp);
+    EXPECT_EQ(computeLatency(Opcode::VFMla, fp), fp);
+    EXPECT_GT(computeLatency(Opcode::VFDiv, fp), fp);
+    EXPECT_GT(computeLatency(Opcode::VFSqrt, fp), fp);
+    EXPECT_EQ(computeLatency(Opcode::VWhilelt, fp), 1u);
+    EXPECT_EQ(computeLatency(Opcode::VDup, fp), 1u);
+    EXPECT_GT(computeLatency(Opcode::VRedAdd, fp), fp);
+}
+
+TEST(Opcode, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int i = 0; i <= static_cast<int>(Opcode::MrsAL); ++i)
+        names.insert(opcodeName(static_cast<Opcode>(i)));
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(static_cast<int>(Opcode::MrsAL)) + 1);
+}
+
+TEST(Inst, RenderArithmetic)
+{
+    Inst inst;
+    inst.op = Opcode::VFMla;
+    inst.dst = 2;
+    inst.src = {0, 1, 2};
+    inst.nsrc = 3;
+    EXPECT_EQ(inst.toString(), "fmla z2, z0, z1, z2");
+}
+
+TEST(Inst, RenderMemoryWithOffset)
+{
+    Inst inst;
+    inst.op = Opcode::VLoad;
+    inst.dst = 5;
+    inst.arrayId = 3;
+    inst.elemOffset = -1;
+    EXPECT_EQ(inst.toString(), "ld1w z5, [arr3-1]");
+}
+
+TEST(Inst, RenderMsrVlForms)
+{
+    Inst set;
+    set.op = Opcode::MsrVL;
+    set.imm = 3;
+    EXPECT_EQ(set.toString(), "msr_vl #3");
+
+    Inst lazy;
+    lazy.op = Opcode::MsrVL;
+    lazy.vlFromDecision = true;
+    EXPECT_EQ(lazy.toString(), "msr_vl <decision>");
+
+    Inst release;
+    release.op = Opcode::MsrVL;
+    release.imm = 0;
+    EXPECT_EQ(release.toString(), "msr_vl #0");
+}
+
+TEST(Inst, RenderMsrOI)
+{
+    Inst inst;
+    inst.op = Opcode::MsrOI;
+    inst.oi.issue = 0.25;
+    inst.oi.mem = 0.5;
+    EXPECT_EQ(inst.toString(), "msr_oi (0.25,0.5)");
+}
+
+TEST(Program, DisassembleListsArraysAndSections)
+{
+    Program prog;
+    prog.name = "p";
+    prog.arrays.push_back(ArrayInfo{"x", 128, 4, true, 0});
+    VectorLoop loop;
+    loop.phase.name = "k";
+    loop.phase.tripElems = 128;
+    Inst body;
+    body.op = Opcode::VFAdd;
+    body.dst = 1;
+    body.src = {0, 0, -1};
+    body.nsrc = 2;
+    loop.body.push_back(body);
+    prog.loops.push_back(loop);
+
+    const std::string text = prog.disassemble();
+    EXPECT_NE(text.find("array x[128]"), std::string::npos);
+    EXPECT_NE(text.find("phase k"), std::string::npos);
+    EXPECT_NE(text.find("fadd z1, z0, z0"), std::string::npos);
+}
+
+TEST(PhaseOI, ActiveFlag)
+{
+    PhaseOI zero;
+    EXPECT_FALSE(zero.active());
+    PhaseOI oi{0.1, 0.2, MemLevel::Dram};
+    EXPECT_TRUE(oi.active());
+}
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the kernel IR and its Eq. 5 phase analysis: structural CSE,
+ * sliding-window footprints, invariant hoisting, memory-level
+ * classification, and the operational intensities of the paper's
+ * literal motivating loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kir/analysis.hh"
+#include "kir/kir.hh"
+#include "workloads/phases.hh"
+
+namespace occamy
+{
+namespace
+{
+
+constexpr std::uint64_t kVec = 128 * 1024;
+constexpr std::uint64_t kL2 = 8 * 1024 * 1024;
+
+TEST(Kir, BuilderBasics)
+{
+    kir::Loop loop;
+    loop.trip = 100;
+    const int a = loop.addArray("a", 100);
+    const int b = loop.addArray("b", 100);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    loop.store(b, kir::add(kir::load(a), kir::cst(1.0)));
+    EXPECT_EQ(loop.stores.size(), 1u);
+    EXPECT_EQ(loop.arrays[0].name, "a");
+}
+
+TEST(Kir, ArityOfOps)
+{
+    EXPECT_EQ(kir::arity(kir::ArithOp::Add), 2u);
+    EXPECT_EQ(kir::arity(kir::ArithOp::Neg), 1u);
+    EXPECT_EQ(kir::arity(kir::ArithOp::Sqrt), 1u);
+    EXPECT_EQ(kir::arity(kir::ArithOp::Fma), 3u);
+}
+
+TEST(Analysis, SimpleCounts)
+{
+    // out[i] = a[i] + b[i]: 1 compute, 3 memory insts, no reuse.
+    kir::Loop loop;
+    loop.trip = 1000;
+    const int a = loop.addArray("a", 1000);
+    const int b = loop.addArray("b", 1000);
+    const int out = loop.addArray("out", 1000);
+    loop.store(out, kir::add(kir::load(a), kir::load(b)));
+
+    const kir::LoopSummary s = kir::analyze(loop);
+    EXPECT_EQ(s.computeInsts, 1u);
+    EXPECT_EQ(s.memInsts, 3u);
+    EXPECT_DOUBLE_EQ(s.accessBytes, 12.0);
+    EXPECT_DOUBLE_EQ(s.footprintBytes, 12.0);
+    EXPECT_DOUBLE_EQ(s.oiIssue(), s.oiMem());
+}
+
+TEST(Analysis, StructuralCseCollapsesRepeatedSubtrees)
+{
+    // (a+b) used twice, built as two distinct nodes: one compute inst
+    // after CSE plus the two consumers.
+    kir::Loop loop;
+    loop.trip = 1000;
+    const int a = loop.addArray("a", 1000);
+    const int b = loop.addArray("b", 1000);
+    const int o1 = loop.addArray("o1", 1000);
+    const int o2 = loop.addArray("o2", 1000);
+    auto s1 = kir::add(kir::load(a), kir::load(b));
+    auto s2 = kir::add(kir::load(a), kir::load(b));   // Same structure.
+    loop.store(o1, kir::mul(s1, kir::load(a)));
+    loop.store(o2, kir::mul(s2, kir::load(b)));
+
+    const kir::LoopSummary s = kir::analyze(loop);
+    // Unique ops: add(a,b), mul(add,a), mul(add,b) = 3 (not 4).
+    EXPECT_EQ(s.computeInsts, 3u);
+    // Unique loads: a, b = 2; stores: 2.
+    EXPECT_EQ(s.memInsts, 4u);
+}
+
+TEST(Analysis, SlidingWindowReuse)
+{
+    // wi[k] uses dz[k-1] and dz[k]: two load insts, one footprint elem.
+    kir::Loop loop;
+    loop.trip = 1000;
+    const int dz = loop.addArray("dz", 1000);
+    const int wi = loop.addArray("wi", 1000);
+    loop.store(wi, kir::add(kir::load(dz, -1), kir::load(dz, 0)));
+
+    const kir::LoopSummary s = kir::analyze(loop);
+    EXPECT_EQ(s.memInsts, 3u);                 // 2 loads + 1 store.
+    EXPECT_DOUBLE_EQ(s.accessBytes, 12.0);     // Issue side sees all 3.
+    EXPECT_DOUBLE_EQ(s.footprintBytes, 8.0);   // dz cluster + wi.
+    EXPECT_GT(s.oiMem(), s.oiIssue());
+}
+
+TEST(Analysis, DistantOffsetsFormSeparateStreams)
+{
+    kir::Loop loop;
+    loop.trip = 10000;
+    const int a = loop.addArray("a", 20000);
+    const int o = loop.addArray("o", 10000);
+    loop.store(o, kir::add(kir::load(a, 0), kir::load(a, 1000)));
+    const kir::LoopSummary s = kir::analyze(loop);
+    // Two clusters of 'a' plus the store: 12 B of fresh data per iter.
+    EXPECT_DOUBLE_EQ(s.footprintBytes, 12.0);
+}
+
+TEST(Analysis, InPlaceUpdateCountsFootprintOnce)
+{
+    kir::Loop loop;
+    loop.trip = 1000;
+    const int a = loop.addArray("a", 1000);
+    loop.store(a, kir::mul(kir::load(a), kir::load(a)));
+    const kir::LoopSummary s = kir::analyze(loop);
+    EXPECT_EQ(s.memInsts, 2u);                 // 1 load + 1 store.
+    EXPECT_DOUBLE_EQ(s.footprintBytes, 4.0);   // Same array.
+}
+
+TEST(Analysis, InvariantsAreHoistedNotCounted)
+{
+    kir::Loop loop;
+    loop.trip = 1000;
+    const int a = loop.addArray("a", 1000);
+    const int o = loop.addArray("o", 1000);
+    loop.store(o, kir::mul(kir::cst(0.5), kir::load(a)));
+    const kir::LoopSummary s = kir::analyze(loop);
+    EXPECT_EQ(s.computeInsts, 1u);   // Just the mul.
+    EXPECT_EQ(s.invariants, 1u);     // 0.5 broadcast once.
+}
+
+TEST(Analysis, ReductionAddsOneAccumulateInst)
+{
+    kir::Loop loop;
+    loop.trip = 1000;
+    const int x = loop.addArray("x", 1000);
+    const int y = loop.addArray("y", 1000);
+    loop.reduction = kir::mul(kir::load(x), kir::load(y));
+    const kir::LoopSummary s = kir::analyze(loop);
+    EXPECT_TRUE(s.hasReduction);
+    EXPECT_EQ(s.computeInsts, 2u);   // mul + accumulate.
+    EXPECT_EQ(s.memInsts, 2u);
+    EXPECT_DOUBLE_EQ(s.oiMem(), 0.25);
+}
+
+TEST(Analysis, ClassifyStreamingAsDram)
+{
+    kir::Loop loop;
+    loop.trip = 4096;
+    const int a = loop.addArray("a", 4096, /*streaming=*/true);
+    const int o = loop.addArray("o", 4096, /*streaming=*/true);
+    loop.store(o, kir::neg(kir::load(a)));
+    EXPECT_EQ(kir::classifyMemLevel(loop, kVec, kL2), MemLevel::Dram);
+}
+
+TEST(Analysis, ClassifyResidentByCapacity)
+{
+    // 2 x 12 KB wrapped arrays -> VecCache-resident.
+    kir::Loop small;
+    small.trip = 1 << 20;
+    int a = small.addArray("a", 3072, false);
+    int o = small.addArray("o", 3072, false);
+    small.store(o, kir::neg(kir::load(a)));
+    EXPECT_EQ(kir::classifyMemLevel(small, kVec, kL2),
+              MemLevel::VecCache);
+
+    // 4 x 1 MB wrapped arrays -> L2-resident.
+    kir::Loop mid;
+    mid.trip = 1 << 20;
+    a = mid.addArray("a", 262144, false);
+    int b = mid.addArray("b", 262144, false);
+    int c = mid.addArray("c", 262144, false);
+    o = mid.addArray("o", 262144, false);
+    mid.store(o, kir::add(kir::load(a),
+                          kir::add(kir::load(b), kir::load(c))));
+    EXPECT_EQ(kir::classifyMemLevel(mid, kVec, kL2), MemLevel::L2);
+
+    // 16 MB wrapped -> beyond L2.
+    kir::Loop big;
+    big.trip = 1 << 22;
+    a = big.addArray("a", 4u << 20, false);
+    o = big.addArray("o", 4u << 20, false);
+    big.store(o, kir::neg(kir::load(a)));
+    EXPECT_EQ(kir::classifyMemLevel(big, kVec, kL2), MemLevel::Dram);
+}
+
+TEST(Analysis, Fig2aRh3dLoop)
+{
+    // The literal 654.rom_s rh3d loop: Ufx/Ufe share (v+v_1), (u+u_1)
+    // and 0.5*dndx, so CSE matters.
+    const kir::Loop loop = workloads::makeRh3dLoop(1000);
+    const kir::LoopSummary s = kir::analyze(loop);
+    EXPECT_EQ(s.memInsts, 8u);       // 6 loads + 2 stores.
+    // vv, uu, hd(mul), vu, vv*vv, hd*(vv*vv), dmde*vu, sub,
+    // hd*vu, uu*uu, dmde*(uu*uu), sub = 12 unique ops.
+    EXPECT_EQ(s.computeInsts, 12u);
+    EXPECT_EQ(s.invariants, 1u);     // 0.5.
+}
+
+TEST(Analysis, Fig2aRhoEosLoop)
+{
+    const kir::Loop loop = workloads::makeRhoEosLoop(1000);
+    const kir::LoopSummary s = kir::analyze(loop);
+    EXPECT_EQ(s.memInsts, 11u);      // 8 loads + 3 stores.
+    EXPECT_EQ(s.invariants, 2u);     // 0.1 and 1000.
+    EXPECT_GT(s.computeInsts, 8u);
+}
+
+TEST(Analysis, Fig2aWsm5Loop)
+{
+    const kir::Loop loop = workloads::makeWsm5Loop(4096);
+    const kir::LoopSummary s = kir::analyze(loop);
+    // ww[k], ww[k-1], dz[k], dz[k-1] = 4 loads + 1 store.
+    EXPECT_EQ(s.memInsts, 5u);
+    // 2 muls + num add + den add + div = 5 ops.
+    EXPECT_EQ(s.computeInsts, 5u);
+    // Footprint: ww, dz, wi = 12 B (sliding windows collapse).
+    EXPECT_DOUBLE_EQ(s.footprintBytes, 12.0);
+}
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the greedy lane partitioner (Section 5.2): the Eq. 1
+ * constraints, the paper's fairness properties, the motivating
+ * example's plans (8/24 then 12/20 then 0/32), the VLS static plan,
+ * and parameterized invariants over random-ish OI mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lanemgr/lanemgr.hh"
+#include "lanemgr/partitioner.hh"
+
+namespace occamy
+{
+namespace
+{
+
+RooflineParams
+params()
+{
+    return RooflineParams::fromConfig(MachineConfig{});
+}
+
+PhaseOI
+dram(double oi_issue, double oi_mem)
+{
+    return PhaseOI{oi_issue, oi_mem, MemLevel::Dram};
+}
+
+PhaseOI
+cacheRes(double oi)
+{
+    return PhaseOI{oi, oi, MemLevel::VecCache};
+}
+
+TEST(Partitioner, MotivationPhase1Plan)
+{
+    // WL#0.p1 (oi 0.09) + WL#1 (compute): the paper assigns 8 and 24
+    // lanes (2 and 6 BUs).
+    const auto plan = greedyPartition(
+        params(), {dram(0.09, 0.09), cacheRes(1.0)}, 8);
+    EXPECT_EQ(plan[0], 2u);
+    EXPECT_EQ(plan[1], 6u);
+}
+
+TEST(Partitioner, MotivationPhase2Plan)
+{
+    // WL#0.p2 (issue 0.125 / mem 0.156) + WL#1: 12 and 20 lanes.
+    const auto plan = greedyPartition(
+        params(), {dram(0.125, 0.156), cacheRes(1.0)}, 8);
+    EXPECT_EQ(plan[0], 3u);
+    EXPECT_EQ(plan[1], 5u);
+}
+
+TEST(Partitioner, FinishedWorkloadReleasesEverything)
+{
+    // WL#0 done (OI = 0): WL#1 gets all 32 lanes.
+    const auto plan =
+        greedyPartition(params(), {PhaseOI{}, cacheRes(1.0)}, 8);
+    EXPECT_EQ(plan[0], 0u);
+    EXPECT_EQ(plan[1], 8u);
+}
+
+TEST(Partitioner, EqualComputeWorkloadsSplitEqually)
+{
+    // Section 5.2's fairness: compute-only co-runners divide equally.
+    const auto plan = greedyPartition(
+        params(), {cacheRes(1.0), cacheRes(1.0)}, 8);
+    EXPECT_EQ(plan[0], 4u);
+    EXPECT_EQ(plan[1], 4u);
+}
+
+TEST(Partitioner, MemoryWorkloadsLeaveLanesFree)
+{
+    // Two DRAM-bound workloads with knee 2: 4 BUs stay free.
+    const auto plan = greedyPartition(
+        params(), {dram(0.09, 0.09), dram(0.09, 0.09)}, 8);
+    EXPECT_EQ(plan[0], 2u);
+    EXPECT_EQ(plan[1], 2u);
+}
+
+TEST(Partitioner, NoStarvation)
+{
+    // Even a hopeless workload gets its minimum one ExeBU.
+    const auto plan = greedyPartition(
+        params(), {dram(0.01, 0.01), cacheRes(2.0)}, 8);
+    EXPECT_GE(plan[0], 1u);
+}
+
+TEST(Partitioner, FourCoreMixedPlan)
+{
+    const auto plan = greedyPartition(
+        params(),
+        {dram(0.09, 0.09), dram(0.125, 0.156), cacheRes(1.0),
+         cacheRes(1.0)},
+        16);
+    EXPECT_EQ(plan[0], 2u);
+    EXPECT_EQ(plan[1], 3u);
+    // The compute pair splits the remainder fairly.
+    EXPECT_EQ(plan[2] + plan[3], 11u);
+    EXPECT_LE(plan[2] > plan[3] ? plan[2] - plan[3] : plan[3] - plan[2],
+              1u);
+}
+
+TEST(Partitioner, StaticPlanUsesMostDemandingPhase)
+{
+    // VLS for the motivating pair: WL#0's max-knee phase is p2
+    // (3 BUs), WL#1 always gains: 12/20 lanes as in Fig. 2(d).
+    const auto plan = staticPartition(
+        params(),
+        {{dram(0.09, 0.09), dram(0.125, 0.156)}, {cacheRes(1.0)}}, 8);
+    EXPECT_EQ(plan[0], 3u);
+    EXPECT_EQ(plan[1], 5u);
+}
+
+TEST(Partitioner, StaticPlanIgnoresInactiveWorkloads)
+{
+    const auto plan =
+        staticPartition(params(), {{cacheRes(1.0)}, {}}, 8);
+    EXPECT_EQ(plan[0], 8u);
+    EXPECT_EQ(plan[1], 0u);
+}
+
+TEST(LaneMgrClass, PlanSchedulingLifecycle)
+{
+    LaneMgr mgr(params(), 8, /*latency=*/10);
+    EXPECT_FALSE(mgr.planDue(100));
+    mgr.notifyPhaseEvent(100);
+    EXPECT_FALSE(mgr.planDue(105));
+    EXPECT_TRUE(mgr.planDue(110));
+    const auto plan = mgr.makePlan({cacheRes(1.0), PhaseOI{}});
+    EXPECT_EQ(plan[0], 8u);
+    EXPECT_EQ(mgr.plansMade(), 1u);
+    EXPECT_FALSE(mgr.planDue(200));   // Consumed.
+}
+
+/** Parameterized invariants over OI mixes and machine sizes. */
+class PartitionSweep
+    : public ::testing::TestWithParam<
+          std::tuple<double, double, unsigned>>
+{
+};
+
+TEST_P(PartitionSweep, Eq1ConstraintsHold)
+{
+    const auto [oi0, oi1, total] = GetParam();
+    const std::vector<PhaseOI> ois = {dram(oi0, oi0),
+                                      cacheRes(oi1)};
+    const auto plan = greedyPartition(params(), ois, total);
+    ASSERT_EQ(plan.size(), 2u);
+    unsigned sum = 0;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (ois[i].active())
+            EXPECT_GE(plan[i], 1u) << "active workload starved";
+        else
+            EXPECT_EQ(plan[i], 0u);
+        sum += plan[i];
+    }
+    EXPECT_LE(sum, total);
+}
+
+TEST_P(PartitionSweep, PlanMaximizesMarginalGains)
+{
+    const auto [oi0, oi1, total] = GetParam();
+    const std::vector<PhaseOI> ois = {dram(oi0, oi0), cacheRes(oi1)};
+    const auto plan = greedyPartition(params(), ois, total);
+    const unsigned used = plan[0] + plan[1];
+    if (used < total) {
+        // Leftover lanes imply nobody can gain any more.
+        for (std::size_t i = 0; i < 2; ++i) {
+            if (plan[i] == 0)
+                continue;
+            EXPECT_LE(attainable(params(), ois[i], plan[i] + 1) -
+                          attainable(params(), ois[i], plan[i]),
+                      1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, PartitionSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.09, 0.17, 0.3),
+                       ::testing::Values(0.25, 0.5, 1.0, 2.0),
+                       ::testing::Values(4u, 8u, 16u)));
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the vector-length-aware roofline (Section 5.1): exact
+ * reproduction of Table 5, ceiling formulas, knee selection, and
+ * monotonicity/boundedness properties over parameter sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lanemgr/roofline.hh"
+
+namespace occamy
+{
+namespace
+{
+
+RooflineParams
+params()
+{
+    return RooflineParams::fromConfig(MachineConfig{});
+}
+
+TEST(Roofline, FpPeakIsLinearInLanes)
+{
+    const RooflineParams p = params();
+    // 1 FLOP/lane/cycle at 2 GHz: 8 GFLOP/s per ExeBU (Table 5).
+    EXPECT_DOUBLE_EQ(fpPeak(p, 1), 8.0);
+    EXPECT_DOUBLE_EQ(fpPeak(p, 4), 32.0);
+    EXPECT_DOUBLE_EQ(fpPeak(p, 8), 64.0);
+}
+
+TEST(Roofline, IssueBandwidthEq2)
+{
+    const RooflineParams p = params();
+    // Eq. 2 with issue width 1: 16 B/cycle per BU at 2 GHz = 32 GB/s.
+    EXPECT_DOUBLE_EQ(simdIssueBandwidth(p, 1), 32.0);
+    EXPECT_DOUBLE_EQ(simdIssueBandwidth(p, 4), 128.0);
+}
+
+TEST(Roofline, MemBandwidthPerLevel)
+{
+    const RooflineParams p = params();
+    EXPECT_DOUBLE_EQ(memBandwidth(p, MemLevel::Dram), 64.0);
+    EXPECT_DOUBLE_EQ(memBandwidth(p, MemLevel::L2), 128.0);
+    EXPECT_DOUBLE_EQ(memBandwidth(p, MemLevel::VecCache), 256.0);
+}
+
+TEST(Roofline, Table5ExactReproduction)
+{
+    const RooflineParams p = params();
+    const PhaseOI oi{1.0 / 6.0, 0.25, MemLevel::Dram};   // WL8.p1.
+
+    const double expected[] = {16.0 / 3.0, 32.0 / 3.0, 16.0, 16.0,
+                               16.0, 16.0, 16.0, 16.0};
+    for (unsigned bus = 1; bus <= 8; ++bus)
+        EXPECT_NEAR(attainable(p, oi, bus), expected[bus - 1], 1e-9)
+            << "VL=" << bus * 4 << " lanes";
+}
+
+TEST(Roofline, InactivePhaseAttainsNothing)
+{
+    const RooflineParams p = params();
+    EXPECT_DOUBLE_EQ(attainable(p, PhaseOI{}, 4), 0.0);
+    EXPECT_DOUBLE_EQ(attainable(p, PhaseOI{0.5, 0.5, MemLevel::Dram}, 0),
+                     0.0);
+}
+
+TEST(Roofline, KneeOfComputeBoundPhaseIsMax)
+{
+    const RooflineParams p = params();
+    // Cache-resident OI 1.0: FP-peak-bound all the way.
+    const PhaseOI oi{1.0, 1.0, MemLevel::VecCache};
+    EXPECT_EQ(kneeVl(p, oi, 8), 8u);
+}
+
+TEST(Roofline, KneeOfMemoryBoundPhase)
+{
+    const RooflineParams p = params();
+    // rho_eos1-like OI 0.09: DRAM ceiling 5.8 GFLOP/s reached at 2 BUs.
+    const PhaseOI oi{0.09, 0.09, MemLevel::Dram};
+    EXPECT_EQ(kneeVl(p, oi, 8), 2u);
+}
+
+TEST(Roofline, KneeHonorsIssueBandwidth)
+{
+    const RooflineParams p = params();
+    // WL8.p1: issue-bound until 3 BUs (Case 4 of the paper).
+    const PhaseOI oi{1.0 / 6.0, 0.25, MemLevel::Dram};
+    EXPECT_EQ(kneeVl(p, oi, 8), 3u);
+}
+
+/** Property sweep over OI values and lane counts. */
+class RooflineSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>>
+{
+};
+
+TEST_P(RooflineSweep, AttainableIsMonotonicInLanes)
+{
+    const auto [oi_val, level] = GetParam();
+    const RooflineParams p = params();
+    const PhaseOI oi{oi_val, oi_val, static_cast<MemLevel>(level)};
+    double prev = 0.0;
+    for (unsigned bus = 1; bus <= 8; ++bus) {
+        const double ap = attainable(p, oi, bus);
+        EXPECT_GE(ap, prev - 1e-12);
+        prev = ap;
+    }
+}
+
+TEST_P(RooflineSweep, AttainableNeverExceedsAnyCeiling)
+{
+    const auto [oi_val, level] = GetParam();
+    const RooflineParams p = params();
+    const PhaseOI oi{oi_val, oi_val, static_cast<MemLevel>(level)};
+    for (unsigned bus = 1; bus <= 8; ++bus) {
+        const double ap = attainable(p, oi, bus);
+        EXPECT_LE(ap, fpPeak(p, bus) + 1e-9);
+        EXPECT_LE(ap, simdIssueBandwidth(p, bus) * oi.issue + 1e-9);
+        EXPECT_LE(ap, memBandwidth(p, oi.level) * oi.mem + 1e-9);
+    }
+}
+
+TEST_P(RooflineSweep, KneeIsThePlateauStart)
+{
+    const auto [oi_val, level] = GetParam();
+    const RooflineParams p = params();
+    const PhaseOI oi{oi_val, oi_val, static_cast<MemLevel>(level)};
+    const unsigned knee = kneeVl(p, oi, 8);
+    ASSERT_GE(knee, 1u);
+    // No configuration below the knee attains the knee's performance,
+    // and the knee attains (numerically) the global maximum.
+    const double at_knee = attainable(p, oi, knee);
+    for (unsigned bus = 1; bus < knee; ++bus)
+        EXPECT_LT(attainable(p, oi, bus), at_knee - 1e-12);
+    for (unsigned bus = knee; bus <= 8; ++bus)
+        EXPECT_LE(attainable(p, oi, bus), at_knee + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OiLevels, RooflineSweep,
+    ::testing::Combine(
+        ::testing::Values(0.05, 0.09, 0.125, 0.17, 0.25, 0.5, 1.0, 2.0),
+        ::testing::Values(0, 1, 2)));
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the scalar-core front end: the Fig. 9 protocol state
+ * machine (prologue VL negotiation, per-iteration monitors, epilogue
+ * release), iteration/trip accounting including the predicated tail,
+ * reduction-accumulator rotation, the multi-version scalar fallback,
+ * and the phase traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "coproc/coproc.hh"
+#include "core/scalar_core.hh"
+#include "workloads/phases.hh"
+
+namespace occamy
+{
+namespace
+{
+
+class ScalarCoreTest : public ::testing::Test
+{
+  protected:
+    void
+    build(SharingPolicy policy)
+    {
+        cfg = MachineConfig::forPolicy(policy, 2);
+        mem = std::make_unique<MemSystem>(cfg);
+        cp = std::make_unique<CoProcessor>(cfg, *mem);
+        core = std::make_unique<ScalarCore>(0, cfg, *cp);
+    }
+
+    Program
+    compileFor(const std::vector<kir::Loop> &loops)
+    {
+        Compiler compiler(CompileOptions::forMachine(cfg));
+        Program prog = compiler.compile("t", loops);
+        Addr next = 1 << 30;
+        for (auto &arr : prog.arrays) {
+            arr.base = next;
+            next += arr.elems * arr.elemBytes + 4096;
+        }
+        return prog;
+    }
+
+    /** Run until the core finishes or @p max cycles pass. */
+    Cycle
+    runToCompletion(Cycle max = 2'000'000)
+    {
+        Cycle now = 0;
+        while (now < max) {
+            cp->tick(now);
+            core->tick(now);
+            if (core->doneEmitting() && cp->coreDrained(0))
+                return now;
+            ++now;
+        }
+        return 0;
+    }
+
+    kir::Loop
+    tinyLoop(std::uint64_t trip)
+    {
+        kir::Loop loop;
+        loop.name = "tiny";
+        loop.trip = trip;
+        const int a = loop.addArray("a", std::max<std::uint64_t>(trip, 64));
+        const int o = loop.addArray("o", std::max<std::uint64_t>(trip, 64));
+        loop.store(o, kir::add(kir::load(a), kir::load(a, 1)));
+        return loop;
+    }
+
+    MachineConfig cfg;
+    std::unique_ptr<MemSystem> mem;
+    std::unique_ptr<CoProcessor> cp;
+    std::unique_ptr<ScalarCore> core;
+};
+
+TEST_F(ScalarCoreTest, EmptyProgramIsImmediatelyDone)
+{
+    build(SharingPolicy::Elastic);
+    Program prog;
+    core->setProgram(&prog);
+    EXPECT_TRUE(core->doneEmitting());
+}
+
+TEST_F(ScalarCoreTest, RunsASmallLoopToCompletion)
+{
+    build(SharingPolicy::Elastic);
+    Program prog = compileFor({tinyLoop(1024)});
+    core->setProgram(&prog);
+    const Cycle done = runToCompletion();
+    ASSERT_GT(done, 0u);
+    ASSERT_EQ(core->phases().size(), 1u);
+    EXPECT_EQ(core->phases()[0].name, "tiny");
+    EXPECT_GT(core->phases()[0].end, core->phases()[0].start);
+    // All lanes released at the epilogue.
+    EXPECT_EQ(cp->currentVl(0), 0u);
+    EXPECT_EQ(cp->freeBus(), cfg.numExeBUs);
+}
+
+TEST_F(ScalarCoreTest, IssuesExactlyTripElementsOfWork)
+{
+    build(SharingPolicy::Private);
+    const std::uint64_t trip = 1000;   // Not a lane multiple: tail!
+    Program prog = compileFor({tinyLoop(trip)});
+    core->setProgram(&prog);
+    ASSERT_GT(runToCompletion(), 0u);
+    // 2 loads + 1 store per iteration; lanes = 16 per iteration,
+    // ceil(1000/16) = 63 iterations.
+    const std::uint64_t iters = (trip + 15) / 16;
+    EXPECT_EQ(cp->memIssued(0), 3 * iters);
+    // whilelt + add per iteration.
+    EXPECT_EQ(cp->computeIssued(0), 2 * iters);
+}
+
+TEST_F(ScalarCoreTest, MultiVersionFallbackForSmallTrips)
+{
+    build(SharingPolicy::Elastic);
+    Program prog = compileFor({tinyLoop(64)});   // < 128 threshold.
+    core->setProgram(&prog);
+    ASSERT_GT(runToCompletion(), 0u);
+    ASSERT_EQ(core->phases().size(), 1u);
+    EXPECT_TRUE(core->phases()[0].scalarVersion);
+    // No vector work reached the co-processor.
+    EXPECT_EQ(cp->computeIssued(0), 0u);
+    EXPECT_EQ(cp->memIssued(0), 0u);
+}
+
+TEST_F(ScalarCoreTest, PrologueNegotiatesDefaultVl)
+{
+    build(SharingPolicy::Elastic);
+    Program prog = compileFor({tinyLoop(4096)});
+    core->setProgram(&prog);
+    const unsigned default_vl = prog.loops[0].defaultVl;
+    Cycle now = 0;
+    while (cp->currentVl(0) == 0 && now < 1000) {
+        cp->tick(now);
+        core->tick(now);
+        ++now;
+    }
+    EXPECT_EQ(cp->currentVl(0), default_vl);
+}
+
+TEST_F(ScalarCoreTest, MonitorRunsAtConfiguredPeriod)
+{
+    build(SharingPolicy::Elastic);
+    Program prog = compileFor({tinyLoop(16384)});
+    const unsigned period = prog.loops[0].monitorPeriod;
+    core->setProgram(&prog);
+    ASSERT_GT(runToCompletion(), 0u);
+    // Monitors per phase = ceil(iterations / period) (+ retries).
+    const unsigned lanes = core->phases()[0].lastVl * kLanesPerBu;
+    ASSERT_GT(lanes, 0u);
+    const std::uint64_t iters = (16384 + lanes - 1) / lanes;
+    EXPECT_GE(core->monitorInsts(), iters / period);
+    EXPECT_LE(core->monitorInsts(), iters);
+}
+
+TEST_F(ScalarCoreTest, PhaseSequenceIsOrdered)
+{
+    build(SharingPolicy::Elastic);
+    Program prog =
+        compileFor({tinyLoop(2048), workloads::makeWsm5Loop(4096)});
+    core->setProgram(&prog);
+    ASSERT_GT(runToCompletion(), 0u);
+    ASSERT_EQ(core->phases().size(), 2u);
+    EXPECT_LE(core->phases()[0].end, core->phases()[1].start);
+    EXPECT_EQ(core->phases()[1].name, "wsm5");
+}
+
+TEST_F(ScalarCoreTest, ReconfigWaitAccountsDrainTime)
+{
+    build(SharingPolicy::Elastic);
+    Program prog = compileFor({tinyLoop(4096)});
+    core->setProgram(&prog);
+    ASSERT_GT(runToCompletion(), 0u);
+    // At least the prologue's VL set and the epilogue release waited
+    // on the manager.
+    EXPECT_GT(core->reconfigWaitCycles(), 0u);
+    EXPECT_GE(core->reconfigEvents(), 2u);
+}
+
+TEST_F(ScalarCoreTest, PrivateCoreKeepsFixedVl)
+{
+    build(SharingPolicy::Private);
+    Program prog = compileFor({tinyLoop(4096)});
+    core->setProgram(&prog);
+    ASSERT_GT(runToCompletion(), 0u);
+    EXPECT_EQ(core->currentVl(), cfg.privateBusPerCore());
+    EXPECT_EQ(core->monitorInsts(), 0u);
+    ASSERT_EQ(core->phases().size(), 1u);
+    EXPECT_EQ(core->phases()[0].firstVl, 4u);
+    EXPECT_EQ(core->phases()[0].lastVl, 4u);
+}
+
+TEST_F(ScalarCoreTest, ReductionRotatesAccumulators)
+{
+    build(SharingPolicy::Private);
+    kir::Loop dot;
+    dot.name = "dot";
+    dot.trip = 4096;
+    const int x = dot.addArray("x", dot.trip);
+    const int y = dot.addArray("y", dot.trip);
+    dot.reduction = kir::mul(kir::load(x), kir::load(y));
+    Program prog = compileFor({dot});
+    core->setProgram(&prog);
+    const Cycle done = runToCompletion();
+    ASSERT_GT(done, 0u);
+    // With 4 independent partial sums the accumulate chain cannot be
+    // the bottleneck: 4096/16 = 256 iterations x 3 compute insts at
+    // issue width 2 plus ramp-up stays well under latency-bound time.
+    EXPECT_LT(done, 256 * 8);
+}
+
+} // namespace
+} // namespace occamy

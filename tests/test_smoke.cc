@@ -1,0 +1,48 @@
+/**
+ * @file
+ * End-to-end smoke tests: compile and co-run small workloads on all four
+ * architectures and sanity-check the global invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "workloads/phases.hh"
+#include "workloads/suite.hh"
+
+namespace occamy
+{
+namespace
+{
+
+TEST(Smoke, SoloComputeWorkloadFinishes)
+{
+    using workloads::makeNamedPhase;
+    auto result = corun(SharingPolicy::Elastic,
+                        {{"wsm51", {makeNamedPhase("wsm51", 32768)}},
+                         {"idle", {}}});
+    ASSERT_FALSE(result.timedOut);
+    EXPECT_GT(result.cores[0].finish, 0u);
+    EXPECT_GT(result.cores[0].computeIssued, 0u);
+}
+
+TEST(Smoke, AllPoliciesRunMotivationPair)
+{
+    using workloads::makeNamedPhase;
+    for (SharingPolicy p :
+         {SharingPolicy::Private, SharingPolicy::Temporal,
+          SharingPolicy::StaticSpatial, SharingPolicy::Elastic}) {
+        auto result = corun(
+            p,
+            {{"mem", {makeNamedPhase("rho_eos1", 8192)}},
+             {"comp", {makeNamedPhase("wsm51", 32768)}}});
+        ASSERT_FALSE(result.timedOut) << policyName(p);
+        EXPECT_GT(result.cores[0].finish, 0u) << policyName(p);
+        EXPECT_GT(result.cores[1].finish, 0u) << policyName(p);
+        EXPECT_GT(result.simdUtil, 0.0) << policyName(p);
+        EXPECT_LE(result.simdUtil, 1.0) << policyName(p);
+    }
+}
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * End-to-end system tests: the co-run driver across the four
+ * architectures, the paper's headline behaviours (elastic sharing wins
+ * on the compute core without hurting the memory core; temporal
+ * sharing pays renaming stalls; static sharing cannot reclaim released
+ * lanes), determinism, and metric sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "workloads/phases.hh"
+
+namespace occamy
+{
+namespace
+{
+
+using workloads::makeNamedPhase;
+
+std::vector<kir::Loop>
+memWorkload()
+{
+    return {makeNamedPhase("rho_eos1", 16384),
+            makeNamedPhase("rho_eos4", 16384)};
+}
+
+std::vector<kir::Loop>
+compWorkload(std::uint64_t trip = 131072)
+{
+    return {makeNamedPhase("wsm51", trip)};
+}
+
+RunResult
+runPairOn(SharingPolicy p)
+{
+    System sys(MachineConfig::forPolicy(p, 2));
+    sys.setWorkload(0, "mem", memWorkload());
+    sys.setWorkload(1, "comp", compWorkload());
+    return sys.run(10'000'000);
+}
+
+TEST(System, AllPoliciesComplete)
+{
+    for (SharingPolicy p :
+         {SharingPolicy::Private, SharingPolicy::Temporal,
+          SharingPolicy::StaticSpatial, SharingPolicy::Elastic}) {
+        const RunResult r = runPairOn(p);
+        EXPECT_FALSE(r.timedOut) << policyName(p);
+        EXPECT_GT(r.cores[0].finish, 0u) << policyName(p);
+        EXPECT_GT(r.cores[1].finish, 0u) << policyName(p);
+        EXPECT_GT(r.simdUtil, 0.0) << policyName(p);
+        EXPECT_LE(r.simdUtil, 1.0 + 1e-9) << policyName(p);
+    }
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    const RunResult a = runPairOn(SharingPolicy::Elastic);
+    const RunResult b = runPairOn(SharingPolicy::Elastic);
+    EXPECT_EQ(a.cores[0].finish, b.cores[0].finish);
+    EXPECT_EQ(a.cores[1].finish, b.cores[1].finish);
+    EXPECT_DOUBLE_EQ(a.simdUtil, b.simdUtil);
+    EXPECT_EQ(a.vlSwitches, b.vlSwitches);
+}
+
+TEST(System, ElasticBeatsStaticOnComputeCore)
+{
+    const RunResult priv = runPairOn(SharingPolicy::Private);
+    const RunResult vls = runPairOn(SharingPolicy::StaticSpatial);
+    const RunResult occ = runPairOn(SharingPolicy::Elastic);
+    // Core1 (compute) ordering: Occamy < VLS < Private finish time.
+    EXPECT_LT(occ.cores[1].finish, vls.cores[1].finish);
+    EXPECT_LT(vls.cores[1].finish, priv.cores[1].finish);
+}
+
+TEST(System, MemoryCorePerformanceIsPreserved)
+{
+    const RunResult priv = runPairOn(SharingPolicy::Private);
+    for (SharingPolicy p : {SharingPolicy::Temporal,
+                            SharingPolicy::StaticSpatial,
+                            SharingPolicy::Elastic}) {
+        const RunResult r = runPairOn(p);
+        const double ratio = static_cast<double>(r.cores[0].finish) /
+                             static_cast<double>(priv.cores[0].finish);
+        EXPECT_LT(ratio, 1.15) << policyName(p);
+    }
+}
+
+TEST(System, ElasticAchievesBestUtilization)
+{
+    const RunResult priv = runPairOn(SharingPolicy::Private);
+    const RunResult occ = runPairOn(SharingPolicy::Elastic);
+    EXPECT_GT(occ.simdUtil, priv.simdUtil);
+}
+
+TEST(System, OnlyTemporalPaysRenameStalls)
+{
+    for (SharingPolicy p :
+         {SharingPolicy::Private, SharingPolicy::StaticSpatial,
+          SharingPolicy::Elastic}) {
+        const RunResult r = runPairOn(p);
+        EXPECT_EQ(r.cores[0].renameRegStallCycles +
+                      r.cores[1].renameRegStallCycles,
+                  0u)
+            << policyName(p);
+    }
+    const RunResult fts = runPairOn(SharingPolicy::Temporal);
+    EXPECT_GT(fts.cores[1].renameRegStallCycles, 0u);
+}
+
+TEST(System, OnlyElasticSwitchesMidPhase)
+{
+    const RunResult occ = runPairOn(SharingPolicy::Elastic);
+    EXPECT_GT(occ.vlSwitches, 4u);   // Beyond phase entries/exits.
+    EXPECT_GT(occ.plansMade, 0u);
+    const RunResult vls = runPairOn(SharingPolicy::StaticSpatial);
+    EXPECT_EQ(vls.plansMade, 0u);
+}
+
+TEST(System, DramTrafficIsPolicyInvariant)
+{
+    // The same workloads move the same data regardless of sharing.
+    const RunResult priv = runPairOn(SharingPolicy::Private);
+    for (SharingPolicy p : {SharingPolicy::Temporal,
+                            SharingPolicy::StaticSpatial,
+                            SharingPolicy::Elastic}) {
+        const RunResult r = runPairOn(p);
+        const double ratio = static_cast<double>(r.dramBytes) /
+                             static_cast<double>(priv.dramBytes);
+        EXPECT_GT(ratio, 0.9) << policyName(p);
+        EXPECT_LT(ratio, 1.1) << policyName(p);
+    }
+}
+
+TEST(System, PhaseResultsCoverTheRun)
+{
+    const RunResult r = runPairOn(SharingPolicy::Elastic);
+    ASSERT_EQ(r.cores[0].phases.size(), 2u);
+    ASSERT_EQ(r.cores[1].phases.size(), 1u);
+    for (const auto &core : r.cores)
+        for (const auto &ph : core.phases) {
+            EXPECT_GT(ph.end, ph.start);
+            EXPECT_GT(ph.computeIssued, 0u);
+            EXPECT_GT(ph.issueRate, 0.0);
+            EXPECT_LE(ph.issueRate, 2.0 + 0.1);
+        }
+}
+
+TEST(System, TimelinesMatchRunLength)
+{
+    const RunResult r = runPairOn(SharingPolicy::Elastic);
+    for (const auto &core : r.cores) {
+        ASSERT_FALSE(core.busyLanesTimeline.empty());
+        EXPECT_EQ(core.busyLanesTimeline.size(),
+                  core.allocLanesTimeline.size());
+        for (double lanes : core.allocLanesTimeline)
+            EXPECT_LE(lanes, 32.0 + 1e-9);
+    }
+}
+
+TEST(System, IdleCoreIsHarmless)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "solo", compWorkload(65536));
+    sys.setWorkload(1, "idle", {});
+    const RunResult r = sys.run(10'000'000);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GT(r.cores[0].finish, 0u);
+    EXPECT_EQ(r.cores[1].computeIssued, 0u);
+    // The solo workload eventually claims the full machine.
+    EXPECT_EQ(r.cores[0].phases[0].lastVl, 8u);
+}
+
+TEST(System, SoloElasticTwiceAsFastAsSoloPrivate)
+{
+    // 32 lanes vs 16 lanes on a compute-bound kernel.
+    auto solo = [](SharingPolicy p) {
+        System sys(MachineConfig::forPolicy(p, 2));
+        sys.setWorkload(0, "solo", compWorkload(65536));
+        sys.setWorkload(1, "idle", {});
+        return sys.run(10'000'000).cores[0].finish;
+    };
+    const double ratio = static_cast<double>(solo(SharingPolicy::Private)) /
+                         static_cast<double>(solo(SharingPolicy::Elastic));
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 2.4);
+}
+
+TEST(System, FourCoreMachineRuns)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 4));
+    sys.setWorkload(0, "m0", memWorkload());
+    sys.setWorkload(1, "m1", memWorkload());
+    sys.setWorkload(2, "c0", compWorkload(65536));
+    sys.setWorkload(3, "c1", compWorkload(65536));
+    const RunResult r = sys.run(20'000'000);
+    EXPECT_FALSE(r.timedOut);
+    for (const auto &core : r.cores)
+        EXPECT_GT(core.finish, 0u);
+}
+
+TEST(System, MaxCyclesCapSetsTimedOut)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "mem", memWorkload());
+    sys.setWorkload(1, "comp", compWorkload());
+    const RunResult r = sys.run(100);
+    EXPECT_TRUE(r.timedOut);
+}
+
+TEST(System, CorunHelperMatchesManualSetup)
+{
+    const RunResult a = corun(
+        SharingPolicy::Private,
+        {{"mem", memWorkload()}, {"comp", compWorkload()}}, 10'000'000);
+    const RunResult b = runPairOn(SharingPolicy::Private);
+    EXPECT_EQ(a.cores[0].finish, b.cores[0].finish);
+    EXPECT_EQ(a.cores[1].finish, b.cores[1].finish);
+}
+
+TEST(System, BatchFcfsSchedulesAllQueuedWorkloads)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "idle0", {});
+    sys.setWorkload(1, "idle1", {});
+    for (int i = 0; i < 5; ++i)
+        sys.enqueueWorkload("job" + std::to_string(i),
+                            compWorkload(16384));
+    const RunResult r = sys.run(20'000'000);
+    ASSERT_FALSE(r.timedOut);
+    ASSERT_EQ(r.batch.size(), 5u);
+    for (const auto &b : r.batch) {
+        EXPECT_GT(b.finished, b.dispatched) << b.name;
+        EXPECT_LT(b.core, 2u);
+    }
+    // FCFS: dispatch order follows queue order.
+    for (std::size_t i = 1; i < r.batch.size(); ++i)
+        EXPECT_GE(r.batch[i].dispatched, r.batch[i - 1].dispatched);
+}
+
+TEST(System, BatchPaysContextSwitchCost)
+{
+    MachineConfig cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    cfg.contextSwitchCycles = 1000;
+    System sys(cfg);
+    sys.setWorkload(0, "idle0", {});
+    sys.setWorkload(1, "idle1", {});
+    sys.enqueueWorkload("a", compWorkload(16384));
+    const RunResult r = sys.run(20'000'000);
+    ASSERT_EQ(r.batch.size(), 1u);
+    EXPECT_GE(r.batch[0].dispatched, 1000u);
+}
+
+TEST(System, BatchMixesWithPinnedWorkloads)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "pinned", memWorkload());
+    sys.setWorkload(1, "idle", {});
+    sys.enqueueWorkload("queued", compWorkload(32768));
+    const RunResult r = sys.run(20'000'000);
+    ASSERT_FALSE(r.timedOut);
+    ASSERT_EQ(r.batch.size(), 1u);
+    // The idle core grabs the queued workload immediately-ish, long
+    // before the pinned memory workload completes.
+    EXPECT_EQ(r.batch[0].core, 1u);
+    EXPECT_LT(r.batch[0].dispatched, r.cores[0].finish);
+}
+
+TEST(System, OiAwareSchedulerPairsComplementaryWorkloads)
+{
+    MachineConfig cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    cfg.schedPolicy = SchedPolicy::OiAware;
+    System sys(cfg);
+    sys.setWorkload(0, "idle0", {});
+    sys.setWorkload(1, "idle1", {});
+    // Adversarial order: memory, memory, compute, compute.
+    sys.enqueueWorkload("mem_a", memWorkload());
+    sys.enqueueWorkload("mem_b", memWorkload());
+    sys.enqueueWorkload("comp_a", compWorkload(65536));
+    sys.enqueueWorkload("comp_b", compWorkload(65536));
+    const RunResult r = sys.run(40'000'000);
+    ASSERT_FALSE(r.timedOut);
+    ASSERT_EQ(r.batch.size(), 4u);
+    // The second dispatch must be a compute workload (complementary to
+    // the memory workload just placed), not FCFS's mem_b.
+    EXPECT_EQ(r.batch[1].name.substr(0, 4), "comp");
+}
+
+TEST(System, OiAwareNeverLosesWorkloads)
+{
+    MachineConfig cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    cfg.schedPolicy = SchedPolicy::OiAware;
+    System sys(cfg);
+    sys.setWorkload(0, "idle0", {});
+    sys.setWorkload(1, "idle1", {});
+    for (int i = 0; i < 6; ++i)
+        sys.enqueueWorkload("j" + std::to_string(i),
+                            i % 2 ? compWorkload(16384) : memWorkload());
+    const RunResult r = sys.run(40'000'000);
+    ASSERT_FALSE(r.timedOut);
+    EXPECT_EQ(r.batch.size(), 6u);
+    for (const auto &b : r.batch)
+        EXPECT_GT(b.finished, b.dispatched) << b.name;
+}
+
+TEST(System, OiAwareBeatsAdversarialFcfsOnOccamy)
+{
+    auto drain = [](SchedPolicy sched) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+        cfg.schedPolicy = sched;
+        System sys(cfg);
+        sys.setWorkload(0, "idle0", {});
+        sys.setWorkload(1, "idle1", {});
+        sys.enqueueWorkload("m0", memWorkload());
+        sys.enqueueWorkload("m1", memWorkload());
+        sys.enqueueWorkload("c0", compWorkload(131072));
+        sys.enqueueWorkload("c1", compWorkload(131072));
+        return sys.run(60'000'000).cycles;
+    };
+    EXPECT_LT(drain(SchedPolicy::OiAware),
+              drain(SchedPolicy::Fcfs) * 101 / 100);
+}
+
+TEST(System, VlsBatchGetsEqualStaticShares)
+{
+    MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::StaticSpatial, 2);
+    System sys(cfg);
+    sys.setWorkload(0, "idle0", {});
+    sys.setWorkload(1, "idle1", {});
+    sys.enqueueWorkload("a", compWorkload(16384));
+    sys.enqueueWorkload("b", compWorkload(16384));
+    const RunResult r = sys.run(40'000'000);
+    ASSERT_FALSE(r.timedOut);
+    EXPECT_EQ(r.batch.size(), 2u);
+}
+
+TEST(System, StatsTextContainsHierarchyCounters)
+{
+    const RunResult r = runPairOn(SharingPolicy::Elastic);
+    EXPECT_NE(r.statsText.find("system.mem.vec_cache.hits"),
+              std::string::npos);
+    EXPECT_NE(r.statsText.find("system.mem.dram.bytes"),
+              std::string::npos);
+    EXPECT_NE(r.statsText.find("system.coproc.vl_switches"),
+              std::string::npos);
+}
+
+TEST(System, OverheadCountersArePopulatedForElastic)
+{
+    const RunResult r = runPairOn(SharingPolicy::Elastic);
+    EXPECT_GT(r.cores[0].monitorInsts + r.cores[1].monitorInsts, 0u);
+    EXPECT_GT(r.cores[0].reconfigWaitCycles +
+                  r.cores[1].reconfigWaitCycles,
+              0u);
+    // Overheads are small fractions (Fig. 15's regime).
+    for (const auto &core : r.cores) {
+        EXPECT_LT(core.monitorOverhead(4), 0.05);
+        EXPECT_LT(core.reconfigOverhead(), 0.05);
+    }
+}
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the result exporters: CSV schemas, row counts matching the
+ * run, and JSON well-formedness / content.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hh"
+#include "workloads/phases.hh"
+
+namespace occamy
+{
+namespace
+{
+
+RunResult
+sampleRun()
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "mem",
+                    {workloads::makeNamedPhase("rho_eos1", 8192)});
+    sys.setWorkload(1, "comp",
+                    {workloads::makeNamedPhase("wsm51", 16384)});
+    return sys.run(10'000'000);
+}
+
+std::size_t
+countLines(const std::string &text)
+{
+    std::size_t n = 0;
+    for (char ch : text)
+        if (ch == '\n')
+            ++n;
+    return n;
+}
+
+TEST(Trace, TimelineCsvShape)
+{
+    const RunResult r = sampleRun();
+    std::ostringstream os;
+    trace::writeTimelinesCsv(os, r);
+    const std::string text = os.str();
+    EXPECT_EQ(text.substr(0, 6), "bucket");
+    EXPECT_NE(text.find("core0_busy"), std::string::npos);
+    EXPECT_NE(text.find("core1_alloc"), std::string::npos);
+    // Header + one row per bucket.
+    EXPECT_EQ(countLines(text),
+              1 + std::max(r.cores[0].busyLanesTimeline.size(),
+                           r.cores[1].busyLanesTimeline.size()));
+}
+
+TEST(Trace, PhasesCsvHasOneRowPerPhase)
+{
+    const RunResult r = sampleRun();
+    std::ostringstream os;
+    trace::writePhasesCsv(os, r);
+    EXPECT_EQ(countLines(os.str()),
+              1 + r.cores[0].phases.size() + r.cores[1].phases.size());
+    EXPECT_NE(os.str().find("rho_eos1"), std::string::npos);
+    EXPECT_NE(os.str().find("wsm51"), std::string::npos);
+}
+
+TEST(Trace, BatchCsvEmptyForPinnedOnlyRuns)
+{
+    const RunResult r = sampleRun();
+    std::ostringstream os;
+    trace::writeBatchCsv(os, r);
+    EXPECT_EQ(countLines(os.str()), 1u);   // Header only.
+}
+
+TEST(Trace, JsonContainsKeyMetrics)
+{
+    const RunResult r = sampleRun();
+    const std::string json = trace::toJson(r);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"cycles\":"), std::string::npos);
+    EXPECT_NE(json.find("\"simd_util\":"), std::string::npos);
+    EXPECT_NE(json.find("\"workload\":\"mem\""), std::string::npos);
+    EXPECT_NE(json.find("\"workload\":\"comp\""), std::string::npos);
+    EXPECT_NE(json.find("\"timed_out\":false"), std::string::npos);
+
+    // Balanced braces and brackets (cheap well-formedness check).
+    int braces = 0, brackets = 0;
+    for (char ch : json) {
+        braces += ch == '{' ? 1 : (ch == '}' ? -1 : 0);
+        brackets += ch == '[' ? 1 : (ch == ']' ? -1 : 0);
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, JsonRecordsBatchCompletions)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "idle0", {});
+    sys.setWorkload(1, "idle1", {});
+    sys.enqueueWorkload("queued",
+                        {workloads::makeNamedPhase("wsm51", 16384)});
+    const RunResult r = sys.run(10'000'000);
+    const std::string json = trace::toJson(r);
+    EXPECT_NE(json.find("\"name\":\"queued\""), std::string::npos);
+}
+
+} // namespace
+} // namespace occamy

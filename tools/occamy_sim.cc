@@ -1,0 +1,305 @@
+/**
+ * @file
+ * occamy-sim: command-line driver for the Occamy simulator.
+ *
+ * Runs a co-running pair (or an FCFS batch) of Table 3 workloads under
+ * any of the four SIMD architectures and reports the paper's metrics.
+ *
+ * Usage:
+ *   occamy-sim [--policy private|fts|vls|occamy|all] [--cores N]
+ *              [--pair A+B] [--opencv] [--batch WL1,WL16,...]
+ *              [--max-cycles N] [--timeline] [--stats] [--list]
+ *
+ * Examples:
+ *   occamy-sim --pair 6+16 --policy all
+ *   occamy-sim --policy occamy --batch WL1,WL16,WL8,WL17
+ *   occamy-sim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "sim/trace.hh"
+#include "workloads/suite.hh"
+
+using namespace occamy;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<SharingPolicy> policies{SharingPolicy::Elastic};
+    unsigned cores = 2;
+    std::string pair = "6+16";
+    bool opencv = false;
+    std::vector<std::string> batch;
+    Cycle maxCycles = 40'000'000;
+    bool timeline = false;
+    bool stats = false;
+    bool list = false;
+    bool json = false;
+    std::string csvPrefix;
+};
+
+void
+usage()
+{
+    std::printf(
+        "occamy-sim: drive the Occamy elastic-SIMD simulator\n"
+        "  --policy P     private|fts|vls|occamy|all (default occamy)\n"
+        "  --cores N      number of scalar cores (default 2)\n"
+        "  --pair A+B     workload ids for core0+core1 (default 6+16)\n"
+        "  --opencv       interpret --pair ids as OpenCV workloads\n"
+        "  --batch L      comma-separated WLn/CVn list, FCFS scheduled\n"
+        "  --max-cycles N simulation cap (default 4e7)\n"
+        "  --timeline     print busy-lane timelines\n"
+        "  --stats        dump memory/co-processor statistics\n"
+        "  --json         print a JSON result summary\n"
+        "  --csv PREFIX   write PREFIX_{timeline,phases,batch}.csv\n"
+        "  --list         list available workloads and exit\n");
+}
+
+std::optional<SharingPolicy>
+parsePolicy(const std::string &s)
+{
+    if (s == "private")
+        return SharingPolicy::Private;
+    if (s == "fts" || s == "temporal")
+        return SharingPolicy::Temporal;
+    if (s == "vls" || s == "static")
+        return SharingPolicy::StaticSpatial;
+    if (s == "occamy" || s == "elastic")
+        return SharingPolicy::Elastic;
+    return std::nullopt;
+}
+
+workloads::Workload
+lookupWorkload(const std::string &token)
+{
+    if (token.rfind("CV", 0) == 0)
+        return workloads::opencvWorkload(
+            static_cast<unsigned>(std::atoi(token.c_str() + 2)));
+    if (token.rfind("WL", 0) == 0)
+        return workloads::specWorkload(
+            static_cast<unsigned>(std::atoi(token.c_str() + 2)));
+    return workloads::specWorkload(
+        static_cast<unsigned>(std::atoi(token.c_str())));
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--policy") {
+            const char *v = next();
+            if (!v)
+                return false;
+            if (std::strcmp(v, "all") == 0) {
+                opt.policies = {SharingPolicy::Private,
+                                SharingPolicy::Temporal,
+                                SharingPolicy::StaticSpatial,
+                                SharingPolicy::Elastic};
+            } else if (auto p = parsePolicy(v)) {
+                opt.policies = {*p};
+            } else {
+                return false;
+            }
+        } else if (arg == "--cores") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.cores = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--pair") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.pair = v;
+        } else if (arg == "--opencv") {
+            opt.opencv = true;
+        } else if (arg == "--batch") {
+            const char *v = next();
+            if (!v)
+                return false;
+            std::string item;
+            for (const char *p = v;; ++p) {
+                if (*p == ',' || *p == '\0') {
+                    if (!item.empty())
+                        opt.batch.push_back(item);
+                    item.clear();
+                    if (*p == '\0')
+                        break;
+                } else {
+                    item.push_back(*p);
+                }
+            }
+        } else if (arg == "--max-cycles") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.maxCycles = static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--timeline") {
+            opt.timeline = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--csv") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.csvPrefix = v;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+printRun(SharingPolicy policy, const RunResult &r, const Options &opt)
+{
+    std::printf("\n=== %s ===\n", policyName(policy));
+    if (r.timedOut)
+        std::printf("  (hit the %llu-cycle cap)\n",
+                    static_cast<unsigned long long>(opt.maxCycles));
+    for (std::size_t c = 0; c < r.cores.size(); ++c) {
+        const auto &core = r.cores[c];
+        std::printf("core%zu %-10s finish=%llu cycles, %llu SIMD "
+                    "compute insts, rename-stall %llu cycles\n",
+                    c, core.workload.c_str(),
+                    static_cast<unsigned long long>(core.finish),
+                    static_cast<unsigned long long>(core.computeIssued),
+                    static_cast<unsigned long long>(
+                        core.renameRegStallCycles));
+        for (const auto &ph : core.phases)
+            std::printf("  phase %-14s [%8llu..%8llu] VL %2u->%2u "
+                        "lanes, rate %.2f\n",
+                        ph.name.c_str(),
+                        static_cast<unsigned long long>(ph.start),
+                        static_cast<unsigned long long>(ph.end),
+                        ph.firstVl * kLanesPerBu,
+                        ph.lastVl * kLanesPerBu, ph.issueRate);
+    }
+    for (const auto &b : r.batch)
+        std::printf("batch %-10s core%u [%llu..%llu]\n", b.name.c_str(),
+                    b.core, static_cast<unsigned long long>(b.dispatched),
+                    static_cast<unsigned long long>(b.finished));
+    std::printf("SIMD utilization %.1f%%, %llu VL switches, %llu lane "
+                "plans, %.2f MB DRAM traffic\n", 100.0 * r.simdUtil,
+                static_cast<unsigned long long>(r.vlSwitches),
+                static_cast<unsigned long long>(r.plansMade),
+                r.dramBytes / 1048576.0);
+    if (opt.timeline) {
+        for (std::size_t c = 0; c < r.cores.size(); ++c) {
+            std::printf("core%zu busy lanes/kcycle:", c);
+            const auto &tl = r.cores[c].busyLanesTimeline;
+            for (std::size_t i = 0; i < tl.size(); i += 8)
+                std::printf(" %.0f", tl[i]);
+            std::printf("\n");
+        }
+    }
+    if (opt.stats)
+        std::printf("%s", r.statsText.c_str());
+    if (opt.json)
+        std::printf("%s\n", trace::toJson(r).c_str());
+    if (!opt.csvPrefix.empty()) {
+        auto dump = [&](const char *suffix, auto writer) {
+            const std::string path =
+                opt.csvPrefix + "_" + suffix + ".csv";
+            std::ofstream ofs(path);
+            writer(ofs, r);
+            std::printf("wrote %s\n", path.c_str());
+        };
+        dump("timeline", trace::writeTimelinesCsv);
+        dump("phases", trace::writePhasesCsv);
+        dump("batch", trace::writeBatchCsv);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+
+    if (opt.list) {
+        std::printf("SPEC workloads:\n");
+        for (unsigned n = 1; n <= 22; ++n) {
+            const auto w = workloads::specWorkload(n);
+            std::printf("  WL%-3u %s:", n, w.memoryIntensive ? "M" : "C");
+            for (const auto &loop : w.loops)
+                std::printf(" %s", loop.name.c_str());
+            std::printf("\n");
+        }
+        std::printf("OpenCV workloads:\n");
+        for (unsigned n = 1; n <= 12; ++n) {
+            const auto w = workloads::opencvWorkload(n);
+            std::printf("  CV%-3u %s:", n, w.memoryIntensive ? "M" : "C");
+            for (const auto &loop : w.loops)
+                std::printf(" %s", loop.name.c_str());
+            std::printf("\n");
+        }
+        return 0;
+    }
+
+    // Resolve the pair ids (e.g. "6+16").
+    const auto plus = opt.pair.find('+');
+    if (plus == std::string::npos) {
+        usage();
+        return 2;
+    }
+    const unsigned a =
+        static_cast<unsigned>(std::atoi(opt.pair.substr(0, plus).c_str()));
+    const unsigned b =
+        static_cast<unsigned>(std::atoi(opt.pair.substr(plus + 1).c_str()));
+
+    for (SharingPolicy policy : opt.policies) {
+        System sys(MachineConfig::forPolicy(policy, opt.cores));
+        try {
+            if (opt.batch.empty()) {
+                const workloads::Workload w0 =
+                    opt.opencv ? workloads::opencvWorkload(a)
+                               : workloads::specWorkload(a);
+                const workloads::Workload w1 =
+                    opt.opencv ? workloads::opencvWorkload(b)
+                               : workloads::specWorkload(b);
+                sys.setWorkload(0, w0.name, w0.loops);
+                if (opt.cores > 1)
+                    sys.setWorkload(1, w1.name, w1.loops);
+            } else {
+                for (const auto &token : opt.batch) {
+                    const workloads::Workload w = lookupWorkload(token);
+                    sys.enqueueWorkload(w.name, w.loops);
+                }
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "error: %s (use --list to see the catalog)\n",
+                         e.what());
+            return 2;
+        }
+        printRun(policy, sys.run(opt.maxCycles), opt);
+    }
+    return 0;
+}
