@@ -4,7 +4,9 @@
  * eager-lazy split (monitor cadence, including a "no lazy points"
  * variant), the LaneMgr re-planning latency, the stream prefetcher and
  * the load-queue depth. Each sweep runs the motivating pair (WL6+WL16)
- * and reports the metric that the knob trades off.
+ * and reports the metric that the knob trades off. All configurations
+ * across all sections are fanned out through one parallel runner sweep
+ * and printed in knob order afterwards.
  */
 
 #include <cstdio>
@@ -18,16 +20,46 @@ using namespace occamy::bench;
 namespace
 {
 
-RunResult
-runWith(MachineConfig cfg)
+/** One WL6+WL16 job under @p cfg (the motivating pair). */
+runner::JobSpec
+jobWith(MachineConfig cfg, std::string label)
 {
-    System sys(cfg);
-    sys.setWorkload(0, "WL6",
-                    {workloads::makeNamedPhase("rho_eos1"),
-                     workloads::makeNamedPhase("rho_eos4")});
-    sys.setWorkload(1, "WL16", {workloads::makeNamedPhase("wsm51")});
-    return sys.run(40'000'000);
+    runner::JobSpec spec;
+    spec.label = std::move(label);
+    spec.cfg = std::move(cfg);
+    spec.workloads = {
+        {"WL6", {workloads::makeNamedPhase("rho_eos1"),
+                 workloads::makeNamedPhase("rho_eos4")}},
+        {"WL16", {workloads::makeNamedPhase("wsm51")}}};
+    spec.maxCycles = 40'000'000;
+    return spec;
 }
+
+/** Run the whole job list; abort with the diagnostic on any failure. */
+std::vector<RunResult>
+runAll(std::vector<runner::JobSpec> jobs)
+{
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        jobs[i].id = i;
+    runner::SweepResult sweep = runner::Runner().run(std::move(jobs));
+    std::vector<RunResult> out;
+    out.reserve(sweep.jobs.size());
+    for (auto &j : sweep.jobs) {
+        if (!j.ok()) {
+            std::fprintf(stderr, "job %s failed: %s\n", j.label.c_str(),
+                         j.error.c_str());
+            std::exit(1);
+        }
+        out.push_back(std::move(j.result));
+    }
+    return out;
+}
+
+const unsigned kPeriods[] = {1u, 2u, 4u, 8u, 16u, 64u, 1u << 20};
+const unsigned kLatencies[] = {1u, 8u, 64u, 512u, 4096u};
+const unsigned kDegrees[] = {0u, 4u, 8u, 16u, 32u, 64u};
+const unsigned kLqDepths[] = {4u, 8u, 16u, 32u, 64u};
+const unsigned kVregs[] = {96u, 128u, 160u, 224u, 320u};
 
 } // namespace
 
@@ -37,22 +69,57 @@ main()
     header("ablation_sweeps: design-choice sensitivity on WL6+WL16",
            "DESIGN.md section 5 (not a paper figure)");
 
-    const Cycle private_c1 =
-        runWith(MachineConfig::forPolicy(SharingPolicy::Private, 2))
-            .cores[1].finish;
+    // One sweep for everything: the Private baseline plus every knob
+    // setting of every section, in declaration order.
+    std::vector<runner::JobSpec> jobs;
+    jobs.push_back(jobWith(
+        MachineConfig::forPolicy(SharingPolicy::Private, 2), "baseline"));
+    for (unsigned period : kPeriods) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+        cfg.monitorPeriod = period;
+        jobs.push_back(jobWith(cfg, "A/monitorPeriod"));
+    }
+    for (unsigned lat : kLatencies) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+        cfg.laneMgrLatency = lat;
+        jobs.push_back(jobWith(cfg, "B/laneMgrLatency"));
+    }
+    for (unsigned deg : kDegrees) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Private, 2);
+        cfg.prefetchDegree = deg;
+        jobs.push_back(jobWith(cfg, "C/prefetchDegree"));
+    }
+    for (unsigned lq : kLqDepths) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Private, 2);
+        cfg.loadQueueEntries = lq;
+        jobs.push_back(jobWith(cfg, "D/loadQueueEntries"));
+    }
+    for (unsigned regs : kVregs) {
+        MachineConfig cfg =
+            MachineConfig::forPolicy(SharingPolicy::Temporal, 2);
+        cfg.vregsPerBlk = regs;
+        jobs.push_back(jobWith(cfg, "E/vregsPerBlk"));
+    }
+
+    const std::vector<RunResult> results = runAll(std::move(jobs));
+    std::size_t at = 0;
+    const Cycle private_c1 = results[at++].cores[1].finish;
 
     std::printf("\n[A] eager-lazy split: partition-monitor cadence "
                 "(Occamy)\n");
     std::printf("  %-14s %10s %12s %12s\n", "monitorPeriod",
                 "c1 speedup", "monitor ovh", "vl switches");
-    for (unsigned period : {1u, 2u, 4u, 8u, 16u, 64u, 1u << 20}) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
-        cfg.monitorPeriod = period;
-        const RunResult r = runWith(cfg);
+    const unsigned transmit_width =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2).transmitWidth;
+    for (unsigned period : kPeriods) {
+        const RunResult &r = results[at++];
         double ovh = 0.0;
         for (const auto &core : r.cores)
-            ovh += 50.0 * core.monitorOverhead(cfg.transmitWidth);
+            ovh += 50.0 * core.monitorOverhead(transmit_width);
         std::printf("  %-14u %9.2fx %11.2f%% %12llu%s\n", period,
                     static_cast<double>(private_c1) / r.cores[1].finish,
                     ovh, static_cast<unsigned long long>(r.vlSwitches),
@@ -65,11 +132,8 @@ main()
     std::printf("\n[B] LaneMgr re-planning latency (Occamy)\n");
     std::printf("  %-14s %10s %10s\n", "latency(cyc)", "c1 speedup",
                 "util");
-    for (unsigned lat : {1u, 8u, 64u, 512u, 4096u}) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
-        cfg.laneMgrLatency = lat;
-        const RunResult r = runWith(cfg);
+    for (unsigned lat : kLatencies) {
+        const RunResult &r = results[at++];
         std::printf("  %-14u %9.2fx %9.1f%%\n", lat,
                     static_cast<double>(private_c1) / r.cores[1].finish,
                     100.0 * r.simdUtil);
@@ -80,11 +144,8 @@ main()
     std::printf("\n[C] stream-prefetch degree (Private, memory core)\n");
     std::printf("  %-14s %12s %12s\n", "degree", "c0 finish",
                 "dram MB");
-    for (unsigned deg : {0u, 4u, 8u, 16u, 32u, 64u}) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Private, 2);
-        cfg.prefetchDegree = deg;
-        const RunResult r = runWith(cfg);
+    for (unsigned deg : kDegrees) {
+        const RunResult &r = results[at++];
         std::printf("  %-14u %12llu %11.2f\n", deg,
                     static_cast<unsigned long long>(r.cores[0].finish),
                     r.dramBytes / 1048576.0);
@@ -94,11 +155,8 @@ main()
 
     std::printf("\n[D] load-queue depth (Private, memory core)\n");
     std::printf("  %-14s %12s\n", "LQ entries", "c0 finish");
-    for (unsigned lq : {4u, 8u, 16u, 32u, 64u}) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Private, 2);
-        cfg.loadQueueEntries = lq;
-        const RunResult r = runWith(cfg);
+    for (unsigned lq : kLqDepths) {
+        const RunResult &r = results[at++];
         std::printf("  %-14u %12llu\n", lq,
                     static_cast<unsigned long long>(r.cores[0].finish));
     }
@@ -107,11 +165,8 @@ main()
                 "(2-core FTS)\n");
     std::printf("  %-14s %10s %14s\n", "VRegs/RegBlk", "c1 speedup",
                 "rename stall%");
-    for (unsigned regs : {96u, 128u, 160u, 224u, 320u}) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Temporal, 2);
-        cfg.vregsPerBlk = regs;
-        const RunResult r = runWith(cfg);
+    for (unsigned regs : kVregs) {
+        const RunResult &r = results[at++];
         std::printf("  %-14u %9.2fx %13.1f%%\n", regs,
                     static_cast<double>(private_c1) / r.cores[1].finish,
                     100.0 * r.cores[1].renameRegStallCycles /

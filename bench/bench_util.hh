@@ -10,9 +10,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "runner/runner.hh"
+#include "runner/sweep.hh"
 #include "sim/system.hh"
 #include "workloads/suite.hh"
 
@@ -44,19 +47,45 @@ struct PairResults
     }
 };
 
-/** Run @p pair on all four 2-core architectures. */
+/**
+ * Run @p pairs x @p policies through the parallel runner (OCCAMY_JOBS
+ * or hardware-concurrency worker threads) and regroup the id-ordered
+ * sweep per pair. Results are identical to the old serial loops for
+ * any thread count; a failed job aborts with its diagnostic, matching
+ * the old uncontained behaviour the figure benches rely on.
+ */
+inline std::vector<PairResults>
+runPairs(const std::vector<workloads::Pair> &pairs,
+         const std::vector<SharingPolicy> &policies = kPolicies,
+         Cycle max_cycles = 40'000'000)
+{
+    const runner::SweepResult sweep = runner::Runner().run(
+        runner::pairSweepJobs(pairs, policies, max_cycles));
+    std::vector<PairResults> out;
+    out.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        PairResults r;
+        r.label = pairs[i].label;
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const runner::JobResult &job =
+                sweep.jobs[i * policies.size() + p];
+            if (!job.ok()) {
+                std::fprintf(stderr, "job %s failed: %s\n",
+                             job.label.c_str(), job.error.c_str());
+                std::exit(1);
+            }
+            r.byPolicy.push_back(job.result);
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+/** Run @p pair on all four 2-core architectures (runner-backed). */
 inline PairResults
 runPair(const workloads::Pair &pair, Cycle max_cycles = 40'000'000)
 {
-    PairResults r;
-    r.label = pair.label;
-    for (SharingPolicy p : kPolicies) {
-        System sys(MachineConfig::forPolicy(p, 2));
-        sys.setWorkload(0, pair.core0.name, pair.core0.loops);
-        sys.setWorkload(1, pair.core1.name, pair.core1.loops);
-        r.byPolicy.push_back(sys.run(max_cycles));
-    }
-    return r;
+    return runPairs({pair}, kPolicies, max_cycles).front();
 }
 
 /** Geometric mean. */

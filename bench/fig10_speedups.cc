@@ -27,13 +27,13 @@ main()
 
     std::vector<std::vector<double>> s0(4), s1(4);
     const auto pairs = workloads::allPairs();
+    const auto results = runPairs(pairs);   // parallel fan-out
     std::size_t idx = 0;
-    for (const auto &pair : pairs) {
+    for (const PairResults &res : results) {
         if (idx == 16)
             std::printf("-- OpenCV --\n");
         ++idx;
-        PairResults res = runPair(pair);
-        std::printf("%-8s |", pair.label.c_str());
+        std::printf("%-8s |", res.label.c_str());
         for (std::size_t p = 1; p < kPolicies.size(); ++p) {
             s0[p].push_back(res.speedup(p, 0));
             std::printf(" %5.2fx", res.speedup(p, 0));

@@ -24,13 +24,13 @@ main()
 
     std::vector<std::vector<double>> util(4);
     const auto pairs = workloads::allPairs();
+    const auto results = runPairs(pairs);   // parallel fan-out
     std::size_t idx = 0;
-    for (const auto &pair : pairs) {
+    for (const PairResults &res : results) {
         if (idx == 16)
             std::printf("-- OpenCV --\n");
         ++idx;
-        PairResults res = runPair(pair);
-        std::printf("%-8s |", pair.label.c_str());
+        std::printf("%-8s |", res.label.c_str());
         for (std::size_t p = 0; p < kPolicies.size(); ++p) {
             util[p].push_back(res.byPolicy[p].simdUtil);
             std::printf(" %7.1f%%", 100.0 * res.byPolicy[p].simdUtil);

@@ -29,13 +29,13 @@ main()
 
     std::vector<std::vector<double>> frac(8);
     const auto pairs = workloads::allPairs();
+    const auto results = runPairs(pairs);   // parallel fan-out
     std::size_t idx = 0;
-    for (const auto &pair : pairs) {
+    for (const PairResults &res : results) {
         if (idx == 16)
             std::printf("-- OpenCV --\n");
         ++idx;
-        PairResults res = runPair(pair);
-        std::printf("%-8s |", pair.label.c_str());
+        std::printf("%-8s |", res.label.c_str());
         for (std::size_t p = 0; p < kPolicies.size(); ++p) {
             for (unsigned c = 0; c < 2; ++c) {
                 const auto &core = res.byPolicy[p].cores[c];

@@ -28,15 +28,14 @@ main()
         SharingPolicy::Elastic, 2);
     std::vector<double> mon, rec;
     const auto pairs = workloads::allPairs();
+    const auto results =
+        runPairs(pairs, {SharingPolicy::Elastic});   // parallel fan-out
     std::size_t idx = 0;
-    for (const auto &pair : pairs) {
+    for (const PairResults &res : results) {
         if (idx == 16)
             std::printf("-- OpenCV --\n");
         ++idx;
-        System sys(cfg);
-        sys.setWorkload(0, pair.core0.name, pair.core0.loops);
-        sys.setWorkload(1, pair.core1.name, pair.core1.loops);
-        RunResult r = sys.run(40'000'000);
+        const RunResult &r = res.byPolicy[0];
 
         // Workload-weighted overhead across both cores.
         double m = 0.0, v = 0.0;
@@ -47,7 +46,7 @@ main()
         mon.push_back(m);
         rec.push_back(v);
         std::printf("%-8s | %9.2f%% %11.2f%% %7.2f%% | %9llu %9llu\n",
-                    pair.label.c_str(), m, v, m + v,
+                    res.label.c_str(), m, v, m + v,
                     static_cast<unsigned long long>(r.vlSwitches),
                     static_cast<unsigned long long>(r.plansMade));
         std::fflush(stdout);

@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <mutex>
 #include <set>
@@ -14,7 +15,11 @@ namespace
 struct LogState
 {
     std::set<std::string, std::less<>> flags;
-    bool all = false;
+    // The fast-path reads in enabled() happen outside the mutex (it
+    // runs on every OCCAMY_LOG from every worker thread), so the two
+    // flags it consults are atomics; `flags` itself stays mutexed.
+    std::atomic<bool> all{false};
+    std::atomic<bool> any{false};   ///< !flags.empty(), mirrored.
     std::mutex mtx;
 };
 
@@ -32,10 +37,12 @@ Log::enable(std::string_view flag)
 {
     auto &s = state();
     std::lock_guard<std::mutex> lock(s.mtx);
-    if (flag == "All")
+    if (flag == "All") {
         s.all = true;
-    else
+    } else {
         s.flags.emplace(flag);
+        s.any = true;
+    }
 }
 
 void
@@ -51,15 +58,16 @@ Log::disable(std::string_view flag)
         if (it != s.flags.end())
             s.flags.erase(it);
     }
+    s.any = !s.flags.empty();
 }
 
 bool
 Log::enabled(std::string_view flag)
 {
     auto &s = state();
-    if (s.all)
+    if (s.all.load(std::memory_order_relaxed))
         return true;
-    if (s.flags.empty())
+    if (!s.any.load(std::memory_order_relaxed))
         return false;
     std::lock_guard<std::mutex> lock(s.mtx);
     return s.flags.find(flag) != s.flags.end();

@@ -3,6 +3,27 @@
  * Minimal statistics package in the spirit of gem5's Stats: named scalar
  * counters, averages, distributions and derived formulas, grouped per
  * component and dumpable as text.
+ *
+ * Concurrency contract (audited for the parallel experiment runner in
+ * src/runner):
+ *
+ *  - Nothing in this package is internally synchronized, and there is
+ *    deliberately no process-global stats registry. Every Counter /
+ *    Average / Distribution is a plain member of one simulator
+ *    component, every Group is built inside one `System::run()`, and a
+ *    `System` owns its `MachineConfig` by value — so all statistics and
+ *    configuration state is strictly per-`System`-instance.
+ *
+ *  - Therefore a `System` (and everything hanging off it) must be
+ *    constructed, run and destroyed on a single thread. Cross-thread
+ *    parallelism is achieved by running *different* `System` instances
+ *    on different threads (what runner::Runner does: one fresh System
+ *    per job, built on the worker thread that executes it), never by
+ *    sharing one instance.
+ *
+ *  - The only process-global mutable state in src/common is the debug
+ *    flag registry behind `Log` (common/log.hh), which is mutex/atomic
+ *    protected and safe to use from concurrent simulations.
  */
 
 #ifndef OCCAMY_COMMON_STATS_HH

@@ -1,0 +1,181 @@
+#include "runner/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace occamy::runner
+{
+
+const char *
+jobStatusName(JobStatus s)
+{
+    return s == JobStatus::Ok ? "ok" : "failed";
+}
+
+std::size_t
+SweepResult::failed() const
+{
+    std::size_t n = 0;
+    for (const auto &j : jobs)
+        if (!j.ok())
+            ++n;
+    return n;
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("OCCAMY_JOBS")) {
+        const long n = std::atol(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::function<void(const Progress &)>
+stderrProgress()
+{
+    return [](const Progress &p) {
+        std::fprintf(stderr,
+                     "\r[%zu/%zu] running=%zu failed=%zu "
+                     "elapsed=%.1fs eta=%.1fs   ",
+                     p.done, p.total, p.running, p.failed, p.elapsedSec,
+                     p.etaSec);
+        if (p.done == p.total)
+            std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+    };
+}
+
+JobResult
+Runner::runOne(const JobSpec &spec)
+{
+    JobResult out;
+    out.id = spec.id;
+    out.label = spec.label;
+    out.policy = spec.cfg.policy;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        System sys(spec.cfg);
+        // System::setWorkload range-checks the core id, so a spec with
+        // more slots than cores becomes a contained per-job failure.
+        for (std::size_t c = 0; c < spec.workloads.size(); ++c)
+            sys.setWorkload(static_cast<CoreId>(c),
+                            spec.workloads[c].first,
+                            spec.workloads[c].second);
+        for (const auto &[name, loops] : spec.batch)
+            sys.enqueueWorkload(name, loops);
+        out.result = sys.run(spec.maxCycles, spec.bucket);
+        if (out.result.timedOut) {
+            out.status = JobStatus::Failed;
+            out.error = "hit the " + std::to_string(spec.maxCycles) +
+                        "-cycle cap (partial result retained)";
+        }
+    } catch (const std::exception &e) {
+        out.status = JobStatus::Failed;
+        out.error = e.what();
+    } catch (...) {
+        out.status = JobStatus::Failed;
+        out.error = "unknown exception";
+    }
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    return out;
+}
+
+SweepResult
+Runner::run(std::vector<JobSpec> jobs) const
+{
+    SweepResult sweep;
+    const std::size_t n = jobs.size();
+    sweep.jobs.resize(n);
+    if (n == 0)
+        return sweep;
+
+    unsigned threads = opt_.numThreads ? opt_.numThreads : defaultJobs();
+    if (threads > n)
+        threads = static_cast<unsigned>(n);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> running{0};
+    std::atomic<std::size_t> failed{0};
+    std::mutex done_mtx;
+    std::condition_variable done_cv;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            ++running;
+            // Results land at the spec's position, so completion order
+            // (and thus thread count) never affects sweep output.
+            sweep.jobs[i] = runOne(jobs[i]);
+            if (!sweep.jobs[i].ok())
+                ++failed;
+            --running;
+            {
+                std::lock_guard<std::mutex> lock(done_mtx);
+                ++done;
+            }
+            done_cv.notify_one();
+        }
+    };
+
+    auto progress = [&]() {
+        Progress p;
+        p.total = n;
+        p.done = done.load();
+        p.running = running.load();
+        p.failed = failed.load();
+        p.elapsedSec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        p.etaSec = p.done ? p.elapsedSec / static_cast<double>(p.done) *
+                                static_cast<double>(p.total - p.done)
+                          : 0.0;
+        return p;
+    };
+
+    if (threads <= 1 && !opt_.onProgress) {
+        // Inline fast path: no pool needed, still fault-contained.
+        for (std::size_t i = 0; i < n; ++i) {
+            sweep.jobs[i] = runOne(jobs[i]);
+            if (!sweep.jobs[i].ok())
+                ++failed;
+            ++done;
+        }
+        return sweep;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+
+    if (opt_.onProgress) {
+        std::unique_lock<std::mutex> lock(done_mtx);
+        while (done.load() < n) {
+            opt_.onProgress(progress());
+            done_cv.wait_for(lock, std::chrono::milliseconds(500));
+        }
+    }
+    for (auto &t : pool)
+        t.join();
+    if (opt_.onProgress)
+        opt_.onProgress(progress());
+    return sweep;
+}
+
+} // namespace occamy::runner

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Parallel experiment runner: fans independent `System` simulations out
+ * across worker threads with deterministic result ordering and per-job
+ * fault containment.
+ *
+ * A sweep is a vector of JobSpec; Runner::run() executes them on N
+ * threads and returns a SweepResult whose jobs are ordered by spec
+ * position regardless of completion order, so a sweep's output (and any
+ * JSON/CSV rendered from it) is bit-identical whether it ran on 1
+ * thread or 16. A job that throws, is infeasible, or hits its cycle cap
+ * is marked Failed with a captured diagnostic; the rest of the sweep
+ * still completes.
+ *
+ * Concurrency contract: each job constructs its own `System` (and with
+ * it every component, stats group and `MachineConfig` copy) on the
+ * worker thread that executes it, so jobs share no mutable state — see
+ * the contract block in common/stats.hh.
+ */
+
+#ifndef OCCAMY_RUNNER_RUNNER_HH
+#define OCCAMY_RUNNER_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/system.hh"
+
+namespace occamy::runner
+{
+
+/** One named workload slot: {workload name, kernel loops}. */
+using WorkloadSlot = std::pair<std::string, std::vector<kir::Loop>>;
+
+/** Everything needed to run one independent simulation. */
+struct JobSpec
+{
+    /** Dense position in the sweep; results come back in this order.
+     *  Builders (pairSweepJobs, Runner callers) assign it = index. */
+    std::size_t id = 0;
+
+    /** Human-readable label, e.g. "6+16/Occamy". */
+    std::string label;
+
+    /** Full machine configuration (policy included). Copied per job:
+     *  a running System never shares its config with another job. */
+    MachineConfig cfg;
+
+    /** Per-core workloads, indexed by core id. Fewer entries than
+     *  cores leaves the remaining cores idle; more entries than cores
+     *  is infeasible and fails the job (contained, not fatal). */
+    std::vector<WorkloadSlot> workloads;
+
+    /** FCFS/OI-aware batch queue entries (Section 5 co-scheduling). */
+    std::vector<WorkloadSlot> batch;
+
+    /** Simulation cycle cap; exceeding it fails the job. */
+    Cycle maxCycles = 40'000'000;
+
+    /** Timeline bucket size in cycles (System::run's bucket). */
+    unsigned bucket = 1000;
+
+    /** Reserved for stochastic workloads/configs. The simulator is
+     *  fully deterministic today, so the seed only tags the result. */
+    std::uint64_t seed = 0;
+};
+
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Ok,         ///< Ran to completion of all workloads.
+    Failed,     ///< Threw, was infeasible, or hit the cycle cap.
+};
+
+/** @return "ok" / "failed". */
+const char *jobStatusName(JobStatus s);
+
+/** Outcome of one job. */
+struct JobResult
+{
+    std::size_t id = 0;
+    std::string label;
+    SharingPolicy policy = SharingPolicy::Elastic;
+    JobStatus status = JobStatus::Ok;
+
+    /** Diagnostic when Failed (exception text or timeout note). */
+    std::string error;
+
+    /** Simulation result. On a cycle-cap failure this holds the
+     *  partial state at the cap; on an exception it is empty. */
+    RunResult result;
+
+    /** Wall-clock spent simulating, for operator feedback only. Never
+     *  exported to JSON/CSV: it would break run-to-run determinism. */
+    double wallMs = 0.0;
+
+    bool ok() const { return status == JobStatus::Ok; }
+};
+
+/** A completed sweep, ordered by JobSpec::id. */
+struct SweepResult
+{
+    std::vector<JobResult> jobs;
+
+    std::size_t failed() const;
+    bool allOk() const { return failed() == 0; }
+};
+
+/** Live progress snapshot passed to RunnerOptions::onProgress. */
+struct Progress
+{
+    std::size_t total = 0;
+    std::size_t done = 0;       ///< Finished (ok or failed).
+    std::size_t running = 0;    ///< Currently executing.
+    std::size_t failed = 0;
+    double elapsedSec = 0.0;
+    double etaSec = 0.0;        ///< Naive remaining-time estimate.
+};
+
+/** Runner configuration. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 means defaultJobs(). */
+    unsigned numThreads = 0;
+
+    /** Invoked ~2x/second from the coordinating thread while the sweep
+     *  runs, and once after the last job. Leave empty for silence. */
+    std::function<void(const Progress &)> onProgress;
+};
+
+/**
+ * Default worker-thread count: the OCCAMY_JOBS environment variable if
+ * set and positive, else std::thread::hardware_concurrency(), else 1.
+ */
+unsigned defaultJobs();
+
+/** Stock onProgress callback: one-line live status on stderr. */
+std::function<void(const Progress &)> stderrProgress();
+
+/** Thread-pool executor for sweeps of independent simulations. */
+class Runner
+{
+  public:
+    explicit Runner(RunnerOptions opt = {}) : opt_(std::move(opt)) {}
+
+    /**
+     * Execute every job and return results ordered by spec position.
+     * Never throws for job-level failures; those come back as
+     * JobStatus::Failed entries.
+     */
+    SweepResult run(std::vector<JobSpec> jobs) const;
+
+    /** Convenience: run one job with fault containment, inline. */
+    static JobResult runOne(const JobSpec &spec);
+
+  private:
+    RunnerOptions opt_;
+};
+
+} // namespace occamy::runner
+
+#endif // OCCAMY_RUNNER_RUNNER_HH

@@ -1,0 +1,109 @@
+#include "runner/sweep.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace occamy::runner
+{
+
+std::vector<JobSpec>
+pairSweepJobs(const std::vector<workloads::Pair> &pairs,
+              const std::vector<SharingPolicy> &policies,
+              Cycle max_cycles,
+              const std::function<void(MachineConfig &)> &tweak)
+{
+    std::vector<JobSpec> jobs;
+    jobs.reserve(pairs.size() * policies.size());
+    for (const auto &pair : pairs) {
+        for (SharingPolicy p : policies) {
+            JobSpec spec;
+            spec.id = jobs.size();
+            spec.label = pair.label + "/" + policyName(p);
+            spec.cfg = MachineConfig::forPolicy(p, 2);
+            if (tweak)
+                tweak(spec.cfg);
+            spec.workloads = {{pair.core0.name, pair.core0.loops},
+                              {pair.core1.name, pair.core1.loops}};
+            spec.maxCycles = max_cycles;
+            jobs.push_back(std::move(spec));
+        }
+    }
+    return jobs;
+}
+
+namespace
+{
+
+/** Escape for a JSON string literal (labels can be arbitrary). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+sweepToJson(const SweepResult &sweep)
+{
+    std::ostringstream os;
+    os << "{\"jobs\":[";
+    for (std::size_t i = 0; i < sweep.jobs.size(); ++i) {
+        const JobResult &j = sweep.jobs[i];
+        os << (i ? "," : "") << "{\"id\":" << j.id
+           << ",\"label\":\"" << jsonEscape(j.label) << "\""
+           << ",\"policy\":\"" << policyName(j.policy) << "\""
+           << ",\"status\":\"" << jobStatusName(j.status) << "\""
+           << ",\"error\":\"" << jsonEscape(j.error) << "\""
+           << ",\"result\":" << trace::toJson(j.result) << "}";
+    }
+    os << "],\"failed\":" << sweep.failed() << "}";
+    return os.str();
+}
+
+void
+writeSweepCsv(std::ostream &os, const SweepResult &sweep)
+{
+    std::size_t max_cores = 0;
+    for (const auto &j : sweep.jobs)
+        max_cores = std::max(max_cores, j.result.cores.size());
+
+    os << "id,label,policy,status,cycles,simd_util,dram_bytes";
+    for (std::size_t c = 0; c < max_cores; ++c)
+        os << ",core" << c << "_workload,core" << c << "_finish";
+    os << "\n";
+
+    os << std::setprecision(10);
+    for (const auto &j : sweep.jobs) {
+        os << j.id << "," << j.label << "," << policyName(j.policy)
+           << "," << jobStatusName(j.status) << "," << j.result.cycles
+           << "," << j.result.simdUtil << "," << j.result.dramBytes;
+        for (std::size_t c = 0; c < max_cores; ++c) {
+            if (c < j.result.cores.size())
+                os << "," << j.result.cores[c].workload << ","
+                   << j.result.cores[c].finish;
+            else
+                os << ",,";
+        }
+        os << "\n";
+    }
+}
+
+} // namespace occamy::runner

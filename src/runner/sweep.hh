@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sweep construction and export on top of the runner: build job lists
+ * from the workload suite's co-running pairs crossed with sharing
+ * policies, and render a completed SweepResult as aggregated JSON or a
+ * summary CSV (both deterministic: ordered by job id, no wall-clock
+ * fields), reusing the per-run exporters in sim/trace.
+ */
+
+#ifndef OCCAMY_RUNNER_SWEEP_HH
+#define OCCAMY_RUNNER_SWEEP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+#include "workloads/suite.hh"
+
+namespace occamy::runner
+{
+
+/**
+ * Build the job list for @p pairs x @p policies, pair-major (all
+ * policies of pair 0, then pair 1, ...), with ids assigned 0..n-1 and
+ * labels "<pair>/<policy>". Each job gets
+ * MachineConfig::forPolicy(policy, 2) with @p tweak (if non-null)
+ * applied to the config after the preset.
+ */
+std::vector<JobSpec> pairSweepJobs(
+    const std::vector<workloads::Pair> &pairs,
+    const std::vector<SharingPolicy> &policies,
+    Cycle max_cycles = 40'000'000,
+    const std::function<void(MachineConfig &)> &tweak = nullptr);
+
+/**
+ * Render the whole sweep as one JSON object:
+ *   {"jobs":[{"id":..,"label":..,"policy":..,"seed":..,"status":..,
+ *             "error":..,"result":{..trace::toJson..}},...],
+ *    "failed":N}
+ * Deterministic for a given job list: independent of thread count and
+ * completion order (jobs are id-ordered, wall-clock is excluded).
+ */
+std::string sweepToJson(const SweepResult &sweep);
+
+/**
+ * Write the one-row-per-job summary CSV:
+ *   id,label,policy,status,cycles,simd_util,dram_bytes,core<i>_finish...
+ * Column count is fixed by the widest job (idle columns left empty).
+ */
+void writeSweepCsv(std::ostream &os, const SweepResult &sweep);
+
+} // namespace occamy::runner
+
+#endif // OCCAMY_RUNNER_SWEEP_HH

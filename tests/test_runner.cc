@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: thread-count-independent
+ * determinism (finish cycles, GM speedups, exported JSON), fault
+ * containment of failing jobs, result ordering, and the progress
+ * callback contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "runner/runner.hh"
+#include "runner/sweep.hh"
+#include "workloads/phases.hh"
+#include "workloads/suite.hh"
+
+namespace occamy
+{
+namespace
+{
+
+/** Small pair/policy sweep: 6 pairs x {Private, Elastic}. */
+std::vector<runner::JobSpec>
+smallSweep()
+{
+    auto pairs = workloads::specPairs();
+    pairs.resize(6);
+    return runner::pairSweepJobs(
+        pairs, {SharingPolicy::Private, SharingPolicy::Elastic});
+}
+
+runner::SweepResult
+runWithThreads(unsigned threads)
+{
+    runner::RunnerOptions opt;
+    opt.numThreads = threads;
+    return runner::Runner(opt).run(smallSweep());
+}
+
+double
+gmElasticSpeedup(const runner::SweepResult &sweep)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i + 1 < sweep.jobs.size(); i += 2) {
+        const Cycle base = sweep.jobs[i].result.cores[1].finish;
+        const Cycle elastic = sweep.jobs[i + 1].result.cores[1].finish;
+        log_sum += std::log(static_cast<double>(base) /
+                            static_cast<double>(elastic));
+        ++n;
+    }
+    return std::exp(log_sum / static_cast<double>(n));
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts)
+{
+    const runner::SweepResult serial = runWithThreads(1);
+    const runner::SweepResult parallel = runWithThreads(4);
+
+    ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+    EXPECT_TRUE(serial.allOk());
+    EXPECT_TRUE(parallel.allOk());
+
+    for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+        SCOPED_TRACE(serial.jobs[i].label);
+        EXPECT_EQ(serial.jobs[i].id, i);
+        EXPECT_EQ(parallel.jobs[i].id, i);
+        EXPECT_EQ(serial.jobs[i].label, parallel.jobs[i].label);
+        const auto &sc = serial.jobs[i].result.cores;
+        const auto &pc = parallel.jobs[i].result.cores;
+        ASSERT_EQ(sc.size(), pc.size());
+        for (std::size_t c = 0; c < sc.size(); ++c)
+            EXPECT_EQ(sc[c].finish, pc[c].finish);
+    }
+
+    EXPECT_DOUBLE_EQ(gmElasticSpeedup(serial),
+                     gmElasticSpeedup(parallel));
+    EXPECT_GT(gmElasticSpeedup(serial), 1.0);
+
+    // The aggregated export is byte-identical, wall-clock excluded.
+    EXPECT_EQ(runner::sweepToJson(serial), runner::sweepToJson(parallel));
+    std::ostringstream scsv, pcsv;
+    runner::writeSweepCsv(scsv, serial);
+    runner::writeSweepCsv(pcsv, parallel);
+    EXPECT_EQ(scsv.str(), pcsv.str());
+}
+
+TEST(Runner, FaultContainment)
+{
+    auto jobs = smallSweep();
+    // Job 3 cannot finish a single workload in one cycle: it must come
+    // back Failed (with its diagnostic) without disturbing the rest.
+    jobs[3].maxCycles = 1;
+
+    runner::RunnerOptions opt;
+    opt.numThreads = 4;
+    const runner::SweepResult sweep = runner::Runner(opt).run(jobs);
+
+    ASSERT_EQ(sweep.jobs.size(), jobs.size());
+    EXPECT_EQ(sweep.failed(), 1u);
+    EXPECT_FALSE(sweep.allOk());
+    EXPECT_EQ(sweep.jobs[3].status, runner::JobStatus::Failed);
+    EXPECT_NE(sweep.jobs[3].error.find("cycle cap"), std::string::npos);
+    EXPECT_TRUE(sweep.jobs[3].result.timedOut);
+    for (std::size_t i = 0; i < sweep.jobs.size(); ++i) {
+        if (i == 3)
+            continue;
+        SCOPED_TRACE(i);
+        EXPECT_TRUE(sweep.jobs[i].ok()) << sweep.jobs[i].error;
+        EXPECT_GT(sweep.jobs[i].result.cores[1].finish, 0u);
+    }
+
+    // The sweep JSON reports the failure without losing the ok jobs.
+    const std::string json = runner::sweepToJson(sweep);
+    EXPECT_NE(json.find("\"status\":\"failed\""), std::string::npos);
+    EXPECT_NE(json.find("\"failed\":1"), std::string::npos);
+}
+
+TEST(Runner, InfeasibleSpecIsContained)
+{
+    // Three workload slots on a two-core machine: System rejects the
+    // third slot, and the runner must contain the exception.
+    runner::JobSpec bad;
+    bad.label = "infeasible";
+    bad.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    const auto loop = workloads::makeNamedPhase("wsm51", 4096);
+    bad.workloads = {{"a", {loop}}, {"b", {loop}}, {"c", {loop}}};
+
+    const runner::JobResult r = runner::Runner::runOne(bad);
+    EXPECT_EQ(r.status, runner::JobStatus::Failed);
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Runner, ProgressCallbackReachesCompletion)
+{
+    auto pairs = workloads::specPairs();
+    pairs.resize(2);
+    auto jobs = runner::pairSweepJobs(pairs, {SharingPolicy::Private});
+
+    runner::Progress last;
+    std::size_t calls = 0;
+    runner::RunnerOptions opt;
+    opt.numThreads = 2;
+    opt.onProgress = [&](const runner::Progress &p) {
+        last = p;
+        ++calls;
+    };
+    const runner::SweepResult sweep = runner::Runner(opt).run(jobs);
+
+    EXPECT_TRUE(sweep.allOk());
+    EXPECT_GE(calls, 1u);
+    EXPECT_EQ(last.total, jobs.size());
+    EXPECT_EQ(last.done, jobs.size());
+    EXPECT_EQ(last.running, 0u);
+    EXPECT_EQ(last.failed, 0u);
+}
+
+TEST(Runner, BatchJobsRunThroughTheQueue)
+{
+    runner::JobSpec spec;
+    spec.label = "batch";
+    spec.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    const auto w8 = workloads::specWorkload(8);
+    const auto w17 = workloads::specWorkload(17);
+    spec.batch = {{w8.name, w8.loops}, {w17.name, w17.loops}};
+
+    const runner::JobResult r = runner::Runner::runOne(spec);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.result.batch.size(), 2u);
+}
+
+} // namespace
+} // namespace occamy

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * occamy-batchrun: drive arbitrary pair x policy sweeps through the
+ * parallel experiment runner without recompiling.
+ *
+ * Jobs fan out across worker threads with per-job fault containment;
+ * output (stdout table, --json-out, --csv-out) is ordered by job id and
+ * therefore byte-identical for any --jobs value. Live progress goes to
+ * stderr with --progress. Exits non-zero if any job failed, so CI can
+ * gate on it.
+ *
+ * Examples:
+ *   occamy-batchrun --jobs 4 --pairs all --policy all --json-out sweep.json
+ *   occamy-batchrun --pairs 1,2,3,4 --policy occamy --csv-out sweep.csv
+ *   occamy-batchrun --pairs 6+16,1+13 --policy all --progress
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+#include "runner/sweep.hh"
+#include "workloads/suite.hh"
+
+using namespace occamy;
+
+namespace
+{
+
+struct Options
+{
+    unsigned jobs = 0;                  // 0 = runner default
+    std::string pairs = "spec";
+    std::vector<SharingPolicy> policies{
+        SharingPolicy::Private, SharingPolicy::Temporal,
+        SharingPolicy::StaticSpatial, SharingPolicy::Elastic};
+    Cycle maxCycles = 40'000'000;
+    std::string jsonOut;
+    std::string csvOut;
+    bool progress = false;
+    bool quiet = false;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "occamy-batchrun: parallel pair x policy sweeps\n"
+        "  --jobs N         worker threads (default: OCCAMY_JOBS env or\n"
+        "                   hardware concurrency)\n"
+        "  --pairs SPEC     all|spec|opencv, or a comma list of 1-based\n"
+        "                   indices into the 25-pair catalog and/or\n"
+        "                   labels like 6+16 (default: spec)\n"
+        "  --policy P       private|fts|vls|occamy|all (default: all)\n"
+        "  --max-cycles N   per-job simulation cap (default 4e7)\n"
+        "  --json-out FILE  write the aggregated sweep JSON\n"
+        "  --csv-out FILE   write the per-job summary CSV\n"
+        "  --progress       live done/running/failed/ETA on stderr\n"
+        "  --quiet          suppress the stdout summary table\n"
+        "  --list           print the pair catalog with indices\n"
+        "exit status: 0 all jobs ok, 1 some job failed, 2 usage error\n");
+}
+
+std::optional<SharingPolicy>
+parsePolicy(const std::string &s)
+{
+    if (s == "private")
+        return SharingPolicy::Private;
+    if (s == "fts" || s == "temporal")
+        return SharingPolicy::Temporal;
+    if (s == "vls" || s == "static")
+        return SharingPolicy::StaticSpatial;
+    if (s == "occamy" || s == "elastic")
+        return SharingPolicy::Elastic;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    for (char c : s) {
+        if (c == ',') {
+            if (!item.empty())
+                out.push_back(item);
+            item.clear();
+        } else {
+            item.push_back(c);
+        }
+    }
+    if (!item.empty())
+        out.push_back(item);
+    return out;
+}
+
+/** Resolve --pairs into catalog entries; empty return = bad selector. */
+std::vector<workloads::Pair>
+selectPairs(const std::string &spec)
+{
+    const auto all = workloads::allPairs();
+    if (spec == "all")
+        return all;
+    if (spec == "spec")
+        return workloads::specPairs();
+    if (spec == "opencv")
+        return workloads::opencvPairs();
+
+    std::vector<workloads::Pair> out;
+    for (const std::string &token : splitCommas(spec)) {
+        if (token.find('+') != std::string::npos) {
+            bool found = false;
+            for (const auto &p : all)
+                if (p.label == token) {
+                    out.push_back(p);
+                    found = true;
+                    break;
+                }
+            if (!found) {
+                std::fprintf(stderr, "unknown pair label: %s\n",
+                             token.c_str());
+                return {};
+            }
+        } else {
+            const long idx = std::atol(token.c_str());
+            if (idx < 1 || idx > static_cast<long>(all.size())) {
+                std::fprintf(stderr,
+                             "pair index %s out of range 1..%zu\n",
+                             token.c_str(), all.size());
+                return {};
+            }
+            out.push_back(all[static_cast<std::size_t>(idx - 1)]);
+        }
+    }
+    return out;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--jobs") {
+            const char *v = next();
+            if (!v || std::atoi(v) < 1)
+                return false;
+            opt.jobs = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--pairs") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.pairs = v;
+        } else if (arg == "--policy") {
+            const char *v = next();
+            if (!v)
+                return false;
+            if (std::strcmp(v, "all") == 0) {
+                // Keep the default 4-policy order.
+            } else if (auto p = parsePolicy(v)) {
+                opt.policies = {*p};
+            } else {
+                return false;
+            }
+        } else if (arg == "--max-cycles") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.maxCycles = static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--json-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.jsonOut = v;
+        } else if (arg == "--csv-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.csvOut = v;
+        } else if (arg == "--progress") {
+            opt.progress = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+
+    if (opt.list) {
+        const auto all = workloads::allPairs();
+        for (std::size_t i = 0; i < all.size(); ++i)
+            std::printf("%3zu  %-8s %s + %s%s\n", i + 1,
+                        all[i].label.c_str(), all[i].core0.name.c_str(),
+                        all[i].core1.name.c_str(),
+                        i >= 16 ? "  (OpenCV)" : "");
+        return 0;
+    }
+
+    const auto pairs = selectPairs(opt.pairs);
+    if (pairs.empty()) {
+        usage();
+        return 2;
+    }
+
+    runner::RunnerOptions ropt;
+    ropt.numThreads = opt.jobs;
+    if (opt.progress)
+        ropt.onProgress = runner::stderrProgress();
+
+    const runner::SweepResult sweep = runner::Runner(ropt).run(
+        runner::pairSweepJobs(pairs, opt.policies, opt.maxCycles));
+
+    if (!opt.quiet) {
+        std::printf("%3s  %-14s %-8s %-6s %12s %12s %12s %7s\n", "id",
+                    "pair/policy", "policy", "status", "cycles",
+                    "c0_finish", "c1_finish", "util");
+        for (const auto &j : sweep.jobs) {
+            std::printf("%3zu  %-14s %-8s %-6s", j.id, j.label.c_str(),
+                        policyName(j.policy),
+                        runner::jobStatusName(j.status));
+            if (j.ok()) {
+                std::printf(
+                    " %12llu %12llu %12llu %6.1f%%",
+                    static_cast<unsigned long long>(j.result.cycles),
+                    static_cast<unsigned long long>(
+                        j.result.cores.size() > 0 ? j.result.cores[0].finish
+                                                  : 0),
+                    static_cast<unsigned long long>(
+                        j.result.cores.size() > 1 ? j.result.cores[1].finish
+                                                  : 0),
+                    100.0 * j.result.simdUtil);
+            } else {
+                std::printf("  %s", j.error.c_str());
+            }
+            std::printf("\n");
+        }
+
+        // GM per-core speedups over Private when the sweep has them.
+        if (opt.policies.size() > 1 &&
+            opt.policies[0] == SharingPolicy::Private && sweep.allOk()) {
+            const std::size_t np = opt.policies.size();
+            for (std::size_t p = 1; p < np; ++p) {
+                double gm[2] = {0.0, 0.0};
+                for (std::size_t i = 0; i < pairs.size(); ++i) {
+                    const auto &base = sweep.jobs[i * np].result.cores;
+                    const auto &cur =
+                        sweep.jobs[i * np + p].result.cores;
+                    for (unsigned c = 0; c < 2; ++c)
+                        gm[c] += std::log(
+                            static_cast<double>(base[c].finish) /
+                            static_cast<double>(cur[c].finish));
+                }
+                std::printf("GM speedup %-8s core0 %.2fx core1 %.2fx\n",
+                            policyName(opt.policies[p]),
+                            std::exp(gm[0] / pairs.size()),
+                            std::exp(gm[1] / pairs.size()));
+            }
+        }
+        if (sweep.failed())
+            std::printf("%zu/%zu jobs failed\n", sweep.failed(),
+                        sweep.jobs.size());
+    }
+
+    if (!opt.jsonOut.empty()) {
+        std::ofstream ofs(opt.jsonOut);
+        ofs << runner::sweepToJson(sweep) << "\n";
+        if (!opt.quiet)
+            std::printf("wrote %s\n", opt.jsonOut.c_str());
+    }
+    if (!opt.csvOut.empty()) {
+        std::ofstream ofs(opt.csvOut);
+        runner::writeSweepCsv(ofs, sweep);
+        if (!opt.quiet)
+            std::printf("wrote %s\n", opt.csvOut.c_str());
+    }
+
+    return sweep.allOk() ? 0 : 1;
+}

@@ -8,10 +8,11 @@
  * Usage:
  *   occamy-sim [--policy private|fts|vls|occamy|all] [--cores N]
  *              [--pair A+B] [--opencv] [--batch WL1,WL16,...]
- *              [--max-cycles N] [--timeline] [--stats] [--list]
+ *              [--max-cycles N] [--jobs N] [--json-out FILE]
+ *              [--timeline] [--stats] [--list]
  *
  * Examples:
- *   occamy-sim --pair 6+16 --policy all
+ *   occamy-sim --pair 6+16 --policy all --jobs 4
  *   occamy-sim --policy occamy --batch WL1,WL16,WL8,WL17
  *   occamy-sim --list
  */
@@ -24,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "runner/runner.hh"
+#include "runner/sweep.hh"
 #include "sim/system.hh"
 #include "sim/trace.hh"
 #include "workloads/suite.hh"
@@ -41,6 +44,8 @@ struct Options
     bool opencv = false;
     std::vector<std::string> batch;
     Cycle maxCycles = 40'000'000;
+    unsigned jobs = 0;          // runner threads; 0 = runner default
+    std::string jsonOut;
     bool timeline = false;
     bool stats = false;
     bool list = false;
@@ -59,6 +64,8 @@ usage()
         "  --opencv       interpret --pair ids as OpenCV workloads\n"
         "  --batch L      comma-separated WLn/CVn list, FCFS scheduled\n"
         "  --max-cycles N simulation cap (default 4e7)\n"
+        "  --jobs N       run --policy all fan-out on N threads\n"
+        "  --json-out F   write the aggregated sweep JSON to F\n"
         "  --timeline     print busy-lane timelines\n"
         "  --stats        dump memory/co-processor statistics\n"
         "  --json         print a JSON result summary\n"
@@ -148,6 +155,16 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.maxCycles = static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--jobs") {
+            const char *v = next();
+            if (!v || std::atoi(v) < 1)
+                return false;
+            opt.jobs = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--json-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.jsonOut = v;
         } else if (arg == "--timeline") {
             opt.timeline = true;
         } else if (arg == "--json") {
@@ -274,9 +291,19 @@ main(int argc, char **argv)
     const unsigned b =
         static_cast<unsigned>(std::atoi(opt.pair.substr(plus + 1).c_str()));
 
-    for (SharingPolicy policy : opt.policies) {
-        System sys(MachineConfig::forPolicy(policy, opt.cores));
-        try {
+    // Resolve workloads up front so catalog mistakes stay a usage
+    // error, then fan one job per policy out through the runner
+    // (--policy all used to run the four architectures serially).
+    std::vector<runner::JobSpec> jobs;
+    try {
+        for (SharingPolicy policy : opt.policies) {
+            runner::JobSpec spec;
+            spec.id = jobs.size();
+            spec.label = opt.batch.empty()
+                             ? opt.pair + "/" + policyName(policy)
+                             : "batch/" + std::string(policyName(policy));
+            spec.cfg = MachineConfig::forPolicy(policy, opt.cores);
+            spec.maxCycles = opt.maxCycles;
             if (opt.batch.empty()) {
                 const workloads::Workload w0 =
                     opt.opencv ? workloads::opencvWorkload(a)
@@ -284,22 +311,41 @@ main(int argc, char **argv)
                 const workloads::Workload w1 =
                     opt.opencv ? workloads::opencvWorkload(b)
                                : workloads::specWorkload(b);
-                sys.setWorkload(0, w0.name, w0.loops);
+                spec.workloads.emplace_back(w0.name, w0.loops);
                 if (opt.cores > 1)
-                    sys.setWorkload(1, w1.name, w1.loops);
+                    spec.workloads.emplace_back(w1.name, w1.loops);
             } else {
                 for (const auto &token : opt.batch) {
                     const workloads::Workload w = lookupWorkload(token);
-                    sys.enqueueWorkload(w.name, w.loops);
+                    spec.batch.emplace_back(w.name, w.loops);
                 }
             }
-        } catch (const std::exception &e) {
-            std::fprintf(stderr,
-                         "error: %s (use --list to see the catalog)\n",
-                         e.what());
-            return 2;
+            jobs.push_back(std::move(spec));
         }
-        printRun(policy, sys.run(opt.maxCycles), opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "error: %s (use --list to see the catalog)\n",
+                     e.what());
+        return 2;
     }
-    return 0;
+
+    runner::RunnerOptions ropt;
+    ropt.numThreads = opt.jobs;
+    const runner::SweepResult sweep =
+        runner::Runner(ropt).run(std::move(jobs));
+
+    for (std::size_t i = 0; i < sweep.jobs.size(); ++i) {
+        const runner::JobResult &j = sweep.jobs[i];
+        if (!j.ok())
+            std::fprintf(stderr, "job %s failed: %s\n", j.label.c_str(),
+                         j.error.c_str());
+        printRun(opt.policies[i], j.result, opt);
+    }
+
+    if (!opt.jsonOut.empty()) {
+        std::ofstream ofs(opt.jsonOut);
+        ofs << runner::sweepToJson(sweep) << "\n";
+        std::printf("wrote %s\n", opt.jsonOut.c_str());
+    }
+    return sweep.allOk() ? 0 : 1;
 }
