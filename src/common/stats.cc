@@ -91,6 +91,16 @@ Group::dump(std::ostream &os) const
     }
 }
 
+std::vector<std::pair<std::string, double>>
+Group::snapshot() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(entries_.size());
+    for (const auto &[stat_name, e] : entries_)
+        out.emplace_back(name_ + "." + stat_name, get(stat_name));
+    return out;
+}
+
 double
 Group::get(const std::string &stat_name) const
 {

@@ -35,6 +35,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace occamy::stats
@@ -127,6 +128,13 @@ class Group
 
     /** Look up any registered stat by name as a double. */
     double get(const std::string &stat_name) const;
+
+    /**
+     * Evaluate every registered stat as ("group.stat", value) pairs in
+     * deterministic (sorted-by-name) order — the payload of a periodic
+     * metric snapshot (obs::MetricSnapshot).
+     */
+    std::vector<std::pair<std::string, double>> snapshot() const;
 
     const std::string &name() const { return name_; }
 

@@ -8,6 +8,25 @@
 namespace occamy
 {
 
+namespace
+{
+
+/** Build a pipeline event for @p inst (dispatch/issue/retire). */
+inline obs::Event
+pipeEvent(Cycle now, obs::EventKind kind, const DynInst &inst)
+{
+    obs::Event ev;
+    ev.cycle = now;
+    ev.kind = kind;
+    ev.core = inst.core;
+    ev.a = static_cast<std::uint64_t>(inst.op);
+    ev.b = inst.seq;
+    ev.x = inst.activeLanes;
+    return ev;
+}
+
+} // namespace
+
 CoProcessor::CoProcessor(const MachineConfig &cfg, MemSystem &mem)
     : cfg_(cfg), mem_(mem),
       rt_(cfg.numCores, cfg.numExeBUs),
@@ -166,6 +185,9 @@ CoProcessor::commitStage(Cycle now)
                 break;
             if (head.prevPhys >= 0)
                 regfile_.free(static_cast<CoreId>(c), head.prevPhys);
+            if (sink_ && sink_->wants(obs::EventKind::Retire))
+                sink_->record(
+                    pipeEvent(now, obs::EventKind::Retire, head));
             cs.rob.pop_front();
             ++cs.robBase;
             --width;
@@ -204,6 +226,8 @@ CoProcessor::tryIssue(CoreId c, SeqNum seq, Cycle now,
         if (inst.phaseId >= cs.phaseCompute.size())
             cs.phaseCompute.resize(inst.phaseId + 1, 0);
         ++cs.phaseCompute[inst.phaseId];
+        if (sink_ && sink_->wants(obs::EventKind::Issue))
+            sink_->record(pipeEvent(now, obs::EventKind::Issue, inst));
         return true;
     }
 
@@ -240,6 +264,8 @@ CoProcessor::tryIssue(CoreId c, SeqNum seq, Cycle now,
             regfile_.setReadyAt(inst.dstPhys, inst.readyCycle);
     }
     ++cs.memIssued;
+    if (sink_ && sink_->wants(obs::EventKind::Issue))
+        sink_->record(pipeEvent(now, obs::EventKind::Issue, inst));
     return true;
 }
 
@@ -338,6 +364,9 @@ CoProcessor::renameStage(Cycle now)
             inst.seq = seq;
             cs.iq.push_back(seq);
             cs.rob.push_back(inst);
+            if (sink_ && sink_->wants(obs::EventKind::Dispatch))
+                sink_->record(pipeEvent(now, obs::EventKind::Dispatch,
+                                        cs.rob.back()));
             cs.pool.pop_front();
             --width;
         }
@@ -345,11 +374,20 @@ CoProcessor::renameStage(Cycle now)
             ++cs.regStallCycles;
         else if (other_stall)
             ++cs.otherStallCycles;
+        if ((reg_stall || other_stall) && sink_ &&
+            sink_->wants(obs::EventKind::RenameStall)) {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.kind = obs::EventKind::RenameStall;
+            ev.core = c;
+            ev.a = reg_stall ? 1 : 0;
+            sink_->record(ev);
+        }
     }
 }
 
 void
-CoProcessor::applyVl(CoreId c, unsigned target)
+CoProcessor::applyVl(CoreId c, unsigned target, Cycle now)
 {
     dispatch_cfg_.release(c);
     regfile_cfg_.release(c);
@@ -364,6 +402,15 @@ CoProcessor::applyVl(CoreId c, unsigned target)
     rt_.retarget(c, target);
     assert(rt_.al() == dispatch_cfg_.countFree());
     ++vl_switches_;
+    if (sink_ && sink_->wants(obs::EventKind::VlApply)) {
+        obs::Event ev;
+        ev.cycle = now;
+        ev.kind = obs::EventKind::VlApply;
+        ev.core = c;
+        ev.a = target;
+        ev.b = rt_.al();
+        sink_->record(ev);
+    }
 }
 
 bool
@@ -374,6 +421,16 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
     switch (inst.op) {
       case Opcode::MsrOI:
         rt_.core(c).oi = inst.oi;
+        if (sink_ && sink_->wants(obs::EventKind::OiUpdate)) {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.kind = obs::EventKind::OiUpdate;
+            ev.core = c;
+            ev.a = static_cast<std::uint64_t>(inst.oi.level);
+            ev.x = inst.oi.issue;
+            ev.y = inst.oi.mem;
+            sink_->record(ev);
+        }
         if (cfg_.policy == SharingPolicy::Elastic)
             lane_mgr_.notifyPhaseEvent(now);
         return true;
@@ -421,7 +478,7 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
             return false;
         }
 
-        applyVl(c, target);
+        applyVl(c, target, now);
         cs.vlReq = VlRequestStatus{true, true};
         OCCAMY_LOG(now, "Coproc", "core%u vl -> %u (al=%u)", c, target,
                    rt_.al());
@@ -447,7 +504,7 @@ CoProcessor::managerStage(Cycle now)
 {
     // Publish a due lane-partition plan into <decision> (Section 5).
     if (cfg_.policy == SharingPolicy::Elastic && lane_mgr_.planDue(now)) {
-        const auto plan = lane_mgr_.makePlan(rt_.allOIs());
+        const auto plan = lane_mgr_.makePlan(rt_.allOIs(), now);
         for (unsigned c = 0; c < cores_.size(); ++c)
             rt_.core(static_cast<CoreId>(c)).decision = plan[c];
         ++plans_published_;

@@ -33,6 +33,7 @@
 #include "coproc/tables.hh"
 #include "lanemgr/lanemgr.hh"
 #include "mem/memsystem.hh"
+#include "obs/sink.hh"
 
 namespace occamy
 {
@@ -98,6 +99,14 @@ class CoProcessor
 
     void regStats(stats::Group &group) const;
 
+    /** Attach/detach the trace sink (null = tracing off); forwarded
+     *  to the embedded LaneMgr. */
+    void setEventSink(obs::EventSink *sink)
+    {
+        sink_ = sink;
+        lane_mgr_.setEventSink(sink);
+    }
+
     const MachineConfig &config() const { return cfg_; }
 
   private:
@@ -144,7 +153,7 @@ class CoProcessor
     bool execEmSimd(CoreId c, const DynInst &inst, Cycle now);
 
     /** Apply a successful vector-length retarget for core @p c. */
-    void applyVl(CoreId c, unsigned target);
+    void applyVl(CoreId c, unsigned target, Cycle now = 0);
 
     MachineConfig cfg_;
     MemSystem &mem_;
@@ -162,6 +171,8 @@ class CoProcessor
     stats::Counter vl_switches_;
     stats::Counter em_insts_;
     stats::Counter plans_published_;
+
+    obs::EventSink *sink_ = nullptr;    ///< Borrowed, may be null.
 };
 
 } // namespace occamy

@@ -15,6 +15,21 @@ ScalarCore::ScalarCore(CoreId id, const MachineConfig &cfg,
 }
 
 void
+ScalarCore::recordVl(Cycle now, obs::EventKind kind, std::uint64_t a,
+                     std::uint64_t b) const
+{
+    if (!sink_ || !sink_->wants(kind))
+        return;
+    obs::Event ev;
+    ev.cycle = now;
+    ev.kind = kind;
+    ev.core = id_;
+    ev.a = a;
+    ev.b = b;
+    sink_->record(ev);
+}
+
+void
 ScalarCore::setProgram(const Program *prog)
 {
     // Phase ids must stay unique across successively dispatched
@@ -111,6 +126,15 @@ ScalarCore::enterLoop(Cycle now)
     elems_done_ = 0;
     iter_index_ = 0;
     state_ = State::Prologue;
+    if (sink_ && sink_->wants(obs::EventKind::PhaseBegin)) {
+        obs::Event ev;
+        ev.cycle = now;
+        ev.kind = obs::EventKind::PhaseBegin;
+        ev.core = id_;
+        ev.a = sink_->internString(t.name);
+        ev.b = t.phaseId;
+        sink_->record(ev);
+    }
     OCCAMY_LOG(now, "Core", "core%u enters phase %s", id_, t.name.c_str());
 }
 
@@ -120,6 +144,15 @@ ScalarCore::finishLoop(Cycle now)
     phases_.back().end = now;
     if (phases_.back().lastVl == 0)
         phases_.back().lastVl = current_vl_;
+    if (sink_ && sink_->wants(obs::EventKind::PhaseEnd)) {
+        obs::Event ev;
+        ev.cycle = now;
+        ev.kind = obs::EventKind::PhaseEnd;
+        ev.core = id_;
+        ev.a = sink_->internString(phases_.back().name);
+        ev.b = phases_.back().phaseId;
+        sink_->record(ev);
+    }
     ++loop_idx_;
     state_ = State::Idle;
 }
@@ -148,6 +181,8 @@ ScalarCore::step(Cycle now, unsigned &budget)
             ++inst_idx_;
             if (si.op == Opcode::MsrVL) {
                 vl_before_request_ = current_vl_;
+                recordVl(now, obs::EventKind::VlRequest, current_vl_,
+                         si.vlFromDecision ? 0 : si.imm);
                 await_since_ = now;
                 state_ = State::AwaitVl;
                 return false;
@@ -173,6 +208,8 @@ ScalarCore::step(Cycle now, unsigned &budget)
         if (!st.resolved)
             return false;
         coproc_.ackVlRequest(id_);
+        recordVl(now, obs::EventKind::VlResolve, st.ok ? 1 : 0,
+                 coproc_.currentVl(id_));
         reconfig_wait_cycles_ += now - await_since_;
         if (!st.ok) {
             // <status> == 0: spin, re-writing <VL> (Fig. 9 retry loop).
@@ -185,6 +222,8 @@ ScalarCore::step(Cycle now, unsigned &budget)
                 msr = &curLoop().epilogue[inst_idx_ - 1];
             if (budget == 0 || !emit(*msr, now, budget))
                 return false;
+            recordVl(now, obs::EventKind::VlRequest, current_vl_,
+                     msr->vlFromDecision ? 0 : msr->imm);
             await_since_ = now;
             return false;
         }
@@ -239,6 +278,7 @@ ScalarCore::step(Cycle now, unsigned &budget)
                     return false;
                 }
                 vl_before_request_ = current_vl_;
+                recordVl(now, obs::EventKind::VlRequest, current_vl_, 0);
                 await_since_ = now;
                 state_ = State::AwaitReconfig;
                 return false;
@@ -309,6 +349,8 @@ ScalarCore::step(Cycle now, unsigned &budget)
             ++inst_idx_;
             if (si.op == Opcode::MsrVL) {
                 vl_before_request_ = current_vl_;
+                recordVl(now, obs::EventKind::VlRequest, current_vl_,
+                         si.vlFromDecision ? 0 : si.imm);
                 await_since_ = now;
                 state_ = State::AwaitRelease;
                 return false;

@@ -23,6 +23,7 @@
 #include "common/types.hh"
 #include "coproc/coproc.hh"
 #include "isa/inst.hh"
+#include "obs/sink.hh"
 
 namespace occamy
 {
@@ -59,6 +60,9 @@ class ScalarCore
 
     CoreId id() const { return id_; }
     unsigned currentVl() const { return current_vl_; }
+
+    /** Attach/detach the trace sink (null = tracing off). */
+    void setEventSink(obs::EventSink *sink) { sink_ = sink; }
 
     // --- Overhead accounting (Fig. 15). ---
 
@@ -127,6 +131,12 @@ class ScalarCore
     Cycle reconfig_wait_cycles_ = 0;
     std::uint64_t reconfig_events_ = 0;
     std::uint64_t reinit_insts_ = 0;
+
+    obs::EventSink *sink_ = nullptr;    ///< Borrowed, may be null.
+
+    /** Record a VL-reconfiguration protocol step, if traced. */
+    void recordVl(Cycle now, obs::EventKind kind, std::uint64_t a,
+                  std::uint64_t b) const;
 };
 
 } // namespace occamy

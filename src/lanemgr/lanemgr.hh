@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "lanemgr/partitioner.hh"
 #include "lanemgr/roofline.hh"
+#include "obs/sink.hh"
 
 namespace occamy
 {
@@ -53,26 +54,71 @@ class LaneMgr
      *
      * @param ois Per-core operational intensities from the resource
      *        table (inactive phases have OI == 0).
+     * @param now Cycle of the plan (trace timestamping only).
      * @return ExeBUs per core.
      */
     std::vector<unsigned>
-    makePlan(const std::vector<PhaseOI> &ois)
+    makePlan(const std::vector<PhaseOI> &ois, Cycle now = 0)
     {
         plan_ready_at_ = kCycleNever;
         ++plans_made_;
-        return greedyPartition(params_, ois, total_bus_);
+        auto plan = greedyPartition(params_, ois, total_bus_);
+        if (sink_ && sink_->wants(obs::EventKind::PartitionDecision))
+            recordPlan(ois, plan, now);
+        return plan;
     }
+
+    /** Attach/detach the trace sink (null = tracing off). */
+    void setEventSink(obs::EventSink *sink) { sink_ = sink; }
 
     std::uint64_t plansMade() const { return plans_made_.value(); }
     const RooflineParams &params() const { return params_; }
     unsigned totalBus() const { return total_bus_; }
 
   private:
+    /** Trace one published plan: per active core a roofline
+     *  evaluation with its marginal-gain pair (Eq. 2-4 inputs), per
+     *  core the published share, then the plan summary. */
+    void
+    recordPlan(const std::vector<PhaseOI> &ois,
+               const std::vector<unsigned> &plan, Cycle now)
+    {
+        unsigned used = 0;
+        for (std::size_t c = 0; c < plan.size(); ++c) {
+            const CoreId core = static_cast<CoreId>(c);
+            if (ois[c].active()) {
+                obs::Event ev;
+                ev.cycle = now;
+                ev.kind = obs::EventKind::RooflineEval;
+                ev.core = core;
+                ev.a = static_cast<std::uint64_t>(ois[c].level);
+                ev.b = plan[c];
+                ev.x = attainable(params_, ois[c], plan[c]);
+                ev.y = attainable(params_, ois[c], plan[c] + 1);
+                sink_->record(ev);
+            }
+            obs::Event dec;
+            dec.cycle = now;
+            dec.kind = obs::EventKind::PartitionDecision;
+            dec.core = core;
+            dec.b = plan[c];
+            sink_->record(dec);
+            used += plan[c];
+        }
+        obs::Event sum;
+        sum.cycle = now;
+        sum.kind = obs::EventKind::PartitionPlan;
+        sum.a = used;
+        sum.b = total_bus_;
+        sink_->record(sum);
+    }
+
     RooflineParams params_;
     unsigned total_bus_;
     unsigned latency_;
     Cycle plan_ready_at_ = kCycleNever;
     stats::Counter plans_made_;
+    obs::EventSink *sink_ = nullptr;    ///< Borrowed, may be null.
 };
 
 } // namespace occamy

@@ -13,6 +13,21 @@ MemSystem::MemSystem(const MachineConfig &cfg)
 {
 }
 
+void
+MemSystem::recordDram(Cycle now, obs::EventKind kind, Addr line_addr,
+                      unsigned bytes, Cycle ready) const
+{
+    if (!sink_ || !sink_->wants(kind))
+        return;
+    obs::Event ev;
+    ev.cycle = now;
+    ev.kind = kind;
+    ev.a = line_addr;
+    ev.b = bytes;
+    ev.x = static_cast<double>(ready);
+    sink_->record(ev);
+}
+
 Cycle
 MemSystem::reserve(Cycle &busy_until, unsigned bytes,
                    unsigned bytes_per_cycle, Cycle now)
@@ -60,6 +75,8 @@ MemSystem::maybePrefetch(Addr trigger_line, Cycle now)
         dram_bytes_ += line;
         ++prefetches_;
         line_ready_[pf] = start + cfg_.dramLatency;
+        recordDram(now, obs::EventKind::DramRead, pf, line,
+                   start + cfg_.dramLatency);
         // Prefetch into L2 only: demand accesses pull lines into the
         // VecCache, so streams do not flush co-runners' resident sets.
         CacheAccessResult pr = l2_.access(pf, /*is_write=*/false);
@@ -101,6 +118,8 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Cycle now,
     if (l2r.writeback) {
         reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, l2_done);
         dram_bytes_ += line;
+        recordDram(now, obs::EventKind::DramWrite, l2r.victimLine, line,
+                   l2_done);
     }
 
     // Miss in L2: DRAM, bandwidth-limited at 64 GB/s (32 B/cycle @2 GHz).
@@ -110,6 +129,7 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Cycle now,
     dram_bytes_ += line;
     const Cycle ready = dram_start + cfg_.dramLatency;
     line_ready_[line_addr] = ready;
+    recordDram(now, obs::EventKind::DramRead, line_addr, line, ready);
     maybePrefetch(line_addr, now);
     return ready;
 }

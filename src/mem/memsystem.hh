@@ -27,6 +27,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
+#include "obs/sink.hh"
 
 namespace occamy
 {
@@ -88,7 +89,14 @@ class MemSystem
 
     void regStats(stats::Group &group) const;
 
+    /** Attach/detach the trace sink (null = tracing off). */
+    void setEventSink(obs::EventSink *sink) { sink_ = sink; }
+
   private:
+    /** Record a DRAM transaction (kEvMem), if traced. */
+    void recordDram(Cycle now, obs::EventKind kind, Addr line_addr,
+                    unsigned bytes, Cycle ready) const;
+
     /**
      * Service one cache line. @p vec_done is the cycle the VecCache
      * port delivers it on a hit (port occupancy is charged per access
@@ -128,6 +136,8 @@ class MemSystem
     stats::Counter dram_bytes_;
     stats::Counter accesses_;
     stats::Counter prefetches_;
+
+    obs::EventSink *sink_ = nullptr;    ///< Borrowed, may be null.
 };
 
 } // namespace occamy

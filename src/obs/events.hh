@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Event taxonomy of the simulation observability layer.
+ *
+ * An Event is one fixed-size structured record of something the
+ * simulator did at a cycle: a pipeline action (dispatch/issue/retire),
+ * a lane-partition decision with its roofline inputs, a vector-length
+ * reconfiguration step, a DRAM transaction, a phase boundary, or a
+ * batch-dispatch decision. Events carry no strings; names (phase and
+ * workload labels) are interned into the sink's string table and
+ * referenced by id, so recording stays allocation-free on the hot path.
+ *
+ * Overhead contract: every instrumentation point is guarded by a plain
+ * `if (sink)` pointer test (and a non-virtual mask check), so a run
+ * with no sink attached pays one predictable branch per site and
+ * nothing else.
+ */
+
+#ifndef OCCAMY_OBS_EVENTS_HH
+#define OCCAMY_OBS_EVENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace occamy::obs
+{
+
+/** What happened. Payload field meaning is listed per kind. */
+enum class EventKind : std::uint8_t
+{
+    // --- Phase boundaries (ScalarCore). ---
+    PhaseBegin,     ///< a=name id, b=phaseId.
+    PhaseEnd,       ///< a=name id, b=phaseId.
+
+    // --- Co-processor pipeline. ---
+    Dispatch,       ///< Renamed pool->ROB/IQ. a=opcode, b=seq.
+    Issue,          ///< Left the IQ. a=opcode, b=seq, x=activeLanes.
+    Retire,         ///< Committed from the ROB. a=opcode, b=seq.
+    RenameStall,    ///< Rename blocked this cycle. a=1 regs, 0 other.
+
+    // --- Lane manager (Section 5, Eq. 2-4). ---
+    OiUpdate,       ///< MSR <OI>. a=mem level, x=oi.issue, y=oi.mem.
+    RooflineEval,   ///< Per-core plan input. a=mem level, b=granted
+                    ///< share (ExeBUs), x=AP(share), y=AP(share+1)
+                    ///< GFLOP/s -- the marginal-gain pair.
+    PartitionDecision, ///< Per-core published share. b=share (ExeBUs).
+    PartitionPlan,  ///< Plan summary. a=sum of shares, b=total ExeBUs.
+
+    // --- Vector-length reconfiguration (Fig. 9 protocol). ---
+    VlRequest,      ///< Core emitted MSR <VL>. a=current vl,
+                    ///< b=requested vl (0 = from <decision>).
+    VlResolve,      ///< <status> observed. a=ok, b=vl after.
+    VlApply,        ///< Co-processor retargeted lanes. a=new vl,
+                    ///< b=free ExeBUs after.
+
+    // --- Memory system. ---
+    DramRead,       ///< Line fill. a=line addr, b=bytes, x=ready cycle.
+    DramWrite,      ///< Writeback. a=line addr, b=bytes.
+
+    // --- OS batch scheduling (Section 5). ---
+    BatchDispatch,  ///< Queued workload placed. a=name id, b=queue idx.
+};
+
+/** Coarse category bits used to subset recording. */
+using EventMask = std::uint32_t;
+
+inline constexpr EventMask kEvPhase = 1u << 0;
+inline constexpr EventMask kEvPipeline = 1u << 1;
+inline constexpr EventMask kEvPartition = 1u << 2;
+inline constexpr EventMask kEvReconfig = 1u << 3;
+inline constexpr EventMask kEvMem = 1u << 4;
+inline constexpr EventMask kEvSched = 1u << 5;
+inline constexpr EventMask kEvAll =
+    kEvPhase | kEvPipeline | kEvPartition | kEvReconfig | kEvMem |
+    kEvSched;
+
+/** @return the category bit of @p k. */
+constexpr EventMask
+categoryOf(EventKind k)
+{
+    switch (k) {
+      case EventKind::PhaseBegin:
+      case EventKind::PhaseEnd:
+        return kEvPhase;
+      case EventKind::Dispatch:
+      case EventKind::Issue:
+      case EventKind::Retire:
+      case EventKind::RenameStall:
+        return kEvPipeline;
+      case EventKind::OiUpdate:
+      case EventKind::RooflineEval:
+      case EventKind::PartitionDecision:
+      case EventKind::PartitionPlan:
+        return kEvPartition;
+      case EventKind::VlRequest:
+      case EventKind::VlResolve:
+      case EventKind::VlApply:
+        return kEvReconfig;
+      case EventKind::DramRead:
+      case EventKind::DramWrite:
+        return kEvMem;
+      case EventKind::BatchDispatch:
+        return kEvSched;
+    }
+    return 0;
+}
+
+/** @return a stable lower-case name for @p k (trace export, tests). */
+const char *eventKindName(EventKind k);
+
+/**
+ * Parse a comma-separated category list ("phase,partition,reconfig",
+ * "all", "pipeline,mem,sched") into a mask. Unknown tokens are
+ * ignored; an empty string yields 0 (tracing off).
+ */
+EventMask parseEventMask(const std::string &spec);
+
+/** One structured trace record. */
+struct Event
+{
+    Cycle cycle = 0;
+    EventKind kind = EventKind::PhaseBegin;
+    CoreId core = kNoCore;      ///< kNoCore for machine-wide events.
+    std::uint64_t a = 0;        ///< Payload, meaning per EventKind.
+    std::uint64_t b = 0;
+    double x = 0.0;
+    double y = 0.0;
+
+    bool operator==(const Event &) const = default;
+};
+
+/**
+ * One periodic dump of a component stats::Group, keyed by cycle.
+ * Values are "<group>.<stat>" named, in the group's deterministic
+ * (sorted) registration order.
+ */
+struct MetricSnapshot
+{
+    Cycle cycle = 0;
+    std::vector<std::pair<std::string, double>> values;
+};
+
+} // namespace occamy::obs
+
+#endif // OCCAMY_OBS_EVENTS_HH

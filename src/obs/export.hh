@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace exporters: Chrome tracing / Perfetto JSON for human inspection
+ * and a compact binary format for byte-exact comparison and archival.
+ *
+ * The Chrome export maps phase begin/end pairs to "B"/"E" duration
+ * events on one track per core, everything else to instant events, and
+ * additionally renders per-core lane allocation (and any metric
+ * snapshots) as counter tracks -- load the file at chrome://tracing or
+ * https://ui.perfetto.dev.
+ *
+ * The binary format is a deterministic function of the TraceBuffer
+ * alone (no timestamps, hostnames or pointers), so two identical
+ * simulations produce byte-identical files regardless of thread count.
+ */
+
+#ifndef OCCAMY_OBS_EXPORT_HH
+#define OCCAMY_OBS_EXPORT_HH
+
+#include <iosfwd>
+
+#include "obs/sink.hh"
+
+namespace occamy::obs
+{
+
+/**
+ * Write @p buf as Chrome tracing JSON ("traceEvents" array format).
+ * @param snapshots Optional metric snapshots rendered as counter
+ *        events (pass {} for none).
+ */
+void writeChromeTrace(std::ostream &os, const TraceBuffer &buf,
+                      const std::vector<MetricSnapshot> &snapshots = {});
+
+/** Write @p buf in the compact binary format (magic "OCCAMYTR"). */
+void writeBinaryTrace(std::ostream &os, const TraceBuffer &buf);
+
+/**
+ * Read a binary trace written by writeBinaryTrace.
+ * @throw std::runtime_error on bad magic/version or truncation.
+ */
+TraceBuffer readBinaryTrace(std::istream &is);
+
+/**
+ * Write metric snapshots as CSV: cycle,stat,value -- one row per
+ * (snapshot, stat), rows ordered by cycle then stat name.
+ */
+void writeSnapshotsCsv(std::ostream &os,
+                       const std::vector<MetricSnapshot> &snapshots);
+
+} // namespace occamy::obs
+
+#endif // OCCAMY_OBS_EXPORT_HH

@@ -1,0 +1,138 @@
+#include "obs/sink.hh"
+
+#include <algorithm>
+
+namespace occamy::obs
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::PhaseBegin: return "phase_begin";
+      case EventKind::PhaseEnd: return "phase_end";
+      case EventKind::Dispatch: return "dispatch";
+      case EventKind::Issue: return "issue";
+      case EventKind::Retire: return "retire";
+      case EventKind::RenameStall: return "rename_stall";
+      case EventKind::OiUpdate: return "oi_update";
+      case EventKind::RooflineEval: return "roofline_eval";
+      case EventKind::PartitionDecision: return "partition_decision";
+      case EventKind::PartitionPlan: return "partition_plan";
+      case EventKind::VlRequest: return "vl_request";
+      case EventKind::VlResolve: return "vl_resolve";
+      case EventKind::VlApply: return "vl_apply";
+      case EventKind::DramRead: return "dram_read";
+      case EventKind::DramWrite: return "dram_write";
+      case EventKind::BatchDispatch: return "batch_dispatch";
+    }
+    return "unknown";
+}
+
+EventMask
+parseEventMask(const std::string &spec)
+{
+    EventMask mask = 0;
+    std::string token;
+    auto apply = [&mask](const std::string &t) {
+        if (t == "all")
+            mask |= kEvAll;
+        else if (t == "phase")
+            mask |= kEvPhase;
+        else if (t == "pipeline")
+            mask |= kEvPipeline;
+        else if (t == "partition")
+            mask |= kEvPartition;
+        else if (t == "reconfig")
+            mask |= kEvReconfig;
+        else if (t == "mem")
+            mask |= kEvMem;
+        else if (t == "sched")
+            mask |= kEvSched;
+    };
+    for (char c : spec) {
+        if (c == ',') {
+            apply(token);
+            token.clear();
+        } else {
+            token.push_back(c);
+        }
+    }
+    apply(token);
+    return mask;
+}
+
+const std::string &
+TraceBuffer::str(std::uint64_t id) const
+{
+    static const std::string unknown = "?";
+    return id < strings.size()
+               ? strings[static_cast<std::size_t>(id)]
+               : unknown;
+}
+
+RingSink::RingSink(std::size_t capacity, EventMask mask)
+    : EventSink(mask), capacity_(std::max<std::size_t>(capacity, 1))
+{
+    ring_.resize(capacity_);
+}
+
+std::uint64_t
+RingSink::internString(std::string_view s)
+{
+    auto it = string_ids_.find(std::string(s));
+    if (it != string_ids_.end())
+        return it->second;
+    const std::uint64_t id = strings_.size();
+    strings_.emplace_back(s);
+    string_ids_.emplace(strings_.back(), id);
+    return id;
+}
+
+std::size_t
+RingSink::size() const
+{
+    return count_;
+}
+
+void
+RingSink::push(const Event &e)
+{
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+    if (count_ < capacity_)
+        ++count_;
+    else
+        ++dropped_;
+}
+
+TraceBuffer
+RingSink::snapshot() const
+{
+    TraceBuffer out;
+    out.events.reserve(count_);
+    const std::size_t first = (head_ + capacity_ - count_) % capacity_;
+    for (std::size_t i = 0; i < count_; ++i)
+        out.events.push_back(ring_[(first + i) % capacity_]);
+    out.strings = strings_;
+    out.dropped = dropped_;
+    return out;
+}
+
+TraceBuffer
+RingSink::take()
+{
+    TraceBuffer out = snapshot();
+    clear();
+    return out;
+}
+
+void
+RingSink::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace occamy::obs

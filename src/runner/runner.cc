@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -73,7 +74,21 @@ Runner::runOne(const JobSpec &spec)
                             spec.workloads[c].second);
         for (const auto &[name, loops] : spec.batch)
             sys.enqueueWorkload(name, loops);
-        out.result = sys.run(spec.maxCycles, spec.bucket);
+        RunOptions ropt;
+        ropt.maxCycles = spec.maxCycles;
+        ropt.bucket = spec.bucket;
+        ropt.snapshotEvery = spec.snapshotEvery;
+        // The sink lives on this worker thread for exactly this job;
+        // no other thread ever sees it (stats.hh concurrency contract).
+        std::unique_ptr<obs::RingSink> sink;
+        if (spec.traceEvents != 0) {
+            sink = std::make_unique<obs::RingSink>(spec.traceCapacity,
+                                                   spec.traceEvents);
+            ropt.sink = sink.get();
+        }
+        out.result = sys.run(ropt);
+        if (sink)
+            out.trace = sink->take();
         if (out.result.timedOut) {
             out.status = JobStatus::Failed;
             out.error = "hit the " + std::to_string(spec.maxCycles) +

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "obs/sink.hh"
 #include "sim/system.hh"
 
 namespace occamy::runner
@@ -67,6 +68,20 @@ struct JobSpec
     /** Reserved for stochastic workloads/configs. The simulator is
      *  fully deterministic today, so the seed only tags the result. */
     std::uint64_t seed = 0;
+
+    /** Event categories to trace (obs::parseEventMask). When nonzero,
+     *  the job gets a private RingSink built on its worker thread and
+     *  the captured TraceBuffer comes back in JobResult::trace — the
+     *  simulator is deterministic, so the buffer is byte-identical
+     *  regardless of runner thread count. 0 (default) disables
+     *  tracing entirely. */
+    obs::EventMask traceEvents = 0;
+
+    /** Ring capacity (events) for the per-job sink. */
+    std::size_t traceCapacity = 1u << 20;
+
+    /** Metric-snapshot period (RunOptions::snapshotEvery; 0 = never). */
+    Cycle snapshotEvery = 0;
 };
 
 /** Terminal state of one job. */
@@ -93,6 +108,9 @@ struct JobResult
     /** Simulation result. On a cycle-cap failure this holds the
      *  partial state at the cap; on an exception it is empty. */
     RunResult result;
+
+    /** Captured event trace (empty unless JobSpec::traceEvents != 0). */
+    obs::TraceBuffer trace;
 
     /** Wall-clock spent simulating, for operator feedback only. Never
      *  exported to JSON/CSV: it would break run-to-run determinism. */

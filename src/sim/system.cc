@@ -32,8 +32,10 @@ System::enqueueWorkload(std::string name, std::vector<kir::Loop> loops)
 }
 
 RunResult
-System::run(Cycle max_cycles, unsigned bucket)
+System::run(const RunOptions &opt)
 {
+    const Cycle max_cycles = opt.maxCycles;
+    const unsigned bucket = opt.bucket;
     MachineConfig cfg = cfg_;
 
     // Offline static plan for VLS (Section 7.1's static spatial sharing).
@@ -102,6 +104,20 @@ System::run(Cycle max_cycles, unsigned bucket)
         cores[c]->setProgram(compileAndBind(static_cast<CoreId>(c),
                                             names_[c], loops_[c]));
     }
+
+    // Attach the trace sink after construction so boot-time plumbing
+    // (e.g. initial lane grants) produces no events.
+    mem.setEventSink(opt.sink);
+    coproc.setEventSink(opt.sink);
+    for (auto &core : cores)
+        core->setEventSink(opt.sink);
+
+    // Snapshot groups are built once and re-sampled each period; the
+    // same groups feed the final statsText dump.
+    stats::Group mem_group("system.mem");
+    mem.regStats(mem_group);
+    stats::Group cp_group("system.coproc");
+    coproc.regStats(cp_group);
 
     // --- Cycle loop. ---
     RunResult result;
@@ -225,6 +241,16 @@ System::run(Cycle max_cycles, unsigned bucket)
                     static_cast<CoreId>(c), wl_name, wl_loops));
                 result.batch.push_back(BatchCompletion{
                     wl_name, static_cast<CoreId>(c), now, 0});
+                if (opt.sink &&
+                    opt.sink->wants(obs::EventKind::BatchDispatch)) {
+                    obs::Event ev;
+                    ev.cycle = now;
+                    ev.kind = obs::EventKind::BatchDispatch;
+                    ev.core = static_cast<CoreId>(c);
+                    ev.a = opt.sink->internString(wl_name);
+                    ev.b = pending_wl[c];
+                    opt.sink->record(ev);
+                }
                 dispatch_at[c] = kCycleNever;
             }
         }
@@ -291,6 +317,15 @@ System::run(Cycle max_cycles, unsigned bucket)
             busy_buckets[c][b] += busy;
             alloc_buckets[c][b] += alloc;
         }
+        if (opt.snapshotEvery && now > 0 && now % opt.snapshotEvery == 0) {
+            obs::MetricSnapshot snap;
+            snap.cycle = now;
+            snap.values = mem_group.snapshot();
+            auto cp = cp_group.snapshot();
+            snap.values.insert(snap.values.end(), cp.begin(), cp.end());
+            std::sort(snap.values.begin(), snap.values.end());
+            result.snapshots.push_back(std::move(snap));
+        }
         if (all_done)
             break;
     }
@@ -338,12 +373,8 @@ System::run(Cycle max_cycles, unsigned bucket)
     result.vlSwitches = coproc.vlSwitches();
     result.plansMade = coproc.plansMade();
 
-    // gem5-style stats dump.
+    // gem5-style stats dump (same groups the snapshots sampled).
     {
-        stats::Group mem_group("system.mem");
-        mem.regStats(mem_group);
-        stats::Group cp_group("system.coproc");
-        coproc.regStats(cp_group);
         std::ostringstream os;
         mem_group.dump(os);
         cp_group.dump(os);

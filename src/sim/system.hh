@@ -22,6 +22,8 @@
 #include "core/scalar_core.hh"
 #include "kir/kir.hh"
 #include "mem/memsystem.hh"
+#include "obs/events.hh"
+#include "obs/sink.hh"
 
 namespace occamy
 {
@@ -103,6 +105,24 @@ struct RunResult
 
     /** gem5-style stats dump of the memory system and co-processor. */
     std::string statsText;
+
+    /** Periodic metric snapshots (RunOptions::snapshotEvery > 0). */
+    std::vector<obs::MetricSnapshot> snapshots;
+};
+
+/** Knobs of one System::run() invocation. */
+struct RunOptions
+{
+    Cycle maxCycles = 20'000'000;   ///< Safety cap (sets timedOut).
+    unsigned bucket = 1000;         ///< Timeline bucket size, cycles.
+
+    /** Event sink to attach to every component for this run; null
+     *  disables tracing (the zero-overhead default). Borrowed — must
+     *  outlive the run() call. */
+    obs::EventSink *sink = nullptr;
+
+    /** Emit a metric snapshot every N cycles (0 = never). */
+    Cycle snapshotEvery = 0;
 };
 
 /** One simulated machine plus the workloads bound to its cores. */
@@ -128,12 +148,21 @@ class System
      */
     void enqueueWorkload(std::string name, std::vector<kir::Loop> loops);
 
+    /** Run to completion of all workloads under @p opt. */
+    RunResult run(const RunOptions &opt);
+
     /**
-     * Run to completion of all workloads.
+     * Run to completion of all workloads (legacy convenience).
      * @param max_cycles Safety cap; exceeding it sets RunResult::timedOut.
      * @param bucket Timeline bucket size in cycles.
      */
-    RunResult run(Cycle max_cycles = 20'000'000, unsigned bucket = 1000);
+    RunResult run(Cycle max_cycles = 20'000'000, unsigned bucket = 1000)
+    {
+        RunOptions opt;
+        opt.maxCycles = max_cycles;
+        opt.bucket = bucket;
+        return run(opt);
+    }
 
     const MachineConfig &config() const { return cfg_; }
 

@@ -7,6 +7,55 @@
 namespace occamy::trace
 {
 
+namespace
+{
+
+/** RFC-4180 CSV field: quoted iff it contains a comma, quote, or
+ *  newline, with embedded quotes doubled. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** JSON string contents (no surrounding quotes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                constexpr char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 void
 writeTimelinesCsv(std::ostream &os, const RunResult &r)
 {
@@ -41,7 +90,7 @@ writePhasesCsv(std::ostream &os, const RunResult &r)
           "last_vl\n";
     for (std::size_t c = 0; c < r.cores.size(); ++c)
         for (const auto &ph : r.cores[c].phases)
-            os << c << "," << ph.name << "," << ph.start << ","
+            os << c << "," << csvField(ph.name) << "," << ph.start << ","
                << ph.end << "," << ph.computeIssued << ","
                << ph.issueRate << "," << ph.firstVl << "," << ph.lastVl
                << "\n";
@@ -52,8 +101,8 @@ writeBatchCsv(std::ostream &os, const RunResult &r)
 {
     os << "workload,core,dispatched,finished\n";
     for (const auto &b : r.batch)
-        os << b.name << "," << b.core << "," << b.dispatched << ","
-           << b.finished << "\n";
+        os << csvField(b.name) << "," << b.core << "," << b.dispatched
+           << "," << b.finished << "\n";
 }
 
 namespace
@@ -62,7 +111,7 @@ namespace
 void
 jsonCore(std::ostream &os, const CoreRunResult &core)
 {
-    os << "{\"workload\":\"" << core.workload << "\""
+    os << "{\"workload\":\"" << jsonEscape(core.workload) << "\""
        << ",\"finish\":" << core.finish
        << ",\"compute_issued\":" << core.computeIssued
        << ",\"mem_issued\":" << core.memIssued
@@ -73,7 +122,8 @@ jsonCore(std::ostream &os, const CoreRunResult &core)
        << ",\"phases\":[";
     for (std::size_t i = 0; i < core.phases.size(); ++i) {
         const auto &ph = core.phases[i];
-        os << (i ? "," : "") << "{\"name\":\"" << ph.name << "\""
+        os << (i ? "," : "") << "{\"name\":\"" << jsonEscape(ph.name)
+           << "\""
            << ",\"start\":" << ph.start << ",\"end\":" << ph.end
            << ",\"issue_rate\":" << ph.issueRate
            << ",\"first_vl\":" << ph.firstVl
@@ -104,8 +154,8 @@ toJson(const RunResult &r)
     os << "],\"batch\":[";
     for (std::size_t i = 0; i < r.batch.size(); ++i) {
         const auto &b = r.batch[i];
-        os << (i ? "," : "") << "{\"name\":\"" << b.name << "\""
-           << ",\"core\":" << b.core
+        os << (i ? "," : "") << "{\"name\":\"" << jsonEscape(b.name)
+           << "\",\"core\":" << b.core
            << ",\"dispatched\":" << b.dispatched
            << ",\"finished\":" << b.finished << "}";
     }

@@ -7,9 +7,12 @@
  * policy-invariant DRAM traffic.
  */
 
+#include <map>
+
 #include <gtest/gtest.h>
 
 #include "kir/analysis.hh"
+#include "obs/sink.hh"
 #include "sim/system.hh"
 
 namespace occamy
@@ -161,6 +164,94 @@ TEST_P(FuzzSweep, ExactElementAccounting)
         const std::uint64_t iters = (loop.trip + 15) / 16;
         EXPECT_EQ(r.cores[0].memIssued, iters * s.memInsts)
             << "seed " << GetParam();
+    }
+}
+
+/**
+ * Event-stream invariants: whatever random workload runs under the
+ * elastic policy, its trace must be well-formed — monotone timestamps,
+ * per-core balanced and non-nested phase begin/end pairs, and lane
+ * conservation at every published partition plan.
+ */
+TEST_P(FuzzSweep, EventStreamInvariantsHold)
+{
+    Rng rng(0xc0ffee11u + GetParam() * 0x9e3779b9u);
+    std::vector<kir::Loop> wl0, wl1;
+    const unsigned n0 = rng.range(1, 3);
+    for (unsigned i = 0; i < n0; ++i)
+        wl0.push_back(randomLoop(rng, "a" + std::to_string(i)));
+    const unsigned n1 = rng.range(1, 2);
+    for (unsigned i = 0; i < n1; ++i)
+        wl1.push_back(randomLoop(rng, "b" + std::to_string(i)));
+
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    System sys(cfg);
+    sys.setWorkload(0, "w0", wl0);
+    sys.setWorkload(1, "w1", wl1);
+
+    obs::RingSink sink(1u << 20, obs::kEvPhase | obs::kEvPartition |
+                                     obs::kEvReconfig);
+    RunOptions opt;
+    opt.maxCycles = 30'000'000;
+    opt.sink = &sink;
+    const RunResult r = sys.run(opt);
+    ASSERT_FALSE(r.timedOut) << "seed " << GetParam();
+
+    const obs::TraceBuffer buf = sink.take();
+    ASSERT_FALSE(buf.empty());
+    ASSERT_EQ(buf.dropped, 0u);
+
+    Cycle prev = 0;
+    std::vector<int> open_phase(2, 0);
+    std::vector<std::uint64_t> begins(2, 0), ends(2, 0);
+    // PartitionDecision events of one plan share a cycle; collect the
+    // per-cycle share sums and check them against the machine total.
+    std::map<Cycle, unsigned> plan_sum;
+    for (const obs::Event &e : buf.events) {
+        ASSERT_GE(e.cycle, prev) << "timestamps must be monotone";
+        prev = e.cycle;
+        switch (e.kind) {
+          case obs::EventKind::PhaseBegin:
+            ASSERT_LT(e.core, 2u);
+            ++begins[e.core];
+            ASSERT_EQ(open_phase[e.core], 0)
+                << "nested phase on core " << e.core;
+            ++open_phase[e.core];
+            break;
+          case obs::EventKind::PhaseEnd:
+            ASSERT_LT(e.core, 2u);
+            ++ends[e.core];
+            ASSERT_EQ(open_phase[e.core], 1)
+                << "unmatched phase end on core " << e.core;
+            --open_phase[e.core];
+            break;
+          case obs::EventKind::PartitionDecision:
+            EXPECT_LE(e.b, cfg.numExeBUs);
+            plan_sum[e.cycle] += static_cast<unsigned>(e.b);
+            break;
+          case obs::EventKind::PartitionPlan:
+            EXPECT_EQ(e.b, cfg.numExeBUs);
+            EXPECT_LE(e.a, e.b) << "plan oversubscribes the ExeBUs";
+            EXPECT_EQ(plan_sum[e.cycle], e.a)
+                << "decision shares disagree with the plan summary";
+            break;
+          case obs::EventKind::VlApply:
+            EXPECT_LE(e.a, cfg.numExeBUs);
+            EXPECT_LE(e.b, cfg.numExeBUs) << "free ExeBUs out of range";
+            break;
+          case obs::EventKind::VlResolve:
+            EXPECT_LE(e.b, cfg.numExeBUs);
+            break;
+          default:
+            break;
+        }
+    }
+    for (unsigned c = 0; c < 2; ++c) {
+        EXPECT_EQ(begins[c], ends[c]) << "core " << c;
+        EXPECT_EQ(open_phase[c], 0) << "core " << c;
+        EXPECT_EQ(begins[c], c == 0 ? wl0.size() : wl1.size())
+            << "core " << c;
     }
 }
 

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Golden-trace regression tests: every cell of the pair x policy
+ * matrix in tests/golden_matrix.hh must render (via the canonical
+ * trace::toJson) byte-identically to its pinned file in tests/golden/.
+ *
+ * A failure here means simulator behavior changed. If the change is
+ * intentional, regenerate with the occamy-regen-golden tool and commit
+ * the resulting diff; if not, it just caught a regression.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "golden_matrix.hh"
+#include "runner/runner.hh"
+#include "sim/trace.hh"
+
+using namespace occamy;
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        return {};
+    std::ostringstream os;
+    os << ifs.rdbuf();
+    return os.str();
+}
+
+/** Line number + context of the first difference, for readable diffs. */
+std::string
+firstDiff(const std::string &want, const std::string &got)
+{
+    std::size_t line = 1;
+    std::size_t i = 0;
+    const std::size_t n = std::min(want.size(), got.size());
+    while (i < n && want[i] == got[i]) {
+        if (want[i] == '\n')
+            ++line;
+        ++i;
+    }
+    if (i == want.size() && i == got.size())
+        return "identical";
+    auto context = [&](const std::string &s) {
+        const std::size_t lo = i > 40 ? i - 40 : 0;
+        return s.substr(lo, std::min<std::size_t>(80, s.size() - lo));
+    };
+    return "line " + std::to_string(line) + "\n  golden: ..." +
+           context(want) + "\n  actual: ..." + context(got);
+}
+
+TEST(Golden, MatrixMatchesPinnedTraces)
+{
+    const auto jobs = golden::goldenJobs();
+    // Single-threaded on purpose: the runner is deterministic across
+    // thread counts (covered by test_runner/test_obs), so the goldens
+    // gain nothing from parallelism and CI runners are often 1-core.
+    runner::RunnerOptions opt;
+    opt.numThreads = 1;
+    const runner::SweepResult sweep = runner::Runner(opt).run(jobs);
+
+    ASSERT_EQ(sweep.jobs.size(), jobs.size());
+    for (const auto &j : sweep.jobs) {
+        ASSERT_TRUE(j.ok()) << j.label << ": " << j.error;
+        const std::string path = std::string(OCCAMY_GOLDEN_DIR) + "/" +
+                                 golden::goldenFileName(j.label);
+        const std::string want = readFile(path);
+        ASSERT_FALSE(want.empty())
+            << "missing golden file " << path
+            << " — run occamy-regen-golden to create it";
+        const std::string got = trace::toJson(j.result) + "\n";
+        EXPECT_EQ(want, got)
+            << j.label << " drifted from " << path << " at "
+            << firstDiff(want, got)
+            << "\nIf intentional, re-pin with occamy-regen-golden.";
+    }
+}
+
+/** The pinned files themselves must be valid single-line JSON objects
+ *  ending in a newline — guards hand-edits. */
+TEST(Golden, PinnedFilesWellFormed)
+{
+    for (const std::string &label : golden::goldenPairLabels()) {
+        for (SharingPolicy p : golden::goldenPolicies()) {
+            const std::string name = golden::goldenFileName(
+                label + "/" + policyName(p));
+            const std::string text =
+                readFile(std::string(OCCAMY_GOLDEN_DIR) + "/" + name);
+            ASSERT_FALSE(text.empty()) << name;
+            EXPECT_EQ(text.front(), '{') << name;
+            EXPECT_EQ(text.back(), '\n') << name;
+            EXPECT_EQ(text[text.size() - 2], '}') << name;
+        }
+    }
+}
+
+} // namespace

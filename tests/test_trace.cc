@@ -107,5 +107,99 @@ TEST(Trace, JsonRecordsBatchCompletions)
     EXPECT_NE(json.find("\"name\":\"queued\""), std::string::npos);
 }
 
+TEST(Trace, FourCoreRunWidensEveryExporter)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 4));
+    for (unsigned c = 0; c < 4; ++c)
+        sys.setWorkload(static_cast<CoreId>(c),
+                        "w" + std::to_string(c),
+                        {workloads::makeNamedPhase(
+                            c % 2 ? "wsm51" : "rho_eos1", 4096)});
+    const RunResult r = sys.run(10'000'000);
+    ASSERT_EQ(r.cores.size(), 4u);
+
+    std::ostringstream tl;
+    trace::writeTimelinesCsv(tl, r);
+    EXPECT_NE(tl.str().find("core3_alloc"), std::string::npos);
+
+    std::ostringstream ph;
+    trace::writePhasesCsv(ph, r);
+    EXPECT_EQ(countLines(ph.str()), 1u + 4u);
+    EXPECT_NE(ph.str().find("3,wsm51"), std::string::npos);
+
+    const std::string json = trace::toJson(r);
+    EXPECT_NE(json.find("\"workload\":\"w3\""), std::string::npos);
+}
+
+TEST(Trace, TimedOutRunIsStillExportable)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
+    sys.setWorkload(0, "long",
+                    {workloads::makeNamedPhase("rho_eos1", 1u << 20)});
+    sys.setWorkload(1, "idle", {});
+    const RunResult r = sys.run(/*max_cycles=*/2'000);
+    ASSERT_TRUE(r.timedOut);
+
+    const std::string json = trace::toJson(r);
+    EXPECT_NE(json.find("\"timed_out\":true"), std::string::npos);
+    // Open phases report end == finish-so-far, never end < start.
+    for (const auto &core : r.cores)
+        for (const auto &p : core.phases)
+            EXPECT_GE(p.end, p.start);
+    std::ostringstream os;
+    trace::writePhasesCsv(os, r);
+    EXPECT_GE(countLines(os.str()), 2u);
+}
+
+TEST(Trace, ZeroPhaseResultProducesHeadersOnly)
+{
+    System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
+    sys.setWorkload(0, "idle0", {});
+    sys.setWorkload(1, "idle1", {});
+    const RunResult r = sys.run(10'000);
+    ASSERT_FALSE(r.timedOut);
+
+    std::ostringstream ph;
+    trace::writePhasesCsv(ph, r);
+    EXPECT_EQ(ph.str(),
+              "core,phase,start,end,compute_insts,issue_rate,first_vl,"
+              "last_vl\n");
+    std::ostringstream bt;
+    trace::writeBatchCsv(bt, r);
+    EXPECT_EQ(bt.str(), "workload,core,dispatched,finished\n");
+    const std::string json = trace::toJson(r);
+    EXPECT_NE(json.find("\"phases\":[]"), std::string::npos);
+    EXPECT_NE(json.find("\"batch\":[]"), std::string::npos);
+}
+
+TEST(Trace, CsvQuotesAwkwardNamesAndJsonEscapesThem)
+{
+    // Names chosen to break naive exporters: comma, quote, newline,
+    // backslash, tab.
+    kir::Loop evil = workloads::makeNamedPhase("rho_eos1", 4096);
+    evil.name = "a,b\"c\nd\\e\tf";
+
+    System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
+    sys.setWorkload(0, "w,0", {evil});
+    sys.setWorkload(1, "idle", {});
+    const RunResult r = sys.run(10'000'000);
+    ASSERT_FALSE(r.timedOut);
+
+    std::ostringstream ph;
+    trace::writePhasesCsv(ph, r);
+    // RFC-4180: whole field quoted, embedded quote doubled; the raw
+    // unquoted name must not appear.
+    EXPECT_NE(ph.str().find("\"a,b\"\"c\nd\\e\tf\""), std::string::npos)
+        << ph.str();
+
+    const std::string json = trace::toJson(r);
+    EXPECT_NE(json.find("\"workload\":\"w,0\""), std::string::npos);
+    EXPECT_NE(json.find("a,b\\\"c\\nd\\\\e\\tf"), std::string::npos)
+        << json;
+    // Still structurally valid: no raw control characters inside.
+    for (char ch : json)
+        EXPECT_TRUE(static_cast<unsigned char>(ch) >= 0x20) << json;
+}
+
 } // namespace
 } // namespace occamy

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.hh"
+#include "obs/export.hh"
 #include "runner/runner.hh"
 #include "runner/sweep.hh"
 #include "workloads/suite.hh"
@@ -46,6 +48,9 @@ struct Options
     bool progress = false;
     bool quiet = false;
     bool list = false;
+    std::string traceOut;
+    std::string traceEvents = "all";
+    Cycle snapshotEvery = 0;
 };
 
 void
@@ -64,6 +69,12 @@ usage()
         "  --csv-out FILE   write the per-job summary CSV\n"
         "  --progress       live done/running/failed/ETA on stderr\n"
         "  --quiet          suppress the stdout summary table\n"
+        "  --trace-out PFX  capture a per-job event trace, written to\n"
+        "                   PFX<label>.trace.json (Chrome/Perfetto\n"
+        "                   format; '/' in labels becomes '_')\n"
+        "  --trace-events L categories: comma list of phase,pipeline,\n"
+        "                   partition,reconfig,mem,sched or 'all'\n"
+        "  --snapshot-every N  metric snapshot each N cycles\n"
         "  --list           print the pair catalog with indices\n"
         "exit status: 0 all jobs ok, 1 some job failed, 2 usage error\n");
 }
@@ -186,6 +197,21 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.csvOut = v;
+        } else if (arg == "--trace-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.traceOut = v;
+        } else if (arg == "--trace-events") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.traceEvents = v;
+        } else if (arg == "--snapshot-every") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.snapshotEvery = static_cast<Cycle>(std::atoll(v));
         } else if (arg == "--progress") {
             opt.progress = true;
         } else if (arg == "--quiet") {
@@ -234,8 +260,31 @@ main(int argc, char **argv)
     if (opt.progress)
         ropt.onProgress = runner::stderrProgress();
 
-    const runner::SweepResult sweep = runner::Runner(ropt).run(
-        runner::pairSweepJobs(pairs, opt.policies, opt.maxCycles));
+    auto jobs = runner::pairSweepJobs(pairs, opt.policies, opt.maxCycles);
+    for (auto &spec : jobs) {
+        if (!opt.traceOut.empty())
+            spec.traceEvents = obs::parseEventMask(opt.traceEvents);
+        spec.snapshotEvery = opt.snapshotEvery;
+    }
+
+    const runner::SweepResult sweep =
+        runner::Runner(ropt).run(std::move(jobs));
+
+    if (!opt.traceOut.empty()) {
+        for (const auto &j : sweep.jobs) {
+            std::string label = j.label;
+            for (char &c : label)
+                if (c == '/')
+                    c = '_';
+            const std::string path =
+                opt.traceOut + label + ".trace.json";
+            std::ofstream ofs(path);
+            obs::writeChromeTrace(ofs, j.trace, j.result.snapshots);
+            if (!opt.quiet)
+                std::printf("wrote %s (%zu events)\n", path.c_str(),
+                            j.trace.events.size());
+        }
+    }
 
     if (!opt.quiet) {
         std::printf("%3s  %-14s %-8s %-6s %12s %12s %12s %7s\n", "id",

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * occamy-regen-golden: rewrite the pinned golden-trace files that
+ * tests/test_golden.cc compares against.
+ *
+ * Run this ONLY after an intentional behavioral change to the
+ * simulator, then review the diff of tests/golden/*.json like any
+ * other code change — the diff IS the behavioral change.
+ *
+ * Usage:
+ *   occamy-regen-golden [OUTPUT_DIR]     (default: tests/golden)
+ *
+ * The matrix itself lives in tests/golden_matrix.hh so the tool and
+ * the test can never disagree about what is pinned.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "golden_matrix.hh"
+#include "runner/runner.hh"
+#include "sim/trace.hh"
+
+using namespace occamy;
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = argc > 1 ? argv[1] : "tests/golden";
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
+
+    const auto jobs = golden::goldenJobs();
+    const runner::SweepResult sweep = runner::Runner().run(jobs);
+
+    int rc = 0;
+    for (const auto &j : sweep.jobs) {
+        const std::string path =
+            dir + golden::goldenFileName(j.label);
+        if (!j.ok()) {
+            std::fprintf(stderr, "job %s failed (%s); not writing %s\n",
+                         j.label.c_str(), j.error.c_str(), path.c_str());
+            rc = 1;
+            continue;
+        }
+        std::ofstream ofs(path);
+        if (!ofs) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         path.c_str());
+            rc = 1;
+            continue;
+        }
+        ofs << trace::toJson(j.result) << "\n";
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return rc;
+}

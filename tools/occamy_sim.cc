@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.hh"
+#include "obs/export.hh"
 #include "runner/runner.hh"
 #include "runner/sweep.hh"
 #include "sim/system.hh"
@@ -51,6 +53,9 @@ struct Options
     bool list = false;
     bool json = false;
     std::string csvPrefix;
+    std::string traceOut;
+    std::string traceEvents = "all";
+    Cycle snapshotEvery = 0;
 };
 
 void
@@ -70,6 +75,14 @@ usage()
         "  --stats        dump memory/co-processor statistics\n"
         "  --json         print a JSON result summary\n"
         "  --csv PREFIX   write PREFIX_{timeline,phases,batch}.csv\n"
+        "  --trace-out F  capture an event trace per run; .json gets\n"
+        "                 Chrome/Perfetto format, .bin the compact\n"
+        "                 binary format (multi-run adds _<policy>)\n"
+        "  --trace-events L  categories to trace: comma list of\n"
+        "                 phase,pipeline,partition,reconfig,mem,sched\n"
+        "                 or 'all' (default all; needs --trace-out)\n"
+        "  --snapshot-every N  metric snapshot each N cycles, rendered\n"
+        "                 as counter tracks in the Chrome trace\n"
         "  --list         list available workloads and exit\n");
 }
 
@@ -174,6 +187,21 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.csvPrefix = v;
+        } else if (arg == "--trace-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.traceOut = v;
+        } else if (arg == "--trace-events") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.traceEvents = v;
+        } else if (arg == "--snapshot-every") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.snapshotEvery = static_cast<Cycle>(std::atoll(v));
         } else if (arg == "--stats") {
             opt.stats = true;
         } else if (arg == "--list") {
@@ -304,6 +332,9 @@ main(int argc, char **argv)
                              : "batch/" + std::string(policyName(policy));
             spec.cfg = MachineConfig::forPolicy(policy, opt.cores);
             spec.maxCycles = opt.maxCycles;
+            if (!opt.traceOut.empty())
+                spec.traceEvents = obs::parseEventMask(opt.traceEvents);
+            spec.snapshotEvery = opt.snapshotEvery;
             if (opt.batch.empty()) {
                 const workloads::Workload w0 =
                     opt.opencv ? workloads::opencvWorkload(a)
@@ -340,6 +371,33 @@ main(int argc, char **argv)
             std::fprintf(stderr, "job %s failed: %s\n", j.label.c_str(),
                          j.error.c_str());
         printRun(opt.policies[i], j.result, opt);
+
+        if (!opt.traceOut.empty()) {
+            // One trace file per run; multi-policy sweeps get the
+            // policy name spliced in before the extension.
+            std::string path = opt.traceOut;
+            if (sweep.jobs.size() > 1) {
+                const auto dot = path.rfind('.');
+                const std::string tag =
+                    std::string("_") + policyName(opt.policies[i]);
+                if (dot == std::string::npos)
+                    path += tag;
+                else
+                    path.insert(dot, tag);
+            }
+            const bool binary =
+                path.size() >= 4 &&
+                path.compare(path.size() - 4, 4, ".bin") == 0;
+            std::ofstream ofs(path, binary ? std::ios::binary
+                                           : std::ios::out);
+            if (binary)
+                obs::writeBinaryTrace(ofs, j.trace);
+            else
+                obs::writeChromeTrace(ofs, j.trace, j.result.snapshots);
+            std::printf("wrote %s (%zu events, %llu dropped)\n",
+                        path.c_str(), j.trace.events.size(),
+                        static_cast<unsigned long long>(j.trace.dropped));
+        }
     }
 
     if (!opt.jsonOut.empty()) {
