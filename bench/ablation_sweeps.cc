@@ -73,37 +73,38 @@ main()
     // setting of every section, in declaration order.
     std::vector<runner::JobSpec> jobs;
     jobs.push_back(jobWith(
-        MachineConfig::forPolicy(SharingPolicy::Private, 2), "baseline"));
-    for (unsigned period : kPeriods) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
-        cfg.monitorPeriod = period;
-        jobs.push_back(jobWith(cfg, "A/monitorPeriod"));
-    }
-    for (unsigned lat : kLatencies) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
-        cfg.laneMgrLatency = lat;
-        jobs.push_back(jobWith(cfg, "B/laneMgrLatency"));
-    }
-    for (unsigned deg : kDegrees) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Private, 2);
-        cfg.prefetchDegree = deg;
-        jobs.push_back(jobWith(cfg, "C/prefetchDegree"));
-    }
-    for (unsigned lq : kLqDepths) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Private, 2);
-        cfg.loadQueueEntries = lq;
-        jobs.push_back(jobWith(cfg, "D/loadQueueEntries"));
-    }
-    for (unsigned regs : kVregs) {
-        MachineConfig cfg =
-            MachineConfig::forPolicy(SharingPolicy::Temporal, 2);
-        cfg.vregsPerBlk = regs;
-        jobs.push_back(jobWith(cfg, "E/vregsPerBlk"));
-    }
+        MachineConfig::Builder(SharingPolicy::Private).cores(2).build(),
+        "baseline"));
+    for (unsigned period : kPeriods)
+        jobs.push_back(jobWith(MachineConfig::Builder(SharingPolicy::Elastic)
+                                   .cores(2)
+                                   .monitorPeriod(period)
+                                   .build(),
+                               "A/monitorPeriod"));
+    for (unsigned lat : kLatencies)
+        jobs.push_back(jobWith(MachineConfig::Builder(SharingPolicy::Elastic)
+                                   .cores(2)
+                                   .laneMgrLatency(lat)
+                                   .build(),
+                               "B/laneMgrLatency"));
+    for (unsigned deg : kDegrees)
+        jobs.push_back(jobWith(MachineConfig::Builder(SharingPolicy::Private)
+                                   .cores(2)
+                                   .prefetchDegree(deg)
+                                   .build(),
+                               "C/prefetchDegree"));
+    for (unsigned lq : kLqDepths)
+        jobs.push_back(jobWith(MachineConfig::Builder(SharingPolicy::Private)
+                                   .cores(2)
+                                   .loadQueueEntries(lq)
+                                   .build(),
+                               "D/loadQueueEntries"));
+    for (unsigned regs : kVregs)
+        jobs.push_back(jobWith(MachineConfig::Builder(SharingPolicy::Temporal)
+                                   .cores(2)
+                                   .vregsPerBlk(regs)
+                                   .build(),
+                               "E/vregsPerBlk"));
 
     const std::vector<RunResult> results = runAll(std::move(jobs));
     std::size_t at = 0;
@@ -114,7 +115,10 @@ main()
     std::printf("  %-14s %10s %12s %12s\n", "monitorPeriod",
                 "c1 speedup", "monitor ovh", "vl switches");
     const unsigned transmit_width =
-        MachineConfig::forPolicy(SharingPolicy::Elastic, 2).transmitWidth;
+        MachineConfig::Builder(SharingPolicy::Elastic)
+            .cores(2)
+            .build()
+            .transmitWidth;
     for (unsigned period : kPeriods) {
         const RunResult &r = results[at++];
         double ovh = 0.0;

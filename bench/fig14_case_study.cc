@@ -28,12 +28,16 @@ Cycle
 soloAtLanes(const std::vector<kir::Loop> &loops, unsigned bus)
 {
     MachineConfig cfg =
-        MachineConfig::forPolicy(SharingPolicy::StaticSpatial, 2);
+        MachineConfig::Builder(SharingPolicy::StaticSpatial)
+            .cores(2)
+            .build();
+    // The plan splits the built machine's BU total, so it cannot be a
+    // Builder argument: the total is only known after build().
     cfg.staticPlan = {bus, cfg.numExeBUs - bus};
     System sys(cfg);
     sys.setWorkload(0, "wl", loops);
     sys.setWorkload(1, "idle", {});
-    return sys.run(80'000'000).cores[0].finish;
+    return sys.run({.maxCycles = 80'000'000}).cores[0].finish;
 }
 
 void

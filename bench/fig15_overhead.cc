@@ -24,8 +24,8 @@ main()
                 "reconfig%", "total%", "switches", "plans");
     rule(70);
 
-    const MachineConfig cfg = MachineConfig::forPolicy(
-        SharingPolicy::Elastic, 2);
+    const MachineConfig cfg =
+        MachineConfig::Builder(SharingPolicy::Elastic).cores(2).build();
     std::vector<double> mon, rec;
     const auto pairs = workloads::allPairs();
     const auto results =

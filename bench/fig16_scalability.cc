@@ -31,12 +31,13 @@ main()
 
         RunResult base;
         for (std::size_t p = 0; p < kPolicies.size(); ++p) {
-            System sys(MachineConfig::forPolicy(kPolicies[p], 4));
+            System sys(
+                MachineConfig::Builder(kPolicies[p]).cores(4).build());
             for (unsigned c = 0; c < 4; ++c)
                 sys.setWorkload(static_cast<CoreId>(c),
                                 group.workloads[c].name,
                                 group.workloads[c].loops);
-            RunResult r = sys.run(80'000'000);
+            RunResult r = sys.run({.maxCycles = 80'000'000});
             if (p == 0)
                 base = r;
             std::printf("  %-8s", policyName(kPolicies[p]));

@@ -100,12 +100,12 @@ BM_SimulatedCycles(benchmark::State &state)
     const auto policy = static_cast<SharingPolicy>(state.range(0));
     std::uint64_t cycles = 0;
     for (auto _ : state) {
-        System sys(MachineConfig::forPolicy(policy, 2));
+        System sys(MachineConfig::Builder(policy).cores(2).build());
         sys.setWorkload(0, "mem",
                         {workloads::makeNamedPhase("rho_eos1", 8192)});
         sys.setWorkload(1, "comp",
                         {workloads::makeNamedPhase("wsm51", 32768)});
-        RunResult r = sys.run(4'000'000);
+        RunResult r = sys.run({.maxCycles = 4'000'000});
         cycles += r.cycles;
     }
     state.counters["sim_cycles/s"] = benchmark::Counter(

@@ -26,8 +26,8 @@ namespace
 RunResult
 drainBatch(SchedPolicy sched, SharingPolicy policy)
 {
-    MachineConfig cfg = MachineConfig::forPolicy(policy, 2);
-    cfg.schedPolicy = sched;
+    const MachineConfig cfg =
+        MachineConfig::Builder(policy).cores(2).sched(sched).build();
     System sys(cfg);
     sys.setWorkload(0, "idle0", {});
     sys.setWorkload(1, "idle1", {});
@@ -38,7 +38,7 @@ drainBatch(SchedPolicy sched, SharingPolicy policy)
     for (unsigned id : {16u, 17u, 13u, 18u})
         sys.enqueueWorkload("WL" + std::to_string(id),
                             workloads::specWorkload(id).loops);
-    return sys.run(80'000'000);
+    return sys.run({.maxCycles = 80'000'000});
 }
 
 } // namespace

@@ -22,13 +22,9 @@ policyName(SharingPolicy p)
 MachineConfig
 MachineConfig::forPolicy(SharingPolicy p, unsigned cores)
 {
-    MachineConfig cfg;
-    cfg.policy = p;
-    cfg.numCores = cores;
     // The paper keeps total SIMD resources equal across architectures:
-    // 16 lanes/core => 4 ExeBUs per core.
-    cfg.numExeBUs = 4 * cores;
-    return cfg;
+    // 16 lanes/core => 4 ExeBUs per core (the Builder default).
+    return Builder(p).cores(cores).build();
 }
 
 } // namespace occamy

@@ -162,6 +162,107 @@ struct MachineConfig
 
     /** @return config preset for one of the four architectures. */
     static MachineConfig forPolicy(SharingPolicy p, unsigned cores = 2);
+
+    class Builder;
+};
+
+/**
+ * Named, chainable MachineConfig construction:
+ *
+ *     auto cfg = MachineConfig::Builder(SharingPolicy::Elastic)
+ *                    .cores(4)
+ *                    .sched(SchedPolicy::OiAware)
+ *                    .build();
+ *
+ * Unless exeBUs() is called, build() sizes the machine at the paper's
+ * 4 ExeBUs (16 lanes) per core, matching forPolicy(). New knobs get a
+ * named setter here instead of widening a positional signature.
+ */
+class MachineConfig::Builder
+{
+  public:
+    explicit Builder(SharingPolicy p) { cfg_.policy = p; }
+
+    Builder &cores(unsigned n)
+    {
+        cfg_.numCores = n;
+        return *this;
+    }
+
+    /** Total ExeBUs; overrides the 4-per-core default. */
+    Builder &exeBUs(unsigned n)
+    {
+        cfg_.numExeBUs = n;
+        bus_set_ = true;
+        return *this;
+    }
+
+    Builder &sched(SchedPolicy s)
+    {
+        cfg_.schedPolicy = s;
+        return *this;
+    }
+
+    /** Boot-time lane plan in ExeBUs per core (Private/VLS). */
+    Builder &staticPlan(std::vector<unsigned> plan)
+    {
+        cfg_.staticPlan = std::move(plan);
+        return *this;
+    }
+
+    Builder &contextSwitch(unsigned cycles)
+    {
+        cfg_.contextSwitchCycles = cycles;
+        return *this;
+    }
+
+    Builder &monitorPeriod(unsigned iters)
+    {
+        cfg_.monitorPeriod = iters;
+        return *this;
+    }
+
+    Builder &transmitWidth(unsigned insts)
+    {
+        cfg_.transmitWidth = insts;
+        return *this;
+    }
+
+    Builder &laneMgrLatency(unsigned cycles)
+    {
+        cfg_.laneMgrLatency = cycles;
+        return *this;
+    }
+
+    Builder &prefetchDegree(unsigned lines)
+    {
+        cfg_.prefetchDegree = lines;
+        return *this;
+    }
+
+    Builder &loadQueueEntries(unsigned n)
+    {
+        cfg_.loadQueueEntries = n;
+        return *this;
+    }
+
+    Builder &vregsPerBlk(unsigned n)
+    {
+        cfg_.vregsPerBlk = n;
+        return *this;
+    }
+
+    MachineConfig build() const
+    {
+        MachineConfig out = cfg_;
+        if (!bus_set_)
+            out.numExeBUs = 4 * out.numCores;
+        return out;
+    }
+
+  private:
+    MachineConfig cfg_;
+    bool bus_set_ = false;
 };
 
 } // namespace occamy

@@ -173,6 +173,103 @@ CoProcessor::tick(Cycle now)
     managerStage(now);
 }
 
+Cycle
+CoProcessor::nextEventAt(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    // Candidates may be <= now (e.g. a ROB head that became ready
+    // after this cycle's commit stage ran); clamp to now+1 — the
+    // soonest a future tick can act on them.
+    auto consider = [&next, now](Cycle c) {
+        if (c != kCycleNever)
+            next = std::min(next, std::max(c, now + 1));
+    };
+
+    // A pending lane-partition plan publishes at a fixed cycle and
+    // changes <decision> state even with every pipeline drained.
+    if (cfg_.policy == SharingPolicy::Elastic)
+        consider(lane_mgr_.planReadyAt());
+
+    for (unsigned ci = 0; ci < cores_.size(); ++ci) {
+        const CoreId c = static_cast<CoreId>(ci);
+        const CoreState &cs = cores_[ci];
+
+        // LSU queue releases gate both issue and coreDrained().
+        consider(cs.lsu.nextRelease());
+
+        // Rename acts on the pool head once it clears the transmit
+        // retire gate; before that the stage is a strict no-op (the
+        // gate check precedes the stall bookkeeping). At or past the
+        // gate this clamps to now+1: a capacity-blocked rename bumps
+        // stall counters and fires RenameStall every cycle, so such
+        // cycles must be ticked, never skipped.
+        if (!cs.pool.empty())
+            consider(cs.pool.front().enqueueCycle + cfg_.retireDelay);
+
+        // Next ROB head retirement.
+        if (!cs.rob.empty() && cs.rob.front().issued)
+            consider(cs.rob.front().readyCycle);
+
+        // IQ entries: earliest cycle each could leave. With vl == 0
+        // (non-FTS) the issue stage skips this core entirely until a
+        // reconfiguration — which is itself a wake event — grants
+        // lanes again.
+        const bool issueable = cfg_.policy == SharingPolicy::Temporal ||
+                               rt_.core(c).vl > 0;
+        if (issueable) {
+            for (SeqNum seq : cs.iq) {
+                const DynInst &inst =
+                    cs.rob[static_cast<std::size_t>(seq - cs.robBase)];
+                Cycle earliest = now + 1;
+                bool src_pending = false;
+                if (inst.isCompute() || inst.isStore()) {
+                    for (unsigned i = 0; i < inst.nsrc; ++i) {
+                        if (inst.srcPhys[i] < 0)
+                            continue;
+                        const Cycle r = regfile_.readyAt(inst.srcPhys[i]);
+                        if (r == kCycleNever)
+                            // Producer not issued yet: its own IQ entry
+                            // (or vl/plan wake) governs this one.
+                            src_pending = true;
+                        else if (r > earliest)
+                            earliest = r;
+                    }
+                }
+                if (inst.isMem()) {
+                    const bool full = inst.isStore()
+                                          ? !cs.lsu.canIssueStore()
+                                          : !cs.lsu.canIssueLoad();
+                    if (full)
+                        earliest = std::max(earliest,
+                                            cs.lsu.nextRelease());
+                }
+                if (!src_pending)
+                    consider(earliest);
+                if (next == now + 1)
+                    break;      // Cannot do better; stop scanning.
+            }
+        }
+
+        // EM-SIMD queue: a non-waiting head executes next cycle; a
+        // drain-waiting MsrVL head is a no-op until the pipeline
+        // empties, which the pool/ROB/LSU candidates above track.
+        if (!cs.emq.empty() && !emHeadWaits(c, cs.emq.front()))
+            consider(now + 1);
+
+        if (next == now + 1)
+            break;
+    }
+    return next;
+}
+
+void
+CoProcessor::skipCycles(Cycle span)
+{
+    if (cfg_.policy == SharingPolicy::Temporal && !cores_.empty())
+        rr_start_ = static_cast<unsigned>((rr_start_ + span) %
+                                          cores_.size());
+}
+
 void
 CoProcessor::commitStage(Cycle now)
 {
@@ -417,7 +514,6 @@ bool
 CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
 {
     CoreState &cs = cores_[c];
-    ++em_insts_;
     switch (inst.op) {
       case Opcode::MsrOI:
         rt_.core(c).oi = inst.oi;
@@ -499,6 +595,29 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
     }
 }
 
+bool
+CoProcessor::emHeadWaits(CoreId c, const DynInst &inst) const
+{
+    // Mirrors execEmSimd: only an Elastic-policy MsrVL can wait, and
+    // only when the request is a real, grantable resize of an
+    // undrained pipeline. Every other head retires when executed.
+    if (inst.op != Opcode::MsrVL ||
+        cfg_.policy != SharingPolicy::Elastic)
+        return false;
+    unsigned target;
+    if (inst.vlFromDecision) {
+        const unsigned d = rt_.core(c).decision;
+        target = d > 0 ? d : rt_.core(c).vl;
+    } else {
+        target = inst.imm;
+    }
+    if (target == rt_.core(c).vl)
+        return false;
+    if (target > rt_.core(c).vl + rt_.al())
+        return false;
+    return !coreDrained(c);
+}
+
 void
 CoProcessor::managerStage(Cycle now)
 {
@@ -522,6 +641,10 @@ CoProcessor::managerStage(Cycle now)
         while (budget > 0 && !cs.emq.empty()) {
             if (!execEmSimd(c, cs.emq.front(), now))
                 break;      // Head is waiting (e.g. for drain).
+            // Count executed instructions, not drain-wait retries of
+            // the queue head: a waiting head must be an exact no-op so
+            // the fast-forward engine can skip drain cycles.
+            ++em_insts_;
             cs.emq.pop_front();
             --budget;
         }

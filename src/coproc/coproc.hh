@@ -81,6 +81,27 @@ class CoProcessor
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Quiescence probe for the fast-forward engine: earliest future
+     * cycle (> @p now) at which a tick could change architectural,
+     * timing, or observable state — the next ROB head retire, LSU
+     * queue release, pool head clearing its transmit-retire gate, IQ
+     * entry becoming issueable, EM-SIMD queue progress, or pending
+     * lane-partition plan publication. Returns kCycleNever when fully
+     * drained. Returning now+1 means "cannot skip"; the probe may be
+     * conservative (wake early — an extra tick of a quiescent machine
+     * is a no-op) but never optimistic.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    /**
+     * Account for @p span skipped quiescent cycles. Ticking a
+     * quiescent co-processor is a no-op except under FTS, where the
+     * issue stage's round-robin pointer advances every cycle; advance
+     * it here so arbitration after a skip matches the ticked run.
+     */
+    void skipCycles(Cycle span);
+
     // --- Metrics. ---
 
     /** Lanes of core @p c that executed compute µops this cycle. */
@@ -151,6 +172,11 @@ class CoProcessor
     /** Execute the head EM-SIMD instruction of core @p c.
      *  @return true if it retired (pop it). */
     bool execEmSimd(CoreId c, const DynInst &inst, Cycle now);
+
+    /** @return true if @p inst at the head of core @p c's EM-SIMD
+     *  queue would wait (MsrVL pipeline-drain condition) rather than
+     *  retire if executed now. Mirrors execEmSimd's wait path. */
+    bool emHeadWaits(CoreId c, const DynInst &inst) const;
 
     /** Apply a successful vector-length retarget for core @p c. */
     void applyVl(CoreId c, unsigned target, Cycle now = 0);

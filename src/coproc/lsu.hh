@@ -95,6 +95,20 @@ class Lsu
     }
 
     bool empty() const { return lq_.empty() && sq_.empty(); }
+
+    /** Earliest future cycle a queue entry releases (kCycleNever when
+     *  both queues are empty). Quiescence input for fast-forward. */
+    Cycle
+    nextRelease() const
+    {
+        Cycle next = kCycleNever;
+        if (!lq_.empty())
+            next = lq_.top();
+        if (!sq_.empty() && sq_.top() < next)
+            next = sq_.top();
+        return next;
+    }
+
     std::size_t loadQueueOccupancy() const { return lq_.size(); }
     std::size_t storeQueueOccupancy() const { return sq_.size(); }
     std::uint64_t loadsIssued() const { return loads_.value(); }

@@ -366,11 +366,34 @@ ScalarCore::step(Cycle now, unsigned &budget)
 void
 ScalarCore::tick(Cycle now)
 {
+    blocked_ = false;
     if (state_ == State::Done || stall_until_ > now)
         return;
     unsigned budget = cfg_.transmitWidth;
     while (budget > 0 && step(now, budget)) {
     }
+    // Budget left over means step() refused to advance: the core is
+    // gated on external progress, not merely out of transmit slots.
+    blocked_ = budget > 0;
+}
+
+Cycle
+ScalarCore::nextEventAt(Cycle now) const
+{
+    if (state_ == State::Done)
+        return kCycleNever;
+    if (stall_until_ > now)
+        return stall_until_;
+    if (state_ == State::AwaitVl || state_ == State::AwaitReconfig ||
+        state_ == State::AwaitRelease) {
+        // Resolution is a co-processor action; until it happens every
+        // tick here is a pure status poll. The co-processor's probe
+        // owns the wake (the outstanding MSR sits in its EM-SIMD
+        // queue, or its drain progress gates it).
+        return coproc_.vlRequestStatus(id_).resolved ? now + 1
+                                                     : kCycleNever;
+    }
+    return blocked_ ? kCycleNever : now + 1;
 }
 
 } // namespace occamy

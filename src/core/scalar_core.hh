@@ -52,6 +52,18 @@ class ScalarCore
     /** Emit up to transmitWidth instructions this cycle. */
     void tick(Cycle now);
 
+    /**
+     * Quiescence probe for the fast-forward engine: earliest future
+     * cycle (> @p now) this core's tick can do anything. A finished
+     * core never acts again (kCycleNever); a scalar-fallback stall
+     * resumes exactly at its deadline; an Await state with the <VL>
+     * request still unresolved, or a core blocked on co-processor
+     * back-pressure, is woken by co-processor progress — the
+     * co-processor's own probe carries those candidates, so this one
+     * reports kCycleNever. Anything else acts next cycle.
+     */
+    Cycle nextEventAt(Cycle now) const;
+
     /** All instructions emitted (workload retired from the core). */
     bool doneEmitting() const { return state_ == State::Done; }
 
@@ -124,6 +136,10 @@ class ScalarCore
     Cycle await_since_ = 0;
     Cycle stall_until_ = 0;          ///< Scalar-fallback cost model.
     unsigned vl_before_request_ = 0;
+    /** Last tick ended with transmit budget left: the core is waiting
+     *  on something external (back-pressure, <VL> resolution), not on
+     *  its own next cycle. Input to nextEventAt(). */
+    bool blocked_ = false;
 
     std::vector<PhaseTrace> phases_;
 

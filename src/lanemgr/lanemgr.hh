@@ -49,6 +49,12 @@ class LaneMgr
         return plan_ready_at_ != kCycleNever && now >= plan_ready_at_;
     }
 
+    /** Cycle the pending re-plan publishes (kCycleNever when none is
+     *  scheduled). Wake event for the fast-forward engine: a plan
+     *  publication changes partition state even if every pipeline is
+     *  otherwise drained. */
+    Cycle planReadyAt() const { return plan_ready_at_; }
+
     /**
      * Produce the plan for the current <OI> values.
      *

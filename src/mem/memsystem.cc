@@ -75,6 +75,7 @@ MemSystem::maybePrefetch(Addr trigger_line, Cycle now)
         dram_bytes_ += line;
         ++prefetches_;
         line_ready_[pf] = start + cfg_.dramLatency;
+        pending_fills_.push(start + cfg_.dramLatency);
         recordDram(now, obs::EventKind::DramRead, pf, line,
                    start + cfg_.dramLatency);
         // Prefetch into L2 only: demand accesses pull lines into the
@@ -129,6 +130,7 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Cycle now,
     dram_bytes_ += line;
     const Cycle ready = dram_start + cfg_.dramLatency;
     line_ready_[line_addr] = ready;
+    pending_fills_.push(ready);
     recordDram(now, obs::EventKind::DramRead, line_addr, line, ready);
     maybePrefetch(line_addr, now);
     return ready;
@@ -225,6 +227,15 @@ MemSystem::reset()
     dram_busy_until_ = 0;
     line_ready_.clear();
     frontier_.clear();
+    pending_fills_ = {};
+}
+
+Cycle
+MemSystem::nextEventAt(Cycle now)
+{
+    while (!pending_fills_.empty() && pending_fills_.top() <= now)
+        pending_fills_.pop();
+    return pending_fills_.empty() ? kCycleNever : pending_fills_.top();
 }
 
 void

@@ -21,7 +21,9 @@
 #ifndef OCCAMY_MEM_MEMSYSTEM_HH
 #define OCCAMY_MEM_MEMSYSTEM_HH
 
+#include <queue>
 #include <unordered_map>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/stats.hh"
@@ -77,6 +79,16 @@ class MemSystem
     /** Scalar (single-word) reference; shares the hierarchy. */
     Cycle scalarAccess(Addr addr, bool is_write, Cycle now);
 
+    /**
+     * Quiescence probe for the fast-forward engine: earliest future
+     * cycle at which an in-flight line fill completes, or kCycleNever
+     * when no fill is outstanding. The memory system has no tick() —
+     * its state only changes when a component calls access*() — so a
+     * pending fill is the only thing that can make a *waiting*
+     * consumer's world change without that consumer acting first.
+     */
+    Cycle nextEventAt(Cycle now);
+
     const Cache &vecCache() const { return vec_cache_; }
     const Cache &l2() const { return l2_; }
 
@@ -128,6 +140,12 @@ class MemSystem
 
     /** Line address -> fill-ready cycle (MSHR-style). */
     std::unordered_map<Addr, Cycle> line_ready_;
+
+    /** Ready cycles of fills still in flight, mirroring line_ready_
+     *  inserts; heads <= now are lazily popped by nextEventAt() so the
+     *  probe stays O(log n) instead of scanning the map. */
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        pending_fills_;
 
     /** 4 KB region -> highest line prefetched for that stream. */
     std::unordered_map<Addr, Addr> frontier_;

@@ -63,6 +63,12 @@ enum class EventKind : std::uint8_t
 
     // --- OS batch scheduling (Section 5). ---
     BatchDispatch,  ///< Queued workload placed. a=name id, b=queue idx.
+
+    // --- Simulation engine (not simulated hardware). ---
+    SchedFastForward, ///< Cycle loop skipped a quiescent span. The
+                      ///< event's cycle is the decision cycle; a=number
+                      ///< of skipped cycles, b=wake source
+                      ///< (occamy::WakeSource numeric value).
 };
 
 /** Coarse category bits used to subset recording. */
@@ -74,6 +80,12 @@ inline constexpr EventMask kEvPartition = 1u << 2;
 inline constexpr EventMask kEvReconfig = 1u << 3;
 inline constexpr EventMask kEvMem = 1u << 4;
 inline constexpr EventMask kEvSched = 1u << 5;
+/** Engine events describe what the *simulator* did (e.g. fast-forward
+ *  skips), not what the simulated hardware did. They are deliberately
+ *  excluded from kEvAll so "all" traces stay invariant under engine
+ *  settings like RunOptions::fastForward; opt in with the "engine"
+ *  category token. */
+inline constexpr EventMask kEvEngine = 1u << 6;
 inline constexpr EventMask kEvAll =
     kEvPhase | kEvPipeline | kEvPartition | kEvReconfig | kEvMem |
     kEvSched;
@@ -105,6 +117,8 @@ categoryOf(EventKind k)
         return kEvMem;
       case EventKind::BatchDispatch:
         return kEvSched;
+      case EventKind::SchedFastForward:
+        return kEvEngine;
     }
     return 0;
 }
@@ -114,8 +128,10 @@ const char *eventKindName(EventKind k);
 
 /**
  * Parse a comma-separated category list ("phase,partition,reconfig",
- * "all", "pipeline,mem,sched") into a mask. Unknown tokens are
- * ignored; an empty string yields 0 (tracing off).
+ * "all", "pipeline,mem,sched", "all,engine") into a mask. Unknown
+ * tokens are ignored; an empty string yields 0 (tracing off). "all"
+ * covers every simulated-hardware category but not "engine" (see
+ * kEvEngine).
  */
 EventMask parseEventMask(const std::string &spec);
 

@@ -25,6 +25,7 @@ eventKindName(EventKind k)
       case EventKind::DramRead: return "dram_read";
       case EventKind::DramWrite: return "dram_write";
       case EventKind::BatchDispatch: return "batch_dispatch";
+      case EventKind::SchedFastForward: return "sched_fast_forward";
     }
     return "unknown";
 }
@@ -49,6 +50,8 @@ parseEventMask(const std::string &spec)
             mask |= kEvMem;
         else if (t == "sched")
             mask |= kEvSched;
+        else if (t == "engine")
+            mask |= kEvEngine;
     };
     for (char c : spec) {
         if (c == ',') {

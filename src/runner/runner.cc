@@ -78,6 +78,8 @@ Runner::runOne(const JobSpec &spec)
         ropt.maxCycles = spec.maxCycles;
         ropt.bucket = spec.bucket;
         ropt.snapshotEvery = spec.snapshotEvery;
+        ropt.fastForward = spec.fastForward;
+        ropt.ffStats = &out.ff;
         // The sink lives on this worker thread for exactly this job;
         // no other thread ever sees it (stats.hh concurrency contract).
         std::unique_ptr<obs::RingSink> sink;

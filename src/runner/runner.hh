@@ -82,6 +82,10 @@ struct JobSpec
 
     /** Metric-snapshot period (RunOptions::snapshotEvery; 0 = never). */
     Cycle snapshotEvery = 0;
+
+    /** Skip quiescent spans of the cycle loop (RunOptions::fastForward;
+     *  results are identical either way). */
+    bool fastForward = true;
 };
 
 /** Terminal state of one job. */
@@ -115,6 +119,12 @@ struct JobResult
     /** Wall-clock spent simulating, for operator feedback only. Never
      *  exported to JSON/CSV: it would break run-to-run determinism. */
     double wallMs = 0.0;
+
+    /** Fast-forward accounting of the run (cycles simulated vs.
+     *  ticked). Deterministic, unlike wallMs: it depends only on the
+     *  job, so exporting it keeps sweeps byte-identical across thread
+     *  counts. */
+    FastForwardStats ff;
 
     bool ok() const { return status == JobStatus::Ok; }
 };

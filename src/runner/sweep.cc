@@ -72,9 +72,18 @@ sweepToJson(const SweepResult &sweep)
            << ",\"policy\":\"" << policyName(j.policy) << "\""
            << ",\"status\":\"" << jobStatusName(j.status) << "\""
            << ",\"error\":\"" << jsonEscape(j.error) << "\""
+           << ",\"timed_out\":" << (j.result.timedOut ? "true" : "false")
+           << ",\"ff\":{\"simulated\":" << j.ff.cyclesSimulated
+           << ",\"ticked\":" << j.ff.cyclesTicked
+           << ",\"spans\":" << j.ff.spans << "}"
            << ",\"result\":" << trace::toJson(j.result) << "}";
     }
-    os << "],\"failed\":" << sweep.failed() << "}";
+    std::size_t timed_out = 0;
+    for (const auto &j : sweep.jobs)
+        if (j.result.timedOut)
+            ++timed_out;
+    os << "],\"failed\":" << sweep.failed()
+       << ",\"timed_out\":" << timed_out << "}";
     return os.str();
 }
 
@@ -85,7 +94,8 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
     for (const auto &j : sweep.jobs)
         max_cores = std::max(max_cores, j.result.cores.size());
 
-    os << "id,label,policy,status,cycles,simd_util,dram_bytes";
+    os << "id,label,policy,status,timed_out,cycles,simd_util,dram_bytes,"
+          "cycles_ticked";
     for (std::size_t c = 0; c < max_cores; ++c)
         os << ",core" << c << "_workload,core" << c << "_finish";
     os << "\n";
@@ -93,8 +103,10 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
     os << std::setprecision(10);
     for (const auto &j : sweep.jobs) {
         os << j.id << "," << j.label << "," << policyName(j.policy)
-           << "," << jobStatusName(j.status) << "," << j.result.cycles
-           << "," << j.result.simdUtil << "," << j.result.dramBytes;
+           << "," << jobStatusName(j.status) << ","
+           << (j.result.timedOut ? 1 : 0) << "," << j.result.cycles
+           << "," << j.result.simdUtil << "," << j.result.dramBytes
+           << "," << j.ff.cyclesTicked;
         for (std::size_t c = 0; c < max_cores; ++c) {
             if (c < j.result.cores.size())
                 os << "," << j.result.cores[c].workload << ","

@@ -225,9 +225,43 @@ System::run(const RunOptions &opt)
     std::vector<Cycle> dispatch_at(cfg.numCores, kCycleNever);
     std::vector<std::size_t> pending_wl(cfg.numCores, 0);
 
+    FastForwardStats ff;
+
+    // Synthesize the timeline contribution of a skipped quiescent span
+    // [from, to]: every cycle in it would have added busy = 0 (nothing
+    // issues while quiescent — adding 0.0 is an exact no-op, so the
+    // busy timeline and busy_integral match the ticked run bit for
+    // bit) and alloc = the lanes currently allocated, which cannot
+    // change mid-span. Allocated lanes are small integers, so the
+    // grouped per-bucket sums below are exact too.
+    auto synthesizeSkipped = [&](Cycle from, Cycle to) {
+        const std::size_t last_b = static_cast<std::size_t>(to / bucket);
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            if (busy_buckets[c].size() <= last_b) {
+                busy_buckets[c].resize(last_b + 1, 0.0);
+                alloc_buckets[c].resize(last_b + 1, 0.0);
+            }
+            const unsigned alloc =
+                coproc.allocatedLanes(static_cast<CoreId>(c));
+            if (alloc == 0)
+                continue;
+            for (Cycle cy = from; cy <= to;) {
+                const std::size_t b =
+                    static_cast<std::size_t>(cy / bucket);
+                const Cycle bucket_last =
+                    (static_cast<Cycle>(b) + 1) * bucket - 1;
+                const Cycle upto = std::min(bucket_last, to);
+                alloc_buckets[c][b] += static_cast<double>(alloc) *
+                                       static_cast<double>(upto - cy + 1);
+                cy = upto + 1;
+            }
+        }
+    };
+
     Cycle now = 0;
     Cycle last_finish = 0;
     for (; now < max_cycles; ++now) {
+        ++ff.cyclesTicked;
         coproc.tick(now);
         for (auto &core : cores)
             core->tick(now);
@@ -328,8 +362,74 @@ System::run(const RunOptions &opt)
         }
         if (all_done)
             break;
+
+        if (!opt.fastForward)
+            continue;
+
+        // --- Quiescence-aware fast-forward (skip-to-next-event). ---
+        // Every component reports the earliest future cycle it could
+        // change state; until min(candidates), each tick is provably a
+        // no-op, so the loop jumps there directly. Probes may be
+        // conservative (wake early) but never late, which is what
+        // keeps fast-forwarded runs byte-identical to ticked ones.
+        Cycle wake = kCycleNever;
+        WakeSource why = WakeSource::Cap;
+        auto consider = [&](Cycle c, WakeSource s) {
+            if (c < wake) {
+                wake = c;
+                why = s;
+            }
+        };
+        consider(coproc.nextEventAt(now), WakeSource::Coproc);
+        if (wake > now + 1) {
+            for (auto &core : cores)
+                consider(core->nextEventAt(now), WakeSource::Core);
+        }
+        if (wake > now + 1) {
+            consider(mem.nextEventAt(now), WakeSource::Mem);
+            for (unsigned c = 0; c < cfg.numCores; ++c)
+                if (dispatch_at[c] != kCycleNever)
+                    consider(dispatch_at[c], WakeSource::Dispatch);
+            if (opt.snapshotEvery)
+                consider((now / opt.snapshotEvery + 1) *
+                             opt.snapshotEvery,
+                         WakeSource::Snapshot);
+        }
+        if (wake <= now + 1)
+            continue;
+
+        // Nothing can happen before `wake`; a machine with no pending
+        // event at all (wake == kCycleNever) matches the ticked run's
+        // spin to the cap, so jump straight there and time out.
+        Cycle target = wake;
+        if (target >= max_cycles) {
+            target = max_cycles;
+            why = WakeSource::Cap;
+        }
+        const Cycle span = target - now - 1;
+        if (span == 0)
+            continue;
+
+        if (opt.sink &&
+            opt.sink->wants(obs::EventKind::SchedFastForward)) {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.kind = obs::EventKind::SchedFastForward;
+            ev.a = span;
+            ev.b = static_cast<std::uint64_t>(why);
+            opt.sink->record(ev);
+        }
+        synthesizeSkipped(now + 1, target - 1);
+        coproc.skipCycles(span);
+        ++ff.spans;
+        ff.cyclesSkipped += span;
+        ff.longestSpan = std::max(ff.longestSpan, span);
+        now = target - 1;       // ++now lands exactly on the wake cycle.
     }
     result.timedOut = now >= max_cycles;
+    ff.cyclesSimulated = now < max_cycles ? now + 1 : max_cycles;
+    if (opt.ffStats)
+        *opt.ffStats = ff;
     result.cycles = std::max<Cycle>(last_finish, 1);
     result.simdUtil =
         busy_integral / (static_cast<double>(total_lanes) *
@@ -387,7 +487,7 @@ RunResult
 corun(SharingPolicy p,
       const std::vector<std::pair<std::string,
                                   std::vector<kir::Loop>>> &wls,
-      Cycle max_cycles)
+      const RunOptions &opt)
 {
     MachineConfig cfg = MachineConfig::forPolicy(
         p, static_cast<unsigned>(wls.size()));
@@ -395,7 +495,7 @@ corun(SharingPolicy p,
     for (unsigned c = 0; c < wls.size(); ++c)
         sys.setWorkload(static_cast<CoreId>(c), wls[c].first,
                         wls[c].second);
-    return sys.run(max_cycles);
+    return sys.run(opt);
 }
 
 } // namespace occamy

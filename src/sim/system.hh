@@ -110,6 +110,32 @@ struct RunResult
     std::vector<obs::MetricSnapshot> snapshots;
 };
 
+/** Why the fast-forward engine chose a particular wake cycle. */
+enum class WakeSource : std::uint8_t
+{
+    Coproc,     ///< Co-processor pipeline / lane-manager event.
+    Core,       ///< Scalar-core event (stall deadline, next step).
+    Mem,        ///< In-flight DRAM line fill completes.
+    Dispatch,   ///< Batch context switch finishes.
+    Snapshot,   ///< Periodic metric-snapshot boundary.
+    Cap,        ///< Nothing pending before the maxCycles cap.
+};
+
+/**
+ * Accounting of one run's fast-forward behaviour. cyclesTicked counts
+ * loop iterations actually executed; the ratio cyclesSimulated /
+ * cyclesTicked is the engine's leverage on that workload (1.0 when
+ * fast-forward is off or the machine is never quiescent).
+ */
+struct FastForwardStats
+{
+    Cycle cyclesSimulated = 0;      ///< Cycles the run covered.
+    Cycle cyclesTicked = 0;         ///< Cycles actually ticked.
+    Cycle cyclesSkipped = 0;        ///< Sum of skipped spans.
+    std::uint64_t spans = 0;        ///< Fast-forward jumps taken.
+    Cycle longestSpan = 0;          ///< Largest single jump, cycles.
+};
+
 /** Knobs of one System::run() invocation. */
 struct RunOptions
 {
@@ -123,6 +149,14 @@ struct RunOptions
 
     /** Emit a metric snapshot every N cycles (0 = never). */
     Cycle snapshotEvery = 0;
+
+    /** Skip quiescent spans of the cycle loop (results are identical
+     *  either way; off forces the classic tick-every-cycle loop). */
+    bool fastForward = true;
+
+    /** If non-null, receives the run's fast-forward accounting.
+     *  Borrowed — must outlive the run() call. */
+    FastForwardStats *ffStats = nullptr;
 };
 
 /** One simulated machine plus the workloads bound to its cores. */
@@ -152,10 +186,11 @@ class System
     RunResult run(const RunOptions &opt);
 
     /**
-     * Run to completion of all workloads (legacy convenience).
-     * @param max_cycles Safety cap; exceeding it sets RunResult::timedOut.
-     * @param bucket Timeline bucket size in cycles.
+     * Legacy positional entry point. Prefer constructing RunOptions —
+     * it is the single place every run knob (cap, bucket, sink,
+     * snapshots, fast-forward) lives.
      */
+    [[deprecated("construct RunOptions and call run(const RunOptions&)")]]
     RunResult run(Cycle max_cycles = 20'000'000, unsigned bucket = 1000)
     {
         RunOptions opt;
@@ -175,12 +210,13 @@ class System
 
 /**
  * Convenience: co-run @p workloads (one per core) under policy @p p and
- * return the result. The machine is sized with 4 ExeBUs per core.
+ * return the result. The machine is sized with 4 ExeBUs per core; all
+ * run knobs come from @p opt.
  */
 RunResult corun(SharingPolicy p,
                 const std::vector<std::pair<std::string,
                                             std::vector<kir::Loop>>> &wls,
-                Cycle max_cycles = 20'000'000);
+                const RunOptions &opt = {});
 
 } // namespace occamy
 

@@ -71,7 +71,7 @@ runTyped(std::uint8_t elem_bytes, std::uint64_t trip)
     System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
     sys.setWorkload(0, "typed", {typedLoop(elem_bytes, trip)});
     sys.setWorkload(1, "idle", {});
-    return sys.run(20'000'000);
+    return sys.run({.maxCycles = 20'000'000});
 }
 
 TEST(DataTypes, IterationCountScalesInverselyWithWidth)
@@ -105,7 +105,7 @@ TEST(DataTypes, F64RunsToCompletionOnElastic)
     System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
     sys.setWorkload(0, "f64", {typedLoop(8, 8192)});
     sys.setWorkload(1, "idle", {});
-    const RunResult r = sys.run(20'000'000);
+    const RunResult r = sys.run({.maxCycles = 20'000'000});
     ASSERT_FALSE(r.timedOut);
     EXPECT_GT(r.cores[0].finish, 0u);
     // Lane slots never exceed the allocation.
@@ -128,7 +128,7 @@ TEST(DataTypes, TailPredicationCountsElements)
     loop.trip = 200;   // Above the 128-element scalar threshold.
     sys2.setWorkload(0, "typed", {loop});
     sys2.setWorkload(1, "idle", {});
-    const RunResult r = sys2.run(20'000'000);
+    const RunResult r = sys2.run({.maxCycles = 20'000'000});
     ASSERT_FALSE(r.timedOut);
     EXPECT_EQ(r.cores[0].memIssued, 3u * ((200 + 7) / 8));
 }

@@ -114,7 +114,7 @@ TEST_P(FuzzSweep, CorunInvariantsHoldForAllPolicies)
         System sys(MachineConfig::forPolicy(p, 2));
         sys.setWorkload(0, "w0", wl0);
         sys.setWorkload(1, "w1", wl1);
-        const RunResult r = sys.run(30'000'000);
+        const RunResult r = sys.run({.maxCycles = 30'000'000});
 
         ASSERT_FALSE(r.timedOut)
             << policyName(p) << " seed " << GetParam();
@@ -157,7 +157,7 @@ TEST_P(FuzzSweep, ExactElementAccounting)
     System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
     sys.setWorkload(0, "x", {loop});
     sys.setWorkload(1, "idle", {});
-    const RunResult r = sys.run(30'000'000);
+    const RunResult r = sys.run({.maxCycles = 30'000'000});
     ASSERT_FALSE(r.timedOut);
 
     if (loop.trip >= 128) {

@@ -105,7 +105,7 @@ TEST(Gather, InterleavedKernelRunsEndToEnd)
     System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
     sys.setWorkload(0, "gray", {interleavedGray()});
     sys.setWorkload(1, "idle", {});
-    const RunResult r = sys.run(20'000'000);
+    const RunResult r = sys.run({.maxCycles = 20'000'000});
     ASSERT_FALSE(r.timedOut);
     EXPECT_GT(r.cores[0].finish, 0u);
     // 3 gathers + 1 store per iteration at 16 lanes... iterations are
@@ -123,7 +123,7 @@ TEST(Gather, InterleavedSlowerThanPlanar)
         System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
         sys.setWorkload(0, "k", {std::move(loop)});
         sys.setWorkload(1, "idle", {});
-        return sys.run(20'000'000).cores[0].finish;
+        return sys.run({.maxCycles = 20'000'000}).cores[0].finish;
     };
 
     kir::Loop planar;
@@ -155,7 +155,7 @@ TEST(Gather, ScatterStoreWorks)
     System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
     sys.setWorkload(0, "scatter", {loop});
     sys.setWorkload(1, "idle", {});
-    const RunResult r = sys.run(20'000'000);
+    const RunResult r = sys.run({.maxCycles = 20'000'000});
     ASSERT_FALSE(r.timedOut);
     EXPECT_GT(r.cores[0].finish, 0u);
     // Scatter at stride 8 (32 B) touches one line per 2 elements: the

@@ -31,7 +31,7 @@ class PhaseRunSweep : public ::testing::TestWithParam<PhaseSpec>
                         {workloads::makeNamedPhase(GetParam().name,
                                                    trip)});
         sys.setWorkload(1, "idle", {});
-        return sys.run(8'000'000);
+        return sys.run({.maxCycles = 8'000'000});
     }
 };
 

@@ -38,7 +38,7 @@ runPairOn(SharingPolicy p)
     System sys(MachineConfig::forPolicy(p, 2));
     sys.setWorkload(0, "mem", memWorkload());
     sys.setWorkload(1, "comp", compWorkload());
-    return sys.run(10'000'000);
+    return sys.run({.maxCycles = 10'000'000});
 }
 
 TEST(System, AllPoliciesComplete)
@@ -165,7 +165,7 @@ TEST(System, IdleCoreIsHarmless)
     System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
     sys.setWorkload(0, "solo", compWorkload(65536));
     sys.setWorkload(1, "idle", {});
-    const RunResult r = sys.run(10'000'000);
+    const RunResult r = sys.run({.maxCycles = 10'000'000});
     EXPECT_FALSE(r.timedOut);
     EXPECT_GT(r.cores[0].finish, 0u);
     EXPECT_EQ(r.cores[1].computeIssued, 0u);
@@ -180,7 +180,7 @@ TEST(System, SoloElasticTwiceAsFastAsSoloPrivate)
         System sys(MachineConfig::forPolicy(p, 2));
         sys.setWorkload(0, "solo", compWorkload(65536));
         sys.setWorkload(1, "idle", {});
-        return sys.run(10'000'000).cores[0].finish;
+        return sys.run({.maxCycles = 10'000'000}).cores[0].finish;
     };
     const double ratio = static_cast<double>(solo(SharingPolicy::Private)) /
                          static_cast<double>(solo(SharingPolicy::Elastic));
@@ -195,7 +195,7 @@ TEST(System, FourCoreMachineRuns)
     sys.setWorkload(1, "m1", memWorkload());
     sys.setWorkload(2, "c0", compWorkload(65536));
     sys.setWorkload(3, "c1", compWorkload(65536));
-    const RunResult r = sys.run(20'000'000);
+    const RunResult r = sys.run({.maxCycles = 20'000'000});
     EXPECT_FALSE(r.timedOut);
     for (const auto &core : r.cores)
         EXPECT_GT(core.finish, 0u);
@@ -206,7 +206,7 @@ TEST(System, MaxCyclesCapSetsTimedOut)
     System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
     sys.setWorkload(0, "mem", memWorkload());
     sys.setWorkload(1, "comp", compWorkload());
-    const RunResult r = sys.run(100);
+    const RunResult r = sys.run({.maxCycles = 100});
     EXPECT_TRUE(r.timedOut);
 }
 
@@ -214,7 +214,8 @@ TEST(System, CorunHelperMatchesManualSetup)
 {
     const RunResult a = corun(
         SharingPolicy::Private,
-        {{"mem", memWorkload()}, {"comp", compWorkload()}}, 10'000'000);
+        {{"mem", memWorkload()}, {"comp", compWorkload()}},
+        {.maxCycles = 10'000'000});
     const RunResult b = runPairOn(SharingPolicy::Private);
     EXPECT_EQ(a.cores[0].finish, b.cores[0].finish);
     EXPECT_EQ(a.cores[1].finish, b.cores[1].finish);
@@ -228,7 +229,7 @@ TEST(System, BatchFcfsSchedulesAllQueuedWorkloads)
     for (int i = 0; i < 5; ++i)
         sys.enqueueWorkload("job" + std::to_string(i),
                             compWorkload(16384));
-    const RunResult r = sys.run(20'000'000);
+    const RunResult r = sys.run({.maxCycles = 20'000'000});
     ASSERT_FALSE(r.timedOut);
     ASSERT_EQ(r.batch.size(), 5u);
     for (const auto &b : r.batch) {
@@ -248,7 +249,7 @@ TEST(System, BatchPaysContextSwitchCost)
     sys.setWorkload(0, "idle0", {});
     sys.setWorkload(1, "idle1", {});
     sys.enqueueWorkload("a", compWorkload(16384));
-    const RunResult r = sys.run(20'000'000);
+    const RunResult r = sys.run({.maxCycles = 20'000'000});
     ASSERT_EQ(r.batch.size(), 1u);
     EXPECT_GE(r.batch[0].dispatched, 1000u);
 }
@@ -259,7 +260,7 @@ TEST(System, BatchMixesWithPinnedWorkloads)
     sys.setWorkload(0, "pinned", memWorkload());
     sys.setWorkload(1, "idle", {});
     sys.enqueueWorkload("queued", compWorkload(32768));
-    const RunResult r = sys.run(20'000'000);
+    const RunResult r = sys.run({.maxCycles = 20'000'000});
     ASSERT_FALSE(r.timedOut);
     ASSERT_EQ(r.batch.size(), 1u);
     // The idle core grabs the queued workload immediately-ish, long
@@ -280,7 +281,7 @@ TEST(System, OiAwareSchedulerPairsComplementaryWorkloads)
     sys.enqueueWorkload("mem_b", memWorkload());
     sys.enqueueWorkload("comp_a", compWorkload(65536));
     sys.enqueueWorkload("comp_b", compWorkload(65536));
-    const RunResult r = sys.run(40'000'000);
+    const RunResult r = sys.run({.maxCycles = 40'000'000});
     ASSERT_FALSE(r.timedOut);
     ASSERT_EQ(r.batch.size(), 4u);
     // The second dispatch must be a compute workload (complementary to
@@ -298,7 +299,7 @@ TEST(System, OiAwareNeverLosesWorkloads)
     for (int i = 0; i < 6; ++i)
         sys.enqueueWorkload("j" + std::to_string(i),
                             i % 2 ? compWorkload(16384) : memWorkload());
-    const RunResult r = sys.run(40'000'000);
+    const RunResult r = sys.run({.maxCycles = 40'000'000});
     ASSERT_FALSE(r.timedOut);
     EXPECT_EQ(r.batch.size(), 6u);
     for (const auto &b : r.batch)
@@ -318,7 +319,7 @@ TEST(System, OiAwareBeatsAdversarialFcfsOnOccamy)
         sys.enqueueWorkload("m1", memWorkload());
         sys.enqueueWorkload("c0", compWorkload(131072));
         sys.enqueueWorkload("c1", compWorkload(131072));
-        return sys.run(60'000'000).cycles;
+        return sys.run({.maxCycles = 60'000'000}).cycles;
     };
     EXPECT_LT(drain(SchedPolicy::OiAware),
               drain(SchedPolicy::Fcfs) * 101 / 100);
@@ -333,7 +334,7 @@ TEST(System, VlsBatchGetsEqualStaticShares)
     sys.setWorkload(1, "idle1", {});
     sys.enqueueWorkload("a", compWorkload(16384));
     sys.enqueueWorkload("b", compWorkload(16384));
-    const RunResult r = sys.run(40'000'000);
+    const RunResult r = sys.run({.maxCycles = 40'000'000});
     ASSERT_FALSE(r.timedOut);
     EXPECT_EQ(r.batch.size(), 2u);
 }

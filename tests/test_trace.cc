@@ -24,7 +24,7 @@ sampleRun()
                     {workloads::makeNamedPhase("rho_eos1", 8192)});
     sys.setWorkload(1, "comp",
                     {workloads::makeNamedPhase("wsm51", 16384)});
-    return sys.run(10'000'000);
+    return sys.run({.maxCycles = 10'000'000});
 }
 
 std::size_t
@@ -102,7 +102,7 @@ TEST(Trace, JsonRecordsBatchCompletions)
     sys.setWorkload(1, "idle1", {});
     sys.enqueueWorkload("queued",
                         {workloads::makeNamedPhase("wsm51", 16384)});
-    const RunResult r = sys.run(10'000'000);
+    const RunResult r = sys.run({.maxCycles = 10'000'000});
     const std::string json = trace::toJson(r);
     EXPECT_NE(json.find("\"name\":\"queued\""), std::string::npos);
 }
@@ -115,7 +115,7 @@ TEST(Trace, FourCoreRunWidensEveryExporter)
                         "w" + std::to_string(c),
                         {workloads::makeNamedPhase(
                             c % 2 ? "wsm51" : "rho_eos1", 4096)});
-    const RunResult r = sys.run(10'000'000);
+    const RunResult r = sys.run({.maxCycles = 10'000'000});
     ASSERT_EQ(r.cores.size(), 4u);
 
     std::ostringstream tl;
@@ -137,7 +137,7 @@ TEST(Trace, TimedOutRunIsStillExportable)
     sys.setWorkload(0, "long",
                     {workloads::makeNamedPhase("rho_eos1", 1u << 20)});
     sys.setWorkload(1, "idle", {});
-    const RunResult r = sys.run(/*max_cycles=*/2'000);
+    const RunResult r = sys.run({.maxCycles = 2'000});
     ASSERT_TRUE(r.timedOut);
 
     const std::string json = trace::toJson(r);
@@ -156,7 +156,7 @@ TEST(Trace, ZeroPhaseResultProducesHeadersOnly)
     System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
     sys.setWorkload(0, "idle0", {});
     sys.setWorkload(1, "idle1", {});
-    const RunResult r = sys.run(10'000);
+    const RunResult r = sys.run({.maxCycles = 10'000});
     ASSERT_FALSE(r.timedOut);
 
     std::ostringstream ph;
@@ -182,7 +182,7 @@ TEST(Trace, CsvQuotesAwkwardNamesAndJsonEscapesThem)
     System sys(MachineConfig::forPolicy(SharingPolicy::Private, 2));
     sys.setWorkload(0, "w,0", {evil});
     sys.setWorkload(1, "idle", {});
-    const RunResult r = sys.run(10'000'000);
+    const RunResult r = sys.run({.maxCycles = 10'000'000});
     ASSERT_FALSE(r.timedOut);
 
     std::ostringstream ph;

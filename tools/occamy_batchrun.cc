@@ -51,6 +51,8 @@ struct Options
     std::string traceOut;
     std::string traceEvents = "all";
     Cycle snapshotEvery = 0;
+    bool fastForward = true;
+    bool strictTimeout = false;
 };
 
 void
@@ -75,8 +77,13 @@ usage()
         "  --trace-events L categories: comma list of phase,pipeline,\n"
         "                   partition,reconfig,mem,sched or 'all'\n"
         "  --snapshot-every N  metric snapshot each N cycles\n"
+        "  --fast-forward on|off  skip quiescent cycle spans (default\n"
+        "                   on; results are identical either way)\n"
+        "  --strict-timeout exit 3 (with a stderr note) if any job hit\n"
+        "                   its --max-cycles cap\n"
         "  --list           print the pair catalog with indices\n"
-        "exit status: 0 all jobs ok, 1 some job failed, 2 usage error\n");
+        "exit status: 0 all jobs ok, 1 some job failed, 2 usage error,\n"
+        "             3 a job timed out under --strict-timeout\n");
 }
 
 std::optional<SharingPolicy>
@@ -212,6 +219,21 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.snapshotEvery = static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--fast-forward" ||
+                   arg.rfind("--fast-forward=", 0) == 0) {
+            std::string v;
+            if (arg.rfind("--fast-forward=", 0) == 0)
+                v = arg.substr(std::strlen("--fast-forward="));
+            else if (const char *n = next())
+                v = n;
+            if (v == "on")
+                opt.fastForward = true;
+            else if (v == "off")
+                opt.fastForward = false;
+            else
+                return false;
+        } else if (arg == "--strict-timeout") {
+            opt.strictTimeout = true;
         } else if (arg == "--progress") {
             opt.progress = true;
         } else if (arg == "--quiet") {
@@ -265,6 +287,7 @@ main(int argc, char **argv)
         if (!opt.traceOut.empty())
             spec.traceEvents = obs::parseEventMask(opt.traceEvents);
         spec.snapshotEvery = opt.snapshotEvery;
+        spec.fastForward = opt.fastForward;
     }
 
     const runner::SweepResult sweep =
@@ -350,5 +373,19 @@ main(int argc, char **argv)
             std::printf("wrote %s\n", opt.csvOut.c_str());
     }
 
+    if (opt.strictTimeout) {
+        std::size_t timed_out = 0;
+        for (const auto &j : sweep.jobs)
+            if (j.result.timedOut)
+                ++timed_out;
+        if (timed_out) {
+            std::fprintf(stderr,
+                         "%zu job(s) hit the %llu-cycle cap "
+                         "(--strict-timeout)\n",
+                         timed_out,
+                         static_cast<unsigned long long>(opt.maxCycles));
+            return 3;
+        }
+    }
     return sweep.allOk() ? 0 : 1;
 }

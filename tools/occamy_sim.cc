@@ -56,6 +56,8 @@ struct Options
     std::string traceOut;
     std::string traceEvents = "all";
     Cycle snapshotEvery = 0;
+    bool fastForward = true;
+    bool strictTimeout = false;
 };
 
 void
@@ -83,6 +85,10 @@ usage()
         "                 or 'all' (default all; needs --trace-out)\n"
         "  --snapshot-every N  metric snapshot each N cycles, rendered\n"
         "                 as counter tracks in the Chrome trace\n"
+        "  --fast-forward on|off  skip quiescent cycle spans (default\n"
+        "                 on; results are identical either way)\n"
+        "  --strict-timeout  exit 3 (with a stderr note) if any run\n"
+        "                 hit the --max-cycles cap\n"
         "  --list         list available workloads and exit\n");
 }
 
@@ -202,6 +208,21 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.snapshotEvery = static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--fast-forward" ||
+                   arg.rfind("--fast-forward=", 0) == 0) {
+            std::string v;
+            if (arg.rfind("--fast-forward=", 0) == 0)
+                v = arg.substr(std::strlen("--fast-forward="));
+            else if (const char *n = next())
+                v = n;
+            if (v == "on")
+                opt.fastForward = true;
+            else if (v == "off")
+                opt.fastForward = false;
+            else
+                return false;
+        } else if (arg == "--strict-timeout") {
+            opt.strictTimeout = true;
         } else if (arg == "--stats") {
             opt.stats = true;
         } else if (arg == "--list") {
@@ -332,6 +353,7 @@ main(int argc, char **argv)
                              : "batch/" + std::string(policyName(policy));
             spec.cfg = MachineConfig::forPolicy(policy, opt.cores);
             spec.maxCycles = opt.maxCycles;
+            spec.fastForward = opt.fastForward;
             if (!opt.traceOut.empty())
                 spec.traceEvents = obs::parseEventMask(opt.traceEvents);
             spec.snapshotEvery = opt.snapshotEvery;
@@ -371,6 +393,16 @@ main(int argc, char **argv)
             std::fprintf(stderr, "job %s failed: %s\n", j.label.c_str(),
                          j.error.c_str());
         printRun(opt.policies[i], j.result, opt);
+        // Keep the machine-readable --json stdout stream clean.
+        if (opt.fastForward && !opt.json && j.ff.cyclesTicked)
+            std::printf("engine: ticked %llu of %llu cycles "
+                        "(%.1fx fast-forward, %llu spans)\n",
+                        static_cast<unsigned long long>(j.ff.cyclesTicked),
+                        static_cast<unsigned long long>(
+                            j.ff.cyclesSimulated),
+                        static_cast<double>(j.ff.cyclesSimulated) /
+                            static_cast<double>(j.ff.cyclesTicked),
+                        static_cast<unsigned long long>(j.ff.spans));
 
         if (!opt.traceOut.empty()) {
             // One trace file per run; multi-policy sweeps get the
@@ -404,6 +436,20 @@ main(int argc, char **argv)
         std::ofstream ofs(opt.jsonOut);
         ofs << runner::sweepToJson(sweep) << "\n";
         std::printf("wrote %s\n", opt.jsonOut.c_str());
+    }
+    if (opt.strictTimeout) {
+        std::size_t timed_out = 0;
+        for (const auto &j : sweep.jobs)
+            if (j.result.timedOut)
+                ++timed_out;
+        if (timed_out) {
+            std::fprintf(stderr,
+                         "%zu run(s) hit the %llu-cycle cap "
+                         "(--strict-timeout)\n",
+                         timed_out,
+                         static_cast<unsigned long long>(opt.maxCycles));
+            return 3;
+        }
     }
     return sweep.allOk() ? 0 : 1;
 }
