@@ -61,6 +61,11 @@ const unsigned kDegrees[] = {0u, 4u, 8u, 16u, 32u, 64u};
 const unsigned kLqDepths[] = {4u, 8u, 16u, 32u, 64u};
 const unsigned kVregs[] = {96u, 128u, 160u, 224u, 320u};
 
+/** The static->work-conserving->elastic sharing ladder (section F). */
+const SharingPolicy kWcLadder[] = {SharingPolicy::StaticSpatial,
+                                   SharingPolicy::StaticSpatialWC,
+                                   SharingPolicy::Elastic};
+
 } // namespace
 
 int
@@ -105,6 +110,10 @@ main()
                                    .vregsPerBlk(regs)
                                    .build(),
                                "E/vregsPerBlk"));
+    for (SharingPolicy p : kWcLadder)
+        jobs.push_back(jobWith(
+            MachineConfig::Builder(p).cores(2).build(),
+            std::string("F/") + policyName(p)));
 
     const std::vector<RunResult> results = runAll(std::move(jobs));
     std::size_t at = 0;
@@ -178,5 +187,23 @@ main()
     }
     std::printf("  -> FTS approaches Occamy only with far more "
                 "physical registers (the paper's +33.5%% area).\n");
+
+    std::printf("\n[F] how much of Occamy's win is work conservation "
+                "alone? (VLS -> VLS-WC -> Occamy)\n");
+    std::printf("  %-10s %10s %10s %10s %12s\n", "policy", "c0 speedup",
+                "c1 speedup", "util", "vl switches");
+    for (SharingPolicy p : kWcLadder) {
+        const RunResult &r = results[at++];
+        std::printf("  %-10s %9.2fx %9.2fx %9.1f%% %12llu\n",
+                    policyName(p),
+                    static_cast<double>(results[0].cores[0].finish) /
+                        r.cores[0].finish,
+                    static_cast<double>(private_c1) / r.cores[1].finish,
+                    100.0 * r.simdUtil,
+                    static_cast<unsigned long long>(r.vlSwitches));
+    }
+    std::printf("  -> lending idle entitlements closes part of the "
+                "VLS->Occamy gap; OI-aware repartitioning of *active* "
+                "cores is the rest.\n");
     return 0;
 }

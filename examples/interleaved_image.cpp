@@ -76,7 +76,7 @@ timeIt(const char *tag, std::vector<kir::Loop> loops)
     System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
     sys.setWorkload(0, tag, std::move(loops));
     sys.setWorkload(1, "idle", {});
-    const RunResult r = sys.run(40'000'000);
+    const RunResult r = sys.run({.maxCycles = 40'000'000});
     std::printf("  %-28s %10llu cycles  (%.2f MB DRAM, util %.1f%%)\n",
                 tag, static_cast<unsigned long long>(r.cores[0].finish),
                 r.dramBytes / 1048576.0, 100.0 * r.simdUtil);

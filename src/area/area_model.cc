@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "policy/sharing_model.hh"
+
 namespace occamy
 {
 
@@ -32,15 +34,15 @@ AreaModel::breakdown(SharingPolicy policy, unsigned cores) const
     AreaBreakdown b;
     b.policy = policy;
     b.cores = cores;
+    const policy::SharingModel &model = policy::model(policy);
 
     const unsigned bus = 4 * cores;   // Equal SIMD resources per core.
 
-    // Register file: N RegBlks of 160 rows. FTS must hold a full-width
-    // context per core; beyond 2 cores that multiplies the rows by the
-    // core count (Section 7.6), instead of sharing one 160-row pool.
-    double regfile = kRegfilePerBu * bus;
-    if (policy == SharingPolicy::Temporal && cores > 2)
-        regfile *= cores;
+    // Register file: N RegBlks of 160 rows, scaled by the policy's
+    // context-holding cost (FTS must hold a full-width context per
+    // core; beyond 2 cores that multiplies the rows by the core count,
+    // Section 7.6, instead of sharing one 160-row pool).
+    double regfile = kRegfilePerBu * bus * model.regfileAreaScale(cores);
 
     const double per_core_scale = static_cast<double>(cores);
     double inst_pool = kInstPoolPerCore * per_core_scale;
@@ -49,7 +51,7 @@ AreaModel::breakdown(SharingPolicy policy, unsigned cores) const
     double dispatch = kDispatchPerCore * per_core_scale;
     double rob = kRobPerCore * per_core_scale;
     double lsu = kLsuPerCore * per_core_scale;
-    double manager = policy == SharingPolicy::Private ? 0.0 : kManager;
+    double manager = model.hasManagerBlock() ? kManager : 0.0;
 
     // Control/table growth when scaling past 2 cores (~3% per doubling
     // of the control-heavy structures, Section 4.2.1).

@@ -1,8 +1,12 @@
 #include "common/config.hh"
 
+#include <stdexcept>
+
 namespace occamy
 {
 
+// The one allowed policy-enum switch outside src/policy/: the enum ->
+// display-name mapping used by configs and result exporters.
 const char *
 policyName(SharingPolicy p)
 {
@@ -15,6 +19,8 @@ policyName(SharingPolicy p)
         return "VLS";
       case SharingPolicy::Elastic:
         return "Occamy";
+      case SharingPolicy::StaticSpatialWC:
+        return "VLS-WC";
     }
     return "?";
 }
@@ -25,6 +31,27 @@ MachineConfig::forPolicy(SharingPolicy p, unsigned cores)
     // The paper keeps total SIMD resources equal across architectures:
     // 16 lanes/core => 4 ExeBUs per core (the Builder default).
     return Builder(p).cores(cores).build();
+}
+
+MachineConfig
+MachineConfig::Builder::build() const
+{
+    MachineConfig out = cfg_;
+    if (!bus_set_)
+        out.numExeBUs = 4 * out.numCores;
+    if (!out.staticPlan.empty()) {
+        if (out.staticPlan.size() != out.numCores)
+            throw std::invalid_argument(
+                "MachineConfig: staticPlan must have one entry per core");
+        unsigned sum = 0;
+        for (unsigned share : out.staticPlan)
+            sum += share;
+        if (sum > out.numExeBUs)
+            throw std::invalid_argument(
+                "MachineConfig: staticPlan assigns more ExeBUs than "
+                "the machine has");
+    }
+    return out;
 }
 
 } // namespace occamy

@@ -17,7 +17,12 @@
 namespace occamy
 {
 
-/** The four SIMD architectures compared in the paper (Fig. 1). */
+/**
+ * The SIMD sharing architectures: the four compared in the paper
+ * (Fig. 1) plus registered extensions. The enum is a compact identity
+ * for results and configs; every behavioral difference lives in the
+ * policy::SharingModel registered for each value (src/policy/).
+ */
 enum class SharingPolicy
 {
     /** Core-private fixed-width SIMD units (Fig. 1a), e.g. Intel Xeon. */
@@ -28,9 +33,14 @@ enum class SharingPolicy
     StaticSpatial,
     /** Occamy's elastic spatial sharing (Fig. 1d). */
     Elastic,
+    /** Work-conserving VLS: statically entitled lanes, but an idle
+     *  core's share is lent to active cores until it returns — the
+     *  ablation point between VLS and Occamy. */
+    StaticSpatialWC,
 };
 
-/** @return the paper's short name for a policy (Private/FTS/VLS/Occamy). */
+/** @return the paper's short name for a policy
+ *  (Private/FTS/VLS/Occamy/VLS-WC). */
 const char *policyName(SharingPolicy p);
 
 /**
@@ -157,10 +167,19 @@ struct MachineConfig
     /** Total lanes (derived). */
     unsigned totalLanes() const { return numExeBUs * kLanesPerBu; }
 
-    /** ExeBUs statically owned by each core under Private. */
-    unsigned privateBusPerCore() const { return numExeBUs / numCores; }
+    /**
+     * ExeBUs statically owned by core @p core under an equal split:
+     * the floor share plus one of the remainder units, handed to the
+     * lowest-numbered cores — so every ExeBU is assigned even when
+     * numExeBUs % numCores != 0.
+     */
+    unsigned busShare(unsigned core) const
+    {
+        const unsigned rem = numExeBUs % numCores;
+        return numExeBUs / numCores + (core < rem ? 1 : 0);
+    }
 
-    /** @return config preset for one of the four architectures. */
+    /** @return config preset for a registered architecture. */
     static MachineConfig forPolicy(SharingPolicy p, unsigned cores = 2);
 
     class Builder;
@@ -252,13 +271,13 @@ class MachineConfig::Builder
         return *this;
     }
 
-    MachineConfig build() const
-    {
-        MachineConfig out = cfg_;
-        if (!bus_set_)
-            out.numExeBUs = 4 * out.numCores;
-        return out;
-    }
+    /**
+     * Finalize the config. Unless exeBUs() was called, sizes the
+     * machine at 4 ExeBUs per core. Validates a configured staticPlan
+     * (one entry per core, sum within the machine width), throwing
+     * std::invalid_argument on a malformed plan.
+     */
+    MachineConfig build() const;
 
   private:
     MachineConfig cfg_;

@@ -242,25 +242,12 @@ makeDup(int dst)
 CompileOptions
 CompileOptions::forMachine(const MachineConfig &cfg, unsigned fixed_vl_bus)
 {
+    const policy::SharingModel &model = policy::model(cfg.policy);
     CompileOptions o;
-    o.policy = cfg.policy;
+    o.codegen = model.codegen();
     o.maxVlBus = cfg.numExeBUs;
     o.fairShareBus = cfg.numExeBUs / cfg.numCores;
-    switch (cfg.policy) {
-      case SharingPolicy::Private:
-        o.fixedVlBus = cfg.privateBusPerCore();
-        break;
-      case SharingPolicy::Temporal:
-        o.fixedVlBus = cfg.numExeBUs;
-        break;
-      case SharingPolicy::StaticSpatial:
-        o.fixedVlBus =
-            fixed_vl_bus ? fixed_vl_bus : cfg.privateBusPerCore();
-        break;
-      case SharingPolicy::Elastic:
-        o.fixedVlBus = 0;
-        break;
-    }
+    o.fixedVlBus = model.compilerFixedVl(cfg, fixed_vl_bus);
     o.vecCacheBytes = cfg.vecCache.sizeBytes;
     o.l2Bytes = cfg.l2.sizeBytes;
     o.monitorPeriod = cfg.monitorPeriod;
@@ -350,8 +337,8 @@ Compiler::compileLoop(const kir::Loop &loop,
             invariant_init.push_back(makeDup(kFirstAcc + static_cast<int>(a)));
 
     // --- Default vector length. ---
-    const bool elastic = opts_.policy == SharingPolicy::Elastic;
-    if (elastic) {
+    const policy::CodegenTraits &traits = opts_.codegen;
+    if (traits.kneeDefaultVl) {
         const unsigned knee = kneeVl(opts_.roofline, phase.oi,
                                      opts_.maxVlBus);
         vloop.defaultVl = std::min(knee, opts_.fairShareBus);
@@ -362,14 +349,14 @@ Compiler::compileLoop(const kir::Loop &loop,
     }
 
     // --- Eager partitioning: phase prologue (Fig. 9). ---
-    if (elastic)
+    if (traits.phaseOi)
         vloop.prologue.push_back(makeMsrOI(phase.oi));
     vloop.prologue.push_back(makeMsrVL(vloop.defaultVl));
     for (const auto &inst : invariant_init)
         vloop.prologue.push_back(inst);
 
-    // --- Lazy partitioning: monitor + reconfiguration (elastic only). ---
-    if (elastic) {
+    // --- Lazy partitioning: monitor + reconfiguration. ---
+    if (traits.monitor) {
         Inst mon;
         mon.op = Opcode::MrsDecision;
         mon.dst = 4;    // x4 per Fig. 9.
@@ -398,11 +385,12 @@ Compiler::compileLoop(const kir::Loop &loop,
             vloop.epilogue.push_back(red);
         }
     }
-    if (elastic) {
+    if (traits.phaseOi) {
         PhaseOI zero;
         vloop.epilogue.push_back(makeMsrOI(zero));
-        vloop.epilogue.push_back(makeMsrVL(0));
     }
+    if (traits.releaseLanes)
+        vloop.epilogue.push_back(makeMsrVL(0));
 
     // --- Multi-version scalar fallback (Section 6.3). ---
     for (unsigned i = 0; i < phase.memInsts; ++i) {

@@ -25,22 +25,27 @@
 #include "isa/inst.hh"
 #include "kir/kir.hh"
 #include "lanemgr/roofline.hh"
+#include "policy/sharing_model.hh"
 
 namespace occamy
 {
 
-/** Per-compilation options; policy decides which EM-SIMD code to emit. */
+/** Per-compilation options; the target policy's CodegenTraits decide
+ *  which EM-SIMD code-insertion strategies apply. */
 struct CompileOptions
 {
-    /** Target architecture's sharing policy. */
-    SharingPolicy policy = SharingPolicy::Elastic;
+    /** Code-insertion strategy of the target policy (which EM-SIMD
+     *  blocks to emit, how the default VL is picked). Defaults to the
+     *  full elastic strategy. */
+    policy::CodegenTraits codegen;
 
     /** Machine-wide number of ExeBUs (max vector length in BUs). */
     unsigned maxVlBus = 8;
 
     /**
-     * Fixed vector length in BUs for Private/VLS/FTS targets (ignored by
-     * Elastic, which negotiates at run time).
+     * Fixed vector length in BUs for targets whose traits disable
+     * knee-based default-VL selection (Private/VLS/FTS entitlements);
+     * ignored when CodegenTraits::kneeDefaultVl is set.
      */
     unsigned fixedVlBus = 4;
 

@@ -28,7 +28,7 @@ pipeEvent(Cycle now, obs::EventKind kind, const DynInst &inst)
 } // namespace
 
 CoProcessor::CoProcessor(const MachineConfig &cfg, MemSystem &mem)
-    : cfg_(cfg), mem_(mem),
+    : cfg_(cfg), model_(policy::model(cfg.policy)), mem_(mem),
       rt_(cfg.numCores, cfg.numExeBUs),
       dispatch_cfg_(cfg.numExeBUs),
       regfile_cfg_(cfg.numExeBUs),
@@ -36,42 +36,33 @@ CoProcessor::CoProcessor(const MachineConfig &cfg, MemSystem &mem)
       lane_mgr_(RooflineParams::fromConfig(cfg), cfg.numExeBUs,
                 cfg.laneMgrLatency)
 {
-    // Under FTS the single full-width unit's load/store queues are
-    // statically split between the cores (SMT-style), so each core sees
-    // a fraction of the 2-core-per-core queue capacity -- the store-
-    // queue competition Section 2 blames for FTS's issue-rate drop.
+    // Let the policy adjust per-core structure sizing (FTS statically
+    // splits the single full-width unit's load/store queues between
+    // the cores -- the store-queue competition Section 2 blames for
+    // FTS's issue-rate drop).
     MachineConfig core_cfg = cfg;
-    if (cfg.policy == SharingPolicy::Temporal) {
-        core_cfg.loadQueueEntries =
-            std::max(1u, cfg.loadQueueEntries / cfg.numCores);
-        core_cfg.storeQueueEntries =
-            std::max(1u, cfg.storeQueueEntries / cfg.numCores);
-    }
+    model_.tuneCoreConfig(core_cfg);
     cores_.reserve(cfg.numCores);
     for (unsigned c = 0; c < cfg.numCores; ++c)
         cores_.emplace_back(core_cfg);
     busy_lanes_.assign(cfg.numCores, 0);
 
     // Boot-time lane ownership.
-    switch (cfg_.policy) {
-      case SharingPolicy::Private:
-      case SharingPolicy::StaticSpatial: {
+    switch (model_.bootOwnership()) {
+      case policy::BootOwnership::StaticPlan:
         // Static plan: equal split unless the config carries one.
         for (unsigned c = 0; c < cfg_.numCores; ++c) {
-            unsigned share = cfg_.staticPlan.empty()
-                                 ? cfg_.privateBusPerCore()
-                                 : cfg_.staticPlan[c];
-            applyVl(static_cast<CoreId>(c), share);
+            applyVl(static_cast<CoreId>(c),
+                    policy::bootShare(cfg_, static_cast<CoreId>(c)));
             rt_.core(static_cast<CoreId>(c)).status = true;
         }
         break;
-      }
-      case SharingPolicy::Temporal:
+      case policy::BootOwnership::FullWidthNoOwnership:
         // No ownership: every instruction executes full-width.
         for (unsigned c = 0; c < cfg_.numCores; ++c)
             rt_.retarget(static_cast<CoreId>(c), 0);
         break;
-      case SharingPolicy::Elastic:
+      case policy::BootOwnership::AllFree:
         // All lanes start free; workload prologues claim them.
         break;
     }
@@ -123,7 +114,7 @@ bool
 CoProcessor::coreDrained(CoreId c) const
 {
     const CoreState &cs = cores_[c];
-    if (cfg_.policy == SharingPolicy::Temporal)
+    if (!model_.drainIncludesLsu())
         return cs.pool.empty() && cs.rob.empty();
     return cs.pool.empty() && cs.rob.empty() && cs.lsu.empty();
 }
@@ -131,7 +122,7 @@ CoProcessor::coreDrained(CoreId c) const
 unsigned
 CoProcessor::allocatedLanes(CoreId c) const
 {
-    if (cfg_.policy == SharingPolicy::Temporal)
+    if (model_.fullWidthExecution())
         return cfg_.totalLanes();
     return rt_.core(c).vl * kLanesPerBu;
 }
@@ -187,7 +178,9 @@ CoProcessor::nextEventAt(Cycle now) const
 
     // A pending lane-partition plan publishes at a fixed cycle and
     // changes <decision> state even with every pipeline drained.
-    if (cfg_.policy == SharingPolicy::Elastic)
+    // (Rule-based policies update <decision> eagerly on EM-SIMD
+    // execution, which the per-core candidates below already track.)
+    if (model_.usesLaneManager())
         consider(lane_mgr_.planReadyAt());
 
     for (unsigned ci = 0; ci < cores_.size(); ++ci) {
@@ -214,9 +207,7 @@ CoProcessor::nextEventAt(Cycle now) const
         // (non-FTS) the issue stage skips this core entirely until a
         // reconfiguration — which is itself a wake event — grants
         // lanes again.
-        const bool issueable = cfg_.policy == SharingPolicy::Temporal ||
-                               rt_.core(c).vl > 0;
-        if (issueable) {
+        if (model_.issueEligible(rt_, c)) {
             for (SeqNum seq : cs.iq) {
                 const DynInst &inst =
                     cs.rob[static_cast<std::size_t>(seq - cs.robBase)];
@@ -265,7 +256,7 @@ CoProcessor::nextEventAt(Cycle now) const
 void
 CoProcessor::skipCycles(Cycle span)
 {
-    if (cfg_.policy == SharingPolicy::Temporal && !cores_.empty())
+    if (model_.sharedIssueBudgets() && !cores_.empty())
         rr_start_ = static_cast<unsigned>((rr_start_ + span) %
                                           cores_.size());
 }
@@ -369,7 +360,7 @@ CoProcessor::tryIssue(CoreId c, SeqNum seq, Cycle now,
 void
 CoProcessor::issueStage(Cycle now)
 {
-    if (cfg_.policy == SharingPolicy::Temporal) {
+    if (model_.sharedIssueBudgets()) {
         // One full-width unit: issue budgets shared by all cores,
         // arbitrated round-robin for fairness.
         unsigned compute_budget = cfg_.computeIssueWidth;
@@ -400,7 +391,7 @@ CoProcessor::issueStage(Cycle now)
     } else {
         for (unsigned c = 0; c < cores_.size(); ++c) {
             CoreState &cs = cores_[c];
-            if (rt_.core(static_cast<CoreId>(c)).vl == 0)
+            if (!model_.issueEligible(rt_, static_cast<CoreId>(c)))
                 continue;
             unsigned compute_budget = cfg_.computeIssueWidth;
             unsigned mem_budget = cfg_.memIssueWidth;
@@ -499,6 +490,9 @@ CoProcessor::applyVl(CoreId c, unsigned target, Cycle now)
     rt_.retarget(c, target);
     assert(rt_.al() == dispatch_cfg_.countFree());
     ++vl_switches_;
+    // Ownership changed: rule-based policies refresh <decision> here,
+    // eagerly, so skipped (fast-forwarded) cycles never miss one.
+    model_.updateDecisions(cfg_, rt_);
     if (sink_ && sink_->wants(obs::EventKind::VlApply)) {
         obs::Event ev;
         ev.cycle = now;
@@ -527,57 +521,43 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
             ev.y = inst.oi.mem;
             sink_->record(ev);
         }
-        if (cfg_.policy == SharingPolicy::Elastic)
+        if (model_.usesLaneManager())
             lane_mgr_.notifyPhaseEvent(now);
+        // Phase activity changed: rule-based policies republish
+        // <decision> eagerly (no-op for the LaneMgr-driven policy).
+        model_.updateDecisions(cfg_, rt_);
         return true;
 
       case Opcode::MsrVL: {
-        unsigned target;
-        if (inst.vlFromDecision) {
-            const unsigned d = rt_.core(c).decision;
-            target = d > 0 ? d : rt_.core(c).vl;
-        } else {
-            target = inst.imm;
-        }
+        const unsigned target = vlTarget(c, inst);
+        const policy::VlOutcome out =
+            model_.resolveVl(cfg_, rt_, c, target, coreDrained(c));
 
-        if (cfg_.policy == SharingPolicy::Temporal) {
-            // Full-width unit shared in time: <VL> is the machine width.
-            rt_.core(c).vl = cfg_.numExeBUs;
-            rt_.core(c).status = true;
-            cs.vlReq = VlRequestStatus{true, true};
-            return true;
-        }
-
-        if (target == rt_.core(c).vl) {
-            rt_.core(c).status = true;
-            cs.vlReq = VlRequestStatus{true, true};
-            return true;
-        }
-
-        if (cfg_.policy != SharingPolicy::Elastic) {
-            // Private / VLS never change the boot-time partition.
-            rt_.core(c).status = false;
-            cs.vlReq = VlRequestStatus{true, false};
-            return true;
-        }
-
-        if (target > rt_.core(c).vl + rt_.al()) {
-            // Not enough free lanes (Section 4.2.2 condition (1)).
-            rt_.core(c).status = false;
-            cs.vlReq = VlRequestStatus{true, false};
-            return true;
-        }
-
-        if (!coreDrained(c)) {
+        if (out.action == policy::VlOutcome::Action::Wait) {
             // Wait at the head of the EM-SIMD queue until the SIMD
-            // pipeline of this core is drained (condition (2)).
+            // pipeline of this core is drained (Section 4.2.2
+            // condition (2)).
             return false;
         }
 
-        applyVl(c, target, now);
+        if (out.action == policy::VlOutcome::Action::Reject) {
+            rt_.core(c).status = false;
+            cs.vlReq = VlRequestStatus{true, false};
+            return true;
+        }
+
+        if (model_.fullWidthExecution()) {
+            // No ownership tables to update: <VL> is written directly.
+            rt_.core(c).vl = out.vl;
+            rt_.core(c).status = true;
+        } else if (out.vl == rt_.core(c).vl) {
+            rt_.core(c).status = true;
+        } else {
+            applyVl(c, out.vl, now);
+            OCCAMY_LOG(now, "Coproc", "core%u vl -> %u (al=%u)", c,
+                       out.vl, rt_.al());
+        }
         cs.vlReq = VlRequestStatus{true, true};
-        OCCAMY_LOG(now, "Coproc", "core%u vl -> %u (al=%u)", c, target,
-                   rt_.al());
         return true;
       }
 
@@ -598,31 +578,31 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
 bool
 CoProcessor::emHeadWaits(CoreId c, const DynInst &inst) const
 {
-    // Mirrors execEmSimd: only an Elastic-policy MsrVL can wait, and
-    // only when the request is a real, grantable resize of an
-    // undrained pipeline. Every other head retires when executed.
-    if (inst.op != Opcode::MsrVL ||
-        cfg_.policy != SharingPolicy::Elastic)
+    // Mirrors execEmSimd: only a MsrVL the policy resolves to Wait (a
+    // real, grantable resize of an undrained pipeline) stalls. Every
+    // other head retires when executed.
+    if (inst.op != Opcode::MsrVL)
         return false;
-    unsigned target;
+    const policy::VlOutcome out = model_.resolveVl(
+        cfg_, rt_, c, vlTarget(c, inst), coreDrained(c));
+    return out.action == policy::VlOutcome::Action::Wait;
+}
+
+unsigned
+CoProcessor::vlTarget(CoreId c, const DynInst &inst) const
+{
     if (inst.vlFromDecision) {
         const unsigned d = rt_.core(c).decision;
-        target = d > 0 ? d : rt_.core(c).vl;
-    } else {
-        target = inst.imm;
+        return d > 0 ? d : rt_.core(c).vl;
     }
-    if (target == rt_.core(c).vl)
-        return false;
-    if (target > rt_.core(c).vl + rt_.al())
-        return false;
-    return !coreDrained(c);
+    return inst.imm;
 }
 
 void
 CoProcessor::managerStage(Cycle now)
 {
     // Publish a due lane-partition plan into <decision> (Section 5).
-    if (cfg_.policy == SharingPolicy::Elastic && lane_mgr_.planDue(now)) {
+    if (model_.usesLaneManager() && lane_mgr_.planDue(now)) {
         const auto plan = lane_mgr_.makePlan(rt_.allOIs(), now);
         for (unsigned c = 0; c < cores_.size(); ++c)
             rt_.core(static_cast<CoreId>(c)).decision = plan[c];

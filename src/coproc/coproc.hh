@@ -9,13 +9,17 @@
  * path (ResourceTbl updates, LaneMgr plans, vector-length
  * reconfiguration with pipeline-drain semantics, Section 4.2.2).
  *
- * The four sharing policies map onto the same structures:
+ * The sharing policies map onto the same structures; every
+ * policy-conditional behavior (boot ownership, issue eligibility,
+ * drain rules, <VL> resolution) is delegated to the config's
+ * policy::SharingModel:
  *  - Private: ExeBUs/RegBlks statically owned, per-core issue budgets;
  *  - FTS: no ownership, full-width execution, *shared* issue budgets
  *    and one shared full-width physical register pool;
  *  - VLS: static ownership from a boot-time plan;
  *  - Elastic (Occamy): ownership retargeted at run time by EM-SIMD
- *    instructions under LaneMgr guidance.
+ *    instructions under LaneMgr guidance;
+ *  - extensions (e.g. VLS-WC) plug in via the policy registry.
  */
 
 #ifndef OCCAMY_COPROC_COPROC_HH
@@ -34,6 +38,7 @@
 #include "lanemgr/lanemgr.hh"
 #include "mem/memsystem.hh"
 #include "obs/sink.hh"
+#include "policy/sharing_model.hh"
 
 namespace occamy
 {
@@ -178,10 +183,16 @@ class CoProcessor
      *  retire if executed now. Mirrors execEmSimd's wait path. */
     bool emHeadWaits(CoreId c, const DynInst &inst) const;
 
+    /** Decode the VL (in BUs) a MsrVL instruction requests: its
+     *  immediate, or the core's <decision> register (falling back to
+     *  the current <VL> when no decision is published). */
+    unsigned vlTarget(CoreId c, const DynInst &inst) const;
+
     /** Apply a successful vector-length retarget for core @p c. */
     void applyVl(CoreId c, unsigned target, Cycle now = 0);
 
     MachineConfig cfg_;
+    const policy::SharingModel &model_;
     MemSystem &mem_;
 
     ResourceTable rt_;

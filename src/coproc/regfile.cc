@@ -2,11 +2,13 @@
 
 #include <cassert>
 
+#include "policy/sharing_model.hh"
+
 namespace occamy
 {
 
 RegFileModel::RegFileModel(const MachineConfig &cfg)
-    : shared_(cfg.policy == SharingPolicy::Temporal),
+    : shared_(policy::model(cfg.policy).sharedRegfilePool()),
       rows_(cfg.vregsPerBlk),
       pools_(shared_ ? 1 : cfg.numCores)
 {

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Occamy (Fig. 1d): elastic spatial sharing. Lanes start free and are
+ * negotiated at run time by EM-SIMD instructions under LaneMgr
+ * guidance; <VL> writes follow Section 4.2.2's grant/reject/wait
+ * discipline with pipeline-drain semantics.
+ */
+
+#include "coproc/tables.hh"
+#include "policy/models.hh"
+
+namespace occamy::policy
+{
+
+VlOutcome
+ElasticModel::resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
+                        CoreId c, unsigned requested, bool drained) const
+{
+    (void)cfg;
+    if (requested == rt.core(c).vl)
+        return VlOutcome::grant(requested);
+    if (requested > rt.core(c).vl + rt.al()) {
+        // Not enough free lanes (Section 4.2.2 condition (1)).
+        return VlOutcome::reject();
+    }
+    if (!drained) {
+        // Wait at the head of the EM-SIMD queue until the SIMD
+        // pipeline of this core is drained (condition (2)).
+        return VlOutcome::wait();
+    }
+    return VlOutcome::grant(requested);
+}
+
+unsigned
+ElasticModel::compilerFixedVl(const MachineConfig &cfg,
+                              unsigned fixed_vl_bus) const
+{
+    (void)cfg;
+    (void)fixed_vl_bus;
+    // VL is negotiated at run time; nothing is fixed at compile time.
+    return 0;
+}
+
+SharingModel *
+makeElasticModel()
+{
+    return new ElasticModel();
+}
+
+} // namespace occamy::policy

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The concrete sharing models: the four paper architectures (Fig. 1)
+ * plus the work-conserving VLS extension. Declared together so
+ * extensions can subclass a paper policy (VLS-WC refines VLS) and so
+ * registry.cc can instantiate them explicitly — static self-
+ * registration would risk the linker dropping unreferenced objects
+ * from the static library.
+ */
+
+#ifndef OCCAMY_POLICY_MODELS_HH
+#define OCCAMY_POLICY_MODELS_HH
+
+#include "policy/sharing_model.hh"
+
+namespace occamy::policy
+{
+
+/** Core-private fixed-width SIMD units (Fig. 1a). */
+class PrivateModel : public SharingModel
+{
+  public:
+    PrivateModel() : SharingModel(SharingPolicy::Private, "private") {}
+
+    BootOwnership bootOwnership() const override
+    {
+        return BootOwnership::StaticPlan;
+    }
+    VlOutcome resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
+                        CoreId c, unsigned requested,
+                        bool drained) const override;
+    unsigned compilerFixedVl(const MachineConfig &cfg,
+                             unsigned fixed_vl_bus) const override;
+    unsigned perCoreFixedVl(const MachineConfig &cfg,
+                            CoreId c) const override;
+    bool hasManagerBlock() const override { return false; }
+};
+
+/** Fine temporal sharing of one full-width unit, "FTS" (Fig. 1b). */
+class TemporalModel : public SharingModel
+{
+  public:
+    TemporalModel()
+        : SharingModel(SharingPolicy::Temporal, "fts", {"temporal"})
+    {
+    }
+
+    void tuneCoreConfig(MachineConfig &core_cfg) const override;
+    BootOwnership bootOwnership() const override
+    {
+        return BootOwnership::FullWidthNoOwnership;
+    }
+    bool fullWidthExecution() const override { return true; }
+    bool sharedIssueBudgets() const override { return true; }
+    bool sharedRegfilePool() const override { return true; }
+    bool drainIncludesLsu() const override { return false; }
+    bool issueEligible(const ResourceTable &rt, CoreId c) const override;
+    VlOutcome resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
+                        CoreId c, unsigned requested,
+                        bool drained) const override;
+    unsigned compilerFixedVl(const MachineConfig &cfg,
+                             unsigned fixed_vl_bus) const override;
+    double regfileAreaScale(unsigned cores) const override;
+};
+
+/** Static spatial partitioning of the lanes, "VLS" (Fig. 1c). */
+class StaticSpatialModel : public SharingModel
+{
+  public:
+    StaticSpatialModel()
+        : SharingModel(SharingPolicy::StaticSpatial, "vls", {"static"})
+    {
+    }
+
+    BootOwnership bootOwnership() const override
+    {
+        return BootOwnership::StaticPlan;
+    }
+    bool wantsOfflineStaticPlan() const override { return true; }
+    void resolveStaticPlan(
+        MachineConfig &cfg,
+        const std::vector<std::vector<PhaseOI>> &phase_ois,
+        const std::vector<bool> &will_run) const override;
+    VlOutcome resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
+                        CoreId c, unsigned requested,
+                        bool drained) const override;
+    unsigned compilerFixedVl(const MachineConfig &cfg,
+                             unsigned fixed_vl_bus) const override;
+    unsigned perCoreFixedVl(const MachineConfig &cfg,
+                            CoreId c) const override;
+
+  protected:
+    /** For refinements that keep VLS's offline plan but change the
+     *  run-time discipline (VLS-WC). */
+    using SharingModel::SharingModel;
+};
+
+/** Occamy's elastic spatial sharing (Fig. 1d). */
+class ElasticModel : public SharingModel
+{
+  public:
+    ElasticModel()
+        : SharingModel(SharingPolicy::Elastic, "occamy", {"elastic"})
+    {
+    }
+
+    bool usesLaneManager() const override { return true; }
+    VlOutcome resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
+                        CoreId c, unsigned requested,
+                        bool drained) const override;
+    CodegenTraits codegen() const override { return CodegenTraits{}; }
+    unsigned compilerFixedVl(const MachineConfig &cfg,
+                             unsigned fixed_vl_bus) const override;
+};
+
+SharingModel *makePrivateModel();
+SharingModel *makeTemporalModel();
+SharingModel *makeStaticSpatialModel();
+SharingModel *makeElasticModel();
+SharingModel *makeVlsWcModel();
+
+} // namespace occamy::policy
+
+#endif // OCCAMY_POLICY_MODELS_HH

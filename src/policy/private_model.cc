@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Private (Fig. 1a): each core owns a fixed share of the ExeBUs for
+ * the machine's lifetime. <VL> writes can only confirm the boot-time
+ * width; there is no Manager block to pay area for.
+ */
+
+#include "coproc/tables.hh"
+#include "policy/models.hh"
+
+namespace occamy::policy
+{
+
+VlOutcome
+PrivateModel::resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
+                        CoreId c, unsigned requested, bool drained) const
+{
+    (void)cfg;
+    (void)drained;
+    // The boot-time partition never changes.
+    if (requested == rt.core(c).vl)
+        return VlOutcome::grant(requested);
+    return VlOutcome::reject();
+}
+
+unsigned
+PrivateModel::compilerFixedVl(const MachineConfig &cfg,
+                              unsigned fixed_vl_bus) const
+{
+    return fixed_vl_bus ? fixed_vl_bus : cfg.numExeBUs / cfg.numCores;
+}
+
+unsigned
+PrivateModel::perCoreFixedVl(const MachineConfig &cfg, CoreId c) const
+{
+    return bootShare(cfg, c);
+}
+
+SharingModel *
+makePrivateModel()
+{
+    return new PrivateModel();
+}
+
+} // namespace occamy::policy

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The name-keyed sharing-model registry. Models are constructed once,
+ * explicitly, in presentation order — the four paper architectures
+ * first, extensions after. Explicit construction (instead of static
+ * self-registration) keeps the registry immune to the linker dropping
+ * unreferenced translation units from the static library.
+ */
+
+#include <cassert>
+
+#include "policy/models.hh"
+
+namespace occamy::policy
+{
+
+const std::vector<const SharingModel *> &
+allModels()
+{
+    static const std::vector<const SharingModel *> models = {
+        makePrivateModel(),
+        makeTemporalModel(),
+        makeStaticSpatialModel(),
+        makeElasticModel(),
+        makeVlsWcModel(),
+    };
+    return models;
+}
+
+const SharingModel &
+model(SharingPolicy p)
+{
+    for (const SharingModel *m : allModels())
+        if (m->id() == p)
+            return *m;
+    assert(false && "unregistered sharing policy");
+    return *allModels().front();
+}
+
+const SharingModel *
+modelByName(std::string_view name)
+{
+    for (const SharingModel *m : allModels()) {
+        if (name == m->key())
+            return m;
+        for (const std::string &alias : m->aliases())
+            if (name == alias)
+                return m;
+    }
+    return nullptr;
+}
+
+} // namespace occamy::policy

@@ -1,0 +1,32 @@
+#include "policy/sharing_model.hh"
+
+#include "coproc/tables.hh"
+
+namespace occamy::policy
+{
+
+void
+SharingModel::resolveStaticPlan(
+    MachineConfig &cfg, const std::vector<std::vector<PhaseOI>> &phase_ois,
+    const std::vector<bool> &will_run) const
+{
+    (void)cfg;
+    (void)phase_ois;
+    (void)will_run;
+}
+
+bool
+SharingModel::issueEligible(const ResourceTable &rt, CoreId c) const
+{
+    // Spatial designs: a core with no lanes has nothing to issue to
+    // until a reconfiguration grants some again.
+    return rt.core(c).vl > 0;
+}
+
+unsigned
+bootShare(const MachineConfig &cfg, CoreId c)
+{
+    return cfg.staticPlan.empty() ? cfg.busShare(c) : cfg.staticPlan[c];
+}
+
+} // namespace occamy::policy

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The SharingModel strategy layer: one object per SIMD sharing
+ * architecture (Fig. 1) owning every policy-conditional behavior that
+ * used to live in `switch (cfg.policy)` blocks across the co-processor,
+ * system, compiler, register file and area model.
+ *
+ * The split follows the paper's own taxonomy:
+ *  - boot-time lane ownership and offline partition planning (§7.1);
+ *  - structural sharing of the issue budgets, LSU queues and physical
+ *    register pool (FTS, §2);
+ *  - VL-request resolution with grant/reject/wait semantics (§4.2.2);
+ *  - the EM-SIMD code-insertion strategy (§6, Fig. 9);
+ *  - area-model hooks (§7.3, Fig. 12).
+ *
+ * Adding a sharing scheme means subclassing SharingModel in one new
+ * translation unit and registering it in registry.cc; nothing outside
+ * src/policy/ branches on the policy enum (a CI lint enforces this).
+ * The registry is name-keyed so command-line tools select policies by
+ * string (`--policy vls-wc`).
+ */
+
+#ifndef OCCAMY_POLICY_SHARING_MODEL_HH
+#define OCCAMY_POLICY_SHARING_MODEL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace occamy
+{
+
+class ResourceTable;
+
+namespace policy
+{
+
+/** How the co-processor assigns ExeBUs/RegBlks at boot. */
+enum class BootOwnership
+{
+    /** All lanes start free; workload prologues claim them (Elastic). */
+    AllFree,
+    /** Each core owns its boot share up front (Private / VLS). */
+    StaticPlan,
+    /** No ownership: every instruction executes full-width (FTS). */
+    FullWidthNoOwnership,
+};
+
+/** Outcome of resolving a <VL> write request (Section 4.2.2). */
+struct VlOutcome
+{
+    enum class Action
+    {
+        Grant,      ///< Write succeeds; vl is the granted width in BUs.
+        Reject,     ///< <status> = false; software retries (Fig. 9).
+        Wait,       ///< Head stalls until the core's pipeline drains.
+    };
+
+    Action action = Action::Reject;
+    unsigned vl = 0;    ///< Granted vector length in BUs (Grant only).
+
+    static VlOutcome grant(unsigned vl) { return {Action::Grant, vl}; }
+    static VlOutcome reject() { return {Action::Reject, 0}; }
+    static VlOutcome wait() { return {Action::Wait, 0}; }
+};
+
+/**
+ * The compiler's per-policy code-insertion strategy (Fig. 9): which
+ * EM-SIMD blocks to emit around the vectorized loop. Defaults describe
+ * the full elastic structure; fixed-VL policies switch everything off.
+ */
+struct CodegenTraits
+{
+    /** Emit MSR <OI> in the phase prologue and MSR <OI>,0 in the
+     *  epilogue (phase begin/end notification to the Manager). */
+    bool phaseOi = true;
+
+    /** Emit the lazy-partitioning blocks: the per-iteration partition
+     *  monitor (MRS <decision>), the reconfiguration retry loop
+     *  (MSR <VL>, <decision>) and the re-init block (§6.4). */
+    bool monitor = true;
+
+    /** Emit the epilogue lane release (MSR <VL>,0). */
+    bool releaseLanes = true;
+
+    /** Default VL = roofline knee capped at the fair share (§6.2);
+     *  false = the fixed per-core VL configured at compile time. */
+    bool kneeDefaultVl = true;
+
+    static CodegenTraits fixedVl()
+    {
+        return CodegenTraits{false, false, false, false};
+    }
+};
+
+/**
+ * Strategy interface for one SIMD sharing architecture. Instances are
+ * immutable singletons owned by the registry; all mutable state stays
+ * in the components that consult them.
+ */
+class SharingModel
+{
+  public:
+    SharingModel(SharingPolicy id, const char *key,
+                 std::vector<std::string> aliases = {})
+        : id_(id), key_(key), aliases_(std::move(aliases))
+    {
+    }
+
+    virtual ~SharingModel() = default;
+
+    SharingModel(const SharingModel &) = delete;
+    SharingModel &operator=(const SharingModel &) = delete;
+
+    /** Enum identity (kept for compact storage in results/configs). */
+    SharingPolicy id() const { return id_; }
+
+    /** Canonical registry key, e.g. "vls-wc" (lowercase, stable). */
+    const char *key() const { return key_; }
+
+    /** Alternate accepted names (e.g. "temporal" for "fts"). */
+    const std::vector<std::string> &aliases() const { return aliases_; }
+
+    /** The paper's display name (Private/FTS/VLS/Occamy/...). */
+    const char *paperName() const { return policyName(id_); }
+
+    // --- Boot / configuration hooks. ---
+
+    /** Adjust the per-core structure sizing before the co-processor
+     *  builds its cores (FTS statically splits the LSU queues). */
+    virtual void tuneCoreConfig(MachineConfig &core_cfg) const
+    {
+        (void)core_cfg;
+    }
+
+    /** Boot-time ExeBU/RegBlk ownership discipline. */
+    virtual BootOwnership bootOwnership() const
+    {
+        return BootOwnership::AllFree;
+    }
+
+    /** True when the System must compute an offline static lane plan
+     *  before construction (VLS-style policies, §7.1). */
+    virtual bool wantsOfflineStaticPlan() const { return false; }
+
+    /**
+     * Fill cfg.staticPlan from the workloads' phase OIs. @p will_run
+     * flags cores that start empty but will receive batch-queued work
+     * and therefore still need a share. Only called when
+     * wantsOfflineStaticPlan() and the config carries no plan.
+     */
+    virtual void resolveStaticPlan(
+        MachineConfig &cfg,
+        const std::vector<std::vector<PhaseOI>> &phase_ois,
+        const std::vector<bool> &will_run) const;
+
+    // --- Structural sharing (the FTS axis). ---
+
+    /** One full-width unit: allocatedLanes == machine width and <VL>
+     *  writes bypass the ownership tables. */
+    virtual bool fullWidthExecution() const { return false; }
+
+    /** Issue budgets are machine-wide and arbitrated round-robin
+     *  instead of per-core. */
+    virtual bool sharedIssueBudgets() const { return false; }
+
+    /** One shared physical register pool with pinned full-width
+     *  per-core contexts instead of per-core RegBlk pools. */
+    virtual bool sharedRegfilePool() const { return false; }
+
+    /** Whether coreDrained() requires the LSU queues to be empty
+     *  (FTS context switches don't wait for them). */
+    virtual bool drainIncludesLsu() const { return true; }
+
+    /** May core @p c issue from its IQ this cycle? */
+    virtual bool issueEligible(const ResourceTable &rt, CoreId c) const;
+
+    // --- Run-time repartitioning. ---
+
+    /** True when the LaneMgr produces partition plans (Elastic). */
+    virtual bool usesLaneManager() const { return false; }
+
+    /**
+     * Recompute the per-core <decision> registers after an ownership
+     * or phase event (a <VL> retarget or an MSR <OI>). Policies with a
+     * plan engine of their own (the LaneMgr) leave this a no-op;
+     * simple rule-based policies (VLS-WC) publish decisions here so
+     * fast-forwarded and ticked runs see identical register state.
+     */
+    virtual void updateDecisions(const MachineConfig &cfg,
+                                 ResourceTable &rt) const
+    {
+        (void)cfg;
+        (void)rt;
+    }
+
+    /**
+     * Resolve a <VL> write of @p requested BUs by core @p c
+     * (Section 4.2.2). Pure: the caller applies the outcome.
+     */
+    virtual VlOutcome resolveVl(const MachineConfig &cfg,
+                                const ResourceTable &rt, CoreId c,
+                                unsigned requested,
+                                bool drained) const = 0;
+
+    // --- Compiler strategy (§6). ---
+
+    /** Which EM-SIMD code blocks the compiler emits (Fig. 9). */
+    virtual CodegenTraits codegen() const
+    {
+        return CodegenTraits::fixedVl();
+    }
+
+    /**
+     * The compiled fixed vector length in BUs. @p fixed_vl_bus is the
+     * caller's per-core override (0 = none); policies that negotiate
+     * at run time return 0.
+     */
+    virtual unsigned compilerFixedVl(const MachineConfig &cfg,
+                                     unsigned fixed_vl_bus) const = 0;
+
+    /** The per-core fixed VL the System passes when compiling core
+     *  @p c's workload (0 = let compilerFixedVl pick a default). */
+    virtual unsigned perCoreFixedVl(const MachineConfig &cfg,
+                                    CoreId c) const
+    {
+        (void)cfg;
+        (void)c;
+        return 0;
+    }
+
+    // --- Area-model hooks (§7.3). ---
+
+    /** Register-file area multiplier at @p cores cores (FTS pays
+     *  per-core full-width contexts past 2 cores, §7.6). */
+    virtual double regfileAreaScale(unsigned cores) const
+    {
+        (void)cores;
+        return 1.0;
+    }
+
+    /** Whether the design includes the Manager block (everything but
+     *  Private, Fig. 12). */
+    virtual bool hasManagerBlock() const { return true; }
+
+  private:
+    SharingPolicy id_;
+    const char *key_;
+    std::vector<std::string> aliases_;
+};
+
+/** The boot-time share of core @p c under a static-ownership policy:
+ *  the configured plan entry, or an equal split with the remainder
+ *  ExeBUs spread deterministically over the lowest-numbered cores. */
+unsigned bootShare(const MachineConfig &cfg, CoreId c);
+
+// --- Registry (name-keyed; registration order is presentation order). ---
+
+/** The model implementing @p p. Never null: every enum value is
+ *  registered at startup. */
+const SharingModel &model(SharingPolicy p);
+
+/** Look up a model by registry key or alias; nullptr when unknown. */
+const SharingModel *modelByName(std::string_view name);
+
+/** All registered models, in registration order (the four paper
+ *  architectures first, extensions after). */
+const std::vector<const SharingModel *> &allModels();
+
+} // namespace policy
+} // namespace occamy
+
+#endif // OCCAMY_POLICY_SHARING_MODEL_HH

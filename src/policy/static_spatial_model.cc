@@ -1,0 +1,75 @@
+/**
+ * @file
+ * VLS (Fig. 1c): static spatial partitioning. The lane split is
+ * computed offline from every workload's most demanding phase
+ * (staticPartition, §7.1) and never changes at run time.
+ */
+
+#include <algorithm>
+
+#include "coproc/tables.hh"
+#include "lanemgr/partitioner.hh"
+#include "policy/models.hh"
+
+namespace occamy::policy
+{
+
+void
+StaticSpatialModel::resolveStaticPlan(
+    MachineConfig &cfg, const std::vector<std::vector<PhaseOI>> &phase_ois,
+    const std::vector<bool> &will_run) const
+{
+    const RooflineParams params = RooflineParams::fromConfig(cfg);
+    cfg.staticPlan = staticPartition(params, phase_ois, cfg.numExeBUs);
+    // Cores that start empty but will receive batch-queued workloads
+    // need a static share too: VLS cannot adapt at dispatch time, so
+    // they get an equal split of the leftovers.
+    unsigned used = 0;
+    for (unsigned share : cfg.staticPlan)
+        used += share;
+    unsigned needy = 0;
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        if (cfg.staticPlan[c] == 0 && will_run[c])
+            ++needy;
+    for (unsigned c = 0; c < cfg.numCores && needy; ++c) {
+        if (cfg.staticPlan[c] == 0 && will_run[c]) {
+            cfg.staticPlan[c] =
+                std::max(1u, (cfg.numExeBUs - used) / needy);
+        }
+    }
+}
+
+VlOutcome
+StaticSpatialModel::resolveVl(const MachineConfig &cfg,
+                              const ResourceTable &rt, CoreId c,
+                              unsigned requested, bool drained) const
+{
+    (void)cfg;
+    (void)drained;
+    // The offline partition never changes.
+    if (requested == rt.core(c).vl)
+        return VlOutcome::grant(requested);
+    return VlOutcome::reject();
+}
+
+unsigned
+StaticSpatialModel::compilerFixedVl(const MachineConfig &cfg,
+                                    unsigned fixed_vl_bus) const
+{
+    return fixed_vl_bus ? fixed_vl_bus : cfg.numExeBUs / cfg.numCores;
+}
+
+unsigned
+StaticSpatialModel::perCoreFixedVl(const MachineConfig &cfg,
+                                   CoreId c) const
+{
+    return cfg.staticPlan.empty() ? 0 : cfg.staticPlan[c];
+}
+
+SharingModel *
+makeStaticSpatialModel()
+{
+    return new StaticSpatialModel();
+}
+
+} // namespace occamy::policy

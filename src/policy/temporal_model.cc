@@ -1,0 +1,74 @@
+/**
+ * @file
+ * FTS (Fig. 1b): fine temporal sharing of one full-width SIMD unit.
+ * Every instruction executes at machine width; the cores compete for
+ * the shared issue budgets, the statically split LSU queues and one
+ * shared physical register pool — the structural contention Section 2
+ * blames for FTS's issue-rate drop and renaming stalls.
+ */
+
+#include <algorithm>
+
+#include "coproc/tables.hh"
+#include "policy/models.hh"
+
+namespace occamy::policy
+{
+
+void
+TemporalModel::tuneCoreConfig(MachineConfig &core_cfg) const
+{
+    // The single full-width unit's load/store queues are statically
+    // split between the cores (SMT-style), so each core sees a
+    // fraction of the per-core queue capacity.
+    core_cfg.loadQueueEntries =
+        std::max(1u, core_cfg.loadQueueEntries / core_cfg.numCores);
+    core_cfg.storeQueueEntries =
+        std::max(1u, core_cfg.storeQueueEntries / core_cfg.numCores);
+}
+
+bool
+TemporalModel::issueEligible(const ResourceTable &rt, CoreId c) const
+{
+    (void)rt;
+    (void)c;
+    // Full-width execution: no ownership, so vl == 0 never gates issue.
+    return true;
+}
+
+VlOutcome
+TemporalModel::resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
+                         CoreId c, unsigned requested, bool drained) const
+{
+    (void)rt;
+    (void)c;
+    (void)requested;
+    (void)drained;
+    // A full-width unit shared in time: <VL> is the machine width.
+    return VlOutcome::grant(cfg.numExeBUs);
+}
+
+unsigned
+TemporalModel::compilerFixedVl(const MachineConfig &cfg,
+                               unsigned fixed_vl_bus) const
+{
+    (void)fixed_vl_bus;
+    return cfg.numExeBUs;
+}
+
+double
+TemporalModel::regfileAreaScale(unsigned cores) const
+{
+    // Section 7.6: past 2 cores FTS keeps a full-width architectural
+    // context per core, growing the register file with the core count
+    // (the +33.5% Fig. 12 charges to FTS at 4 cores).
+    return cores > 2 ? static_cast<double>(cores) : 1.0;
+}
+
+SharingModel *
+makeTemporalModel()
+{
+    return new TemporalModel();
+}
+
+} // namespace occamy::policy

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * VLS-WC: work-conserving static spatial partitioning — the natural
+ * ablation point between VLS (Fig. 1c) and Occamy (Fig. 1d).
+ *
+ * Like VLS, each core holds a statically computed *entitlement* of
+ * ExeBUs (the offline staticPartition plan). Unlike VLS, an idle
+ * core's entitlement does not sit dark: the <decision> registers are
+ * recomputed on every phase event (MSR <OI>) and ownership change so
+ * active cores are offered their entitlement plus an equal split of
+ * every idle entitlement and unassigned unit. Borrowing rides the
+ * stock elastic machinery — phase prologues request the entitlement,
+ * the partition monitor picks up a grown <decision> at the next lazy
+ * point, and reconfiguration keeps drain-before-resize semantics.
+ *
+ * Reclaim needs no new hardware either: a returning owner's prologue
+ * MSR <VL> is rejected while its lanes are lent out (Fig. 9's retry
+ * loop spins), the borrower's next monitor sees its shrunken
+ * <decision> and releases, and the owner's retry then succeeds.
+ * Decision updates are eager (event-driven), never per-tick, so
+ * fast-forwarded and ticked runs remain byte-identical.
+ *
+ * The entire policy lives in this one file plus a registry line —
+ * the extensibility proof for the SharingModel layer.
+ */
+
+#include "coproc/tables.hh"
+#include "policy/models.hh"
+
+namespace occamy::policy
+{
+
+namespace
+{
+
+/** VLS-WC: VLS's offline plan, Occamy's run-time request machinery. */
+class VlsWcModel : public StaticSpatialModel
+{
+  public:
+    VlsWcModel()
+        : StaticSpatialModel(SharingPolicy::StaticSpatialWC, "vls-wc",
+                             {"vlswc", "static-wc"})
+    {
+    }
+
+    /** Lanes start free; each prologue claims the core's entitlement
+     *  (unlike VLS, ownership follows phase activity). */
+    BootOwnership bootOwnership() const override
+    {
+        return BootOwnership::AllFree;
+    }
+
+    /** Full elastic code structure, but the default VL is the static
+     *  entitlement rather than the roofline knee: a work-conserving
+     *  VLS still partitions by the offline plan when all cores run. */
+    CodegenTraits codegen() const override
+    {
+        CodegenTraits t;
+        t.kneeDefaultVl = false;
+        return t;
+    }
+
+    void
+    updateDecisions(const MachineConfig &cfg,
+                    ResourceTable &rt) const override
+    {
+        const unsigned n = rt.numCores();
+        unsigned active = 0;
+        unsigned entitled = 0;
+        for (unsigned c = 0; c < n; ++c) {
+            if (rt.core(static_cast<CoreId>(c)).oi.active()) {
+                ++active;
+                entitled += entitlement(cfg, static_cast<CoreId>(c));
+            }
+        }
+        if (active == 0) {
+            for (unsigned c = 0; c < n; ++c)
+                rt.core(static_cast<CoreId>(c)).decision = 0;
+            return;
+        }
+        // Everything not entitled to an active core is the loan pool:
+        // idle entitlements plus units the offline plan left
+        // unassigned. Split it equally, remainder to the
+        // lowest-numbered active cores, so decisions are deterministic
+        // and always sum to the machine width.
+        const unsigned pool =
+            cfg.numExeBUs > entitled ? cfg.numExeBUs - entitled : 0;
+        const unsigned extra = pool / active;
+        unsigned remainder = pool % active;
+        for (unsigned c = 0; c < n; ++c) {
+            auto &pc = rt.core(static_cast<CoreId>(c));
+            if (!pc.oi.active()) {
+                pc.decision = 0;
+                continue;
+            }
+            unsigned d = entitlement(cfg, static_cast<CoreId>(c)) + extra;
+            if (remainder > 0) {
+                ++d;
+                --remainder;
+            }
+            pc.decision = d;
+        }
+    }
+
+    VlOutcome
+    resolveVl(const MachineConfig &cfg, const ResourceTable &rt, CoreId c,
+              unsigned requested, bool drained) const override
+    {
+        (void)cfg;
+        // Same discipline as Occamy (Section 4.2.2): grants bounded by
+        // free lanes, shrink/grow only across a drained pipeline. A
+        // returning owner is rejected while its lanes are lent out and
+        // retries until the borrower's monitor releases them.
+        if (requested == rt.core(c).vl)
+            return VlOutcome::grant(requested);
+        if (requested > rt.core(c).vl + rt.al())
+            return VlOutcome::reject();
+        if (!drained)
+            return VlOutcome::wait();
+        return VlOutcome::grant(requested);
+    }
+
+  private:
+    static unsigned
+    entitlement(const MachineConfig &cfg, CoreId c)
+    {
+        return bootShare(cfg, c);
+    }
+};
+
+} // namespace
+
+SharingModel *
+makeVlsWcModel()
+{
+    return new VlsWcModel();
+}
+
+} // namespace occamy::policy

@@ -7,6 +7,7 @@
 
 #include "kir/analysis.hh"
 #include "lanemgr/partitioner.hh"
+#include "policy/sharing_model.hh"
 
 namespace occamy
 {
@@ -37,35 +38,20 @@ System::run(const RunOptions &opt)
     const Cycle max_cycles = opt.maxCycles;
     const unsigned bucket = opt.bucket;
     MachineConfig cfg = cfg_;
+    const policy::SharingModel &model = policy::model(cfg.policy);
 
-    // Offline static plan for VLS (Section 7.1's static spatial sharing).
-    if (cfg.policy == SharingPolicy::StaticSpatial &&
-        cfg.staticPlan.empty()) {
-        const RooflineParams params = RooflineParams::fromConfig(cfg);
+    // Offline static lane plan (Section 7.1's static spatial sharing,
+    // and work-conserving variants entitled by the same plan).
+    if (model.wantsOfflineStaticPlan() && cfg.staticPlan.empty()) {
         std::vector<std::vector<PhaseOI>> phase_ois(cfg.numCores);
-        for (unsigned c = 0; c < cfg.numCores; ++c)
+        std::vector<bool> will_run(cfg.numCores, false);
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
             for (const auto &loop : loops_[c])
                 phase_ois[c].push_back(kir::phaseOI(
                     loop, cfg.vecCache.sizeBytes, cfg.l2.sizeBytes));
-        cfg.staticPlan = staticPartition(params, phase_ois, cfg.numExeBUs);
-        // Cores that start empty but will receive batch-queued
-        // workloads need a static share too: VLS cannot adapt at
-        // dispatch time, so they get an equal split of the leftovers.
-        unsigned used = 0;
-        for (unsigned share : cfg.staticPlan)
-            used += share;
-        unsigned needy = 0;
-        for (unsigned c = 0; c < cfg.numCores; ++c)
-            if (cfg.staticPlan[c] == 0 &&
-                (!loops_[c].empty() || !queue_.empty()))
-                ++needy;
-        for (unsigned c = 0; c < cfg.numCores && needy; ++c) {
-            if (cfg.staticPlan[c] == 0 &&
-                (!loops_[c].empty() || !queue_.empty())) {
-                cfg.staticPlan[c] =
-                    std::max(1u, (cfg.numExeBUs - used) / needy);
-            }
+            will_run[c] = !loops_[c].empty() || !queue_.empty();
         }
+        model.resolveStaticPlan(cfg, phase_ois, will_run);
     }
 
     MemSystem mem(cfg);
@@ -78,9 +64,7 @@ System::run(const RunOptions &opt)
     auto compileAndBind = [&](CoreId c, const std::string &name,
                               const std::vector<kir::Loop> &loops)
         -> const Program * {
-        unsigned fixed_vl = 0;
-        if (cfg.policy == SharingPolicy::StaticSpatial)
-            fixed_vl = cfg.staticPlan.empty() ? 0 : cfg.staticPlan[c];
+        const unsigned fixed_vl = model.perCoreFixedVl(cfg, c);
         CompileOptions opts = CompileOptions::forMachine(cfg, fixed_vl);
         Compiler compiler(opts);
         auto prog = std::make_unique<Program>(
@@ -293,7 +277,7 @@ System::run(const RunOptions &opt)
         // Under FTS one full-width unit serves all cores, so busy lanes
         // are capped machine-wide and attributed proportionally.
         double fts_scale = 1.0;
-        if (cfg.policy == SharingPolicy::Temporal) {
+        if (model.fullWidthExecution()) {
             unsigned sum = 0;
             for (unsigned c = 0; c < cfg.numCores; ++c)
                 sum += coproc.busyLanes(static_cast<CoreId>(c));
@@ -337,7 +321,7 @@ System::run(const RunOptions &opt)
             const unsigned alloc = coproc.allocatedLanes(
                 static_cast<CoreId>(c));
             double busy = coproc.busyLanes(static_cast<CoreId>(c));
-            if (cfg.policy == SharingPolicy::Temporal)
+            if (model.fullWidthExecution())
                 busy *= fts_scale;
             else
                 busy = std::min<double>(busy, alloc);

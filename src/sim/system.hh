@@ -183,21 +183,7 @@ class System
     void enqueueWorkload(std::string name, std::vector<kir::Loop> loops);
 
     /** Run to completion of all workloads under @p opt. */
-    RunResult run(const RunOptions &opt);
-
-    /**
-     * Legacy positional entry point. Prefer constructing RunOptions —
-     * it is the single place every run knob (cap, bucket, sink,
-     * snapshots, fast-forward) lives.
-     */
-    [[deprecated("construct RunOptions and call run(const RunOptions&)")]]
-    RunResult run(Cycle max_cycles = 20'000'000, unsigned bucket = 1000)
-    {
-        RunOptions opt;
-        opt.maxCycles = max_cycles;
-        opt.bucket = bucket;
-        return run(opt);
-    }
+    RunResult run(const RunOptions &opt = {});
 
     const MachineConfig &config() const { return cfg_; }
 

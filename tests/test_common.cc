@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "common/config.hh"
 #include "common/log.hh"
@@ -101,6 +102,48 @@ TEST(Config, PolicyNames)
     EXPECT_STREQ(policyName(SharingPolicy::Temporal), "FTS");
     EXPECT_STREQ(policyName(SharingPolicy::StaticSpatial), "VLS");
     EXPECT_STREQ(policyName(SharingPolicy::Elastic), "Occamy");
+    EXPECT_STREQ(policyName(SharingPolicy::StaticSpatialWC), "VLS-WC");
+}
+
+TEST(Config, BusShareDistributesRemainder)
+{
+    // 10 ExeBUs over 4 cores: the 2 remainder units go to the
+    // lowest-numbered cores, and every ExeBU is accounted for.
+    MachineConfig cfg = MachineConfig::Builder(SharingPolicy::Private)
+                            .cores(4)
+                            .exeBUs(10)
+                            .build();
+    EXPECT_EQ(cfg.busShare(0), 3u);
+    EXPECT_EQ(cfg.busShare(1), 3u);
+    EXPECT_EQ(cfg.busShare(2), 2u);
+    EXPECT_EQ(cfg.busShare(3), 2u);
+    unsigned total = 0;
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        total += cfg.busShare(c);
+    EXPECT_EQ(total, cfg.numExeBUs);
+}
+
+TEST(Config, BuilderRejectsMalformedStaticPlan)
+{
+    EXPECT_THROW(MachineConfig::Builder(SharingPolicy::StaticSpatial)
+                     .cores(2)
+                     .staticPlan({4, 4, 4})
+                     .build(),
+                 std::invalid_argument);
+    EXPECT_THROW(MachineConfig::Builder(SharingPolicy::StaticSpatial)
+                     .cores(2)
+                     .exeBUs(8)
+                     .staticPlan({6, 6})
+                     .build(),
+                 std::invalid_argument);
+    // A well-formed plan (sum within the machine width) passes.
+    const MachineConfig ok =
+        MachineConfig::Builder(SharingPolicy::StaticSpatial)
+            .cores(2)
+            .exeBUs(8)
+            .staticPlan({5, 3})
+            .build();
+    EXPECT_EQ(ok.staticPlan.size(), 2u);
 }
 
 TEST(Config, DefaultsMatchTable4)
@@ -127,7 +170,8 @@ TEST(Config, ForPolicyScalesWithCores)
             MachineConfig::forPolicy(SharingPolicy::Elastic, cores);
         EXPECT_EQ(cfg.numCores, cores);
         EXPECT_EQ(cfg.numExeBUs, 4 * cores);
-        EXPECT_EQ(cfg.privateBusPerCore(), 4u);
+        EXPECT_EQ(cfg.busShare(0), 4u);
+        EXPECT_EQ(cfg.busShare(cores - 1), 4u);
         EXPECT_EQ(cfg.totalLanes(), 16 * cores);
     }
 }

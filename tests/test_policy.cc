@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Unit tests for the SharingModel policy layer (src/policy/): the
+ * name-keyed registry, and a per-policy x core-count matrix covering
+ * boot lane ownership, issue eligibility and <VL>-request resolution
+ * for the four paper architectures plus the VLS-WC extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/config.hh"
+#include "coproc/tables.hh"
+#include "policy/sharing_model.hh"
+
+namespace occamy
+{
+namespace
+{
+
+using policy::BootOwnership;
+using policy::SharingModel;
+using policy::VlOutcome;
+
+constexpr SharingPolicy kAllPolicies[] = {
+    SharingPolicy::Private,        SharingPolicy::Temporal,
+    SharingPolicy::StaticSpatial,  SharingPolicy::Elastic,
+    SharingPolicy::StaticSpatialWC,
+};
+
+MachineConfig
+configFor(SharingPolicy p, unsigned cores)
+{
+    return MachineConfig::forPolicy(p, cores);
+}
+
+PhaseOI
+someOi()
+{
+    PhaseOI oi;
+    oi.issue = 0.5;
+    oi.mem = 2.0;
+    return oi;
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+TEST(PolicyRegistry, EveryEnumValueResolvesToItsModel)
+{
+    for (SharingPolicy p : kAllPolicies)
+        EXPECT_EQ(policy::model(p).id(), p);
+}
+
+TEST(PolicyRegistry, NameRoundTrip)
+{
+    for (const SharingModel *m : policy::allModels()) {
+        const SharingModel *by_key = policy::modelByName(m->key());
+        ASSERT_NE(by_key, nullptr) << m->key();
+        EXPECT_EQ(by_key, m);
+        for (const std::string &alias : m->aliases()) {
+            const SharingModel *by_alias = policy::modelByName(alias);
+            ASSERT_NE(by_alias, nullptr) << alias;
+            EXPECT_EQ(by_alias, m) << alias;
+        }
+    }
+}
+
+TEST(PolicyRegistry, KeysAndAliasesAreUnique)
+{
+    std::set<std::string> names;
+    for (const SharingModel *m : policy::allModels()) {
+        EXPECT_TRUE(names.insert(m->key()).second) << m->key();
+        for (const std::string &alias : m->aliases())
+            EXPECT_TRUE(names.insert(alias).second) << alias;
+    }
+}
+
+TEST(PolicyRegistry, UnknownNameIsNull)
+{
+    EXPECT_EQ(policy::modelByName(""), nullptr);
+    EXPECT_EQ(policy::modelByName("bogus"), nullptr);
+    EXPECT_EQ(policy::modelByName("Private"), nullptr);  // keys are lower.
+}
+
+TEST(PolicyRegistry, RegistrationOrderIsPaperFirst)
+{
+    const auto &all = policy::allModels();
+    ASSERT_GE(all.size(), 5u);
+    EXPECT_EQ(all[0]->id(), SharingPolicy::Private);
+    EXPECT_EQ(all[1]->id(), SharingPolicy::Temporal);
+    EXPECT_EQ(all[2]->id(), SharingPolicy::StaticSpatial);
+    EXPECT_EQ(all[3]->id(), SharingPolicy::Elastic);
+    EXPECT_EQ(all[4]->id(), SharingPolicy::StaticSpatialWC);
+}
+
+TEST(PolicyRegistry, PaperNamesMatchPolicyName)
+{
+    for (const SharingModel *m : policy::allModels())
+        EXPECT_STREQ(m->paperName(), policyName(m->id()));
+}
+
+// ---------------------------------------------------------------------
+// Boot ownership / lane entitlement.
+
+TEST(PolicyBoot, OwnershipDisciplinePerPolicy)
+{
+    EXPECT_EQ(policy::model(SharingPolicy::Private).bootOwnership(),
+              BootOwnership::StaticPlan);
+    EXPECT_EQ(policy::model(SharingPolicy::Temporal).bootOwnership(),
+              BootOwnership::FullWidthNoOwnership);
+    EXPECT_EQ(policy::model(SharingPolicy::StaticSpatial).bootOwnership(),
+              BootOwnership::StaticPlan);
+    EXPECT_EQ(policy::model(SharingPolicy::Elastic).bootOwnership(),
+              BootOwnership::AllFree);
+    EXPECT_EQ(
+        policy::model(SharingPolicy::StaticSpatialWC).bootOwnership(),
+        BootOwnership::AllFree);
+}
+
+TEST(PolicyBoot, BootShareCoversEveryExeBu)
+{
+    for (unsigned cores : {2u, 4u}) {
+        MachineConfig cfg = configFor(SharingPolicy::Private, cores);
+        unsigned total = 0;
+        for (unsigned c = 0; c < cores; ++c)
+            total += policy::bootShare(cfg, static_cast<CoreId>(c));
+        EXPECT_EQ(total, cfg.numExeBUs);
+    }
+    // A configured static plan overrides the equal split.
+    MachineConfig cfg = MachineConfig::Builder(SharingPolicy::StaticSpatial)
+                            .cores(2)
+                            .exeBUs(8)
+                            .staticPlan({5, 3})
+                            .build();
+    EXPECT_EQ(policy::bootShare(cfg, 0), 5u);
+    EXPECT_EQ(policy::bootShare(cfg, 1), 3u);
+}
+
+TEST(PolicyBoot, OnlyVlsFamilyWantsOfflinePlan)
+{
+    EXPECT_FALSE(
+        policy::model(SharingPolicy::Private).wantsOfflineStaticPlan());
+    EXPECT_FALSE(
+        policy::model(SharingPolicy::Temporal).wantsOfflineStaticPlan());
+    EXPECT_TRUE(policy::model(SharingPolicy::StaticSpatial)
+                    .wantsOfflineStaticPlan());
+    EXPECT_FALSE(
+        policy::model(SharingPolicy::Elastic).wantsOfflineStaticPlan());
+    EXPECT_TRUE(policy::model(SharingPolicy::StaticSpatialWC)
+                    .wantsOfflineStaticPlan());
+}
+
+// ---------------------------------------------------------------------
+// Issue eligibility.
+
+TEST(PolicyIssue, LaneOwnershipGatesIssueExceptUnderFts)
+{
+    for (SharingPolicy p : kAllPolicies) {
+        for (unsigned cores : {2u, 4u}) {
+            const SharingModel &m = policy::model(p);
+            MachineConfig cfg = configFor(p, cores);
+            ResourceTable rt(cores, cfg.numExeBUs);
+            // No lanes anywhere: only full-width execution may issue.
+            for (unsigned c = 0; c < cores; ++c)
+                EXPECT_EQ(m.issueEligible(rt, static_cast<CoreId>(c)),
+                          m.fullWidthExecution())
+                    << policyName(p) << " cores=" << cores;
+            // Granting lanes to core 0 makes it eligible everywhere.
+            rt.retarget(0, 2);
+            EXPECT_TRUE(m.issueEligible(rt, 0)) << policyName(p);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// <VL> resolution (Section 4.2.2), per policy x core count.
+
+TEST(PolicyVl, FixedPoliciesConfirmOrReject)
+{
+    for (SharingPolicy p :
+         {SharingPolicy::Private, SharingPolicy::StaticSpatial}) {
+        for (unsigned cores : {2u, 4u}) {
+            const SharingModel &m = policy::model(p);
+            MachineConfig cfg = configFor(p, cores);
+            ResourceTable rt(cores, cfg.numExeBUs);
+            rt.retarget(0, 4);
+            // Confirming the current width succeeds...
+            VlOutcome out = m.resolveVl(cfg, rt, 0, 4, true);
+            EXPECT_EQ(out.action, VlOutcome::Action::Grant);
+            EXPECT_EQ(out.vl, 4u);
+            // ...any other width is rejected, drained or not.
+            EXPECT_EQ(m.resolveVl(cfg, rt, 0, 2, true).action,
+                      VlOutcome::Action::Reject);
+            EXPECT_EQ(m.resolveVl(cfg, rt, 0, 6, false).action,
+                      VlOutcome::Action::Reject);
+        }
+    }
+}
+
+TEST(PolicyVl, FtsAlwaysGrantsMachineWidth)
+{
+    const SharingModel &m = policy::model(SharingPolicy::Temporal);
+    for (unsigned cores : {2u, 4u}) {
+        MachineConfig cfg = configFor(SharingPolicy::Temporal, cores);
+        ResourceTable rt(cores, cfg.numExeBUs);
+        for (unsigned req : {0u, 1u, cfg.numExeBUs}) {
+            VlOutcome out = m.resolveVl(cfg, rt, 0, req, false);
+            EXPECT_EQ(out.action, VlOutcome::Action::Grant);
+            EXPECT_EQ(out.vl, cfg.numExeBUs);
+        }
+    }
+}
+
+TEST(PolicyVl, ElasticGrantRejectWaitDiscipline)
+{
+    for (SharingPolicy p :
+         {SharingPolicy::Elastic, SharingPolicy::StaticSpatialWC}) {
+        for (unsigned cores : {2u, 4u}) {
+            const SharingModel &m = policy::model(p);
+            MachineConfig cfg = configFor(p, cores);
+            ResourceTable rt(cores, cfg.numExeBUs);
+            rt.retarget(0, 2);
+            const unsigned free = rt.al();
+            // Same width: granted without draining.
+            EXPECT_EQ(m.resolveVl(cfg, rt, 0, 2, false).action,
+                      VlOutcome::Action::Grant);
+            // More than current + free lanes: rejected (condition 1).
+            EXPECT_EQ(m.resolveVl(cfg, rt, 0, 2 + free + 1, true).action,
+                      VlOutcome::Action::Reject);
+            // Feasible but the pipeline is not drained: wait
+            // (condition 2).
+            EXPECT_EQ(m.resolveVl(cfg, rt, 0, 2 + free, false).action,
+                      VlOutcome::Action::Wait);
+            // Feasible and drained: granted at the requested width.
+            VlOutcome out = m.resolveVl(cfg, rt, 0, 2 + free, true);
+            EXPECT_EQ(out.action, VlOutcome::Action::Grant);
+            EXPECT_EQ(out.vl, 2 + free);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// VLS-WC decisions (the work-conserving rule).
+
+TEST(PolicyVlsWc, IdleEntitlementsAreLentToActiveCores)
+{
+    const SharingModel &m = policy::model(SharingPolicy::StaticSpatialWC);
+    for (unsigned cores : {2u, 4u}) {
+        MachineConfig cfg = configFor(SharingPolicy::StaticSpatialWC,
+                                      cores);
+        ResourceTable rt(cores, cfg.numExeBUs);
+
+        // All idle: no decisions published.
+        m.updateDecisions(cfg, rt);
+        for (unsigned c = 0; c < cores; ++c)
+            EXPECT_EQ(rt.core(static_cast<CoreId>(c)).decision, 0u);
+
+        // Only core 0 active: it is offered the whole machine.
+        rt.core(0).oi = someOi();
+        m.updateDecisions(cfg, rt);
+        EXPECT_EQ(rt.core(0).decision, cfg.numExeBUs);
+        for (unsigned c = 1; c < cores; ++c)
+            EXPECT_EQ(rt.core(static_cast<CoreId>(c)).decision, 0u);
+
+        // All active: everyone gets exactly their entitlement.
+        for (unsigned c = 0; c < cores; ++c)
+            rt.core(static_cast<CoreId>(c)).oi = someOi();
+        m.updateDecisions(cfg, rt);
+        unsigned total = 0;
+        for (unsigned c = 0; c < cores; ++c) {
+            EXPECT_EQ(rt.core(static_cast<CoreId>(c)).decision,
+                      policy::bootShare(cfg, static_cast<CoreId>(c)));
+            total += rt.core(static_cast<CoreId>(c)).decision;
+        }
+        EXPECT_EQ(total, cfg.numExeBUs);
+    }
+}
+
+TEST(PolicyVlsWc, DecisionsAlwaysSumToMachineWidthWhenAnyoneRuns)
+{
+    const SharingModel &m = policy::model(SharingPolicy::StaticSpatialWC);
+    const unsigned cores = 4;
+    MachineConfig cfg = configFor(SharingPolicy::StaticSpatialWC, cores);
+    ResourceTable rt(cores, cfg.numExeBUs);
+    // Every non-empty activity subset conserves the full width.
+    for (unsigned mask = 1; mask < (1u << cores); ++mask) {
+        for (unsigned c = 0; c < cores; ++c)
+            rt.core(static_cast<CoreId>(c)).oi =
+                (mask >> c) & 1 ? someOi() : PhaseOI{};
+        m.updateDecisions(cfg, rt);
+        unsigned total = 0;
+        for (unsigned c = 0; c < cores; ++c) {
+            const unsigned d = rt.core(static_cast<CoreId>(c)).decision;
+            if (!((mask >> c) & 1)) {
+                EXPECT_EQ(d, 0u) << "mask=" << mask << " core=" << c;
+            }
+            total += d;
+        }
+        EXPECT_EQ(total, cfg.numExeBUs) << "mask=" << mask;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiler-facing hooks.
+
+TEST(PolicyCodegen, TraitsMatchEmittedStructure)
+{
+    EXPECT_FALSE(policy::model(SharingPolicy::Private).codegen().monitor);
+    EXPECT_FALSE(policy::model(SharingPolicy::Temporal).codegen().monitor);
+    EXPECT_FALSE(
+        policy::model(SharingPolicy::StaticSpatial).codegen().monitor);
+    const policy::CodegenTraits occ =
+        policy::model(SharingPolicy::Elastic).codegen();
+    EXPECT_TRUE(occ.phaseOi);
+    EXPECT_TRUE(occ.monitor);
+    EXPECT_TRUE(occ.releaseLanes);
+    EXPECT_TRUE(occ.kneeDefaultVl);
+    // VLS-WC: full elastic structure, entitlement default VL.
+    const policy::CodegenTraits wc =
+        policy::model(SharingPolicy::StaticSpatialWC).codegen();
+    EXPECT_TRUE(wc.phaseOi);
+    EXPECT_TRUE(wc.monitor);
+    EXPECT_TRUE(wc.releaseLanes);
+    EXPECT_FALSE(wc.kneeDefaultVl);
+}
+
+TEST(PolicyCodegen, CompilerFixedVlPerPolicy)
+{
+    for (unsigned cores : {2u, 4u}) {
+        MachineConfig cfg = configFor(SharingPolicy::Private, cores);
+        EXPECT_EQ(policy::model(SharingPolicy::Private)
+                      .compilerFixedVl(cfg, 0),
+                  cfg.numExeBUs / cores);
+        EXPECT_EQ(policy::model(SharingPolicy::Temporal)
+                      .compilerFixedVl(cfg, 0),
+                  cfg.numExeBUs);
+        EXPECT_EQ(policy::model(SharingPolicy::StaticSpatial)
+                      .compilerFixedVl(cfg, 3),
+                  3u);
+        EXPECT_EQ(policy::model(SharingPolicy::Elastic)
+                      .compilerFixedVl(cfg, 3),
+                  0u);
+        EXPECT_EQ(policy::model(SharingPolicy::StaticSpatialWC)
+                      .compilerFixedVl(cfg, 3),
+                  3u);
+    }
+}
+
+} // namespace
+} // namespace occamy

@@ -188,7 +188,7 @@ TEST_F(ScalarCoreTest, PrivateCoreKeepsFixedVl)
     Program prog = compileFor({tinyLoop(4096)});
     core->setProgram(&prog);
     ASSERT_GT(runToCompletion(), 0u);
-    EXPECT_EQ(core->currentVl(), cfg.privateBusPerCore());
+    EXPECT_EQ(core->currentVl(), cfg.busShare(0));
     EXPECT_EQ(core->monitorInsts(), 0u);
     ASSERT_EQ(core->phases().size(), 1u);
     EXPECT_EQ(core->phases()[0].firstVl, 4u);

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Layering lint for the SharingModel policy layer: no code outside
+# src/policy/ (and the display-name map in src/common/config.cc) may
+# branch on the SharingPolicy enum. Storing or forwarding an enum value
+# is fine — switching or comparing on it is the smell this guards
+# against, because such logic belongs in a policy::SharingModel hook.
+#
+# Usage: lint_policy_layering.sh [repo-root]   (exit 0 = clean)
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+# Branching forms: `case SharingPolicy::X`, `== / != SharingPolicy::X`
+# (either operand order), and `switch (<...>.policy)`.
+patterns=(
+    'case[[:space:]]+SharingPolicy::'
+    '[=!]=[[:space:]]*SharingPolicy::'
+    'SharingPolicy::[A-Za-z_]+[[:space:]]*[=!]='
+    'switch[[:space:]]*\([^)]*policy'
+)
+
+fail=0
+for pat in "${patterns[@]}"; do
+    hits=$(grep -rnE "$pat" src \
+               --include='*.cc' --include='*.hh' \
+               | grep -v '^src/policy/' \
+               | grep -v '^src/common/config\.cc:')
+    if [ -n "$hits" ]; then
+        echo "policy layering violation (pattern '$pat'):"
+        echo "$hits"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "SharingPolicy branching belongs in src/policy/ — add or use a"
+    echo "policy::SharingModel hook instead of switching on the enum."
+    exit 1
+fi
+echo "policy layering: clean"

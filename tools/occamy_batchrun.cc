@@ -26,6 +26,7 @@
 
 #include "obs/events.hh"
 #include "obs/export.hh"
+#include "policy/sharing_model.hh"
 #include "runner/runner.hh"
 #include "runner/sweep.hh"
 #include "workloads/suite.hh"
@@ -39,9 +40,8 @@ struct Options
 {
     unsigned jobs = 0;                  // 0 = runner default
     std::string pairs = "spec";
-    std::vector<SharingPolicy> policies{
-        SharingPolicy::Private, SharingPolicy::Temporal,
-        SharingPolicy::StaticSpatial, SharingPolicy::Elastic};
+    /** Empty = every registered policy, in registry order. */
+    std::vector<SharingPolicy> policies;
     Cycle maxCycles = 40'000'000;
     std::string jsonOut;
     std::string csvOut;
@@ -65,7 +65,8 @@ usage()
         "  --pairs SPEC     all|spec|opencv, or a comma list of 1-based\n"
         "                   indices into the 25-pair catalog and/or\n"
         "                   labels like 6+16 (default: spec)\n"
-        "  --policy P       private|fts|vls|occamy|all (default: all)\n"
+        "  --policy P       registered policy name (private|fts|vls|\n"
+        "                   occamy|vls-wc) or 'all' (default: all)\n"
         "  --max-cycles N   per-job simulation cap (default 4e7)\n"
         "  --json-out FILE  write the aggregated sweep JSON\n"
         "  --csv-out FILE   write the per-job summary CSV\n"
@@ -89,14 +90,8 @@ usage()
 std::optional<SharingPolicy>
 parsePolicy(const std::string &s)
 {
-    if (s == "private")
-        return SharingPolicy::Private;
-    if (s == "fts" || s == "temporal")
-        return SharingPolicy::Temporal;
-    if (s == "vls" || s == "static")
-        return SharingPolicy::StaticSpatial;
-    if (s == "occamy" || s == "elastic")
-        return SharingPolicy::Elastic;
+    if (const policy::SharingModel *m = policy::modelByName(s))
+        return m->id();
     return std::nullopt;
 }
 
@@ -183,7 +178,7 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             if (std::strcmp(v, "all") == 0) {
-                // Keep the default 4-policy order.
+                opt.policies.clear();    // = every registered policy.
             } else if (auto p = parsePolicy(v)) {
                 opt.policies = {*p};
             } else {
@@ -260,6 +255,9 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    if (opt.policies.empty())
+        for (const policy::SharingModel *m : policy::allModels())
+            opt.policies.push_back(m->id());
 
     if (opt.list) {
         const auto all = workloads::allPairs();

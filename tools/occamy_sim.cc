@@ -3,10 +3,12 @@
  * occamy-sim: command-line driver for the Occamy simulator.
  *
  * Runs a co-running pair (or an FCFS batch) of Table 3 workloads under
- * any of the four SIMD architectures and reports the paper's metrics.
+ * any registered SIMD sharing architecture and reports the paper's
+ * metrics. Policies come from the name-keyed registry in src/policy/
+ * (the four paper architectures plus extensions such as vls-wc).
  *
  * Usage:
- *   occamy-sim [--policy private|fts|vls|occamy|all] [--cores N]
+ *   occamy-sim [--policy private|fts|vls|occamy|vls-wc|all] [--cores N]
  *              [--pair A+B] [--opencv] [--batch WL1,WL16,...]
  *              [--max-cycles N] [--jobs N] [--json-out FILE]
  *              [--timeline] [--stats] [--list]
@@ -27,6 +29,7 @@
 
 #include "obs/events.hh"
 #include "obs/export.hh"
+#include "policy/sharing_model.hh"
 #include "runner/runner.hh"
 #include "runner/sweep.hh"
 #include "sim/system.hh"
@@ -65,7 +68,9 @@ usage()
 {
     std::printf(
         "occamy-sim: drive the Occamy elastic-SIMD simulator\n"
-        "  --policy P     private|fts|vls|occamy|all (default occamy)\n"
+        "  --policy P     registered policy name or 'all' (default\n"
+        "                 occamy); registered: private, fts, vls,\n"
+        "                 occamy, vls-wc\n"
         "  --cores N      number of scalar cores (default 2)\n"
         "  --pair A+B     workload ids for core0+core1 (default 6+16)\n"
         "  --opencv       interpret --pair ids as OpenCV workloads\n"
@@ -95,14 +100,8 @@ usage()
 std::optional<SharingPolicy>
 parsePolicy(const std::string &s)
 {
-    if (s == "private")
-        return SharingPolicy::Private;
-    if (s == "fts" || s == "temporal")
-        return SharingPolicy::Temporal;
-    if (s == "vls" || s == "static")
-        return SharingPolicy::StaticSpatial;
-    if (s == "occamy" || s == "elastic")
-        return SharingPolicy::Elastic;
+    if (const policy::SharingModel *m = policy::modelByName(s))
+        return m->id();
     return std::nullopt;
 }
 
@@ -132,10 +131,9 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             if (std::strcmp(v, "all") == 0) {
-                opt.policies = {SharingPolicy::Private,
-                                SharingPolicy::Temporal,
-                                SharingPolicy::StaticSpatial,
-                                SharingPolicy::Elastic};
+                opt.policies.clear();
+                for (const policy::SharingModel *m : policy::allModels())
+                    opt.policies.push_back(m->id());
             } else if (auto p = parsePolicy(v)) {
                 opt.policies = {*p};
             } else {
