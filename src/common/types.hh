@@ -36,6 +36,13 @@ inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
 /** Sentinel for invalid core ids (e.g. a free ExeBU owner slot). */
 inline constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
 
+/**
+ * Sentinel owner for an ExeBU taken permanently offline by a hard fault.
+ * A faulted unit is neither free nor owned: it is excluded from both the
+ * Dispatch.Cfg free pool and every core's <VL> entitlement.
+ */
+inline constexpr CoreId kFaultedCore = kNoCore - 1;
+
 /** Bits per SIMD lane (single-precision float, the paper's unit). */
 inline constexpr unsigned kLaneBits = 32;
 

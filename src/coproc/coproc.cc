@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hh"
+#include "fault/injector.hh"
 
 namespace occamy
 {
@@ -110,6 +111,22 @@ CoProcessor::ackVlRequest(CoreId c)
     cores_[c].vlReq = VlRequestStatus{};
 }
 
+void
+CoProcessor::cancelVlRequest(CoreId c)
+{
+    CoreState &cs = cores_[c];
+    cs.vlReq = VlRequestStatus{};
+    cs.cfgDelayUntil = 0;
+    // At most one <VL> request is in flight per core (the front end
+    // stalls on it), so dropping the first un-executed MsrVL is enough.
+    for (auto it = cs.emq.begin(); it != cs.emq.end(); ++it) {
+        if (it->op == Opcode::MsrVL) {
+            cs.emq.erase(it);
+            break;
+        }
+    }
+}
+
 bool
 CoProcessor::coreDrained(CoreId c) const
 {
@@ -123,7 +140,7 @@ unsigned
 CoProcessor::allocatedLanes(CoreId c) const
 {
     if (model_.fullWidthExecution())
-        return cfg_.totalLanes();
+        return usableLanes();
     return rt_.core(c).vl * kLanesPerBu;
 }
 
@@ -154,6 +171,8 @@ CoProcessor::iqLoad(CoreId c) const
 void
 CoProcessor::tick(Cycle now)
 {
+    applyFaults(now);
+
     std::fill(busy_lanes_.begin(), busy_lanes_.end(), 0u);
     for (auto &cs : cores_)
         cs.lsu.tick(now);
@@ -162,6 +181,60 @@ CoProcessor::tick(Cycle now)
     issueStage(now);
     renameStage(now);
     managerStage(now);
+}
+
+void
+CoProcessor::applyFaults(Cycle now)
+{
+    if (!injector_)
+        return;
+    for (unsigned u : injector_->takeDueLaneFaults(now)) {
+        if (dispatch_cfg_.owner(u) == kFaultedCore)
+            continue;       // Already dead (duplicate plan entry).
+        const CoreId owner = dispatch_cfg_.owner(u);
+        // The two Cfg tables receive identical release/assign streams,
+        // so per-unit ownership matches.
+        assert(regfile_cfg_.owner(u) == owner);
+        dispatch_cfg_.disable(u);
+        regfile_cfg_.disable(u);
+        if (owner == kNoCore)
+            rt_.loseFree();
+        else
+            rt_.loseOwned(owner);
+        ++lane_faults_;
+
+        // Degrade the partitioning machinery: the LaneMgr plans over
+        // the surviving pool from now on (the elastic policy schedules
+        // an immediate re-plan); rule-based policies adjust their
+        // entitlements through the onLaneFault hook.
+        lane_mgr_.degrade(rt_.usableBus());
+        if (model_.usesLaneManager())
+            lane_mgr_.notifyPhaseEvent(now);
+        model_.onLaneFault(cfg_, rt_, u, owner);
+
+        OCCAMY_LOG(now, "Coproc",
+                   "ExeBU %u hard fault (owner=%d, usable=%u)", u,
+                   owner == kNoCore ? -1 : static_cast<int>(owner),
+                   rt_.usableBus());
+        if (sink_ && sink_->wants(obs::EventKind::FaultInject)) {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.kind = obs::EventKind::FaultInject;
+            ev.core = owner;
+            ev.a = static_cast<std::uint64_t>(fault::FaultKind::LaneFault);
+            ev.b = u;
+            sink_->record(ev);
+        }
+        if (sink_ && sink_->wants(obs::EventKind::PartitionDegrade)) {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.kind = obs::EventKind::PartitionDegrade;
+            ev.core = owner;
+            ev.a = rt_.usableBus();
+            ev.b = cfg_.numExeBUs;
+            sink_->record(ev);
+        }
+    }
 }
 
 Cycle
@@ -243,9 +316,15 @@ CoProcessor::nextEventAt(Cycle now) const
 
         // EM-SIMD queue: a non-waiting head executes next cycle; a
         // drain-waiting MsrVL head is a no-op until the pipeline
-        // empties, which the pool/ROB/LSU candidates above track.
-        if (!cs.emq.empty() && !emHeadWaits(c, cs.emq.front()))
-            consider(now + 1);
+        // empties, which the pool/ROB/LSU candidates above track. A
+        // head stalled on an armed reconfiguration-delay deadline
+        // resumes at that (known) cycle.
+        if (!cs.emq.empty()) {
+            if (!emHeadWaits(c, cs.emq.front(), now))
+                consider(now + 1);
+            else if (cs.cfgDelayUntil > now)
+                consider(cs.cfgDelayUntil);
+        }
 
         if (next == now + 1)
             break;
@@ -530,6 +609,17 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
 
       case Opcode::MsrVL: {
         const unsigned target = vlTarget(c, inst);
+
+        // Injected transient denial: the Manager answers busy
+        // (<status> = false) regardless of what the policy would say.
+        // Releases (target 0) are exempt so epilogues always complete.
+        if (injector_ && target != 0 && injector_->vlDenied(c, now)) {
+            cs.cfgDelayUntil = 0;
+            rt_.core(c).status = false;
+            cs.vlReq = VlRequestStatus{true, false};
+            return true;
+        }
+
         const policy::VlOutcome out =
             model_.resolveVl(cfg_, rt_, c, target, coreDrained(c));
 
@@ -541,6 +631,7 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
         }
 
         if (out.action == policy::VlOutcome::Action::Reject) {
+            cs.cfgDelayUntil = 0;
             rt_.core(c).status = false;
             cs.vlReq = VlRequestStatus{true, false};
             return true;
@@ -551,8 +642,26 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
             rt_.core(c).vl = out.vl;
             rt_.core(c).status = true;
         } else if (out.vl == rt_.core(c).vl) {
+            cs.cfgDelayUntil = 0;
             rt_.core(c).status = true;
         } else {
+            // A granted resize rewrites Dispatch.Cfg/RegFile.Cfg; an
+            // injected reconfiguration delay stalls that rewrite at the
+            // queue head. Once armed the deadline sticks even if the
+            // fault window closes meanwhile.
+            if (injector_) {
+                if (cs.cfgDelayUntil == 0) {
+                    const Cycle d = injector_->reconfigExtraDelay(c, now);
+                    if (d > 0) {
+                        cs.cfgDelayUntil = now + d;
+                        return false;
+                    }
+                } else if (now < cs.cfgDelayUntil) {
+                    return false;
+                } else {
+                    cs.cfgDelayUntil = 0;
+                }
+            }
             applyVl(c, out.vl, now);
             OCCAMY_LOG(now, "Coproc", "core%u vl -> %u (al=%u)", c,
                        out.vl, rt_.al());
@@ -576,16 +685,31 @@ CoProcessor::execEmSimd(CoreId c, const DynInst &inst, Cycle now)
 }
 
 bool
-CoProcessor::emHeadWaits(CoreId c, const DynInst &inst) const
+CoProcessor::emHeadWaits(CoreId c, const DynInst &inst, Cycle now) const
 {
     // Mirrors execEmSimd: only a MsrVL the policy resolves to Wait (a
-    // real, grantable resize of an undrained pipeline) stalls. Every
-    // other head retires when executed.
+    // real, grantable resize of an undrained pipeline) or one stalled
+    // by an armed injected reconfiguration delay waits. Every other
+    // head retires when executed.
     if (inst.op != Opcode::MsrVL)
         return false;
-    const policy::VlOutcome out = model_.resolveVl(
-        cfg_, rt_, c, vlTarget(c, inst), coreDrained(c));
-    return out.action == policy::VlOutcome::Action::Wait;
+    const unsigned target = vlTarget(c, inst);
+    if (injector_ && target != 0 && injector_->vlDenied(c, now))
+        return false;       // Denied: retires as a reject.
+    const policy::VlOutcome out =
+        model_.resolveVl(cfg_, rt_, c, target, coreDrained(c));
+    if (out.action == policy::VlOutcome::Action::Wait)
+        return true;
+    if (out.action == policy::VlOutcome::Action::Grant &&
+        !model_.fullWidthExecution() && out.vl != rt_.core(c).vl) {
+        // Grant-with-change: waiting only while an already-armed delay
+        // deadline lies ahead. An unarmed but active delay window means
+        // the next execution *arms* it — a state change, so not a wait.
+        const Cycle du = cores_[c].cfgDelayUntil;
+        if (du > now)
+            return true;
+    }
+    return false;
 }
 
 unsigned
@@ -671,6 +795,8 @@ CoProcessor::regStats(stats::Group &group) const
                      "EM-SIMD instructions executed");
     group.addCounter("plans_published", &plans_published_,
                      "lane-partition plans published");
+    group.addCounter("lane_faults", &lane_faults_,
+                     "ExeBU hard faults applied");
     for (unsigned c = 0; c < cores_.size(); ++c) {
         const std::string p = "core" + std::to_string(c) + ".";
         group.addFormula(p + "compute_issued",

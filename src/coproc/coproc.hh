@@ -43,6 +43,11 @@
 namespace occamy
 {
 
+namespace fault
+{
+class FaultInjector;
+}
+
 /** Result of a front-end poll on an outstanding <VL> write. */
 struct VlRequestStatus
 {
@@ -74,6 +79,14 @@ class CoProcessor
     VlRequestStatus vlRequestStatus(CoreId c) const;
     void ackVlRequest(CoreId c);
 
+    /**
+     * Abandon core @p c's outstanding <VL> request (livelock-watchdog
+     * escalation): drop the pending MsrVL from the EM-SIMD queue and
+     * clear the request latch, leaving the core's current ownership
+     * untouched. The core falls back to its scalar loop version (§6).
+     */
+    void cancelVlRequest(CoreId c);
+
     // --- Architectural state visible to software (MRS reads). ---
     unsigned currentVl(CoreId c) const { return rt_.core(c).vl; }
     unsigned decision(CoreId c) const { return rt_.core(c).decision; }
@@ -82,6 +95,9 @@ class CoProcessor
 
     /** @return true when core @p c has nothing in flight (drained). */
     bool coreDrained(CoreId c) const;
+
+    /** Attach a fault injector (null = fault-free; the default). */
+    void setFaultInjector(fault::FaultInjector *inj) { injector_ = inj; }
 
     /** Advance one cycle. */
     void tick(Cycle now);
@@ -114,6 +130,12 @@ class CoProcessor
 
     /** Lanes currently allocated to core @p c. */
     unsigned allocatedLanes(CoreId c) const;
+
+    /** Lanes on ExeBUs that still work (hard faults excluded). */
+    unsigned usableLanes() const { return rt_.usableBus() * kLanesPerBu; }
+
+    /** ExeBU hard faults applied so far. */
+    std::uint64_t laneFaults() const { return lane_faults_.value(); }
 
     std::uint64_t computeIssued(CoreId c) const;
     std::uint64_t memIssued(CoreId c) const;
@@ -149,6 +171,10 @@ class CoProcessor
 
         VlRequestStatus vlReq;
 
+        /** Injected reconfiguration delay: a granted resize at the emq
+         *  head stalls until this cycle (0 = no delay pending). */
+        Cycle cfgDelayUntil = 0;
+
         std::uint64_t computeIssued = 0;
         std::uint64_t memIssued = 0;
         std::vector<std::uint64_t> phaseCompute;  ///< By phaseId.
@@ -163,6 +189,9 @@ class CoProcessor
 
     /** IQ occupancy relevant to core @p c (machine-wide under FTS). */
     std::size_t iqLoad(CoreId c) const;
+
+    /** Apply ExeBU hard faults due at @p now (top of tick). */
+    void applyFaults(Cycle now);
 
     void commitStage(Cycle now);
     void issueStage(Cycle now);
@@ -179,9 +208,10 @@ class CoProcessor
     bool execEmSimd(CoreId c, const DynInst &inst, Cycle now);
 
     /** @return true if @p inst at the head of core @p c's EM-SIMD
-     *  queue would wait (MsrVL pipeline-drain condition) rather than
-     *  retire if executed now. Mirrors execEmSimd's wait path. */
-    bool emHeadWaits(CoreId c, const DynInst &inst) const;
+     *  queue would wait (MsrVL pipeline-drain condition, or an armed
+     *  injected reconfiguration delay) rather than retire if executed
+     *  at @p now. Mirrors execEmSimd's wait paths. */
+    bool emHeadWaits(CoreId c, const DynInst &inst, Cycle now) const;
 
     /** Decode the VL (in BUs) a MsrVL instruction requests: its
      *  immediate, or the core's <decision> register (falling back to
@@ -208,8 +238,10 @@ class CoProcessor
     stats::Counter vl_switches_;
     stats::Counter em_insts_;
     stats::Counter plans_published_;
+    stats::Counter lane_faults_;
 
     obs::EventSink *sink_ = nullptr;    ///< Borrowed, may be null.
+    fault::FaultInjector *injector_ = nullptr;  ///< Borrowed, may be null.
 };
 
 } // namespace occamy

@@ -34,7 +34,7 @@ class ResourceTable
     };
 
     ResourceTable(unsigned cores, unsigned total_bus)
-        : core_(cores), al_(total_bus)
+        : core_(cores), al_(total_bus), total_(total_bus)
     {
     }
 
@@ -44,6 +44,33 @@ class ResourceTable
 
     /** <AL>: free ExeBUs available for allocation. */
     unsigned al() const { return al_; }
+
+    /** ExeBUs permanently lost to hard faults. */
+    unsigned faulted() const { return faulted_; }
+
+    /** ExeBUs still usable: configured total minus faulted units. */
+    unsigned usableBus() const { return total_ - faulted_; }
+
+    /** A hard fault consumed a *free* ExeBU: shrink <AL>. */
+    void
+    loseFree()
+    {
+        assert(al_ > 0);
+        --al_;
+        ++faulted_;
+    }
+
+    /** A hard fault consumed an ExeBU *owned* by core @p c: shrink its
+     *  <VL> in place (the unit simply stops computing; the drain /
+     *  re-request protocol is unchanged). */
+    void
+    loseOwned(CoreId c)
+    {
+        PerCore &pc = core_.at(c);
+        assert(pc.vl > 0);
+        --pc.vl;
+        ++faulted_;
+    }
 
     /** Atomically retarget core @p c from its current VL to @p vl BUs.
      *  Caller must have verified availability. */
@@ -71,6 +98,8 @@ class ResourceTable
   private:
     std::vector<PerCore> core_;
     unsigned al_;
+    unsigned total_;
+    unsigned faulted_ = 0;
 };
 
 /**
@@ -96,6 +125,11 @@ class ConfigTable
     }
 
     unsigned countFree() const { return countOwned(kNoCore); }
+
+    /** Take @p unit permanently offline (ExeBU hard fault). A faulted
+     *  unit is neither free nor owned, so release()/assign() skip it
+     *  and the <AL> == countFree() invariant is preserved. */
+    void disable(unsigned unit) { owner_.at(unit) = kFaultedCore; }
 
     /** Free every unit owned by core @p c. */
     void

@@ -184,6 +184,7 @@ ScalarCore::step(Cycle now, unsigned &budget)
                 recordVl(now, obs::EventKind::VlRequest, current_vl_,
                          si.vlFromDecision ? 0 : si.imm);
                 await_since_ = now;
+                spin_since_ = now;
                 state_ = State::AwaitVl;
                 return false;
             }
@@ -280,6 +281,7 @@ ScalarCore::step(Cycle now, unsigned &budget)
                 vl_before_request_ = current_vl_;
                 recordVl(now, obs::EventKind::VlRequest, current_vl_, 0);
                 await_since_ = now;
+                spin_since_ = now;
                 state_ = State::AwaitReconfig;
                 return false;
             }
@@ -352,6 +354,7 @@ ScalarCore::step(Cycle now, unsigned &budget)
                 recordVl(now, obs::EventKind::VlRequest, current_vl_,
                          si.vlFromDecision ? 0 : si.imm);
                 await_since_ = now;
+                spin_since_ = now;
                 state_ = State::AwaitRelease;
                 return false;
             }
@@ -361,6 +364,37 @@ ScalarCore::step(Cycle now, unsigned &budget)
       }
     }
     return false;
+}
+
+void
+ScalarCore::watchdogEscalate(Cycle now)
+{
+    assert(awaitingVl());
+    coproc_.cancelVlRequest(id_);
+
+    // Bounded retry exceeded: give up on the SIMD version of this phase
+    // and run the remaining elements through the multi-version scalar
+    // fallback (Section 6.3), 4 scalar instructions per cycle. In the
+    // epilogue (AwaitRelease) there is no remaining work — the release
+    // itself is abandoned and the epilogue simply continues.
+    const VectorLoop &loop = curLoop();
+    phases_.back().scalarVersion = true;
+    const std::uint64_t remaining =
+        loop.phase.tripElems > elems_done_
+            ? loop.phase.tripElems - elems_done_
+            : 0;
+    const std::uint64_t insts_per_elem = loop.scalarBody.empty()
+                                             ? loop.body.size()
+                                             : loop.scalarBody.size();
+    stall_until_ = now + (remaining * insts_per_elem + 3) / 4;
+    elems_done_ = loop.phase.tripElems;
+    if (state_ != State::AwaitRelease)
+        inst_idx_ = 0;
+    state_ = State::Epilogue;
+    blocked_ = false;
+    OCCAMY_LOG(now, "Core",
+               "core%u watchdog escalation: scalar fallback for %llu elems",
+               id_, static_cast<unsigned long long>(remaining));
 }
 
 void

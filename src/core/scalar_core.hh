@@ -73,6 +73,29 @@ class ScalarCore
     CoreId id() const { return id_; }
     unsigned currentVl() const { return current_vl_; }
 
+    // --- Livelock-watchdog interface (sim/system.cc). ---
+
+    /** True while a <VL> write is outstanding (any Await state). */
+    bool awaitingVl() const
+    {
+        return state_ == State::AwaitVl || state_ == State::AwaitReconfig ||
+               state_ == State::AwaitRelease;
+    }
+
+    /** Cycle the current <VL>-request episode began. Unlike the
+     *  per-retry accounting timestamp, this is NOT reset when a
+     *  rejected request is re-written (the Fig. 9 retry spin), so the
+     *  watchdog sees the episode's total age. */
+    Cycle spinSince() const { return spin_since_; }
+
+    /**
+     * Watchdog escalation: abandon the outstanding <VL> request and run
+     * the rest of the phase through the multi-version scalar fallback
+     * (§6), charging the scalar cost model for the remaining elements.
+     * The core proceeds to its epilogue once the fallback stall expires.
+     */
+    void watchdogEscalate(Cycle now);
+
     /** Attach/detach the trace sink (null = tracing off). */
     void setEventSink(obs::EventSink *sink) { sink_ = sink; }
 
@@ -134,6 +157,7 @@ class ScalarCore
     unsigned current_vl_ = 0;        ///< BUs, mirror of <VL>.
     unsigned active_elems_ = 0;      ///< Elements live this iteration.
     Cycle await_since_ = 0;
+    Cycle spin_since_ = 0;           ///< Episode start (see spinSince()).
     Cycle stall_until_ = 0;          ///< Scalar-fallback cost model.
     unsigned vl_before_request_ = 0;
     /** Last tick ended with transmit budget left: the core is waiting

@@ -1,0 +1,293 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace occamy::fault
+{
+
+namespace
+{
+
+/** splitmix64: seeds the working state so nearby seeds diverge. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** xorshift64*, seeded via splitmix64. Deterministic across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        state_ = splitmix64(sm);
+        if (state_ == 0)
+            state_ = 0x2545f4914f6cdd1dULL;
+    }
+
+    std::uint64_t next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform in [lo, hi] via modulo — bias is irrelevant here. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::uint64_t
+parseNum(const std::string &s, const std::string &what)
+{
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+        throw std::invalid_argument("fault plan: bad " + what + " '" + s +
+                                    "'");
+    return std::stoull(s);
+}
+
+FaultSpec
+parseEntry(const std::string &entry)
+{
+    // kind@at[+duration][:k=v[,k=v...]]
+    std::size_t atPos = entry.find('@');
+    if (atPos == std::string::npos)
+        throw std::invalid_argument("fault plan: entry '" + entry +
+                                    "' missing '@'");
+    std::string kindStr = trim(entry.substr(0, atPos));
+    std::string rest = entry.substr(atPos + 1);
+
+    std::string kvStr;
+    std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+        kvStr = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+    }
+
+    FaultSpec spec;
+    std::size_t plus = rest.find('+');
+    if (plus != std::string::npos) {
+        spec.at = parseNum(trim(rest.substr(0, plus)), "cycle");
+        spec.duration = parseNum(trim(rest.substr(plus + 1)), "duration");
+        if (spec.duration == 0)
+            throw std::invalid_argument(
+                "fault plan: explicit +0 duration in '" + entry + "'");
+    } else {
+        spec.at = parseNum(trim(rest), "cycle");
+    }
+
+    if (kindStr == "lane")
+        spec.kind = FaultKind::LaneFault;
+    else if (kindStr == "vldeny")
+        spec.kind = FaultKind::VlDenial;
+    else if (kindStr == "dram")
+        spec.kind = FaultKind::DramSpike;
+    else if (kindStr == "cfgdelay")
+        spec.kind = FaultKind::ReconfigDelay;
+    else
+        throw std::invalid_argument("fault plan: unknown kind '" + kindStr +
+                                    "'");
+
+    bool saw_bu = false;
+    if (!kvStr.empty()) {
+        for (const std::string &kv : split(kvStr, ',')) {
+            std::size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                throw std::invalid_argument("fault plan: bad option '" + kv +
+                                            "'");
+            std::string key = trim(kv.substr(0, eq));
+            std::uint64_t val = parseNum(trim(kv.substr(eq + 1)), key);
+            if (key == "bu") {
+                spec.unit = static_cast<unsigned>(val);
+                saw_bu = true;
+            } else if (key == "core")
+                spec.core = static_cast<CoreId>(val);
+            else if (key == "lat")
+                spec.extraLatency = static_cast<unsigned>(val);
+            else if (key == "bw")
+                spec.bwDivisor = static_cast<unsigned>(val);
+            else if (key == "cycles")
+                spec.delayCycles = val;
+            else
+                throw std::invalid_argument("fault plan: unknown key '" +
+                                            key + "'");
+        }
+    }
+
+    switch (spec.kind) {
+      case FaultKind::LaneFault:
+        if (spec.duration != 0)
+            throw std::invalid_argument(
+                "fault plan: lane faults are permanent (no +duration)");
+        if (!saw_bu)
+            throw std::invalid_argument(
+                "fault plan: lane fault needs an explicit bu=");
+        break;
+      case FaultKind::DramSpike:
+        if (spec.extraLatency == 0 && spec.bwDivisor <= 1)
+            throw std::invalid_argument(
+                "fault plan: dram spike needs lat= and/or bw=");
+        if (spec.bwDivisor == 0)
+            throw std::invalid_argument("fault plan: bw=0 is invalid");
+        break;
+      case FaultKind::ReconfigDelay:
+        if (spec.delayCycles == 0)
+            throw std::invalid_argument(
+                "fault plan: cfgdelay needs cycles=");
+        break;
+      case FaultKind::VlDenial:
+        break;
+    }
+    return spec;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    for (const std::string &raw : split(text, ';')) {
+        std::string entry = trim(raw);
+        if (entry.empty())
+            continue;
+        plan.faults.push_back(parseEntry(entry));
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::random(std::uint64_t seed, const MachineConfig &cfg)
+{
+    Rng rng(seed);
+    FaultPlan plan;
+
+    // One ExeBU hard fault somewhere in the early run.
+    {
+        FaultSpec s;
+        s.kind = FaultKind::LaneFault;
+        s.at = rng.range(10'000, 120'000);
+        s.unit = static_cast<unsigned>(rng.range(0, cfg.numExeBUs - 1));
+        plan.faults.push_back(s);
+    }
+
+    // One or two bounded <VL>-denial windows on random cores.
+    const unsigned denials = 1 + static_cast<unsigned>(rng.range(0, 1));
+    for (unsigned i = 0; i < denials; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::VlDenial;
+        s.at = rng.range(5'000, 150'000);
+        s.duration = rng.range(2'000, 20'000);
+        s.core = static_cast<CoreId>(rng.range(0, cfg.numCores - 1));
+        plan.faults.push_back(s);
+    }
+
+    // One DRAM spike window.
+    {
+        FaultSpec s;
+        s.kind = FaultKind::DramSpike;
+        s.at = rng.range(5'000, 150'000);
+        s.duration = rng.range(5'000, 40'000);
+        s.extraLatency = static_cast<unsigned>(rng.range(50, 400));
+        s.bwDivisor = static_cast<unsigned>(rng.range(1, 4));
+        plan.faults.push_back(s);
+    }
+
+    // One reconfiguration-delay window.
+    {
+        FaultSpec s;
+        s.kind = FaultKind::ReconfigDelay;
+        s.at = rng.range(5'000, 150'000);
+        s.duration = rng.range(5'000, 40'000);
+        s.core = static_cast<CoreId>(rng.range(0, cfg.numCores - 1));
+        s.delayCycles = rng.range(16, 256);
+        plan.faults.push_back(s);
+    }
+
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const FaultSpec &s : faults) {
+        if (!first)
+            os << ";";
+        first = false;
+        switch (s.kind) {
+          case FaultKind::LaneFault:
+            os << "lane@" << s.at << ":bu=" << s.unit;
+            break;
+          case FaultKind::VlDenial:
+            os << "vldeny@" << s.at;
+            if (s.duration)
+                os << "+" << s.duration;
+            if (s.core != kNoCore)
+                os << ":core=" << s.core;
+            break;
+          case FaultKind::DramSpike:
+            os << "dram@" << s.at;
+            if (s.duration)
+                os << "+" << s.duration;
+            os << ":lat=" << s.extraLatency << ",bw=" << s.bwDivisor;
+            break;
+          case FaultKind::ReconfigDelay:
+            os << "cfgdelay@" << s.at;
+            if (s.duration)
+                os << "+" << s.duration;
+            os << ":";
+            if (s.core != kNoCore)
+                os << "core=" << s.core << ",";
+            os << "cycles=" << s.delayCycles;
+            break;
+        }
+    }
+    return os.str();
+}
+
+} // namespace occamy::fault

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * A FaultPlan is a declarative list of faults to inject into one run:
+ * ExeBU hard faults (a lane group goes permanently offline), transient
+ * <VL>-grant denials (extended <status>-busy windows), DRAM latency /
+ * bandwidth spikes, and delayed Dispatch.Cfg/RegFile.Cfg reconfiguration.
+ *
+ * Plans are pure data: the same plan applied to the same configuration
+ * and workload produces a byte-identical simulation (the injector never
+ * consults wall-clock time or global randomness). Plans come from one of
+ * two fully deterministic sources:
+ *
+ *   - FaultPlan::parse() — a compact textual grammar used by the
+ *     `--fault-plan` CLI flag, e.g.
+ *       "lane@50000:bu=3;vldeny@10000+5000:core=0;dram@20000+10000:lat=200,bw=4"
+ *   - FaultPlan::random() — a seeded generator (own xorshift PRNG, never
+ *     std:: distributions) used by `--fault-seed` and the fuzz tests.
+ */
+
+#ifndef OCCAMY_FAULT_FAULT_HH
+#define OCCAMY_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace occamy::fault
+{
+
+/** The four fault categories the injector knows how to deliver. */
+enum class FaultKind : std::uint8_t
+{
+    LaneFault,      ///< ExeBU goes permanently offline at `at`.
+    VlDenial,       ///< <VL> requests from `core` are denied during the window.
+    DramSpike,      ///< DRAM latency/bandwidth degraded during the window.
+    ReconfigDelay,  ///< Cfg-table rewrites for `core` stall `delayCycles`.
+};
+
+/** One scheduled fault. Fields beyond (kind, at) are kind-specific. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::LaneFault;
+    Cycle at = 0;            ///< Cycle the fault begins.
+    Cycle duration = 0;      ///< Window length; 0 = permanent / unbounded.
+    unsigned unit = 0;       ///< LaneFault: ExeBU index to kill.
+    CoreId core = kNoCore;   ///< VlDenial/ReconfigDelay target; kNoCore = all.
+    unsigned extraLatency = 0;  ///< DramSpike: cycles added to dramLatency.
+    unsigned bwDivisor = 1;     ///< DramSpike: dramBytesPerCycle divisor.
+    Cycle delayCycles = 0;   ///< ReconfigDelay: added reconfiguration stall.
+};
+
+/**
+ * An ordered collection of FaultSpecs. Order in `faults` is not
+ * significant — the injector sorts events internally — but parse() and
+ * random() both produce deterministic orderings so plans round-trip
+ * stably through describe().
+ */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /**
+     * Parse the `--fault-plan` grammar. Entries are ';'-separated:
+     *
+     *   kind@at[+duration][:key=value[,key=value...]]
+     *
+     *   lane@50000:bu=3              kill ExeBU 3 at cycle 50000
+     *   vldeny@10000+5000:core=0     deny core 0's <VL> requests for 5000cy
+     *   vldeny@10000:core=1          ...forever (no +duration = unbounded)
+     *   dram@20000+10000:lat=200,bw=4  +200cy latency, 1/4 bandwidth
+     *   cfgdelay@30000+10000:core=0,cycles=64
+     *
+     * Throws std::invalid_argument on malformed input.
+     */
+    static FaultPlan parse(const std::string &text);
+
+    /**
+     * Deterministically generate a moderate plan from a seed: one lane
+     * fault, one or two <VL>-denial windows, one DRAM spike and one
+     * reconfiguration delay, all placed within the first ~200k cycles.
+     * Same (seed, cfg.numExeBUs, cfg.numCores) => same plan.
+     */
+    static FaultPlan random(std::uint64_t seed, const MachineConfig &cfg);
+
+    /** Render the plan back into the parse() grammar (diagnostics). */
+    std::string describe() const;
+};
+
+} // namespace occamy::fault
+
+#endif // OCCAMY_FAULT_FAULT_HH

@@ -77,6 +77,11 @@ class LaneMgr
     /** Attach/detach the trace sink (null = tracing off). */
     void setEventSink(obs::EventSink *sink) { sink_ = sink; }
 
+    /** An ExeBU hard fault shrank the machine: partition over
+     *  @p usable_bus from now on (greedy roofline re-runs on the
+     *  degraded pool at the next plan publication). */
+    void degrade(unsigned usable_bus) { total_bus_ = usable_bus; }
+
     std::uint64_t plansMade() const { return plans_made_.value(); }
     const RooflineParams &params() const { return params_; }
     unsigned totalBus() const { return total_bus_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/injector.hh"
+
 namespace occamy
 {
 
@@ -11,6 +13,23 @@ MemSystem::MemSystem(const MachineConfig &cfg)
       vec_cache_("vec_cache", cfg.vecCache),
       l2_("l2", cfg.l2)
 {
+}
+
+unsigned
+MemSystem::dramLatencyAt(Cycle now) const
+{
+    if (!injector_)
+        return cfg_.dramLatency;
+    return cfg_.dramLatency + injector_->dramExtraLatency(now);
+}
+
+unsigned
+MemSystem::dramBpcAt(Cycle now) const
+{
+    if (!injector_)
+        return cfg_.dramBytesPerCycle;
+    const unsigned div = std::max(1u, injector_->dramBandwidthDivisor(now));
+    return std::max(1u, cfg_.dramBytesPerCycle / div);
 }
 
 void
@@ -71,18 +90,18 @@ MemSystem::maybePrefetch(Addr trigger_line, Cycle now)
         if (vec_cache_.contains(pf) || l2_.contains(pf))
             continue;
         const Cycle start =
-            reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, now);
+            reserve(dram_busy_until_, line, dramBpcAt(now), now);
         dram_bytes_ += line;
         ++prefetches_;
-        line_ready_[pf] = start + cfg_.dramLatency;
-        pending_fills_.push(start + cfg_.dramLatency);
+        line_ready_[pf] = start + dramLatencyAt(now);
+        pending_fills_.push(start + dramLatencyAt(now));
         recordDram(now, obs::EventKind::DramRead, pf, line,
-                   start + cfg_.dramLatency);
+                   start + dramLatencyAt(now));
         // Prefetch into L2 only: demand accesses pull lines into the
         // VecCache, so streams do not flush co-runners' resident sets.
         CacheAccessResult pr = l2_.access(pf, /*is_write=*/false);
         if (pr.writeback)
-            reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, start);
+            reserve(dram_busy_until_, line, dramBpcAt(now), start);
     }
     it->second = target;
 }
@@ -117,7 +136,7 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Cycle now,
     }
 
     if (l2r.writeback) {
-        reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, l2_done);
+        reserve(dram_busy_until_, line, dramBpcAt(now), l2_done);
         dram_bytes_ += line;
         recordDram(now, obs::EventKind::DramWrite, l2r.victimLine, line,
                    l2_done);
@@ -125,10 +144,10 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Cycle now,
 
     // Miss in L2: DRAM, bandwidth-limited at 64 GB/s (32 B/cycle @2 GHz).
     const Cycle dram_start =
-        reserve(dram_busy_until_, line, cfg_.dramBytesPerCycle, l2_done);
+        reserve(dram_busy_until_, line, dramBpcAt(now), l2_done);
     ++dram_reads_;
     dram_bytes_ += line;
-    const Cycle ready = dram_start + cfg_.dramLatency;
+    const Cycle ready = dram_start + dramLatencyAt(now);
     line_ready_[line_addr] = ready;
     pending_fills_.push(ready);
     recordDram(now, obs::EventKind::DramRead, line_addr, line, ready);

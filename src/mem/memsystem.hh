@@ -34,6 +34,11 @@
 namespace occamy
 {
 
+namespace fault
+{
+class FaultInjector;
+}
+
 /** Completion times of one vector memory access. */
 struct MemAccessResult
 {
@@ -104,7 +109,21 @@ class MemSystem
     /** Attach/detach the trace sink (null = tracing off). */
     void setEventSink(obs::EventSink *sink) { sink_ = sink; }
 
+    /** Attach a fault injector (null = fault-free; the default).
+     *  Active DramSpike windows add latency / divide bandwidth. */
+    void setFaultInjector(const fault::FaultInjector *inj)
+    {
+        injector_ = inj;
+    }
+
   private:
+    /** Effective DRAM fill latency at @p now (injected spikes added). */
+    unsigned dramLatencyAt(Cycle now) const;
+
+    /** Effective DRAM bandwidth at @p now (injected divisor applied,
+     *  floored at 1 byte/cycle). */
+    unsigned dramBpcAt(Cycle now) const;
+
     /** Record a DRAM transaction (kEvMem), if traced. */
     void recordDram(Cycle now, obs::EventKind kind, Addr line_addr,
                     unsigned bytes, Cycle ready) const;
@@ -156,6 +175,7 @@ class MemSystem
     stats::Counter prefetches_;
 
     obs::EventSink *sink_ = nullptr;    ///< Borrowed, may be null.
+    const fault::FaultInjector *injector_ = nullptr;  ///< Borrowed.
 };
 
 } // namespace occamy

@@ -69,6 +69,22 @@ enum class EventKind : std::uint8_t
                       ///< event's cycle is the decision cycle; a=number
                       ///< of skipped cycles, b=wake source
                       ///< (occamy::WakeSource numeric value).
+
+    // --- Fault injection & degradation (src/fault). Appended after
+    // --- SchedFastForward to keep the binary trace format stable. ---
+    FaultInject,    ///< A fault became active. core=target (owner for
+                    ///< lane faults, kNoCore for machine-wide windows),
+                    ///< a=FaultKind numeric value, b=kind-specific
+                    ///< detail (lane: unit index; dram: extra latency;
+                    ///< cfgdelay: delay cycles; vldeny: window length,
+                    ///< 0 = unbounded).
+    FaultRecover,   ///< A transient fault window ended. core=target,
+                    ///< a=FaultKind numeric value, b=window start cycle.
+    PartitionDegrade, ///< Resource table shrank after a lane fault.
+                      ///< a=usable ExeBUs after, b=configured total.
+    WatchdogTrip,   ///< Livelock watchdog escalated a spinning core to
+                    ///< its scalar fallback. core=victim, a=vl at trip,
+                    ///< b=cycles spent spinning.
 };
 
 /** Coarse category bits used to subset recording. */
@@ -86,9 +102,14 @@ inline constexpr EventMask kEvSched = 1u << 5;
  *  settings like RunOptions::fastForward; opt in with the "engine"
  *  category token. */
 inline constexpr EventMask kEvEngine = 1u << 6;
+/** Fault injection / degradation / watchdog events. Included in kEvAll:
+ *  they describe simulated-hardware behavior, and no fault event is ever
+ *  emitted unless a FaultPlan or watchdog is configured, so fault-free
+ *  traces are unaffected. */
+inline constexpr EventMask kEvFault = 1u << 7;
 inline constexpr EventMask kEvAll =
     kEvPhase | kEvPipeline | kEvPartition | kEvReconfig | kEvMem |
-    kEvSched;
+    kEvSched | kEvFault;
 
 /** @return the category bit of @p k. */
 constexpr EventMask
@@ -119,6 +140,11 @@ categoryOf(EventKind k)
         return kEvSched;
       case EventKind::SchedFastForward:
         return kEvEngine;
+      case EventKind::FaultInject:
+      case EventKind::FaultRecover:
+      case EventKind::PartitionDegrade:
+      case EventKind::WatchdogTrip:
+        return kEvFault;
     }
     return 0;
 }

@@ -26,6 +26,10 @@ eventKindName(EventKind k)
       case EventKind::DramWrite: return "dram_write";
       case EventKind::BatchDispatch: return "batch_dispatch";
       case EventKind::SchedFastForward: return "sched_fast_forward";
+      case EventKind::FaultInject: return "fault_inject";
+      case EventKind::FaultRecover: return "fault_recover";
+      case EventKind::PartitionDegrade: return "partition_degrade";
+      case EventKind::WatchdogTrip: return "watchdog_trip";
     }
     return "unknown";
 }
@@ -52,6 +56,8 @@ parseEventMask(const std::string &spec)
             mask |= kEvSched;
         else if (t == "engine")
             mask |= kEvEngine;
+        else if (t == "fault")
+            mask |= kEvFault;
     };
     for (char c : spec) {
         if (c == ',') {

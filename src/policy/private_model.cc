@@ -17,9 +17,15 @@ PrivateModel::resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
 {
     (void)cfg;
     (void)drained;
-    // The boot-time partition never changes.
-    if (requested == rt.core(c).vl)
-        return VlOutcome::grant(requested);
+    // The partition never changes by request: a write is satisfied with
+    // the core's current entitlement. Unfaulted this is exactly the
+    // boot-time share the compiler hard-coded (grant == requested); after
+    // a lane fault the entitlement has shrunk and the request is granted
+    // at the degraded width. A core faulted to zero ExeBUs is rejected
+    // forever — the watchdog escalates it to the scalar fallback.
+    const unsigned vl = rt.core(c).vl;
+    if (vl > 0 && requested >= vl)
+        return VlOutcome::grant(vl);
     return VlOutcome::reject();
 }
 

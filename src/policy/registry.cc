@@ -8,6 +8,7 @@
  */
 
 #include <cassert>
+#include <memory>
 
 #include "policy/models.hh"
 
@@ -17,13 +18,24 @@ namespace occamy::policy
 const std::vector<const SharingModel *> &
 allModels()
 {
-    static const std::vector<const SharingModel *> models = {
-        makePrivateModel(),
-        makeTemporalModel(),
-        makeStaticSpatialModel(),
-        makeElasticModel(),
-        makeVlsWcModel(),
-    };
+    // The models are owned here so LeakSanitizer sees them reclaimed
+    // at exit; the raw-pointer view is what the rest of the tree uses.
+    static const std::vector<std::unique_ptr<const SharingModel>> owned =
+        [] {
+            std::vector<std::unique_ptr<const SharingModel>> v;
+            v.emplace_back(makePrivateModel());
+            v.emplace_back(makeTemporalModel());
+            v.emplace_back(makeStaticSpatialModel());
+            v.emplace_back(makeElasticModel());
+            v.emplace_back(makeVlsWcModel());
+            return v;
+        }();
+    static const std::vector<const SharingModel *> models = [] {
+        std::vector<const SharingModel *> v;
+        for (const auto &m : owned)
+            v.push_back(m.get());
+        return v;
+    }();
     return models;
 }
 

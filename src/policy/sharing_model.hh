@@ -207,6 +207,26 @@ class SharingModel
                                 unsigned requested,
                                 bool drained) const = 0;
 
+    /**
+     * An ExeBU went permanently offline (hard fault). Called after the
+     * co-processor has already excluded @p unit from both Cfg tables
+     * and shrunk the resource table (<AL> if the unit was free, the
+     * owner's <VL> otherwise), so rt.usableBus() reflects the degraded
+     * machine. Policies adjust their entitlement state here: the
+     * default re-publishes <decision> via updateDecisions(); the
+     * elastic policy additionally re-invokes the LaneMgr (the
+     * co-processor schedules that re-plan when usesLaneManager()).
+     *
+     * @param owner The evicted owner, or kNoCore if the unit was free.
+     */
+    virtual void onLaneFault(const MachineConfig &cfg, ResourceTable &rt,
+                             unsigned unit, CoreId owner) const
+    {
+        (void)unit;
+        (void)owner;
+        updateDecisions(cfg, rt);
+    }
+
     // --- Compiler strategy (§6). ---
 
     /** Which EM-SIMD code blocks the compiler emits (Fig. 9). */

@@ -46,9 +46,13 @@ StaticSpatialModel::resolveVl(const MachineConfig &cfg,
 {
     (void)cfg;
     (void)drained;
-    // The offline partition never changes.
-    if (requested == rt.core(c).vl)
-        return VlOutcome::grant(requested);
+    // The offline partition never changes by request: a write is
+    // satisfied with the core's current entitlement (== its static plan
+    // entry unfaulted, something smaller after a lane fault shrank it).
+    // Zero entitlement rejects forever; the watchdog handles escalation.
+    const unsigned vl = rt.core(c).vl;
+    if (vl > 0 && requested >= vl)
+        return VlOutcome::grant(vl);
     return VlOutcome::reject();
 }
 

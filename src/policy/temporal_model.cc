@@ -40,12 +40,13 @@ VlOutcome
 TemporalModel::resolveVl(const MachineConfig &cfg, const ResourceTable &rt,
                          CoreId c, unsigned requested, bool drained) const
 {
-    (void)rt;
     (void)c;
     (void)requested;
     (void)drained;
-    // A full-width unit shared in time: <VL> is the machine width.
-    return VlOutcome::grant(cfg.numExeBUs);
+    (void)cfg;
+    // A full-width unit shared in time: <VL> is the machine width —
+    // whatever of it still works after hard faults.
+    return VlOutcome::grant(rt.usableBus());
 }
 
 unsigned

@@ -65,6 +65,9 @@ class VlsWcModel : public StaticSpatialModel
                     ResourceTable &rt) const override
     {
         const unsigned n = rt.numCores();
+        // Partition over what still works: hard faults shrink the pool
+        // (usableBus == numExeBUs while unfaulted).
+        const unsigned usable = rt.usableBus();
         unsigned active = 0;
         unsigned entitled = 0;
         for (unsigned c = 0; c < n; ++c) {
@@ -78,13 +81,38 @@ class VlsWcModel : public StaticSpatialModel
                 rt.core(static_cast<CoreId>(c)).decision = 0;
             return;
         }
+        if (entitled > usable) {
+            // Degraded machine: the offline entitlements no longer fit.
+            // Shrink them proportionally (floor), handing the remainder
+            // to the lowest-numbered active cores — deterministic, and
+            // decisions still sum to the usable width.
+            std::vector<unsigned> share(n, 0);
+            unsigned given = 0;
+            for (unsigned c = 0; c < n; ++c) {
+                const auto &pc = rt.core(static_cast<CoreId>(c));
+                if (!pc.oi.active())
+                    continue;
+                share[c] = entitlement(cfg, static_cast<CoreId>(c)) *
+                           usable / entitled;
+                given += share[c];
+            }
+            unsigned remainder = usable - given;
+            for (unsigned c = 0; c < n && remainder; ++c) {
+                if (rt.core(static_cast<CoreId>(c)).oi.active()) {
+                    ++share[c];
+                    --remainder;
+                }
+            }
+            for (unsigned c = 0; c < n; ++c)
+                rt.core(static_cast<CoreId>(c)).decision = share[c];
+            return;
+        }
         // Everything not entitled to an active core is the loan pool:
         // idle entitlements plus units the offline plan left
         // unassigned. Split it equally, remainder to the
         // lowest-numbered active cores, so decisions are deterministic
         // and always sum to the machine width.
-        const unsigned pool =
-            cfg.numExeBUs > entitled ? cfg.numExeBUs - entitled : 0;
+        const unsigned pool = usable - entitled;
         const unsigned extra = pool / active;
         unsigned remainder = pool % active;
         for (unsigned c = 0; c < n; ++c) {

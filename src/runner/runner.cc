@@ -7,7 +7,11 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <new>
+#include <system_error>
 #include <thread>
+
+#include "fault/fault.hh"
 
 namespace occamy::runner
 {
@@ -56,7 +60,7 @@ stderrProgress()
 }
 
 JobResult
-Runner::runOne(const JobSpec &spec)
+Runner::runOne(const JobSpec &spec, unsigned transient_retries)
 {
     JobResult out;
     out.id = spec.id;
@@ -64,44 +68,86 @@ Runner::runOne(const JobSpec &spec)
     out.policy = spec.cfg.policy;
 
     const auto t0 = std::chrono::steady_clock::now();
-    try {
-        System sys(spec.cfg);
-        // System::setWorkload range-checks the core id, so a spec with
-        // more slots than cores becomes a contained per-job failure.
-        for (std::size_t c = 0; c < spec.workloads.size(); ++c)
-            sys.setWorkload(static_cast<CoreId>(c),
-                            spec.workloads[c].first,
-                            spec.workloads[c].second);
-        for (const auto &[name, loops] : spec.batch)
-            sys.enqueueWorkload(name, loops);
-        RunOptions ropt;
-        ropt.maxCycles = spec.maxCycles;
-        ropt.bucket = spec.bucket;
-        ropt.snapshotEvery = spec.snapshotEvery;
-        ropt.fastForward = spec.fastForward;
-        ropt.ffStats = &out.ff;
+    for (unsigned attempt = 0;; ++attempt) {
+        out.status = JobStatus::Ok;
+        out.error.clear();
+        out.result = RunResult{};
+        out.trace = obs::TraceBuffer{};
+        out.ff = FastForwardStats{};
         // The sink lives on this worker thread for exactly this job;
         // no other thread ever sees it (stats.hh concurrency contract).
+        // Held outside the try so a throwing or timed-out run still
+        // hands back the partial trace it captured.
         std::unique_ptr<obs::RingSink> sink;
-        if (spec.traceEvents != 0) {
+        if (spec.traceEvents != 0)
             sink = std::make_unique<obs::RingSink>(spec.traceCapacity,
                                                    spec.traceEvents);
-            ropt.sink = sink.get();
+        bool transient = false;
+        try {
+            System sys(spec.cfg);
+            // System::setWorkload range-checks the core id, so a spec
+            // with more slots than cores becomes a contained per-job
+            // failure.
+            for (std::size_t c = 0; c < spec.workloads.size(); ++c)
+                sys.setWorkload(static_cast<CoreId>(c),
+                                spec.workloads[c].first,
+                                spec.workloads[c].second);
+            for (const auto &[name, loops] : spec.batch)
+                sys.enqueueWorkload(name, loops);
+            RunOptions ropt;
+            ropt.maxCycles = spec.maxCycles;
+            ropt.bucket = spec.bucket;
+            ropt.snapshotEvery = spec.snapshotEvery;
+            ropt.fastForward = spec.fastForward;
+            ropt.watchdogCycles = spec.watchdogCycles;
+            ropt.wallClockLimitSec = spec.wallClockLimitSec;
+            ropt.ffStats = &out.ff;
+            if (sink)
+                ropt.sink = sink.get();
+            // Parsed inside the try: a malformed plan fails this job,
+            // not the sweep.
+            fault::FaultPlan plan;
+            if (!spec.faultPlan.empty())
+                plan = fault::FaultPlan::parse(spec.faultPlan);
+            else if (spec.faultSeed)
+                plan = fault::FaultPlan::random(spec.faultSeed,
+                                                spec.cfg);
+            if (!plan.empty())
+                ropt.faultPlan = &plan;
+            out.result = sys.run(ropt);
+            if (out.result.timedOut) {
+                out.status = JobStatus::Failed;
+                out.error = "hit the " + std::to_string(spec.maxCycles) +
+                            "-cycle cap (partial result retained)";
+            } else if (out.result.wallKilled) {
+                out.status = JobStatus::Failed;
+                out.error = "killed by the " +
+                            std::to_string(spec.wallClockLimitSec) +
+                            "s wall-clock limit (partial result "
+                            "retained)";
+            }
+        } catch (const std::bad_alloc &) {
+            out.status = JobStatus::Failed;
+            out.error = "out of memory";
+            transient = true;
+        } catch (const std::system_error &e) {
+            out.status = JobStatus::Failed;
+            out.error = e.what();
+            transient = true;
+        } catch (const std::exception &e) {
+            out.status = JobStatus::Failed;
+            out.error = e.what();
+        } catch (...) {
+            out.status = JobStatus::Failed;
+            out.error = "unknown exception";
         }
-        out.result = sys.run(ropt);
         if (sink)
             out.trace = sink->take();
-        if (out.result.timedOut) {
-            out.status = JobStatus::Failed;
-            out.error = "hit the " + std::to_string(spec.maxCycles) +
-                        "-cycle cap (partial result retained)";
-        }
-    } catch (const std::exception &e) {
-        out.status = JobStatus::Failed;
-        out.error = e.what();
-    } catch (...) {
-        out.status = JobStatus::Failed;
-        out.error = "unknown exception";
+        if (out.ok() || !transient || attempt >= transient_retries)
+            break;
+        // Host-condition failure with retries left: back off and rerun.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10LL << attempt));
     }
     out.wallMs = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
@@ -138,7 +184,7 @@ Runner::run(std::vector<JobSpec> jobs) const
             ++running;
             // Results land at the spec's position, so completion order
             // (and thus thread count) never affects sweep output.
-            sweep.jobs[i] = runOne(jobs[i]);
+            sweep.jobs[i] = runOne(jobs[i], opt_.transientRetries);
             if (!sweep.jobs[i].ok())
                 ++failed;
             --running;
@@ -168,7 +214,7 @@ Runner::run(std::vector<JobSpec> jobs) const
     if (threads <= 1 && !opt_.onProgress) {
         // Inline fast path: no pool needed, still fault-contained.
         for (std::size_t i = 0; i < n; ++i) {
-            sweep.jobs[i] = runOne(jobs[i]);
+            sweep.jobs[i] = runOne(jobs[i], opt_.transientRetries);
             if (!sweep.jobs[i].ok())
                 ++failed;
             ++done;

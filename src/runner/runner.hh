@@ -86,6 +86,27 @@ struct JobSpec
     /** Skip quiescent spans of the cycle loop (RunOptions::fastForward;
      *  results are identical either way). */
     bool fastForward = true;
+
+    /** Fault plan in fault::FaultPlan::parse grammar, e.g.
+     *  "lane@50000:bu=3;vldeny@10000+5000:core=0". Parsed on the worker
+     *  thread, so a malformed plan is a contained per-job failure.
+     *  Empty (default) = no textual plan. */
+    std::string faultPlan;
+
+    /** When faultPlan is empty and this is nonzero, the job runs under
+     *  the seeded random plan fault::FaultPlan::random(faultSeed, cfg)
+     *  — same seed, same plan, same result. 0 = fault-free. */
+    std::uint64_t faultSeed = 0;
+
+    /** Livelock watchdog threshold (RunOptions::watchdogCycles);
+     *  0 = watchdog off. */
+    Cycle watchdogCycles = 0;
+
+    /** Hard per-job wall-clock kill in seconds
+     *  (RunOptions::wallClockLimitSec); 0 = off. A killed job is
+     *  Failed, never retried (the next attempt would die the same
+     *  way), and keeps its partial trace. */
+    double wallClockLimitSec = 0.0;
 };
 
 /** Terminal state of one job. */
@@ -113,7 +134,10 @@ struct JobResult
      *  partial state at the cap; on an exception it is empty. */
     RunResult result;
 
-    /** Captured event trace (empty unless JobSpec::traceEvents != 0). */
+    /** Captured event trace (empty unless JobSpec::traceEvents != 0).
+     *  Failed and timed-out jobs keep whatever the ring captured up to
+     *  the failure point — the partial trace is often the only
+     *  diagnostic a hung or faulted run leaves behind. */
     obs::TraceBuffer trace;
 
     /** Wall-clock spent simulating, for operator feedback only. Never
@@ -158,6 +182,13 @@ struct RunnerOptions
     /** Invoked ~2x/second from the coordinating thread while the sweep
      *  runs, and once after the last job. Leave empty for silence. */
     std::function<void(const Progress &)> onProgress;
+
+    /** Extra attempts for jobs that fail transiently (std::bad_alloc,
+     *  std::system_error — host conditions, not simulator bugs), with
+     *  10 ms * 2^attempt backoff before each retry. Deterministic
+     *  failures (sim exceptions, cycle cap, wall-clock kill) are never
+     *  retried. 0 (default) = single attempt. */
+    unsigned transientRetries = 0;
 };
 
 /**
@@ -182,8 +213,10 @@ class Runner
      */
     SweepResult run(std::vector<JobSpec> jobs) const;
 
-    /** Convenience: run one job with fault containment, inline. */
-    static JobResult runOne(const JobSpec &spec);
+    /** Convenience: run one job with fault containment, inline.
+     *  @p transient_retries follows RunnerOptions::transientRetries. */
+    static JobResult runOne(const JobSpec &spec,
+                            unsigned transient_retries = 0);
 
   private:
     RunnerOptions opt_;

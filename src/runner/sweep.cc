@@ -73,6 +73,8 @@ sweepToJson(const SweepResult &sweep)
            << ",\"status\":\"" << jobStatusName(j.status) << "\""
            << ",\"error\":\"" << jsonEscape(j.error) << "\""
            << ",\"timed_out\":" << (j.result.timedOut ? "true" : "false")
+           << ",\"watchdog_trips\":" << j.result.watchdogTrips
+           << ",\"lane_faults\":" << j.result.laneFaults
            << ",\"ff\":{\"simulated\":" << j.ff.cyclesSimulated
            << ",\"ticked\":" << j.ff.cyclesTicked
            << ",\"spans\":" << j.ff.spans << "}"
@@ -95,7 +97,7 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
         max_cores = std::max(max_cores, j.result.cores.size());
 
     os << "id,label,policy,status,timed_out,cycles,simd_util,dram_bytes,"
-          "cycles_ticked";
+          "cycles_ticked,watchdog_trips,lane_faults";
     for (std::size_t c = 0; c < max_cores; ++c)
         os << ",core" << c << "_workload,core" << c << "_finish";
     os << "\n";
@@ -106,7 +108,8 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
            << "," << jobStatusName(j.status) << ","
            << (j.result.timedOut ? 1 : 0) << "," << j.result.cycles
            << "," << j.result.simdUtil << "," << j.result.dramBytes
-           << "," << j.ff.cyclesTicked;
+           << "," << j.ff.cyclesTicked << "," << j.result.watchdogTrips
+           << "," << j.result.laneFaults;
         for (std::size_t c = 0; c < max_cores; ++c) {
             if (c < j.result.cores.size())
                 os << "," << j.result.cores[c].workload << ","

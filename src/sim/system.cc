@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <chrono>
 #include <sstream>
 
+#include "fault/injector.hh"
 #include "kir/analysis.hh"
 #include "lanemgr/partitioner.hh"
 #include "policy/sharing_model.hh"
@@ -56,6 +58,16 @@ System::run(const RunOptions &opt)
 
     MemSystem mem(cfg);
     CoProcessor coproc(cfg, mem);
+
+    // Fault injection (src/fault): one injector serves the whole
+    // machine. Null plan = fault-free, and none of the hooks fire.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (opt.faultPlan && !opt.faultPlan->empty()) {
+        injector = std::make_unique<fault::FaultInjector>(*opt.faultPlan,
+                                                          cfg.numExeBUs);
+        coproc.setFaultInjector(injector.get());
+        mem.setFaultInjector(injector.get());
+    }
 
     // Compile a workload for a core and bind its arrays into a private,
     // staggered address region (distinct cache-set alignment per slot).
@@ -242,13 +254,59 @@ System::run(const RunOptions &opt)
         }
     };
 
+    std::uint64_t watchdog_trips = 0;
+    const auto wall_start = std::chrono::steady_clock::now();
+
     Cycle now = 0;
     Cycle last_finish = 0;
     for (; now < max_cycles; ++now) {
         ++ff.cyclesTicked;
+
+        // Hard wall-clock kill (runner containment): checked coarsely
+        // so the steady_clock read stays off the hot path.
+        if (opt.wallClockLimitSec > 0 &&
+            (ff.cyclesTicked & 0xFFFF) == 0) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - wall_start;
+            if (elapsed.count() > opt.wallClockLimitSec) {
+                result.wallKilled = true;
+                break;
+            }
+        }
+
+        if (injector)
+            injector->emitBoundaryEvents(now, opt.sink);
+
         coproc.tick(now);
         for (auto &core : cores)
             core->tick(now);
+
+        // Livelock/deadlock watchdog: a <VL>-request episode (initial
+        // write + Fig. 9 retry spin) that outlives the deadline is
+        // escalated to the scalar fallback instead of spinning forever.
+        if (opt.watchdogCycles) {
+            for (auto &core : cores) {
+                if (!core->awaitingVl() ||
+                    now < core->spinSince() + opt.watchdogCycles)
+                    continue;
+                const VlRequestStatus st =
+                    coproc.vlRequestStatus(core->id());
+                if (st.resolved && st.ok)
+                    continue;   // Grant landed; the spin ends next step.
+                ++watchdog_trips;
+                if (opt.sink &&
+                    opt.sink->wants(obs::EventKind::WatchdogTrip)) {
+                    obs::Event ev;
+                    ev.cycle = now;
+                    ev.kind = obs::EventKind::WatchdogTrip;
+                    ev.core = core->id();
+                    ev.a = coproc.currentVl(core->id());
+                    ev.b = now - core->spinSince();
+                    opt.sink->record(ev);
+                }
+                core->watchdogEscalate(now);
+            }
+        }
 
         // Dispatch queued workloads onto cores whose context switch
         // completed.
@@ -281,8 +339,11 @@ System::run(const RunOptions &opt)
             unsigned sum = 0;
             for (unsigned c = 0; c < cfg.numCores; ++c)
                 sum += coproc.busyLanes(static_cast<CoreId>(c));
-            if (sum > total_lanes)
-                fts_scale = static_cast<double>(total_lanes) / sum;
+            // The machine-wide cap is what still works: hard faults
+            // shrink the single shared unit (== total_lanes unfaulted).
+            const unsigned cap = coproc.usableLanes();
+            if (sum > cap)
+                fts_scale = static_cast<double>(cap) / sum;
         }
         for (unsigned c = 0; c < cfg.numCores; ++c) {
             if (!done[c]) {
@@ -378,6 +439,21 @@ System::run(const RunOptions &opt)
                 consider((now / opt.snapshotEvery + 1) *
                              opt.snapshotEvery,
                          WakeSource::Snapshot);
+            // Fault-plan boundaries change component behaviour even when
+            // the machine is otherwise quiescent, and a spinning core's
+            // watchdog deadline is a state change the probes above can't
+            // see. Both must be wake candidates or fast-forward would
+            // skip past them and diverge from the ticked run.
+            if (injector)
+                consider(injector->nextEventAt(now), WakeSource::Fault);
+            if (opt.watchdogCycles) {
+                for (auto &core : cores)
+                    if (core->awaitingVl())
+                        consider(std::max(core->spinSince() +
+                                              opt.watchdogCycles,
+                                          now + 1),
+                                 WakeSource::Watchdog);
+            }
         }
         if (wake <= now + 1)
             continue;
@@ -456,12 +532,24 @@ System::run(const RunOptions &opt)
     result.dramBytes = mem.dramBytes();
     result.vlSwitches = coproc.vlSwitches();
     result.plansMade = coproc.plansMade();
+    result.watchdogTrips = watchdog_trips;
+    result.laneFaults = coproc.laneFaults();
 
     // gem5-style stats dump (same groups the snapshots sampled).
     {
         std::ostringstream os;
         mem_group.dump(os);
         cp_group.dump(os);
+        stats::Group run_group("system.run");
+        run_group.addFormula(
+            "watchdog_trips",
+            [&] { return static_cast<double>(watchdog_trips); },
+            "livelock-watchdog scalar-fallback escalations");
+        run_group.addFormula(
+            "lane_faults",
+            [&] { return static_cast<double>(result.laneFaults); },
+            "ExeBU hard faults applied");
+        run_group.dump(os);
         result.statsText = os.str();
     }
     return result;

@@ -20,6 +20,7 @@
 #include "compiler/compiler.hh"
 #include "coproc/coproc.hh"
 #include "core/scalar_core.hh"
+#include "fault/fault.hh"
 #include "kir/kir.hh"
 #include "mem/memsystem.hh"
 #include "obs/events.hh"
@@ -100,6 +101,14 @@ struct RunResult
     std::uint64_t plansMade = 0;
     bool timedOut = false;      ///< Hit the run() cycle cap.
 
+    /** Livelock-watchdog escalations (RunOptions::watchdogCycles). */
+    std::uint64_t watchdogTrips = 0;
+    /** ExeBU hard faults applied (RunOptions::faultPlan). */
+    std::uint64_t laneFaults = 0;
+    /** Run aborted by the wall-clock limit (nondeterministic — never
+     *  part of any exported deterministic artifact). */
+    bool wallKilled = false;
+
     /** Per-workload records for batch-queued workloads (FCFS). */
     std::vector<BatchCompletion> batch;
 
@@ -119,6 +128,8 @@ enum class WakeSource : std::uint8_t
     Dispatch,   ///< Batch context switch finishes.
     Snapshot,   ///< Periodic metric-snapshot boundary.
     Cap,        ///< Nothing pending before the maxCycles cap.
+    Fault,      ///< Fault-plan boundary (lane fault / window edge).
+    Watchdog,   ///< Livelock-watchdog deadline for a spinning core.
 };
 
 /**
@@ -157,6 +168,23 @@ struct RunOptions
     /** If non-null, receives the run's fast-forward accounting.
      *  Borrowed — must outlive the run() call. */
     FastForwardStats *ffStats = nullptr;
+
+    /** Fault plan to inject (null or empty = fault-free, the default;
+     *  with no plan and no watchdog the run is byte-identical to a
+     *  build without the fault subsystem). Borrowed — must outlive the
+     *  run() call. */
+    const fault::FaultPlan *faultPlan = nullptr;
+
+    /** Livelock watchdog: a <VL>-request episode (initial write plus
+     *  its Fig. 9 retry spin) older than this many cycles is escalated
+     *  to the multi-version scalar fallback. 0 = watchdog off. */
+    Cycle watchdogCycles = 0;
+
+    /** Hard wall-clock kill: abort the run (wallKilled = true) once it
+     *  has consumed this many seconds of host time. 0 = off. Checked
+     *  coarsely (every 64k ticked cycles); inherently nondeterministic,
+     *  so it feeds no deterministic artifact. */
+    double wallClockLimitSec = 0.0;
 };
 
 /** One simulated machine plus the workloads bound to its cores. */

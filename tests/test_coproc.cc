@@ -208,11 +208,20 @@ TEST_F(CoprocTest, SameVlIsTrivialSuccessWithoutDrain)
 
 TEST_F(CoprocTest, PrivateRejectsRepartitioning)
 {
+    // Shrink requests are rejected outright; over-asks clamp to the
+    // fixed entitlement (graceful degradation after a lane fault) —
+    // either way the partition itself never moves.
     build(SharingPolicy::Private);
-    cp->enqueueEmSimd(msrVl(0, 6));
+    cp->enqueueEmSimd(msrVl(0, 2));
     const VlRequestStatus st = awaitVl(0);
     ASSERT_TRUE(st.resolved);
     EXPECT_FALSE(st.ok);
+    EXPECT_EQ(cp->currentVl(0), 4u);
+
+    cp->enqueueEmSimd(msrVl(0, 6));
+    const VlRequestStatus over = awaitVl(0);
+    ASSERT_TRUE(over.resolved);
+    EXPECT_TRUE(over.ok);
     EXPECT_EQ(cp->currentVl(0), 4u);
 }
 

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: plan grammar round-trips, seeded
+ * plan determinism, the no-fault byte-identity guarantee, ticked vs.
+ * fast-forwarded equivalence under faults, graceful lane degradation
+ * across every registered sharing policy, and the livelock watchdog's
+ * scalar-fallback escalation (with the deadlock it prevents shown by
+ * switching it off).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+#include "obs/export.hh"
+#include "obs/sink.hh"
+#include "policy/sharing_model.hh"
+#include "sim/system.hh"
+#include "sim/trace.hh"
+#include "workloads/phases.hh"
+
+namespace occamy
+{
+namespace
+{
+
+using workloads::makeNamedPhase;
+
+std::vector<kir::Loop>
+memWorkload()
+{
+    return {makeNamedPhase("rho_eos1", 16384),
+            makeNamedPhase("rho_eos4", 16384)};
+}
+
+std::vector<kir::Loop>
+compWorkload(std::uint64_t trip = 65536)
+{
+    return {makeNamedPhase("wsm51", trip)};
+}
+
+RunResult
+runPair(SharingPolicy p, const RunOptions &opt)
+{
+    System sys(MachineConfig::forPolicy(p, 2));
+    sys.setWorkload(0, "mem", memWorkload());
+    sys.setWorkload(1, "comp", compWorkload());
+    return sys.run(opt);
+}
+
+/** Serialize a trace buffer to its compact binary bytes. */
+std::string
+traceBytes(const obs::TraceBuffer &buf)
+{
+    std::ostringstream os(std::ios::binary);
+    obs::writeBinaryTrace(os, buf);
+    return os.str();
+}
+
+// --- Plan grammar. ---
+
+TEST(FaultPlan, ParseRoundTripsThroughDescribe)
+{
+    const std::string text =
+        "lane@50000:bu=3;vldeny@10000+5000:core=0;"
+        "dram@20000+10000:lat=200,bw=4;"
+        "cfgdelay@30000+10000:core=1,cycles=64";
+    const fault::FaultPlan plan = fault::FaultPlan::parse(text);
+    ASSERT_EQ(plan.faults.size(), 4u);
+
+    EXPECT_EQ(plan.faults[0].kind, fault::FaultKind::LaneFault);
+    EXPECT_EQ(plan.faults[0].at, 50000u);
+    EXPECT_EQ(plan.faults[0].unit, 3u);
+
+    EXPECT_EQ(plan.faults[1].kind, fault::FaultKind::VlDenial);
+    EXPECT_EQ(plan.faults[1].duration, 5000u);
+    EXPECT_EQ(plan.faults[1].core, 0u);
+
+    EXPECT_EQ(plan.faults[2].kind, fault::FaultKind::DramSpike);
+    EXPECT_EQ(plan.faults[2].extraLatency, 200u);
+    EXPECT_EQ(plan.faults[2].bwDivisor, 4u);
+
+    EXPECT_EQ(plan.faults[3].kind, fault::FaultKind::ReconfigDelay);
+    EXPECT_EQ(plan.faults[3].delayCycles, 64u);
+
+    // describe() renders back into the grammar and re-parses stably.
+    const std::string desc = plan.describe();
+    EXPECT_EQ(fault::FaultPlan::parse(desc).describe(), desc);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(fault::FaultPlan::parse("bogus@100"),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::FaultPlan::parse("lane:bu=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(fault::FaultPlan::parse("lane@100"),
+                 std::invalid_argument);          // lane needs bu=.
+    EXPECT_THROW(fault::FaultPlan::parse("lane@100+50:bu=1"),
+                 std::invalid_argument);          // lane is permanent.
+    EXPECT_THROW(fault::FaultPlan::parse("dram@100+50:bw=0"),
+                 std::invalid_argument);          // zero bandwidth.
+    EXPECT_THROW(fault::FaultPlan::parse("vldeny@100+0:core=0"),
+                 std::invalid_argument);          // explicit +0.
+    EXPECT_THROW(fault::FaultPlan::parse("cfgdelay@100+50:core=0"),
+                 std::invalid_argument);          // missing cycles=.
+}
+
+TEST(FaultPlan, RandomIsSeedDeterministic)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    const auto a = fault::FaultPlan::random(42, cfg);
+    const auto b = fault::FaultPlan::random(42, cfg);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_NE(a.describe(),
+              fault::FaultPlan::random(43, cfg).describe());
+}
+
+// --- The no-fault byte-identity guarantee. ---
+
+TEST(FaultInjection, InertPlanIsByteIdenticalToNoPlan)
+{
+    obs::RingSink base_sink(1u << 20, obs::kEvAll);
+    RunOptions base;
+    base.maxCycles = 10'000'000;
+    base.sink = &base_sink;
+    const RunResult base_r = runPair(SharingPolicy::Elastic, base);
+    ASSERT_FALSE(base_r.timedOut);
+
+    // A plan whose only event lies beyond the end of the run installs
+    // the injector (every per-tick query path runs) but never fires.
+    const fault::FaultPlan inert =
+        fault::FaultPlan::parse("lane@4000000000:bu=0");
+    obs::RingSink inert_sink(1u << 20, obs::kEvAll);
+    RunOptions with = base;
+    with.sink = &inert_sink;
+    with.faultPlan = &inert;
+    const RunResult inert_r = runPair(SharingPolicy::Elastic, with);
+
+    EXPECT_EQ(trace::toJson(base_r), trace::toJson(inert_r));
+    EXPECT_EQ(traceBytes(base_sink.take()),
+              traceBytes(inert_sink.take()));
+    EXPECT_EQ(inert_r.laneFaults, 0u);
+    EXPECT_EQ(inert_r.watchdogTrips, 0u);
+}
+
+TEST(FaultInjection, EmptyPlanAndIdleWatchdogChangeNothing)
+{
+    RunOptions base;
+    base.maxCycles = 10'000'000;
+    const RunResult base_r = runPair(SharingPolicy::Elastic, base);
+
+    const fault::FaultPlan empty;
+    RunOptions with = base;
+    with.faultPlan = &empty;            // Empty plan: no injector.
+    with.watchdogCycles = 5'000'000;    // Armed but never tripping.
+    const RunResult r = runPair(SharingPolicy::Elastic, with);
+
+    EXPECT_EQ(trace::toJson(base_r), trace::toJson(r));
+    EXPECT_EQ(r.watchdogTrips, 0u);
+}
+
+// --- Determinism and fast-forward equivalence under faults. ---
+
+TEST(FaultInjection, FaultedRunsAreDeterministicAndFfEquivalent)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    const fault::FaultPlan plan = fault::FaultPlan::random(1234, cfg);
+
+    auto once = [&](bool ff) {
+        obs::RingSink sink(1u << 20, obs::kEvAll);
+        RunOptions opt;
+        opt.maxCycles = 20'000'000;
+        opt.fastForward = ff;
+        opt.faultPlan = &plan;
+        opt.watchdogCycles = 200'000;
+        opt.sink = &sink;
+        const RunResult r = runPair(SharingPolicy::Elastic, opt);
+        EXPECT_FALSE(r.timedOut);
+        return std::make_pair(trace::toJson(r),
+                              traceBytes(sink.take()));
+    };
+
+    const auto ticked = once(false);
+    const auto ffwd = once(true);
+    const auto again = once(true);
+    EXPECT_EQ(ticked.first, ffwd.first);
+    EXPECT_EQ(ticked.second, ffwd.second)
+        << "fault boundaries must be fast-forward wake candidates";
+    EXPECT_EQ(ffwd.first, again.first);
+    EXPECT_EQ(ffwd.second, again.second);
+}
+
+// --- Graceful degradation. ---
+
+TEST(FaultInjection, LaneFaultDegradesEveryRegisteredPolicy)
+{
+    const fault::FaultPlan plan =
+        fault::FaultPlan::parse("lane@20000:bu=0");
+    for (const policy::SharingModel *m : policy::allModels()) {
+        RunOptions opt;
+        opt.maxCycles = 30'000'000;
+        opt.faultPlan = &plan;
+        opt.watchdogCycles = 500'000;   // Safety net, not the subject.
+        const RunResult r = runPair(m->id(), opt);
+        EXPECT_FALSE(r.timedOut) << m->key();
+        EXPECT_EQ(r.laneFaults, 1u) << m->key();
+        EXPECT_GT(r.cores[0].finish, 0u) << m->key();
+        EXPECT_GT(r.cores[1].finish, 0u) << m->key();
+        EXPECT_NE(r.statsText.find("system.run.lane_faults"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultInjection, LaneFaultEmitsDegradeEvents)
+{
+    const fault::FaultPlan plan =
+        fault::FaultPlan::parse("lane@20000:bu=0;lane@25000:bu=5");
+    obs::RingSink sink(1u << 20, obs::kEvFault);
+    RunOptions opt;
+    opt.maxCycles = 30'000'000;
+    opt.faultPlan = &plan;
+    opt.sink = &sink;
+    const RunResult r = runPair(SharingPolicy::Elastic, opt);
+    ASSERT_FALSE(r.timedOut);
+    EXPECT_EQ(r.laneFaults, 2u);
+
+    unsigned injects = 0, degrades = 0;
+    unsigned last_usable = 8;
+    for (const obs::Event &e : sink.take().events) {
+        if (e.kind == obs::EventKind::FaultInject) {
+            ++injects;
+            EXPECT_EQ(e.a, static_cast<std::uint64_t>(
+                               fault::FaultKind::LaneFault));
+        } else if (e.kind == obs::EventKind::PartitionDegrade) {
+            ++degrades;
+            EXPECT_LT(e.a, last_usable) << "usable BUs must shrink";
+            last_usable = static_cast<unsigned>(e.a);
+            EXPECT_EQ(e.b, 8u);
+        }
+    }
+    EXPECT_EQ(injects, 2u);
+    EXPECT_EQ(degrades, 2u);
+    EXPECT_EQ(last_usable, 6u);
+}
+
+// --- Livelock watchdog. ---
+
+TEST(FaultInjection, WatchdogEscalatesUnboundedDenial)
+{
+    // Core 1's <VL> requests are denied from cycle 0, forever: the
+    // prologue's very first write enters the Fig. 9 retry loop and
+    // without intervention spins to the cycle cap (see the companion
+    // test below). The watchdog escalates to the scalar fallback.
+    const fault::FaultPlan plan =
+        fault::FaultPlan::parse("vldeny@0:core=1");
+    obs::RingSink sink(1u << 20, obs::kEvFault);
+    RunOptions opt;
+    opt.maxCycles = 30'000'000;
+    opt.faultPlan = &plan;
+    opt.watchdogCycles = 20'000;
+    opt.sink = &sink;
+
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "mem", memWorkload());
+    sys.setWorkload(1, "comp", compWorkload(8192));
+    const RunResult r = sys.run(opt);
+
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GE(r.watchdogTrips, 1u);
+    EXPECT_GT(r.cores[0].finish, 0u);
+    EXPECT_GT(r.cores[1].finish, 0u);
+    EXPECT_NE(r.statsText.find("system.run.watchdog_trips"),
+              std::string::npos);
+
+    bool saw_trip = false;
+    for (const obs::Event &e : sink.take().events)
+        if (e.kind == obs::EventKind::WatchdogTrip) {
+            saw_trip = true;
+            EXPECT_EQ(e.core, 1u);
+            EXPECT_GE(e.b, opt.watchdogCycles);
+        }
+    EXPECT_TRUE(saw_trip);
+}
+
+TEST(FaultInjection, WithoutWatchdogUnboundedDenialSpinsToCap)
+{
+    const fault::FaultPlan plan =
+        fault::FaultPlan::parse("vldeny@0:core=1");
+    RunOptions opt;
+    opt.maxCycles = 400'000;    // Small cap: the spin never ends.
+    opt.faultPlan = &plan;
+
+    System sys(MachineConfig::forPolicy(SharingPolicy::Elastic, 2));
+    sys.setWorkload(0, "mem", memWorkload());
+    sys.setWorkload(1, "comp", compWorkload(8192));
+    const RunResult r = sys.run(opt);
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_EQ(r.watchdogTrips, 0u);
+}
+
+} // namespace
+} // namespace occamy

@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hh"
 #include "kir/analysis.hh"
 #include "obs/sink.hh"
+#include "policy/sharing_model.hh"
 #include "sim/system.hh"
 
 namespace occamy
@@ -252,6 +254,62 @@ TEST_P(FuzzSweep, EventStreamInvariantsHold)
         EXPECT_EQ(open_phase[c], 0) << "core " << c;
         EXPECT_EQ(begins[c], c == 0 ? wl0.size() : wl1.size())
             << "core " << c;
+    }
+}
+
+/**
+ * Fault-plan fuzzing: a seeded random FaultPlan (lane fault, <VL>
+ * denials, DRAM spike, reconfiguration delay) applied to a seeded
+ * random co-run must leave the global invariants standing under every
+ * registered policy — the run completes (the watchdog guarantees
+ * forward progress even if a denial window pins a retry spin), the
+ * applied lane faults are bounded by the machine, utilization stays in
+ * range, and the same seed reproduces the identical outcome.
+ */
+TEST_P(FuzzSweep, InvariantsHoldUnderRandomFaultPlans)
+{
+    Rng rng(0xfa017a11u + GetParam() * 0x9e3779b9u);
+    std::vector<kir::Loop> wl0, wl1;
+    const unsigned n0 = rng.range(1, 2);
+    for (unsigned i = 0; i < n0; ++i)
+        wl0.push_back(randomLoop(rng, "a" + std::to_string(i)));
+    wl1.push_back(randomLoop(rng, "b0"));
+
+    for (const policy::SharingModel *m : policy::allModels()) {
+        const MachineConfig cfg = MachineConfig::forPolicy(m->id(), 2);
+        const fault::FaultPlan plan =
+            fault::FaultPlan::random(GetParam() * 2654435761u + 1, cfg);
+
+        RunOptions opt;
+        opt.maxCycles = 30'000'000;
+        opt.faultPlan = &plan;
+        opt.watchdogCycles = 100'000;
+
+        auto once = [&] {
+            System sys(cfg);
+            sys.setWorkload(0, "w0", wl0);
+            sys.setWorkload(1, "w1", wl1);
+            return sys.run(opt);
+        };
+        const RunResult r = once();
+
+        ASSERT_FALSE(r.timedOut)
+            << m->key() << " seed " << GetParam() << " plan "
+            << plan.describe();
+        EXPECT_GT(r.cores[0].finish, 0u) << m->key();
+        EXPECT_GT(r.cores[1].finish, 0u) << m->key();
+        EXPECT_GE(r.simdUtil, 0.0) << m->key();
+        EXPECT_LE(r.simdUtil, 1.0 + 1e-9) << m->key();
+        EXPECT_LE(r.laneFaults, cfg.numExeBUs) << m->key();
+        EXPECT_EQ(r.cores[0].phases.size(), wl0.size()) << m->key();
+        EXPECT_EQ(r.cores[1].phases.size(), wl1.size()) << m->key();
+
+        // Same seed, same plan, same machine: identical outcome.
+        const RunResult r2 = once();
+        EXPECT_EQ(r.cores[0].finish, r2.cores[0].finish) << m->key();
+        EXPECT_EQ(r.cores[1].finish, r2.cores[1].finish) << m->key();
+        EXPECT_EQ(r.watchdogTrips, r2.watchdogTrips) << m->key();
+        EXPECT_EQ(r.laneFaults, r2.laneFaults) << m->key();
     }
 }
 

@@ -191,11 +191,17 @@ TEST(PolicyVl, FixedPoliciesConfirmOrReject)
             VlOutcome out = m.resolveVl(cfg, rt, 0, 4, true);
             EXPECT_EQ(out.action, VlOutcome::Action::Grant);
             EXPECT_EQ(out.vl, 4u);
-            // ...any other width is rejected, drained or not.
+            // ...asking for less is rejected (fixed partitions never
+            // shrink on request)...
             EXPECT_EQ(m.resolveVl(cfg, rt, 0, 2, true).action,
                       VlOutcome::Action::Reject);
-            EXPECT_EQ(m.resolveVl(cfg, rt, 0, 6, false).action,
-                      VlOutcome::Action::Reject);
+            // ...and over-asking clamps to the entitlement: unfaulted
+            // programs only ever request their compiled width, so this
+            // is the graceful-degradation path after a lane fault has
+            // shrunk the partition below the compiled request.
+            VlOutcome over = m.resolveVl(cfg, rt, 0, 6, false);
+            EXPECT_EQ(over.action, VlOutcome::Action::Grant);
+            EXPECT_EQ(over.vl, 4u);
         }
     }
 }

@@ -53,6 +53,11 @@ struct Options
     Cycle snapshotEvery = 0;
     bool fastForward = true;
     bool strictTimeout = false;
+    std::string faultPlan;
+    std::uint64_t faultSeed = 0;
+    Cycle watchdogCycles = 0;
+    double wallClockLimitSec = 0.0;
+    unsigned retries = 0;
 };
 
 void
@@ -82,6 +87,16 @@ usage()
         "                   on; results are identical either way)\n"
         "  --strict-timeout exit 3 (with a stderr note) if any job hit\n"
         "                   its --max-cycles cap\n"
+        "  --fault-plan S   deterministic fault plan applied to every\n"
+        "                   job (see occamy-sim --help for the grammar)\n"
+        "  --fault-seed N   seeded random fault plan per job (ignored\n"
+        "                   when --fault-plan is given)\n"
+        "  --watchdog-cycles N  per-job livelock watchdog threshold\n"
+        "                   (escalates stuck <VL> spins; default off)\n"
+        "  --wall-clock-limit S  kill any job after S seconds of host\n"
+        "                   time (failed, partial result kept)\n"
+        "  --retries N      retry transiently-failed jobs (OOM etc.) up\n"
+        "                   to N times with exponential backoff\n"
         "  --list           print the pair catalog with indices\n"
         "exit status: 0 all jobs ok, 1 some job failed, 2 usage error,\n"
         "             3 a job timed out under --strict-timeout\n");
@@ -227,6 +242,31 @@ parseArgs(int argc, char **argv, Options &opt)
                 opt.fastForward = false;
             else
                 return false;
+        } else if (arg == "--fault-plan") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.faultPlan = v;
+        } else if (arg == "--fault-seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.faultSeed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--watchdog-cycles") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.watchdogCycles = static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--wall-clock-limit") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.wallClockLimitSec = std::atof(v);
+        } else if (arg == "--retries") {
+            const char *v = next();
+            if (!v || std::atoi(v) < 0)
+                return false;
+            opt.retries = static_cast<unsigned>(std::atoi(v));
         } else if (arg == "--strict-timeout") {
             opt.strictTimeout = true;
         } else if (arg == "--progress") {
@@ -277,6 +317,7 @@ main(int argc, char **argv)
 
     runner::RunnerOptions ropt;
     ropt.numThreads = opt.jobs;
+    ropt.transientRetries = opt.retries;
     if (opt.progress)
         ropt.onProgress = runner::stderrProgress();
 
@@ -286,6 +327,10 @@ main(int argc, char **argv)
             spec.traceEvents = obs::parseEventMask(opt.traceEvents);
         spec.snapshotEvery = opt.snapshotEvery;
         spec.fastForward = opt.fastForward;
+        spec.faultPlan = opt.faultPlan;
+        spec.faultSeed = opt.faultSeed;
+        spec.watchdogCycles = opt.watchdogCycles;
+        spec.wallClockLimitSec = opt.wallClockLimitSec;
     }
 
     const runner::SweepResult sweep =
@@ -369,6 +414,18 @@ main(int argc, char **argv)
         runner::writeSweepCsv(ofs, sweep);
         if (!opt.quiet)
             std::printf("wrote %s\n", opt.csvOut.c_str());
+    }
+
+    // Failed-job summary on stderr, even under --quiet: the nonzero
+    // exit status alone tells CI *that* the sweep failed, this line
+    // says *which* jobs and why.
+    if (sweep.failed()) {
+        std::fprintf(stderr, "batchrun: %zu/%zu job(s) failed\n",
+                     sweep.failed(), sweep.jobs.size());
+        for (const auto &j : sweep.jobs)
+            if (!j.ok())
+                std::fprintf(stderr, "  job %zu %s: %s\n", j.id,
+                             j.label.c_str(), j.error.c_str());
     }
 
     if (opt.strictTimeout) {

@@ -61,6 +61,9 @@ struct Options
     Cycle snapshotEvery = 0;
     bool fastForward = true;
     bool strictTimeout = false;
+    std::string faultPlan;
+    std::uint64_t faultSeed = 0;
+    Cycle watchdogCycles = 0;
 };
 
 void
@@ -94,6 +97,14 @@ usage()
         "                 on; results are identical either way)\n"
         "  --strict-timeout  exit 3 (with a stderr note) if any run\n"
         "                 hit the --max-cycles cap\n"
+        "  --fault-plan S deterministic fault plan, entries ';'-joined:\n"
+        "                 lane@CYC:bu=N | vldeny@CYC+DUR:core=N |\n"
+        "                 dram@CYC+DUR:lat=N,bw=N |\n"
+        "                 cfgdelay@CYC+DUR:core=N,cycles=N\n"
+        "  --fault-seed N seeded random fault plan (ignored when\n"
+        "                 --fault-plan is given); same seed, same plan\n"
+        "  --watchdog-cycles N  escalate a <VL> retry spin older than N\n"
+        "                 cycles to the scalar fallback (default off)\n"
         "  --list         list available workloads and exit\n");
 }
 
@@ -219,6 +230,21 @@ parseArgs(int argc, char **argv, Options &opt)
                 opt.fastForward = false;
             else
                 return false;
+        } else if (arg == "--fault-plan") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.faultPlan = v;
+        } else if (arg == "--fault-seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.faultSeed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--watchdog-cycles") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.watchdogCycles = static_cast<Cycle>(std::atoll(v));
         } else if (arg == "--strict-timeout") {
             opt.strictTimeout = true;
         } else if (arg == "--stats") {
@@ -269,6 +295,11 @@ printRun(SharingPolicy policy, const RunResult &r, const Options &opt)
                 static_cast<unsigned long long>(r.vlSwitches),
                 static_cast<unsigned long long>(r.plansMade),
                 r.dramBytes / 1048576.0);
+    if (r.laneFaults || r.watchdogTrips)
+        std::printf("faults: %llu ExeBU lane fault(s), %llu watchdog "
+                    "trip(s) to the scalar fallback\n",
+                    static_cast<unsigned long long>(r.laneFaults),
+                    static_cast<unsigned long long>(r.watchdogTrips));
     if (opt.timeline) {
         for (std::size_t c = 0; c < r.cores.size(); ++c) {
             std::printf("core%zu busy lanes/kcycle:", c);
@@ -352,6 +383,9 @@ main(int argc, char **argv)
             spec.cfg = MachineConfig::forPolicy(policy, opt.cores);
             spec.maxCycles = opt.maxCycles;
             spec.fastForward = opt.fastForward;
+            spec.faultPlan = opt.faultPlan;
+            spec.faultSeed = opt.faultSeed;
+            spec.watchdogCycles = opt.watchdogCycles;
             if (!opt.traceOut.empty())
                 spec.traceEvents = obs::parseEventMask(opt.traceEvents);
             spec.snapshotEvery = opt.snapshotEvery;
