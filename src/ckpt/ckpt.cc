@@ -1,0 +1,257 @@
+#include "ckpt/ckpt.hh"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace occamy::ckpt
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/** Section markers get a fixed sentinel so drift is caught early. */
+constexpr std::uint32_t kSectionTag = 0x5EC70000U;
+
+std::uint64_t
+fnv1a(std::uint64_t h, unsigned char c)
+{
+    return (h ^ c) * kFnvPrime;
+}
+
+} // namespace
+
+// --------------------------------------------------------------- Writer
+
+Writer::Writer(std::ostream &os) : os_(os), hash_(kFnvOffset)
+{
+    u32(kMagic);
+    u32(kVersion);
+}
+
+void
+Writer::byte(unsigned char c)
+{
+    hash_ = fnv1a(hash_, c);
+    os_.put(static_cast<char>(c));
+}
+
+void
+Writer::u8(std::uint8_t v)
+{
+    byte(v);
+}
+
+void
+Writer::u16(std::uint16_t v)
+{
+    byte(static_cast<unsigned char>(v & 0xFF));
+    byte(static_cast<unsigned char>(v >> 8));
+}
+
+void
+Writer::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        byte(static_cast<unsigned char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+Writer::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        byte(static_cast<unsigned char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+Writer::i64(std::int64_t v)
+{
+    u64(static_cast<std::uint64_t>(v));
+}
+
+void
+Writer::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+}
+
+void
+Writer::b(bool v)
+{
+    u8(v ? 1 : 0);
+}
+
+void
+Writer::str(const std::string &s)
+{
+    u64(s.size());
+    for (char c : s)
+        byte(static_cast<unsigned char>(c));
+}
+
+void
+Writer::section(const char *name)
+{
+    u32(kSectionTag);
+    str(name);
+}
+
+void
+Writer::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    // The trailer itself is not hashed: freeze the digest first.
+    const std::uint64_t digest = hash_;
+    u64(digest);
+    os_.flush();
+    if (!os_)
+        throw Error("checkpoint write failed (output stream error)");
+}
+
+// --------------------------------------------------------------- Reader
+
+Reader::Reader(std::istream &is) : is_(is), hash_(kFnvOffset)
+{
+    const std::uint32_t magic = u32();
+    if (magic != kMagic)
+        throw Error("not an Occamy checkpoint (bad magic)");
+    const std::uint32_t version = u32();
+    if (version != kVersion)
+        throw Error("unsupported checkpoint format version " +
+                    std::to_string(version) + " (this build reads version " +
+                    std::to_string(kVersion) +
+                    (version > kVersion ? "; the file is from a newer build)"
+                                        : "; re-create the checkpoint)"));
+}
+
+unsigned char
+Reader::byte()
+{
+    const int c = is_.get();
+    if (c == std::istream::traits_type::eof())
+        throw Error("truncated checkpoint (unexpected end of stream)");
+    const auto uc = static_cast<unsigned char>(c);
+    hash_ = fnv1a(hash_, uc);
+    return uc;
+}
+
+std::uint8_t
+Reader::u8()
+{
+    return byte();
+}
+
+std::uint16_t
+Reader::u16()
+{
+    std::uint16_t v = byte();
+    v = static_cast<std::uint16_t>(v | (std::uint16_t{byte()} << 8));
+    return v;
+}
+
+std::uint32_t
+Reader::u32()
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{byte()} << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Reader::u64()
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{byte()} << (8 * i);
+    return v;
+}
+
+std::int64_t
+Reader::i64()
+{
+    return static_cast<std::int64_t>(u64());
+}
+
+double
+Reader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+bool
+Reader::b()
+{
+    const std::uint8_t v = u8();
+    check(v <= 1, "corrupt checkpoint (bad boolean)");
+    return v != 0;
+}
+
+std::string
+Reader::str()
+{
+    const std::size_t n = arr();
+    std::string s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        s.push_back(static_cast<char>(byte()));
+    return s;
+}
+
+std::size_t
+Reader::arr(std::size_t maxElems)
+{
+    const std::uint64_t n = u64();
+    if (n > maxElems)
+        throw Error("corrupt checkpoint (implausible array length " +
+                    std::to_string(n) + ")");
+    return static_cast<std::size_t>(n);
+}
+
+void
+Reader::expectSection(const char *name)
+{
+    if (u32() != kSectionTag)
+        throw Error(std::string("corrupt checkpoint (expected section '") +
+                    name + "' marker)");
+    const std::string got = str();
+    if (got != name)
+        throw Error("checkpoint section mismatch (expected '" +
+                    std::string(name) + "', found '" + got + "')");
+}
+
+void
+Reader::check(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw Error(msg);
+}
+
+void
+Reader::finish()
+{
+    // Freeze the digest before consuming the (unhashed) trailer.
+    const std::uint64_t expect = hash_;
+    std::uint64_t trailer = 0;
+    for (int i = 0; i < 8; ++i) {
+        const int c = is_.get();
+        if (c == std::istream::traits_type::eof())
+            throw Error("truncated checkpoint (missing checksum trailer)");
+        trailer |= std::uint64_t{static_cast<unsigned char>(c)} << (8 * i);
+    }
+    if (trailer != expect)
+        throw Error("corrupt checkpoint (checksum mismatch)");
+}
+
+} // namespace occamy::ckpt

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Versioned binary checkpoint streams (DESIGN.md §11).
+ *
+ * A checkpoint is a little-endian byte stream with a fixed header
+ * (magic "OCKP", format version), a sequence of named sections, and
+ * an FNV-1a checksum trailer covering every byte in between.  The
+ * Writer/Reader pair below is deliberately dumb: fixed-width scalars,
+ * length-prefixed strings, and section markers.  All policy about
+ * *what* goes in a checkpoint lives with the components themselves
+ * (each stateful class has save/load members) and in
+ * System::saveCheckpoint, which owns the section order.
+ *
+ * Failure handling is exception-based: every malformed input —
+ * wrong magic, unsupported version, truncation, checksum mismatch,
+ * section-name drift, implausible array lengths — throws ckpt::Error
+ * with a message naming the problem.  Readers never return partially
+ * restored state to the caller: System::restoreCheckpoint builds the
+ * target into a fresh context and only installs it after finish()
+ * verifies the trailer.
+ */
+
+#ifndef OCCAMY_CKPT_CKPT_HH
+#define OCCAMY_CKPT_CKPT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace occamy::ckpt
+{
+
+/** Every checkpoint failure mode surfaces as this exception. */
+class Error : public std::runtime_error
+{
+public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** "OCKP" read back as a little-endian u32. */
+constexpr std::uint32_t kMagic = 0x504B434FU;
+
+/**
+ * Bump on any layout change.  Policy (DESIGN.md §11): there is no
+ * in-place migration — a reader accepts exactly its own version and
+ * rejects everything else with a message naming both versions, so a
+ * stale file fails loudly instead of deserializing garbage.
+ */
+constexpr std::uint32_t kVersion = 1;
+
+/** Serializes scalars to a stream while accumulating the checksum. */
+class Writer
+{
+public:
+    /** Writes the magic/version header immediately. */
+    explicit Writer(std::ostream &os);
+
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    /** Bit-exact: the IEEE-754 pattern round-trips unchanged. */
+    void f64(double v);
+    void b(bool v);
+    void str(const std::string &s);
+
+    /** Marks the start of a named section (Reader::expectSection). */
+    void section(const char *name);
+
+    /** Writes the checksum trailer; the Writer is dead afterwards. */
+    void finish();
+
+private:
+    void byte(unsigned char c);
+
+    std::ostream &os_;
+    std::uint64_t hash_;
+    bool finished_ = false;
+};
+
+/** Mirror of Writer; throws Error on any malformed input. */
+class Reader
+{
+public:
+    /** Validates the magic/version header immediately. */
+    explicit Reader(std::istream &is);
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64();
+    double f64();
+    bool b();
+    std::string str();
+
+    /**
+     * Reads an array length and rejects implausible values so a
+     * corrupt stream fails cleanly instead of attempting a huge
+     * allocation before the checksum check is reached.
+     */
+    std::size_t arr(std::size_t maxElems = (std::size_t{1} << 28));
+
+    /** Reads a section marker; mismatch means drift or corruption. */
+    void expectSection(const char *name);
+
+    /** Convenience guard: throws Error(msg) when cond is false. */
+    static void check(bool cond, const std::string &msg);
+
+    /** Verifies the checksum trailer and that the payload is spent. */
+    void finish();
+
+private:
+    unsigned char byte();
+
+    std::istream &is_;
+    std::uint64_t hash_;
+};
+
+} // namespace occamy::ckpt
+
+#endif // OCCAMY_CKPT_CKPT_HH

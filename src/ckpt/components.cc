@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Checkpoint save/load definitions for the header-only components
+ * (Lsu, ResourceTable, ConfigTable, LaneMgr).  Grouping them in one
+ * translation unit keeps those headers free of the serialization
+ * machinery; classes with their own .cc file define the hooks there.
+ */
+
+#include "ckpt/ckpt.hh"
+#include "coproc/lsu.hh"
+#include "coproc/tables.hh"
+#include "lanemgr/lanemgr.hh"
+
+namespace occamy
+{
+
+namespace
+{
+
+/** Serialize a Cycle min-heap as its ascending drain order. */
+void
+saveHeap(ckpt::Writer &w,
+         std::priority_queue<Cycle, std::vector<Cycle>,
+                             std::greater<Cycle>> heap)
+{
+    w.u64(heap.size());
+    while (!heap.empty()) {
+        w.u64(heap.top());
+        heap.pop();
+    }
+}
+
+void
+loadHeap(ckpt::Reader &r,
+         std::priority_queue<Cycle, std::vector<Cycle>,
+                             std::greater<Cycle>> &heap)
+{
+    heap = {};
+    const std::size_t n = r.arr();
+    for (std::size_t i = 0; i < n; ++i)
+        heap.push(r.u64());
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ Lsu
+
+void
+Lsu::save(ckpt::Writer &w) const
+{
+    w.section("lsu");
+    saveHeap(w, lq_);
+    saveHeap(w, sq_);
+    w.u64(loads_.value());
+    w.u64(stores_.value());
+}
+
+void
+Lsu::load(ckpt::Reader &r)
+{
+    r.expectSection("lsu");
+    loadHeap(r, lq_);
+    loadHeap(r, sq_);
+    ckpt::Reader::check(lq_.size() <= lq_capacity_ &&
+                            sq_.size() <= sq_capacity_,
+                        "checkpoint LSU occupancy exceeds queue capacity");
+    loads_.set(r.u64());
+    stores_.set(r.u64());
+}
+
+// -------------------------------------------------------- ResourceTable
+
+void
+ResourceTable::save(ckpt::Writer &w) const
+{
+    w.section("rt");
+    w.u64(core_.size());
+    for (const PerCore &pc : core_) {
+        w.f64(pc.oi.issue);
+        w.f64(pc.oi.mem);
+        w.u8(static_cast<std::uint8_t>(pc.oi.level));
+        w.u32(pc.decision);
+        w.u32(pc.vl);
+        w.b(pc.status);
+    }
+    w.u32(al_);
+    w.u32(total_);
+    w.u32(faulted_);
+}
+
+void
+ResourceTable::load(ckpt::Reader &r)
+{
+    r.expectSection("rt");
+    ckpt::Reader::check(r.arr() == core_.size(),
+                        "checkpoint resource table core count mismatch");
+    for (PerCore &pc : core_) {
+        pc.oi.issue = r.f64();
+        pc.oi.mem = r.f64();
+        pc.oi.level = static_cast<MemLevel>(r.u8());
+        pc.decision = r.u32();
+        pc.vl = r.u32();
+        pc.status = r.b();
+    }
+    al_ = r.u32();
+    ckpt::Reader::check(r.u32() == total_,
+                        "checkpoint resource table ExeBU count mismatch");
+    faulted_ = r.u32();
+}
+
+// ---------------------------------------------------------- ConfigTable
+
+void
+ConfigTable::save(ckpt::Writer &w) const
+{
+    w.section("cfgtbl");
+    w.u64(owner_.size());
+    for (CoreId o : owner_)
+        w.u16(static_cast<std::uint16_t>(o));
+}
+
+void
+ConfigTable::load(ckpt::Reader &r)
+{
+    r.expectSection("cfgtbl");
+    ckpt::Reader::check(r.arr() == owner_.size(),
+                        "checkpoint config table size mismatch");
+    for (CoreId &o : owner_)
+        o = static_cast<CoreId>(r.u16());
+}
+
+// -------------------------------------------------------------- LaneMgr
+
+void
+LaneMgr::save(ckpt::Writer &w) const
+{
+    w.section("lanemgr");
+    w.u64(plan_ready_at_);
+    w.u32(total_bus_);
+    w.u64(plans_made_.value());
+}
+
+void
+LaneMgr::load(ckpt::Reader &r)
+{
+    r.expectSection("lanemgr");
+    plan_ready_at_ = r.u64();
+    total_bus_ = r.u32();
+    plans_made_.set(r.u64());
+}
+
+} // namespace occamy

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Forward declarations for the checkpoint layer, so stateful
+ * component headers can declare save/load hooks without pulling in
+ * the full serialization machinery (see ckpt/ckpt.hh).
+ */
+
+#ifndef OCCAMY_CKPT_FWD_HH
+#define OCCAMY_CKPT_FWD_HH
+
+namespace occamy::ckpt
+{
+class Writer;
+class Reader;
+} // namespace occamy::ckpt
+
+#endif // OCCAMY_CKPT_FWD_HH

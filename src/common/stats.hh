@@ -52,6 +52,8 @@ class Counter
 
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /** Checkpoint restore only: counters otherwise only count up. */
+    void set(std::uint64_t v) { value_ = v; }
 
   private:
     std::uint64_t value_ = 0;

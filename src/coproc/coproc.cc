@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
+#include <stdexcept>
 
+#include "ckpt/ckpt.hh"
 #include "common/log.hh"
 #include "fault/injector.hh"
 
@@ -817,6 +820,249 @@ CoProcessor::regStats(stats::Group &group) const
                                  cores_[c].regStallCycles);
                          },
                          "cycles renaming blocked on free registers");
+    }
+}
+
+namespace
+{
+
+void
+saveInst(occamy::ckpt::Writer &w, const occamy::DynInst &d)
+{
+    w.u16(static_cast<std::uint16_t>(d.op));
+    w.u16(static_cast<std::uint16_t>(d.core));
+    w.u64(d.seq);
+    w.u16(d.phaseId);
+    w.i64(d.dstArch);
+    for (std::int16_t a : d.srcArch)
+        w.i64(a);
+    w.u8(d.nsrc);
+    w.u16(d.vlBus);
+    w.u16(d.activeLanes);
+    w.u16(d.activeElems);
+    w.u64(d.addr);
+    w.u32(d.bytes);
+    w.i64(d.stride);
+    w.u8(d.elemBytes);
+    w.f64(d.oi.issue);
+    w.f64(d.oi.mem);
+    w.u8(static_cast<std::uint8_t>(d.oi.level));
+    w.u32(d.imm);
+    w.b(d.vlFromDecision);
+    w.i64(d.dstPhys);
+    w.i64(d.prevPhys);
+    for (std::int32_t p : d.srcPhys)
+        w.i64(p);
+    w.u64(d.enqueueCycle);
+    w.u64(d.readyCycle);
+    w.b(d.issued);
+    w.b(d.completed);
+}
+
+occamy::DynInst
+loadInst(occamy::ckpt::Reader &r)
+{
+    occamy::DynInst d;
+    d.op = static_cast<occamy::Opcode>(r.u16());
+    d.core = static_cast<occamy::CoreId>(r.u16());
+    d.seq = r.u64();
+    d.phaseId = r.u16();
+    d.dstArch = static_cast<std::int16_t>(r.i64());
+    for (std::int16_t &a : d.srcArch)
+        a = static_cast<std::int16_t>(r.i64());
+    d.nsrc = r.u8();
+    d.vlBus = r.u16();
+    d.activeLanes = r.u16();
+    d.activeElems = r.u16();
+    d.addr = r.u64();
+    d.bytes = r.u32();
+    d.stride = static_cast<std::int32_t>(r.i64());
+    d.elemBytes = r.u8();
+    d.oi.issue = r.f64();
+    d.oi.mem = r.f64();
+    d.oi.level = static_cast<occamy::MemLevel>(r.u8());
+    d.imm = r.u32();
+    d.vlFromDecision = r.b();
+    d.dstPhys = static_cast<std::int32_t>(r.i64());
+    d.prevPhys = static_cast<std::int32_t>(r.i64());
+    for (std::int32_t &sp : d.srcPhys)
+        sp = static_cast<std::int32_t>(r.i64());
+    d.enqueueCycle = r.u64();
+    d.readyCycle = r.u64();
+    d.issued = r.b();
+    d.completed = r.b();
+    return d;
+}
+
+template <class Seq>
+void
+saveInstSeq(occamy::ckpt::Writer &w, const Seq &seq)
+{
+    w.u64(seq.size());
+    for (const occamy::DynInst &d : seq)
+        saveInst(w, d);
+}
+
+template <class Seq>
+void
+loadInstSeq(occamy::ckpt::Reader &r, Seq &seq)
+{
+    seq.clear();
+    const std::size_t n = r.arr();
+    for (std::size_t i = 0; i < n; ++i)
+        seq.push_back(loadInst(r));
+}
+
+} // namespace
+
+void
+CoProcessor::save(ckpt::Writer &w) const
+{
+    w.section("coproc");
+    rt_.save(w);
+    dispatch_cfg_.save(w);
+    regfile_cfg_.save(w);
+    regfile_.save(w);
+    lane_mgr_.save(w);
+
+    w.u64(cores_.size());
+    for (const CoreState &cs : cores_) {
+        saveInstSeq(w, cs.pool);
+        saveInstSeq(w, cs.rob);
+        w.u64(cs.robBase);
+        w.u64(cs.iq.size());
+        for (SeqNum s : cs.iq)
+            w.u64(s);
+        cs.lsu.save(w);
+        saveInstSeq(w, cs.emq);
+        w.b(cs.vlReq.resolved);
+        w.b(cs.vlReq.ok);
+        w.u64(cs.cfgDelayUntil);
+        w.u64(cs.computeIssued);
+        w.u64(cs.memIssued);
+        w.u64(cs.phaseCompute.size());
+        for (std::uint64_t v : cs.phaseCompute)
+            w.u64(v);
+        w.u64(cs.regStallCycles);
+        w.u64(cs.otherStallCycles);
+    }
+
+    w.u64(busy_lanes_.size());
+    for (unsigned b : busy_lanes_)
+        w.u32(b);
+    w.u32(rr_start_);
+
+    w.u64(vl_switches_.value());
+    w.u64(em_insts_.value());
+    w.u64(plans_published_.value());
+    w.u64(lane_faults_.value());
+}
+
+void
+CoProcessor::load(ckpt::Reader &r)
+{
+    r.expectSection("coproc");
+    rt_.load(r);
+    dispatch_cfg_.load(r);
+    regfile_cfg_.load(r);
+    regfile_.load(r);
+    lane_mgr_.load(r);
+
+    ckpt::Reader::check(r.arr() == cores_.size(),
+                        "checkpoint co-processor core count mismatch");
+    for (CoreState &cs : cores_) {
+        loadInstSeq(r, cs.pool);
+        loadInstSeq(r, cs.rob);
+        cs.robBase = r.u64();
+        cs.iq.resize(r.arr());
+        for (SeqNum &s : cs.iq)
+            s = r.u64();
+        cs.lsu.load(r);
+        loadInstSeq(r, cs.emq);
+        cs.vlReq.resolved = r.b();
+        cs.vlReq.ok = r.b();
+        cs.cfgDelayUntil = r.u64();
+        cs.computeIssued = r.u64();
+        cs.memIssued = r.u64();
+        cs.phaseCompute.resize(r.arr());
+        for (std::uint64_t &v : cs.phaseCompute)
+            v = r.u64();
+        cs.regStallCycles = r.u64();
+        cs.otherStallCycles = r.u64();
+    }
+
+    ckpt::Reader::check(r.arr() == busy_lanes_.size(),
+                        "checkpoint busy-lane vector size mismatch");
+    for (unsigned &b : busy_lanes_)
+        b = r.u32();
+    rr_start_ = r.u32();
+
+    vl_switches_.set(r.u64());
+    em_insts_.set(r.u64());
+    plans_published_.set(r.u64());
+    lane_faults_.set(r.u64());
+}
+
+void
+CoProcessor::printState(std::ostream &os, const std::string &what) const
+{
+    if (what == "rt") {
+        os << "al " << rt_.al() << '\n'
+           << "usable_bus " << rt_.usableBus() << '\n'
+           << "faulted " << rt_.faulted() << '\n';
+        for (CoreId c = 0; c < static_cast<CoreId>(cores_.size()); ++c) {
+            const auto &pc = rt_.core(c);
+            os << "core" << c << ".vl " << pc.vl << '\n'
+               << "core" << c << ".decision " << pc.decision << '\n'
+               << "core" << c << ".status " << (pc.status ? 1 : 0) << '\n'
+               << "core" << c << ".oi.issue " << pc.oi.issue << '\n'
+               << "core" << c << ".oi.mem " << pc.oi.mem << '\n';
+        }
+        return;
+    }
+    if (what == "lanemgr") {
+        os << "total_bus " << lane_mgr_.totalBus() << '\n'
+           << "plan_ready_at " << lane_mgr_.planReadyAt() << '\n'
+           << "plans_made " << lane_mgr_.plansMade() << '\n';
+        return;
+    }
+    if (what == "regfile") {
+        os << "shared " << (regfile_.shared() ? 1 : 0) << '\n';
+        for (CoreId c = 0; c < static_cast<CoreId>(cores_.size()); ++c)
+            os << "core" << c << ".free_rows " << regfile_.freeCount(c)
+               << '\n';
+        return;
+    }
+    if (!what.empty()) {
+        // Decimal core id: that core's pipeline occupancy.
+        const std::size_t c = std::stoul(what);
+        if (c >= cores_.size())
+            throw std::out_of_range("no such core: " + what);
+        const CoreState &cs = cores_[c];
+        os << "pool " << cs.pool.size() << '\n'
+           << "rob " << cs.rob.size() << '\n'
+           << "rob_base " << cs.robBase << '\n'
+           << "iq " << cs.iq.size() << '\n'
+           << "emq " << cs.emq.size() << '\n'
+           << "lq " << cs.lsu.loadQueueOccupancy() << '\n'
+           << "sq " << cs.lsu.storeQueueOccupancy() << '\n'
+           << "compute_issued " << cs.computeIssued << '\n'
+           << "mem_issued " << cs.memIssued << '\n'
+           << "vl " << rt_.core(static_cast<CoreId>(c)).vl << '\n';
+        return;
+    }
+    os << "cores " << cores_.size() << '\n'
+       << "free_bus " << rt_.al() << '\n'
+       << "usable_bus " << rt_.usableBus() << '\n'
+       << "rr_start " << rr_start_ << '\n'
+       << "vl_switches " << vl_switches_.value() << '\n'
+       << "em_insts " << em_insts_.value() << '\n'
+       << "plans_published " << plans_published_.value() << '\n'
+       << "lane_faults " << lane_faults_.value() << '\n';
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        const CoreState &cs = cores_[c];
+        os << "core" << c << ".inflight "
+           << (cs.pool.size() + cs.rob.size() + cs.emq.size()) << '\n';
     }
 }
 

@@ -26,6 +26,8 @@
 #define OCCAMY_COPROC_COPROC_HH
 
 #include <deque>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
@@ -156,6 +158,16 @@ class CoProcessor
     }
 
     const MachineConfig &config() const { return cfg_; }
+
+    /** Checkpoint hooks: tables, regfile, lane manager, and every
+     *  per-core pipeline structure (pool/ROB/IQ/LSU/EMQ). */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
+
+    /** One-line-per-fact state dump for live inspection. @p what
+     *  selects a sub-component: "" (summary), "rt", "lanemgr",
+     *  "regfile", or a decimal core id for that core's pipeline. */
+    void printState(std::ostream &os, const std::string &what) const;
 
   private:
     struct CoreState

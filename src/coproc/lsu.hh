@@ -10,6 +10,7 @@
 #include <queue>
 #include <vector>
 
+#include "ckpt/fwd.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -113,6 +114,11 @@ class Lsu
     std::size_t storeQueueOccupancy() const { return sq_.size(); }
     std::uint64_t loadsIssued() const { return loads_.value(); }
     std::uint64_t storesIssued() const { return stores_.value(); }
+
+    /** Checkpoint hooks (src/ckpt/components.cc): queue contents are
+     *  serialized as drained min-heap copies, i.e. ascending. */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
 
   private:
     using MinHeap = std::priority_queue<Cycle, std::vector<Cycle>,

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "ckpt/ckpt.hh"
 #include "policy/sharing_model.hh"
 
 namespace occamy
@@ -97,6 +98,59 @@ unsigned
 RegFileModel::freeCount(CoreId c) const
 {
     return static_cast<unsigned>(freelist_[poolOf(c)].size());
+}
+
+void
+RegFileModel::save(ckpt::Writer &w) const
+{
+    w.section("regfile");
+    w.u64(freelist_.size());
+    for (const auto &fl : freelist_) {
+        w.u64(fl.size());
+        for (std::int32_t p : fl)
+            w.i64(p);
+    }
+    w.u64(map_.size());
+    for (const auto &m : map_) {
+        w.u64(m.size());
+        for (std::int32_t p : m)
+            w.i64(p);
+    }
+    w.u64(ready_.size());
+    for (Cycle c : ready_)
+        w.u64(c);
+    w.u64(held_by_.size());
+    for (CoreId c : held_by_)
+        w.u16(static_cast<std::uint16_t>(c));
+}
+
+void
+RegFileModel::load(ckpt::Reader &r)
+{
+    r.expectSection("regfile");
+    ckpt::Reader::check(r.arr() == freelist_.size(),
+                        "checkpoint regfile pool count mismatch");
+    for (auto &fl : freelist_) {
+        fl.resize(r.arr(ready_.size()));
+        for (std::int32_t &p : fl)
+            p = static_cast<std::int32_t>(r.i64());
+    }
+    ckpt::Reader::check(r.arr() == map_.size(),
+                        "checkpoint regfile map count mismatch");
+    for (auto &m : map_) {
+        ckpt::Reader::check(r.arr() == m.size(),
+                            "checkpoint regfile map width mismatch");
+        for (std::int32_t &p : m)
+            p = static_cast<std::int32_t>(r.i64());
+    }
+    ckpt::Reader::check(r.arr() == ready_.size(),
+                        "checkpoint regfile row count mismatch");
+    for (Cycle &c : ready_)
+        c = r.u64();
+    ckpt::Reader::check(r.arr() == held_by_.size(),
+                        "checkpoint regfile holder count mismatch");
+    for (CoreId &c : held_by_)
+        c = static_cast<CoreId>(r.u16());
 }
 
 } // namespace occamy

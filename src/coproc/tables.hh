@@ -12,6 +12,7 @@
 #include <cassert>
 #include <vector>
 
+#include "ckpt/fwd.hh"
 #include "common/types.hh"
 #include "isa/inst.hh"
 
@@ -95,6 +96,10 @@ class ResourceTable
         return ois;
     }
 
+    /** Checkpoint hooks (src/ckpt/components.cc). */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
+
   private:
     std::vector<PerCore> core_;
     unsigned al_;
@@ -159,6 +164,10 @@ class ConfigTable
         }
         return true;
     }
+
+    /** Checkpoint hooks (src/ckpt/components.cc). */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
 
   private:
     std::vector<CoreId> owner_;

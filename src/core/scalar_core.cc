@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
 
+#include "ckpt/ckpt.hh"
 #include "common/log.hh"
 
 namespace occamy
@@ -428,6 +430,101 @@ ScalarCore::nextEventAt(Cycle now) const
                                                      : kCycleNever;
     }
     return blocked_ ? kCycleNever : now + 1;
+}
+
+void
+ScalarCore::save(ckpt::Writer &w) const
+{
+    w.section("core");
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u64(loop_idx_);
+    w.u32(phase_id_base_);
+    w.u64(inst_idx_);
+    w.u64(elems_done_);
+    w.u64(iter_index_);
+    w.u32(current_vl_);
+    w.u32(active_elems_);
+    w.u64(await_since_);
+    w.u64(spin_since_);
+    w.u64(stall_until_);
+    w.u32(vl_before_request_);
+    w.b(blocked_);
+
+    w.u64(phases_.size());
+    for (const PhaseTrace &pt : phases_) {
+        w.str(pt.name);
+        w.u32(pt.phaseId);
+        w.u64(pt.start);
+        w.u64(pt.end);
+        w.b(pt.scalarVersion);
+        w.u32(pt.firstVl);
+        w.u32(pt.lastVl);
+    }
+
+    w.u64(monitor_insts_);
+    w.u64(reconfig_wait_cycles_);
+    w.u64(reconfig_events_);
+    w.u64(reinit_insts_);
+}
+
+void
+ScalarCore::load(ckpt::Reader &r)
+{
+    r.expectSection("core");
+    state_ = static_cast<State>(r.u8());
+    loop_idx_ = r.u64();
+    phase_id_base_ = r.u32();
+    inst_idx_ = r.u64();
+    elems_done_ = r.u64();
+    iter_index_ = r.u64();
+    current_vl_ = r.u32();
+    active_elems_ = r.u32();
+    await_since_ = r.u64();
+    spin_since_ = r.u64();
+    stall_until_ = r.u64();
+    vl_before_request_ = r.u32();
+    blocked_ = r.b();
+
+    phases_.resize(r.arr());
+    for (PhaseTrace &pt : phases_) {
+        pt.name = r.str();
+        pt.phaseId = r.u32();
+        pt.start = r.u64();
+        pt.end = r.u64();
+        pt.scalarVersion = r.b();
+        pt.firstVl = r.u32();
+        pt.lastVl = r.u32();
+    }
+
+    monitor_insts_ = r.u64();
+    reconfig_wait_cycles_ = r.u64();
+    reconfig_events_ = r.u64();
+    reinit_insts_ = r.u64();
+}
+
+void
+ScalarCore::printState(std::ostream &os) const
+{
+    static const char *const names[] = {
+        "Idle", "Prologue", "AwaitVl", "IterStart", "AwaitReconfig",
+        "Reinit", "Body", "ScalarLoop", "Epilogue", "AwaitRelease",
+        "Done",
+    };
+    os << "state " << names[static_cast<unsigned>(state_)] << '\n'
+       << "loop_idx " << loop_idx_ << '\n'
+       << "inst_idx " << inst_idx_ << '\n'
+       << "elems_done " << elems_done_ << '\n'
+       << "iter_index " << iter_index_ << '\n'
+       << "current_vl " << current_vl_ << '\n'
+       << "active_elems " << active_elems_ << '\n'
+       << "blocked " << (blocked_ ? 1 : 0) << '\n'
+       << "spin_since " << spin_since_ << '\n'
+       << "stall_until " << stall_until_ << '\n'
+       << "phases_recorded " << phases_.size() << '\n'
+       << "monitor_insts " << monitor_insts_ << '\n'
+       << "reconfig_wait_cycles " << reconfig_wait_cycles_ << '\n'
+       << "reconfig_events " << reconfig_events_ << '\n'
+       << "reinit_insts " << reinit_insts_ << '\n';
 }
 
 } // namespace occamy

@@ -113,6 +113,21 @@ class ScalarCore
     /** Re-init instructions emitted after VL switches. */
     std::uint64_t reinitInsts() const { return reinit_insts_; }
 
+    /**
+     * Checkpoint restore only: install the program pointer *without*
+     * setProgram's fresh-start resets (phase-id rebasing, state/index
+     * clears) — load() overwrites every one of those fields with the
+     * checkpointed values right after.
+     */
+    void restoreProgram(const Program *prog) { prog_ = prog; }
+
+    /** Checkpoint hooks: the full software-protocol state machine. */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
+
+    /** One-line-per-fact state dump for live inspection. */
+    void printState(std::ostream &os) const;
+
   private:
     enum class State
     {

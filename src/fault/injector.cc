@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hh"
 #include "obs/sink.hh"
 
 namespace occamy::fault
@@ -138,6 +139,36 @@ FaultInjector::emitBoundaryEvents(Cycle now, obs::EventSink *sink)
                           static_cast<std::uint64_t>(w.spec.kind),
                           w.spec.at, 0.0, 0.0});
         }
+    }
+}
+
+void
+FaultInjector::save(ckpt::Writer &w) const
+{
+    w.section("injector");
+    w.u64(lane_events_.size());
+    for (const LaneEvent &e : lane_events_)
+        w.b(e.fired);
+    w.u64(windows_.size());
+    for (const Window &win : windows_) {
+        w.b(win.beginEmitted);
+        w.b(win.endEmitted);
+    }
+}
+
+void
+FaultInjector::load(ckpt::Reader &r)
+{
+    r.expectSection("injector");
+    ckpt::Reader::check(r.arr() == lane_events_.size(),
+                        "checkpoint fault plan mismatch (lane events)");
+    for (LaneEvent &e : lane_events_)
+        e.fired = r.b();
+    ckpt::Reader::check(r.arr() == windows_.size(),
+                        "checkpoint fault plan mismatch (windows)");
+    for (Window &win : windows_) {
+        win.beginEmitted = r.b();
+        win.endEmitted = r.b();
     }
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/fwd.hh"
 #include "common/types.hh"
 #include "fault/fault.hh"
 
@@ -74,6 +75,12 @@ class FaultInjector
      * apply time instead (it knows the evicted owner).
      */
     void emitBoundaryEvents(Cycle now, obs::EventSink *sink);
+
+    /** Checkpoint hooks: only the consumable flags (fired lane faults,
+     *  emitted window boundaries) — the plan itself is reconstructed
+     *  from the run options and cross-checked by the fingerprint. */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
 
   private:
     struct LaneEvent

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "ckpt/fwd.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "lanemgr/partitioner.hh"
@@ -85,6 +86,11 @@ class LaneMgr
     std::uint64_t plansMade() const { return plans_made_.value(); }
     const RooflineParams &params() const { return params_; }
     unsigned totalBus() const { return total_bus_; }
+
+    /** Checkpoint hooks (src/ckpt/components.cc): pending-plan timer,
+     *  fault-degraded pool size and the plan counter. */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
 
   private:
     /** Trace one published plan: per active core a roofline

@@ -1,6 +1,9 @@
 #include "mem/cache.hh"
 
 #include <cassert>
+#include <ostream>
+
+#include "ckpt/ckpt.hh"
 
 namespace occamy
 {
@@ -100,6 +103,59 @@ Cache::regStats(stats::Group &group) const
         const double total = static_cast<double>(hits() + misses());
         return total > 0 ? misses() / total : 0.0;
     }, "miss fraction");
+}
+
+void
+Cache::save(ckpt::Writer &w) const
+{
+    w.section(("cache." + name_).c_str());
+    w.u64(stamp_);
+    w.u64(ways_.size());
+    for (const Way &way : ways_) {
+        w.u64(way.tag);
+        w.b(way.valid);
+        w.b(way.dirty);
+        w.u64(way.lruStamp);
+    }
+    w.u64(hits_.value());
+    w.u64(misses_.value());
+    w.u64(writebacks_.value());
+}
+
+void
+Cache::load(ckpt::Reader &r)
+{
+    r.expectSection(("cache." + name_).c_str());
+    stamp_ = r.u64();
+    ckpt::Reader::check(r.arr() == ways_.size(),
+                        "checkpoint cache geometry mismatch (" + name_ + ")");
+    for (Way &way : ways_) {
+        way.tag = r.u64();
+        way.valid = r.b();
+        way.dirty = r.b();
+        way.lruStamp = r.u64();
+    }
+    hits_.set(r.u64());
+    misses_.set(r.u64());
+    writebacks_.set(r.u64());
+}
+
+void
+Cache::printState(std::ostream &os) const
+{
+    std::size_t valid = 0, dirty = 0;
+    for (const Way &way : ways_) {
+        valid += way.valid ? 1 : 0;
+        dirty += way.valid && way.dirty ? 1 : 0;
+    }
+    os << name_ << ".size_bytes " << cfg_.sizeBytes << '\n'
+       << name_ << ".sets " << num_sets_ << '\n'
+       << name_ << ".assoc " << cfg_.assoc << '\n'
+       << name_ << ".valid_lines " << valid << '\n'
+       << name_ << ".dirty_lines " << dirty << '\n'
+       << name_ << ".hits " << hits() << '\n'
+       << name_ << ".misses " << misses() << '\n'
+       << name_ << ".writebacks " << writebacks() << '\n';
 }
 
 } // namespace occamy

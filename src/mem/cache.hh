@@ -12,9 +12,11 @@
 #define OCCAMY_MEM_CACHE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "ckpt/fwd.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -68,6 +70,13 @@ class Cache
 
     /** Register this cache's counters with a stats group. */
     void regStats(stats::Group &group) const;
+
+    /** Checkpoint hooks: tag array, LRU clock and counters. */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
+
+    /** One-line-per-fact state dump for live inspection. */
+    void printState(std::ostream &os) const;
 
   private:
     struct Way

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
 
+#include "ckpt/ckpt.hh"
 #include "fault/injector.hh"
 
 namespace occamy
@@ -267,6 +269,104 @@ MemSystem::regStats(stats::Group &group) const
     group.addCounter("mem.accesses", &accesses_, "vector accesses");
     group.addCounter("mem.prefetches", &prefetches_,
                      "stream-prefetched lines");
+}
+
+void
+MemSystem::save(ckpt::Writer &w) const
+{
+    w.section("mem");
+    w.f64(vec_busy_until_);
+    w.u64(l2_busy_until_);
+    w.u64(dram_busy_until_);
+
+    // Sorted copies of the hash maps keep the byte stream deterministic.
+    std::vector<std::pair<Addr, Cycle>> ready(line_ready_.begin(),
+                                              line_ready_.end());
+    std::sort(ready.begin(), ready.end());
+    w.u64(ready.size());
+    for (const auto &[line, at] : ready) {
+        w.u64(line);
+        w.u64(at);
+    }
+
+    // Drain a copy of the min-heap: pops come out already sorted.
+    auto fills = pending_fills_;
+    w.u64(fills.size());
+    while (!fills.empty()) {
+        w.u64(fills.top());
+        fills.pop();
+    }
+
+    std::vector<std::pair<Addr, Addr>> fr(frontier_.begin(),
+                                          frontier_.end());
+    std::sort(fr.begin(), fr.end());
+    w.u64(fr.size());
+    for (const auto &[region, line] : fr) {
+        w.u64(region);
+        w.u64(line);
+    }
+
+    w.u64(dram_reads_.value());
+    w.u64(dram_bytes_.value());
+    w.u64(accesses_.value());
+    w.u64(prefetches_.value());
+
+    vec_cache_.save(w);
+    l2_.save(w);
+}
+
+void
+MemSystem::load(ckpt::Reader &r)
+{
+    r.expectSection("mem");
+    vec_busy_until_ = r.f64();
+    l2_busy_until_ = r.u64();
+    dram_busy_until_ = r.u64();
+
+    line_ready_.clear();
+    const std::size_t nready = r.arr();
+    for (std::size_t i = 0; i < nready; ++i) {
+        const Addr line = r.u64();
+        const Cycle at = r.u64();
+        line_ready_.emplace(line, at);
+    }
+
+    pending_fills_ = {};
+    const std::size_t nfills = r.arr();
+    for (std::size_t i = 0; i < nfills; ++i)
+        pending_fills_.push(r.u64());
+
+    frontier_.clear();
+    const std::size_t nfr = r.arr();
+    for (std::size_t i = 0; i < nfr; ++i) {
+        const Addr region = r.u64();
+        const Addr line = r.u64();
+        frontier_.emplace(region, line);
+    }
+
+    dram_reads_.set(r.u64());
+    dram_bytes_.set(r.u64());
+    accesses_.set(r.u64());
+    prefetches_.set(r.u64());
+
+    vec_cache_.load(r);
+    l2_.load(r);
+}
+
+void
+MemSystem::printState(std::ostream &os) const
+{
+    os << "vec_busy_until " << vec_busy_until_ << '\n'
+       << "l2_busy_until " << l2_busy_until_ << '\n'
+       << "dram_busy_until " << dram_busy_until_ << '\n'
+       << "inflight_fills " << line_ready_.size() << '\n'
+       << "stream_frontiers " << frontier_.size() << '\n'
+       << "accesses " << accesses_.value() << '\n'
+       << "dram_reads " << dramReads() << '\n'
+       << "dram_bytes " << dramBytes() << '\n'
+       << "prefetches " << prefetches() << '\n';
+    vec_cache_.printState(os);
+    l2_.printState(os);
 }
 
 } // namespace occamy

@@ -106,6 +106,15 @@ class MemSystem
 
     void regStats(stats::Group &group) const;
 
+    /** Checkpoint hooks: busy pointers, MSHRs, prefetch frontiers,
+     *  counters and both cache levels. Unordered containers are
+     *  serialized key-sorted so the byte stream is deterministic. */
+    void save(ckpt::Writer &w) const;
+    void load(ckpt::Reader &r);
+
+    /** One-line-per-fact state dump for live inspection. */
+    void printState(std::ostream &os) const;
+
     /** Attach/detach the trace sink (null = tracing off). */
     void setEventSink(obs::EventSink *sink) { sink_ = sink; }
 

@@ -85,6 +85,15 @@ enum class EventKind : std::uint8_t
     WatchdogTrip,   ///< Livelock watchdog escalated a spinning core to
                     ///< its scalar fallback. core=victim, a=vl at trip,
                     ///< b=cycles spent spinning.
+
+    // --- Simulation engine, appended for format stability. ---
+    SystemBoot,     ///< A System finished boot (cores constructed,
+                    ///< programs compiled). Engine category: lets a
+                    ///< serve daemon prove a warm-pool request paid no
+                    ///< boot cost. a=cores, b=ExeBUs.
+    CheckpointSave,    ///< Engine wrote a checkpoint at this cycle.
+                       ///< a=serialized bytes.
+    CheckpointRestore, ///< Engine restored state at this cycle.
 };
 
 /** Coarse category bits used to subset recording. */
@@ -139,6 +148,9 @@ categoryOf(EventKind k)
       case EventKind::BatchDispatch:
         return kEvSched;
       case EventKind::SchedFastForward:
+      case EventKind::SystemBoot:
+      case EventKind::CheckpointSave:
+      case EventKind::CheckpointRestore:
         return kEvEngine;
       case EventKind::FaultInject:
       case EventKind::FaultRecover:

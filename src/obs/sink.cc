@@ -30,6 +30,9 @@ eventKindName(EventKind k)
       case EventKind::FaultRecover: return "fault_recover";
       case EventKind::PartitionDegrade: return "partition_degrade";
       case EventKind::WatchdogTrip: return "watchdog_trip";
+      case EventKind::SystemBoot: return "system_boot";
+      case EventKind::CheckpointSave: return "checkpoint_save";
+      case EventKind::CheckpointRestore: return "checkpoint_restore";
     }
     return "unknown";
 }
@@ -96,6 +99,15 @@ RingSink::internString(std::string_view s)
     strings_.emplace_back(s);
     string_ids_.emplace(strings_.back(), id);
     return id;
+}
+
+void
+RingSink::restoreInternedStrings(const std::vector<std::string> &s)
+{
+    strings_ = s;
+    string_ids_.clear();
+    for (std::size_t i = 0; i < strings_.size(); ++i)
+        string_ids_.emplace(strings_[i], i);
 }
 
 std::size_t

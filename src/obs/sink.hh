@@ -68,6 +68,14 @@ class EventSink
     /** Intern @p s, returning its stable id for Event payloads. */
     virtual std::uint64_t internString(std::string_view s) = 0;
 
+    /**
+     * Checkpoint support: the intern table in id order, so a restored
+     * run re-derives identical string ids for identical names. Sinks
+     * without a table (or that don't care) return empty / ignore.
+     */
+    virtual std::vector<std::string> internedStrings() const { return {}; }
+    virtual void restoreInternedStrings(const std::vector<std::string> &) {}
+
     EventMask mask() const { return mask_; }
 
   protected:
@@ -89,6 +97,12 @@ class RingSink : public EventSink
                       EventMask mask = kEvAll);
 
     std::uint64_t internString(std::string_view s) override;
+
+    std::vector<std::string> internedStrings() const override
+    {
+        return strings_;
+    }
+    void restoreInternedStrings(const std::vector<std::string> &s) override;
 
     /** Events recorded and retained, oldest first. */
     std::size_t size() const;

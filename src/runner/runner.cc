@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -101,6 +102,8 @@ Runner::runOne(const JobSpec &spec, unsigned transient_retries)
             ropt.fastForward = spec.fastForward;
             ropt.watchdogCycles = spec.watchdogCycles;
             ropt.wallClockLimitSec = spec.wallClockLimitSec;
+            ropt.checkpointOut = spec.checkpointOut;
+            ropt.checkpointEvery = spec.checkpointEvery;
             ropt.ffStats = &out.ff;
             if (sink)
                 ropt.sink = sink.get();
@@ -114,7 +117,20 @@ Runner::runOne(const JobSpec &spec, unsigned transient_retries)
                                                 spec.cfg);
             if (!plan.empty())
                 ropt.faultPlan = &plan;
-            out.result = sys.run(ropt);
+            if (!spec.restoreFrom.empty()) {
+                // Resume mid-run: boot + load + run the remainder.
+                std::ifstream ckpt_is(spec.restoreFrom,
+                                      std::ios::binary);
+                if (!ckpt_is)
+                    throw std::runtime_error(
+                        "cannot open checkpoint file: " +
+                        spec.restoreFrom);
+                sys.restoreCheckpoint(ckpt_is, ropt);
+                sys.advance();
+                out.result = sys.finalize();
+            } else {
+                out.result = sys.run(ropt);
+            }
             if (out.result.timedOut) {
                 out.status = JobStatus::Failed;
                 out.error = "hit the " + std::to_string(spec.maxCycles) +

@@ -107,6 +107,18 @@ struct JobSpec
      *  Failed, never retried (the next attempt would die the same
      *  way), and keeps its partial trace. */
     double wallClockLimitSec = 0.0;
+
+    /** Periodic checkpointing (RunOptions::checkpointOut/-Every): every
+     *  checkpointEvery cycles the job overwrites checkpointOut with its
+     *  latest snapshot. Both must be set to take effect. */
+    std::string checkpointOut;
+    Cycle checkpointEvery = 0;
+
+    /** Resume from this checkpoint file instead of starting at cycle 0
+     *  (System::restoreCheckpoint). The spec must carry the same
+     *  config, workloads and determinism-relevant options as the run
+     *  that wrote it; a mismatch is a contained per-job failure. */
+    std::string restoreFrom;
 };
 
 /** Terminal state of one job. */

@@ -4,8 +4,11 @@
 #include <array>
 #include <cassert>
 #include <chrono>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 
+#include "ckpt/ckpt.hh"
 #include "fault/injector.hh"
 #include "kir/analysis.hh"
 #include "lanemgr/partitioner.hh"
@@ -14,11 +17,78 @@
 namespace occamy
 {
 
+/**
+ * Everything one booted run owns: the machine, the compiled programs,
+ * and every loop-carried variable of the cycle loop. run() used to
+ * keep all of this in locals; hoisting it here lets the loop pause at
+ * any cycle boundary (advance(stopAt)), which is what checkpointing
+ * and the serve daemon's incremental stepping are built on.
+ */
+struct System::Ctx
+{
+    RunOptions opt;
+    MachineConfig cfg;          ///< Resolved (static plan filled in).
+    const policy::SharingModel &model;
+
+    MemSystem mem;
+    CoProcessor coproc;
+    std::unique_ptr<fault::FaultInjector> injector;
+
+    std::vector<std::unique_ptr<Program>> programs;
+    unsigned region = 0;
+    std::vector<std::unique_ptr<ScalarCore>> cores;
+
+    /** Queued-workload compiles in dispatch order (core, queue index):
+     *  replayed verbatim on restore so program addresses, phase-id
+     *  layout and the `region` counter come out identical. */
+    std::vector<std::pair<CoreId, std::uint64_t>> compile_log;
+    /** Per core: index into `programs` of the installed program. */
+    std::vector<std::uint64_t> core_prog;
+
+    /** Snapshot groups are built once and re-sampled each period; the
+     *  same groups feed the final statsText dump. */
+    stats::Group mem_group{"system.mem"};
+    stats::Group cp_group{"system.coproc"};
+
+    RunResult result;
+    unsigned total_lanes = 0;
+    std::vector<Cycle> finish;
+    std::vector<bool> done;
+    double busy_integral = 0.0;
+    std::vector<std::vector<double>> busy_buckets;
+    std::vector<std::vector<double>> alloc_buckets;
+
+    // Batch dispatch state (Section 5).
+    std::vector<bool> dispatched;
+    std::size_t undispatched = 0;
+    std::vector<PhaseOI> queue_oi;
+    RooflineParams roofline;
+    std::vector<PhaseOI> sched_oi;
+    std::vector<Cycle> dispatch_at;
+    std::vector<std::size_t> pending_wl;
+
+    FastForwardStats ff;
+    std::uint64_t watchdog_trips = 0;
+    std::chrono::steady_clock::time_point wall_start;
+    Cycle now = 0;
+    Cycle last_finish = 0;
+    bool complete = false;
+
+    Ctx(const MachineConfig &resolved, const RunOptions &o)
+        : opt(o), cfg(resolved), model(policy::model(cfg.policy)),
+          mem(cfg), coproc(cfg, mem),
+          roofline(RooflineParams::fromConfig(cfg))
+    {
+    }
+};
+
 System::System(MachineConfig cfg) : cfg_(std::move(cfg))
 {
     names_.resize(cfg_.numCores);
     loops_.resize(cfg_.numCores);
 }
+
+System::~System() = default;
 
 void
 System::setWorkload(CoreId core, std::string name,
@@ -34,11 +104,31 @@ System::enqueueWorkload(std::string name, std::vector<kir::Loop> loops)
     queue_.emplace_back(std::move(name), std::move(loops));
 }
 
-RunResult
-System::run(const RunOptions &opt)
+const Program *
+System::compileAndBind(Ctx &x, CoreId c, const std::string &name,
+                       const std::vector<kir::Loop> &loops)
 {
-    const Cycle max_cycles = opt.maxCycles;
-    const unsigned bucket = opt.bucket;
+    // Compile a workload for a core and bind its arrays into a private,
+    // staggered address region (distinct cache-set alignment per slot).
+    const unsigned fixed_vl = x.model.perCoreFixedVl(x.cfg, c);
+    CompileOptions opts = CompileOptions::forMachine(x.cfg, fixed_vl);
+    Compiler compiler(opts);
+    auto prog = std::make_unique<Program>(compiler.compile(name, loops));
+    const unsigned slot = x.region++;
+    Addr next = ((static_cast<Addr>(slot) + 1) << 36) +
+                static_cast<Addr>(slot % x.cfg.numCores) * 40960;
+    for (auto &arr : prog->arrays) {
+        arr.base = next;
+        const Addr size = arr.elems * arr.elemBytes;
+        next += (size + 4095) / 4096 * 4096 + 4096;
+    }
+    x.programs.push_back(std::move(prog));
+    return x.programs.back().get();
+}
+
+void
+System::boot(const RunOptions &opt)
+{
     MachineConfig cfg = cfg_;
     const policy::SharingModel &model = policy::model(cfg.policy);
 
@@ -56,94 +146,134 @@ System::run(const RunOptions &opt)
         model.resolveStaticPlan(cfg, phase_ois, will_run);
     }
 
-    MemSystem mem(cfg);
-    CoProcessor coproc(cfg, mem);
+    ctx_ = std::make_unique<Ctx>(cfg, opt);
+    Ctx &x = *ctx_;
 
     // Fault injection (src/fault): one injector serves the whole
     // machine. Null plan = fault-free, and none of the hooks fire.
-    std::unique_ptr<fault::FaultInjector> injector;
     if (opt.faultPlan && !opt.faultPlan->empty()) {
-        injector = std::make_unique<fault::FaultInjector>(*opt.faultPlan,
-                                                          cfg.numExeBUs);
-        coproc.setFaultInjector(injector.get());
-        mem.setFaultInjector(injector.get());
+        x.injector = std::make_unique<fault::FaultInjector>(
+            *opt.faultPlan, x.cfg.numExeBUs);
+        x.coproc.setFaultInjector(x.injector.get());
+        x.mem.setFaultInjector(x.injector.get());
     }
 
-    // Compile a workload for a core and bind its arrays into a private,
-    // staggered address region (distinct cache-set alignment per slot).
-    std::vector<std::unique_ptr<Program>> programs;
-    unsigned region = 0;
-    auto compileAndBind = [&](CoreId c, const std::string &name,
-                              const std::vector<kir::Loop> &loops)
-        -> const Program * {
-        const unsigned fixed_vl = model.perCoreFixedVl(cfg, c);
-        CompileOptions opts = CompileOptions::forMachine(cfg, fixed_vl);
-        Compiler compiler(opts);
-        auto prog = std::make_unique<Program>(
-            compiler.compile(name, loops));
-        const unsigned slot = region++;
-        Addr next = ((static_cast<Addr>(slot) + 1) << 36) +
-                    static_cast<Addr>(slot % cfg.numCores) * 40960;
-        for (auto &arr : prog->arrays) {
-            arr.base = next;
-            const Addr size = arr.elems * arr.elemBytes;
-            next += (size + 4095) / 4096 * 4096 + 4096;
-        }
-        programs.push_back(std::move(prog));
-        return programs.back().get();
-    };
-
-    std::vector<std::unique_ptr<ScalarCore>> cores;
-    for (unsigned c = 0; c < cfg.numCores; ++c) {
-        cores.push_back(std::make_unique<ScalarCore>(
-            static_cast<CoreId>(c), cfg, coproc));
-        cores[c]->setProgram(compileAndBind(static_cast<CoreId>(c),
-                                            names_[c], loops_[c]));
+    x.core_prog.assign(x.cfg.numCores, 0);
+    for (unsigned c = 0; c < x.cfg.numCores; ++c) {
+        x.cores.push_back(std::make_unique<ScalarCore>(
+            static_cast<CoreId>(c), x.cfg, x.coproc));
+        x.cores[c]->setProgram(compileAndBind(
+            x, static_cast<CoreId>(c), names_[c], loops_[c]));
+        x.core_prog[c] = x.programs.size() - 1;
     }
 
     // Attach the trace sink after construction so boot-time plumbing
     // (e.g. initial lane grants) produces no events.
-    mem.setEventSink(opt.sink);
-    coproc.setEventSink(opt.sink);
-    for (auto &core : cores)
+    x.mem.setEventSink(opt.sink);
+    x.coproc.setEventSink(opt.sink);
+    for (auto &core : x.cores)
         core->setEventSink(opt.sink);
 
-    // Snapshot groups are built once and re-sampled each period; the
-    // same groups feed the final statsText dump.
-    stats::Group mem_group("system.mem");
-    mem.regStats(mem_group);
-    stats::Group cp_group("system.coproc");
-    coproc.regStats(cp_group);
+    x.mem.regStats(x.mem_group);
+    x.coproc.regStats(x.cp_group);
 
-    // --- Cycle loop. ---
-    RunResult result;
-    result.cores.resize(cfg.numCores);
-    const unsigned total_lanes = cfg.totalLanes();
+    x.result.cores.resize(x.cfg.numCores);
+    x.total_lanes = x.cfg.totalLanes();
+    x.finish.assign(x.cfg.numCores, 0);
+    x.done.assign(x.cfg.numCores, false);
+    x.busy_buckets.resize(x.cfg.numCores);
+    x.alloc_buckets.resize(x.cfg.numCores);
 
-    std::vector<Cycle> finish(cfg.numCores, 0);
-    std::vector<bool> done(cfg.numCores, false);
-    double busy_integral = 0.0;
-
-    std::vector<std::vector<double>> busy_buckets(cfg.numCores);
-    std::vector<std::vector<double>> alloc_buckets(cfg.numCores);
-
-    // Batch dispatch state (Section 5). For the OI-aware discipline we
-    // pre-analyze each queued workload's first-phase behaviour.
-    std::vector<bool> dispatched(queue_.size(), false);
-    std::size_t undispatched = queue_.size();
-    std::vector<PhaseOI> queue_oi(queue_.size());
-    if (cfg.schedPolicy == SchedPolicy::OiAware) {
+    // For the OI-aware discipline we pre-analyze each queued
+    // workload's first-phase behaviour.
+    x.dispatched.assign(queue_.size(), false);
+    x.undispatched = queue_.size();
+    x.queue_oi.resize(queue_.size());
+    if (x.cfg.schedPolicy == SchedPolicy::OiAware) {
         for (std::size_t q = 0; q < queue_.size(); ++q)
             if (!queue_[q].second.empty())
-                queue_oi[q] = kir::phaseOI(queue_[q].second.front(),
-                                           cfg.vecCache.sizeBytes,
-                                           cfg.l2.sizeBytes);
+                x.queue_oi[q] = kir::phaseOI(queue_[q].second.front(),
+                                             x.cfg.vecCache.sizeBytes,
+                                             x.cfg.l2.sizeBytes);
     }
-    const RooflineParams roofline = RooflineParams::fromConfig(cfg);
 
     // What each core is running or about to run, for placement
     // decisions (the resource table lags behind pending dispatches).
-    std::vector<PhaseOI> sched_oi(cfg.numCores);
+    x.sched_oi.assign(x.cfg.numCores, PhaseOI{});
+    x.dispatch_at.assign(x.cfg.numCores, kCycleNever);
+    x.pending_wl.assign(x.cfg.numCores, 0);
+    x.wall_start = std::chrono::steady_clock::now();
+
+    // Boot beacon: engine category, so kEvAll artifacts are untouched.
+    // A serve daemon counts these to prove a warm-pool request paid no
+    // boot cost on the request path.
+    if (opt.sink && opt.sink->wants(obs::EventKind::SystemBoot)) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::SystemBoot;
+        ev.a = x.cfg.numCores;
+        ev.b = x.cfg.numExeBUs;
+        opt.sink->record(ev);
+    }
+}
+
+Cycle
+System::now() const
+{
+    return ctx_ ? ctx_->now : 0;
+}
+
+bool
+System::finished() const
+{
+    return ctx_ && ctx_->complete;
+}
+
+bool
+System::advance(Cycle stop_at)
+{
+    if (!ctx_)
+        throw std::logic_error("System::advance: boot() first");
+    Ctx &x = *ctx_;
+    if (x.complete)
+        return true;
+
+    const RunOptions &opt = x.opt;
+    const Cycle max_cycles = opt.maxCycles;
+    const unsigned bucket = opt.bucket;
+    const MachineConfig &cfg = x.cfg;
+    const policy::SharingModel &model = x.model;
+    MemSystem &mem = x.mem;
+    CoProcessor &coproc = x.coproc;
+    auto &cores = x.cores;
+    fault::FaultInjector *const injector = x.injector.get();
+    RunResult &result = x.result;
+    FastForwardStats &ff = x.ff;
+    Cycle &now = x.now;
+    Cycle &last_finish = x.last_finish;
+
+    // Periodic checkpointing: pause at every multiple of the period
+    // and overwrite the target file. Derived, not stored: resuming at
+    // cycle N computes the same next boundary a straight run uses.
+    const Cycle ckpt_every =
+        (!opt.checkpointOut.empty() && opt.checkpointEvery)
+            ? opt.checkpointEvery : 0;
+    Cycle next_ckpt =
+        ckpt_every ? (now / ckpt_every + 1) * ckpt_every : kCycleNever;
+    auto writeCkpt = [&] {
+        std::ofstream os(opt.checkpointOut,
+                         std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw ckpt::Error("cannot open checkpoint file: " +
+                              opt.checkpointOut);
+        saveCheckpoint(os);
+        if (opt.sink && opt.sink->wants(obs::EventKind::CheckpointSave)) {
+            obs::Event ev;
+            ev.cycle = now;
+            ev.kind = obs::EventKind::CheckpointSave;
+            ev.a = static_cast<std::uint64_t>(os.tellp());
+            opt.sink->record(ev);
+        }
+    };
 
     // Estimate the machine's *normalized progress* (the classic
     // weighted-speedup co-scheduling objective) if candidate OI @p cand
@@ -156,10 +286,10 @@ System::run(const RunOptions &opt)
         for (unsigned i = 0; i < cfg.numCores; ++i) {
             const PhaseOI &running =
                 coproc.resourceTable().core(static_cast<CoreId>(i)).oi;
-            ois[i] = running.active() ? running : sched_oi[i];
+            ois[i] = running.active() ? running : x.sched_oi[i];
         }
         ois[target] = cand;
-        const auto plan = greedyPartition(roofline, ois, cfg.numExeBUs);
+        const auto plan = greedyPartition(x.roofline, ois, cfg.numExeBUs);
 
         // Memory-bandwidth ceilings are machine-wide: co-running
         // workloads bound at the same level split it. Count them so
@@ -170,9 +300,9 @@ System::run(const RunOptions &opt)
         for (std::size_t i = 0; i < ois.size(); ++i) {
             if (!ois[i].active() || plan[i] == 0)
                 continue;
-            const double ap = attainable(roofline, ois[i], plan[i]);
+            const double ap = attainable(x.roofline, ois[i], plan[i]);
             const double ceiling =
-                memBandwidth(roofline, ois[i].level) * ois[i].mem;
+                memBandwidth(x.roofline, ois[i].level) * ois[i].mem;
             if (ap >= ceiling - 1e-9) {
                 membound[i] = true;
                 ++bound_at[static_cast<unsigned>(ois[i].level)];
@@ -183,11 +313,11 @@ System::run(const RunOptions &opt)
         for (std::size_t i = 0; i < ois.size(); ++i) {
             if (!ois[i].active())
                 continue;
-            const double solo = attainable(roofline, ois[i],
+            const double solo = attainable(x.roofline, ois[i],
                                            cfg.numExeBUs);
             if (solo <= 0)
                 continue;
-            double ap = attainable(roofline, ois[i], plan[i]);
+            double ap = attainable(x.roofline, ois[i], plan[i]);
             if (membound[i])
                 ap /= bound_at[static_cast<unsigned>(ois[i].level)];
             total += ap / solo;
@@ -199,15 +329,15 @@ System::run(const RunOptions &opt)
     auto selectNext = [&](CoreId core) -> std::size_t {
         if (cfg.schedPolicy == SchedPolicy::Fcfs) {
             for (std::size_t q = 0; q < queue_.size(); ++q)
-                if (!dispatched[q])
+                if (!x.dispatched[q])
                     return q;
         } else {
             std::size_t best = queue_.size();
             double best_tp = -1.0;
             for (std::size_t q = 0; q < queue_.size(); ++q) {
-                if (dispatched[q])
+                if (x.dispatched[q])
                     continue;
-                const double tp = progressWith(queue_oi[q], core);
+                const double tp = progressWith(x.queue_oi[q], core);
                 if (tp > best_tp + 1e-9) {
                     best_tp = tp;
                     best = q;
@@ -217,11 +347,6 @@ System::run(const RunOptions &opt)
         }
         return queue_.size();
     };
-
-    std::vector<Cycle> dispatch_at(cfg.numCores, kCycleNever);
-    std::vector<std::size_t> pending_wl(cfg.numCores, 0);
-
-    FastForwardStats ff;
 
     // Synthesize the timeline contribution of a skipped quiescent span
     // [from, to]: every cycle in it would have added busy = 0 (nothing
@@ -233,9 +358,9 @@ System::run(const RunOptions &opt)
     auto synthesizeSkipped = [&](Cycle from, Cycle to) {
         const std::size_t last_b = static_cast<std::size_t>(to / bucket);
         for (unsigned c = 0; c < cfg.numCores; ++c) {
-            if (busy_buckets[c].size() <= last_b) {
-                busy_buckets[c].resize(last_b + 1, 0.0);
-                alloc_buckets[c].resize(last_b + 1, 0.0);
+            if (x.busy_buckets[c].size() <= last_b) {
+                x.busy_buckets[c].resize(last_b + 1, 0.0);
+                x.alloc_buckets[c].resize(last_b + 1, 0.0);
             }
             const unsigned alloc =
                 coproc.allocatedLanes(static_cast<CoreId>(c));
@@ -247,19 +372,27 @@ System::run(const RunOptions &opt)
                 const Cycle bucket_last =
                     (static_cast<Cycle>(b) + 1) * bucket - 1;
                 const Cycle upto = std::min(bucket_last, to);
-                alloc_buckets[c][b] += static_cast<double>(alloc) *
-                                       static_cast<double>(upto - cy + 1);
+                x.alloc_buckets[c][b] +=
+                    static_cast<double>(alloc) *
+                    static_cast<double>(upto - cy + 1);
                 cy = upto + 1;
             }
         }
     };
 
-    std::uint64_t watchdog_trips = 0;
-    const auto wall_start = std::chrono::steady_clock::now();
-
-    Cycle now = 0;
-    Cycle last_finish = 0;
+    // --- Cycle loop. ---
     for (; now < max_cycles; ++now) {
+        // Pause boundary: state is exactly "about to execute cycle
+        // `now`", the same point a checkpoint captures. Checked before
+        // anything else so advance(N); advance(M) ticks each cycle
+        // exactly once.
+        if (now >= stop_at)
+            return false;
+        if (now == next_ckpt) {
+            writeCkpt();
+            next_ckpt += ckpt_every;
+        }
+
         ++ff.cyclesTicked;
 
         // Hard wall-clock kill (runner containment): checked coarsely
@@ -267,10 +400,11 @@ System::run(const RunOptions &opt)
         if (opt.wallClockLimitSec > 0 &&
             (ff.cyclesTicked & 0xFFFF) == 0) {
             const std::chrono::duration<double> elapsed =
-                std::chrono::steady_clock::now() - wall_start;
+                std::chrono::steady_clock::now() - x.wall_start;
             if (elapsed.count() > opt.wallClockLimitSec) {
                 result.wallKilled = true;
-                break;
+                x.complete = true;
+                return true;
             }
         }
 
@@ -293,7 +427,7 @@ System::run(const RunOptions &opt)
                     coproc.vlRequestStatus(core->id());
                 if (st.resolved && st.ok)
                     continue;   // Grant landed; the spin ends next step.
-                ++watchdog_trips;
+                ++x.watchdog_trips;
                 if (opt.sink &&
                     opt.sink->wants(obs::EventKind::WatchdogTrip)) {
                     obs::Event ev;
@@ -311,10 +445,14 @@ System::run(const RunOptions &opt)
         // Dispatch queued workloads onto cores whose context switch
         // completed.
         for (unsigned c = 0; c < cfg.numCores; ++c) {
-            if (dispatch_at[c] != kCycleNever && now >= dispatch_at[c]) {
-                const auto &[wl_name, wl_loops] = queue_[pending_wl[c]];
+            if (x.dispatch_at[c] != kCycleNever &&
+                now >= x.dispatch_at[c]) {
+                const auto &[wl_name, wl_loops] = queue_[x.pending_wl[c]];
+                x.compile_log.emplace_back(static_cast<CoreId>(c),
+                                           x.pending_wl[c]);
                 cores[c]->setProgram(compileAndBind(
-                    static_cast<CoreId>(c), wl_name, wl_loops));
+                    x, static_cast<CoreId>(c), wl_name, wl_loops));
+                x.core_prog[c] = x.programs.size() - 1;
                 result.batch.push_back(BatchCompletion{
                     wl_name, static_cast<CoreId>(c), now, 0});
                 if (opt.sink &&
@@ -324,10 +462,10 @@ System::run(const RunOptions &opt)
                     ev.kind = obs::EventKind::BatchDispatch;
                     ev.core = static_cast<CoreId>(c);
                     ev.a = opt.sink->internString(wl_name);
-                    ev.b = pending_wl[c];
+                    ev.b = x.pending_wl[c];
                     opt.sink->record(ev);
                 }
-                dispatch_at[c] = kCycleNever;
+                x.dispatch_at[c] = kCycleNever;
             }
         }
 
@@ -346,11 +484,11 @@ System::run(const RunOptions &opt)
                 fts_scale = static_cast<double>(cap) / sum;
         }
         for (unsigned c = 0; c < cfg.numCores; ++c) {
-            if (!done[c]) {
+            if (!x.done[c]) {
                 const bool idle =
                     cores[c]->doneEmitting() &&
                     coproc.coreDrained(static_cast<CoreId>(c)) &&
-                    dispatch_at[c] == kCycleNever;
+                    x.dispatch_at[c] == kCycleNever;
                 if (idle) {
                     // Close the batch record of the workload that just
                     // completed on this core, if any.
@@ -361,18 +499,19 @@ System::run(const RunOptions &opt)
                             break;
                         }
                     }
-                    if (undispatched > 0) {
+                    if (x.undispatched > 0) {
                         // Grab the next workload (per the dispatch
                         // discipline) after the OS context-switch cost.
-                        pending_wl[c] = selectNext(static_cast<CoreId>(c));
-                        dispatched[pending_wl[c]] = true;
-                        sched_oi[c] = queue_oi[pending_wl[c]];
-                        --undispatched;
-                        dispatch_at[c] = now + cfg.contextSwitchCycles;
+                        x.pending_wl[c] =
+                            selectNext(static_cast<CoreId>(c));
+                        x.dispatched[x.pending_wl[c]] = true;
+                        x.sched_oi[c] = x.queue_oi[x.pending_wl[c]];
+                        --x.undispatched;
+                        x.dispatch_at[c] = now + cfg.contextSwitchCycles;
                         all_done = false;
                     } else {
-                        done[c] = true;
-                        finish[c] = now;
+                        x.done[c] = true;
+                        x.finish[c] = now;
                         last_finish = std::max(last_finish, now);
                     }
                 } else {
@@ -386,27 +525,30 @@ System::run(const RunOptions &opt)
                 busy *= fts_scale;
             else
                 busy = std::min<double>(busy, alloc);
-            busy_integral += busy;
+            x.busy_integral += busy;
 
             const std::size_t b = now / bucket;
-            if (busy_buckets[c].size() <= b) {
-                busy_buckets[c].resize(b + 1, 0.0);
-                alloc_buckets[c].resize(b + 1, 0.0);
+            if (x.busy_buckets[c].size() <= b) {
+                x.busy_buckets[c].resize(b + 1, 0.0);
+                x.alloc_buckets[c].resize(b + 1, 0.0);
             }
-            busy_buckets[c][b] += busy;
-            alloc_buckets[c][b] += alloc;
+            x.busy_buckets[c][b] += busy;
+            x.alloc_buckets[c][b] += alloc;
         }
-        if (opt.snapshotEvery && now > 0 && now % opt.snapshotEvery == 0) {
+        if (opt.snapshotEvery && now > 0 &&
+            now % opt.snapshotEvery == 0) {
             obs::MetricSnapshot snap;
             snap.cycle = now;
-            snap.values = mem_group.snapshot();
-            auto cp = cp_group.snapshot();
+            snap.values = x.mem_group.snapshot();
+            auto cp = x.cp_group.snapshot();
             snap.values.insert(snap.values.end(), cp.begin(), cp.end());
             std::sort(snap.values.begin(), snap.values.end());
             result.snapshots.push_back(std::move(snap));
         }
-        if (all_done)
-            break;
+        if (all_done) {
+            x.complete = true;
+            return true;
+        }
 
         if (!opt.fastForward)
             continue;
@@ -433,8 +575,8 @@ System::run(const RunOptions &opt)
         if (wake > now + 1) {
             consider(mem.nextEventAt(now), WakeSource::Mem);
             for (unsigned c = 0; c < cfg.numCores; ++c)
-                if (dispatch_at[c] != kCycleNever)
-                    consider(dispatch_at[c], WakeSource::Dispatch);
+                if (x.dispatch_at[c] != kCycleNever)
+                    consider(x.dispatch_at[c], WakeSource::Dispatch);
             if (opt.snapshotEvery)
                 consider((now / opt.snapshotEvery + 1) *
                              opt.snapshotEvery,
@@ -455,6 +597,14 @@ System::run(const RunOptions &opt)
                                  WakeSource::Watchdog);
             }
         }
+        // Pause and checkpoint boundaries cap the jump so the loop
+        // lands on them exactly. Engine bookkeeping only: the span
+        // shapes (and SchedFastForward events, engine category) may
+        // differ from an uninterrupted run, the simulated state never
+        // does — a split skip synthesizes the same bucket sums and
+        // round-robin advance as one long skip.
+        consider(stop_at, WakeSource::Checkpoint);
+        consider(next_ckpt, WakeSource::Checkpoint);
         if (wake <= now + 1)
             continue;
 
@@ -486,36 +636,51 @@ System::run(const RunOptions &opt)
         ff.longestSpan = std::max(ff.longestSpan, span);
         now = target - 1;       // ++now lands exactly on the wake cycle.
     }
-    result.timedOut = now >= max_cycles;
-    ff.cyclesSimulated = now < max_cycles ? now + 1 : max_cycles;
-    if (opt.ffStats)
-        *opt.ffStats = ff;
-    result.cycles = std::max<Cycle>(last_finish, 1);
-    result.simdUtil =
-        busy_integral / (static_cast<double>(total_lanes) *
-                         static_cast<double>(result.cycles));
+    x.complete = true;          // Ran into the maxCycles cap.
+    return true;
+}
 
-    for (unsigned c = 0; c < cfg.numCores; ++c) {
+RunResult
+System::finalize()
+{
+    if (!ctx_)
+        throw std::logic_error("System::finalize: boot() first");
+    Ctx &x = *ctx_;
+    const unsigned bucket = x.opt.bucket;
+    RunResult &result = x.result;
+
+    result.timedOut = x.now >= x.opt.maxCycles;
+    x.ff.cyclesSimulated =
+        x.now < x.opt.maxCycles ? x.now + 1 : x.opt.maxCycles;
+    if (x.opt.ffStats)
+        *x.opt.ffStats = x.ff;
+    result.cycles = std::max<Cycle>(x.last_finish, 1);
+    result.simdUtil =
+        x.busy_integral / (static_cast<double>(x.total_lanes) *
+                           static_cast<double>(result.cycles));
+
+    for (unsigned c = 0; c < x.cfg.numCores; ++c) {
         CoreRunResult &cr = result.cores[c];
         cr.workload = names_[c];
-        cr.finish = finish[c];
-        cr.computeIssued = coproc.computeIssued(static_cast<CoreId>(c));
-        cr.memIssued = coproc.memIssued(static_cast<CoreId>(c));
+        cr.finish = x.finish[c];
+        cr.computeIssued =
+            x.coproc.computeIssued(static_cast<CoreId>(c));
+        cr.memIssued = x.coproc.memIssued(static_cast<CoreId>(c));
         cr.renameRegStallCycles =
-            coproc.renameRegStallCycles(static_cast<CoreId>(c));
-        cr.monitorInsts = cores[c]->monitorInsts();
-        cr.reconfigWaitCycles = cores[c]->reconfigWaitCycles();
-        cr.reconfigEvents = cores[c]->reconfigEvents();
-        cr.reinitInsts = cores[c]->reinitInsts();
+            x.coproc.renameRegStallCycles(static_cast<CoreId>(c));
+        cr.monitorInsts = x.cores[c]->monitorInsts();
+        cr.reconfigWaitCycles = x.cores[c]->reconfigWaitCycles();
+        cr.reconfigEvents = x.cores[c]->reconfigEvents();
+        cr.reinitInsts = x.cores[c]->reinitInsts();
 
-        for (const PhaseTrace &t : cores[c]->phases()) {
+        for (const PhaseTrace &t : x.cores[c]->phases()) {
             PhaseResult pr;
             pr.name = t.name;
             pr.start = t.start;
-            pr.end = t.end ? t.end : finish[c];
+            pr.end = t.end ? t.end : x.finish[c];
             pr.firstVl = t.firstVl;
             pr.lastVl = t.lastVl;
-            pr.computeIssued = coproc.computeIssuedInPhase(
+            pr.computeIssued = x.coproc.computeIssuedInPhase(
                 static_cast<CoreId>(c), t.phaseId);
             const Cycle span = pr.end > pr.start ? pr.end - pr.start : 1;
             pr.issueRate = static_cast<double>(pr.computeIssued) /
@@ -523,27 +688,29 @@ System::run(const RunOptions &opt)
             cr.phases.push_back(pr);
         }
 
-        for (std::size_t b = 0; b < busy_buckets[c].size(); ++b) {
-            cr.busyLanesTimeline.push_back(busy_buckets[c][b] / bucket);
-            cr.allocLanesTimeline.push_back(alloc_buckets[c][b] / bucket);
+        for (std::size_t b = 0; b < x.busy_buckets[c].size(); ++b) {
+            cr.busyLanesTimeline.push_back(x.busy_buckets[c][b] /
+                                           bucket);
+            cr.allocLanesTimeline.push_back(x.alloc_buckets[c][b] /
+                                            bucket);
         }
     }
 
-    result.dramBytes = mem.dramBytes();
-    result.vlSwitches = coproc.vlSwitches();
-    result.plansMade = coproc.plansMade();
-    result.watchdogTrips = watchdog_trips;
-    result.laneFaults = coproc.laneFaults();
+    result.dramBytes = x.mem.dramBytes();
+    result.vlSwitches = x.coproc.vlSwitches();
+    result.plansMade = x.coproc.plansMade();
+    result.watchdogTrips = x.watchdog_trips;
+    result.laneFaults = x.coproc.laneFaults();
 
     // gem5-style stats dump (same groups the snapshots sampled).
     {
         std::ostringstream os;
-        mem_group.dump(os);
-        cp_group.dump(os);
+        x.mem_group.dump(os);
+        x.cp_group.dump(os);
         stats::Group run_group("system.run");
         run_group.addFormula(
             "watchdog_trips",
-            [&] { return static_cast<double>(watchdog_trips); },
+            [&] { return static_cast<double>(x.watchdog_trips); },
             "livelock-watchdog scalar-fallback escalations");
         run_group.addFormula(
             "lane_faults",
@@ -552,7 +719,407 @@ System::run(const RunOptions &opt)
         run_group.dump(os);
         result.statsText = os.str();
     }
-    return result;
+
+    RunResult out = std::move(x.result);
+    ctx_.reset();
+    return out;
+}
+
+RunResult
+System::run(const RunOptions &opt)
+{
+    boot(opt);
+    advance(kCycleNever);
+    return finalize();
+}
+
+// ------------------------------------------------------- checkpointing
+
+namespace
+{
+
+/** Digest helper: loop structure, not the full expression trees — the
+ *  suite builds loops deterministically from names, so name + shape is
+ *  what distinguishes two workload sets in practice. */
+void
+describeLoops(std::ostream &os, const std::vector<kir::Loop> &loops)
+{
+    for (const kir::Loop &l : loops) {
+        os << l.name << ';' << l.trip << ';' << l.stores.size() << ';'
+           << (l.reduction ? 1 : 0) << ';';
+        for (const kir::ArrayDecl &a : l.arrays)
+            os << a.name << ',' << a.elems << ','
+               << static_cast<unsigned>(a.elemBytes) << ','
+               << (a.streaming ? 1 : 0) << ';';
+        os << '|';
+    }
+}
+
+void
+describeCache(std::ostream &os, const CacheConfig &c)
+{
+    os << c.sizeBytes << ',' << c.assoc << ',' << c.lineBytes << ','
+       << c.latency << ',' << c.bytesPerCycle << '|';
+}
+
+} // namespace
+
+std::uint64_t
+System::fingerprint(const Ctx &x) const
+{
+    std::ostringstream os;
+    const MachineConfig &c = x.cfg;
+    os << c.numCores << '|' << static_cast<int>(c.policy) << '|'
+       << c.ghz << '|' << c.numExeBUs << '|' << c.vregsPerBlk << '|'
+       << c.pregsPerBlk << '|' << c.computeIssueWidth << '|'
+       << c.memIssueWidth << '|' << c.transmitWidth << '|'
+       << c.instPoolEntries << '|' << c.issueQueueEntries << '|'
+       << c.robEntries << '|' << c.commitWidth << '|'
+       << c.loadQueueEntries << '|' << c.storeQueueEntries << '|'
+       << c.fpLatency << '|' << c.laneMgrLatency << '|'
+       << c.retireDelay << '|' << c.dramLatency << '|'
+       << c.dramBytesPerCycle << '|' << c.prefetchDegree << '|'
+       << c.monitorPeriod << '|' << c.contextSwitchCycles << '|'
+       << static_cast<int>(c.schedPolicy) << '|';
+    describeCache(os, c.vecCache);
+    describeCache(os, c.l2);
+    for (unsigned u : c.staticPlan)
+        os << u << ',';
+    os << '#';
+    for (unsigned i = 0; i < c.numCores; ++i) {
+        os << names_[i] << '@';
+        describeLoops(os, loops_[i]);
+    }
+    os << '#';
+    for (const auto &[name, loops] : queue_) {
+        os << name << '@';
+        describeLoops(os, loops);
+    }
+    // Determinism-relevant run options. fastForward and checkpointing
+    // knobs are deliberately excluded: they never change simulated
+    // state, so a ticked run may restore a fast-forwarded checkpoint.
+    os << '#' << x.opt.maxCycles << '|' << x.opt.bucket << '|'
+       << x.opt.snapshotEvery << '|' << x.opt.watchdogCycles << '|'
+       << (x.opt.faultPlan ? x.opt.faultPlan->describe() : "");
+
+    const std::string s = os.str();
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (unsigned char ch : s)
+        h = (h ^ ch) * 0x100000001B3ULL;
+    return h;
+}
+
+void
+System::saveCheckpoint(std::ostream &os) const
+{
+    if (!ctx_)
+        throw std::logic_error("System::saveCheckpoint: boot() first");
+    const Ctx &x = *ctx_;
+    ckpt::Writer w(os);
+
+    w.section("meta");
+    w.u64(fingerprint(x));
+    w.u64(x.now);
+
+    w.section("engine");
+    w.u64(x.last_finish);
+    w.b(x.complete);
+    w.b(x.result.wallKilled);
+    w.u64(x.ff.cyclesSimulated);
+    w.u64(x.ff.cyclesTicked);
+    w.u64(x.ff.cyclesSkipped);
+    w.u64(x.ff.spans);
+    w.u64(x.ff.longestSpan);
+    w.u64(x.watchdog_trips);
+    w.f64(x.busy_integral);
+
+    // Program bookkeeping: the queue-dispatch compile log replays the
+    // exact compile order on restore.
+    w.u32(x.region);
+    w.u64(x.compile_log.size());
+    for (const auto &[core, q] : x.compile_log) {
+        w.u16(static_cast<std::uint16_t>(core));
+        w.u64(q);
+    }
+    for (std::uint64_t p : x.core_prog)
+        w.u64(p);
+
+    // Scheduling / completion state.
+    for (Cycle f : x.finish)
+        w.u64(f);
+    for (bool d : x.done)
+        w.b(d);
+    w.u64(x.dispatched.size());
+    for (bool d : x.dispatched)
+        w.b(d);
+    w.u64(x.undispatched);
+    for (const PhaseOI &oi : x.sched_oi) {
+        w.f64(oi.issue);
+        w.f64(oi.mem);
+        w.u8(static_cast<std::uint8_t>(oi.level));
+    }
+    for (Cycle d : x.dispatch_at)
+        w.u64(d);
+    for (std::size_t p : x.pending_wl)
+        w.u64(p);
+
+    // Timelines.
+    for (const auto &bk : x.busy_buckets) {
+        w.u64(bk.size());
+        for (double v : bk)
+            w.f64(v);
+    }
+    for (const auto &bk : x.alloc_buckets) {
+        w.u64(bk.size());
+        for (double v : bk)
+            w.f64(v);
+    }
+
+    // Partial results accumulated so far.
+    w.u64(x.result.batch.size());
+    for (const BatchCompletion &b : x.result.batch) {
+        w.str(b.name);
+        w.u16(static_cast<std::uint16_t>(b.core));
+        w.u64(b.dispatched);
+        w.u64(b.finished);
+    }
+    w.u64(x.result.snapshots.size());
+    for (const obs::MetricSnapshot &s : x.result.snapshots) {
+        w.u64(s.cycle);
+        w.u64(s.values.size());
+        for (const auto &[name, v] : s.values) {
+            w.str(name);
+            w.f64(v);
+        }
+    }
+
+    // The sink's intern table, so a resumed run hands out identical
+    // string ids for identical names.
+    const std::vector<std::string> strs =
+        x.opt.sink ? x.opt.sink->internedStrings()
+                   : std::vector<std::string>{};
+    w.u64(strs.size());
+    for (const std::string &s : strs)
+        w.str(s);
+
+    // Consumable fault-injector state.
+    w.b(x.injector != nullptr);
+    if (x.injector)
+        x.injector->save(w);
+
+    // Components.
+    x.mem.save(w);
+    x.coproc.save(w);
+    w.u64(x.cores.size());
+    for (const auto &core : x.cores)
+        core->save(w);
+
+    w.finish();
+}
+
+void
+System::restoreCheckpoint(std::istream &is, const RunOptions &opt)
+{
+    try {
+        boot(opt);
+        Ctx &x = *ctx_;
+        ckpt::Reader r(is);
+
+        r.expectSection("meta");
+        ckpt::Reader::check(
+            r.u64() == fingerprint(x),
+            "checkpoint fingerprint mismatch: the file was written by "
+            "a system with a different configuration, workload set, or "
+            "determinism-relevant run options");
+        x.now = r.u64();
+
+        r.expectSection("engine");
+        x.last_finish = r.u64();
+        x.complete = r.b();
+        x.result.wallKilled = r.b();
+        x.ff.cyclesSimulated = r.u64();
+        x.ff.cyclesTicked = r.u64();
+        x.ff.cyclesSkipped = r.u64();
+        x.ff.spans = r.u64();
+        x.ff.longestSpan = r.u64();
+        x.watchdog_trips = r.u64();
+        x.busy_integral = r.f64();
+
+        // Replay queued-workload compiles: deterministic compilation
+        // reproduces byte-identical programs and array bindings.
+        const unsigned saved_region = r.u32();
+        const std::size_t nlog = r.arr();
+        for (std::size_t i = 0; i < nlog; ++i) {
+            const CoreId core = static_cast<CoreId>(r.u16());
+            const std::uint64_t q = r.u64();
+            ckpt::Reader::check(q < queue_.size(),
+                                "checkpoint compile log references a "
+                                "queue entry this system lacks");
+            x.compile_log.emplace_back(core, q);
+            compileAndBind(x, core, queue_[q].first, queue_[q].second);
+        }
+        ckpt::Reader::check(x.region == saved_region,
+                            "checkpoint compile replay diverged");
+        for (std::uint64_t &p : x.core_prog) {
+            p = r.u64();
+            ckpt::Reader::check(p < x.programs.size(),
+                                "checkpoint program index out of range");
+        }
+        for (unsigned c = 0; c < x.cfg.numCores; ++c)
+            x.cores[c]->restoreProgram(x.programs[x.core_prog[c]].get());
+
+        for (Cycle &f : x.finish)
+            f = r.u64();
+        for (std::size_t i = 0; i < x.done.size(); ++i)
+            x.done[i] = r.b();
+        ckpt::Reader::check(r.arr() == x.dispatched.size(),
+                            "checkpoint batch queue length mismatch");
+        for (std::size_t i = 0; i < x.dispatched.size(); ++i)
+            x.dispatched[i] = r.b();
+        x.undispatched = r.u64();
+        for (PhaseOI &oi : x.sched_oi) {
+            oi.issue = r.f64();
+            oi.mem = r.f64();
+            oi.level = static_cast<MemLevel>(r.u8());
+        }
+        for (Cycle &d : x.dispatch_at)
+            d = r.u64();
+        for (std::size_t &p : x.pending_wl)
+            p = r.u64();
+
+        for (auto &bk : x.busy_buckets) {
+            bk.resize(r.arr());
+            for (double &v : bk)
+                v = r.f64();
+        }
+        for (auto &bk : x.alloc_buckets) {
+            bk.resize(r.arr());
+            for (double &v : bk)
+                v = r.f64();
+        }
+
+        x.result.batch.resize(r.arr());
+        for (BatchCompletion &b : x.result.batch) {
+            b.name = r.str();
+            b.core = static_cast<CoreId>(r.u16());
+            b.dispatched = r.u64();
+            b.finished = r.u64();
+        }
+        x.result.snapshots.resize(r.arr());
+        for (obs::MetricSnapshot &s : x.result.snapshots) {
+            s.cycle = r.u64();
+            s.values.resize(r.arr());
+            for (auto &[name, v] : s.values) {
+                name = r.str();
+                v = r.f64();
+            }
+        }
+
+        std::vector<std::string> strs(r.arr());
+        for (std::string &s : strs)
+            s = r.str();
+        if (x.opt.sink)
+            x.opt.sink->restoreInternedStrings(strs);
+
+        const bool had_injector = r.b();
+        ckpt::Reader::check(
+            had_injector == (x.injector != nullptr),
+            "checkpoint fault-plan presence mismatch (pass the same "
+            "--faults / --fault-seed the checkpointing run used)");
+        if (x.injector)
+            x.injector->load(r);
+
+        x.mem.load(r);
+        x.coproc.load(r);
+        ckpt::Reader::check(r.arr() == x.cores.size(),
+                            "checkpoint core count mismatch");
+        for (auto &core : x.cores)
+            core->load(r);
+
+        r.finish();
+
+        // The wall-clock budget restarts at restore time; it is host
+        // time, not simulated state.
+        x.wall_start = std::chrono::steady_clock::now();
+        if (opt.sink &&
+            opt.sink->wants(obs::EventKind::CheckpointRestore)) {
+            obs::Event ev;
+            ev.cycle = x.now;
+            ev.kind = obs::EventKind::CheckpointRestore;
+            opt.sink->record(ev);
+        }
+    } catch (...) {
+        // Never leave a half-restored machine behind.
+        ctx_.reset();
+        throw;
+    }
+}
+
+// ------------------------------------------------------ live inspection
+
+std::string
+System::inspect(const std::string &path) const
+{
+    if (!ctx_)
+        throw std::logic_error("System::inspect: boot() first");
+    const Ctx &x = *ctx_;
+    std::ostringstream os;
+    auto strip = [&path](const char *prefix) -> const char * {
+        const std::size_t n = std::string_view(prefix).size();
+        return path.compare(0, n, prefix) == 0 ? path.c_str() + n
+                                               : nullptr;
+    };
+    if (path == "system") {
+        os << "policy " << x.model.key() << '\n'
+           << "cores " << x.cfg.numCores << '\n'
+           << "cycle " << x.now << '\n'
+           << "complete " << (x.complete ? 1 : 0) << '\n'
+           << "queued_workloads " << queue_.size() << '\n'
+           << "undispatched " << x.undispatched << '\n'
+           << "watchdog_trips " << x.watchdog_trips << '\n'
+           << "cycles_ticked " << x.ff.cyclesTicked << '\n'
+           << "ff_spans " << x.ff.spans << '\n';
+    } else if (path == "system.mem") {
+        x.mem.printState(os);
+    } else if (path == "system.mem.vec_cache") {
+        x.mem.vecCache().printState(os);
+    } else if (path == "system.mem.l2") {
+        x.mem.l2().printState(os);
+    } else if (path == "system.coproc") {
+        x.coproc.printState(os, "");
+    } else if (path == "system.coproc.rt") {
+        x.coproc.printState(os, "rt");
+    } else if (path == "system.coproc.lanemgr") {
+        x.coproc.printState(os, "lanemgr");
+    } else if (path == "system.coproc.regfile") {
+        x.coproc.printState(os, "regfile");
+    } else if (const char *rest = strip("system.coproc.core")) {
+        x.coproc.printState(os, rest);
+    } else if (const char *core = strip("system.core")) {
+        const std::size_t c = std::stoul(core);
+        if (c >= x.cores.size())
+            throw std::out_of_range("no such core: " + path);
+        x.cores[c]->printState(os);
+    } else {
+        throw std::invalid_argument("unknown component path: " + path);
+    }
+    return os.str();
+}
+
+std::vector<std::string>
+System::componentPaths() const
+{
+    std::vector<std::string> paths{
+        "system",          "system.mem",
+        "system.mem.vec_cache", "system.mem.l2",
+        "system.coproc",   "system.coproc.rt",
+        "system.coproc.lanemgr", "system.coproc.regfile",
+    };
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        paths.push_back("system.coproc.core" + std::to_string(c));
+        paths.push_back("system.core" + std::to_string(c));
+    }
+    return paths;
 }
 
 RunResult

@@ -12,10 +12,12 @@
 #ifndef OCCAMY_SIM_SYSTEM_HH
 #define OCCAMY_SIM_SYSTEM_HH
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "ckpt/fwd.hh"
 #include "common/config.hh"
 #include "compiler/compiler.hh"
 #include "coproc/coproc.hh"
@@ -130,6 +132,9 @@ enum class WakeSource : std::uint8_t
     Cap,        ///< Nothing pending before the maxCycles cap.
     Fault,      ///< Fault-plan boundary (lane fault / window edge).
     Watchdog,   ///< Livelock-watchdog deadline for a spinning core.
+    Checkpoint, ///< Pause boundary: advance() stop cycle or a periodic
+                ///< checkpoint-write cycle. Engine bookkeeping only —
+                ///< never changes simulated state.
 };
 
 /**
@@ -185,6 +190,14 @@ struct RunOptions
      *  coarsely (every 64k ticked cycles); inherently nondeterministic,
      *  so it feeds no deterministic artifact. */
     double wallClockLimitSec = 0.0;
+
+    /** Periodic checkpointing: every checkpointEvery cycles, pause at
+     *  the cycle boundary and (over)write checkpointOut, so the file
+     *  always holds the most recent snapshot — the post-mortem
+     *  workflow of DESIGN.md §11. Both must be set; writing never
+     *  perturbs simulated state or kEvAll-visible traces. */
+    std::string checkpointOut;
+    Cycle checkpointEvery = 0;
 };
 
 /** One simulated machine plus the workloads bound to its cores. */
@@ -192,6 +205,7 @@ class System
 {
   public:
     explicit System(MachineConfig cfg);
+    ~System();      ///< Out of line: Ctx is complete only in system.cc.
 
     /**
      * Assign a workload (list of kernel loops) to a core. Must be
@@ -210,16 +224,83 @@ class System
      */
     void enqueueWorkload(std::string name, std::vector<kir::Loop> loops);
 
-    /** Run to completion of all workloads under @p opt. */
+    /** Run to completion of all workloads under @p opt. Equivalent to
+     *  boot(opt); advance(); finalize(). */
     RunResult run(const RunOptions &opt = {});
+
+    // --- Incremental driving (occamy-serve, checkpointing). ---
+
+    /**
+     * Build the machine and compile/bind every core's workload, but
+     * tick nothing yet: the run sits paused at cycle 0. Replaces any
+     * in-progress run. @p opt is copied; its borrowed pointers (sink,
+     * ffStats, faultPlan) must outlive the booted state.
+     */
+    void boot(const RunOptions &opt = {});
+
+    /** @return true between boot()/restoreCheckpoint() and finalize(). */
+    bool booted() const { return ctx_ != nullptr; }
+
+    /** Current cycle of the booted run (the next cycle to execute). */
+    Cycle now() const;
+
+    /** @return true once the booted run has completed (all workloads
+     *  done, or a cap/kill ended it). */
+    bool finished() const;
+
+    /**
+     * Execute the cycle loop until it completes or reaches @p stopAt
+     * (whichever is first). Pausing at a cycle boundary is exact: the
+     * artifacts of a paused-and-resumed run are byte-identical to an
+     * uninterrupted one (only engine accounting — fast-forward span
+     * shapes — may differ). @return finished().
+     */
+    bool advance(Cycle stopAt = kCycleNever);
+
+    /** Gather the result and tear down the booted state. */
+    RunResult finalize();
+
+    // --- Checkpoint/restore (src/ckpt, DESIGN.md §11). ---
+
+    /** Serialize the paused run to @p os. Requires booted(). */
+    void saveCheckpoint(std::ostream &os) const;
+
+    /**
+     * Boot under @p opt, then load state from @p is, resuming exactly
+     * where saveCheckpoint left off. The System must carry the same
+     * config and workloads, and @p opt the same determinism-relevant
+     * options, as the saving run (enforced via a fingerprint check).
+     * Throws ckpt::Error on any mismatch or corruption; the System is
+     * left un-booted on failure.
+     */
+    void restoreCheckpoint(std::istream &is, const RunOptions &opt = {});
+
+    /** MGSim-style live inspection: dump the state of the component at
+     *  @p path (see componentPaths()). Requires booted(). */
+    std::string inspect(const std::string &path) const;
+
+    /** Inspectable component paths of this machine. */
+    std::vector<std::string> componentPaths() const;
 
     const MachineConfig &config() const { return cfg_; }
 
   private:
+    struct Ctx;
+
+    /** Compile a workload, bind its arrays to the next address region,
+     *  and record the compile for deterministic checkpoint replay. */
+    const Program *compileAndBind(Ctx &x, CoreId c,
+                                  const std::string &name,
+                                  const std::vector<kir::Loop> &loops);
+
+    /** Config+workload+options digest stored in checkpoints. */
+    std::uint64_t fingerprint(const Ctx &x) const;
+
     MachineConfig cfg_;
     std::vector<std::string> names_;
     std::vector<std::vector<kir::Loop>> loops_;
     std::vector<std::pair<std::string, std::vector<kir::Loop>>> queue_;
+    std::unique_ptr<Ctx> ctx_;
 };
 
 /**

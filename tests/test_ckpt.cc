@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Checkpoint/restore contract tests (src/ckpt, DESIGN.md §11).
+ *
+ * The core property is restore-equivalence: checkpoint at cycle N,
+ * restore into a fresh System, run to completion — every deterministic
+ * artifact (result JSON, gem5-style stats text, the full kEvAll event
+ * stream with its interned strings) must be byte-identical to an
+ * uninterrupted run. The matrix covers every registered policy, fault
+ * injection (none / parsed plan / seeded random plan) and both engine
+ * modes (fast-forward on and off), with a batch-queued workload so the
+ * compile-log replay path is exercised everywhere.
+ *
+ * The rejection half proves the format fails loudly: truncation,
+ * corruption, wrong magic, wrong version and fingerprint mismatches
+ * all throw ckpt::Error with a descriptive message and leave the
+ * System un-booted.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/ckpt.hh"
+#include "fault/fault.hh"
+#include "kir/kir.hh"
+#include "obs/sink.hh"
+#include "policy/sharing_model.hh"
+#include "sim/system.hh"
+#include "sim/trace.hh"
+
+namespace occamy
+{
+namespace
+{
+
+/** Small deterministic compute loop: o[i] = a[i] * b[i] + 2. */
+kir::Loop
+axpyLoop(const std::string &name, std::uint64_t trip)
+{
+    kir::Loop loop;
+    loop.name = name;
+    loop.trip = trip;
+    const int a = loop.addArray(name + "_a", trip, true);
+    const int b = loop.addArray(name + "_b", trip, true);
+    const int o = loop.addArray(name + "_o", trip, true);
+    loop.store(o, kir::op(kir::ArithOp::Add,
+                          kir::op(kir::ArithOp::Mul, kir::load(a, 0),
+                                  kir::load(b, 0)),
+                          kir::cst(2.0)));
+    return loop;
+}
+
+/** Streaming reduction loop (different OI, exercises the LaneMgr). */
+kir::Loop
+dotLoop(const std::string &name, std::uint64_t trip)
+{
+    kir::Loop loop;
+    loop.name = name;
+    loop.trip = trip;
+    const int a = loop.addArray(name + "_a", trip, true);
+    const int b = loop.addArray(name + "_b", trip, true);
+    loop.reduction =
+        kir::op(kir::ArithOp::Mul, kir::load(a, 0), kir::load(b, 0));
+    return loop;
+}
+
+/** Standard machine under test: two cores with mixed workloads plus a
+ *  batch-queued workload, so restore must also replay a queue-dispatch
+ *  compile. */
+void
+setup(System &sys)
+{
+    sys.setWorkload(0, "w0", {axpyLoop("p0", 4096), dotLoop("p1", 8192)});
+    sys.setWorkload(1, "w1", {axpyLoop("q0", 6144)});
+    sys.enqueueWorkload("wq", {dotLoop("r0", 4096)});
+}
+
+/** Everything a run produces that the determinism contract covers. */
+struct Artifacts
+{
+    std::string json;       ///< trace::toJson of the result.
+    std::string stats;      ///< gem5-style statsText.
+    std::vector<obs::Event> events;
+    std::vector<std::string> strings;
+};
+
+Artifacts
+straightRun(const MachineConfig &cfg, RunOptions opt)
+{
+    obs::RingSink sink(1u << 20, obs::kEvAll);
+    opt.sink = &sink;
+    System sys(cfg);
+    setup(sys);
+    const RunResult r = sys.run(opt);
+    const obs::TraceBuffer tb = sink.take();
+    return {trace::toJson(r), r.statsText, tb.events, tb.strings};
+}
+
+/** Run to @p ckpt_cycle, checkpoint, restore into a fresh System and
+ *  finish; artifacts are the concatenation of both halves. Also
+ *  returns the serialized checkpoint via @p saved (for the rejection
+ *  tests). */
+Artifacts
+splitRun(const MachineConfig &cfg, RunOptions opt, Cycle ckpt_cycle,
+         std::string *saved = nullptr)
+{
+    std::string bytes;
+    obs::TraceBuffer first;
+    {
+        obs::RingSink sink(1u << 20, obs::kEvAll);
+        opt.sink = &sink;
+        System sys(cfg);
+        setup(sys);
+        sys.boot(opt);
+        sys.advance(ckpt_cycle);
+        std::ostringstream os(std::ios::binary);
+        sys.saveCheckpoint(os);
+        bytes = os.str();
+        first = sink.take();
+        // `sys` is abandoned mid-run here; its destructor cleans up.
+    }
+    if (saved)
+        *saved = bytes;
+
+    obs::RingSink sink(1u << 20, obs::kEvAll);
+    opt.sink = &sink;
+    System sys(cfg);
+    setup(sys);
+    std::istringstream is(bytes, std::ios::binary);
+    sys.restoreCheckpoint(is, opt);
+    sys.advance();
+    const RunResult r = sys.finalize();
+    const obs::TraceBuffer second = sink.take();
+
+    Artifacts out{trace::toJson(r), r.statsText, first.events,
+                  second.strings};
+    out.events.insert(out.events.end(), second.events.begin(),
+                      second.events.end());
+    return out;
+}
+
+void
+expectIdentical(const Artifacts &a, const Artifacts &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.json, b.json) << what;
+    EXPECT_EQ(a.stats, b.stats) << what;
+    ASSERT_EQ(a.events.size(), b.events.size()) << what;
+    for (std::size_t i = 0; i < a.events.size(); ++i)
+        ASSERT_TRUE(a.events[i] == b.events[i])
+            << what << " diverges at event " << i << " ("
+            << obs::eventKindName(a.events[i].kind) << " vs "
+            << obs::eventKindName(b.events[i].kind) << ")";
+    EXPECT_EQ(a.strings, b.strings) << what;
+}
+
+/** The full matrix: policy x fault mode x fast-forward. */
+TEST(CkptMatrix, RestoreEquivalenceIsByteIdentical)
+{
+    struct FaultMode
+    {
+        const char *name;
+        const char *planText;   ///< Parsed plan ("" = none).
+        std::uint64_t seed;     ///< Random plan (0 = none).
+    };
+    const FaultMode kFaults[] = {
+        {"fault-free", "", 0},
+        {"parsed-plan",
+         "lane@8000:bu=1;vldeny@4000+3000:core=0;dram@6000+4000:lat=60,"
+         "bw=8",
+         0},
+        {"seeded-plan", "", 7},
+    };
+
+    for (const policy::SharingModel *m : policy::allModels()) {
+        const MachineConfig cfg = MachineConfig::forPolicy(m->id(), 2);
+        for (const FaultMode &fm : kFaults) {
+            fault::FaultPlan plan;
+            if (*fm.planText)
+                plan = fault::FaultPlan::parse(fm.planText);
+            else if (fm.seed)
+                plan = fault::FaultPlan::random(fm.seed, cfg);
+            for (const bool ff : {true, false}) {
+                RunOptions opt;
+                opt.maxCycles = 10'000'000;
+                opt.fastForward = ff;
+                opt.watchdogCycles = 50'000;
+                if (!plan.empty())
+                    opt.faultPlan = &plan;
+                const std::string what =
+                    std::string(m->key()) + "/" + fm.name +
+                    (ff ? "/ff" : "/ticked");
+                const Artifacts ref = straightRun(cfg, opt);
+                const Artifacts split = splitRun(cfg, opt, 10'000);
+                expectIdentical(ref, split, what);
+            }
+        }
+    }
+}
+
+/** Pause boundaries are exact at the edges too: checkpoint at cycle 0
+ *  (nothing executed) and cycle 1. */
+TEST(CkptMatrix, EdgeCheckpointCyclesRoundTrip)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    RunOptions opt;
+    opt.maxCycles = 10'000'000;
+    const Artifacts ref = straightRun(cfg, opt);
+    expectIdentical(ref, splitRun(cfg, opt, 0), "ckpt@0");
+    expectIdentical(ref, splitRun(cfg, opt, 1), "ckpt@1");
+}
+
+/** A checkpoint taken after completion restores as a completed run. */
+TEST(CkptMatrix, CheckpointOfFinishedRunRestores)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Private, 2);
+    RunOptions opt;
+    opt.maxCycles = 10'000'000;
+    const Artifacts ref = straightRun(cfg, opt);
+    const Artifacts split = splitRun(cfg, opt, kCycleNever);
+    expectIdentical(ref, split, "ckpt@done");
+}
+
+/** Periodic checkpointing (RunOptions::checkpointOut/-Every) never
+ *  perturbs the run, and the last snapshot resumes to the same end
+ *  state. */
+TEST(CkptPeriodic, OverwritesLatestAndResumesIdentically)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    const std::string file =
+        testing::TempDir() + "occamy_periodic.ckpt";
+
+    RunOptions plain;
+    plain.maxCycles = 10'000'000;
+    const Artifacts ref = straightRun(cfg, plain);
+
+    RunOptions ckpt = plain;
+    ckpt.checkpointOut = file;
+    ckpt.checkpointEvery = 7'000;
+    const Artifacts with = straightRun(cfg, ckpt);
+    expectIdentical(ref, with, "periodic writes must not perturb");
+
+    // Resume the last periodic snapshot and finish: same result JSON
+    // and stats (the trace tail depends on the snapshot cycle, so the
+    // whole-run event stream is not comparable here).
+    obs::RingSink sink(1u << 20, obs::kEvAll);
+    RunOptions resume = plain;
+    resume.sink = &sink;
+    System sys(cfg);
+    setup(sys);
+    std::ifstream is(file, std::ios::binary);
+    ASSERT_TRUE(is.good());
+    sys.restoreCheckpoint(is, resume);
+    sys.advance();
+    const RunResult r = sys.finalize();
+    EXPECT_EQ(trace::toJson(r), ref.json);
+    EXPECT_EQ(r.statsText, ref.stats);
+    std::remove(file.c_str());
+}
+
+// ------------------------------------------------- format rejection
+
+std::string
+validCheckpoint(const MachineConfig &cfg, RunOptions opt)
+{
+    std::string bytes;
+    splitRun(cfg, opt, 5'000, &bytes);
+    return bytes;
+}
+
+class CkptReject : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        cfg_ = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+        opt_.maxCycles = 10'000'000;
+        bytes_ = validCheckpoint(cfg_, opt_);
+        ASSERT_GT(bytes_.size(), 64u);
+    }
+
+    /** Restore @p bytes, expecting a ckpt::Error whose message holds
+     *  @p needle; the System must come back un-booted. */
+    void expectReject(const std::string &bytes, const std::string &needle)
+    {
+        System sys(cfg_);
+        setup(sys);
+        std::istringstream is(bytes, std::ios::binary);
+        try {
+            sys.restoreCheckpoint(is, opt_);
+            FAIL() << "restore accepted a bad checkpoint (wanted: "
+                   << needle << ")";
+        } catch (const ckpt::Error &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << "actual message: " << e.what();
+        }
+        EXPECT_FALSE(sys.booted())
+            << "failed restore must leave the System un-booted";
+    }
+
+    MachineConfig cfg_;
+    RunOptions opt_;
+    std::string bytes_;
+};
+
+TEST_F(CkptReject, TruncatedFile)
+{
+    expectReject(bytes_.substr(0, bytes_.size() / 2), "truncated");
+}
+
+TEST_F(CkptReject, TruncatedInsideChecksumTrailer)
+{
+    expectReject(bytes_.substr(0, bytes_.size() - 3), "checksum");
+}
+
+TEST_F(CkptReject, CorruptByteMidFile)
+{
+    // A mid-payload flip may be caught by any structural guard (section
+    // marker, array bound, boolean range) or ultimately the checksum —
+    // every such message names the checkpoint.
+    std::string bad = bytes_;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x5a);
+    expectReject(bad, "checkpoint");
+}
+
+TEST_F(CkptReject, CorruptChecksumTrailer)
+{
+    // Flipping a trailer byte leaves the payload intact, so this must
+    // be caught by the checksum comparison specifically.
+    std::string bad = bytes_;
+    bad.back() = static_cast<char>(bad.back() ^ 0x01);
+    expectReject(bad, "checksum mismatch");
+}
+
+TEST_F(CkptReject, WrongMagic)
+{
+    std::string bad = bytes_;
+    bad[0] = 'X';
+    expectReject(bad, "not an Occamy checkpoint");
+}
+
+TEST_F(CkptReject, WrongVersion)
+{
+    std::string bad = bytes_;
+    bad[4] = 99;    // Version field follows the 4-byte magic (LE).
+    expectReject(bad, "version");
+}
+
+TEST_F(CkptReject, EmptyStream)
+{
+    expectReject("", "truncated");
+}
+
+TEST_F(CkptReject, FingerprintMismatchOnDifferentWorkloads)
+{
+    System sys(cfg_);
+    sys.setWorkload(0, "other", {axpyLoop("z0", 2048)});
+    sys.setWorkload(1, "other2", {dotLoop("z1", 1024)});
+    std::istringstream is(bytes_, std::ios::binary);
+    EXPECT_THROW(sys.restoreCheckpoint(is, opt_), ckpt::Error);
+    EXPECT_FALSE(sys.booted());
+}
+
+TEST_F(CkptReject, FingerprintMismatchOnDifferentPolicy)
+{
+    const MachineConfig other =
+        MachineConfig::forPolicy(SharingPolicy::Temporal, 2);
+    System sys(other);
+    setup(sys);
+    std::istringstream is(bytes_, std::ios::binary);
+    try {
+        sys.restoreCheckpoint(is, opt_);
+        FAIL() << "restore accepted a different policy";
+    } catch (const ckpt::Error &e) {
+        EXPECT_NE(std::string(e.what()).find("fingerprint"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_FALSE(sys.booted());
+}
+
+TEST_F(CkptReject, FingerprintMismatchOnDifferentOptions)
+{
+    System sys(cfg_);
+    setup(sys);
+    RunOptions other = opt_;
+    other.watchdogCycles = 123;     // Determinism-relevant.
+    std::istringstream is(bytes_, std::ios::binary);
+    EXPECT_THROW(sys.restoreCheckpoint(is, other), ckpt::Error);
+    EXPECT_FALSE(sys.booted());
+}
+
+TEST_F(CkptReject, FaultPlanPresenceMismatch)
+{
+    System sys(cfg_);
+    setup(sys);
+    RunOptions other = opt_;
+    const fault::FaultPlan plan =
+        fault::FaultPlan::parse("lane@8000:bu=1");
+    other.faultPlan = &plan;
+    std::istringstream is(bytes_, std::ios::binary);
+    EXPECT_THROW(sys.restoreCheckpoint(is, other), ckpt::Error);
+    EXPECT_FALSE(sys.booted());
+}
+
+/** Engine-mask sinks see the checkpoint lifecycle beacons. */
+TEST(CkptEvents, EngineBeaconsAreEmitted)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    obs::RingSink sink(1u << 16, obs::kEvEngine);
+    RunOptions opt;
+    opt.maxCycles = 10'000'000;
+    opt.sink = &sink;
+
+    System sys(cfg);
+    setup(sys);
+    sys.boot(opt);
+    sys.advance(3'000);
+    std::ostringstream os(std::ios::binary);
+    sys.saveCheckpoint(os);
+
+    obs::RingSink sink2(1u << 16, obs::kEvEngine);
+    RunOptions opt2 = opt;
+    opt2.sink = &sink2;
+    System sys2(cfg);
+    setup(sys2);
+    std::istringstream is(os.str(), std::ios::binary);
+    sys2.restoreCheckpoint(is, opt2);
+
+    auto count = [](const obs::TraceBuffer &tb, obs::EventKind k) {
+        std::size_t n = 0;
+        for (const obs::Event &e : tb.events)
+            if (e.kind == k)
+                ++n;
+        return n;
+    };
+    const obs::TraceBuffer t1 = sink.take();
+    EXPECT_EQ(count(t1, obs::EventKind::SystemBoot), 1u);
+    const obs::TraceBuffer t2 = sink2.take();
+    EXPECT_EQ(count(t2, obs::EventKind::SystemBoot), 1u);
+    EXPECT_EQ(count(t2, obs::EventKind::CheckpointRestore), 1u);
+}
+
+/** advance(stopAt) ticks every cycle exactly once across arbitrary
+ *  pause patterns: many small steps == one straight run. */
+TEST(CkptStepping, ManySmallAdvancesMatchOneRun)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    RunOptions opt;
+    opt.maxCycles = 10'000'000;
+    const Artifacts ref = straightRun(cfg, opt);
+
+    obs::RingSink sink(1u << 20, obs::kEvAll);
+    RunOptions sopt = opt;
+    sopt.sink = &sink;
+    System sys(cfg);
+    setup(sys);
+    sys.boot(sopt);
+    Cycle at = 0;
+    while (!sys.advance(at))
+        at += 1 + (at % 4096);      // Irregular step sizes.
+    const RunResult r = sys.finalize();
+    const obs::TraceBuffer tb = sink.take();
+    Artifacts stepped{trace::toJson(r), r.statsText, tb.events,
+                      tb.strings};
+    expectIdentical(ref, stepped, "stepped");
+}
+
+} // namespace
+} // namespace occamy

@@ -8,6 +8,7 @@
  */
 
 #include <map>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,7 @@
 #include "obs/sink.hh"
 #include "policy/sharing_model.hh"
 #include "sim/system.hh"
+#include "sim/trace.hh"
 
 namespace occamy
 {
@@ -311,6 +313,66 @@ TEST_P(FuzzSweep, InvariantsHoldUnderRandomFaultPlans)
         EXPECT_EQ(r.watchdogTrips, r2.watchdogTrips) << m->key();
         EXPECT_EQ(r.laneFaults, r2.laneFaults) << m->key();
     }
+}
+
+/**
+ * Checkpoint-cycle fuzzing: for a seeded random co-run on a seeded
+ * random policy, interrupting the run at a seeded random cycle with a
+ * saveCheckpoint/restoreCheckpoint round trip must not change anything
+ * the simulation produces — the result JSON and the gem5-style stats
+ * text are byte-identical to the uninterrupted run. (tests/test_ckpt.cc
+ * proves the same property exhaustively on fixed workloads; this
+ * variant hunts for workload shapes that break the pause boundary.)
+ */
+TEST_P(FuzzSweep, RandomCheckpointCycleIsInvisible)
+{
+    Rng rng(0xcec7a9b1u + GetParam() * 0x85ebca6bu);
+    std::vector<kir::Loop> wl0, wl1;
+    const unsigned n0 = rng.range(1, 3);
+    for (unsigned i = 0; i < n0; ++i)
+        wl0.push_back(randomLoop(rng, "a" + std::to_string(i)));
+    wl1.push_back(randomLoop(rng, "b0"));
+
+    const auto &models = policy::allModels();
+    const policy::SharingModel *m = models[rng.next() % models.size()];
+    const MachineConfig cfg = MachineConfig::forPolicy(m->id(), 2);
+    const Cycle ckpt_at = rng.range(1, 50'000);
+
+    RunOptions opt;
+    opt.maxCycles = 30'000'000;
+    opt.fastForward = rng.range(0, 1) == 1;
+
+    auto fresh = [&] {
+        auto sys = std::make_unique<System>(cfg);
+        sys->setWorkload(0, "w0", wl0);
+        sys->setWorkload(1, "w1", wl1);
+        return sys;
+    };
+
+    const RunResult straight = fresh()->run(opt);
+    ASSERT_FALSE(straight.timedOut)
+        << m->key() << " seed " << GetParam();
+
+    std::string bytes;
+    {
+        auto sys = fresh();
+        sys->boot(opt);
+        sys->advance(ckpt_at);
+        std::ostringstream os(std::ios::binary);
+        sys->saveCheckpoint(os);
+        bytes = os.str();
+    }
+    auto sys = fresh();
+    std::istringstream is(bytes, std::ios::binary);
+    sys->restoreCheckpoint(is, opt);
+    sys->advance();
+    const RunResult resumed = sys->finalize();
+
+    const std::string what = std::string(m->key()) + " seed " +
+                             std::to_string(GetParam()) + " ckpt@" +
+                             std::to_string(ckpt_at);
+    EXPECT_EQ(trace::toJson(straight), trace::toJson(resumed)) << what;
+    EXPECT_EQ(straight.statsText, resumed.statsText) << what;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0u, 24u));

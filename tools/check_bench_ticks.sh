@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Fast-forward leverage regression gate.
+#
+# Compares a freshly generated micro_ticks report against the committed
+# BENCH_ticks.json snapshot and fails when the engine loses leverage:
+#
+#   - `cycles` (simulated length of each scenario) must match EXACTLY —
+#     it is fully deterministic, any drift means the simulation changed
+#     without regenerating the snapshot (see bench/micro_ticks.cc);
+#   - `cycles_ticked` and `spans` may grow by at most 10% — these are
+#     the deterministic leverage metrics (fewer skipped cycles == the
+#     quiescence detector got weaker);
+#   - `results_match` must stay true (fast-forward on == off).
+#
+# Wall-clock fields are machine-dependent noise and are ignored.
+#
+# Usage: check_bench_ticks.sh <fresh.json> <committed-snapshot.json>
+set -euo pipefail
+
+fresh="${1:?usage: check_bench_ticks.sh <fresh.json> <snapshot.json>}"
+snap="${2:?usage: check_bench_ticks.sh <fresh.json> <snapshot.json>}"
+
+fail=0
+
+names=$(jq -r '.scenarios[].name' "$snap")
+for name in $names; do
+    f=$(jq -c --arg n "$name" '.scenarios[] | select(.name == $n)' "$fresh")
+    if [ -z "$f" ]; then
+        echo "FAIL $name: missing from fresh report" >&2
+        fail=1
+        continue
+    fi
+    s=$(jq -c --arg n "$name" '.scenarios[] | select(.name == $n)' "$snap")
+
+    if [ "$(jq -r '.results_match' <<<"$f")" != "true" ]; then
+        echo "FAIL $name: fast-forward changed simulation results" >&2
+        fail=1
+    fi
+
+    sc=$(jq -r '.cycles' <<<"$s"); fc=$(jq -r '.cycles' <<<"$f")
+    if [ "$sc" != "$fc" ]; then
+        echo "FAIL $name: simulated cycles drifted ($sc -> $fc);" \
+             "regenerate BENCH_ticks.json if the change is intended" >&2
+        fail=1
+    fi
+
+    for field in cycles_ticked spans; do
+        sv=$(jq -r ".$field" <<<"$s"); fv=$(jq -r ".$field" <<<"$f")
+        # >10% growth over the snapshot is a leverage regression.
+        if [ $((fv * 10)) -gt $((sv * 11)) ]; then
+            echo "FAIL $name: $field regressed >10% ($sv -> $fv)" >&2
+            fail=1
+        else
+            echo "ok   $name: $field $sv -> $fv"
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "fast-forward leverage regression detected" >&2
+    exit 1
+fi
+echo "bench ticks within bounds"

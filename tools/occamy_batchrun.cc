@@ -58,6 +58,11 @@ struct Options
     Cycle watchdogCycles = 0;
     double wallClockLimitSec = 0.0;
     unsigned retries = 0;
+    bool listPolicies = false;
+    bool listWorkloads = false;
+    std::string checkpointPrefix;
+    Cycle checkpointEvery = 0;
+    std::string restoreFrom;
 };
 
 void
@@ -97,7 +102,16 @@ usage()
         "                   time (failed, partial result kept)\n"
         "  --retries N      retry transiently-failed jobs (OOM etc.) up\n"
         "                   to N times with exponential backoff\n"
+        "  --checkpoint-out PFX  per-job periodic checkpoints, written\n"
+        "                   to PFX<label>.ckpt every --checkpoint-every\n"
+        "                   cycles ('/' in labels becomes '_')\n"
+        "  --checkpoint-every N  checkpoint period in cycles (required\n"
+        "                   with --checkpoint-out)\n"
+        "  --restore F      resume from checkpoint F; the sweep must\n"
+        "                   select exactly one pair and one policy\n"
         "  --list           print the pair catalog with indices\n"
+        "  --list-workloads print the workload catalog and exit\n"
+        "  --list-policies  print registered sharing policies and exit\n"
         "exit status: 0 all jobs ok, 1 some job failed, 2 usage error,\n"
         "             3 a job timed out under --strict-timeout\n");
 }
@@ -273,8 +287,27 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.progress = true;
         } else if (arg == "--quiet") {
             opt.quiet = true;
+        } else if (arg == "--checkpoint-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.checkpointPrefix = v;
+        } else if (arg == "--checkpoint-every") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.checkpointEvery = static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--restore") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.restoreFrom = v;
         } else if (arg == "--list") {
             opt.list = true;
+        } else if (arg == "--list-workloads") {
+            opt.listWorkloads = true;
+        } else if (arg == "--list-policies") {
+            opt.listPolicies = true;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else {
@@ -299,6 +332,40 @@ main(int argc, char **argv)
         for (const policy::SharingModel *m : policy::allModels())
             opt.policies.push_back(m->id());
 
+    if (opt.listPolicies) {
+        std::printf("registered sharing policies (--policy):\n");
+        for (const policy::SharingModel *m : policy::allModels()) {
+            std::printf("  %-8s %-8s", m->key(), m->paperName());
+            if (!m->aliases().empty()) {
+                std::printf(" aliases:");
+                for (const auto &a : m->aliases())
+                    std::printf(" %s", a.c_str());
+            }
+            std::printf("\n");
+        }
+        return 0;
+    }
+
+    if (opt.listWorkloads) {
+        std::printf("SPEC workloads:\n");
+        for (unsigned n = 1; n <= 22; ++n) {
+            const auto w = workloads::specWorkload(n);
+            std::printf("  WL%-3u %s:", n, w.memoryIntensive ? "M" : "C");
+            for (const auto &loop : w.loops)
+                std::printf(" %s", loop.name.c_str());
+            std::printf("\n");
+        }
+        std::printf("OpenCV workloads:\n");
+        for (unsigned n = 1; n <= 12; ++n) {
+            const auto w = workloads::opencvWorkload(n);
+            std::printf("  CV%-3u %s:", n, w.memoryIntensive ? "M" : "C");
+            for (const auto &loop : w.loops)
+                std::printf(" %s", loop.name.c_str());
+            std::printf("\n");
+        }
+        return 0;
+    }
+
     if (opt.list) {
         const auto all = workloads::allPairs();
         for (std::size_t i = 0; i < all.size(); ++i)
@@ -322,6 +389,15 @@ main(int argc, char **argv)
         ropt.onProgress = runner::stderrProgress();
 
     auto jobs = runner::pairSweepJobs(pairs, opt.policies, opt.maxCycles);
+    if (!opt.restoreFrom.empty()) {
+        // A checkpoint names one run's state: tie it to one job.
+        if (jobs.size() != 1) {
+            std::fprintf(stderr, "--restore needs a sweep of exactly "
+                                 "one job (one pair, one policy)\n");
+            return 2;
+        }
+        jobs[0].restoreFrom = opt.restoreFrom;
+    }
     for (auto &spec : jobs) {
         if (!opt.traceOut.empty())
             spec.traceEvents = obs::parseEventMask(opt.traceEvents);
@@ -331,6 +407,15 @@ main(int argc, char **argv)
         spec.faultSeed = opt.faultSeed;
         spec.watchdogCycles = opt.watchdogCycles;
         spec.wallClockLimitSec = opt.wallClockLimitSec;
+        if (!opt.checkpointPrefix.empty() && opt.checkpointEvery) {
+            // One checkpoint file per job, named by its label.
+            std::string label = spec.label;
+            for (char &c : label)
+                if (c == '/')
+                    c = '_';
+            spec.checkpointOut = opt.checkpointPrefix + label + ".ckpt";
+            spec.checkpointEvery = opt.checkpointEvery;
+        }
     }
 
     const runner::SweepResult sweep =

@@ -1,0 +1,803 @@
+/**
+ * @file
+ * occamy-serve: long-lived simulation daemon in the MGSim mold.
+ *
+ * Speaks newline-delimited JSON on stdin/stdout: each request is one
+ * flat JSON object per line ({"cmd":"run","policy":"occamy",...}), each
+ * response one JSON object per line, streamed as the work progresses.
+ * The daemon keeps a warm pool of pre-booted System instances so a
+ * matching "run" request pays zero boot cost (construction, workload
+ * compilation, array binding) on the request path — verified through
+ * the engine-category SystemBoot event: a pool hit records none after
+ * the request arrives.
+ *
+ * Commands (see README.md for an example session):
+ *   hello                       capabilities handshake
+ *   pool policy pair [count]    pre-boot count instances into the pool
+ *   run  policy pair [...]      run to completion, streaming progress
+ *   sweep [pairs] [policy]      multiplex a sweep over the Runner
+ *   load policy pair [...]      boot (or take) a stepped session
+ *   step [cycles]               advance the session
+ *   finalize                    collect the session's result
+ *   inspect path                dump live component state (MGSim-style)
+ *   paths                       list inspectable component paths
+ *   checkpoint file             serialize the session to a file
+ *   restore file policy pair    resume a session from a checkpoint
+ *   shutdown                    acknowledge and exit cleanly
+ *
+ * Requests may carry an "id"; it is echoed on every response line the
+ * request produces, so a client can multiplex.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "obs/events.hh"
+#include "obs/sink.hh"
+#include "policy/sharing_model.hh"
+#include "runner/runner.hh"
+#include "runner/sweep.hh"
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+using namespace occamy;
+
+namespace
+{
+
+// ------------------------------------------------------ flat JSON I/O
+
+using Kv = std::map<std::string, std::string>;
+
+/** Parse one flat JSON object ({"k":"v","n":3,"b":true}) into a
+ *  string->raw-value map. Nested arrays/objects are rejected: the
+ *  protocol is deliberately flat so clients can be 10-line scripts. */
+bool
+parseFlat(const std::string &line, Kv &out, std::string &err)
+{
+    std::size_t i = 0;
+    auto skipWs = [&] {
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+    };
+    auto parseString = [&](std::string &s) {
+        if (line[i] != '"')
+            return false;
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                ++i;
+                switch (line[i]) {
+                  case 'n': s.push_back('\n'); break;
+                  case 't': s.push_back('\t'); break;
+                  case 'r': s.push_back('\r'); break;
+                  case '"': s.push_back('"'); break;
+                  case '\\': s.push_back('\\'); break;
+                  case '/': s.push_back('/'); break;
+                  default: return false;    // \uXXXX unsupported.
+                }
+            } else {
+                s.push_back(line[i]);
+            }
+            ++i;
+        }
+        if (i >= line.size())
+            return false;
+        ++i;    // Closing quote.
+        return true;
+    };
+
+    skipWs();
+    if (i >= line.size() || line[i] != '{') {
+        err = "expected a JSON object";
+        return false;
+    }
+    ++i;
+    skipWs();
+    if (i < line.size() && line[i] == '}')
+        return true;    // Empty object.
+    for (;;) {
+        skipWs();
+        std::string key;
+        if (i >= line.size() || !parseString(key)) {
+            err = "expected a string key";
+            return false;
+        }
+        skipWs();
+        if (i >= line.size() || line[i] != ':') {
+            err = "expected ':' after key \"" + key + "\"";
+            return false;
+        }
+        ++i;
+        skipWs();
+        std::string val;
+        if (i >= line.size()) {
+            err = "missing value for \"" + key + "\"";
+            return false;
+        }
+        if (line[i] == '"') {
+            if (!parseString(val)) {
+                err = "bad string value for \"" + key + "\"";
+                return false;
+            }
+        } else if (line[i] == '{' || line[i] == '[') {
+            err = "nested values are not supported (key \"" + key +
+                  "\"); the protocol is flat";
+            return false;
+        } else {
+            while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+                   !std::isspace(static_cast<unsigned char>(line[i])))
+                val.push_back(line[i++]);
+            if (val.empty()) {
+                err = "missing value for \"" + key + "\"";
+                return false;
+            }
+        }
+        out[key] = val;
+        skipWs();
+        if (i < line.size() && line[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (i < line.size() && line[i] == '}')
+            return true;
+        err = "expected ',' or '}'";
+        return false;
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    return out;
+}
+
+/** Incremental one-line JSON response builder. */
+class Reply
+{
+  public:
+    explicit Reply(const Kv &req)
+    {
+        // Echo the client's correlation id, if any.
+        const auto it = req.find("id");
+        if (it != req.end())
+            str("id", it->second);
+    }
+
+    Reply &str(const std::string &k, const std::string &v)
+    {
+        field(k) += "\"" + jsonEscape(v) + "\"";
+        return *this;
+    }
+    Reply &num(const std::string &k, std::uint64_t v)
+    {
+        field(k) += std::to_string(v);
+        return *this;
+    }
+    Reply &flt(const std::string &k, double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        field(k) += buf;
+        return *this;
+    }
+    Reply &boolean(const std::string &k, bool v)
+    {
+        field(k) += v ? "true" : "false";
+        return *this;
+    }
+
+    /** Emit the line and flush: the client reads responses live. */
+    void send() const
+    {
+        std::fputs(("{" + body_ + "}\n").c_str(), stdout);
+        std::fflush(stdout);
+    }
+
+  private:
+    std::string &field(const std::string &k)
+    {
+        if (!body_.empty())
+            body_ += ",";
+        body_ += "\"" + jsonEscape(k) + "\":";
+        return body_;
+    }
+    std::string body_;
+};
+
+void
+sendError(const Kv &req, const std::string &msg)
+{
+    Reply r(req);
+    r.boolean("ok", false).str("event", "error").str("error", msg);
+    r.send();
+}
+
+// ------------------------------------------------- request -> job spec
+
+std::string
+getStr(const Kv &m, const std::string &k, const std::string &dflt = "")
+{
+    const auto it = m.find(k);
+    return it == m.end() ? dflt : it->second;
+}
+
+std::uint64_t
+getU64(const Kv &m, const std::string &k, std::uint64_t dflt = 0)
+{
+    const auto it = m.find(k);
+    return it == m.end()
+               ? dflt
+               : static_cast<std::uint64_t>(std::atoll(it->second.c_str()));
+}
+
+bool
+getBool(const Kv &m, const std::string &k, bool dflt)
+{
+    const auto it = m.find(k);
+    if (it == m.end())
+        return dflt;
+    return it->second == "true" || it->second == "on" ||
+           it->second == "1";
+}
+
+workloads::Workload
+lookupWorkload(const std::string &token)
+{
+    if (token.rfind("CV", 0) == 0)
+        return workloads::opencvWorkload(
+            static_cast<unsigned>(std::atoi(token.c_str() + 2)));
+    if (token.rfind("WL", 0) == 0)
+        return workloads::specWorkload(
+            static_cast<unsigned>(std::atoi(token.c_str() + 2)));
+    return workloads::specWorkload(
+        static_cast<unsigned>(std::atoi(token.c_str())));
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    for (char c : s) {
+        if (c == ',') {
+            if (!item.empty())
+                out.push_back(item);
+            item.clear();
+        } else {
+            item.push_back(c);
+        }
+    }
+    if (!item.empty())
+        out.push_back(item);
+    return out;
+}
+
+/** One booted simulation the daemon holds: a pooled instance or the
+ *  stepped session. Owns everything RunOptions borrows. */
+struct SimEntry
+{
+    std::string key;            ///< Pool identity (see specKey()).
+    std::string label;
+    MachineConfig cfg;
+    fault::FaultPlan plan;      ///< Storage behind opt.faultPlan.
+    std::unique_ptr<obs::RingSink> sink;
+    RunOptions opt;
+    FastForwardStats ff;
+    std::unique_ptr<System> sys;
+};
+
+/** Canonical identity of a request's simulation parameters: a pooled
+ *  instance may serve a request iff the keys match exactly. */
+std::string
+specKey(const Kv &m)
+{
+    return getStr(m, "policy", "occamy") + "|" +
+           getStr(m, "pair", "6+16") + "|" +
+           std::to_string(getU64(m, "cores", 2)) + "|" +
+           getStr(m, "batch") + "|" +
+           std::to_string(getU64(m, "max_cycles", 40'000'000)) + "|" +
+           std::to_string(getU64(m, "watchdog_cycles", 0)) + "|" +
+           getStr(m, "fault_plan") + "|" +
+           std::to_string(getU64(m, "fault_seed", 0)) + "|" +
+           std::to_string(getU64(m, "snapshot_every", 0)) + "|" +
+           (getBool(m, "fast_forward", true) ? "ff" : "tick");
+}
+
+/** Build a SimEntry from request params; boots unless told not to
+ *  (restore boots through System::restoreCheckpoint instead). Throws
+ *  std::runtime_error on bad params. */
+std::unique_ptr<SimEntry>
+makeEntry(const Kv &m, bool boot)
+{
+    auto e = std::make_unique<SimEntry>();
+    e->key = specKey(m);
+
+    const std::string policy_name = getStr(m, "policy", "occamy");
+    const policy::SharingModel *model = policy::modelByName(policy_name);
+    if (!model)
+        throw std::runtime_error("unknown policy: " + policy_name +
+                                 " (see hello's policy list)");
+    const unsigned cores = static_cast<unsigned>(getU64(m, "cores", 2));
+    e->cfg = MachineConfig::forPolicy(model->id(), cores);
+
+    e->sys = std::make_unique<System>(e->cfg);
+    const std::string pair = getStr(m, "pair", "6+16");
+    const auto plus = pair.find('+');
+    if (plus == std::string::npos)
+        throw std::runtime_error("bad pair (want e.g. \"6+16\"): " +
+                                 pair);
+    const workloads::Workload w0 = lookupWorkload(pair.substr(0, plus));
+    const workloads::Workload w1 = lookupWorkload(pair.substr(plus + 1));
+    e->sys->setWorkload(0, w0.name, w0.loops);
+    if (cores > 1)
+        e->sys->setWorkload(1, w1.name, w1.loops);
+    for (const std::string &token : splitCommas(getStr(m, "batch"))) {
+        const workloads::Workload w = lookupWorkload(token);
+        e->sys->enqueueWorkload(w.name, w.loops);
+    }
+    e->label = pair + "/" + model->key();
+
+    e->opt.maxCycles = getU64(m, "max_cycles", 40'000'000);
+    e->opt.snapshotEvery = getU64(m, "snapshot_every", 0);
+    e->opt.fastForward = getBool(m, "fast_forward", true);
+    e->opt.watchdogCycles = getU64(m, "watchdog_cycles", 0);
+    e->opt.checkpointOut = getStr(m, "checkpoint_out");
+    e->opt.checkpointEvery = getU64(m, "checkpoint_every", 0);
+    e->opt.ffStats = &e->ff;
+
+    // Engine events always on: SystemBoot is the warm-pool proof and
+    // CheckpointSave/Restore narrate the session. "trace_events" adds
+    // simulated-hardware categories on top.
+    obs::EventMask mask = obs::kEvEngine;
+    const std::string extra = getStr(m, "trace_events");
+    if (!extra.empty())
+        mask |= obs::parseEventMask(extra);
+    e->sink = std::make_unique<obs::RingSink>(
+        static_cast<std::size_t>(getU64(m, "trace_capacity", 1u << 20)),
+        mask);
+    e->opt.sink = e->sink.get();
+
+    const std::string plan_text = getStr(m, "fault_plan");
+    const std::uint64_t fault_seed = getU64(m, "fault_seed", 0);
+    if (!plan_text.empty())
+        e->plan = fault::FaultPlan::parse(plan_text);
+    else if (fault_seed)
+        e->plan = fault::FaultPlan::random(fault_seed, e->cfg);
+    if (!e->plan.empty())
+        e->opt.faultPlan = &e->plan;
+
+    if (boot)
+        e->sys->boot(e->opt);
+    return e;
+}
+
+std::uint64_t
+countBootEvents(const obs::TraceBuffer &tb)
+{
+    std::uint64_t n = 0;
+    for (const obs::Event &ev : tb.events)
+        if (ev.kind == obs::EventKind::SystemBoot)
+            ++n;
+    return n;
+}
+
+// ------------------------------------------------------------- daemon
+
+struct Daemon
+{
+    /** Warm pool: booted instances awaiting a matching run request. */
+    std::vector<std::unique_ptr<SimEntry>> pool;
+    /** The stepped session (load/step/inspect/checkpoint/restore). */
+    std::unique_ptr<SimEntry> session;
+
+    /** Take a pool entry matching @p key, or null. */
+    std::unique_ptr<SimEntry> takePooled(const std::string &key)
+    {
+        for (auto it = pool.begin(); it != pool.end(); ++it) {
+            if ((*it)->key == key) {
+                auto e = std::move(*it);
+                pool.erase(it);
+                return e;
+            }
+        }
+        return nullptr;
+    }
+};
+
+void
+cmdHello(Daemon &, const Kv &req)
+{
+    std::string policies;
+    for (const policy::SharingModel *m : policy::allModels()) {
+        if (!policies.empty())
+            policies += ",";
+        policies += m->key();
+    }
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", "hello")
+        .str("name", "occamy-serve")
+        .num("proto", 1)
+        .str("policies", policies);
+    r.send();
+}
+
+void
+cmdPool(Daemon &d, const Kv &req)
+{
+    const std::uint64_t count = getU64(req, "count", 1);
+    const std::string key = specKey(req);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto e = makeEntry(req, /*boot=*/true);
+        // Drain boot-time events now: anything the sink catches later
+        // happened on a request path.
+        const obs::TraceBuffer tb = e->sink->take();
+        if (countBootEvents(tb) != 1)
+            throw std::runtime_error("pool boot produced no SystemBoot "
+                                     "event (engine tracing broken?)");
+        d.pool.push_back(std::move(e));
+    }
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", "pooled")
+        .str("key", key)
+        .num("count", count)
+        .num("pool_size", d.pool.size());
+    r.send();
+}
+
+/** Acquire an instance for run/load: pool hit or inline boot. */
+std::unique_ptr<SimEntry>
+acquire(Daemon &d, const Kv &req, bool &pool_hit)
+{
+    auto e = d.takePooled(specKey(req));
+    pool_hit = e != nullptr;
+    if (!e) {
+        e = makeEntry(req, /*boot=*/true);
+        // Inline boot happened on the request path; keep its SystemBoot
+        // event in the sink so the done/loaded reply counts it.
+    }
+    return e;
+}
+
+/** Stream progress while advancing to completion; shared by run and
+ *  the finishing step of a session. */
+void
+streamToCompletion(SimEntry &e, const Kv &req)
+{
+    const Cycle chunk = std::max<Cycle>(getU64(req, "progress_every",
+                                               2'000'000),
+                                        1);
+    while (!e.sys->advance(e.sys->now() + chunk)) {
+        Reply p(req);
+        p.boolean("ok", true)
+            .str("event", "progress")
+            .str("label", e.label)
+            .num("cycle", e.sys->now());
+        p.send();
+    }
+}
+
+void
+sendRunSummary(const Kv &req, SimEntry &e, const RunResult &res,
+               bool pool_hit, const char *event)
+{
+    const obs::TraceBuffer tb = e.sink->take();
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", event)
+        .str("label", e.label)
+        .boolean("pool_hit", pool_hit)
+        // The warm-pool contract, made measurable: SystemBoot engine
+        // events recorded since the request arrived. 0 on a pool hit
+        // (the boot happened at pool-fill time), 1 on an inline boot.
+        .num("boot_events_on_request_path", countBootEvents(tb))
+        .num("cycles", res.cycles)
+        .flt("simd_util", res.simdUtil)
+        .num("vl_switches", res.vlSwitches)
+        .num("plans_made", res.plansMade)
+        .num("watchdog_trips", res.watchdogTrips)
+        .num("lane_faults", res.laneFaults)
+        .boolean("timed_out", res.timedOut)
+        .num("cycles_ticked", e.ff.cyclesTicked)
+        .num("cycles_simulated", e.ff.cyclesSimulated)
+        .num("events", tb.events.size());
+    r.send();
+}
+
+void
+cmdRun(Daemon &d, const Kv &req)
+{
+    bool pool_hit = false;
+    auto e = acquire(d, req, pool_hit);
+    streamToCompletion(*e, req);
+    const RunResult res = e->sys->finalize();
+    sendRunSummary(req, *e, res, pool_hit, "done");
+}
+
+void
+cmdSweep(Daemon &, const Kv &req)
+{
+    const std::string pair_spec = getStr(req, "pairs", "spec");
+    std::vector<workloads::Pair> pairs;
+    if (pair_spec == "all")
+        pairs = workloads::allPairs();
+    else if (pair_spec == "spec")
+        pairs = workloads::specPairs();
+    else if (pair_spec == "opencv")
+        pairs = workloads::opencvPairs();
+    else {
+        const auto all = workloads::allPairs();
+        for (const std::string &token : splitCommas(pair_spec))
+            for (const auto &p : all)
+                if (p.label == token)
+                    pairs.push_back(p);
+    }
+    if (pairs.empty())
+        throw std::runtime_error("no pairs match: " + pair_spec);
+
+    std::vector<SharingPolicy> policies;
+    const std::string pol = getStr(req, "policy", "all");
+    if (pol == "all") {
+        for (const policy::SharingModel *m : policy::allModels())
+            policies.push_back(m->id());
+    } else if (const policy::SharingModel *m = policy::modelByName(pol)) {
+        policies.push_back(m->id());
+    } else {
+        throw std::runtime_error("unknown policy: " + pol);
+    }
+
+    auto jobs = runner::pairSweepJobs(
+        pairs, policies, getU64(req, "max_cycles", 40'000'000));
+    for (auto &spec : jobs) {
+        spec.fastForward = getBool(req, "fast_forward", true);
+        spec.watchdogCycles = getU64(req, "watchdog_cycles", 0);
+        spec.faultPlan = getStr(req, "fault_plan");
+        spec.faultSeed = getU64(req, "fault_seed", 0);
+    }
+
+    runner::RunnerOptions ropt;
+    ropt.numThreads =
+        static_cast<unsigned>(getU64(req, "jobs", 0));
+    // Progress callbacks land on this (coordinating) thread, so the
+    // NDJSON stream stays well-formed.
+    ropt.onProgress = [&req](const runner::Progress &p) {
+        Reply r(req);
+        r.boolean("ok", true)
+            .str("event", "sweep_progress")
+            .num("done", p.done)
+            .num("total", p.total)
+            .num("running", p.running)
+            .num("failed", p.failed);
+        r.send();
+    };
+
+    const runner::SweepResult sweep =
+        runner::Runner(ropt).run(std::move(jobs));
+    for (const runner::JobResult &j : sweep.jobs) {
+        Reply r(req);
+        r.boolean("ok", true)
+            .str("event", "job")
+            .num("job_id", j.id)
+            .str("label", j.label)
+            .str("status", runner::jobStatusName(j.status))
+            .num("cycles", j.result.cycles)
+            .flt("simd_util", j.result.simdUtil);
+        if (!j.ok())
+            r.str("error", j.error);
+        r.send();
+    }
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", "sweep_done")
+        .num("jobs", sweep.jobs.size())
+        .num("failed", sweep.failed());
+    r.send();
+}
+
+void
+cmdLoad(Daemon &d, const Kv &req)
+{
+    bool pool_hit = false;
+    d.session = acquire(d, req, pool_hit);
+    const obs::TraceBuffer tb = d.session->sink->take();
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", "loaded")
+        .str("label", d.session->label)
+        .boolean("pool_hit", pool_hit)
+        .num("boot_events_on_request_path", countBootEvents(tb))
+        .num("cycle", d.session->sys->now());
+    r.send();
+}
+
+SimEntry &
+needSession(Daemon &d)
+{
+    if (!d.session || !d.session->sys->booted())
+        throw std::runtime_error("no live session (use load or restore "
+                                 "first)");
+    return *d.session;
+}
+
+void
+cmdStep(Daemon &d, const Kv &req)
+{
+    SimEntry &e = needSession(d);
+    const Cycle cycles = getU64(req, "cycles", 100'000);
+    const bool finished = e.sys->advance(e.sys->now() + cycles);
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", "stepped")
+        .num("cycle", e.sys->now())
+        .boolean("finished", finished);
+    r.send();
+}
+
+void
+cmdFinalize(Daemon &d, const Kv &req)
+{
+    SimEntry &e = needSession(d);
+    streamToCompletion(e, req);
+    const RunResult res = e.sys->finalize();
+    sendRunSummary(req, e, res, false, "finalized");
+    d.session.reset();
+}
+
+void
+cmdInspect(Daemon &d, const Kv &req)
+{
+    SimEntry &e = needSession(d);
+    const std::string path = getStr(req, "path", "system");
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", "inspect")
+        .str("path", path)
+        .num("cycle", e.sys->now())
+        .str("state", e.sys->inspect(path));
+    r.send();
+}
+
+void
+cmdPaths(Daemon &d, const Kv &req)
+{
+    SimEntry &e = needSession(d);
+    std::string joined;
+    for (const std::string &p : e.sys->componentPaths()) {
+        if (!joined.empty())
+            joined += ",";
+        joined += p;
+    }
+    Reply r(req);
+    r.boolean("ok", true).str("event", "paths").str("paths", joined);
+    r.send();
+}
+
+void
+cmdCheckpoint(Daemon &d, const Kv &req)
+{
+    SimEntry &e = needSession(d);
+    const std::string file = getStr(req, "file");
+    if (file.empty())
+        throw std::runtime_error("checkpoint needs \"file\"");
+    std::ofstream os(file, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw std::runtime_error("cannot open " + file);
+    e.sys->saveCheckpoint(os);
+    const std::uint64_t bytes = static_cast<std::uint64_t>(os.tellp());
+    os.close();
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", "checkpointed")
+        .str("file", file)
+        .num("cycle", e.sys->now())
+        .num("bytes", bytes);
+    r.send();
+}
+
+void
+cmdRestore(Daemon &d, const Kv &req)
+{
+    const std::string file = getStr(req, "file");
+    if (file.empty())
+        throw std::runtime_error("restore needs \"file\"");
+    std::ifstream is(file, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open " + file);
+    auto e = makeEntry(req, /*boot=*/false);
+    e->sys->restoreCheckpoint(is, e->opt);
+    d.session = std::move(e);
+    Reply r(req);
+    r.boolean("ok", true)
+        .str("event", "restored")
+        .str("file", file)
+        .str("label", d.session->label)
+        .num("cycle", d.session->sys->now());
+    r.send();
+}
+
+} // namespace
+
+int
+main()
+{
+    Daemon d;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        Kv req;
+        std::string perr;
+        if (!parseFlat(line, req, perr)) {
+            sendError({}, "parse error: " + perr);
+            continue;
+        }
+        const std::string cmd = getStr(req, "cmd");
+        try {
+            if (cmd == "hello") {
+                cmdHello(d, req);
+            } else if (cmd == "pool") {
+                cmdPool(d, req);
+            } else if (cmd == "run") {
+                cmdRun(d, req);
+            } else if (cmd == "sweep") {
+                cmdSweep(d, req);
+            } else if (cmd == "load") {
+                cmdLoad(d, req);
+            } else if (cmd == "step") {
+                cmdStep(d, req);
+            } else if (cmd == "finalize") {
+                cmdFinalize(d, req);
+            } else if (cmd == "inspect") {
+                cmdInspect(d, req);
+            } else if (cmd == "paths") {
+                cmdPaths(d, req);
+            } else if (cmd == "checkpoint") {
+                cmdCheckpoint(d, req);
+            } else if (cmd == "restore") {
+                cmdRestore(d, req);
+            } else if (cmd == "shutdown") {
+                Reply r(req);
+                r.boolean("ok", true).str("event", "bye");
+                r.send();
+                return 0;
+            } else {
+                sendError(req, "unknown cmd: \"" + cmd + "\"");
+            }
+        } catch (const std::exception &ex) {
+            sendError(req, ex.what());
+        }
+    }
+    // EOF without shutdown: still a clean exit (client hung up).
+    return 0;
+}

@@ -64,6 +64,10 @@ struct Options
     std::string faultPlan;
     std::uint64_t faultSeed = 0;
     Cycle watchdogCycles = 0;
+    bool listPolicies = false;
+    std::string checkpointOut;
+    Cycle checkpointEvery = 0;
+    std::string restoreFrom;
 };
 
 void
@@ -105,7 +109,16 @@ usage()
         "                 --fault-plan is given); same seed, same plan\n"
         "  --watchdog-cycles N  escalate a <VL> retry spin older than N\n"
         "                 cycles to the scalar fallback (default off)\n"
-        "  --list         list available workloads and exit\n");
+        "  --checkpoint-out F   checkpoint file; written every\n"
+        "                 --checkpoint-every cycles (single-policy\n"
+        "                 runs only; both flags required)\n"
+        "  --checkpoint-every N overwrite --checkpoint-out every N\n"
+        "                 cycles (the file holds the latest snapshot)\n"
+        "  --restore F    resume from checkpoint F instead of cycle 0;\n"
+        "                 config/workloads/options must match the run\n"
+        "                 that wrote it (single-policy runs only)\n"
+        "  --list, --list-workloads  list available workloads and exit\n"
+        "  --list-policies  list registered sharing policies and exit\n");
 }
 
 std::optional<SharingPolicy>
@@ -249,8 +262,25 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.strictTimeout = true;
         } else if (arg == "--stats") {
             opt.stats = true;
-        } else if (arg == "--list") {
+        } else if (arg == "--checkpoint-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.checkpointOut = v;
+        } else if (arg == "--checkpoint-every") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.checkpointEvery = static_cast<Cycle>(std::atoll(v));
+        } else if (arg == "--restore") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.restoreFrom = v;
+        } else if (arg == "--list" || arg == "--list-workloads") {
             opt.list = true;
+        } else if (arg == "--list-policies") {
+            opt.listPolicies = true;
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else {
@@ -338,6 +368,20 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (opt.listPolicies) {
+        std::printf("registered sharing policies (--policy):\n");
+        for (const policy::SharingModel *m : policy::allModels()) {
+            std::printf("  %-8s %-8s", m->key(), m->paperName());
+            if (!m->aliases().empty()) {
+                std::printf(" aliases:");
+                for (const auto &a : m->aliases())
+                    std::printf(" %s", a.c_str());
+            }
+            std::printf("\n");
+        }
+        return 0;
+    }
+
     if (opt.list) {
         std::printf("SPEC workloads:\n");
         for (unsigned n = 1; n <= 22; ++n) {
@@ -356,6 +400,14 @@ main(int argc, char **argv)
             std::printf("\n");
         }
         return 0;
+    }
+
+    // Checkpoint files name one run's state, so tie them to one policy.
+    if ((!opt.checkpointOut.empty() || !opt.restoreFrom.empty()) &&
+        opt.policies.size() != 1) {
+        std::fprintf(stderr, "--checkpoint-out/--restore need a single "
+                             "--policy (not 'all')\n");
+        return 2;
     }
 
     // Resolve the pair ids (e.g. "6+16").
@@ -386,6 +438,9 @@ main(int argc, char **argv)
             spec.faultPlan = opt.faultPlan;
             spec.faultSeed = opt.faultSeed;
             spec.watchdogCycles = opt.watchdogCycles;
+            spec.checkpointOut = opt.checkpointOut;
+            spec.checkpointEvery = opt.checkpointEvery;
+            spec.restoreFrom = opt.restoreFrom;
             if (!opt.traceOut.empty())
                 spec.traceEvents = obs::parseEventMask(opt.traceEvents);
             spec.snapshotEvery = opt.snapshotEvery;
