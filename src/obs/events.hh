@@ -94,6 +94,17 @@ enum class EventKind : std::uint8_t
     CheckpointSave,    ///< Engine wrote a checkpoint at this cycle.
                        ///< a=serialized bytes.
     CheckpointRestore, ///< Engine restored state at this cycle.
+
+    // --- Multi-tenant traffic (src/traffic). Appended after the
+    // --- checkpoint kinds to keep the binary trace format stable. ---
+    JobArrival,     ///< A traffic job's effective arrival. a=workload
+                    ///< name id, b=(tenant << 32) | queue idx.
+    JobAdmit,       ///< Dispatcher picked the job for a core.
+                    ///< core=target, a=queue idx, b=queueing delay.
+    JobComplete,    ///< The job's workload finished. core=where,
+                    ///< a=queue idx, b=completion latency.
+    SloViolation,   ///< Completion latency exceeded the SLO budget.
+                    ///< core=where, a=queue idx, b=overshoot cycles.
 };
 
 /** Coarse category bits used to subset recording. */
@@ -116,9 +127,14 @@ inline constexpr EventMask kEvEngine = 1u << 6;
  *  emitted unless a FaultPlan or watchdog is configured, so fault-free
  *  traces are unaffected. */
 inline constexpr EventMask kEvFault = 1u << 7;
+/** Multi-tenant traffic lifecycle events. Included in kEvAll for the
+ *  same reason kEvFault is: no Job* event is ever emitted unless
+ *  traffic arrivals are enqueued, so traffic-free traces are
+ *  unaffected. */
+inline constexpr EventMask kEvTraffic = 1u << 8;
 inline constexpr EventMask kEvAll =
     kEvPhase | kEvPipeline | kEvPartition | kEvReconfig | kEvMem |
-    kEvSched | kEvFault;
+    kEvSched | kEvFault | kEvTraffic;
 
 /** @return the category bit of @p k. */
 constexpr EventMask
@@ -157,6 +173,11 @@ categoryOf(EventKind k)
       case EventKind::PartitionDegrade:
       case EventKind::WatchdogTrip:
         return kEvFault;
+      case EventKind::JobArrival:
+      case EventKind::JobAdmit:
+      case EventKind::JobComplete:
+      case EventKind::SloViolation:
+        return kEvTraffic;
     }
     return 0;
 }

@@ -33,6 +33,10 @@ eventKindName(EventKind k)
       case EventKind::SystemBoot: return "system_boot";
       case EventKind::CheckpointSave: return "checkpoint_save";
       case EventKind::CheckpointRestore: return "checkpoint_restore";
+      case EventKind::JobArrival: return "job_arrival";
+      case EventKind::JobAdmit: return "job_admit";
+      case EventKind::JobComplete: return "job_complete";
+      case EventKind::SloViolation: return "slo_violation";
     }
     return "unknown";
 }
@@ -61,6 +65,8 @@ parseEventMask(const std::string &spec)
             mask |= kEvEngine;
         else if (t == "fault")
             mask |= kEvFault;
+        else if (t == "traffic")
+            mask |= kEvTraffic;
     };
     for (char c : spec) {
         if (c == ',') {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <new>
+#include <stdexcept>
 #include <system_error>
 #include <thread>
 
@@ -95,6 +96,22 @@ Runner::runOne(const JobSpec &spec, unsigned transient_retries)
                                 spec.workloads[c].second);
             for (const auto &[name, loops] : spec.batch)
                 sys.enqueueWorkload(name, loops);
+            // Traffic expansion on the worker thread: a bad process or
+            // scheduler name fails this job, not the sweep. The stream
+            // is a pure function of the config, so the same spec yields
+            // the same arrivals on any thread.
+            if (spec.traffic.enabled()) {
+                const traffic::Dispatcher *disp =
+                    traffic::dispatcherByName(spec.traffic.scheduler);
+                if (!disp)
+                    throw std::invalid_argument(
+                        "unknown traffic scheduler: " +
+                        spec.traffic.scheduler);
+                for (const traffic::Arrival &a :
+                     traffic::generate(spec.traffic))
+                    sys.enqueueArrival(a);
+                sys.setDispatcher(disp);
+            }
             RunOptions ropt;
             ropt.maxCycles = spec.maxCycles;
             ropt.bucket = spec.bucket;
@@ -130,6 +147,13 @@ Runner::runOne(const JobSpec &spec, unsigned transient_retries)
                 out.result = sys.finalize();
             } else {
                 out.result = sys.run(ropt);
+            }
+            if (spec.traffic.enabled()) {
+                out.hasTraffic = true;
+                out.trafficTenants = spec.traffic.tenants;
+                out.trafficMetrics = traffic::computeMetrics(
+                    out.result.trafficJobs, spec.traffic.tenants,
+                    out.result.cycles);
             }
             if (out.result.timedOut) {
                 out.status = JobStatus::Failed;

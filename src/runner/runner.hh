@@ -119,6 +119,14 @@ struct JobSpec
      *  config, workloads and determinism-relevant options as the run
      *  that wrote it; a mismatch is a contained per-job failure. */
     std::string restoreFrom;
+
+    /** Multi-tenant traffic (src/traffic): when traffic.enabled(), the
+     *  worker expands the config into a deterministic arrival stream
+     *  (traffic::generate), enqueues it instead of `batch`, and selects
+     *  the traffic.scheduler dispatch discipline. Generation and
+     *  registry lookups happen on the worker thread, so a bad process
+     *  or scheduler name is a contained per-job failure. */
+    traffic::TrafficConfig traffic;
 };
 
 /** Terminal state of one job. */
@@ -161,6 +169,13 @@ struct JobResult
      *  job, so exporting it keeps sweeps byte-identical across thread
      *  counts. */
     FastForwardStats ff;
+
+    /** SLO metrics aggregated from RunResult::trafficJobs (only
+     *  meaningful when hasTraffic; deterministic like everything else
+     *  exported). */
+    bool hasTraffic = false;
+    unsigned trafficTenants = 0;
+    traffic::TrafficMetrics trafficMetrics;
 
     bool ok() const { return status == JobStatus::Ok; }
 };

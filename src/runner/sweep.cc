@@ -35,6 +35,32 @@ pairSweepJobs(const std::vector<workloads::Pair> &pairs,
     return jobs;
 }
 
+std::vector<JobSpec>
+trafficSweepJobs(const traffic::TrafficConfig &base,
+                 const std::vector<SharingPolicy> &policies,
+                 const std::vector<std::string> &schedulers,
+                 Cycle max_cycles,
+                 const std::function<void(MachineConfig &)> &tweak)
+{
+    std::vector<JobSpec> jobs;
+    jobs.reserve(policies.size() * schedulers.size());
+    for (SharingPolicy p : policies) {
+        for (const std::string &sched : schedulers) {
+            JobSpec spec;
+            spec.id = jobs.size();
+            spec.label = base.process + "/" + policyName(p) + "/" + sched;
+            spec.cfg = MachineConfig::forPolicy(p, 2);
+            if (tweak)
+                tweak(spec.cfg);
+            spec.traffic = base;
+            spec.traffic.scheduler = sched;
+            spec.maxCycles = max_cycles;
+            jobs.push_back(std::move(spec));
+        }
+    }
+    return jobs;
+}
+
 namespace
 {
 
@@ -58,6 +84,61 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/** Deterministic fixed-notation double for JSON/CSV export. */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+/** A cycle stamp for JSON; kCycleNever (stage never reached) -> -1. */
+std::string
+cyc(Cycle c)
+{
+    return c == kCycleNever ? std::string("-1") : std::to_string(c);
+}
+
+/** The per-job "traffic" JSON object (aggregates, per-tenant rows, and
+ *  one lifecycle record per arrival). */
+std::string
+trafficToJson(const JobResult &j)
+{
+    const traffic::TrafficMetrics &m = j.trafficMetrics;
+    std::ostringstream os;
+    os << "{\"arrivals\":" << m.arrivals
+       << ",\"completed\":" << m.completed
+       << ",\"slo_violations\":" << m.sloViolations
+       << ",\"queueing_delay_mean\":" << num(m.queueingDelayMean)
+       << ",\"latency_p50\":" << num(m.latencyP50)
+       << ",\"latency_p95\":" << num(m.latencyP95)
+       << ",\"latency_p99\":" << num(m.latencyP99)
+       << ",\"fairness_jain\":" << num(m.fairnessJain)
+       << ",\"tenants\":[";
+    for (std::size_t t = 0; t < m.tenants.size(); ++t) {
+        const traffic::TenantMetrics &tm = m.tenants[t];
+        os << (t ? "," : "") << "{\"tenant\":" << tm.tenant
+           << ",\"arrivals\":" << tm.arrivals
+           << ",\"completed\":" << tm.completed
+           << ",\"slo_violations\":" << tm.sloViolations
+           << ",\"throughput\":" << num(tm.throughput)
+           << ",\"mean_latency\":" << num(tm.meanLatency) << "}";
+    }
+    os << "],\"jobs\":[";
+    for (std::size_t q = 0; q < j.result.trafficJobs.size(); ++q) {
+        const traffic::JobRecord &r = j.result.trafficJobs[q];
+        os << (q ? "," : "") << "{\"tenant\":" << r.tenant
+           << ",\"arrive\":" << cyc(r.arrive)
+           << ",\"admit\":" << cyc(r.admit)
+           << ",\"finish\":" << cyc(r.finish)
+           << ",\"slo_violated\":" << (r.violatedSlo() ? "true" : "false")
+           << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
 } // namespace
 
 std::string
@@ -77,8 +158,10 @@ sweepToJson(const SweepResult &sweep)
            << ",\"lane_faults\":" << j.result.laneFaults
            << ",\"ff\":{\"simulated\":" << j.ff.cyclesSimulated
            << ",\"ticked\":" << j.ff.cyclesTicked
-           << ",\"spans\":" << j.ff.spans << "}"
-           << ",\"result\":" << trace::toJson(j.result) << "}";
+           << ",\"spans\":" << j.ff.spans << "}";
+        if (j.hasTraffic)
+            os << ",\"traffic\":" << trafficToJson(j);
+        os << ",\"result\":" << trace::toJson(j.result) << "}";
     }
     std::size_t timed_out = 0;
     for (const auto &j : sweep.jobs)
@@ -93,11 +176,29 @@ void
 writeSweepCsv(std::ostream &os, const SweepResult &sweep)
 {
     std::size_t max_cores = 0;
-    for (const auto &j : sweep.jobs)
+    std::size_t max_tenants = 0;
+    bool any_traffic = false;
+    for (const auto &j : sweep.jobs) {
         max_cores = std::max(max_cores, j.result.cores.size());
+        if (j.hasTraffic) {
+            any_traffic = true;
+            max_tenants = std::max(
+                max_tenants, static_cast<std::size_t>(j.trafficTenants));
+        }
+    }
 
     os << "id,label,policy,status,timed_out,cycles,simd_util,dram_bytes,"
           "cycles_ticked,watchdog_trips,lane_faults";
+    // Traffic columns only appear in sweeps that ran traffic, so
+    // pre-existing consumers of traffic-free CSVs see the exact format
+    // they always did.
+    if (any_traffic) {
+        os << ",traffic_arrivals,traffic_completed,slo_violations,"
+              "queueing_delay_mean,latency_p50,latency_p95,latency_p99,"
+              "fairness_jain";
+        for (std::size_t t = 0; t < max_tenants; ++t)
+            os << ",tenant" << t << "_throughput";
+    }
     for (std::size_t c = 0; c < max_cores; ++c)
         os << ",core" << c << "_workload,core" << c << "_finish";
     os << "\n";
@@ -110,6 +211,25 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
            << "," << j.result.simdUtil << "," << j.result.dramBytes
            << "," << j.ff.cyclesTicked << "," << j.result.watchdogTrips
            << "," << j.result.laneFaults;
+        if (any_traffic) {
+            if (j.hasTraffic) {
+                const traffic::TrafficMetrics &m = j.trafficMetrics;
+                os << "," << m.arrivals << "," << m.completed << ","
+                   << m.sloViolations << "," << num(m.queueingDelayMean)
+                   << "," << num(m.latencyP50) << "," << num(m.latencyP95)
+                   << "," << num(m.latencyP99) << ","
+                   << num(m.fairnessJain);
+                for (std::size_t t = 0; t < max_tenants; ++t) {
+                    os << ",";
+                    if (t < m.tenants.size())
+                        os << num(m.tenants[t].throughput);
+                }
+            } else {
+                os << ",,,,,,,,";
+                for (std::size_t t = 0; t < max_tenants; ++t)
+                    os << ",";
+            }
+        }
         for (std::size_t c = 0; c < max_cores; ++c) {
             if (c < j.result.cores.size())
                 os << "," << j.result.cores[c].workload << ","

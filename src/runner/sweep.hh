@@ -34,6 +34,23 @@ std::vector<JobSpec> pairSweepJobs(
     const std::function<void(MachineConfig &)> &tweak = nullptr);
 
 /**
+ * Build the traffic-ablation job list: @p base (one traffic config —
+ * process, tenants, seed, rate, SLO) crossed with @p policies x
+ * @p schedulers, policy-major, ids 0..n-1 and labels
+ * "<process>/<policy>/<scheduler>". Every job replays the identical
+ * arrival stream (same seed), so the sweep isolates the scheduling
+ * discipline and sharing policy. Each job gets
+ * MachineConfig::forPolicy(policy, 2) with @p tweak (if non-null)
+ * applied after the preset.
+ */
+std::vector<JobSpec> trafficSweepJobs(
+    const traffic::TrafficConfig &base,
+    const std::vector<SharingPolicy> &policies,
+    const std::vector<std::string> &schedulers,
+    Cycle max_cycles = 40'000'000,
+    const std::function<void(MachineConfig &)> &tweak = nullptr);
+
+/**
  * Render the whole sweep as one JSON object:
  *   {"jobs":[{"id":..,"label":..,"policy":..,"seed":..,"status":..,
  *             "error":..,"result":{..trace::toJson..}},...],

@@ -67,6 +67,21 @@ struct System::Ctx
     std::vector<Cycle> dispatch_at;
     std::vector<std::size_t> pending_wl;
 
+    // Multi-tenant traffic state (src/traffic). Inert unless arrivals
+    // were enqueued: has_traffic gates every tick-loop branch, event,
+    // and exported artifact, keeping traffic-off runs byte-identical.
+    const traffic::Dispatcher *dispatcher = nullptr;
+    bool has_traffic = false;
+    std::vector<Cycle> eff_arrive;  ///< kCycleNever = not yet resolvable.
+    std::vector<bool> arrived;      ///< Entry is dispatchable.
+    std::size_t unarrived = 0;
+    Cycle next_arrival = kCycleNever;   ///< Min eff_arrive, unarrived.
+    std::vector<Cycle> admit_at;    ///< Dispatch decision cycle.
+    std::vector<Cycle> done_at;     ///< Completion cycle.
+    std::vector<std::size_t> dependent;  ///< q -> its closed-loop successor.
+    std::vector<std::size_t> core_job;   ///< Traffic entry running per core.
+    std::uint64_t slo_violations = 0;
+
     FastForwardStats ff;
     std::uint64_t watchdog_trips = 0;
     std::chrono::steady_clock::time_point wall_start;
@@ -102,6 +117,15 @@ void
 System::enqueueWorkload(std::string name, std::vector<kir::Loop> loops)
 {
     queue_.emplace_back(std::move(name), std::move(loops));
+    queue_meta_.emplace_back();     // Plain entry: available at cycle 0.
+}
+
+void
+System::enqueueArrival(const traffic::Arrival &a)
+{
+    queue_.emplace_back(a.workload, a.loops);
+    queue_meta_.push_back(a);
+    has_traffic_ = true;
 }
 
 const Program *
@@ -189,12 +213,41 @@ System::boot(const RunOptions &opt)
     x.dispatched.assign(queue_.size(), false);
     x.undispatched = queue_.size();
     x.queue_oi.resize(queue_.size());
-    if (x.cfg.schedPolicy == SchedPolicy::OiAware) {
+    if (x.cfg.schedPolicy == SchedPolicy::OiAware ||
+        (dispatcher_ && dispatcher_->wantsOiScore())) {
         for (std::size_t q = 0; q < queue_.size(); ++q)
             if (!queue_[q].second.empty())
                 x.queue_oi[q] = kir::phaseOI(queue_[q].second.front(),
                                              x.cfg.vecCache.sizeBytes,
                                              x.cfg.l2.sizeBytes);
+    }
+
+    // Traffic state: every queue entry is immediately available unless
+    // arrivals were enqueued, in which case each entry waits for its
+    // effective arrival cycle (closed-loop entries resolve theirs when
+    // the predecessor completes).
+    x.dispatcher = dispatcher_;
+    x.has_traffic = has_traffic_;
+    x.eff_arrive.assign(queue_.size(), 0);
+    x.arrived.assign(queue_.size(), true);
+    x.admit_at.assign(queue_.size(), kCycleNever);
+    x.done_at.assign(queue_.size(), kCycleNever);
+    x.dependent.assign(queue_.size(), traffic::kNoJob);
+    x.core_job.assign(x.cfg.numCores, traffic::kNoJob);
+    if (x.has_traffic) {
+        x.arrived.assign(queue_.size(), false);
+        x.unarrived = queue_.size();
+        x.next_arrival = kCycleNever;
+        for (std::size_t q = 0; q < queue_.size(); ++q) {
+            const traffic::Arrival &m = queue_meta_[q];
+            if (m.dependsOn == traffic::kNoJob) {
+                x.eff_arrive[q] = m.arriveAt;
+                x.next_arrival = std::min(x.next_arrival, m.arriveAt);
+            } else {
+                x.eff_arrive[q] = kCycleNever;
+                x.dependent[m.dependsOn] = q;
+            }
+        }
     }
 
     // What each core is running or about to run, for placement
@@ -325,17 +378,53 @@ System::advance(Cycle stop_at)
         return total;
     };
 
-    // Choose which queued workload an idle core picks up next.
+    // A queue entry is dispatchable once undispatched and (under
+    // traffic) arrived.
+    auto available = [&](std::size_t q) {
+        return !x.dispatched[q] && (!x.has_traffic || x.arrived[q]);
+    };
+
+    // Choose which queued workload an idle core picks up next; returns
+    // queue_.size() when nothing is dispatchable yet (the core idles
+    // until the next arrival).
     auto selectNext = [&](CoreId core) -> std::size_t {
+        if (x.dispatcher) {
+            std::vector<traffic::PendingJob> pending;
+            for (std::size_t q = 0; q < queue_.size(); ++q) {
+                if (!available(q))
+                    continue;
+                traffic::PendingJob pj;
+                pj.queueIdx = q;
+                pj.arrived = x.has_traffic ? x.eff_arrive[q] : 0;
+                pj.tenant = queue_meta_[q].tenant;
+                pj.estCost = queue_meta_[q].estCost;
+                if (queue_meta_[q].sloBudget != kCycleNever)
+                    pj.deadline =
+                        x.eff_arrive[q] + queue_meta_[q].sloBudget;
+                pending.push_back(pj);
+            }
+            if (pending.empty())
+                return queue_.size();
+            traffic::DispatchContext dc{now, core, pending, {}};
+            if (x.dispatcher->wantsOiScore())
+                dc.progressScore = [&](std::size_t i) {
+                    return progressWith(x.queue_oi[pending[i].queueIdx],
+                                        core);
+                };
+            const std::size_t sel = x.dispatcher->select(dc);
+            if (sel >= pending.size())
+                return queue_.size();   // kDefer: leave the core idle.
+            return pending[sel].queueIdx;
+        }
         if (cfg.schedPolicy == SchedPolicy::Fcfs) {
             for (std::size_t q = 0; q < queue_.size(); ++q)
-                if (!x.dispatched[q])
+                if (available(q))
                     return q;
         } else {
             std::size_t best = queue_.size();
             double best_tp = -1.0;
             for (std::size_t q = 0; q < queue_.size(); ++q) {
-                if (x.dispatched[q])
+                if (!available(q))
                     continue;
                 const double tp = progressWith(x.queue_oi[q], core);
                 if (tp > best_tp + 1e-9) {
@@ -442,6 +531,36 @@ System::advance(Cycle stop_at)
             }
         }
 
+        // Traffic arrivals whose effective cycle has come become
+        // dispatchable this cycle (before any dispatch decision, so a
+        // job arriving at `now` is immediately schedulable).
+        if (x.has_traffic && x.next_arrival <= now) {
+            Cycle next = kCycleNever;
+            for (std::size_t q = 0; q < queue_.size(); ++q) {
+                if (x.arrived[q])
+                    continue;
+                if (x.eff_arrive[q] <= now) {
+                    x.arrived[q] = true;
+                    --x.unarrived;
+                    if (opt.sink &&
+                        opt.sink->wants(obs::EventKind::JobArrival)) {
+                        obs::Event ev;
+                        ev.cycle = now;
+                        ev.kind = obs::EventKind::JobArrival;
+                        ev.a = opt.sink->internString(queue_[q].first);
+                        ev.b = (static_cast<std::uint64_t>(
+                                    queue_meta_[q].tenant)
+                                << 32) |
+                               static_cast<std::uint64_t>(q);
+                        opt.sink->record(ev);
+                    }
+                } else {
+                    next = std::min(next, x.eff_arrive[q]);
+                }
+            }
+            x.next_arrival = next;
+        }
+
         // Dispatch queued workloads onto cores whose context switch
         // completed.
         for (unsigned c = 0; c < cfg.numCores; ++c) {
@@ -453,6 +572,8 @@ System::advance(Cycle stop_at)
                 cores[c]->setProgram(compileAndBind(
                     x, static_cast<CoreId>(c), wl_name, wl_loops));
                 x.core_prog[c] = x.programs.size() - 1;
+                if (x.has_traffic)
+                    x.core_job[c] = x.pending_wl[c];
                 result.batch.push_back(BatchCompletion{
                     wl_name, static_cast<CoreId>(c), now, 0});
                 if (opt.sink &&
@@ -490,6 +611,48 @@ System::advance(Cycle stop_at)
                     coproc.coreDrained(static_cast<CoreId>(c)) &&
                     x.dispatch_at[c] == kCycleNever;
                 if (idle) {
+                    // Close the traffic lifecycle of the job that just
+                    // completed here: completion record, SLO check, and
+                    // resolution of its closed-loop successor's
+                    // effective arrival.
+                    if (x.core_job[c] != traffic::kNoJob) {
+                        const std::size_t q = x.core_job[c];
+                        x.core_job[c] = traffic::kNoJob;
+                        x.done_at[q] = now;
+                        const Cycle lat = now - x.eff_arrive[q];
+                        if (opt.sink &&
+                            opt.sink->wants(obs::EventKind::JobComplete)) {
+                            obs::Event ev;
+                            ev.cycle = now;
+                            ev.kind = obs::EventKind::JobComplete;
+                            ev.core = static_cast<CoreId>(c);
+                            ev.a = q;
+                            ev.b = lat;
+                            opt.sink->record(ev);
+                        }
+                        const Cycle budget = queue_meta_[q].sloBudget;
+                        if (budget != kCycleNever && lat > budget) {
+                            ++x.slo_violations;
+                            if (opt.sink &&
+                                opt.sink->wants(
+                                    obs::EventKind::SloViolation)) {
+                                obs::Event ev;
+                                ev.cycle = now;
+                                ev.kind = obs::EventKind::SloViolation;
+                                ev.core = static_cast<CoreId>(c);
+                                ev.a = q;
+                                ev.b = lat - budget;
+                                opt.sink->record(ev);
+                            }
+                        }
+                        const std::size_t dep = x.dependent[q];
+                        if (dep != traffic::kNoJob) {
+                            x.eff_arrive[dep] =
+                                now + queue_meta_[dep].thinkGap;
+                            x.next_arrival = std::min(x.next_arrival,
+                                                      x.eff_arrive[dep]);
+                        }
+                    }
                     // Close the batch record of the workload that just
                     // completed on this core, if any.
                     for (auto it = result.batch.rbegin();
@@ -502,12 +665,32 @@ System::advance(Cycle stop_at)
                     if (x.undispatched > 0) {
                         // Grab the next workload (per the dispatch
                         // discipline) after the OS context-switch cost.
-                        x.pending_wl[c] =
+                        // Under traffic nothing may have arrived yet;
+                        // the core then idles until the next arrival.
+                        const std::size_t q =
                             selectNext(static_cast<CoreId>(c));
-                        x.dispatched[x.pending_wl[c]] = true;
-                        x.sched_oi[c] = x.queue_oi[x.pending_wl[c]];
-                        --x.undispatched;
-                        x.dispatch_at[c] = now + cfg.contextSwitchCycles;
+                        if (q < queue_.size()) {
+                            x.pending_wl[c] = q;
+                            x.dispatched[q] = true;
+                            x.sched_oi[c] = x.queue_oi[q];
+                            --x.undispatched;
+                            x.dispatch_at[c] =
+                                now + cfg.contextSwitchCycles;
+                            if (x.has_traffic) {
+                                x.admit_at[q] = now;
+                                if (opt.sink &&
+                                    opt.sink->wants(
+                                        obs::EventKind::JobAdmit)) {
+                                    obs::Event ev;
+                                    ev.cycle = now;
+                                    ev.kind = obs::EventKind::JobAdmit;
+                                    ev.core = static_cast<CoreId>(c);
+                                    ev.a = q;
+                                    ev.b = now - x.eff_arrive[q];
+                                    opt.sink->record(ev);
+                                }
+                            }
+                        }
                         all_done = false;
                     } else {
                         x.done[c] = true;
@@ -596,6 +779,15 @@ System::advance(Cycle stop_at)
                                           now + 1),
                                  WakeSource::Watchdog);
             }
+            // A pending traffic arrival is a state change no component
+            // probe can see: an all-idle machine waiting for work must
+            // wake exactly at the next effective arrival. Unresolved
+            // closed-loop arrivals (next_arrival == kCycleNever) need
+            // no candidate — their predecessor is still running, so a
+            // component event precedes their resolution.
+            if (x.has_traffic && x.unarrived > 0)
+                consider(std::max(x.next_arrival, now + 1),
+                         WakeSource::Arrival);
         }
         // Pause and checkpoint boundaries cap the jump so the loop
         // lands on them exactly. Engine bookkeeping only: the span
@@ -702,6 +894,19 @@ System::finalize()
     result.watchdogTrips = x.watchdog_trips;
     result.laneFaults = x.coproc.laneFaults();
 
+    if (x.has_traffic) {
+        result.sloViolations = x.slo_violations;
+        result.trafficJobs.resize(queue_.size());
+        for (std::size_t q = 0; q < queue_.size(); ++q) {
+            traffic::JobRecord &jr = result.trafficJobs[q];
+            jr.tenant = queue_meta_[q].tenant;
+            jr.arrive = x.eff_arrive[q];
+            jr.admit = x.admit_at[q];
+            jr.finish = x.done_at[q];
+            jr.sloBudget = queue_meta_[q].sloBudget;
+        }
+    }
+
     // gem5-style stats dump (same groups the snapshots sampled).
     {
         std::ostringstream os;
@@ -716,6 +921,23 @@ System::finalize()
             "lane_faults",
             [&] { return static_cast<double>(result.laneFaults); },
             "ExeBU hard faults applied");
+        if (x.has_traffic) {
+            double completed = 0.0;
+            for (Cycle d : x.done_at)
+                if (d != kCycleNever)
+                    completed += 1.0;
+            const double jobs = static_cast<double>(queue_.size());
+            const double viol = static_cast<double>(x.slo_violations);
+            run_group.addFormula(
+                "traffic_jobs", [jobs] { return jobs; },
+                "traffic arrivals enqueued");
+            run_group.addFormula(
+                "traffic_completed", [completed] { return completed; },
+                "traffic jobs that ran to completion");
+            run_group.addFormula(
+                "slo_violations", [viol] { return viol; },
+                "completions whose latency exceeded the SLO budget");
+        }
         run_group.dump(os);
         result.statsText = os.str();
     }
@@ -801,6 +1023,16 @@ System::fingerprint(const Ctx &x) const
     os << '#' << x.opt.maxCycles << '|' << x.opt.bucket << '|'
        << x.opt.snapshotEvery << '|' << x.opt.watchdogCycles << '|'
        << (x.opt.faultPlan ? x.opt.faultPlan->describe() : "");
+    // Traffic metadata and the dispatch discipline are determinism-
+    // relevant. Appended only when configured so traffic-free
+    // fingerprints — and every existing checkpoint — are unchanged.
+    if (has_traffic_ || dispatcher_) {
+        os << '#' << (dispatcher_ ? dispatcher_->key() : "") << '|';
+        for (const traffic::Arrival &m : queue_meta_)
+            os << m.arriveAt << ',' << m.tenant << ',' << m.sloBudget
+               << ',' << m.dependsOn << ',' << m.thinkGap << ','
+               << m.estCost << ';';
+    }
 
     const std::string s = os.str();
     std::uint64_t h = 0xCBF29CE484222325ULL;
@@ -906,6 +1138,25 @@ System::saveCheckpoint(std::ostream &os) const
     w.b(x.injector != nullptr);
     if (x.injector)
         x.injector->save(w);
+
+    // Traffic lifecycle state. The section exists only when arrivals
+    // were enqueued, so traffic-free checkpoints keep their exact byte
+    // layout (and fingerprints) from before the traffic subsystem.
+    if (x.has_traffic) {
+        w.section("traffic");
+        w.u64(queue_.size());
+        for (std::size_t q = 0; q < queue_.size(); ++q) {
+            w.u64(x.eff_arrive[q]);
+            w.b(x.arrived[q]);
+            w.u64(x.admit_at[q]);
+            w.u64(x.done_at[q]);
+        }
+        w.u64(x.unarrived);
+        w.u64(x.next_arrival);
+        w.u64(x.slo_violations);
+        for (std::size_t j : x.core_job)
+            w.u64(j);
+    }
 
     // Components.
     x.mem.save(w);
@@ -1029,6 +1280,24 @@ System::restoreCheckpoint(std::istream &is, const RunOptions &opt)
         if (x.injector)
             x.injector->load(r);
 
+        if (x.has_traffic) {
+            r.expectSection("traffic");
+            ckpt::Reader::check(r.u64() == queue_.size(),
+                                "checkpoint traffic queue length "
+                                "mismatch");
+            for (std::size_t q = 0; q < queue_.size(); ++q) {
+                x.eff_arrive[q] = r.u64();
+                x.arrived[q] = r.b();
+                x.admit_at[q] = r.u64();
+                x.done_at[q] = r.u64();
+            }
+            x.unarrived = r.u64();
+            x.next_arrival = r.u64();
+            x.slo_violations = r.u64();
+            for (std::size_t &j : x.core_job)
+                j = r.u64();
+        }
+
         x.mem.load(r);
         x.coproc.load(r);
         ckpt::Reader::check(r.arr() == x.cores.size(),
@@ -1079,6 +1348,11 @@ System::inspect(const std::string &path) const
            << "watchdog_trips " << x.watchdog_trips << '\n'
            << "cycles_ticked " << x.ff.cyclesTicked << '\n'
            << "ff_spans " << x.ff.spans << '\n';
+        if (x.has_traffic)
+            os << "traffic_dispatcher "
+               << (x.dispatcher ? x.dispatcher->key() : "legacy") << '\n'
+               << "traffic_unarrived " << x.unarrived << '\n'
+               << "slo_violations " << x.slo_violations << '\n';
     } else if (path == "system.mem") {
         x.mem.printState(os);
     } else if (path == "system.mem.vec_cache") {

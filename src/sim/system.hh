@@ -27,6 +27,9 @@
 #include "mem/memsystem.hh"
 #include "obs/events.hh"
 #include "obs/sink.hh"
+#include "traffic/metrics.hh"
+#include "traffic/scheduler.hh"
+#include "traffic/traffic.hh"
 
 namespace occamy
 {
@@ -114,6 +117,14 @@ struct RunResult
     /** Per-workload records for batch-queued workloads (FCFS). */
     std::vector<BatchCompletion> batch;
 
+    /** One lifecycle record per traffic arrival (queue order). Empty
+     *  unless enqueueArrival was used; traffic-off runs are unchanged
+     *  in every exported artifact. */
+    std::vector<traffic::JobRecord> trafficJobs;
+
+    /** Jobs whose completion latency exceeded their SLO budget. */
+    std::uint64_t sloViolations = 0;
+
     /** gem5-style stats dump of the memory system and co-processor. */
     std::string statsText;
 
@@ -135,6 +146,10 @@ enum class WakeSource : std::uint8_t
     Checkpoint, ///< Pause boundary: advance() stop cycle or a periodic
                 ///< checkpoint-write cycle. Engine bookkeeping only —
                 ///< never changes simulated state.
+    Arrival,    ///< Next traffic arrival becomes dispatchable. A state
+                ///< change the component probes can't see, so it must
+                ///< be a wake candidate or fast-forward would idle past
+                ///< new work.
 };
 
 /**
@@ -224,6 +239,24 @@ class System
      */
     void enqueueWorkload(std::string name, std::vector<kir::Loop> loops);
 
+    /**
+     * Queue one traffic arrival (src/traffic): like enqueueWorkload,
+     * but the entry only becomes dispatchable at its effective arrival
+     * cycle — Arrival::arriveAt, or for closed-loop jobs the
+     * predecessor's completion plus the think time — and its lifecycle
+     * (arrive/admit/finish, SLO compliance) is tracked into
+     * RunResult::trafficJobs.
+     */
+    void enqueueArrival(const traffic::Arrival &a);
+
+    /**
+     * Select the dispatch discipline for queued work (default: the
+     * legacy MachineConfig::schedPolicy behaviour). Borrowed — must
+     * outlive the System. Registry objects (traffic::dispatcherByName)
+     * are immortal singletons, so those are always safe.
+     */
+    void setDispatcher(const traffic::Dispatcher *d) { dispatcher_ = d; }
+
     /** Run to completion of all workloads under @p opt. Equivalent to
      *  boot(opt); advance(); finalize(). */
     RunResult run(const RunOptions &opt = {});
@@ -300,6 +333,14 @@ class System
     std::vector<std::string> names_;
     std::vector<std::vector<kir::Loop>> loops_;
     std::vector<std::pair<std::string, std::vector<kir::Loop>>> queue_;
+
+    /** Traffic metadata parallel to queue_ (default entries for plain
+     *  enqueueWorkload calls). has_traffic_ gates every traffic-side
+     *  artifact so traffic-off runs stay byte-identical. */
+    std::vector<traffic::Arrival> queue_meta_;
+    bool has_traffic_ = false;
+    const traffic::Dispatcher *dispatcher_ = nullptr;
+
     std::unique_ptr<Ctx> ctx_;
 };
 

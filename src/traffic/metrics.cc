@@ -1,0 +1,103 @@
+#include "traffic/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace occamy::traffic
+{
+
+double
+percentileNearestRank(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (p <= 0.0)
+        return sorted.front();
+    const double n = static_cast<double>(sorted.size());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank < 1)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+double
+jainIndex(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (double v : values) {
+        sum += v;
+        sumsq += v * v;
+    }
+    if (sumsq == 0.0)
+        return 1.0;
+    return (sum * sum) / (static_cast<double>(values.size()) * sumsq);
+}
+
+TrafficMetrics
+computeMetrics(const std::vector<JobRecord> &records, unsigned tenants,
+               Cycle horizon)
+{
+    TrafficMetrics m;
+    m.tenants.resize(tenants);
+    for (unsigned t = 0; t < tenants; ++t)
+        m.tenants[t].tenant = t;
+
+    std::vector<double> latencies;
+    double qdelay_sum = 0.0;
+    std::uint64_t qdelay_n = 0;
+
+    for (const JobRecord &r : records) {
+        ++m.arrivals;
+        TenantMetrics *tm =
+            r.tenant < tenants ? &m.tenants[r.tenant] : nullptr;
+        if (tm)
+            ++tm->arrivals;
+        if (r.admitted()) {
+            qdelay_sum += static_cast<double>(r.queueingDelay());
+            ++qdelay_n;
+        }
+        if (r.completed()) {
+            ++m.completed;
+            const double lat = static_cast<double>(r.latency());
+            latencies.push_back(lat);
+            if (tm) {
+                ++tm->completed;
+                tm->meanLatency += lat;
+            }
+        }
+        if (r.violatedSlo()) {
+            ++m.sloViolations;
+            if (tm)
+                ++tm->sloViolations;
+        }
+    }
+
+    if (qdelay_n > 0)
+        m.queueingDelayMean = qdelay_sum / static_cast<double>(qdelay_n);
+
+    std::sort(latencies.begin(), latencies.end());
+    m.latencyP50 = percentileNearestRank(latencies, 50.0);
+    m.latencyP95 = percentileNearestRank(latencies, 95.0);
+    m.latencyP99 = percentileNearestRank(latencies, 99.0);
+
+    std::vector<double> throughputs;
+    throughputs.reserve(tenants);
+    for (TenantMetrics &tm : m.tenants) {
+        if (tm.completed > 0)
+            tm.meanLatency /= static_cast<double>(tm.completed);
+        if (horizon > 0)
+            tm.throughput = static_cast<double>(tm.completed) * 1e6 /
+                            static_cast<double>(horizon);
+        throughputs.push_back(tm.throughput);
+    }
+    m.fairnessJain = jainIndex(throughputs);
+    return m;
+}
+
+} // namespace occamy::traffic

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SLO metrics over one finished traffic run: queueing delay, nearest-
+ * rank completion-latency percentiles, per-tenant throughput, and
+ * Jain's fairness index. Pure functions over JobRecord lists so the
+ * statistical tests can drive them without a simulator.
+ */
+
+#ifndef OCCAMY_TRAFFIC_METRICS_HH
+#define OCCAMY_TRAFFIC_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace occamy::traffic
+{
+
+/** The lifecycle timestamps of one traffic job, as the simulator saw
+ *  them. kCycleNever marks a stage the job never reached. */
+struct JobRecord
+{
+    unsigned tenant = 0;
+    Cycle arrive = 0;              ///< Effective arrival cycle.
+    Cycle admit = kCycleNever;     ///< Dispatch decision cycle.
+    Cycle finish = kCycleNever;    ///< Completion cycle.
+    Cycle sloBudget = kCycleNever; ///< Relative deadline; kCycleNever = none.
+
+    bool completed() const { return finish != kCycleNever; }
+    bool admitted() const { return admit != kCycleNever; }
+
+    /** Completion latency (finish - arrive); only valid if completed. */
+    Cycle latency() const { return finish - arrive; }
+
+    /** Queueing delay (admit - arrive); only valid if admitted. */
+    Cycle queueingDelay() const { return admit - arrive; }
+
+    bool
+    violatedSlo() const
+    {
+        return completed() && sloBudget != kCycleNever &&
+               latency() > sloBudget;
+    }
+};
+
+/** Per-tenant aggregates. */
+struct TenantMetrics
+{
+    unsigned tenant = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t sloViolations = 0;
+
+    /** Completed jobs per million cycles of run horizon. */
+    double throughput = 0.0;
+
+    /** Mean completion latency over this tenant's completed jobs. */
+    double meanLatency = 0.0;
+};
+
+/** Whole-run aggregates exported into the sweep JSON/CSV. */
+struct TrafficMetrics
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t sloViolations = 0;
+
+    double queueingDelayMean = 0.0;
+
+    /** Nearest-rank completion-latency percentiles, cycles. Zero when
+     *  nothing completed. */
+    double latencyP50 = 0.0;
+    double latencyP95 = 0.0;
+    double latencyP99 = 0.0;
+
+    /** Jain's fairness index over per-tenant throughput, in (0, 1]. */
+    double fairnessJain = 1.0;
+
+    std::vector<TenantMetrics> tenants;
+};
+
+/**
+ * Nearest-rank percentile of @p sorted (ascending): the smallest value
+ * with at least p% of the sample at or below it. Empty input -> 0.
+ * @param p in [0, 100].
+ */
+double percentileNearestRank(const std::vector<double> &sorted, double p);
+
+/**
+ * Jain's fairness index (sum x)^2 / (n * sum x^2) over @p values.
+ * 1 when all shares are equal (including the all-zero and empty
+ * cases, which are trivially fair); approaches 1/n under maximum
+ * imbalance.
+ */
+double jainIndex(const std::vector<double> &values);
+
+/**
+ * Aggregate @p records into run metrics. @p tenants fixes the tenant
+ * axis (tenants with no records still appear, with zero counts);
+ * @p horizon is the run length in cycles used for throughput
+ * normalization (0 -> throughput reported as 0).
+ */
+TrafficMetrics computeMetrics(const std::vector<JobRecord> &records,
+                              unsigned tenants, Cycle horizon);
+
+} // namespace occamy::traffic
+
+#endif // OCCAMY_TRAFFIC_METRICS_HH

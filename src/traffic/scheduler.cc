@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The four stock dispatch disciplines and their registry. Ties break
+ * on the lowest queue index everywhere, so every discipline is a total
+ * deterministic order and sweep exports stay byte-identical across
+ * runner thread counts.
+ */
+
+#include "traffic/scheduler.hh"
+
+#include <memory>
+
+namespace occamy::traffic
+{
+
+namespace
+{
+
+/** Select the minimum of @p pending under @p less (queue-index tie). */
+template <typename Less>
+std::size_t
+argMin(const std::vector<PendingJob> &pending, Less less)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i)
+        if (less(pending[i], pending[best]))
+            best = i;
+    return best;
+}
+
+class FcfsDispatcher final : public Dispatcher
+{
+  public:
+    FcfsDispatcher()
+        : Dispatcher("fcfs", "first come, first served (arrival order)")
+    {
+    }
+
+    std::size_t
+    select(const DispatchContext &ctx) const override
+    {
+        return argMin(ctx.pending,
+                      [](const PendingJob &a, const PendingJob &b) {
+                          if (a.arrived != b.arrived)
+                              return a.arrived < b.arrived;
+                          return a.queueIdx < b.queueIdx;
+                      });
+    }
+};
+
+class SjfDispatcher final : public Dispatcher
+{
+  public:
+    SjfDispatcher()
+        : Dispatcher("sjf",
+                     "shortest job first (estimated service demand)")
+    {
+    }
+
+    std::size_t
+    select(const DispatchContext &ctx) const override
+    {
+        return argMin(ctx.pending,
+                      [](const PendingJob &a, const PendingJob &b) {
+                          if (a.estCost != b.estCost)
+                              return a.estCost < b.estCost;
+                          return a.queueIdx < b.queueIdx;
+                      });
+    }
+};
+
+class EdfDispatcher final : public Dispatcher
+{
+  public:
+    EdfDispatcher()
+        : Dispatcher("edf", "earliest deadline first (SLO-aware)")
+    {
+    }
+
+    std::size_t
+    select(const DispatchContext &ctx) const override
+    {
+        // Jobs without a deadline (kCycleNever) naturally sort last;
+        // among them the order degenerates to FCFS.
+        return argMin(ctx.pending,
+                      [](const PendingJob &a, const PendingJob &b) {
+                          if (a.deadline != b.deadline)
+                              return a.deadline < b.deadline;
+                          if (a.arrived != b.arrived)
+                              return a.arrived < b.arrived;
+                          return a.queueIdx < b.queueIdx;
+                      });
+    }
+};
+
+/**
+ * The paper's Section 5 follow-on: pick the job whose first-phase
+ * operational intensity maximizes the roofline-estimated normalized
+ * machine progress next to what the other cores are running. Falls
+ * back to FCFS when the simulator provides no score.
+ */
+class OiDispatcher final : public Dispatcher
+{
+  public:
+    OiDispatcher()
+        : Dispatcher("oi",
+                     "OI-aware co-placement (roofline progress score)")
+    {
+    }
+
+    bool wantsOiScore() const override { return true; }
+
+    std::size_t
+    select(const DispatchContext &ctx) const override
+    {
+        if (!ctx.progressScore) {
+            return argMin(ctx.pending,
+                          [](const PendingJob &a, const PendingJob &b) {
+                              if (a.arrived != b.arrived)
+                                  return a.arrived < b.arrived;
+                              return a.queueIdx < b.queueIdx;
+                          });
+        }
+        std::size_t best = 0;
+        double best_tp = ctx.progressScore(0);
+        for (std::size_t i = 1; i < ctx.pending.size(); ++i) {
+            const double tp = ctx.progressScore(i);
+            if (tp > best_tp + 1e-9) {
+                best_tp = tp;
+                best = i;
+            }
+        }
+        return best;
+    }
+};
+
+} // namespace
+
+const std::vector<const Dispatcher *> &
+allDispatchers()
+{
+    static const std::vector<std::unique_ptr<const Dispatcher>> owned =
+        [] {
+            std::vector<std::unique_ptr<const Dispatcher>> v;
+            v.emplace_back(std::make_unique<FcfsDispatcher>());
+            v.emplace_back(std::make_unique<SjfDispatcher>());
+            v.emplace_back(std::make_unique<EdfDispatcher>());
+            v.emplace_back(std::make_unique<OiDispatcher>());
+            return v;
+        }();
+    static const std::vector<const Dispatcher *> ds = [] {
+        std::vector<const Dispatcher *> v;
+        for (const auto &d : owned)
+            v.push_back(d.get());
+        return v;
+    }();
+    return ds;
+}
+
+const Dispatcher *
+dispatcherByName(std::string_view name)
+{
+    for (const Dispatcher *d : allDispatchers())
+        if (name == d->key())
+            return d;
+    return nullptr;
+}
+
+} // namespace occamy::traffic

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Multi-tenant traffic engine: seeded stochastic workload arrivals.
+ *
+ * The batch queue (Section 5's co-scheduling regime) models a *fixed*
+ * job list; this layer models *traffic*. A TrafficConfig names an
+ * arrival process from the registry (arrival.hh), a tenant count, a
+ * per-tenant rate and an SLO budget; generate() expands it into a
+ * deterministic stream of Arrival records — per-tenant job classes
+ * drawn from the 34-workload suite — that System::enqueueArrival feeds
+ * through the dispatcher strategy layer (scheduler.hh).
+ *
+ * Determinism contract: the whole stream is a pure function of the
+ * TrafficConfig (seed included). Identical configs yield byte-identical
+ * arrival streams, so sweep exports stay byte-identical across runner
+ * thread counts, and fault plans (src/fault) compose without touching
+ * this layer.
+ */
+
+#ifndef OCCAMY_TRAFFIC_TRAFFIC_HH
+#define OCCAMY_TRAFFIC_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "kir/kir.hh"
+
+namespace occamy::traffic
+{
+
+/** Sentinel for "no queue entry" (e.g. no closed-loop predecessor). */
+inline constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+
+/**
+ * Deterministic splitmix64 PRNG. Deliberately not <random>: libstdc++
+ * distributions are implementation-defined, and byte-identical arrival
+ * streams across builds are a hard requirement here.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in (0, 1]: never 0, so log() below is always finite. */
+    double
+    u01()
+    {
+        return (static_cast<double>(next() >> 11) + 1.0) / 9007199254740992.0;
+    }
+
+    /** Exponentially distributed with the given mean. */
+    double expMean(double mean);
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** One generated job arrival (one batch-queue entry's traffic side). */
+struct Arrival
+{
+    /** Nominal arrival cycle. For closed-loop jobs with a predecessor
+     *  this is a lower bound used only for deterministic queue
+     *  ordering; the *effective* arrival is completion(dependsOn) +
+     *  thinkGap, resolved by the simulator. */
+    Cycle arriveAt = 0;
+
+    unsigned tenant = 0;
+
+    /** Workload class drawn from the suite (e.g. "WL8"). */
+    std::string workload;
+    std::vector<kir::Loop> loops;
+
+    /** SLO budget in cycles relative to the effective arrival;
+     *  kCycleNever = no deadline. */
+    Cycle sloBudget = kCycleNever;
+
+    /** Service-demand estimate for SJF: vector iterations x per-iter
+     *  instruction count, summed over the workload's phases. */
+    double estCost = 0.0;
+
+    /** Closed-loop chain: queue index of the same tenant's previous
+     *  job, or kNoJob for open-loop / first-in-chain jobs. */
+    std::size_t dependsOn = kNoJob;
+
+    /** Think time applied after the predecessor completes. */
+    Cycle thinkGap = 0;
+};
+
+/** Everything needed to synthesize one deterministic traffic stream. */
+struct TrafficConfig
+{
+    /** Arrival-process registry key (poisson|bursty|diurnal|closed);
+     *  empty = traffic off. */
+    std::string process;
+
+    /** Dispatcher registry key (fcfs|sjf|edf|oi). */
+    std::string scheduler = "fcfs";
+
+    unsigned tenants = 2;
+
+    std::uint64_t seed = 1;
+
+    /** Jobs generated per tenant stream. */
+    std::uint64_t jobsPerTenant = 4;
+
+    /** Mean inter-arrival gap per tenant stream, cycles. */
+    double meanGapCycles = 200'000.0;
+
+    /** SLO budget per job in cycles (0 = no deadline). */
+    Cycle sloCycles = 0;
+
+    /** Bursty (MMPP-2) intensity: ratio between the slow and burst
+     *  modes' mean gaps. 1.0 degenerates to Poisson. */
+    double burstiness = 8.0;
+
+    /** Diurnal rate-modulation period, cycles. */
+    Cycle diurnalPeriod = 1'000'000;
+
+    /** Workload classes tenants draw from (suite names, e.g. "WL3",
+     *  "CV7"); empty = the full 34-workload catalog. */
+    std::vector<std::string> workloadSet;
+
+    bool enabled() const { return !process.empty(); }
+
+    /** Canonical one-line rendering, used in checkpoint fingerprints
+     *  and job labels; every determinism-relevant field appears. */
+    std::string describe() const;
+};
+
+/**
+ * Expand @p cfg into the arrival stream: per-tenant independent
+ * processes (tenant t's stream is seeded with mix(seed, t)), merged
+ * and sorted by (arriveAt, tenant). Closed-loop processes chain each
+ * tenant's jobs via Arrival::dependsOn. Throws std::invalid_argument
+ * for an unknown process name, an empty catalog selection, or a zero
+ * tenant/job count.
+ */
+std::vector<Arrival> generate(const TrafficConfig &cfg);
+
+/** SJF service-demand estimate for a workload's phase list. */
+double estimateCost(const std::vector<kir::Loop> &loops);
+
+} // namespace occamy::traffic
+
+#endif // OCCAMY_TRAFFIC_TRAFFIC_HH

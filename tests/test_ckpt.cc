@@ -17,6 +17,7 @@
  * System un-booted.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -32,6 +33,7 @@
 #include "policy/sharing_model.hh"
 #include "sim/system.hh"
 #include "sim/trace.hh"
+#include "workloads/suite.hh"
 
 namespace occamy
 {
@@ -264,6 +266,187 @@ TEST(CkptPeriodic, OverwritesLatestAndResumesIdentically)
     EXPECT_EQ(trace::toJson(r), ref.json);
     EXPECT_EQ(r.statsText, ref.stats);
     std::remove(file.c_str());
+}
+
+// ------------------------------------------------- traffic streams
+
+/** Standard traffic setup used by the traffic checkpoint tests. */
+traffic::TrafficConfig
+trafficConfig()
+{
+    traffic::TrafficConfig tc;
+    tc.process = "poisson";
+    tc.scheduler = "sjf";
+    tc.tenants = 2;
+    tc.seed = 13;
+    tc.jobsPerTenant = 2;
+    tc.meanGapCycles = 20'000.0;
+    tc.sloCycles = 1'000'000;
+    return tc;
+}
+
+void
+setupTraffic(System &sys, const traffic::TrafficConfig &tc)
+{
+    sys.setWorkload(0, "idle0", {});
+    sys.setWorkload(1, "idle1", {});
+    for (const traffic::Arrival &a : traffic::generate(tc))
+        sys.enqueueArrival(a);
+    sys.setDispatcher(traffic::dispatcherByName(tc.scheduler));
+}
+
+/** Restore-equivalence extends to runs with traffic state: arrival
+ *  bookkeeping, dispatcher choice and SLO accounting all survive the
+ *  pause boundary byte-identically. */
+TEST(CkptTraffic, TrafficRunRestoresByteIdentically)
+{
+    const traffic::TrafficConfig tc = trafficConfig();
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    RunOptions opt;
+    opt.maxCycles = 20'000'000;
+
+    auto straight = [&] {
+        System sys(cfg);
+        setupTraffic(sys, tc);
+        return sys.run(opt);
+    };
+    const RunResult ref = straight();
+    ASSERT_FALSE(ref.timedOut);
+    ASSERT_FALSE(ref.trafficJobs.empty());
+
+    // Checkpoint mid-stream (before the last arrival lands) and resume.
+    std::string bytes;
+    {
+        System sys(cfg);
+        setupTraffic(sys, tc);
+        sys.boot(opt);
+        sys.advance(15'000);
+        std::ostringstream os(std::ios::binary);
+        sys.saveCheckpoint(os);
+        bytes = os.str();
+    }
+    System sys(cfg);
+    setupTraffic(sys, tc);
+    std::istringstream is(bytes, std::ios::binary);
+    sys.restoreCheckpoint(is, opt);
+    sys.advance();
+    const RunResult resumed = sys.finalize();
+
+    EXPECT_EQ(trace::toJson(ref), trace::toJson(resumed));
+    EXPECT_EQ(ref.statsText, resumed.statsText);
+    EXPECT_EQ(ref.sloViolations, resumed.sloViolations);
+    ASSERT_EQ(ref.trafficJobs.size(), resumed.trafficJobs.size());
+    for (std::size_t i = 0; i < ref.trafficJobs.size(); ++i) {
+        EXPECT_EQ(ref.trafficJobs[i].arrive,
+                  resumed.trafficJobs[i].arrive) << i;
+        EXPECT_EQ(ref.trafficJobs[i].admit,
+                  resumed.trafficJobs[i].admit) << i;
+        EXPECT_EQ(ref.trafficJobs[i].finish,
+                  resumed.trafficJobs[i].finish) << i;
+    }
+}
+
+/** A traffic checkpoint never restores into a traffic-free System (and
+ *  vice versa): the fingerprint covers the traffic configuration. */
+TEST(CkptTraffic, TrafficPresenceMismatchFailsLoudly)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    RunOptions opt;
+    opt.maxCycles = 20'000'000;
+
+    std::string with_traffic;
+    {
+        System sys(cfg);
+        setupTraffic(sys, trafficConfig());
+        sys.boot(opt);
+        sys.advance(5'000);
+        std::ostringstream os(std::ios::binary);
+        sys.saveCheckpoint(os);
+        with_traffic = os.str();
+    }
+
+    // Traffic checkpoint into a plain System.
+    {
+        System sys(cfg);
+        setup(sys);
+        std::istringstream is(with_traffic, std::ios::binary);
+        EXPECT_THROW(sys.restoreCheckpoint(is, opt), ckpt::Error);
+        EXPECT_FALSE(sys.booted());
+    }
+
+    // Plain checkpoint into a traffic System.
+    std::string plain;
+    {
+        System sys(cfg);
+        setup(sys);
+        sys.boot(opt);
+        sys.advance(5'000);
+        std::ostringstream os(std::ios::binary);
+        sys.saveCheckpoint(os);
+        plain = os.str();
+    }
+    System sys(cfg);
+    setupTraffic(sys, trafficConfig());
+    std::istringstream is(plain, std::ios::binary);
+    EXPECT_THROW(sys.restoreCheckpoint(is, opt), ckpt::Error);
+    EXPECT_FALSE(sys.booted());
+}
+
+// ------------------------------------------------- pinned fingerprints
+
+/** Checkpoint fingerprint of a reference traffic-free setup. The
+ *  fingerprint is the first u64 of the "meta" section: u32 magic, u32
+ *  version, u32 section tag, u64 section length, 4-byte section name,
+ *  then the value. */
+std::uint64_t
+fingerprintOf(SharingPolicy p, bool with_batch)
+{
+    const auto pairs = workloads::allPairs();
+    const workloads::Pair *pair = nullptr;
+    for (const auto &pr : pairs)
+        if (pr.label == "6+16")
+            pair = &pr;
+    if (pair == nullptr)
+        ADD_FAILURE() << "pair 6+16 missing from the suite";
+
+    System sys(MachineConfig::forPolicy(p, 2));
+    sys.setWorkload(0, pair->core0.name, pair->core0.loops);
+    sys.setWorkload(1, pair->core1.name, pair->core1.loops);
+    if (with_batch) {
+        const auto w8 = workloads::specWorkload(8);
+        sys.enqueueWorkload(w8.name, w8.loops);
+    }
+    sys.boot({});
+    std::ostringstream os(std::ios::binary);
+    sys.saveCheckpoint(os);
+    const std::string bytes = os.str();
+    const std::size_t off = 4 + 4 + 4 + 8 + 4;
+    std::uint64_t fp = 0;
+    for (int i = 0; i < 8; ++i)
+        fp |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(bytes[off + i]))
+              << (8 * i);
+    return fp;
+}
+
+/**
+ * Traffic-off fingerprint regression: these constants were pinned
+ * before the traffic engine landed, so any drift means a traffic-free
+ * run no longer serializes identically — exactly the regression the
+ * traffic integration must never cause. If a later change moves them
+ * *intentionally* (new determinism-relevant state), re-pin all three
+ * together and regenerate tests/golden.
+ */
+TEST(CkptFingerprint, TrafficOffFingerprintsAreUnchanged)
+{
+    EXPECT_EQ(fingerprintOf(SharingPolicy::Elastic, false),
+              0x1c18ebc9ed39bcf6ULL);
+    EXPECT_EQ(fingerprintOf(SharingPolicy::Elastic, true),
+              0x78203c5e19a8542dULL);
+    EXPECT_EQ(fingerprintOf(SharingPolicy::Private, true),
+              0xe203c1abe5c2e0feULL);
 }
 
 // ------------------------------------------------- format rejection

@@ -157,6 +157,80 @@ TEST(Runner, ProgressCallbackReachesCompletion)
     EXPECT_EQ(last.failed, 0u);
 }
 
+TEST(Runner, TrafficSweepDeterministicAcrossThreadCounts)
+{
+    // The acceptance property of the traffic engine: the same seeded
+    // sweep exports byte-identical JSON and CSV whether it runs on one
+    // worker thread or four.
+    traffic::TrafficConfig tc;
+    tc.process = "poisson";
+    tc.tenants = 4;
+    tc.seed = 7;
+    tc.jobsPerTenant = 2;
+    tc.meanGapCycles = 100'000.0;
+    tc.sloCycles = 1'500'000;
+    const auto jobs = runner::trafficSweepJobs(
+        tc, {SharingPolicy::Private, SharingPolicy::Elastic},
+        {"fcfs", "sjf", "edf", "oi"});
+    ASSERT_EQ(jobs.size(), 8u);
+
+    auto runWith = [&](unsigned threads) {
+        runner::RunnerOptions opt;
+        opt.numThreads = threads;
+        return runner::Runner(opt).run(jobs);
+    };
+    const runner::SweepResult serial = runWith(1);
+    const runner::SweepResult parallel = runWith(4);
+    EXPECT_TRUE(serial.allOk());
+    EXPECT_TRUE(parallel.allOk());
+
+    const std::string json = runner::sweepToJson(serial);
+    EXPECT_EQ(json, runner::sweepToJson(parallel));
+    std::ostringstream scsv, pcsv;
+    runner::writeSweepCsv(scsv, serial);
+    runner::writeSweepCsv(pcsv, parallel);
+    EXPECT_EQ(scsv.str(), pcsv.str());
+
+    // The exports actually carry the SLO metrics.
+    EXPECT_NE(json.find("\"latency_p50\":"), std::string::npos);
+    EXPECT_NE(json.find("\"latency_p99\":"), std::string::npos);
+    EXPECT_NE(json.find("\"fairness_jain\":"), std::string::npos);
+    EXPECT_NE(json.find("\"queueing_delay_mean\":"), std::string::npos);
+    EXPECT_NE(scsv.str().find("latency_p50"), std::string::npos);
+    EXPECT_NE(scsv.str().find("fairness_jain"), std::string::npos);
+
+    // Every scheduler replayed the identical arrival stream: the
+    // arrival count is uniform across the sweep.
+    for (const auto &j : serial.jobs) {
+        SCOPED_TRACE(j.label);
+        ASSERT_TRUE(j.hasTraffic);
+        EXPECT_EQ(j.trafficMetrics.arrivals, 8u);
+        EXPECT_EQ(j.trafficMetrics.completed, 8u);
+    }
+}
+
+TEST(Runner, UnknownTrafficNamesAreContained)
+{
+    runner::JobSpec bad;
+    bad.label = "bad-process";
+    bad.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    bad.traffic.process = "nonesuch";
+    const runner::JobResult r = runner::Runner::runOne(bad);
+    EXPECT_EQ(r.status, runner::JobStatus::Failed);
+    EXPECT_NE(r.error.find("unknown traffic process"),
+              std::string::npos);
+
+    runner::JobSpec sched;
+    sched.label = "bad-scheduler";
+    sched.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    sched.traffic.process = "poisson";
+    sched.traffic.scheduler = "nonesuch";
+    const runner::JobResult r2 = runner::Runner::runOne(sched);
+    EXPECT_EQ(r2.status, runner::JobStatus::Failed);
+    EXPECT_NE(r2.error.find("unknown traffic scheduler"),
+              std::string::npos);
+}
+
 TEST(Runner, BatchJobsRunThroughTheQueue)
 {
     runner::JobSpec spec;

@@ -29,6 +29,8 @@
 #include "policy/sharing_model.hh"
 #include "runner/runner.hh"
 #include "runner/sweep.hh"
+#include "traffic/arrival.hh"
+#include "traffic/scheduler.hh"
 #include "workloads/suite.hh"
 
 using namespace occamy;
@@ -63,6 +65,17 @@ struct Options
     std::string checkpointPrefix;
     Cycle checkpointEvery = 0;
     std::string restoreFrom;
+
+    // Multi-tenant traffic mode (replaces the pair sweep when set).
+    std::string traffic;            ///< Arrival-process name; "" = off.
+    unsigned tenants = 2;
+    std::uint64_t arrivalSeed = 1;
+    double sloMs = 0.0;             ///< SLO budget in milliseconds.
+    double trafficRate = 200'000.0; ///< Mean inter-arrival gap, cycles.
+    std::uint64_t trafficJobs = 4;  ///< Jobs per tenant stream.
+    std::string scheduler = "fcfs"; ///< Dispatcher name or "all".
+    bool listSchedulers = false;
+    bool listTraffic = false;
 };
 
 void
@@ -75,8 +88,9 @@ usage()
         "  --pairs SPEC     all|spec|opencv, or a comma list of 1-based\n"
         "                   indices into the 25-pair catalog and/or\n"
         "                   labels like 6+16 (default: spec)\n"
-        "  --policy P       registered policy name (private|fts|vls|\n"
-        "                   occamy|vls-wc) or 'all' (default: all)\n"
+        "  --policy P       registered policy names (private|fts|vls|\n"
+        "                   occamy|vls-wc), comma list allowed, or\n"
+        "                   'all' (default: all)\n"
         "  --max-cycles N   per-job simulation cap (default 4e7)\n"
         "  --json-out FILE  write the aggregated sweep JSON\n"
         "  --csv-out FILE   write the per-job summary CSV\n"
@@ -109,6 +123,22 @@ usage()
         "                   with --checkpoint-out)\n"
         "  --restore F      resume from checkpoint F; the sweep must\n"
         "                   select exactly one pair and one policy\n"
+        "  --traffic PROC   multi-tenant traffic mode: stochastic\n"
+        "                   arrivals from process PROC (poisson|bursty|\n"
+        "                   diurnal|closed) swept over policy x\n"
+        "                   scheduler instead of the pair sweep\n"
+        "  --tenants N      tenant streams (default 2)\n"
+        "  --arrival-seed N deterministic arrival-stream seed (default\n"
+        "                   1; same seed = byte-identical stream)\n"
+        "  --slo-ms X       per-job SLO budget in milliseconds of\n"
+        "                   simulated time (default: no deadline)\n"
+        "  --traffic-rate G mean inter-arrival gap per tenant, cycles\n"
+        "                   (default 200000)\n"
+        "  --traffic-jobs N jobs generated per tenant (default 4)\n"
+        "  --scheduler S    dispatch discipline (fcfs|sjf|edf|oi) or\n"
+        "                   'all' (default fcfs)\n"
+        "  --list-traffic   print registered arrival processes and exit\n"
+        "  --list-schedulers  print registered dispatchers and exit\n"
         "  --list           print the pair catalog with indices\n"
         "  --list-workloads print the workload catalog and exit\n"
         "  --list-policies  print registered sharing policies and exit\n"
@@ -208,10 +238,15 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
             if (std::strcmp(v, "all") == 0) {
                 opt.policies.clear();    // = every registered policy.
-            } else if (auto p = parsePolicy(v)) {
-                opt.policies = {*p};
             } else {
-                return false;
+                // One name or a comma list, e.g. "private,occamy".
+                opt.policies.clear();
+                for (const std::string &tok : splitCommas(v)) {
+                    auto p = parsePolicy(tok);
+                    if (!p)
+                        return false;
+                    opt.policies.push_back(*p);
+                }
             }
         } else if (arg == "--max-cycles") {
             const char *v = next();
@@ -302,6 +337,45 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.restoreFrom = v;
+        } else if (arg == "--traffic") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.traffic = v;
+        } else if (arg == "--tenants") {
+            const char *v = next();
+            if (!v || std::atoi(v) < 1)
+                return false;
+            opt.tenants = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--arrival-seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.arrivalSeed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--slo-ms") {
+            const char *v = next();
+            if (!v || std::atof(v) <= 0)
+                return false;
+            opt.sloMs = std::atof(v);
+        } else if (arg == "--traffic-rate") {
+            const char *v = next();
+            if (!v || std::atof(v) <= 0)
+                return false;
+            opt.trafficRate = std::atof(v);
+        } else if (arg == "--traffic-jobs") {
+            const char *v = next();
+            if (!v || std::atoll(v) < 1)
+                return false;
+            opt.trafficJobs = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--scheduler") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.scheduler = v;
+        } else if (arg == "--list-traffic") {
+            opt.listTraffic = true;
+        } else if (arg == "--list-schedulers") {
+            opt.listSchedulers = true;
         } else if (arg == "--list") {
             opt.list = true;
         } else if (arg == "--list-workloads") {
@@ -346,6 +420,20 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (opt.listTraffic) {
+        std::printf("registered arrival processes (--traffic):\n");
+        for (const traffic::ArrivalProcess *p : traffic::allProcesses())
+            std::printf("  %-8s %s\n", p->key(), p->summary());
+        return 0;
+    }
+
+    if (opt.listSchedulers) {
+        std::printf("registered dispatch disciplines (--scheduler):\n");
+        for (const traffic::Dispatcher *d : traffic::allDispatchers())
+            std::printf("  %-8s %s\n", d->key(), d->summary());
+        return 0;
+    }
+
     if (opt.listWorkloads) {
         std::printf("SPEC workloads:\n");
         for (unsigned n = 1; n <= 22; ++n) {
@@ -376,10 +464,50 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const auto pairs = selectPairs(opt.pairs);
-    if (pairs.empty()) {
-        usage();
-        return 2;
+    std::vector<workloads::Pair> pairs;
+    std::vector<runner::JobSpec> jobs;
+    if (!opt.traffic.empty()) {
+        // Traffic mode: policy x scheduler ablation over one seeded
+        // arrival stream. Validate names up front so a typo is a usage
+        // error, not N contained job failures.
+        if (!traffic::processByName(opt.traffic)) {
+            std::fprintf(stderr, "unknown traffic process: %s\n",
+                         opt.traffic.c_str());
+            return 2;
+        }
+        std::vector<std::string> scheds;
+        if (opt.scheduler == "all") {
+            for (const traffic::Dispatcher *d :
+                 traffic::allDispatchers())
+                scheds.push_back(d->key());
+        } else {
+            if (!traffic::dispatcherByName(opt.scheduler)) {
+                std::fprintf(stderr, "unknown scheduler: %s\n",
+                             opt.scheduler.c_str());
+                return 2;
+            }
+            scheds = {opt.scheduler};
+        }
+        traffic::TrafficConfig tc;
+        tc.process = opt.traffic;
+        tc.tenants = opt.tenants;
+        tc.seed = opt.arrivalSeed;
+        tc.jobsPerTenant = opt.trafficJobs;
+        tc.meanGapCycles = opt.trafficRate;
+        jobs = runner::trafficSweepJobs(tc, opt.policies, scheds,
+                                        opt.maxCycles);
+        // The SLO budget is given in simulated milliseconds; convert
+        // against each job's own clock (ms x GHz x 1e6 cycles).
+        if (opt.sloMs > 0)
+            for (auto &spec : jobs)
+                spec.traffic.sloCycles = static_cast<Cycle>(
+                    opt.sloMs * spec.cfg.ghz * 1e6);
+    } else {
+        pairs = selectPairs(opt.pairs);
+        if (pairs.empty()) {
+            usage();
+            return 2;
+        }
     }
 
     runner::RunnerOptions ropt;
@@ -388,7 +516,8 @@ main(int argc, char **argv)
     if (opt.progress)
         ropt.onProgress = runner::stderrProgress();
 
-    auto jobs = runner::pairSweepJobs(pairs, opt.policies, opt.maxCycles);
+    if (opt.traffic.empty())
+        jobs = runner::pairSweepJobs(pairs, opt.policies, opt.maxCycles);
     if (!opt.restoreFrom.empty()) {
         // A checkpoint names one run's state: tie it to one job.
         if (jobs.size() != 1) {
@@ -462,8 +591,26 @@ main(int argc, char **argv)
             std::printf("\n");
         }
 
+        // Per-job SLO digest in traffic mode (full detail goes to the
+        // JSON/CSV exports).
+        if (!opt.traffic.empty()) {
+            for (const auto &j : sweep.jobs) {
+                if (!j.hasTraffic)
+                    continue;
+                const traffic::TrafficMetrics &m = j.trafficMetrics;
+                std::printf("%3zu  %-22s done %llu/%llu p50 %.0f "
+                            "p99 %.0f jain %.3f slo_viol %llu\n",
+                            j.id, j.label.c_str(),
+                            static_cast<unsigned long long>(m.completed),
+                            static_cast<unsigned long long>(m.arrivals),
+                            m.latencyP50, m.latencyP99, m.fairnessJain,
+                            static_cast<unsigned long long>(
+                                m.sloViolations));
+            }
+        }
+
         // GM per-core speedups over Private when the sweep has them.
-        if (opt.policies.size() > 1 &&
+        if (opt.traffic.empty() && opt.policies.size() > 1 &&
             opt.policies[0] == SharingPolicy::Private && sweep.allOk()) {
             const std::size_t np = opt.policies.size();
             for (std::size_t p = 1; p < np; ++p) {
