@@ -1,6 +1,8 @@
 #include "area/area_model.hh"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "policy/sharing_model.hh"
 
@@ -78,6 +80,40 @@ AreaModel::breakdown(SharingPolicy policy, unsigned cores) const
         {"rob", rob},
         {"vec_cache", kVecCache * (cores / 2.0)},
     };
+    return b;
+}
+
+AreaBreakdown
+AreaModel::breakdown(const MachineConfig &cfg) const
+{
+    AreaBreakdown one = breakdown(cfg.policy, cfg.coresPerCluster());
+    if (cfg.numClusters == 1)
+        return one;
+    if (!canPrice(cfg.numClusters))
+        throw std::invalid_argument(
+            "AreaModel: cannot price " +
+            std::to_string(cfg.numClusters) +
+            " clusters (calibrated up to " +
+            std::to_string(kMaxClusters) + ")");
+
+    AreaBreakdown b;
+    b.policy = cfg.policy;
+    b.cores = cfg.numCores;
+    b.clusters = cfg.numClusters;
+    for (const auto &c : one.components)
+        b.components.push_back({c.name, c.mm2 * cfg.numClusters});
+
+    // Inter-cluster overhead grows with the topology's fan-in: the
+    // level-2 arbiter like a control structure, the interconnect as a
+    // fraction of the area it has to wire together.
+    const double doublings =
+        std::log2(static_cast<double>(cfg.numClusters));
+    b.components.push_back(
+        {"cluster_arbiter",
+         kArbiter * (1.0 + kControlScalePerDoubling * doublings)});
+    b.components.push_back(
+        {"interconnect", one.total() * cfg.numClusters *
+                             kInterconnectPerDoubling * doublings});
     return b;
 }
 

@@ -35,7 +35,8 @@ struct AreaComponent
 struct AreaBreakdown
 {
     SharingPolicy policy;
-    unsigned cores = 2;
+    unsigned cores = 2;       ///< Machine-wide core count.
+    unsigned clusters = 1;    ///< Co-processor clusters priced.
     std::vector<AreaComponent> components;
 
     double total() const;
@@ -47,10 +48,34 @@ class AreaModel
 {
   public:
     /**
-     * Compute the breakdown for @p policy with @p cores cores, total
-     * ExeBUs = 4 * cores (the paper's equal-resource scaling).
+     * Largest cluster count the interconnect/arbiter overhead terms
+     * are calibrated for (64 clusters x 8 cores covers the 432-core
+     * clustered RISC-V Occamy chip). MachineConfig::Builder rejects
+     * topologies beyond this.
+     */
+    static constexpr unsigned kMaxClusters = 64;
+
+    /** @return whether @p clusters is within the calibrated range. */
+    static constexpr bool canPrice(unsigned clusters)
+    {
+        return clusters >= 1 && clusters <= kMaxClusters;
+    }
+
+    /**
+     * Compute the breakdown for @p policy with @p cores cores sharing
+     * one co-processor of 4 * cores ExeBUs (the paper's equal-resource
+     * scaling).
      */
     AreaBreakdown breakdown(SharingPolicy policy, unsigned cores) const;
+
+    /**
+     * Compute the breakdown for a full (possibly clustered) machine:
+     * the per-cluster breakdown replicated numClusters times plus the
+     * inter-cluster interconnect and level-2 arbiter. Degenerates to
+     * breakdown(policy, cores) for 1-cluster configs. Throws
+     * std::invalid_argument when !canPrice(cfg.numClusters).
+     */
+    AreaBreakdown breakdown(const MachineConfig &cfg) const;
 
   private:
     // 2-core calibration (mm²). Derived from Fig. 12's fractions of the
@@ -69,6 +94,15 @@ class AreaModel
     /** Control/table overhead when scaling beyond 2 cores: +3% of the
      *  per-core pipeline structures per doubling (Section 4.2.1). */
     static constexpr double kControlScalePerDoubling = 0.03;
+
+    /** Level-2 lane manager (inter-cluster arbiter): twice the
+     *  intra-cluster Manager block, it holds per-cluster bandwidth
+     *  counters instead of per-core OI registers. */
+    static constexpr double kArbiter = 0.00400;
+
+    /** Inter-cluster interconnect (cluster <-> shared L2/DRAM ports):
+     *  +2% of the replicated cluster area per cluster doubling. */
+    static constexpr double kInterconnectPerDoubling = 0.02;
 
     /** FTS per-core full-width register contexts: the register file
      *  grows with cores * machine width instead of lanes. */

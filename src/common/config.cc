@@ -1,6 +1,9 @@
 #include "common/config.hh"
 
 #include <stdexcept>
+#include <string>
+
+#include "area/area_model.hh"
 
 namespace occamy
 {
@@ -37,19 +40,54 @@ MachineConfig
 MachineConfig::Builder::build() const
 {
     MachineConfig out = cfg_;
+    if (out.numClusters == 0)
+        throw std::invalid_argument(
+            "MachineConfig: a machine needs at least one cluster; use "
+            "topology(C, K) with C >= 1 (or cores(N) for a flat "
+            "machine)");
+    if (out.numCores == 0)
+        throw std::invalid_argument(
+            "MachineConfig: a cluster needs at least one core; use "
+            "topology(C, K) with K >= 1 (or cores(N) with N >= 1)");
+    if (out.numCores % out.numClusters != 0)
+        throw std::invalid_argument(
+            "MachineConfig: " + std::to_string(out.numCores) +
+            " cores do not divide into " +
+            std::to_string(out.numClusters) +
+            " uniform clusters; pick a topology(C, K) with C*K cores");
+    if (!AreaModel::canPrice(out.numClusters))
+        throw std::invalid_argument(
+            "MachineConfig: the area model prices at most " +
+            std::to_string(AreaModel::kMaxClusters) + " clusters, got " +
+            std::to_string(out.numClusters) +
+            "; shrink the topology or grow cores per cluster");
+    if (out.numClusters > 1 && out.interArbiterPeriod == 0)
+        throw std::invalid_argument(
+            "MachineConfig: interArbiterPeriod must be >= 1 cycle on a "
+            "clustered machine");
     if (!bus_set_)
-        out.numExeBUs = 4 * out.numCores;
+        out.numExeBUs = 4 * out.coresPerCluster();
+    if (out.numExeBUs < out.coresPerCluster())
+        throw std::invalid_argument(
+            "MachineConfig: " + std::to_string(out.numExeBUs) +
+            " ExeBUs per cluster cannot give each of " +
+            std::to_string(out.coresPerCluster()) +
+            " cluster cores a nonzero busShare(); raise exeBUs() or "
+            "use more, smaller clusters");
     if (!out.staticPlan.empty()) {
-        if (out.staticPlan.size() != out.numCores)
+        if (out.staticPlan.size() != out.coresPerCluster())
             throw std::invalid_argument(
-                "MachineConfig: staticPlan must have one entry per core");
+                "MachineConfig: staticPlan must have one entry per "
+                "cluster core (" +
+                std::to_string(out.coresPerCluster()) + " expected, " +
+                std::to_string(out.staticPlan.size()) + " given)");
         unsigned sum = 0;
         for (unsigned share : out.staticPlan)
             sum += share;
         if (sum > out.numExeBUs)
             throw std::invalid_argument(
                 "MachineConfig: staticPlan assigns more ExeBUs than "
-                "the machine has");
+                "the cluster has");
     }
     return out;
 }

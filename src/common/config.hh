@@ -78,8 +78,14 @@ struct CacheConfig
  */
 struct MachineConfig
 {
-    /** Number of scalar cores served by the co-processor. */
+    /** Number of scalar cores in the whole machine (all clusters). */
     unsigned numCores = 2;
+
+    /** Clusters the machine is organized into. Each cluster owns one
+     *  co-processor serving numCores/numClusters scalar cores; the
+     *  paper's flat 2-4-core machines are the degenerate 1-cluster
+     *  case. Use Builder::topology(C, K) to configure. */
+    unsigned numClusters = 1;
 
     /** Sharing policy (which of the four architectures to model). */
     SharingPolicy policy = SharingPolicy::Elastic;
@@ -87,7 +93,9 @@ struct MachineConfig
     /** Clock in GHz (for roofline GFLOP/s / GB/s conversions). */
     double ghz = 2.0;
 
-    /** Total homogeneous 128-bit execution units (8 => 32 lanes). */
+    /** Homogeneous 128-bit execution units per cluster co-processor
+     *  (8 => 32 lanes). On a 1-cluster machine this is the whole
+     *  machine's SIMD width. */
     unsigned numExeBUs = 8;
 
     /** 128-bit physical vector registers per RegBlk. */
@@ -154,6 +162,15 @@ struct MachineConfig
      *  pipelines drain, Section 5). */
     unsigned contextSwitchCycles = 200;
 
+    /** Cycles between inter-cluster bandwidth rebalances: the level-2
+     *  lane manager's re-planning period (clustered topologies only). */
+    unsigned interArbiterPeriod = 4096;
+
+    /** Extra dispatch cycles charged when the batch scheduler migrates
+     *  a queued workload onto a core outside its home cluster (cold
+     *  VecCache plus cross-cluster state movement). */
+    unsigned clusterMigrationCycles = 400;
+
     /** Batch-queue dispatch discipline. */
     SchedPolicy schedPolicy = SchedPolicy::Fcfs;
 
@@ -164,19 +181,40 @@ struct MachineConfig
      */
     std::vector<unsigned> staticPlan;
 
-    /** Total lanes (derived). */
-    unsigned totalLanes() const { return numExeBUs * kLanesPerBu; }
+    /** Scalar cores per cluster (topologies are uniform by
+     *  construction: Builder::topology(C, K) => C*K cores). */
+    unsigned coresPerCluster() const { return numCores / numClusters; }
+
+    /** Cluster owning global core id @p core. */
+    unsigned clusterOf(unsigned core) const
+    {
+        return core / coresPerCluster();
+    }
+
+    /** Index of global core id @p core within its cluster. */
+    unsigned localCore(unsigned core) const
+    {
+        return core % coresPerCluster();
+    }
+
+    /** Total lanes (derived, machine-wide across all clusters). */
+    unsigned totalLanes() const
+    {
+        return numClusters * numExeBUs * kLanesPerBu;
+    }
 
     /**
-     * ExeBUs statically owned by core @p core under an equal split:
-     * the floor share plus one of the remainder units, handed to the
-     * lowest-numbered cores — so every ExeBU is assigned even when
-     * numExeBUs % numCores != 0.
+     * ExeBUs statically owned by core @p core under an equal split of
+     * its cluster's co-processor: the floor share plus one of the
+     * remainder units, handed to the lowest-numbered cores of the
+     * cluster — so every ExeBU is assigned even when numExeBUs does
+     * not divide evenly.
      */
     unsigned busShare(unsigned core) const
     {
-        const unsigned rem = numExeBUs % numCores;
-        return numExeBUs / numCores + (core < rem ? 1 : 0);
+        const unsigned local_cores = coresPerCluster();
+        const unsigned rem = numExeBUs % local_cores;
+        return numExeBUs / local_cores + (localCore(core) < rem ? 1 : 0);
     }
 
     /** @return config preset for a registered architecture. */
@@ -202,13 +240,44 @@ class MachineConfig::Builder
   public:
     explicit Builder(SharingPolicy p) { cfg_.policy = p; }
 
+    /** Flat machine with @p n cores: shorthand for topology(1, n),
+     *  kept as the back-compat entry point for the paper's configs. */
     Builder &cores(unsigned n)
     {
         cfg_.numCores = n;
+        cfg_.numClusters = 1;
         return *this;
     }
 
-    /** Total ExeBUs; overrides the 4-per-core default. */
+    /**
+     * Clustered machine: @p clusters clusters of @p cores_per_cluster
+     * scalar cores, each cluster owning one co-processor. build()
+     * validates the shape (non-zero counts, busShare() feasibility,
+     * area-model priceability) and throws std::invalid_argument with
+     * an actionable message on a bad topology.
+     */
+    Builder &topology(unsigned clusters, unsigned cores_per_cluster)
+    {
+        cfg_.numClusters = clusters;
+        cfg_.numCores = clusters * cores_per_cluster;
+        return *this;
+    }
+
+    /** Inter-cluster arbiter re-planning period in cycles. */
+    Builder &interArbiterPeriod(unsigned cycles)
+    {
+        cfg_.interArbiterPeriod = cycles;
+        return *this;
+    }
+
+    /** Cross-cluster work-migration dispatch penalty in cycles. */
+    Builder &clusterMigrationCycles(unsigned cycles)
+    {
+        cfg_.clusterMigrationCycles = cycles;
+        return *this;
+    }
+
+    /** ExeBUs per cluster; overrides the 4-per-core default. */
     Builder &exeBUs(unsigned n)
     {
         cfg_.numExeBUs = n;
@@ -272,10 +341,13 @@ class MachineConfig::Builder
     }
 
     /**
-     * Finalize the config. Unless exeBUs() was called, sizes the
-     * machine at 4 ExeBUs per core. Validates a configured staticPlan
-     * (one entry per core, sum within the machine width), throwing
-     * std::invalid_argument on a malformed plan.
+     * Finalize the config. Unless exeBUs() was called, sizes each
+     * cluster at 4 ExeBUs per core. Validates the topology (non-zero
+     * cluster/core counts, every core gets a nonzero busShare(), the
+     * area model can price the cluster count) and a configured
+     * staticPlan (one entry per cluster core, sum within the cluster
+     * width), throwing std::invalid_argument with an actionable
+     * message on a misconfiguration.
      */
     MachineConfig build() const;
 

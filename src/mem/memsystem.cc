@@ -13,7 +13,8 @@ namespace occamy
 MemSystem::MemSystem(const MachineConfig &cfg)
     : cfg_(cfg),
       vec_cache_("vec_cache", cfg.vecCache),
-      l2_("l2", cfg.l2)
+      l2_("l2", cfg.l2),
+      dram_bpc_(cfg.dramBytesPerCycle)
 {
 }
 
@@ -29,9 +30,9 @@ unsigned
 MemSystem::dramBpcAt(Cycle now) const
 {
     if (!injector_)
-        return cfg_.dramBytesPerCycle;
+        return dram_bpc_;
     const unsigned div = std::max(1u, injector_->dramBandwidthDivisor(now));
-    return std::max(1u, cfg_.dramBytesPerCycle / div);
+    return std::max(1u, dram_bpc_ / div);
 }
 
 void

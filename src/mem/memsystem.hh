@@ -125,6 +125,21 @@ class MemSystem
         injector_ = inj;
     }
 
+    /**
+     * Re-grant this memory slice's share of the machine's DRAM
+     * bandwidth (the inter-cluster arbiter's lever on a clustered
+     * machine; 1-cluster configs never call this). Floored at
+     * 1 byte/cycle. Deliberately not checkpointed here: the arbiter
+     * owns the grants and restores them from its own ckpt section.
+     */
+    void setDramBytesPerCycle(unsigned bpc)
+    {
+        dram_bpc_ = bpc > 0 ? bpc : 1;
+    }
+
+    /** Currently granted DRAM bandwidth in bytes/cycle. */
+    unsigned dramBytesPerCycle() const { return dram_bpc_; }
+
   private:
     /** Effective DRAM fill latency at @p now (injected spikes added). */
     unsigned dramLatencyAt(Cycle now) const;
@@ -159,6 +174,10 @@ class MemSystem
     MachineConfig cfg_;
     Cache vec_cache_;
     Cache l2_;
+
+    /** Granted DRAM bandwidth; starts at cfg_.dramBytesPerCycle and is
+     *  re-granted by the inter-cluster arbiter on clustered machines. */
+    unsigned dram_bpc_;
 
     /** VecCache port busy time in fractional cycles (an access of B
      *  bytes occupies the 2x64 B port for B/128 cycles). */

@@ -105,6 +105,17 @@ enum class EventKind : std::uint8_t
                     ///< a=queue idx, b=completion latency.
     SloViolation,   ///< Completion latency exceeded the SLO budget.
                     ///< core=where, a=queue idx, b=overshoot cycles.
+
+    // --- Inter-cluster arbiter (src/lanemgr, clustered topologies).
+    // --- Appended after the traffic kinds to keep the binary trace
+    // --- format stable. Never emitted on a 1-cluster machine. ---
+    ClusterArbiterPlan, ///< Bandwidth rebalance published. a=rebalance
+                        ///< ordinal, b=cluster count, x=smallest and
+                        ///< y=largest granted share (bytes/cycle).
+    ClusterArbiterMigrate, ///< Queued workload adopted across
+                           ///< clusters. core=adopting core (global
+                           ///< id), a=queue idx, b=(home cluster
+                           ///< << 32) | adopting cluster.
 };
 
 /** Coarse category bits used to subset recording. */
@@ -132,9 +143,13 @@ inline constexpr EventMask kEvFault = 1u << 7;
  *  traffic arrivals are enqueued, so traffic-free traces are
  *  unaffected. */
 inline constexpr EventMask kEvTraffic = 1u << 8;
+/** Inter-cluster arbiter events (level-2 lane manager). Included in
+ *  kEvAll like kEvFault/kEvTraffic: a 1-cluster machine never emits
+ *  them, so flat-machine traces are unaffected. */
+inline constexpr EventMask kEvCluster = 1u << 9;
 inline constexpr EventMask kEvAll =
     kEvPhase | kEvPipeline | kEvPartition | kEvReconfig | kEvMem |
-    kEvSched | kEvFault | kEvTraffic;
+    kEvSched | kEvFault | kEvTraffic | kEvCluster;
 
 /** @return the category bit of @p k. */
 constexpr EventMask
@@ -178,6 +193,9 @@ categoryOf(EventKind k)
       case EventKind::JobComplete:
       case EventKind::SloViolation:
         return kEvTraffic;
+      case EventKind::ClusterArbiterPlan:
+      case EventKind::ClusterArbiterMigrate:
+        return kEvCluster;
     }
     return 0;
 }

@@ -37,6 +37,9 @@ eventKindName(EventKind k)
       case EventKind::JobAdmit: return "job_admit";
       case EventKind::JobComplete: return "job_complete";
       case EventKind::SloViolation: return "slo_violation";
+      case EventKind::ClusterArbiterPlan: return "cluster_arbiter_plan";
+      case EventKind::ClusterArbiterMigrate:
+        return "cluster_arbiter_migrate";
     }
     return "unknown";
 }
@@ -67,6 +70,8 @@ parseEventMask(const std::string &spec)
             mask |= kEvFault;
         else if (t == "traffic")
             mask |= kEvTraffic;
+        else if (t == "cluster")
+            mask |= kEvCluster;
     };
     for (char c : spec) {
         if (c == ',') {

@@ -177,9 +177,11 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
 {
     std::size_t max_cores = 0;
     std::size_t max_tenants = 0;
+    std::size_t max_clusters = 0;
     bool any_traffic = false;
     for (const auto &j : sweep.jobs) {
         max_cores = std::max(max_cores, j.result.cores.size());
+        max_clusters = std::max(max_clusters, j.result.clusters.size());
         if (j.hasTraffic) {
             any_traffic = true;
             max_tenants = std::max(
@@ -198,6 +200,14 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
               "fairness_jain";
         for (std::size_t t = 0; t < max_tenants; ++t)
             os << ",tenant" << t << "_throughput";
+    }
+    // Cluster columns likewise appear only when some job ran a
+    // clustered topology.
+    if (max_clusters > 0) {
+        os << ",clusters,arbiter_rebalances";
+        for (std::size_t k = 0; k < max_clusters; ++k)
+            os << ",cluster" << k << "_dram_share_bpc,cluster" << k
+               << "_migrated_in";
     }
     for (std::size_t c = 0; c < max_cores; ++c)
         os << ",core" << c << "_workload,core" << c << "_finish";
@@ -228,6 +238,17 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
                 os << ",,,,,,,,";
                 for (std::size_t t = 0; t < max_tenants; ++t)
                     os << ",";
+            }
+        }
+        if (max_clusters > 0) {
+            os << "," << j.result.clusters.size() << ","
+               << j.result.arbiterRebalances;
+            for (std::size_t k = 0; k < max_clusters; ++k) {
+                if (k < j.result.clusters.size())
+                    os << "," << j.result.clusters[k].dramShareBpc
+                       << "," << j.result.clusters[k].migratedIn;
+                else
+                    os << ",,";
             }
         }
         for (std::size_t c = 0; c < max_cores; ++c) {

@@ -11,11 +11,66 @@
 #include "ckpt/ckpt.hh"
 #include "fault/injector.hh"
 #include "kir/analysis.hh"
+#include "lanemgr/cluster_arbiter.hh"
 #include "lanemgr/partitioner.hh"
 #include "policy/sharing_model.hh"
 
 namespace occamy
 {
+
+/**
+ * One cluster of the machine: a co-processor plus the memory system it
+ * sits on, constructed from the cluster's flat K-core *view* of the
+ * config. On a 1-cluster machine the view is the config itself, so
+ * component construction (and hence every artifact) is byte-identical
+ * to the pre-cluster code. Named (not anonymous-namespace) because it
+ * is a subobject of System::Ctx, which is declared in the header.
+ */
+struct SystemCluster
+{
+    MachineConfig view;     ///< Flat K-core view of this cluster.
+    MemSystem mem;
+    CoProcessor coproc;
+
+    /** Snapshot groups are built once and re-sampled each period; the
+     *  same groups feed the final statsText dump. */
+    stats::Group mem_group;
+    stats::Group cp_group;
+
+    SystemCluster(const MachineConfig &v, const std::string &mem_name,
+                  const std::string &cp_name)
+        : view(v), mem(view), coproc(view, mem), mem_group(mem_name),
+          cp_group(cp_name)
+    {
+    }
+};
+
+namespace
+{
+
+/**
+ * The flat view cluster @p k of @p cfg is built from: K local cores,
+ * the per-cluster ExeBU count, this cluster's initial DRAM grant, and
+ * a 1/C slice of the shared L2. numClusters == 1 returns the config
+ * unchanged.
+ */
+MachineConfig
+clusterView(const MachineConfig &cfg, unsigned initial_dram_bpc)
+{
+    if (cfg.numClusters == 1)
+        return cfg;
+    MachineConfig v = cfg;
+    v.numClusters = 1;
+    v.numCores = cfg.coresPerCluster();
+    v.dramBytesPerCycle = initial_dram_bpc;
+    v.l2.sizeBytes = std::max<std::uint64_t>(
+        cfg.l2.sizeBytes / cfg.numClusters, 1);
+    v.l2.bytesPerCycle =
+        std::max(cfg.l2.bytesPerCycle / cfg.numClusters, 1u);
+    return v;
+}
+
+} // namespace
 
 /**
  * Everything one booted run owns: the machine, the compiled programs,
@@ -30,8 +85,23 @@ struct System::Ctx
     MachineConfig cfg;          ///< Resolved (static plan filled in).
     const policy::SharingModel &model;
 
-    MemSystem mem;
-    CoProcessor coproc;
+    /** One entry per cluster; flat machines are the 1-cluster case. */
+    std::vector<std::unique_ptr<SystemCluster>> clusters;
+    /** Level-2 lane manager; only clustered machines have one. */
+    std::unique_ptr<ClusterArbiter> arbiter;
+    unsigned ncl = 1;           ///< cfg.numClusters, cached.
+    unsigned cpk = 1;           ///< Cores per cluster, cached.
+
+    /** Cluster that owns global core @p c. */
+    SystemCluster &cl(unsigned c) { return *clusters[c / cpk]; }
+    const SystemCluster &cl(unsigned c) const
+    {
+        return *clusters[c / cpk];
+    }
+    /** Global core id -> cluster-local core id. */
+    CoreId lc(unsigned c) const { return static_cast<CoreId>(c % cpk); }
+    unsigned clusterOf(unsigned c) const { return c / cpk; }
+
     std::unique_ptr<fault::FaultInjector> injector;
 
     std::vector<std::unique_ptr<Program>> programs;
@@ -44,11 +114,6 @@ struct System::Ctx
     std::vector<std::pair<CoreId, std::uint64_t>> compile_log;
     /** Per core: index into `programs` of the installed program. */
     std::vector<std::uint64_t> core_prog;
-
-    /** Snapshot groups are built once and re-sampled each period; the
-     *  same groups feed the final statsText dump. */
-    stats::Group mem_group{"system.mem"};
-    stats::Group cp_group{"system.coproc"};
 
     RunResult result;
     unsigned total_lanes = 0;
@@ -89,11 +154,22 @@ struct System::Ctx
     Cycle last_finish = 0;
     bool complete = false;
 
-    Ctx(const MachineConfig &resolved, const RunOptions &o)
+    Ctx(const MachineConfig &resolved,
+        const std::vector<MachineConfig> &views, const RunOptions &o)
         : opt(o), cfg(resolved), model(policy::model(cfg.policy)),
-          mem(cfg), coproc(cfg, mem),
-          roofline(RooflineParams::fromConfig(cfg))
+          ncl(cfg.numClusters), cpk(cfg.coresPerCluster())
     {
+        for (unsigned k = 0; k < ncl; ++k) {
+            const std::string prefix =
+                ncl == 1 ? std::string("system")
+                         : "system.cluster" + std::to_string(k);
+            clusters.push_back(std::make_unique<SystemCluster>(
+                views[k], prefix + ".mem", prefix + ".coproc"));
+        }
+        // All clusters share one machine shape; the roofline used for
+        // scheduling decisions is derived from cluster 0's view (== the
+        // config on a flat machine).
+        roofline = RooflineParams::fromConfig(clusters[0]->view);
     }
 };
 
@@ -134,8 +210,11 @@ System::compileAndBind(Ctx &x, CoreId c, const std::string &name,
 {
     // Compile a workload for a core and bind its arrays into a private,
     // staggered address region (distinct cache-set alignment per slot).
-    const unsigned fixed_vl = x.model.perCoreFixedVl(x.cfg, c);
-    CompileOptions opts = CompileOptions::forMachine(x.cfg, fixed_vl);
+    // Compilation targets the owning cluster's view (== the config on a
+    // flat machine), with the core's cluster-local id.
+    const MachineConfig &view = x.cl(c).view;
+    const unsigned fixed_vl = x.model.perCoreFixedVl(view, x.lc(c));
+    CompileOptions opts = CompileOptions::forMachine(view, fixed_vl);
     Compiler compiler(opts);
     auto prog = std::make_unique<Program>(compiler.compile(name, loops));
     const unsigned slot = x.region++;
@@ -156,36 +235,72 @@ System::boot(const RunOptions &opt)
     MachineConfig cfg = cfg_;
     const policy::SharingModel &model = policy::model(cfg.policy);
 
-    // Offline static lane plan (Section 7.1's static spatial sharing,
-    // and work-conserving variants entitled by the same plan).
-    if (model.wantsOfflineStaticPlan() && cfg.staticPlan.empty()) {
-        std::vector<std::vector<PhaseOI>> phase_ois(cfg.numCores);
-        std::vector<bool> will_run(cfg.numCores, false);
-        for (unsigned c = 0; c < cfg.numCores; ++c) {
-            for (const auto &loop : loops_[c])
-                phase_ois[c].push_back(kir::phaseOI(
-                    loop, cfg.vecCache.sizeBytes, cfg.l2.sizeBytes));
-            will_run[c] = !loops_[c].empty() || !queue_.empty();
+    // Per-cluster flat views, each with its own offline static lane
+    // plan (Section 7.1's static spatial sharing, and work-conserving
+    // variants entitled by the same plan). On a flat machine the one
+    // view is the config itself and the legacy resolution path runs
+    // unchanged; on a clustered machine each cluster resolves a plan
+    // over its own K local cores.
+    std::unique_ptr<ClusterArbiter> arbiter;
+    std::vector<MachineConfig> views;
+    if (cfg.numClusters == 1) {
+        if (model.wantsOfflineStaticPlan() && cfg.staticPlan.empty()) {
+            std::vector<std::vector<PhaseOI>> phase_ois(cfg.numCores);
+            std::vector<bool> will_run(cfg.numCores, false);
+            for (unsigned c = 0; c < cfg.numCores; ++c) {
+                for (const auto &loop : loops_[c])
+                    phase_ois[c].push_back(kir::phaseOI(
+                        loop, cfg.vecCache.sizeBytes, cfg.l2.sizeBytes));
+                will_run[c] = !loops_[c].empty() || !queue_.empty();
+            }
+            model.resolveStaticPlan(cfg, phase_ois, will_run);
         }
-        model.resolveStaticPlan(cfg, phase_ois, will_run);
+        views.push_back(cfg);
+    } else {
+        arbiter = std::make_unique<ClusterArbiter>(
+            cfg.numClusters, cfg.dramBytesPerCycle,
+            cfg.interArbiterPeriod);
+        const unsigned K = cfg.coresPerCluster();
+        for (unsigned k = 0; k < cfg.numClusters; ++k) {
+            MachineConfig v = clusterView(cfg, arbiter->shares()[k]);
+            if (model.wantsOfflineStaticPlan() && v.staticPlan.empty()) {
+                std::vector<std::vector<PhaseOI>> phase_ois(K);
+                std::vector<bool> will_run(K, false);
+                for (unsigned i = 0; i < K; ++i) {
+                    const unsigned g = k * K + i;
+                    for (const auto &loop : loops_[g])
+                        phase_ois[i].push_back(kir::phaseOI(
+                            loop, v.vecCache.sizeBytes,
+                            v.l2.sizeBytes));
+                    will_run[i] =
+                        !loops_[g].empty() || !queue_.empty();
+                }
+                model.resolveStaticPlan(v, phase_ois, will_run);
+            }
+            views.push_back(std::move(v));
+        }
     }
 
-    ctx_ = std::make_unique<Ctx>(cfg, opt);
+    ctx_ = std::make_unique<Ctx>(cfg, views, opt);
     Ctx &x = *ctx_;
+    x.arbiter = std::move(arbiter);
 
-    // Fault injection (src/fault): one injector serves the whole
-    // machine. Null plan = fault-free, and none of the hooks fire.
+    // Fault injection (src/fault): the injector's consumable plan is a
+    // single stateful stream, so it attaches to cluster 0's components
+    // (the whole machine on a flat config). Null plan = fault-free, and
+    // none of the hooks fire.
     if (opt.faultPlan && !opt.faultPlan->empty()) {
         x.injector = std::make_unique<fault::FaultInjector>(
             *opt.faultPlan, x.cfg.numExeBUs);
-        x.coproc.setFaultInjector(x.injector.get());
-        x.mem.setFaultInjector(x.injector.get());
+        x.clusters[0]->coproc.setFaultInjector(x.injector.get());
+        x.clusters[0]->mem.setFaultInjector(x.injector.get());
     }
 
     x.core_prog.assign(x.cfg.numCores, 0);
     for (unsigned c = 0; c < x.cfg.numCores; ++c) {
+        SystemCluster &cl = x.cl(c);
         x.cores.push_back(std::make_unique<ScalarCore>(
-            static_cast<CoreId>(c), x.cfg, x.coproc));
+            x.lc(c), cl.view, cl.coproc));
         x.cores[c]->setProgram(compileAndBind(
             x, static_cast<CoreId>(c), names_[c], loops_[c]));
         x.core_prog[c] = x.programs.size() - 1;
@@ -193,13 +308,17 @@ System::boot(const RunOptions &opt)
 
     // Attach the trace sink after construction so boot-time plumbing
     // (e.g. initial lane grants) produces no events.
-    x.mem.setEventSink(opt.sink);
-    x.coproc.setEventSink(opt.sink);
+    for (auto &cl : x.clusters) {
+        cl->mem.setEventSink(opt.sink);
+        cl->coproc.setEventSink(opt.sink);
+    }
     for (auto &core : x.cores)
         core->setEventSink(opt.sink);
 
-    x.mem.regStats(x.mem_group);
-    x.coproc.regStats(x.cp_group);
+    for (auto &cl : x.clusters) {
+        cl->mem.regStats(cl->mem_group);
+        cl->coproc.regStats(cl->cp_group);
+    }
 
     x.result.cores.resize(x.cfg.numCores);
     x.total_lanes = x.cfg.totalLanes();
@@ -215,11 +334,12 @@ System::boot(const RunOptions &opt)
     x.queue_oi.resize(queue_.size());
     if (x.cfg.schedPolicy == SchedPolicy::OiAware ||
         (dispatcher_ && dispatcher_->wantsOiScore())) {
+        const MachineConfig &view = x.clusters[0]->view;
         for (std::size_t q = 0; q < queue_.size(); ++q)
             if (!queue_[q].second.empty())
                 x.queue_oi[q] = kir::phaseOI(queue_[q].second.front(),
-                                             x.cfg.vecCache.sizeBytes,
-                                             x.cfg.l2.sizeBytes);
+                                             view.vecCache.sizeBytes,
+                                             view.l2.sizeBytes);
     }
 
     // Traffic state: every queue entry is immediately available unless
@@ -295,8 +415,6 @@ System::advance(Cycle stop_at)
     const unsigned bucket = opt.bucket;
     const MachineConfig &cfg = x.cfg;
     const policy::SharingModel &model = x.model;
-    MemSystem &mem = x.mem;
-    CoProcessor &coproc = x.coproc;
     auto &cores = x.cores;
     fault::FaultInjector *const injector = x.injector.get();
     RunResult &result = x.result;
@@ -334,14 +452,20 @@ System::advance(Cycle stop_at)
     // attainable rate relative to running alone with all lanes. Raw
     // GFLOP/s would never schedule a memory workload next to a compute
     // one; normalized progress rewards exactly that pairing.
+    // Lane partitioning is per cluster, so the candidate is scored
+    // against the other cores of the *target's* cluster (the whole
+    // machine on a flat config).
     auto progressWith = [&](const PhaseOI &cand, CoreId target) {
-        std::vector<PhaseOI> ois(cfg.numCores);
-        for (unsigned i = 0; i < cfg.numCores; ++i) {
+        SystemCluster &tc = x.cl(target);
+        std::vector<PhaseOI> ois(x.cpk);
+        for (unsigned i = 0; i < x.cpk; ++i) {
+            const unsigned g = x.clusterOf(target) * x.cpk + i;
             const PhaseOI &running =
-                coproc.resourceTable().core(static_cast<CoreId>(i)).oi;
-            ois[i] = running.active() ? running : x.sched_oi[i];
+                tc.coproc.resourceTable()
+                    .core(static_cast<CoreId>(i)).oi;
+            ois[i] = running.active() ? running : x.sched_oi[g];
         }
-        ois[target] = cand;
+        ois[x.lc(target)] = cand;
         const auto plan = greedyPartition(x.roofline, ois, cfg.numExeBUs);
 
         // Memory-bandwidth ceilings are machine-wide: co-running
@@ -416,15 +540,37 @@ System::advance(Cycle stop_at)
                 return queue_.size();   // kDefer: leave the core idle.
             return pending[sel].queueIdx;
         }
+        // Clustered machines prefer work whose home cluster is the
+        // idle core's own (queue entry q's home is q % numClusters):
+        // adopting a foreign entry is still allowed — that is the
+        // work-migration path — but costs clusterMigrationCycles and
+        // is only taken when the home clusters have nothing ready.
+        const unsigned here = x.clusterOf(core);
+        auto isHome = [&](std::size_t q) {
+            return static_cast<unsigned>(q % x.ncl) == here;
+        };
         if (cfg.schedPolicy == SchedPolicy::Fcfs) {
+            if (x.ncl > 1) {
+                for (std::size_t q = 0; q < queue_.size(); ++q)
+                    if (available(q) && isHome(q))
+                        return q;
+            }
             for (std::size_t q = 0; q < queue_.size(); ++q)
                 if (available(q))
                     return q;
         } else {
+            bool home_only = false;
+            if (x.ncl > 1) {
+                for (std::size_t q = 0; q < queue_.size(); ++q)
+                    if (available(q) && isHome(q)) {
+                        home_only = true;
+                        break;
+                    }
+            }
             std::size_t best = queue_.size();
             double best_tp = -1.0;
             for (std::size_t q = 0; q < queue_.size(); ++q) {
-                if (!available(q))
+                if (!available(q) || (home_only && !isHome(q)))
                     continue;
                 const double tp = progressWith(x.queue_oi[q], core);
                 if (tp > best_tp + 1e-9) {
@@ -452,7 +598,7 @@ System::advance(Cycle stop_at)
                 x.alloc_buckets[c].resize(last_b + 1, 0.0);
             }
             const unsigned alloc =
-                coproc.allocatedLanes(static_cast<CoreId>(c));
+                x.cl(c).coproc.allocatedLanes(x.lc(c));
             if (alloc == 0)
                 continue;
             for (Cycle cy = from; cy <= to;) {
@@ -468,6 +614,10 @@ System::advance(Cycle stop_at)
             }
         }
     };
+
+    // Per-cluster FTS busy-lane scale, hoisted so the cycle loop does
+    // not allocate. One entry on a flat machine.
+    std::vector<double> fts_scale(x.ncl, 1.0);
 
     // --- Cycle loop. ---
     for (; now < max_cycles; ++now) {
@@ -500,7 +650,34 @@ System::advance(Cycle stop_at)
         if (injector)
             injector->emitBoundaryEvents(now, opt.sink);
 
-        coproc.tick(now);
+        // Level-2 lane manager: at every interArbiterPeriod boundary
+        // the arbiter re-splits the machine's DRAM bandwidth across
+        // clusters in proportion to last-window demand. Clustered
+        // machines only — a flat machine has no arbiter.
+        if (x.arbiter && now > 0 &&
+            now % cfg.interArbiterPeriod == 0) {
+            std::vector<std::uint64_t> bytes(x.ncl);
+            for (unsigned k = 0; k < x.ncl; ++k)
+                bytes[k] = x.clusters[k]->mem.dramBytes();
+            const std::vector<unsigned> &sh =
+                x.arbiter->rebalance(now, bytes);
+            for (unsigned k = 0; k < x.ncl; ++k)
+                x.clusters[k]->mem.setDramBytesPerCycle(sh[k]);
+            if (opt.sink &&
+                opt.sink->wants(obs::EventKind::ClusterArbiterPlan)) {
+                obs::Event ev;
+                ev.cycle = now;
+                ev.kind = obs::EventKind::ClusterArbiterPlan;
+                ev.a = x.arbiter->rebalances();
+                ev.b = x.ncl;
+                ev.x = *std::min_element(sh.begin(), sh.end());
+                ev.y = *std::max_element(sh.begin(), sh.end());
+                opt.sink->record(ev);
+            }
+        }
+
+        for (auto &cl : x.clusters)
+            cl->coproc.tick(now);
         for (auto &core : cores)
             core->tick(now);
 
@@ -508,12 +685,14 @@ System::advance(Cycle stop_at)
         // write + Fig. 9 retry spin) that outlives the deadline is
         // escalated to the scalar fallback instead of spinning forever.
         if (opt.watchdogCycles) {
-            for (auto &core : cores) {
-                if (!core->awaitingVl() ||
-                    now < core->spinSince() + opt.watchdogCycles)
+            for (unsigned c = 0; c < cfg.numCores; ++c) {
+                ScalarCore &core = *cores[c];
+                if (!core.awaitingVl() ||
+                    now < core.spinSince() + opt.watchdogCycles)
                     continue;
+                CoProcessor &cp = x.cl(c).coproc;
                 const VlRequestStatus st =
-                    coproc.vlRequestStatus(core->id());
+                    cp.vlRequestStatus(core.id());
                 if (st.resolved && st.ok)
                     continue;   // Grant landed; the spin ends next step.
                 ++x.watchdog_trips;
@@ -522,12 +701,12 @@ System::advance(Cycle stop_at)
                     obs::Event ev;
                     ev.cycle = now;
                     ev.kind = obs::EventKind::WatchdogTrip;
-                    ev.core = core->id();
-                    ev.a = coproc.currentVl(core->id());
-                    ev.b = now - core->spinSince();
+                    ev.core = static_cast<CoreId>(c);
+                    ev.a = cp.currentVl(core.id());
+                    ev.b = now - core.spinSince();
                     opt.sink->record(ev);
                 }
-                core->watchdogEscalate(now);
+                core.watchdogEscalate(now);
             }
         }
 
@@ -591,24 +770,28 @@ System::advance(Cycle stop_at)
         }
 
         bool all_done = true;
-        // Under FTS one full-width unit serves all cores, so busy lanes
-        // are capped machine-wide and attributed proportionally.
-        double fts_scale = 1.0;
+        // Under FTS one full-width unit serves each cluster's cores,
+        // so busy lanes are capped per cluster and attributed
+        // proportionally (machine-wide on a flat config).
         if (model.fullWidthExecution()) {
-            unsigned sum = 0;
-            for (unsigned c = 0; c < cfg.numCores; ++c)
-                sum += coproc.busyLanes(static_cast<CoreId>(c));
-            // The machine-wide cap is what still works: hard faults
-            // shrink the single shared unit (== total_lanes unfaulted).
-            const unsigned cap = coproc.usableLanes();
-            if (sum > cap)
-                fts_scale = static_cast<double>(cap) / sum;
+            for (unsigned k = 0; k < x.ncl; ++k) {
+                unsigned sum = 0;
+                for (unsigned i = 0; i < x.cpk; ++i)
+                    sum += x.clusters[k]->coproc.busyLanes(
+                        static_cast<CoreId>(i));
+                // The cluster-wide cap is what still works: hard
+                // faults shrink the single shared unit.
+                const unsigned cap =
+                    x.clusters[k]->coproc.usableLanes();
+                fts_scale[k] =
+                    sum > cap ? static_cast<double>(cap) / sum : 1.0;
+            }
         }
         for (unsigned c = 0; c < cfg.numCores; ++c) {
             if (!x.done[c]) {
                 const bool idle =
                     cores[c]->doneEmitting() &&
-                    coproc.coreDrained(static_cast<CoreId>(c)) &&
+                    x.cl(c).coproc.coreDrained(x.lc(c)) &&
                     x.dispatch_at[c] == kCycleNever;
                 if (idle) {
                     // Close the traffic lifecycle of the job that just
@@ -676,6 +859,38 @@ System::advance(Cycle stop_at)
                             --x.undispatched;
                             x.dispatch_at[c] =
                                 now + cfg.contextSwitchCycles;
+                            // Cross-cluster adoption (work migration)
+                            // pays the extra state-movement cost and
+                            // is accounted by the arbiter.
+                            if (x.ncl > 1) {
+                                const unsigned home =
+                                    static_cast<unsigned>(q % x.ncl);
+                                const unsigned here = x.clusterOf(c);
+                                if (home != here) {
+                                    x.dispatch_at[c] +=
+                                        cfg.clusterMigrationCycles;
+                                    x.arbiter->noteMigration(home,
+                                                             here);
+                                    if (opt.sink &&
+                                        opt.sink->wants(
+                                            obs::EventKind::
+                                                ClusterArbiterMigrate)) {
+                                        obs::Event ev;
+                                        ev.cycle = now;
+                                        ev.kind = obs::EventKind::
+                                            ClusterArbiterMigrate;
+                                        ev.core =
+                                            static_cast<CoreId>(c);
+                                        ev.a = q;
+                                        ev.b =
+                                            (static_cast<std::uint64_t>(
+                                                 home)
+                                             << 32) |
+                                            here;
+                                        opt.sink->record(ev);
+                                    }
+                                }
+                            }
                             if (x.has_traffic) {
                                 x.admit_at[q] = now;
                                 if (opt.sink &&
@@ -701,11 +916,11 @@ System::advance(Cycle stop_at)
                     all_done = false;
                 }
             }
-            const unsigned alloc = coproc.allocatedLanes(
-                static_cast<CoreId>(c));
-            double busy = coproc.busyLanes(static_cast<CoreId>(c));
+            const unsigned alloc =
+                x.cl(c).coproc.allocatedLanes(x.lc(c));
+            double busy = x.cl(c).coproc.busyLanes(x.lc(c));
             if (model.fullWidthExecution())
-                busy *= fts_scale;
+                busy *= fts_scale[x.clusterOf(c)];
             else
                 busy = std::min<double>(busy, alloc);
             x.busy_integral += busy;
@@ -722,9 +937,14 @@ System::advance(Cycle stop_at)
             now % opt.snapshotEvery == 0) {
             obs::MetricSnapshot snap;
             snap.cycle = now;
-            snap.values = x.mem_group.snapshot();
-            auto cp = x.cp_group.snapshot();
-            snap.values.insert(snap.values.end(), cp.begin(), cp.end());
+            for (auto &cl : x.clusters) {
+                auto mv = cl->mem_group.snapshot();
+                snap.values.insert(snap.values.end(), mv.begin(),
+                                   mv.end());
+                auto cv = cl->cp_group.snapshot();
+                snap.values.insert(snap.values.end(), cv.begin(),
+                                   cv.end());
+            }
             std::sort(snap.values.begin(), snap.values.end());
             result.snapshots.push_back(std::move(snap));
         }
@@ -750,13 +970,22 @@ System::advance(Cycle stop_at)
                 why = s;
             }
         };
-        consider(coproc.nextEventAt(now), WakeSource::Coproc);
+        for (auto &cl : x.clusters)
+            consider(cl->coproc.nextEventAt(now), WakeSource::Coproc);
         if (wake > now + 1) {
             for (auto &core : cores)
                 consider(core->nextEventAt(now), WakeSource::Core);
         }
         if (wake > now + 1) {
-            consider(mem.nextEventAt(now), WakeSource::Mem);
+            for (auto &cl : x.clusters)
+                consider(cl->mem.nextEventAt(now), WakeSource::Mem);
+            // An arbiter rebalance can change per-cluster DRAM grants,
+            // which no component probe anticipates; wake exactly at
+            // the next period boundary.
+            if (x.arbiter)
+                consider((now / cfg.interArbiterPeriod + 1) *
+                             cfg.interArbiterPeriod,
+                         WakeSource::Arbiter);
             for (unsigned c = 0; c < cfg.numCores; ++c)
                 if (x.dispatch_at[c] != kCycleNever)
                     consider(x.dispatch_at[c], WakeSource::Dispatch);
@@ -822,7 +1051,8 @@ System::advance(Cycle stop_at)
             opt.sink->record(ev);
         }
         synthesizeSkipped(now + 1, target - 1);
-        coproc.skipCycles(span);
+        for (auto &cl : x.clusters)
+            cl->coproc.skipCycles(span);
         ++ff.spans;
         ff.cyclesSkipped += span;
         ff.longestSpan = std::max(ff.longestSpan, span);
@@ -855,11 +1085,10 @@ System::finalize()
         CoreRunResult &cr = result.cores[c];
         cr.workload = names_[c];
         cr.finish = x.finish[c];
-        cr.computeIssued =
-            x.coproc.computeIssued(static_cast<CoreId>(c));
-        cr.memIssued = x.coproc.memIssued(static_cast<CoreId>(c));
+        cr.computeIssued = x.cl(c).coproc.computeIssued(x.lc(c));
+        cr.memIssued = x.cl(c).coproc.memIssued(x.lc(c));
         cr.renameRegStallCycles =
-            x.coproc.renameRegStallCycles(static_cast<CoreId>(c));
+            x.cl(c).coproc.renameRegStallCycles(x.lc(c));
         cr.monitorInsts = x.cores[c]->monitorInsts();
         cr.reconfigWaitCycles = x.cores[c]->reconfigWaitCycles();
         cr.reconfigEvents = x.cores[c]->reconfigEvents();
@@ -872,8 +1101,8 @@ System::finalize()
             pr.end = t.end ? t.end : x.finish[c];
             pr.firstVl = t.firstVl;
             pr.lastVl = t.lastVl;
-            pr.computeIssued = x.coproc.computeIssuedInPhase(
-                static_cast<CoreId>(c), t.phaseId);
+            pr.computeIssued = x.cl(c).coproc.computeIssuedInPhase(
+                x.lc(c), t.phaseId);
             const Cycle span = pr.end > pr.start ? pr.end - pr.start : 1;
             pr.issueRate = static_cast<double>(pr.computeIssued) /
                            static_cast<double>(span);
@@ -888,11 +1117,36 @@ System::finalize()
         }
     }
 
-    result.dramBytes = x.mem.dramBytes();
-    result.vlSwitches = x.coproc.vlSwitches();
-    result.plansMade = x.coproc.plansMade();
+    result.dramBytes = 0;
+    result.vlSwitches = 0;
+    result.plansMade = 0;
+    result.laneFaults = 0;
+    for (const auto &cl : x.clusters) {
+        result.dramBytes += cl->mem.dramBytes();
+        result.vlSwitches += cl->coproc.vlSwitches();
+        result.plansMade += cl->coproc.plansMade();
+        result.laneFaults += cl->coproc.laneFaults();
+    }
     result.watchdogTrips = x.watchdog_trips;
-    result.laneFaults = x.coproc.laneFaults();
+
+    // Per-cluster records and arbiter accounting: clustered machines
+    // only, so flat-machine results (and everything exported from
+    // them) are unchanged.
+    if (x.ncl > 1) {
+        result.arbiterRebalances = x.arbiter->rebalances();
+        result.clusters.resize(x.ncl);
+        for (unsigned k = 0; k < x.ncl; ++k) {
+            ClusterRunResult &cr = result.clusters[k];
+            cr.cluster = k;
+            cr.dramBytes = x.clusters[k]->mem.dramBytes();
+            cr.vlSwitches = x.clusters[k]->coproc.vlSwitches();
+            cr.plansMade = x.clusters[k]->coproc.plansMade();
+            cr.dramShareBpc = x.arbiter->shares()[k];
+            cr.avgDramShareBpc = x.arbiter->avgShare(k, result.cycles);
+            cr.migratedIn = x.arbiter->migratedIn(k);
+            cr.migratedOut = x.arbiter->migratedOut(k);
+        }
+    }
 
     if (x.has_traffic) {
         result.sloViolations = x.slo_violations;
@@ -910,8 +1164,10 @@ System::finalize()
     // gem5-style stats dump (same groups the snapshots sampled).
     {
         std::ostringstream os;
-        x.mem_group.dump(os);
-        x.cp_group.dump(os);
+        for (const auto &cl : x.clusters) {
+            cl->mem_group.dump(os);
+            cl->cp_group.dump(os);
+        }
         stats::Group run_group("system.run");
         run_group.addFormula(
             "watchdog_trips",
@@ -921,6 +1177,18 @@ System::finalize()
             "lane_faults",
             [&] { return static_cast<double>(result.laneFaults); },
             "ExeBU hard faults applied");
+        if (x.ncl > 1) {
+            const double reb =
+                static_cast<double>(x.arbiter->rebalances());
+            const double mig =
+                static_cast<double>(x.arbiter->migrations());
+            run_group.addFormula(
+                "arbiter_rebalances", [reb] { return reb; },
+                "inter-cluster bandwidth rebalances published");
+            run_group.addFormula(
+                "cluster_migrations", [mig] { return mig; },
+                "queued workloads adopted across clusters");
+        }
         if (x.has_traffic) {
             double completed = 0.0;
             for (Cycle d : x.done_at)
@@ -1032,6 +1300,18 @@ System::fingerprint(const Ctx &x) const
             os << m.arriveAt << ',' << m.tenant << ',' << m.sloBudget
                << ',' << m.dependsOn << ',' << m.thinkGap << ','
                << m.estCost << ';';
+    }
+    // Cluster topology and per-cluster resolved static plans. Appended
+    // only on clustered machines so every flat-machine fingerprint —
+    // and every existing checkpoint — is unchanged.
+    if (c.numClusters > 1) {
+        os << '#' << c.numClusters << '|' << c.interArbiterPeriod
+           << '|' << c.clusterMigrationCycles << '|';
+        for (const auto &cl : x.clusters) {
+            for (unsigned u : cl->view.staticPlan)
+                os << u << ',';
+            os << ';';
+        }
     }
 
     const std::string s = os.str();
@@ -1158,9 +1438,20 @@ System::saveCheckpoint(std::ostream &os) const
             w.u64(j);
     }
 
-    // Components.
-    x.mem.save(w);
-    x.coproc.save(w);
+    // Inter-cluster arbiter grants and accounting. Like the traffic
+    // section, it exists only on clustered machines, so flat-machine
+    // checkpoints keep their exact byte layout.
+    if (x.arbiter) {
+        w.section("cluster");
+        x.arbiter->save(w);
+    }
+
+    // Components: per cluster its memory system then its co-processor
+    // (the flat order on a 1-cluster machine), then every core.
+    for (const auto &cl : x.clusters) {
+        cl->mem.save(w);
+        cl->coproc.save(w);
+    }
     w.u64(x.cores.size());
     for (const auto &core : x.cores)
         core->save(w);
@@ -1298,8 +1589,18 @@ System::restoreCheckpoint(std::istream &is, const RunOptions &opt)
                 j = r.u64();
         }
 
-        x.mem.load(r);
-        x.coproc.load(r);
+        if (x.arbiter) {
+            r.expectSection("cluster");
+            x.arbiter->load(r);
+            const std::vector<unsigned> &sh = x.arbiter->shares();
+            for (unsigned k = 0; k < x.ncl; ++k)
+                x.clusters[k]->mem.setDramBytesPerCycle(sh[k]);
+        }
+
+        for (auto &cl : x.clusters) {
+            cl->mem.load(r);
+            cl->coproc.load(r);
+        }
         ckpt::Reader::check(r.arr() == x.cores.size(),
                             "checkpoint core count mismatch");
         for (auto &core : x.cores)
@@ -1338,6 +1639,10 @@ System::inspect(const std::string &path) const
         return path.compare(0, n, prefix) == 0 ? path.c_str() + n
                                                : nullptr;
     };
+    // Un-prefixed component paths address cluster 0 — the whole
+    // machine on a flat config, and a convenient alias on a clustered
+    // one; system.clusterN.* addresses a specific cluster.
+    const SystemCluster &cl0 = *x.clusters[0];
     if (path == "system") {
         os << "policy " << x.model.key() << '\n'
            << "cores " << x.cfg.numCores << '\n'
@@ -1348,27 +1653,57 @@ System::inspect(const std::string &path) const
            << "watchdog_trips " << x.watchdog_trips << '\n'
            << "cycles_ticked " << x.ff.cyclesTicked << '\n'
            << "ff_spans " << x.ff.spans << '\n';
+        if (x.ncl > 1)
+            os << "clusters " << x.ncl << '\n'
+               << "cores_per_cluster " << x.cpk << '\n'
+               << "arbiter_rebalances " << x.arbiter->rebalances()
+               << '\n'
+               << "cluster_migrations " << x.arbiter->migrations()
+               << '\n';
         if (x.has_traffic)
             os << "traffic_dispatcher "
                << (x.dispatcher ? x.dispatcher->key() : "legacy") << '\n'
                << "traffic_unarrived " << x.unarrived << '\n'
                << "slo_violations " << x.slo_violations << '\n';
+    } else if (path == "system.arbiter" && x.arbiter) {
+        os << "clusters " << x.ncl << '\n'
+           << "total_dram_bpc " << x.arbiter->totalBpc() << '\n'
+           << "period " << x.arbiter->period() << '\n'
+           << "rebalances " << x.arbiter->rebalances() << '\n'
+           << "migrations " << x.arbiter->migrations() << '\n';
+        for (unsigned k = 0; k < x.ncl; ++k)
+            os << "cluster" << k << "_share "
+               << x.arbiter->shares()[k] << '\n';
     } else if (path == "system.mem") {
-        x.mem.printState(os);
+        cl0.mem.printState(os);
     } else if (path == "system.mem.vec_cache") {
-        x.mem.vecCache().printState(os);
+        cl0.mem.vecCache().printState(os);
     } else if (path == "system.mem.l2") {
-        x.mem.l2().printState(os);
+        cl0.mem.l2().printState(os);
     } else if (path == "system.coproc") {
-        x.coproc.printState(os, "");
+        cl0.coproc.printState(os, "");
     } else if (path == "system.coproc.rt") {
-        x.coproc.printState(os, "rt");
+        cl0.coproc.printState(os, "rt");
     } else if (path == "system.coproc.lanemgr") {
-        x.coproc.printState(os, "lanemgr");
+        cl0.coproc.printState(os, "lanemgr");
     } else if (path == "system.coproc.regfile") {
-        x.coproc.printState(os, "regfile");
+        cl0.coproc.printState(os, "regfile");
     } else if (const char *rest = strip("system.coproc.core")) {
-        x.coproc.printState(os, rest);
+        cl0.coproc.printState(os, rest);
+    } else if (const char *spec = strip("system.cluster")) {
+        std::size_t pos = 0;
+        const unsigned long k = std::stoul(spec, &pos);
+        if (k >= x.ncl)
+            throw std::out_of_range("no such cluster: " + path);
+        const SystemCluster &cl = *x.clusters[k];
+        const std::string sub(spec + pos);
+        if (sub == ".mem")
+            cl.mem.printState(os);
+        else if (sub == ".coproc")
+            cl.coproc.printState(os, "");
+        else
+            throw std::invalid_argument("unknown component path: " +
+                                        path);
     } else if (const char *core = strip("system.core")) {
         const std::size_t c = std::stoul(core);
         if (c >= x.cores.size())
@@ -1389,6 +1724,14 @@ System::componentPaths() const
         "system.coproc",   "system.coproc.rt",
         "system.coproc.lanemgr", "system.coproc.regfile",
     };
+    if (cfg_.numClusters > 1) {
+        paths.push_back("system.arbiter");
+        for (unsigned k = 0; k < cfg_.numClusters; ++k) {
+            const std::string p = "system.cluster" + std::to_string(k);
+            paths.push_back(p + ".mem");
+            paths.push_back(p + ".coproc");
+        }
+    }
     for (unsigned c = 0; c < cfg_.numCores; ++c) {
         paths.push_back("system.coproc.core" + std::to_string(c));
         paths.push_back("system.core" + std::to_string(c));

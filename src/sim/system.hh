@@ -95,6 +95,26 @@ struct BatchCompletion
     Cycle finished = 0;
 };
 
+/** Per-cluster outcome on a clustered machine (topology(C, K) with
+ *  C > 1). Flat machines report no cluster records, keeping every
+ *  pre-cluster artifact byte-identical. */
+struct ClusterRunResult
+{
+    unsigned cluster = 0;
+    std::uint64_t dramBytes = 0;
+    std::uint64_t vlSwitches = 0;
+    std::uint64_t plansMade = 0;
+    /** DRAM bytes/cycle granted by the inter-cluster arbiter at the
+     *  end of the run. */
+    unsigned dramShareBpc = 0;
+    /** Time-weighted mean granted share over the whole run. */
+    double avgDramShareBpc = 0.0;
+    /** Queued workloads adopted into / out of this cluster by the
+     *  batch scheduler (cross-cluster work migration). */
+    std::uint64_t migratedIn = 0;
+    std::uint64_t migratedOut = 0;
+};
+
 /** Whole-machine outcome of a co-run. */
 struct RunResult
 {
@@ -125,6 +145,12 @@ struct RunResult
     /** Jobs whose completion latency exceeded their SLO budget. */
     std::uint64_t sloViolations = 0;
 
+    /** Per-cluster records (clustered topologies only; empty on flat
+     *  machines so their exported artifacts never change). */
+    std::vector<ClusterRunResult> clusters;
+    /** Inter-cluster arbiter rebalances published (0 on flat machines). */
+    std::uint64_t arbiterRebalances = 0;
+
     /** gem5-style stats dump of the memory system and co-processor. */
     std::string statsText;
 
@@ -150,6 +176,10 @@ enum class WakeSource : std::uint8_t
                 ///< change the component probes can't see, so it must
                 ///< be a wake candidate or fast-forward would idle past
                 ///< new work.
+    Arbiter,    ///< Inter-cluster bandwidth-rebalance boundary
+                ///< (clustered topologies only): the arbiter may change
+                ///< per-cluster DRAM grants there, which no component
+                ///< probe can anticipate.
 };
 
 /**

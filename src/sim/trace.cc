@@ -159,7 +159,26 @@ toJson(const RunResult &r)
            << ",\"dispatched\":" << b.dispatched
            << ",\"finished\":" << b.finished << "}";
     }
-    os << "]}";
+    os << "]";
+    // Per-cluster block: present only for clustered topologies, so
+    // flat-machine JSON (golden traces included) is byte-identical.
+    if (!r.clusters.empty()) {
+        os << ",\"arbiter_rebalances\":" << r.arbiterRebalances
+           << ",\"clusters\":[";
+        for (std::size_t k = 0; k < r.clusters.size(); ++k) {
+            const ClusterRunResult &cl = r.clusters[k];
+            os << (k ? "," : "") << "{\"cluster\":" << cl.cluster
+               << ",\"dram_bytes\":" << cl.dramBytes
+               << ",\"vl_switches\":" << cl.vlSwitches
+               << ",\"plans_made\":" << cl.plansMade
+               << ",\"dram_share_bpc\":" << cl.dramShareBpc
+               << ",\"avg_dram_share_bpc\":" << cl.avgDramShareBpc
+               << ",\"migrated_in\":" << cl.migratedIn
+               << ",\"migrated_out\":" << cl.migratedOut << "}";
+        }
+        os << "]";
+    }
+    os << "}";
     return os.str();
 }
 

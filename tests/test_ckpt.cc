@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -92,12 +93,13 @@ struct Artifacts
 };
 
 Artifacts
-straightRun(const MachineConfig &cfg, RunOptions opt)
+straightRun(const MachineConfig &cfg, RunOptions opt,
+            const std::function<void(System &)> &prep = setup)
 {
     obs::RingSink sink(1u << 20, obs::kEvAll);
     opt.sink = &sink;
     System sys(cfg);
-    setup(sys);
+    prep(sys);
     const RunResult r = sys.run(opt);
     const obs::TraceBuffer tb = sink.take();
     return {trace::toJson(r), r.statsText, tb.events, tb.strings};
@@ -109,7 +111,8 @@ straightRun(const MachineConfig &cfg, RunOptions opt)
  *  tests). */
 Artifacts
 splitRun(const MachineConfig &cfg, RunOptions opt, Cycle ckpt_cycle,
-         std::string *saved = nullptr)
+         std::string *saved = nullptr,
+         const std::function<void(System &)> &prep = setup)
 {
     std::string bytes;
     obs::TraceBuffer first;
@@ -117,7 +120,7 @@ splitRun(const MachineConfig &cfg, RunOptions opt, Cycle ckpt_cycle,
         obs::RingSink sink(1u << 20, obs::kEvAll);
         opt.sink = &sink;
         System sys(cfg);
-        setup(sys);
+        prep(sys);
         sys.boot(opt);
         sys.advance(ckpt_cycle);
         std::ostringstream os(std::ios::binary);
@@ -132,7 +135,7 @@ splitRun(const MachineConfig &cfg, RunOptions opt, Cycle ckpt_cycle,
     obs::RingSink sink(1u << 20, obs::kEvAll);
     opt.sink = &sink;
     System sys(cfg);
-    setup(sys);
+    prep(sys);
     std::istringstream is(bytes, std::ios::binary);
     sys.restoreCheckpoint(is, opt);
     sys.advance();
@@ -228,6 +231,82 @@ TEST(CkptMatrix, CheckpointOfFinishedRunRestores)
     const Artifacts ref = straightRun(cfg, opt);
     const Artifacts split = splitRun(cfg, opt, kCycleNever);
     expectIdentical(ref, split, "ckpt@done");
+}
+
+// ------------------------------------------------- clustered machines
+
+/** Mixed workloads on every core of a clustered machine, plus queued
+ *  work so restore also replays cross-cluster batch dispatch. */
+void
+setupClustered(System &sys, unsigned cores)
+{
+    for (unsigned c = 0; c < cores; ++c) {
+        const std::string n = std::to_string(c);
+        if (c % 2)
+            sys.setWorkload(static_cast<CoreId>(c), "w" + n,
+                            {dotLoop("d" + n, 8192)});
+        else
+            sys.setWorkload(static_cast<CoreId>(c), "w" + n,
+                            {axpyLoop("a" + n, 4096)});
+    }
+    sys.enqueueWorkload("wq0", {dotLoop("r0", 4096)});
+    sys.enqueueWorkload("wq1", {axpyLoop("r1", 4096)});
+}
+
+/** Restore-equivalence extends to clustered topologies: the gated
+ *  "cluster" checkpoint section carries the arbiter grants, share
+ *  integrals and migration counters across the pause boundary, so a
+ *  16-core 4x4 run resumes byte-identically in both engine modes. */
+TEST(CkptCluster, SixteenCoreClusteredRunRestoresByteIdentically)
+{
+    const MachineConfig cfg =
+        MachineConfig::Builder(SharingPolicy::Elastic)
+            .topology(4, 4)
+            .build();
+    const auto prep = [](System &sys) { setupClustered(sys, 16); };
+    for (const bool ff : {true, false}) {
+        RunOptions opt;
+        opt.maxCycles = 10'000'000;
+        opt.fastForward = ff;
+        const std::string what =
+            std::string("4x4/") + (ff ? "ff" : "ticked");
+        const Artifacts ref = straightRun(cfg, opt, prep);
+        // Checkpoint past the first arbiter rebalance (period 4096) so
+        // restored bandwidth grants are actually exercised.
+        const Artifacts split = splitRun(cfg, opt, 10'000, nullptr, prep);
+        expectIdentical(ref, split, what);
+    }
+}
+
+/** A clustered checkpoint never restores into a flat machine with the
+ *  same core count: the topology is part of the fingerprint. */
+TEST(CkptCluster, TopologyMismatchFailsLoudly)
+{
+    RunOptions opt;
+    opt.maxCycles = 10'000'000;
+    const auto prep = [](System &sys) { setupClustered(sys, 4); };
+
+    std::string bytes;
+    {
+        const MachineConfig cfg =
+            MachineConfig::Builder(SharingPolicy::Elastic)
+                .topology(2, 2)
+                .build();
+        System sys(cfg);
+        prep(sys);
+        sys.boot(opt);
+        sys.advance(5'000);
+        std::ostringstream os(std::ios::binary);
+        sys.saveCheckpoint(os);
+        bytes = os.str();
+    }
+
+    const MachineConfig flat =
+        MachineConfig::Builder(SharingPolicy::Elastic).cores(4).build();
+    System sys(flat);
+    prep(sys);
+    std::istringstream is(bytes, std::ios::binary);
+    EXPECT_THROW(sys.restoreCheckpoint(is, opt), ckpt::Error);
 }
 
 /** Periodic checkpointing (RunOptions::checkpointOut/-Every) never

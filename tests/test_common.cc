@@ -146,6 +146,83 @@ TEST(Config, BuilderRejectsMalformedStaticPlan)
     EXPECT_EQ(ok.staticPlan.size(), 2u);
 }
 
+TEST(Config, TopologyHelpersOnClusteredMachine)
+{
+    const MachineConfig cfg =
+        MachineConfig::Builder(SharingPolicy::Elastic)
+            .topology(4, 4)
+            .build();
+    EXPECT_EQ(cfg.numClusters, 4u);
+    EXPECT_EQ(cfg.numCores, 16u);
+    EXPECT_EQ(cfg.coresPerCluster(), 4u);
+    // numExeBUs is per cluster (the Builder default is 4 per core).
+    EXPECT_EQ(cfg.numExeBUs, 16u);
+    EXPECT_EQ(cfg.totalLanes(), 4u * 16u * kLanesPerBu);
+    EXPECT_EQ(cfg.clusterOf(0), 0u);
+    EXPECT_EQ(cfg.clusterOf(5), 1u);
+    EXPECT_EQ(cfg.clusterOf(15), 3u);
+    EXPECT_EQ(cfg.localCore(5), 1u);
+    // busShare is a per-cluster split: same local slot, same share.
+    EXPECT_EQ(cfg.busShare(0), cfg.busShare(4));
+    EXPECT_EQ(cfg.busShare(3), cfg.busShare(15));
+}
+
+TEST(Config, CoresIsAFlatTopologyAlias)
+{
+    const MachineConfig a =
+        MachineConfig::Builder(SharingPolicy::Elastic).cores(4).build();
+    const MachineConfig b = MachineConfig::Builder(SharingPolicy::Elastic)
+                                .topology(1, 4)
+                                .build();
+    EXPECT_EQ(a.numClusters, 1u);
+    EXPECT_EQ(b.numClusters, 1u);
+    EXPECT_EQ(a.numCores, b.numCores);
+    EXPECT_EQ(a.numExeBUs, b.numExeBUs);
+    EXPECT_EQ(a.totalLanes(), b.totalLanes());
+}
+
+TEST(Config, BuilderRejectsBadTopologies)
+{
+    // Zero clusters / zero cores per cluster.
+    EXPECT_THROW(MachineConfig::Builder(SharingPolicy::Elastic)
+                     .topology(0, 2)
+                     .build(),
+                 std::invalid_argument);
+    EXPECT_THROW(MachineConfig::Builder(SharingPolicy::Elastic)
+                     .topology(2, 0)
+                     .build(),
+                 std::invalid_argument);
+    // A cluster count the area model cannot price.
+    EXPECT_THROW(MachineConfig::Builder(SharingPolicy::Elastic)
+                     .topology(65, 1)
+                     .build(),
+                 std::invalid_argument);
+    // Fewer per-cluster ExeBUs than cores breaks busShare().
+    EXPECT_THROW(MachineConfig::Builder(SharingPolicy::Elastic)
+                     .topology(2, 4)
+                     .exeBUs(2)
+                     .build(),
+                 std::invalid_argument);
+    // A clustered machine needs a non-zero rebalance period.
+    EXPECT_THROW(MachineConfig::Builder(SharingPolicy::Elastic)
+                     .topology(2, 2)
+                     .interArbiterPeriod(0)
+                     .build(),
+                 std::invalid_argument);
+    // Static plans are sized against the cluster, not the machine.
+    EXPECT_THROW(MachineConfig::Builder(SharingPolicy::StaticSpatial)
+                     .topology(2, 2)
+                     .staticPlan({4, 4, 4, 4})
+                     .build(),
+                 std::invalid_argument);
+    const MachineConfig ok =
+        MachineConfig::Builder(SharingPolicy::StaticSpatial)
+            .topology(2, 2)
+            .staticPlan({4, 4})
+            .build();
+    EXPECT_EQ(ok.staticPlan.size(), ok.coresPerCluster());
+}
+
 TEST(Config, DefaultsMatchTable4)
 {
     MachineConfig cfg;

@@ -87,6 +87,53 @@ TEST(Runner, DeterministicAcrossThreadCounts)
     EXPECT_EQ(scsv.str(), pcsv.str());
 }
 
+/** Thread-count independence holds on clustered 16-core machines too:
+ *  the inter-cluster arbiter and migration bookkeeping are part of the
+ *  deterministic artifact set (JSON incl. the per-cluster block, CSV
+ *  incl. the cluster columns). */
+TEST(Runner, ClusteredSweepDeterministicAcrossThreadCounts)
+{
+    const auto jobs = [] {
+        auto pairs = workloads::specPairs();
+        pairs.resize(3);
+        return runner::pairSweepJobs(
+            pairs, {SharingPolicy::Private, SharingPolicy::Elastic},
+            40'000'000, [](MachineConfig &cfg) {
+                cfg = MachineConfig::Builder(cfg.policy)
+                          .topology(4, 4)
+                          .build();
+            });
+    };
+    const auto runWith = [&](unsigned threads) {
+        runner::RunnerOptions opt;
+        opt.numThreads = threads;
+        return runner::Runner(opt).run(jobs());
+    };
+
+    const runner::SweepResult serial = runWith(1);
+    const runner::SweepResult parallel = runWith(4);
+    ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+    EXPECT_TRUE(serial.allOk());
+    EXPECT_TRUE(parallel.allOk());
+
+    for (const auto &j : serial.jobs) {
+        SCOPED_TRACE(j.label);
+        ASSERT_EQ(j.result.clusters.size(), 4u);
+        EXPECT_GT(j.result.arbiterRebalances, 0u);
+    }
+
+    EXPECT_EQ(runner::sweepToJson(serial), runner::sweepToJson(parallel));
+    std::ostringstream scsv, pcsv;
+    runner::writeSweepCsv(scsv, serial);
+    runner::writeSweepCsv(pcsv, parallel);
+    EXPECT_EQ(scsv.str(), pcsv.str());
+    // The clustered columns actually made it into the export.
+    EXPECT_NE(scsv.str().find("cluster3_dram_share_bpc"),
+              std::string::npos);
+    EXPECT_NE(runner::sweepToJson(serial).find("\"clusters\":["),
+              std::string::npos);
+}
+
 TEST(Runner, FaultContainment)
 {
     auto jobs = smallSweep();

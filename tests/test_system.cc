@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/system.hh"
+#include "sim/trace.hh"
 #include "workloads/phases.hh"
 
 namespace occamy
@@ -362,6 +365,133 @@ TEST(System, OverheadCountersArePopulatedForElastic)
         EXPECT_LT(core.monitorOverhead(4), 0.05);
         EXPECT_LT(core.reconfigOverhead(), 0.05);
     }
+}
+
+// ---- Clustered topologies (topology(C, K), hierarchical lane mgr). --
+
+TEST(System, FlatRunReportsNoClusterArtifacts)
+{
+    const RunResult r = runPairOn(SharingPolicy::Elastic);
+    EXPECT_TRUE(r.clusters.empty());
+    EXPECT_EQ(r.arbiterRebalances, 0u);
+    // The gated JSON block must be absent on a flat machine so golden
+    // traces are byte-identical to the pre-cluster format.
+    const std::string js = trace::toJson(r);
+    EXPECT_EQ(js.find("\"clusters\""), std::string::npos);
+    EXPECT_EQ(r.statsText.find("arbiter_rebalances"),
+              std::string::npos);
+}
+
+RunResult
+runClustered(SharingPolicy p, unsigned clusters, unsigned per,
+             const RunOptions &opt = {.maxCycles = 10'000'000})
+{
+    System sys(MachineConfig::Builder(p).topology(clusters, per).build());
+    for (unsigned c = 0; c < clusters * per; ++c)
+        sys.setWorkload(static_cast<CoreId>(c),
+                        c % 2 ? "comp" : "mem",
+                        c % 2 ? compWorkload(32768) : memWorkload());
+    return sys.run(opt);
+}
+
+TEST(System, ClusteredMachineRunsAllCores)
+{
+    const RunResult r = runClustered(SharingPolicy::Elastic, 2, 2);
+    EXPECT_FALSE(r.timedOut);
+    ASSERT_EQ(r.cores.size(), 4u);
+    for (const auto &core : r.cores)
+        EXPECT_GT(core.finish, 0u);
+    ASSERT_EQ(r.clusters.size(), 2u);
+    EXPECT_GT(r.arbiterRebalances, 0u);
+    // The arbiter conserves machine bandwidth across its grants.
+    const MachineConfig cfg =
+        MachineConfig::Builder(SharingPolicy::Elastic)
+            .topology(2, 2)
+            .build();
+    unsigned granted = 0;
+    for (const auto &cl : r.clusters) {
+        EXPECT_GE(cl.dramShareBpc, 1u);
+        granted += cl.dramShareBpc;
+    }
+    EXPECT_EQ(granted, cfg.dramBytesPerCycle);
+    EXPECT_NE(r.statsText.find("system.cluster0.mem"),
+              std::string::npos);
+    EXPECT_NE(r.statsText.find("system.cluster1.coproc"),
+              std::string::npos);
+    EXPECT_NE(r.statsText.find("arbiter_rebalances"),
+              std::string::npos);
+}
+
+TEST(System, ClusteredRunIsDeterministic)
+{
+    const RunResult a = runClustered(SharingPolicy::Elastic, 2, 2);
+    const RunResult b = runClustered(SharingPolicy::Elastic, 2, 2);
+    EXPECT_EQ(trace::toJson(a), trace::toJson(b));
+}
+
+TEST(System, ClusteredFastForwardMatchesTickedRun)
+{
+    const RunResult ticked = runClustered(
+        SharingPolicy::Elastic, 2, 2,
+        {.maxCycles = 10'000'000, .fastForward = false});
+    const RunResult ff = runClustered(
+        SharingPolicy::Elastic, 2, 2,
+        {.maxCycles = 10'000'000, .fastForward = true});
+    // The arbiter-period wake candidate keeps skipped runs exact.
+    EXPECT_EQ(trace::toJson(ticked), trace::toJson(ff));
+}
+
+TEST(System, SixteenCoreClusteredMachineCompletes)
+{
+    const RunResult r = runClustered(SharingPolicy::Elastic, 4, 4);
+    EXPECT_FALSE(r.timedOut);
+    ASSERT_EQ(r.cores.size(), 16u);
+    for (const auto &core : r.cores)
+        EXPECT_GT(core.finish, 0u);
+    ASSERT_EQ(r.clusters.size(), 4u);
+}
+
+TEST(System, BatchWorkMigratesAcrossClusters)
+{
+    // Two 1-core clusters. Core 1 is pinned to a long compute phase;
+    // core 0 drains the queue, whose entries alternate home clusters
+    // (q % C), so it must adopt cluster 1's entries — the migration
+    // path, with its extra switch cost and arbiter accounting.
+    System sys(MachineConfig::Builder(SharingPolicy::Elastic)
+                   .topology(2, 1)
+                   .build());
+    sys.setWorkload(0, "idle", {});
+    sys.setWorkload(1, "comp", compWorkload(262144));
+    sys.enqueueWorkload("q0", compWorkload(4096));
+    sys.enqueueWorkload("q1", compWorkload(4096));
+    const RunResult r = sys.run({.maxCycles = 10'000'000});
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.batch.size(), 2u);
+    ASSERT_EQ(r.clusters.size(), 2u);
+    EXPECT_EQ(r.clusters[0].migratedIn, 1u);
+    EXPECT_EQ(r.clusters[1].migratedOut, 1u);
+}
+
+TEST(System, ClusteredComponentPathsAreInspectable)
+{
+    System sys(MachineConfig::Builder(SharingPolicy::Elastic)
+                   .topology(2, 2)
+                   .build());
+    for (unsigned c = 0; c < 4; ++c)
+        sys.setWorkload(static_cast<CoreId>(c), "mem", memWorkload());
+    sys.boot({});
+    const auto paths = sys.componentPaths();
+    EXPECT_NE(std::find(paths.begin(), paths.end(), "system.arbiter"),
+              paths.end());
+    EXPECT_NE(std::find(paths.begin(), paths.end(),
+                        "system.cluster1.mem"),
+              paths.end());
+    EXPECT_NE(sys.inspect("system.arbiter").find("rebalances"),
+              std::string::npos);
+    EXPECT_NE(sys.inspect("system.cluster1.coproc").size(), 0u);
+    // Un-prefixed paths stay valid as cluster-0 aliases.
+    EXPECT_NE(sys.inspect("system.mem").size(), 0u);
+    sys.finalize();
 }
 
 } // namespace

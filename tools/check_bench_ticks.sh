@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Fast-forward leverage regression gate.
+# Deterministic-bench regression gates.
 #
-# Compares a freshly generated micro_ticks report against the committed
-# BENCH_ticks.json snapshot and fails when the engine loses leverage:
+# Compares a freshly generated bench report against its committed
+# snapshot, dispatching on the report's "bench" field:
 #
+# micro_ticks (BENCH_ticks.json) — fast-forward leverage:
 #   - `cycles` (simulated length of each scenario) must match EXACTLY —
 #     it is fully deterministic, any drift means the simulation changed
 #     without regenerating the snapshot (see bench/micro_ticks.cc);
@@ -11,8 +12,14 @@
 #     the deterministic leverage metrics (fewer skipped cycles == the
 #     quiescence detector got weaker);
 #   - `results_match` must stay true (fast-forward on == off).
+#   Wall-clock fields are machine-dependent noise and are ignored.
 #
-# Wall-clock fields are machine-dependent noise and are ignored.
+# fig16_scalability (BENCH_scalability.json) — clustered scale-out:
+#   every field is a pure function of the config (DESIGN.md §13's
+#   determinism contract), so `cycles`, `dram_bytes`, `vl_switches`,
+#   `rebalances` and `migrations` must all match EXACTLY; drift means
+#   the clustered machine model changed without regenerating the
+#   snapshot (see bench/fig16_scalability.cc).
 #
 # Usage: check_bench_ticks.sh <fresh.json> <committed-snapshot.json>
 set -euo pipefail
@@ -21,6 +28,13 @@ fresh="${1:?usage: check_bench_ticks.sh <fresh.json> <snapshot.json>}"
 snap="${2:?usage: check_bench_ticks.sh <fresh.json> <snapshot.json>}"
 
 fail=0
+bench=$(jq -r '.bench' "$snap")
+
+fb=$(jq -r '.bench' "$fresh")
+if [ "$fb" != "$bench" ]; then
+    echo "FAIL: fresh report is bench '$fb', snapshot is '$bench'" >&2
+    exit 1
+fi
 
 names=$(jq -r '.scenarios[].name' "$snap")
 for name in $names; do
@@ -32,32 +46,52 @@ for name in $names; do
     fi
     s=$(jq -c --arg n "$name" '.scenarios[] | select(.name == $n)' "$snap")
 
-    if [ "$(jq -r '.results_match' <<<"$f")" != "true" ]; then
-        echo "FAIL $name: fast-forward changed simulation results" >&2
-        fail=1
-    fi
-
-    sc=$(jq -r '.cycles' <<<"$s"); fc=$(jq -r '.cycles' <<<"$f")
-    if [ "$sc" != "$fc" ]; then
-        echo "FAIL $name: simulated cycles drifted ($sc -> $fc);" \
-             "regenerate BENCH_ticks.json if the change is intended" >&2
-        fail=1
-    fi
-
-    for field in cycles_ticked spans; do
-        sv=$(jq -r ".$field" <<<"$s"); fv=$(jq -r ".$field" <<<"$f")
-        # >10% growth over the snapshot is a leverage regression.
-        if [ $((fv * 10)) -gt $((sv * 11)) ]; then
-            echo "FAIL $name: $field regressed >10% ($sv -> $fv)" >&2
+    case "$bench" in
+    micro_ticks)
+        if [ "$(jq -r '.results_match' <<<"$f")" != "true" ]; then
+            echo "FAIL $name: fast-forward changed simulation results" >&2
             fail=1
-        else
-            echo "ok   $name: $field $sv -> $fv"
         fi
-    done
+
+        sc=$(jq -r '.cycles' <<<"$s"); fc=$(jq -r '.cycles' <<<"$f")
+        if [ "$sc" != "$fc" ]; then
+            echo "FAIL $name: simulated cycles drifted ($sc -> $fc);" \
+                 "regenerate BENCH_ticks.json if the change is intended" >&2
+            fail=1
+        fi
+
+        for field in cycles_ticked spans; do
+            sv=$(jq -r ".$field" <<<"$s"); fv=$(jq -r ".$field" <<<"$f")
+            # >10% growth over the snapshot is a leverage regression.
+            if [ $((fv * 10)) -gt $((sv * 11)) ]; then
+                echo "FAIL $name: $field regressed >10% ($sv -> $fv)" >&2
+                fail=1
+            else
+                echo "ok   $name: $field $sv -> $fv"
+            fi
+        done
+        ;;
+    fig16_scalability)
+        for field in cycles dram_bytes vl_switches rebalances migrations; do
+            sv=$(jq -r ".$field" <<<"$s"); fv=$(jq -r ".$field" <<<"$f")
+            if [ "$sv" != "$fv" ]; then
+                echo "FAIL $name: $field drifted ($sv -> $fv);" \
+                     "regenerate BENCH_scalability.json if intended" >&2
+                fail=1
+            else
+                echo "ok   $name: $field $sv"
+            fi
+        done
+        ;;
+    *)
+        echo "FAIL: unknown bench '$bench' in snapshot" >&2
+        exit 1
+        ;;
+    esac
 done
 
 if [ "$fail" -ne 0 ]; then
-    echo "fast-forward leverage regression detected" >&2
+    echo "deterministic bench regression detected ($bench)" >&2
     exit 1
 fi
-echo "bench ticks within bounds"
+echo "bench $bench within bounds"

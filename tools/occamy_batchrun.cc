@@ -7,23 +7,28 @@
  * output (stdout table, --json-out, --csv-out) is ordered by job id and
  * therefore byte-identical for any --jobs value. Live progress goes to
  * stderr with --progress. Exits non-zero if any job failed, so CI can
- * gate on it.
+ * gate on it. --topology CxK sweeps clustered machines (per-cluster
+ * arbiter stats land in the JSON/CSV exports).
+ *
+ * All flags live in one cliopts::OptionSet table (src/common/cliopts)
+ * shared with occamy-sim; --help is generated from it.
  *
  * Examples:
  *   occamy-batchrun --jobs 4 --pairs all --policy all --json-out sweep.json
  *   occamy-batchrun --pairs 1,2,3,4 --policy occamy --csv-out sweep.csv
- *   occamy-batchrun --pairs 6+16,1+13 --policy all --progress
+ *   occamy-batchrun --pairs 6+16,1+13 --policy all --topology 4x4
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cliopts.hh"
+#include "common/cliopts_lists.hh"
 #include "obs/events.hh"
 #include "obs/export.hh"
 #include "policy/sharing_model.hh"
@@ -44,12 +49,13 @@ struct Options
     std::string pairs = "spec";
     /** Empty = every registered policy, in registry order. */
     std::vector<SharingPolicy> policies;
+    unsigned clusters = 1;
+    unsigned cores = 2;                 // per cluster
     Cycle maxCycles = 40'000'000;
     std::string jsonOut;
     std::string csvOut;
     bool progress = false;
     bool quiet = false;
-    bool list = false;
     std::string traceOut;
     std::string traceEvents = "all";
     Cycle snapshotEvery = 0;
@@ -60,8 +66,6 @@ struct Options
     Cycle watchdogCycles = 0;
     double wallClockLimitSec = 0.0;
     unsigned retries = 0;
-    bool listPolicies = false;
-    bool listWorkloads = false;
     std::string checkpointPrefix;
     Cycle checkpointEvery = 0;
     std::string restoreFrom;
@@ -74,77 +78,7 @@ struct Options
     double trafficRate = 200'000.0; ///< Mean inter-arrival gap, cycles.
     std::uint64_t trafficJobs = 4;  ///< Jobs per tenant stream.
     std::string scheduler = "fcfs"; ///< Dispatcher name or "all".
-    bool listSchedulers = false;
-    bool listTraffic = false;
 };
-
-void
-usage()
-{
-    std::printf(
-        "occamy-batchrun: parallel pair x policy sweeps\n"
-        "  --jobs N         worker threads (default: OCCAMY_JOBS env or\n"
-        "                   hardware concurrency)\n"
-        "  --pairs SPEC     all|spec|opencv, or a comma list of 1-based\n"
-        "                   indices into the 25-pair catalog and/or\n"
-        "                   labels like 6+16 (default: spec)\n"
-        "  --policy P       registered policy names (private|fts|vls|\n"
-        "                   occamy|vls-wc), comma list allowed, or\n"
-        "                   'all' (default: all)\n"
-        "  --max-cycles N   per-job simulation cap (default 4e7)\n"
-        "  --json-out FILE  write the aggregated sweep JSON\n"
-        "  --csv-out FILE   write the per-job summary CSV\n"
-        "  --progress       live done/running/failed/ETA on stderr\n"
-        "  --quiet          suppress the stdout summary table\n"
-        "  --trace-out PFX  capture a per-job event trace, written to\n"
-        "                   PFX<label>.trace.json (Chrome/Perfetto\n"
-        "                   format; '/' in labels becomes '_')\n"
-        "  --trace-events L categories: comma list of phase,pipeline,\n"
-        "                   partition,reconfig,mem,sched or 'all'\n"
-        "  --snapshot-every N  metric snapshot each N cycles\n"
-        "  --fast-forward on|off  skip quiescent cycle spans (default\n"
-        "                   on; results are identical either way)\n"
-        "  --strict-timeout exit 3 (with a stderr note) if any job hit\n"
-        "                   its --max-cycles cap\n"
-        "  --fault-plan S   deterministic fault plan applied to every\n"
-        "                   job (see occamy-sim --help for the grammar)\n"
-        "  --fault-seed N   seeded random fault plan per job (ignored\n"
-        "                   when --fault-plan is given)\n"
-        "  --watchdog-cycles N  per-job livelock watchdog threshold\n"
-        "                   (escalates stuck <VL> spins; default off)\n"
-        "  --wall-clock-limit S  kill any job after S seconds of host\n"
-        "                   time (failed, partial result kept)\n"
-        "  --retries N      retry transiently-failed jobs (OOM etc.) up\n"
-        "                   to N times with exponential backoff\n"
-        "  --checkpoint-out PFX  per-job periodic checkpoints, written\n"
-        "                   to PFX<label>.ckpt every --checkpoint-every\n"
-        "                   cycles ('/' in labels becomes '_')\n"
-        "  --checkpoint-every N  checkpoint period in cycles (required\n"
-        "                   with --checkpoint-out)\n"
-        "  --restore F      resume from checkpoint F; the sweep must\n"
-        "                   select exactly one pair and one policy\n"
-        "  --traffic PROC   multi-tenant traffic mode: stochastic\n"
-        "                   arrivals from process PROC (poisson|bursty|\n"
-        "                   diurnal|closed) swept over policy x\n"
-        "                   scheduler instead of the pair sweep\n"
-        "  --tenants N      tenant streams (default 2)\n"
-        "  --arrival-seed N deterministic arrival-stream seed (default\n"
-        "                   1; same seed = byte-identical stream)\n"
-        "  --slo-ms X       per-job SLO budget in milliseconds of\n"
-        "                   simulated time (default: no deadline)\n"
-        "  --traffic-rate G mean inter-arrival gap per tenant, cycles\n"
-        "                   (default 200000)\n"
-        "  --traffic-jobs N jobs generated per tenant (default 4)\n"
-        "  --scheduler S    dispatch discipline (fcfs|sjf|edf|oi) or\n"
-        "                   'all' (default fcfs)\n"
-        "  --list-traffic   print registered arrival processes and exit\n"
-        "  --list-schedulers  print registered dispatchers and exit\n"
-        "  --list           print the pair catalog with indices\n"
-        "  --list-workloads print the workload catalog and exit\n"
-        "  --list-policies  print registered sharing policies and exit\n"
-        "exit status: 0 all jobs ok, 1 some job failed, 2 usage error,\n"
-        "             3 a job timed out under --strict-timeout\n");
-}
 
 std::optional<SharingPolicy>
 parsePolicy(const std::string &s)
@@ -214,182 +148,139 @@ selectPairs(const std::string &spec)
     return out;
 }
 
-bool
-parseArgs(int argc, char **argv, Options &opt)
+/** The whole flag surface, declared once. */
+cliopts::OptionSet
+optionTable(Options &opt)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        if (arg == "--jobs") {
-            const char *v = next();
-            if (!v || std::atoi(v) < 1)
-                return false;
-            opt.jobs = static_cast<unsigned>(std::atoi(v));
-        } else if (arg == "--pairs") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.pairs = v;
-        } else if (arg == "--policy") {
-            const char *v = next();
-            if (!v)
-                return false;
-            if (std::strcmp(v, "all") == 0) {
-                opt.policies.clear();    // = every registered policy.
-            } else {
-                // One name or a comma list, e.g. "private,occamy".
-                opt.policies.clear();
-                for (const std::string &tok : splitCommas(v)) {
-                    auto p = parsePolicy(tok);
-                    if (!p)
+    cliopts::OptionSet cli("occamy-batchrun",
+                           "parallel pair x policy sweeps");
+    cli.value("jobs", &opt.jobs, "N",
+              "worker threads (default: OCCAMY_JOBS env or hardware\n"
+              "concurrency)", 1)
+        .value("pairs", &opt.pairs, "SPEC",
+               "all|spec|opencv, or a comma list of 1-based indices\n"
+               "into the 25-pair catalog and/or labels like 6+16\n"
+               "(default: spec)")
+        .custom("policy", "P",
+                "registered policy names (private|fts|vls|occamy|\n"
+                "vls-wc), comma list allowed, or 'all' (default: all)",
+                [&opt](const std::string &v, std::string &err) {
+                    opt.policies.clear();
+                    if (v == "all")
+                        return true;    // = every registered policy.
+                    for (const std::string &tok : splitCommas(v)) {
+                        auto p = parsePolicy(tok);
+                        if (!p) {
+                            err = "unknown policy: " + tok +
+                                  " (see --list-policies)";
+                            return false;
+                        }
+                        opt.policies.push_back(*p);
+                    }
+                    return true;
+                })
+        .custom("topology", "CxK",
+                "sweep C co-processor clusters of K cores each\n"
+                "(default 1x2); clustered machines add per-cluster\n"
+                "arbiter columns to the JSON/CSV exports",
+                [&opt](const std::string &v, std::string &err) {
+                    return cliopts::parseTopology(v, opt.clusters,
+                                                  opt.cores, err);
+                })
+        .custom("cores", "N",
+                "flat core count per job (default 2); shorthand for\n"
+                "--topology 1xN",
+                [&opt](const std::string &v, std::string &err) {
+                    char *end = nullptr;
+                    const unsigned long long n =
+                        std::strtoull(v.c_str(), &end, 10);
+                    if (v.empty() || *end != '\0' || n == 0) {
+                        err = "--cores wants a positive integer, got \"" +
+                              v + "\"";
                         return false;
-                    opt.policies.push_back(*p);
-                }
-            }
-        } else if (arg == "--max-cycles") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.maxCycles = static_cast<Cycle>(std::atoll(v));
-        } else if (arg == "--json-out") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.jsonOut = v;
-        } else if (arg == "--csv-out") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.csvOut = v;
-        } else if (arg == "--trace-out") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.traceOut = v;
-        } else if (arg == "--trace-events") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.traceEvents = v;
-        } else if (arg == "--snapshot-every") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.snapshotEvery = static_cast<Cycle>(std::atoll(v));
-        } else if (arg == "--fast-forward" ||
-                   arg.rfind("--fast-forward=", 0) == 0) {
-            std::string v;
-            if (arg.rfind("--fast-forward=", 0) == 0)
-                v = arg.substr(std::strlen("--fast-forward="));
-            else if (const char *n = next())
-                v = n;
-            if (v == "on")
-                opt.fastForward = true;
-            else if (v == "off")
-                opt.fastForward = false;
-            else
-                return false;
-        } else if (arg == "--fault-plan") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.faultPlan = v;
-        } else if (arg == "--fault-seed") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.faultSeed = static_cast<std::uint64_t>(std::atoll(v));
-        } else if (arg == "--watchdog-cycles") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.watchdogCycles = static_cast<Cycle>(std::atoll(v));
-        } else if (arg == "--wall-clock-limit") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.wallClockLimitSec = std::atof(v);
-        } else if (arg == "--retries") {
-            const char *v = next();
-            if (!v || std::atoi(v) < 0)
-                return false;
-            opt.retries = static_cast<unsigned>(std::atoi(v));
-        } else if (arg == "--strict-timeout") {
-            opt.strictTimeout = true;
-        } else if (arg == "--progress") {
-            opt.progress = true;
-        } else if (arg == "--quiet") {
-            opt.quiet = true;
-        } else if (arg == "--checkpoint-out") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.checkpointPrefix = v;
-        } else if (arg == "--checkpoint-every") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.checkpointEvery = static_cast<Cycle>(std::atoll(v));
-        } else if (arg == "--restore") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.restoreFrom = v;
-        } else if (arg == "--traffic") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.traffic = v;
-        } else if (arg == "--tenants") {
-            const char *v = next();
-            if (!v || std::atoi(v) < 1)
-                return false;
-            opt.tenants = static_cast<unsigned>(std::atoi(v));
-        } else if (arg == "--arrival-seed") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.arrivalSeed = static_cast<std::uint64_t>(std::atoll(v));
-        } else if (arg == "--slo-ms") {
-            const char *v = next();
-            if (!v || std::atof(v) <= 0)
-                return false;
-            opt.sloMs = std::atof(v);
-        } else if (arg == "--traffic-rate") {
-            const char *v = next();
-            if (!v || std::atof(v) <= 0)
-                return false;
-            opt.trafficRate = std::atof(v);
-        } else if (arg == "--traffic-jobs") {
-            const char *v = next();
-            if (!v || std::atoll(v) < 1)
-                return false;
-            opt.trafficJobs = static_cast<std::uint64_t>(std::atoll(v));
-        } else if (arg == "--scheduler") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.scheduler = v;
-        } else if (arg == "--list-traffic") {
-            opt.listTraffic = true;
-        } else if (arg == "--list-schedulers") {
-            opt.listSchedulers = true;
-        } else if (arg == "--list") {
-            opt.list = true;
-        } else if (arg == "--list-workloads") {
-            opt.listWorkloads = true;
-        } else if (arg == "--list-policies") {
-            opt.listPolicies = true;
-        } else if (arg == "--help" || arg == "-h") {
-            return false;
-        } else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-            return false;
-        }
-    }
-    return true;
+                    }
+                    opt.clusters = 1;
+                    opt.cores = static_cast<unsigned>(n);
+                    return true;
+                })
+        .value("max-cycles", &opt.maxCycles, "N",
+               "per-job simulation cap (default 4e7)")
+        .value("json-out", &opt.jsonOut, "FILE",
+               "write the aggregated sweep JSON")
+        .value("csv-out", &opt.csvOut, "FILE",
+               "write the per-job summary CSV")
+        .flag("progress", &opt.progress,
+              "live done/running/failed/ETA on stderr")
+        .flag("quiet", &opt.quiet, "suppress the stdout summary table")
+        .value("trace-out", &opt.traceOut, "PFX",
+               "capture a per-job event trace, written to\n"
+               "PFX<label>.trace.json (Chrome/Perfetto format; '/' in\n"
+               "labels becomes '_')")
+        .value("trace-events", &opt.traceEvents, "L",
+               "categories: comma list of phase,pipeline,partition,\n"
+               "reconfig,mem,sched,cluster or 'all'")
+        .value("snapshot-every", &opt.snapshotEvery, "N",
+               "metric snapshot each N cycles")
+        .onOff("fast-forward", &opt.fastForward,
+               "skip quiescent cycle spans (default on; results are\n"
+               "identical either way)")
+        .flag("strict-timeout", &opt.strictTimeout,
+              "exit 3 (with a stderr note) if any job hit its\n"
+              "--max-cycles cap")
+        .value("fault-plan", &opt.faultPlan, "S",
+               "deterministic fault plan applied to every job (see\n"
+               "occamy-sim --help for the grammar)")
+        .value("fault-seed", &opt.faultSeed, "N",
+               "seeded random fault plan per job (ignored when\n"
+               "--fault-plan is given)")
+        .value("watchdog-cycles", &opt.watchdogCycles, "N",
+               "per-job livelock watchdog threshold (escalates stuck\n"
+               "<VL> spins; default off)")
+        .value("wall-clock-limit", &opt.wallClockLimitSec, "S",
+               "kill any job after S seconds of host time (failed,\n"
+               "partial result kept)")
+        .value("retries", &opt.retries, "N",
+               "retry transiently-failed jobs (OOM etc.) up to N\n"
+               "times with exponential backoff")
+        .value("checkpoint-out", &opt.checkpointPrefix, "PFX",
+               "per-job periodic checkpoints, written to\n"
+               "PFX<label>.ckpt every --checkpoint-every cycles ('/'\n"
+               "in labels becomes '_')")
+        .value("checkpoint-every", &opt.checkpointEvery, "N",
+               "checkpoint period in cycles (required with\n"
+               "--checkpoint-out)")
+        .value("restore", &opt.restoreFrom, "F",
+               "resume from checkpoint F; the sweep must select\n"
+               "exactly one pair and one policy")
+        .value("traffic", &opt.traffic, "PROC",
+               "multi-tenant traffic mode: stochastic arrivals from\n"
+               "process PROC (poisson|bursty|diurnal|closed) swept\n"
+               "over policy x scheduler instead of the pair sweep")
+        .value("tenants", &opt.tenants, "N", "tenant streams (default 2)",
+               1)
+        .value("arrival-seed", &opt.arrivalSeed, "N",
+               "deterministic arrival-stream seed (default 1; same\n"
+               "seed = byte-identical stream)")
+        .value("slo-ms", &opt.sloMs, "X",
+               "per-job SLO budget in milliseconds of simulated time\n"
+               "(default: no deadline)", true)
+        .value("traffic-rate", &opt.trafficRate, "G",
+               "mean inter-arrival gap per tenant, cycles (default\n"
+               "200000)", true)
+        .value("traffic-jobs", &opt.trafficJobs, "N",
+               "jobs generated per tenant (default 4)", 1)
+        .value("scheduler", &opt.scheduler, "S",
+               "dispatch discipline (fcfs|sjf|edf|oi) or 'all'\n"
+               "(default fcfs)");
+    cliopts::addListOptions(
+        cli, cliopts::kListTraffic | cliopts::kListSchedulers |
+                 cliopts::kListPairs | cliopts::kListWorkloads |
+                 cliopts::kListPolicies);
+    cli.alias("list", "list-pairs");
+    cli.footer("exit status: 0 all jobs ok, 1 some job failed, 2 usage "
+               "error,\n             3 a job timed out under "
+               "--strict-timeout");
+    return cli;
 }
 
 } // namespace
@@ -398,116 +289,84 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    if (!parseArgs(argc, argv, opt)) {
-        usage();
+    const cliopts::OptionSet cli = optionTable(opt);
+    const cliopts::ParseResult pr = cli.parse(argc, argv);
+    if (pr.status == cliopts::Status::Exit)
+        return pr.exitCode;
+    if (pr.status == cliopts::Status::Error) {
+        std::fprintf(stderr, "%s\n", pr.error.c_str());
+        cli.printHelp(stderr);
         return 2;
     }
     if (opt.policies.empty())
         for (const policy::SharingModel *m : policy::allModels())
             opt.policies.push_back(m->id());
 
-    if (opt.listPolicies) {
-        std::printf("registered sharing policies (--policy):\n");
-        for (const policy::SharingModel *m : policy::allModels()) {
-            std::printf("  %-8s %-8s", m->key(), m->paperName());
-            if (!m->aliases().empty()) {
-                std::printf(" aliases:");
-                for (const auto &a : m->aliases())
-                    std::printf(" %s", a.c_str());
-            }
-            std::printf("\n");
-        }
-        return 0;
-    }
-
-    if (opt.listTraffic) {
-        std::printf("registered arrival processes (--traffic):\n");
-        for (const traffic::ArrivalProcess *p : traffic::allProcesses())
-            std::printf("  %-8s %s\n", p->key(), p->summary());
-        return 0;
-    }
-
-    if (opt.listSchedulers) {
-        std::printf("registered dispatch disciplines (--scheduler):\n");
-        for (const traffic::Dispatcher *d : traffic::allDispatchers())
-            std::printf("  %-8s %s\n", d->key(), d->summary());
-        return 0;
-    }
-
-    if (opt.listWorkloads) {
-        std::printf("SPEC workloads:\n");
-        for (unsigned n = 1; n <= 22; ++n) {
-            const auto w = workloads::specWorkload(n);
-            std::printf("  WL%-3u %s:", n, w.memoryIntensive ? "M" : "C");
-            for (const auto &loop : w.loops)
-                std::printf(" %s", loop.name.c_str());
-            std::printf("\n");
-        }
-        std::printf("OpenCV workloads:\n");
-        for (unsigned n = 1; n <= 12; ++n) {
-            const auto w = workloads::opencvWorkload(n);
-            std::printf("  CV%-3u %s:", n, w.memoryIntensive ? "M" : "C");
-            for (const auto &loop : w.loops)
-                std::printf(" %s", loop.name.c_str());
-            std::printf("\n");
-        }
-        return 0;
-    }
-
-    if (opt.list) {
-        const auto all = workloads::allPairs();
-        for (std::size_t i = 0; i < all.size(); ++i)
-            std::printf("%3zu  %-8s %s + %s%s\n", i + 1,
-                        all[i].label.c_str(), all[i].core0.name.c_str(),
-                        all[i].core1.name.c_str(),
-                        i >= 16 ? "  (OpenCV)" : "");
-        return 0;
-    }
+    // Per-job machine override; null on the default 1x2 shape so the
+    // sweep presets stay byte-for-byte on MachineConfig::forPolicy.
+    std::function<void(MachineConfig &)> tweak;
+    if (opt.clusters != 1 || opt.cores != 2)
+        tweak = [&opt](MachineConfig &cfg) {
+            cfg = opt.clusters == 1
+                      ? MachineConfig::forPolicy(cfg.policy, opt.cores)
+                      : MachineConfig::Builder(cfg.policy)
+                            .topology(opt.clusters, opt.cores)
+                            .build();
+        };
 
     std::vector<workloads::Pair> pairs;
     std::vector<runner::JobSpec> jobs;
-    if (!opt.traffic.empty()) {
-        // Traffic mode: policy x scheduler ablation over one seeded
-        // arrival stream. Validate names up front so a typo is a usage
-        // error, not N contained job failures.
-        if (!traffic::processByName(opt.traffic)) {
-            std::fprintf(stderr, "unknown traffic process: %s\n",
-                         opt.traffic.c_str());
-            return 2;
-        }
-        std::vector<std::string> scheds;
-        if (opt.scheduler == "all") {
-            for (const traffic::Dispatcher *d :
-                 traffic::allDispatchers())
-                scheds.push_back(d->key());
-        } else {
-            if (!traffic::dispatcherByName(opt.scheduler)) {
-                std::fprintf(stderr, "unknown scheduler: %s\n",
-                             opt.scheduler.c_str());
+    try {
+        if (!opt.traffic.empty()) {
+            // Traffic mode: policy x scheduler ablation over one
+            // seeded arrival stream. Validate names up front so a typo
+            // is a usage error, not N contained job failures.
+            if (!traffic::processByName(opt.traffic)) {
+                std::fprintf(stderr, "unknown traffic process: %s\n",
+                             opt.traffic.c_str());
                 return 2;
             }
-            scheds = {opt.scheduler};
+            std::vector<std::string> scheds;
+            if (opt.scheduler == "all") {
+                for (const traffic::Dispatcher *d :
+                     traffic::allDispatchers())
+                    scheds.push_back(d->key());
+            } else {
+                if (!traffic::dispatcherByName(opt.scheduler)) {
+                    std::fprintf(stderr, "unknown scheduler: %s\n",
+                                 opt.scheduler.c_str());
+                    return 2;
+                }
+                scheds = {opt.scheduler};
+            }
+            traffic::TrafficConfig tc;
+            tc.process = opt.traffic;
+            tc.tenants = opt.tenants;
+            tc.seed = opt.arrivalSeed;
+            tc.jobsPerTenant = opt.trafficJobs;
+            tc.meanGapCycles = opt.trafficRate;
+            jobs = runner::trafficSweepJobs(tc, opt.policies, scheds,
+                                            opt.maxCycles, tweak);
+            // The SLO budget is given in simulated milliseconds;
+            // convert against each job's own clock (ms x GHz x 1e6
+            // cycles).
+            if (opt.sloMs > 0)
+                for (auto &spec : jobs)
+                    spec.traffic.sloCycles = static_cast<Cycle>(
+                        opt.sloMs * spec.cfg.ghz * 1e6);
+        } else {
+            pairs = selectPairs(opt.pairs);
+            if (pairs.empty()) {
+                cli.printHelp(stderr);
+                return 2;
+            }
+            jobs = runner::pairSweepJobs(pairs, opt.policies,
+                                         opt.maxCycles, tweak);
         }
-        traffic::TrafficConfig tc;
-        tc.process = opt.traffic;
-        tc.tenants = opt.tenants;
-        tc.seed = opt.arrivalSeed;
-        tc.jobsPerTenant = opt.trafficJobs;
-        tc.meanGapCycles = opt.trafficRate;
-        jobs = runner::trafficSweepJobs(tc, opt.policies, scheds,
-                                        opt.maxCycles);
-        // The SLO budget is given in simulated milliseconds; convert
-        // against each job's own clock (ms x GHz x 1e6 cycles).
-        if (opt.sloMs > 0)
-            for (auto &spec : jobs)
-                spec.traffic.sloCycles = static_cast<Cycle>(
-                    opt.sloMs * spec.cfg.ghz * 1e6);
-    } else {
-        pairs = selectPairs(opt.pairs);
-        if (pairs.empty()) {
-            usage();
-            return 2;
-        }
+    } catch (const std::exception &e) {
+        // An infeasible --topology surfaces from the Builder here.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     }
 
     runner::RunnerOptions ropt;
@@ -516,8 +375,6 @@ main(int argc, char **argv)
     if (opt.progress)
         ropt.onProgress = runner::stderrProgress();
 
-    if (opt.traffic.empty())
-        jobs = runner::pairSweepJobs(pairs, opt.policies, opt.maxCycles);
     if (!opt.restoreFrom.empty()) {
         // A checkpoint names one run's state: tie it to one job.
         if (jobs.size() != 1) {

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cliopts.hh"
 #include "fault/fault.hh"
 #include "obs/events.hh"
 #include "obs/sink.hh"
@@ -316,21 +317,101 @@ struct SimEntry
     std::unique_ptr<System> sys;
 };
 
+/** Simulation parameters a request may set. Parsed through the same
+ *  declarative option table the CLIs use (common/cliopts): the NDJSON
+ *  key "max_cycles" is the flag --max-cycles, with the identical
+ *  validation and error messages. */
+struct SimSpec
+{
+    std::string policy = "occamy";
+    std::string pair = "6+16";
+    unsigned clusters = 1;
+    unsigned cores = 2;             ///< Per cluster.
+    std::string batch;
+    std::uint64_t maxCycles = 40'000'000;
+    std::uint64_t watchdogCycles = 0;
+    std::string faultPlan;
+    std::uint64_t faultSeed = 0;
+    std::uint64_t snapshotEvery = 0;
+    bool fastForward = true;
+    std::string checkpointOut;
+    std::uint64_t checkpointEvery = 0;
+    std::string traceEvents;
+    std::uint64_t traceCapacity = 1u << 20;
+};
+
+/** The config-key table: one entry per request key makeEntry honors. */
+cliopts::OptionSet
+simSpecOptions(SimSpec &s)
+{
+    cliopts::OptionSet set("occamy-serve", "simulation request keys");
+    set.value("policy", &s.policy, "P", "sharing policy name")
+        .value("pair", &s.pair, "A+B", "workload ids for core0+core1")
+        .custom("topology", "CxK",
+                "C co-processor clusters of K cores each",
+                [&s](const std::string &v, std::string &err) {
+                    return cliopts::parseTopology(v, s.clusters,
+                                                  s.cores, err);
+                })
+        .value("cores", &s.cores, "N", "cores per cluster", 1)
+        .value("batch", &s.batch, "L", "comma-separated workload list")
+        .value("max-cycles", &s.maxCycles, "N", "simulation cap")
+        .value("watchdog-cycles", &s.watchdogCycles, "N",
+               "livelock watchdog threshold")
+        .value("fault-plan", &s.faultPlan, "S",
+               "deterministic fault plan")
+        .value("fault-seed", &s.faultSeed, "N", "seeded fault plan")
+        .value("snapshot-every", &s.snapshotEvery, "N",
+               "metric snapshot period")
+        .onOff("fast-forward", &s.fastForward,
+               "skip quiescent cycle spans")
+        .value("checkpoint-out", &s.checkpointOut, "F",
+               "periodic checkpoint file")
+        .value("checkpoint-every", &s.checkpointEvery, "N",
+               "checkpoint period")
+        .value("trace-events", &s.traceEvents, "L",
+               "extra event categories")
+        .value("trace-capacity", &s.traceCapacity, "N",
+               "event ring capacity", 1);
+    return set;
+}
+
+/** Parse a request's config keys into a SimSpec. Non-config keys
+ *  (cmd, id, count, file, ...) pass through untouched; a config key
+ *  with a bad value throws with the table's error message. */
+SimSpec
+parseSpec(const Kv &m)
+{
+    SimSpec s;
+    const cliopts::OptionSet set = simSpecOptions(s);
+    for (const auto &[k, v] : m) {
+        if (!set.has(k))
+            continue;
+        std::string err;
+        if (!set.set(k, v, err))
+            throw std::runtime_error(err);
+    }
+    return s;
+}
+
 /** Canonical identity of a request's simulation parameters: a pooled
  *  instance may serve a request iff the keys match exactly. */
 std::string
+specKey(const SimSpec &s)
+{
+    return s.policy + "|" + s.pair + "|" +
+           std::to_string(s.clusters) + "x" + std::to_string(s.cores) +
+           "|" + s.batch + "|" + std::to_string(s.maxCycles) + "|" +
+           std::to_string(s.watchdogCycles) + "|" + s.faultPlan + "|" +
+           std::to_string(s.faultSeed) + "|" +
+           std::to_string(s.snapshotEvery) + "|" +
+           (s.fastForward ? "ff" : "tick");
+}
+
+std::string
 specKey(const Kv &m)
 {
-    return getStr(m, "policy", "occamy") + "|" +
-           getStr(m, "pair", "6+16") + "|" +
-           std::to_string(getU64(m, "cores", 2)) + "|" +
-           getStr(m, "batch") + "|" +
-           std::to_string(getU64(m, "max_cycles", 40'000'000)) + "|" +
-           std::to_string(getU64(m, "watchdog_cycles", 0)) + "|" +
-           getStr(m, "fault_plan") + "|" +
-           std::to_string(getU64(m, "fault_seed", 0)) + "|" +
-           std::to_string(getU64(m, "snapshot_every", 0)) + "|" +
-           (getBool(m, "fast_forward", true) ? "ff" : "tick");
+    return specKey(parseSpec(m));
 }
 
 /** Build a SimEntry from request params; boots unless told not to
@@ -339,60 +420,59 @@ specKey(const Kv &m)
 std::unique_ptr<SimEntry>
 makeEntry(const Kv &m, bool boot)
 {
+    const SimSpec s = parseSpec(m);
     auto e = std::make_unique<SimEntry>();
-    e->key = specKey(m);
+    e->key = specKey(s);
 
-    const std::string policy_name = getStr(m, "policy", "occamy");
-    const policy::SharingModel *model = policy::modelByName(policy_name);
+    const policy::SharingModel *model = policy::modelByName(s.policy);
     if (!model)
-        throw std::runtime_error("unknown policy: " + policy_name +
+        throw std::runtime_error("unknown policy: " + s.policy +
                                  " (see hello's policy list)");
-    const unsigned cores = static_cast<unsigned>(getU64(m, "cores", 2));
-    e->cfg = MachineConfig::forPolicy(model->id(), cores);
+    e->cfg = s.clusters == 1
+                 ? MachineConfig::forPolicy(model->id(), s.cores)
+                 : MachineConfig::Builder(model->id())
+                       .topology(s.clusters, s.cores)
+                       .build();
 
     e->sys = std::make_unique<System>(e->cfg);
-    const std::string pair = getStr(m, "pair", "6+16");
-    const auto plus = pair.find('+');
+    const auto plus = s.pair.find('+');
     if (plus == std::string::npos)
         throw std::runtime_error("bad pair (want e.g. \"6+16\"): " +
-                                 pair);
-    const workloads::Workload w0 = lookupWorkload(pair.substr(0, plus));
-    const workloads::Workload w1 = lookupWorkload(pair.substr(plus + 1));
+                                 s.pair);
+    const workloads::Workload w0 = lookupWorkload(s.pair.substr(0, plus));
+    const workloads::Workload w1 =
+        lookupWorkload(s.pair.substr(plus + 1));
     e->sys->setWorkload(0, w0.name, w0.loops);
-    if (cores > 1)
+    if (e->cfg.numCores > 1)
         e->sys->setWorkload(1, w1.name, w1.loops);
-    for (const std::string &token : splitCommas(getStr(m, "batch"))) {
+    for (const std::string &token : splitCommas(s.batch)) {
         const workloads::Workload w = lookupWorkload(token);
         e->sys->enqueueWorkload(w.name, w.loops);
     }
-    e->label = pair + "/" + model->key();
+    e->label = s.pair + "/" + model->key();
 
-    e->opt.maxCycles = getU64(m, "max_cycles", 40'000'000);
-    e->opt.snapshotEvery = getU64(m, "snapshot_every", 0);
-    e->opt.fastForward = getBool(m, "fast_forward", true);
-    e->opt.watchdogCycles = getU64(m, "watchdog_cycles", 0);
-    e->opt.checkpointOut = getStr(m, "checkpoint_out");
-    e->opt.checkpointEvery = getU64(m, "checkpoint_every", 0);
+    e->opt.maxCycles = s.maxCycles;
+    e->opt.snapshotEvery = s.snapshotEvery;
+    e->opt.fastForward = s.fastForward;
+    e->opt.watchdogCycles = s.watchdogCycles;
+    e->opt.checkpointOut = s.checkpointOut;
+    e->opt.checkpointEvery = s.checkpointEvery;
     e->opt.ffStats = &e->ff;
 
     // Engine events always on: SystemBoot is the warm-pool proof and
     // CheckpointSave/Restore narrate the session. "trace_events" adds
     // simulated-hardware categories on top.
     obs::EventMask mask = obs::kEvEngine;
-    const std::string extra = getStr(m, "trace_events");
-    if (!extra.empty())
-        mask |= obs::parseEventMask(extra);
+    if (!s.traceEvents.empty())
+        mask |= obs::parseEventMask(s.traceEvents);
     e->sink = std::make_unique<obs::RingSink>(
-        static_cast<std::size_t>(getU64(m, "trace_capacity", 1u << 20)),
-        mask);
+        static_cast<std::size_t>(s.traceCapacity), mask);
     e->opt.sink = e->sink.get();
 
-    const std::string plan_text = getStr(m, "fault_plan");
-    const std::uint64_t fault_seed = getU64(m, "fault_seed", 0);
-    if (!plan_text.empty())
-        e->plan = fault::FaultPlan::parse(plan_text);
-    else if (fault_seed)
-        e->plan = fault::FaultPlan::random(fault_seed, e->cfg);
+    if (!s.faultPlan.empty())
+        e->plan = fault::FaultPlan::parse(s.faultPlan);
+    else if (s.faultSeed)
+        e->plan = fault::FaultPlan::random(s.faultSeed, e->cfg);
     if (!e->plan.empty())
         e->opt.faultPlan = &e->plan;
 

@@ -5,28 +5,29 @@
  * Runs a co-running pair (or an FCFS batch) of Table 3 workloads under
  * any registered SIMD sharing architecture and reports the paper's
  * metrics. Policies come from the name-keyed registry in src/policy/
- * (the four paper architectures plus extensions such as vls-wc).
+ * (the four paper architectures plus extensions such as vls-wc), and
+ * the machine shape from --topology CxK (C co-processor clusters of K
+ * cores; --cores N remains the flat 1xN spelling).
  *
- * Usage:
- *   occamy-sim [--policy private|fts|vls|occamy|vls-wc|all] [--cores N]
- *              [--pair A+B] [--opencv] [--batch WL1,WL16,...]
- *              [--max-cycles N] [--jobs N] [--json-out FILE]
- *              [--timeline] [--stats] [--list]
+ * All flags live in one cliopts::OptionSet table (src/common/cliopts)
+ * shared with occamy-batchrun; --help is generated from it.
  *
  * Examples:
  *   occamy-sim --pair 6+16 --policy all --jobs 4
  *   occamy-sim --policy occamy --batch WL1,WL16,WL8,WL17
+ *   occamy-sim --pair 6+16 --topology 4x4 --policy occamy
  *   occamy-sim --list
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cliopts.hh"
+#include "common/cliopts_lists.hh"
 #include "obs/events.hh"
 #include "obs/export.hh"
 #include "policy/sharing_model.hh"
@@ -44,7 +45,8 @@ namespace
 struct Options
 {
     std::vector<SharingPolicy> policies{SharingPolicy::Elastic};
-    unsigned cores = 2;
+    unsigned clusters = 1;
+    unsigned cores = 2;         // per cluster; total on a flat machine
     std::string pair = "6+16";
     bool opencv = false;
     std::vector<std::string> batch;
@@ -53,7 +55,6 @@ struct Options
     std::string jsonOut;
     bool timeline = false;
     bool stats = false;
-    bool list = false;
     bool json = false;
     std::string csvPrefix;
     std::string traceOut;
@@ -64,62 +65,10 @@ struct Options
     std::string faultPlan;
     std::uint64_t faultSeed = 0;
     Cycle watchdogCycles = 0;
-    bool listPolicies = false;
     std::string checkpointOut;
     Cycle checkpointEvery = 0;
     std::string restoreFrom;
 };
-
-void
-usage()
-{
-    std::printf(
-        "occamy-sim: drive the Occamy elastic-SIMD simulator\n"
-        "  --policy P     registered policy name or 'all' (default\n"
-        "                 occamy); registered: private, fts, vls,\n"
-        "                 occamy, vls-wc\n"
-        "  --cores N      number of scalar cores (default 2)\n"
-        "  --pair A+B     workload ids for core0+core1 (default 6+16)\n"
-        "  --opencv       interpret --pair ids as OpenCV workloads\n"
-        "  --batch L      comma-separated WLn/CVn list, FCFS scheduled\n"
-        "  --max-cycles N simulation cap (default 4e7)\n"
-        "  --jobs N       run --policy all fan-out on N threads\n"
-        "  --json-out F   write the aggregated sweep JSON to F\n"
-        "  --timeline     print busy-lane timelines\n"
-        "  --stats        dump memory/co-processor statistics\n"
-        "  --json         print a JSON result summary\n"
-        "  --csv PREFIX   write PREFIX_{timeline,phases,batch}.csv\n"
-        "  --trace-out F  capture an event trace per run; .json gets\n"
-        "                 Chrome/Perfetto format, .bin the compact\n"
-        "                 binary format (multi-run adds _<policy>)\n"
-        "  --trace-events L  categories to trace: comma list of\n"
-        "                 phase,pipeline,partition,reconfig,mem,sched\n"
-        "                 or 'all' (default all; needs --trace-out)\n"
-        "  --snapshot-every N  metric snapshot each N cycles, rendered\n"
-        "                 as counter tracks in the Chrome trace\n"
-        "  --fast-forward on|off  skip quiescent cycle spans (default\n"
-        "                 on; results are identical either way)\n"
-        "  --strict-timeout  exit 3 (with a stderr note) if any run\n"
-        "                 hit the --max-cycles cap\n"
-        "  --fault-plan S deterministic fault plan, entries ';'-joined:\n"
-        "                 lane@CYC:bu=N | vldeny@CYC+DUR:core=N |\n"
-        "                 dram@CYC+DUR:lat=N,bw=N |\n"
-        "                 cfgdelay@CYC+DUR:core=N,cycles=N\n"
-        "  --fault-seed N seeded random fault plan (ignored when\n"
-        "                 --fault-plan is given); same seed, same plan\n"
-        "  --watchdog-cycles N  escalate a <VL> retry spin older than N\n"
-        "                 cycles to the scalar fallback (default off)\n"
-        "  --checkpoint-out F   checkpoint file; written every\n"
-        "                 --checkpoint-every cycles (single-policy\n"
-        "                 runs only; both flags required)\n"
-        "  --checkpoint-every N overwrite --checkpoint-out every N\n"
-        "                 cycles (the file holds the latest snapshot)\n"
-        "  --restore F    resume from checkpoint F instead of cycle 0;\n"
-        "                 config/workloads/options must match the run\n"
-        "                 that wrote it (single-policy runs only)\n"
-        "  --list, --list-workloads  list available workloads and exit\n"
-        "  --list-policies  list registered sharing policies and exit\n");
-}
 
 std::optional<SharingPolicy>
 parsePolicy(const std::string &s)
@@ -142,153 +91,143 @@ lookupWorkload(const std::string &token)
         static_cast<unsigned>(std::atoi(token.c_str())));
 }
 
-bool
-parseArgs(int argc, char **argv, Options &opt)
+/** The whole flag surface, declared once. */
+cliopts::OptionSet
+optionTable(Options &opt)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        if (arg == "--policy") {
-            const char *v = next();
-            if (!v)
-                return false;
-            if (std::strcmp(v, "all") == 0) {
-                opt.policies.clear();
-                for (const policy::SharingModel *m : policy::allModels())
-                    opt.policies.push_back(m->id());
-            } else if (auto p = parsePolicy(v)) {
-                opt.policies = {*p};
-            } else {
-                return false;
-            }
-        } else if (arg == "--cores") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.cores = static_cast<unsigned>(std::atoi(v));
-        } else if (arg == "--pair") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.pair = v;
-        } else if (arg == "--opencv") {
-            opt.opencv = true;
-        } else if (arg == "--batch") {
-            const char *v = next();
-            if (!v)
-                return false;
-            std::string item;
-            for (const char *p = v;; ++p) {
-                if (*p == ',' || *p == '\0') {
-                    if (!item.empty())
-                        opt.batch.push_back(item);
-                    item.clear();
-                    if (*p == '\0')
-                        break;
-                } else {
-                    item.push_back(*p);
-                }
-            }
-        } else if (arg == "--max-cycles") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.maxCycles = static_cast<Cycle>(std::atoll(v));
-        } else if (arg == "--jobs") {
-            const char *v = next();
-            if (!v || std::atoi(v) < 1)
-                return false;
-            opt.jobs = static_cast<unsigned>(std::atoi(v));
-        } else if (arg == "--json-out") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.jsonOut = v;
-        } else if (arg == "--timeline") {
-            opt.timeline = true;
-        } else if (arg == "--json") {
-            opt.json = true;
-        } else if (arg == "--csv") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.csvPrefix = v;
-        } else if (arg == "--trace-out") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.traceOut = v;
-        } else if (arg == "--trace-events") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.traceEvents = v;
-        } else if (arg == "--snapshot-every") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.snapshotEvery = static_cast<Cycle>(std::atoll(v));
-        } else if (arg == "--fast-forward" ||
-                   arg.rfind("--fast-forward=", 0) == 0) {
-            std::string v;
-            if (arg.rfind("--fast-forward=", 0) == 0)
-                v = arg.substr(std::strlen("--fast-forward="));
-            else if (const char *n = next())
-                v = n;
-            if (v == "on")
-                opt.fastForward = true;
-            else if (v == "off")
-                opt.fastForward = false;
-            else
-                return false;
-        } else if (arg == "--fault-plan") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.faultPlan = v;
-        } else if (arg == "--fault-seed") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.faultSeed = static_cast<std::uint64_t>(std::atoll(v));
-        } else if (arg == "--watchdog-cycles") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.watchdogCycles = static_cast<Cycle>(std::atoll(v));
-        } else if (arg == "--strict-timeout") {
-            opt.strictTimeout = true;
-        } else if (arg == "--stats") {
-            opt.stats = true;
-        } else if (arg == "--checkpoint-out") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.checkpointOut = v;
-        } else if (arg == "--checkpoint-every") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.checkpointEvery = static_cast<Cycle>(std::atoll(v));
-        } else if (arg == "--restore") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opt.restoreFrom = v;
-        } else if (arg == "--list" || arg == "--list-workloads") {
-            opt.list = true;
-        } else if (arg == "--list-policies") {
-            opt.listPolicies = true;
-        } else if (arg == "--help" || arg == "-h") {
-            return false;
-        } else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-            return false;
-        }
-    }
-    return true;
+    cliopts::OptionSet cli("occamy-sim",
+                           "drive the Occamy elastic-SIMD simulator");
+    cli.custom("policy", "P",
+               "registered policy name or 'all' (default occamy);\n"
+               "registered: private, fts, vls, occamy, vls-wc",
+               [&opt](const std::string &v, std::string &err) {
+                   if (v == "all") {
+                       opt.policies.clear();
+                       for (const policy::SharingModel *m :
+                            policy::allModels())
+                           opt.policies.push_back(m->id());
+                       return true;
+                   }
+                   if (auto p = parsePolicy(v)) {
+                       opt.policies = {*p};
+                       return true;
+                   }
+                   err = "unknown policy: " + v +
+                         " (see --list-policies)";
+                   return false;
+               })
+        .custom("topology", "CxK",
+                "C co-processor clusters of K cores each (default\n"
+                "1x2); clustered machines add the inter-cluster\n"
+                "bandwidth arbiter and work migration",
+                [&opt](const std::string &v, std::string &err) {
+                    return cliopts::parseTopology(v, opt.clusters,
+                                                  opt.cores, err);
+                })
+        .custom("cores", "N",
+                "number of scalar cores (default 2); shorthand for\n"
+                "--topology 1xN",
+                [&opt](const std::string &v, std::string &err) {
+                    std::uint64_t n = 0;
+                    char *end = nullptr;
+                    n = std::strtoull(v.c_str(), &end, 10);
+                    if (v.empty() || *end != '\0' || n == 0) {
+                        err = "--cores wants a positive integer, got \"" +
+                              v + "\"";
+                        return false;
+                    }
+                    opt.clusters = 1;
+                    opt.cores = static_cast<unsigned>(n);
+                    return true;
+                })
+        .value("pair", &opt.pair, "A+B",
+               "workload ids for core0+core1 (default 6+16)")
+        .flag("opencv", &opt.opencv,
+              "interpret --pair ids as OpenCV workloads")
+        .custom("batch", "L",
+                "comma-separated WLn/CVn list, FCFS scheduled",
+                [&opt](const std::string &v, std::string &) {
+                    opt.batch.clear();
+                    std::string item;
+                    for (const char *p = v.c_str();; ++p) {
+                        if (*p == ',' || *p == '\0') {
+                            if (!item.empty())
+                                opt.batch.push_back(item);
+                            item.clear();
+                            if (*p == '\0')
+                                break;
+                        } else {
+                            item.push_back(*p);
+                        }
+                    }
+                    return true;
+                })
+        .value("max-cycles", &opt.maxCycles, "N",
+               "simulation cap (default 4e7)")
+        .value("jobs", &opt.jobs, "N",
+               "run --policy all fan-out on N threads", 1)
+        .value("json-out", &opt.jsonOut, "F",
+               "write the aggregated sweep JSON to F")
+        .flag("timeline", &opt.timeline, "print busy-lane timelines")
+        .flag("stats", &opt.stats,
+              "dump memory/co-processor statistics")
+        .flag("json", &opt.json, "print a JSON result summary")
+        .value("csv", &opt.csvPrefix, "PREFIX",
+               "write PREFIX_{timeline,phases,batch}.csv")
+        .value("trace-out", &opt.traceOut, "F",
+               "capture an event trace per run; .json gets\n"
+               "Chrome/Perfetto format, .bin the compact binary\n"
+               "format (multi-run adds _<policy>)")
+        .value("trace-events", &opt.traceEvents, "L",
+               "categories to trace: comma list of phase,pipeline,\n"
+               "partition,reconfig,mem,sched,cluster or 'all'\n"
+               "(default all; needs --trace-out)")
+        .value("snapshot-every", &opt.snapshotEvery, "N",
+               "metric snapshot each N cycles, rendered as counter\n"
+               "tracks in the Chrome trace")
+        .onOff("fast-forward", &opt.fastForward,
+               "skip quiescent cycle spans (default on; results are\n"
+               "identical either way)")
+        .flag("strict-timeout", &opt.strictTimeout,
+              "exit 3 (with a stderr note) if any run hit the\n"
+              "--max-cycles cap")
+        .value("fault-plan", &opt.faultPlan, "S",
+               "deterministic fault plan, entries ';'-joined:\n"
+               "lane@CYC:bu=N | vldeny@CYC+DUR:core=N |\n"
+               "dram@CYC+DUR:lat=N,bw=N |\n"
+               "cfgdelay@CYC+DUR:core=N,cycles=N")
+        .value("fault-seed", &opt.faultSeed, "N",
+               "seeded random fault plan (ignored when --fault-plan\n"
+               "is given); same seed, same plan")
+        .value("watchdog-cycles", &opt.watchdogCycles, "N",
+               "escalate a <VL> retry spin older than N cycles to\n"
+               "the scalar fallback (default off)")
+        .value("checkpoint-out", &opt.checkpointOut, "F",
+               "checkpoint file; written every --checkpoint-every\n"
+               "cycles (single-policy runs only; both flags required)")
+        .value("checkpoint-every", &opt.checkpointEvery, "N",
+               "overwrite --checkpoint-out every N cycles (the file\n"
+               "holds the latest snapshot)")
+        .value("restore", &opt.restoreFrom, "F",
+               "resume from checkpoint F instead of cycle 0;\n"
+               "config/workloads/options must match the run that\n"
+               "wrote it (single-policy runs only)");
+    cliopts::addListOptions(cli, cliopts::kListWorkloads |
+                                     cliopts::kListPolicies);
+    cli.alias("list", "list-workloads");
+    return cli;
+}
+
+/** Machine for one policy under the selected topology: the flat path
+ *  keeps the forPolicy presets byte-for-byte. */
+MachineConfig
+makeConfig(SharingPolicy policy, const Options &opt)
+{
+    if (opt.clusters == 1)
+        return MachineConfig::forPolicy(policy, opt.cores);
+    return MachineConfig::Builder(policy)
+        .topology(opt.clusters, opt.cores)
+        .build();
 }
 
 void
@@ -325,6 +264,13 @@ printRun(SharingPolicy policy, const RunResult &r, const Options &opt)
                 static_cast<unsigned long long>(r.vlSwitches),
                 static_cast<unsigned long long>(r.plansMade),
                 r.dramBytes / 1048576.0);
+    for (const auto &cl : r.clusters)
+        std::printf("cluster%u: %.2f MB DRAM, share %u B/cyc (avg "
+                    "%.1f), migrated in %llu out %llu\n", cl.cluster,
+                    cl.dramBytes / 1048576.0, cl.dramShareBpc,
+                    cl.avgDramShareBpc,
+                    static_cast<unsigned long long>(cl.migratedIn),
+                    static_cast<unsigned long long>(cl.migratedOut));
     if (r.laneFaults || r.watchdogTrips)
         std::printf("faults: %llu ExeBU lane fault(s), %llu watchdog "
                     "trip(s) to the scalar fallback\n",
@@ -363,43 +309,14 @@ int
 main(int argc, char **argv)
 {
     Options opt;
-    if (!parseArgs(argc, argv, opt)) {
-        usage();
+    const cliopts::OptionSet cli = optionTable(opt);
+    const cliopts::ParseResult pr = cli.parse(argc, argv);
+    if (pr.status == cliopts::Status::Exit)
+        return pr.exitCode;
+    if (pr.status == cliopts::Status::Error) {
+        std::fprintf(stderr, "%s\n", pr.error.c_str());
+        cli.printHelp(stderr);
         return 2;
-    }
-
-    if (opt.listPolicies) {
-        std::printf("registered sharing policies (--policy):\n");
-        for (const policy::SharingModel *m : policy::allModels()) {
-            std::printf("  %-8s %-8s", m->key(), m->paperName());
-            if (!m->aliases().empty()) {
-                std::printf(" aliases:");
-                for (const auto &a : m->aliases())
-                    std::printf(" %s", a.c_str());
-            }
-            std::printf("\n");
-        }
-        return 0;
-    }
-
-    if (opt.list) {
-        std::printf("SPEC workloads:\n");
-        for (unsigned n = 1; n <= 22; ++n) {
-            const auto w = workloads::specWorkload(n);
-            std::printf("  WL%-3u %s:", n, w.memoryIntensive ? "M" : "C");
-            for (const auto &loop : w.loops)
-                std::printf(" %s", loop.name.c_str());
-            std::printf("\n");
-        }
-        std::printf("OpenCV workloads:\n");
-        for (unsigned n = 1; n <= 12; ++n) {
-            const auto w = workloads::opencvWorkload(n);
-            std::printf("  CV%-3u %s:", n, w.memoryIntensive ? "M" : "C");
-            for (const auto &loop : w.loops)
-                std::printf(" %s", loop.name.c_str());
-            std::printf("\n");
-        }
-        return 0;
     }
 
     // Checkpoint files name one run's state, so tie them to one policy.
@@ -413,7 +330,8 @@ main(int argc, char **argv)
     // Resolve the pair ids (e.g. "6+16").
     const auto plus = opt.pair.find('+');
     if (plus == std::string::npos) {
-        usage();
+        std::fprintf(stderr, "bad --pair %s (want e.g. 6+16)\n",
+                     opt.pair.c_str());
         return 2;
     }
     const unsigned a =
@@ -421,9 +339,10 @@ main(int argc, char **argv)
     const unsigned b =
         static_cast<unsigned>(std::atoi(opt.pair.substr(plus + 1).c_str()));
 
-    // Resolve workloads up front so catalog mistakes stay a usage
-    // error, then fan one job per policy out through the runner
-    // (--policy all used to run the four architectures serially).
+    // Resolve workloads and the machine up front so catalog mistakes
+    // and infeasible topologies stay usage errors, then fan one job
+    // per policy out through the runner (--policy all used to run the
+    // four architectures serially).
     std::vector<runner::JobSpec> jobs;
     try {
         for (SharingPolicy policy : opt.policies) {
@@ -432,7 +351,7 @@ main(int argc, char **argv)
             spec.label = opt.batch.empty()
                              ? opt.pair + "/" + policyName(policy)
                              : "batch/" + std::string(policyName(policy));
-            spec.cfg = MachineConfig::forPolicy(policy, opt.cores);
+            spec.cfg = makeConfig(policy, opt);
             spec.maxCycles = opt.maxCycles;
             spec.fastForward = opt.fastForward;
             spec.faultPlan = opt.faultPlan;
@@ -452,7 +371,7 @@ main(int argc, char **argv)
                     opt.opencv ? workloads::opencvWorkload(b)
                                : workloads::specWorkload(b);
                 spec.workloads.emplace_back(w0.name, w0.loops);
-                if (opt.cores > 1)
+                if (spec.cfg.numCores > 1)
                     spec.workloads.emplace_back(w1.name, w1.loops);
             } else {
                 for (const auto &token : opt.batch) {
