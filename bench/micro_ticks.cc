@@ -15,6 +15,12 @@
  *    co-processor drained while cores grind through stall cycles.
  *  - drained_partner: a classic compute+memory co-run where one core
  *    finishes long before the other and sits drained.
+ *  - parallel_clusters_4x4: a 16-core clustered machine ticked with 1
+ *    vs 4 cycle-loop worker threads (RunOptions::simThreads, DESIGN.md
+ *    §15). Here "off" is the serial loop and "on" the worker pool; the
+ *    results must be byte-identical and the speedup tracks the host's
+ *    free cores (~1x on a single-core host, where the barrier only
+ *    adds overhead).
  *
  * Usage: micro_ticks [OUT.json]   (default BENCH_ticks.json)
  */
@@ -40,6 +46,10 @@ struct Scenario
     MachineConfig cfg;
     std::vector<std::pair<std::string, std::vector<kir::Loop>>> pinned;
     std::vector<std::pair<std::string, std::vector<kir::Loop>>> batch;
+
+    /** When nonzero, the measured axis is the cycle-loop worker count
+     *  (off = 1 thread, on = this many) instead of fast-forward. */
+    unsigned simThreadsOn = 0;
 };
 
 struct Measurement
@@ -95,8 +105,39 @@ drainedPartner()
     return s;
 }
 
+/** The fig16 scale-out shape: even clusters lean memory, odd clusters
+ *  lean compute, 2*C batch jobs drain through work migration. All four
+ *  engines stay busy most of the run, which is exactly the load the
+ *  worker pool parallelizes. */
+Scenario
+parallelClusters()
+{
+    Scenario s;
+    s.name = "parallel_clusters_4x4";
+    s.cfg = MachineConfig::Builder(SharingPolicy::Elastic)
+                .topology(4, 4)
+                .build();
+    for (unsigned c = 0; c < 16; ++c) {
+        const bool mem = (c / 4) % 2 == 0;
+        s.pinned.push_back(
+            {mem ? "mem" : "comp",
+             {workloads::makeNamedPhase(mem ? "rho_eos1" : "wsm51",
+                                        mem ? 2048 : 8192)}});
+    }
+    for (unsigned q = 0; q < 8; ++q)
+        s.batch.push_back(
+            {"q" + std::to_string(q),
+             {workloads::makeNamedPhase(q % 2 ? "wsm51" : "rho_eos1",
+                                        4096)}});
+    s.simThreadsOn = 4;
+    return s;
+}
+
+/** @p on selects the scenario's measured axis: fast-forward for the
+ *  classic scenarios, 1-vs-N worker threads when simThreadsOn is set
+ *  (fast-forward then stays on in both runs). */
 Measurement
-measure(const Scenario &s, bool fast_forward, int reps)
+measure(const Scenario &s, bool on, int reps)
 {
     Measurement m;
     for (int rep = 0; rep < reps; ++rep) {
@@ -108,7 +149,8 @@ measure(const Scenario &s, bool fast_forward, int reps)
             sys.enqueueWorkload(name, loops);
 
         RunOptions opt;
-        opt.fastForward = fast_forward;
+        opt.fastForward = s.simThreadsOn ? true : on;
+        opt.simThreads = on && s.simThreadsOn ? s.simThreadsOn : 1;
         opt.ffStats = &m.ff;
 
         const auto t0 = std::chrono::steady_clock::now();
@@ -141,7 +183,8 @@ main(int argc, char **argv)
     const int reps = 3;
 
     const std::vector<Scenario> scenarios = {
-        batchIdleHeavy(), scalarFallback(), drainedPartner()};
+        batchIdleHeavy(), scalarFallback(), drainedPartner(),
+        parallelClusters()};
 
     std::string json = "{\"bench\":\"micro_ticks\",\"scenarios\":[";
     bool all_match = true;
@@ -178,7 +221,7 @@ main(int argc, char **argv)
             "\"wall_sec_off\":%.6f,\"wall_sec_on\":%.6f,"
             "\"sim_cycles_per_sec_off\":%.0f,"
             "\"sim_cycles_per_sec_on\":%.0f,"
-            "\"speedup\":%.3f,\"results_match\":%s}",
+            "\"speedup\":%.3f,\"results_match\":%s",
             first ? "" : ",", s.name.c_str(),
             static_cast<unsigned long long>(on.ff.cyclesSimulated),
             static_cast<unsigned long long>(on.ff.cyclesTicked),
@@ -186,6 +229,12 @@ main(int argc, char **argv)
             on.wallSec, cyclesPerSec(off), cyclesPerSec(on), speedup,
             match ? "true" : "false");
         json += buf;
+        if (s.simThreadsOn) {
+            std::snprintf(buf, sizeof(buf), ",\"sim_threads_on\":%u",
+                          s.simThreadsOn);
+            json += buf;
+        }
+        json += "}";
         first = false;
     }
     json += "]}";

@@ -89,7 +89,7 @@ CoProcessor::enqueue(DynInst inst)
 bool
 CoProcessor::canEnqueueEmSimd(CoreId c) const
 {
-    return cores_[c].emq.size() < 8;
+    return cores_[c].emq.size() < kEmqDepth;
 }
 
 void
@@ -122,9 +122,9 @@ CoProcessor::cancelVlRequest(CoreId c)
     cs.cfgDelayUntil = 0;
     // At most one <VL> request is in flight per core (the front end
     // stalls on it), so dropping the first un-executed MsrVL is enough.
-    for (auto it = cs.emq.begin(); it != cs.emq.end(); ++it) {
-        if (it->op == Opcode::MsrVL) {
-            cs.emq.erase(it);
+    for (std::size_t i = 0; i < cs.emq.size(); ++i) {
+        if (cs.emq[i].op == Opcode::MsrVL) {
+            cs.emq.erase_at(i);
             break;
         }
     }
@@ -894,21 +894,22 @@ loadInst(occamy::ckpt::Reader &r)
     return d;
 }
 
-template <class Seq>
 void
-saveInstSeq(occamy::ckpt::Writer &w, const Seq &seq)
+saveInstSeq(occamy::ckpt::Writer &w, const occamy::InstRing &seq)
 {
     w.u64(seq.size());
     for (const occamy::DynInst &d : seq)
         saveInst(w, d);
 }
 
-template <class Seq>
 void
-loadInstSeq(occamy::ckpt::Reader &r, Seq &seq)
+loadInstSeq(occamy::ckpt::Reader &r, occamy::InstRing &seq)
 {
     seq.clear();
     const std::size_t n = r.arr();
+    occamy::ckpt::Reader::check(
+        n <= seq.capacity(),
+        "checkpoint instruction queue exceeds its configured capacity");
     for (std::size_t i = 0; i < n; ++i)
         seq.push_back(loadInst(r));
 }

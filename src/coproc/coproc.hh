@@ -25,7 +25,6 @@
 #ifndef OCCAMY_COPROC_COPROC_HH
 #define OCCAMY_COPROC_COPROC_HH
 
-#include <deque>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -34,6 +33,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "coproc/dyninst.hh"
+#include "coproc/inst_ring.hh"
 #include "coproc/lsu.hh"
 #include "coproc/regfile.hh"
 #include "coproc/tables.hh"
@@ -170,16 +170,28 @@ class CoProcessor
     void printState(std::ostream &os, const std::string &what) const;
 
   private:
+    /** EM-SIMD queue depth (Fig. 5's small in-order buffer). */
+    static constexpr std::size_t kEmqDepth = 8;
+
+    /** Per-core pipeline state. The in-flight instruction queues are
+     *  arena-backed rings (coproc/inst_ring.hh): each is bounded by
+     *  configuration, so one contiguous allocation at construction
+     *  serves the machine's lifetime and the per-cycle stage walks
+     *  touch consecutive cache lines instead of chasing deque chunks. */
     struct CoreState
     {
-        explicit CoreState(const MachineConfig &cfg) : lsu(cfg) {}
+        explicit CoreState(const MachineConfig &cfg)
+            : pool(cfg.instPoolEntries), rob(cfg.robEntries), lsu(cfg),
+              emq(kEmqDepth)
+        {
+        }
 
-        std::deque<DynInst> pool;       ///< Instruction pool (FIFO).
-        std::deque<DynInst> rob;        ///< Renamed, program order.
+        InstRing pool;                  ///< Instruction pool (FIFO).
+        InstRing rob;                   ///< Renamed, program order.
         SeqNum robBase = 0;             ///< seq of rob.front().
         std::vector<SeqNum> iq;         ///< Awaiting issue.
         Lsu lsu;
-        std::deque<DynInst> emq;        ///< EM-SIMD in-order queue.
+        InstRing emq;                   ///< EM-SIMD in-order queue.
 
         VlRequestStatus vlReq;
 

@@ -151,6 +151,25 @@ inline constexpr EventMask kEvAll =
     kEvPhase | kEvPipeline | kEvPartition | kEvReconfig | kEvMem |
     kEvSched | kEvFault | kEvTraffic | kEvCluster;
 
+/**
+ * @return true if @p k's `a` payload is a string-table id. A sink that
+ * re-buffers events across string tables (obs::BufferSink) must remap
+ * exactly these payloads when it forwards.
+ */
+constexpr bool
+kindHasStringPayload(EventKind k)
+{
+    switch (k) {
+      case EventKind::PhaseBegin:
+      case EventKind::PhaseEnd:
+      case EventKind::BatchDispatch:
+      case EventKind::JobArrival:
+        return true;
+      default:
+        return false;
+    }
+}
+
 /** @return the category bit of @p k. */
 constexpr EventMask
 categoryOf(EventKind k)

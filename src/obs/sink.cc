@@ -167,4 +167,32 @@ RingSink::clear()
     dropped_ = 0;
 }
 
+std::uint64_t
+BufferSink::internString(std::string_view s)
+{
+    auto it = string_ids_.find(std::string(s));
+    if (it != string_ids_.end())
+        return it->second;
+    const std::uint64_t id = strings_.size();
+    strings_.emplace_back(s);
+    string_ids_.emplace(strings_.back(), id);
+    return id;
+}
+
+void
+BufferSink::drain()
+{
+    // Intern new local strings downstream first, in local-id order, so
+    // the downstream table grows in the deterministic merge order.
+    while (remap_.size() < strings_.size())
+        remap_.push_back(
+            downstream_.internString(strings_[remap_.size()]));
+    for (Event e : events_) {
+        if (kindHasStringPayload(e.kind))
+            e.a = remap_[static_cast<std::size_t>(e.a)];
+        downstream_.record(e);
+    }
+    events_.clear();
+}
+
 } // namespace occamy::obs

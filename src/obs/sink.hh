@@ -133,6 +133,53 @@ class RingSink : public EventSink
     std::unordered_map<std::string, std::uint64_t> string_ids_;
 };
 
+/**
+ * Deferred-forwarding sink for the parallel cluster tick phase.
+ *
+ * Each ClusterEngine's components record into a private BufferSink
+ * while the engines tick concurrently; the coordinator then drains the
+ * buffers into the real sink in cluster-id order, so the merged event
+ * stream is identical no matter how many worker threads ticked. String
+ * ids are interned into a buffer-local table at record time (recording
+ * stays allocation-light and lock-free) and remapped to the downstream
+ * sink's table at drain time — only the event kinds for which
+ * kindHasStringPayload() holds carry such ids.
+ *
+ * The buffer is transient: it is drained at every cycle's merge point,
+ * so it never appears in checkpoints (the downstream sink's intern
+ * table is always complete at any pause boundary).
+ */
+class BufferSink : public EventSink
+{
+  public:
+    /** @param downstream The real sink whose mask gates recording.
+     *  Borrowed — must outlive the buffer. */
+    explicit BufferSink(EventSink &downstream)
+        : EventSink(downstream.mask()), downstream_(downstream)
+    {
+    }
+
+    std::uint64_t internString(std::string_view s) override;
+
+    /** Forward every buffered event downstream (remapping string
+     *  payloads) and clear the buffer. Coordinator thread only. */
+    void drain();
+
+    std::size_t pending() const { return events_.size(); }
+
+  protected:
+    void push(const Event &e) override { events_.push_back(e); }
+
+  private:
+    EventSink &downstream_;
+    std::vector<Event> events_;
+
+    std::vector<std::string> strings_;
+    std::unordered_map<std::string, std::uint64_t> string_ids_;
+    /** Local string id -> downstream id; extended lazily at drain. */
+    std::vector<std::uint64_t> remap_;
+};
+
 } // namespace occamy::obs
 
 #endif // OCCAMY_OBS_SINK_HH

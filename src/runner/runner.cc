@@ -121,6 +121,7 @@ Runner::runOne(const JobSpec &spec, unsigned transient_retries)
             ropt.wallClockLimitSec = spec.wallClockLimitSec;
             ropt.checkpointOut = spec.checkpointOut;
             ropt.checkpointEvery = spec.checkpointEvery;
+            ropt.simThreads = spec.simThreads;
             ropt.ffStats = &out.ff;
             if (sink)
                 ropt.sink = sink.get();

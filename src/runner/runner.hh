@@ -114,6 +114,15 @@ struct JobSpec
     std::string checkpointOut;
     Cycle checkpointEvery = 0;
 
+    /** Worker threads for the job's own cycle loop
+     *  (RunOptions::simThreads): clustered machines tick their
+     *  ClusterEngines in parallel between deterministic horizons, so
+     *  results are byte-identical for any value. <= 1 (and every flat
+     *  machine) keeps the classic serial loop. Composes with the
+     *  runner's own job-level threads — total concurrency is roughly
+     *  jobs x simThreads. */
+    unsigned simThreads = 1;
+
     /** Resume from this checkpoint file instead of starting at cycle 0
      *  (System::restoreCheckpoint). The spec must carry the same
      *  config, workloads and determinism-relevant options as the run

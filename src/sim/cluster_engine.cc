@@ -1,0 +1,126 @@
+#include "sim/cluster_engine.hh"
+
+#include <algorithm>
+
+namespace occamy
+{
+
+ClusterEngine::ClusterEngine(unsigned id, const MachineConfig &view,
+                             const std::string &stats_prefix)
+    : id_(id), view_(view), mem_(view_), coproc_(view_, mem_),
+      mem_group_(stats_prefix + ".mem"), cp_group_(stats_prefix + ".coproc")
+{
+}
+
+ClusterEngine::~ClusterEngine() = default;
+
+void
+ClusterEngine::addCore(std::unique_ptr<ScalarCore> core)
+{
+    cores_.push_back(std::move(core));
+    busy_buckets_.emplace_back();
+    alloc_buckets_.emplace_back();
+}
+
+void
+ClusterEngine::attachSink(obs::EventSink *sink, bool buffered)
+{
+    obs::EventSink *target = sink;
+    if (sink && buffered) {
+        buffer_ = std::make_unique<obs::BufferSink>(*sink);
+        target = buffer_.get();
+    }
+    mem_.setEventSink(target);
+    coproc_.setEventSink(target);
+    for (auto &core : cores_)
+        core->setEventSink(target);
+}
+
+void
+ClusterEngine::regStats()
+{
+    mem_.regStats(mem_group_);
+    coproc_.regStats(cp_group_);
+}
+
+void
+ClusterEngine::tickCycle(Cycle now, bool full_width, unsigned bucket)
+{
+    coproc_.tick(now);
+    for (auto &core : cores_)
+        core->tick(now);
+
+    // Under FTS one full-width unit serves this cluster's cores, so
+    // busy lanes are capped cluster-wide and attributed proportionally.
+    // The cap is what still works: hard faults shrink the shared unit.
+    fts_scale_ = 1.0;
+    if (full_width) {
+        unsigned sum = 0;
+        for (unsigned i = 0; i < numCores(); ++i)
+            sum += coproc_.busyLanes(static_cast<CoreId>(i));
+        const unsigned cap = coproc_.usableLanes();
+        fts_scale_ = sum > cap ? static_cast<double>(cap) / sum : 1.0;
+    }
+
+    const std::size_t b = static_cast<std::size_t>(now / bucket);
+    for (unsigned i = 0; i < numCores(); ++i) {
+        const unsigned alloc =
+            coproc_.allocatedLanes(static_cast<CoreId>(i));
+        double busy = coproc_.busyLanes(static_cast<CoreId>(i));
+        if (full_width)
+            busy *= fts_scale_;
+        else
+            busy = std::min<double>(busy, alloc);
+        busy_integral_ += busy;
+
+        if (busy_buckets_[i].size() <= b) {
+            busy_buckets_[i].resize(b + 1, 0.0);
+            alloc_buckets_[i].resize(b + 1, 0.0);
+        }
+        busy_buckets_[i][b] += busy;
+        alloc_buckets_[i][b] += alloc;
+    }
+}
+
+void
+ClusterEngine::drainEvents()
+{
+    if (buffer_)
+        buffer_->drain();
+}
+
+void
+ClusterEngine::synthesizeSkipped(Cycle from, Cycle to, unsigned bucket)
+{
+    const std::size_t last_b = static_cast<std::size_t>(to / bucket);
+    for (unsigned i = 0; i < numCores(); ++i) {
+        if (busy_buckets_[i].size() <= last_b) {
+            busy_buckets_[i].resize(last_b + 1, 0.0);
+            alloc_buckets_[i].resize(last_b + 1, 0.0);
+        }
+        const unsigned alloc =
+            coproc_.allocatedLanes(static_cast<CoreId>(i));
+        if (alloc == 0)
+            continue;
+        for (Cycle cy = from; cy <= to;) {
+            const std::size_t b = static_cast<std::size_t>(cy / bucket);
+            const Cycle bucket_last =
+                (static_cast<Cycle>(b) + 1) * bucket - 1;
+            const Cycle upto = std::min(bucket_last, to);
+            alloc_buckets_[i][b] += static_cast<double>(alloc) *
+                                    static_cast<double>(upto - cy + 1);
+            cy = upto + 1;
+        }
+    }
+}
+
+Cycle
+ClusterEngine::coreWake(Cycle now) const
+{
+    Cycle wake = kCycleNever;
+    for (const auto &core : cores_)
+        wake = std::min(wake, core->nextEventAt(now));
+    return wake;
+}
+
+} // namespace occamy

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Per-cluster tick engine (the parallel unit of the cycle loop).
+ *
+ * One ClusterEngine owns everything a cluster touches while ticking: its
+ * flat K-core config view, memory system, co-processor, scalar cores,
+ * per-core busy/allocated-lane accounting, and (when event tracing is
+ * on) a private obs::BufferSink. PR 8 made clusters the only component
+ * boundary with no intra-cycle cross edges — cluster k's coproc, mem,
+ * and cores reference nothing of cluster j, sharing policies are
+ * immortal const singletons, and the fault injector attaches to cluster
+ * 0 alone — so independent engines can tick the same cycle on separate
+ * threads with no locks at all. System::advance is the coordinator: it
+ * runs every serial, cross-cluster step (arbiter rebalance, batch-queue
+ * and traffic admission, watchdog, fast-forward) between the parallel
+ * tick phases, and merges engine-buffered events in cluster-id order so
+ * the run's artifacts are byte-identical for 1 vs N worker threads
+ * (DESIGN.md §15).
+ *
+ * The engine also owns the quiescence probes of its components
+ * (coproc/core/mem nextEventAt) that System's wake-candidate table
+ * evaluates, and the accounting synthesis for skipped spans.
+ */
+
+#ifndef OCCAMY_SIM_CLUSTER_ENGINE_HH
+#define OCCAMY_SIM_CLUSTER_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "coproc/coproc.hh"
+#include "core/scalar_core.hh"
+#include "mem/memsystem.hh"
+#include "obs/sink.hh"
+
+namespace occamy
+{
+
+/** One cluster's components plus its slice of the cycle loop. */
+class ClusterEngine
+{
+  public:
+    /**
+     * @param id Cluster id (0 on a flat machine).
+     * @param view Flat K-core view of the cluster (the whole config on
+     *        a flat machine).
+     * @param stats_prefix Stats-group prefix, e.g. "system" or
+     *        "system.cluster2".
+     */
+    ClusterEngine(unsigned id, const MachineConfig &view,
+                  const std::string &stats_prefix);
+    ~ClusterEngine();
+
+    unsigned id() const { return id_; }
+    const MachineConfig &view() const { return view_; }
+    MemSystem &mem() { return mem_; }
+    const MemSystem &mem() const { return mem_; }
+    CoProcessor &coproc() { return coproc_; }
+    const CoProcessor &coproc() const { return coproc_; }
+    stats::Group &memGroup() { return mem_group_; }
+    stats::Group &cpGroup() { return cp_group_; }
+
+    // --- Boot-time wiring (System::boot). ---
+
+    /** Adopt the next local core (construction order = local id). */
+    void addCore(std::unique_ptr<ScalarCore> core);
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    ScalarCore &core(CoreId local) { return *cores_[local]; }
+    const ScalarCore &core(CoreId local) const { return *cores_[local]; }
+
+    /**
+     * Attach the run's event sink to every component of this cluster.
+     * With @p buffered (clustered machines with tracing on), events
+     * recorded during the parallel tick phase land in a private
+     * BufferSink that the coordinator drains in cluster-id order —
+     * buffering is keyed to the topology, never the thread count, so 1
+     * and N worker threads produce identical streams. Unbuffered (flat
+     * machines), components record straight into @p sink and the
+     * pre-engine event order is preserved exactly.
+     */
+    void attachSink(obs::EventSink *sink, bool buffered);
+
+    /** Register component stats into the per-cluster groups. */
+    void regStats();
+
+    // --- The parallel phase (worker or coordinator thread). ---
+
+    /**
+     * Tick one cycle: co-processor first, then the local cores (their
+     * construction order — the global tick order restricted to this
+     * cluster), then the cycle's lane accounting (FTS busy-lane
+     * scaling, busy/allocated bucket sums, the busy-lane integral).
+     * Touches only this cluster's state.
+     */
+    void tickCycle(Cycle now, bool full_width, unsigned bucket);
+
+    /** Flush buffered events downstream (coordinator, cluster order).
+     *  No-op when unbuffered. */
+    void drainEvents();
+
+    // --- Fast-forward support (coordinator). ---
+
+    /**
+     * Account a skipped quiescent span [from, to]: busy adds 0.0 per
+     * cycle (exact — nothing issues while quiescent) and alloc adds
+     * the lanes currently allocated, which cannot change mid-span.
+     */
+    void synthesizeSkipped(Cycle from, Cycle to, unsigned bucket);
+
+    /** Advance skip-invariant co-processor state (FTS round-robin). */
+    void skipCycles(Cycle span) { coproc_.skipCycles(span); }
+
+    // --- Quiescence probes (System's wake-candidate table). ---
+
+    Cycle coprocWake(Cycle now) const { return coproc_.nextEventAt(now); }
+    /** Non-const: the mem probe lazily pops expired wake entries. */
+    Cycle memWake(Cycle now) { return mem_.nextEventAt(now); }
+
+    /** Earliest wake over the local cores. */
+    Cycle coreWake(Cycle now) const;
+
+    // --- Accounting access (finalize and checkpointing). ---
+
+    double busyIntegral() const { return busy_integral_; }
+    void setBusyIntegral(double v) { busy_integral_ = v; }
+    std::vector<double> &busyBuckets(CoreId local)
+    {
+        return busy_buckets_[local];
+    }
+    std::vector<double> &allocBuckets(CoreId local)
+    {
+        return alloc_buckets_[local];
+    }
+
+  private:
+    unsigned id_;
+    MachineConfig view_;
+    MemSystem mem_;
+    CoProcessor coproc_;
+
+    /** Snapshot groups are built once and re-sampled each period; the
+     *  same groups feed the final statsText dump. */
+    stats::Group mem_group_;
+    stats::Group cp_group_;
+
+    std::vector<std::unique_ptr<ScalarCore>> cores_;
+
+    /** Deferred event forwarding for the parallel tick phase; null on
+     *  flat machines and sink-less runs. */
+    std::unique_ptr<obs::BufferSink> buffer_;
+
+    /** Per-cluster FTS busy-lane scale for the current cycle. */
+    double fts_scale_ = 1.0;
+
+    /** This cluster's share of the machine's busy-lane integral; the
+     *  coordinator sums the shares in cluster-id order at finalize, so
+     *  the total is independent of the worker-thread count (and equal
+     *  to the pre-engine accumulator on a flat machine). */
+    double busy_integral_ = 0.0;
+
+    /** Per local core, per opt.bucket cycles: busy / allocated lane
+     *  sums (the Fig. 2/14 timelines). */
+    std::vector<std::vector<double>> busy_buckets_;
+    std::vector<std::vector<double>> alloc_buckets_;
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_SIM_CLUSTER_ENGINE_HH

@@ -14,36 +14,12 @@
 #include "lanemgr/cluster_arbiter.hh"
 #include "lanemgr/partitioner.hh"
 #include "policy/sharing_model.hh"
+#include "sim/cluster_engine.hh"
+#include "sim/tick_pool.hh"
+#include "sim/wake_table.hh"
 
 namespace occamy
 {
-
-/**
- * One cluster of the machine: a co-processor plus the memory system it
- * sits on, constructed from the cluster's flat K-core *view* of the
- * config. On a 1-cluster machine the view is the config itself, so
- * component construction (and hence every artifact) is byte-identical
- * to the pre-cluster code. Named (not anonymous-namespace) because it
- * is a subobject of System::Ctx, which is declared in the header.
- */
-struct SystemCluster
-{
-    MachineConfig view;     ///< Flat K-core view of this cluster.
-    MemSystem mem;
-    CoProcessor coproc;
-
-    /** Snapshot groups are built once and re-sampled each period; the
-     *  same groups feed the final statsText dump. */
-    stats::Group mem_group;
-    stats::Group cp_group;
-
-    SystemCluster(const MachineConfig &v, const std::string &mem_name,
-                  const std::string &cp_name)
-        : view(v), mem(view), coproc(view, mem), mem_group(mem_name),
-          cp_group(cp_name)
-    {
-    }
-};
 
 namespace
 {
@@ -85,28 +61,42 @@ struct System::Ctx
     MachineConfig cfg;          ///< Resolved (static plan filled in).
     const policy::SharingModel &model;
 
-    /** One entry per cluster; flat machines are the 1-cluster case. */
-    std::vector<std::unique_ptr<SystemCluster>> clusters;
+    /** One tick engine per cluster; flat machines are the 1-cluster
+     *  case. Each engine owns its cluster's view, mem, coproc, cores,
+     *  and lane accounting (sim/cluster_engine.hh). */
+    std::vector<std::unique_ptr<ClusterEngine>> engines;
     /** Level-2 lane manager; only clustered machines have one. */
     std::unique_ptr<ClusterArbiter> arbiter;
+    /** Worker pool for the parallel tick phase; null = serial loop
+     *  (opt.simThreads <= 1, or a flat machine with one engine). */
+    std::unique_ptr<TickPool> pool;
+    /** Engines buffer tick-phase events for cluster-order merging.
+     *  Keyed to the topology (clustered + sink), never the thread
+     *  count, so 1-vs-N-thread streams are identical by construction. */
+    bool buffered = false;
     unsigned ncl = 1;           ///< cfg.numClusters, cached.
     unsigned cpk = 1;           ///< Cores per cluster, cached.
 
-    /** Cluster that owns global core @p c. */
-    SystemCluster &cl(unsigned c) { return *clusters[c / cpk]; }
-    const SystemCluster &cl(unsigned c) const
+    /** Engine that owns global core @p c. */
+    ClusterEngine &eng(unsigned c) { return *engines[c / cpk]; }
+    const ClusterEngine &eng(unsigned c) const
     {
-        return *clusters[c / cpk];
+        return *engines[c / cpk];
     }
     /** Global core id -> cluster-local core id. */
     CoreId lc(unsigned c) const { return static_cast<CoreId>(c % cpk); }
     unsigned clusterOf(unsigned c) const { return c / cpk; }
+    /** Global core accessor. */
+    ScalarCore &core(unsigned c) { return eng(c).core(lc(c)); }
+    const ScalarCore &core(unsigned c) const
+    {
+        return eng(c).core(lc(c));
+    }
 
     std::unique_ptr<fault::FaultInjector> injector;
 
     std::vector<std::unique_ptr<Program>> programs;
     unsigned region = 0;
-    std::vector<std::unique_ptr<ScalarCore>> cores;
 
     /** Queued-workload compiles in dispatch order (core, queue index):
      *  replayed verbatim on restore so program addresses, phase-id
@@ -119,9 +109,6 @@ struct System::Ctx
     unsigned total_lanes = 0;
     std::vector<Cycle> finish;
     std::vector<bool> done;
-    double busy_integral = 0.0;
-    std::vector<std::vector<double>> busy_buckets;
-    std::vector<std::vector<double>> alloc_buckets;
 
     // Batch dispatch state (Section 5).
     std::vector<bool> dispatched;
@@ -163,13 +150,13 @@ struct System::Ctx
             const std::string prefix =
                 ncl == 1 ? std::string("system")
                          : "system.cluster" + std::to_string(k);
-            clusters.push_back(std::make_unique<SystemCluster>(
-                views[k], prefix + ".mem", prefix + ".coproc"));
+            engines.push_back(
+                std::make_unique<ClusterEngine>(k, views[k], prefix));
         }
         // All clusters share one machine shape; the roofline used for
         // scheduling decisions is derived from cluster 0's view (== the
         // config on a flat machine).
-        roofline = RooflineParams::fromConfig(clusters[0]->view);
+        roofline = RooflineParams::fromConfig(engines[0]->view());
     }
 };
 
@@ -212,7 +199,7 @@ System::compileAndBind(Ctx &x, CoreId c, const std::string &name,
     // staggered address region (distinct cache-set alignment per slot).
     // Compilation targets the owning cluster's view (== the config on a
     // flat machine), with the core's cluster-local id.
-    const MachineConfig &view = x.cl(c).view;
+    const MachineConfig &view = x.eng(c).view();
     const unsigned fixed_vl = x.model.perCoreFixedVl(view, x.lc(c));
     CompileOptions opts = CompileOptions::forMachine(view, fixed_vl);
     Compiler compiler(opts);
@@ -292,40 +279,43 @@ System::boot(const RunOptions &opt)
     if (opt.faultPlan && !opt.faultPlan->empty()) {
         x.injector = std::make_unique<fault::FaultInjector>(
             *opt.faultPlan, x.cfg.numExeBUs);
-        x.clusters[0]->coproc.setFaultInjector(x.injector.get());
-        x.clusters[0]->mem.setFaultInjector(x.injector.get());
+        x.engines[0]->coproc().setFaultInjector(x.injector.get());
+        x.engines[0]->mem().setFaultInjector(x.injector.get());
     }
 
     x.core_prog.assign(x.cfg.numCores, 0);
     for (unsigned c = 0; c < x.cfg.numCores; ++c) {
-        SystemCluster &cl = x.cl(c);
-        x.cores.push_back(std::make_unique<ScalarCore>(
-            x.lc(c), cl.view, cl.coproc));
-        x.cores[c]->setProgram(compileAndBind(
+        ClusterEngine &eng = x.eng(c);
+        eng.addCore(std::make_unique<ScalarCore>(
+            x.lc(c), eng.view(), eng.coproc()));
+        x.core(c).setProgram(compileAndBind(
             x, static_cast<CoreId>(c), names_[c], loops_[c]));
         x.core_prog[c] = x.programs.size() - 1;
     }
 
     // Attach the trace sink after construction so boot-time plumbing
-    // (e.g. initial lane grants) produces no events.
-    for (auto &cl : x.clusters) {
-        cl->mem.setEventSink(opt.sink);
-        cl->coproc.setEventSink(opt.sink);
+    // (e.g. initial lane grants) produces no events. Clustered
+    // machines route tick-phase events through per-engine buffers
+    // merged in cluster order (independent of the thread count); flat
+    // machines record straight into the sink, preserving the
+    // pre-engine event order exactly.
+    x.buffered = opt.sink != nullptr && x.ncl > 1;
+    for (auto &eng : x.engines) {
+        eng->attachSink(opt.sink, x.buffered);
+        eng->regStats();
     }
-    for (auto &core : x.cores)
-        core->setEventSink(opt.sink);
 
-    for (auto &cl : x.clusters) {
-        cl->mem.regStats(cl->mem_group);
-        cl->coproc.regStats(cl->cp_group);
-    }
+    // Worker pool for the parallel tick phase: only useful when there
+    // is more than one engine to tick concurrently.
+    const unsigned tick_threads =
+        std::min<unsigned>(std::max(opt.simThreads, 1u), x.ncl);
+    if (tick_threads > 1)
+        x.pool = std::make_unique<TickPool>(tick_threads);
 
     x.result.cores.resize(x.cfg.numCores);
     x.total_lanes = x.cfg.totalLanes();
     x.finish.assign(x.cfg.numCores, 0);
     x.done.assign(x.cfg.numCores, false);
-    x.busy_buckets.resize(x.cfg.numCores);
-    x.alloc_buckets.resize(x.cfg.numCores);
 
     // For the OI-aware discipline we pre-analyze each queued
     // workload's first-phase behaviour.
@@ -334,7 +324,7 @@ System::boot(const RunOptions &opt)
     x.queue_oi.resize(queue_.size());
     if (x.cfg.schedPolicy == SchedPolicy::OiAware ||
         (dispatcher_ && dispatcher_->wantsOiScore())) {
-        const MachineConfig &view = x.clusters[0]->view;
+        const MachineConfig &view = x.engines[0]->view();
         for (std::size_t q = 0; q < queue_.size(); ++q)
             if (!queue_[q].second.empty())
                 x.queue_oi[q] = kir::phaseOI(queue_[q].second.front(),
@@ -415,7 +405,6 @@ System::advance(Cycle stop_at)
     const unsigned bucket = opt.bucket;
     const MachineConfig &cfg = x.cfg;
     const policy::SharingModel &model = x.model;
-    auto &cores = x.cores;
     fault::FaultInjector *const injector = x.injector.get();
     RunResult &result = x.result;
     FastForwardStats &ff = x.ff;
@@ -456,12 +445,12 @@ System::advance(Cycle stop_at)
     // against the other cores of the *target's* cluster (the whole
     // machine on a flat config).
     auto progressWith = [&](const PhaseOI &cand, CoreId target) {
-        SystemCluster &tc = x.cl(target);
+        ClusterEngine &tc = x.eng(target);
         std::vector<PhaseOI> ois(x.cpk);
         for (unsigned i = 0; i < x.cpk; ++i) {
             const unsigned g = x.clusterOf(target) * x.cpk + i;
             const PhaseOI &running =
-                tc.coproc.resourceTable()
+                tc.coproc().resourceTable()
                     .core(static_cast<CoreId>(i)).oi;
             ois[i] = running.active() ? running : x.sched_oi[g];
         }
@@ -583,41 +572,80 @@ System::advance(Cycle stop_at)
         return queue_.size();
     };
 
-    // Synthesize the timeline contribution of a skipped quiescent span
-    // [from, to]: every cycle in it would have added busy = 0 (nothing
-    // issues while quiescent — adding 0.0 is an exact no-op, so the
-    // busy timeline and busy_integral match the ticked run bit for
-    // bit) and alloc = the lanes currently allocated, which cannot
-    // change mid-span. Allocated lanes are small integers, so the
-    // grouped per-bucket sums below are exact too.
-    auto synthesizeSkipped = [&](Cycle from, Cycle to) {
-        const std::size_t last_b = static_cast<std::size_t>(to / bucket);
-        for (unsigned c = 0; c < cfg.numCores; ++c) {
-            if (x.busy_buckets[c].size() <= last_b) {
-                x.busy_buckets[c].resize(last_b + 1, 0.0);
-                x.alloc_buckets[c].resize(last_b + 1, 0.0);
-            }
-            const unsigned alloc =
-                x.cl(c).coproc.allocatedLanes(x.lc(c));
-            if (alloc == 0)
-                continue;
-            for (Cycle cy = from; cy <= to;) {
-                const std::size_t b =
-                    static_cast<std::size_t>(cy / bucket);
-                const Cycle bucket_last =
-                    (static_cast<Cycle>(b) + 1) * bucket - 1;
-                const Cycle upto = std::min(bucket_last, to);
-                x.alloc_buckets[c][b] +=
-                    static_cast<double>(alloc) *
-                    static_cast<double>(upto - cy + 1);
-                cy = upto + 1;
-            }
-        }
-    };
+    // The parallel tick phase: engines are ticked concurrently (or in
+    // cluster order by the serial fallback — same result either way by
+    // construction). The task closure is built once, outside the loop;
+    // `now` is a reference into Ctx, so it tracks the cycle.
+    const bool full_width = model.fullWidthExecution();
+    const std::function<void(unsigned)> tick_task =
+        [&x, &now, full_width, bucket](unsigned k) {
+            x.engines[k]->tickCycle(now, full_width, bucket);
+        };
 
-    // Per-cluster FTS busy-lane scale, hoisted so the cycle loop does
-    // not allocate. One entry on a flat machine.
-    std::vector<double> fts_scale(x.ncl, 1.0);
+    // Wake-candidate table (fast-forward): one registration per
+    // configured probe, hoisted out of the cycle loop. Registration
+    // order matches the old per-cycle ladder exactly — tier by tier,
+    // and within a tier the same source order — so the chosen wake
+    // cycle and its WakeSource attribution are unchanged.
+    WakeTable wt;
+    for (auto &eng : x.engines)
+        wt.add(0, WakeSource::Coproc, [e = eng.get()](Cycle at) {
+            return e->coprocWake(at);
+        });
+    for (auto &eng : x.engines)
+        wt.add(1, WakeSource::Core, [e = eng.get()](Cycle at) {
+            return e->coreWake(at);
+        });
+    for (auto &eng : x.engines)
+        wt.add(2, WakeSource::Mem, [e = eng.get()](Cycle at) {
+            return e->memWake(at);
+        });
+    // An arbiter rebalance can change per-cluster DRAM grants, which
+    // no component probe anticipates; wake exactly at the next period
+    // boundary.
+    if (x.arbiter)
+        wt.add(2, WakeSource::Arbiter, [period = cfg.interArbiterPeriod](
+                                           Cycle at) {
+            return (at / period + 1) * period;
+        });
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        wt.add(2, WakeSource::Dispatch,
+               [&x, c](Cycle) { return x.dispatch_at[c]; });
+    if (opt.snapshotEvery)
+        wt.add(2, WakeSource::Snapshot, [every = opt.snapshotEvery](
+                                            Cycle at) {
+            return (at / every + 1) * every;
+        });
+    // Fault-plan boundaries change component behaviour even when the
+    // machine is otherwise quiescent, and a spinning core's watchdog
+    // deadline is a state change the probes above can't see. Both must
+    // be wake candidates or fast-forward would skip past them and
+    // diverge from the ticked run.
+    if (injector)
+        wt.add(2, WakeSource::Fault,
+               [injector](Cycle at) { return injector->nextEventAt(at); });
+    if (opt.watchdogCycles) {
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            wt.add(2, WakeSource::Watchdog,
+                   [core = &x.core(c), wd = opt.watchdogCycles](Cycle at) {
+                       return core->awaitingVl()
+                                  ? std::max(core->spinSince() + wd,
+                                             at + 1)
+                                  : kCycleNever;
+                   });
+    }
+    // A pending traffic arrival is a state change no component probe
+    // can see: an all-idle machine waiting for work must wake exactly
+    // at the next effective arrival. Unresolved closed-loop arrivals
+    // (next_arrival == kCycleNever) need no candidate — their
+    // predecessor is still running, so a component event precedes
+    // their resolution.
+    if (x.has_traffic)
+        wt.add(2, WakeSource::Arrival, [&x](Cycle at) {
+            return x.unarrived > 0
+                       ? std::max(x.next_arrival, at + 1)
+                       : kCycleNever;
+        });
 
     // --- Cycle loop. ---
     for (; now < max_cycles; ++now) {
@@ -658,11 +686,11 @@ System::advance(Cycle stop_at)
             now % cfg.interArbiterPeriod == 0) {
             std::vector<std::uint64_t> bytes(x.ncl);
             for (unsigned k = 0; k < x.ncl; ++k)
-                bytes[k] = x.clusters[k]->mem.dramBytes();
+                bytes[k] = x.engines[k]->mem().dramBytes();
             const std::vector<unsigned> &sh =
                 x.arbiter->rebalance(now, bytes);
             for (unsigned k = 0; k < x.ncl; ++k)
-                x.clusters[k]->mem.setDramBytesPerCycle(sh[k]);
+                x.engines[k]->mem().setDramBytesPerCycle(sh[k]);
             if (opt.sink &&
                 opt.sink->wants(obs::EventKind::ClusterArbiterPlan)) {
                 obs::Event ev;
@@ -676,21 +704,31 @@ System::advance(Cycle stop_at)
             }
         }
 
-        for (auto &cl : x.clusters)
-            cl->coproc.tick(now);
-        for (auto &core : cores)
-            core->tick(now);
+        // --- Parallel phase: tick every cluster engine (coproc, its
+        // cores, lane accounting). Engines share no mutable state, so
+        // the pool needs no locks; the serial fallback ticks them in
+        // cluster order with the same result by construction.
+        if (x.pool)
+            x.pool->run(x.ncl, tick_task);
+        else
+            for (unsigned k = 0; k < x.ncl; ++k)
+                tick_task(k);
+        // Merge point: forward tick-phase events in cluster-id order,
+        // so the stream is identical for any worker-thread count.
+        if (x.buffered)
+            for (auto &eng : x.engines)
+                eng->drainEvents();
 
         // Livelock/deadlock watchdog: a <VL>-request episode (initial
         // write + Fig. 9 retry spin) that outlives the deadline is
         // escalated to the scalar fallback instead of spinning forever.
         if (opt.watchdogCycles) {
             for (unsigned c = 0; c < cfg.numCores; ++c) {
-                ScalarCore &core = *cores[c];
+                ScalarCore &core = x.core(c);
                 if (!core.awaitingVl() ||
                     now < core.spinSince() + opt.watchdogCycles)
                     continue;
-                CoProcessor &cp = x.cl(c).coproc;
+                CoProcessor &cp = x.eng(c).coproc();
                 const VlRequestStatus st =
                     cp.vlRequestStatus(core.id());
                 if (st.resolved && st.ok)
@@ -748,7 +786,7 @@ System::advance(Cycle stop_at)
                 const auto &[wl_name, wl_loops] = queue_[x.pending_wl[c]];
                 x.compile_log.emplace_back(static_cast<CoreId>(c),
                                            x.pending_wl[c]);
-                cores[c]->setProgram(compileAndBind(
+                x.core(c).setProgram(compileAndBind(
                     x, static_cast<CoreId>(c), wl_name, wl_loops));
                 x.core_prog[c] = x.programs.size() - 1;
                 if (x.has_traffic)
@@ -769,29 +807,16 @@ System::advance(Cycle stop_at)
             }
         }
 
+        // Lane accounting (FTS scaling, bucket sums, busy integral)
+        // happened inside each engine's tickCycle; this loop is the
+        // serial scheduler: completion detection, traffic lifecycle,
+        // and batch dispatch.
         bool all_done = true;
-        // Under FTS one full-width unit serves each cluster's cores,
-        // so busy lanes are capped per cluster and attributed
-        // proportionally (machine-wide on a flat config).
-        if (model.fullWidthExecution()) {
-            for (unsigned k = 0; k < x.ncl; ++k) {
-                unsigned sum = 0;
-                for (unsigned i = 0; i < x.cpk; ++i)
-                    sum += x.clusters[k]->coproc.busyLanes(
-                        static_cast<CoreId>(i));
-                // The cluster-wide cap is what still works: hard
-                // faults shrink the single shared unit.
-                const unsigned cap =
-                    x.clusters[k]->coproc.usableLanes();
-                fts_scale[k] =
-                    sum > cap ? static_cast<double>(cap) / sum : 1.0;
-            }
-        }
         for (unsigned c = 0; c < cfg.numCores; ++c) {
             if (!x.done[c]) {
                 const bool idle =
-                    cores[c]->doneEmitting() &&
-                    x.cl(c).coproc.coreDrained(x.lc(c)) &&
+                    x.core(c).doneEmitting() &&
+                    x.eng(c).coproc().coreDrained(x.lc(c)) &&
                     x.dispatch_at[c] == kCycleNever;
                 if (idle) {
                     // Close the traffic lifecycle of the job that just
@@ -916,32 +941,16 @@ System::advance(Cycle stop_at)
                     all_done = false;
                 }
             }
-            const unsigned alloc =
-                x.cl(c).coproc.allocatedLanes(x.lc(c));
-            double busy = x.cl(c).coproc.busyLanes(x.lc(c));
-            if (model.fullWidthExecution())
-                busy *= fts_scale[x.clusterOf(c)];
-            else
-                busy = std::min<double>(busy, alloc);
-            x.busy_integral += busy;
-
-            const std::size_t b = now / bucket;
-            if (x.busy_buckets[c].size() <= b) {
-                x.busy_buckets[c].resize(b + 1, 0.0);
-                x.alloc_buckets[c].resize(b + 1, 0.0);
-            }
-            x.busy_buckets[c][b] += busy;
-            x.alloc_buckets[c][b] += alloc;
         }
         if (opt.snapshotEvery && now > 0 &&
             now % opt.snapshotEvery == 0) {
             obs::MetricSnapshot snap;
             snap.cycle = now;
-            for (auto &cl : x.clusters) {
-                auto mv = cl->mem_group.snapshot();
+            for (auto &eng : x.engines) {
+                auto mv = eng->memGroup().snapshot();
                 snap.values.insert(snap.values.end(), mv.begin(),
                                    mv.end());
-                auto cv = cl->cp_group.snapshot();
+                auto cv = eng->cpGroup().snapshot();
                 snap.values.insert(snap.values.end(), cv.begin(),
                                    cv.end());
             }
@@ -959,73 +968,23 @@ System::advance(Cycle stop_at)
         // --- Quiescence-aware fast-forward (skip-to-next-event). ---
         // Every component reports the earliest future cycle it could
         // change state; until min(candidates), each tick is provably a
-        // no-op, so the loop jumps there directly. Probes may be
-        // conservative (wake early) but never late, which is what
-        // keeps fast-forwarded runs byte-identical to ticked ones.
-        Cycle wake = kCycleNever;
-        WakeSource why = WakeSource::Cap;
-        auto consider = [&](Cycle c, WakeSource s) {
-            if (c < wake) {
-                wake = c;
-                why = s;
-            }
-        };
-        for (auto &cl : x.clusters)
-            consider(cl->coproc.nextEventAt(now), WakeSource::Coproc);
-        if (wake > now + 1) {
-            for (auto &core : cores)
-                consider(core->nextEventAt(now), WakeSource::Core);
+        // no-op, so the loop jumps there directly. The candidate table
+        // was registered above, once per advance() call. Pause and
+        // checkpoint boundaries cap the jump so the loop lands on them
+        // exactly — engine bookkeeping only: the span shapes (and
+        // SchedFastForward events, engine category) may differ from an
+        // uninterrupted run, the simulated state never does — a split
+        // skip synthesizes the same bucket sums and round-robin
+        // advance as one long skip.
+        auto [wake, why] = wt.evaluate(now);
+        if (stop_at < wake) {
+            wake = stop_at;
+            why = WakeSource::Checkpoint;
         }
-        if (wake > now + 1) {
-            for (auto &cl : x.clusters)
-                consider(cl->mem.nextEventAt(now), WakeSource::Mem);
-            // An arbiter rebalance can change per-cluster DRAM grants,
-            // which no component probe anticipates; wake exactly at
-            // the next period boundary.
-            if (x.arbiter)
-                consider((now / cfg.interArbiterPeriod + 1) *
-                             cfg.interArbiterPeriod,
-                         WakeSource::Arbiter);
-            for (unsigned c = 0; c < cfg.numCores; ++c)
-                if (x.dispatch_at[c] != kCycleNever)
-                    consider(x.dispatch_at[c], WakeSource::Dispatch);
-            if (opt.snapshotEvery)
-                consider((now / opt.snapshotEvery + 1) *
-                             opt.snapshotEvery,
-                         WakeSource::Snapshot);
-            // Fault-plan boundaries change component behaviour even when
-            // the machine is otherwise quiescent, and a spinning core's
-            // watchdog deadline is a state change the probes above can't
-            // see. Both must be wake candidates or fast-forward would
-            // skip past them and diverge from the ticked run.
-            if (injector)
-                consider(injector->nextEventAt(now), WakeSource::Fault);
-            if (opt.watchdogCycles) {
-                for (auto &core : cores)
-                    if (core->awaitingVl())
-                        consider(std::max(core->spinSince() +
-                                              opt.watchdogCycles,
-                                          now + 1),
-                                 WakeSource::Watchdog);
-            }
-            // A pending traffic arrival is a state change no component
-            // probe can see: an all-idle machine waiting for work must
-            // wake exactly at the next effective arrival. Unresolved
-            // closed-loop arrivals (next_arrival == kCycleNever) need
-            // no candidate — their predecessor is still running, so a
-            // component event precedes their resolution.
-            if (x.has_traffic && x.unarrived > 0)
-                consider(std::max(x.next_arrival, now + 1),
-                         WakeSource::Arrival);
+        if (next_ckpt < wake) {
+            wake = next_ckpt;
+            why = WakeSource::Checkpoint;
         }
-        // Pause and checkpoint boundaries cap the jump so the loop
-        // lands on them exactly. Engine bookkeeping only: the span
-        // shapes (and SchedFastForward events, engine category) may
-        // differ from an uninterrupted run, the simulated state never
-        // does — a split skip synthesizes the same bucket sums and
-        // round-robin advance as one long skip.
-        consider(stop_at, WakeSource::Checkpoint);
-        consider(next_ckpt, WakeSource::Checkpoint);
         if (wake <= now + 1)
             continue;
 
@@ -1050,9 +1009,10 @@ System::advance(Cycle stop_at)
             ev.b = static_cast<std::uint64_t>(why);
             opt.sink->record(ev);
         }
-        synthesizeSkipped(now + 1, target - 1);
-        for (auto &cl : x.clusters)
-            cl->coproc.skipCycles(span);
+        for (auto &eng : x.engines)
+            eng->synthesizeSkipped(now + 1, target - 1, bucket);
+        for (auto &eng : x.engines)
+            eng->skipCycles(span);
         ++ff.spans;
         ff.cyclesSkipped += span;
         ff.longestSpan = std::max(ff.longestSpan, span);
@@ -1077,43 +1037,51 @@ System::finalize()
     if (x.opt.ffStats)
         *x.opt.ffStats = x.ff;
     result.cycles = std::max<Cycle>(x.last_finish, 1);
+    // Each engine accumulated its own share of the busy-lane integral
+    // during the (possibly parallel) tick phases; summing the shares
+    // in cluster-id order makes the total independent of the thread
+    // count, and on a flat machine it IS the single old accumulator.
+    double busy_integral = 0.0;
+    for (const auto &eng : x.engines)
+        busy_integral += eng->busyIntegral();
     result.simdUtil =
-        x.busy_integral / (static_cast<double>(x.total_lanes) *
-                           static_cast<double>(result.cycles));
+        busy_integral / (static_cast<double>(x.total_lanes) *
+                         static_cast<double>(result.cycles));
 
     for (unsigned c = 0; c < x.cfg.numCores; ++c) {
         CoreRunResult &cr = result.cores[c];
+        const ScalarCore &core = x.core(c);
+        const CoProcessor &cp = x.eng(c).coproc();
         cr.workload = names_[c];
         cr.finish = x.finish[c];
-        cr.computeIssued = x.cl(c).coproc.computeIssued(x.lc(c));
-        cr.memIssued = x.cl(c).coproc.memIssued(x.lc(c));
-        cr.renameRegStallCycles =
-            x.cl(c).coproc.renameRegStallCycles(x.lc(c));
-        cr.monitorInsts = x.cores[c]->monitorInsts();
-        cr.reconfigWaitCycles = x.cores[c]->reconfigWaitCycles();
-        cr.reconfigEvents = x.cores[c]->reconfigEvents();
-        cr.reinitInsts = x.cores[c]->reinitInsts();
+        cr.computeIssued = cp.computeIssued(x.lc(c));
+        cr.memIssued = cp.memIssued(x.lc(c));
+        cr.renameRegStallCycles = cp.renameRegStallCycles(x.lc(c));
+        cr.monitorInsts = core.monitorInsts();
+        cr.reconfigWaitCycles = core.reconfigWaitCycles();
+        cr.reconfigEvents = core.reconfigEvents();
+        cr.reinitInsts = core.reinitInsts();
 
-        for (const PhaseTrace &t : x.cores[c]->phases()) {
+        for (const PhaseTrace &t : core.phases()) {
             PhaseResult pr;
             pr.name = t.name;
             pr.start = t.start;
             pr.end = t.end ? t.end : x.finish[c];
             pr.firstVl = t.firstVl;
             pr.lastVl = t.lastVl;
-            pr.computeIssued = x.cl(c).coproc.computeIssuedInPhase(
-                x.lc(c), t.phaseId);
+            pr.computeIssued =
+                cp.computeIssuedInPhase(x.lc(c), t.phaseId);
             const Cycle span = pr.end > pr.start ? pr.end - pr.start : 1;
             pr.issueRate = static_cast<double>(pr.computeIssued) /
                            static_cast<double>(span);
             cr.phases.push_back(pr);
         }
 
-        for (std::size_t b = 0; b < x.busy_buckets[c].size(); ++b) {
-            cr.busyLanesTimeline.push_back(x.busy_buckets[c][b] /
-                                           bucket);
-            cr.allocLanesTimeline.push_back(x.alloc_buckets[c][b] /
-                                            bucket);
+        const auto &busy_bk = x.eng(c).busyBuckets(x.lc(c));
+        const auto &alloc_bk = x.eng(c).allocBuckets(x.lc(c));
+        for (std::size_t b = 0; b < busy_bk.size(); ++b) {
+            cr.busyLanesTimeline.push_back(busy_bk[b] / bucket);
+            cr.allocLanesTimeline.push_back(alloc_bk[b] / bucket);
         }
     }
 
@@ -1121,11 +1089,11 @@ System::finalize()
     result.vlSwitches = 0;
     result.plansMade = 0;
     result.laneFaults = 0;
-    for (const auto &cl : x.clusters) {
-        result.dramBytes += cl->mem.dramBytes();
-        result.vlSwitches += cl->coproc.vlSwitches();
-        result.plansMade += cl->coproc.plansMade();
-        result.laneFaults += cl->coproc.laneFaults();
+    for (const auto &eng : x.engines) {
+        result.dramBytes += eng->mem().dramBytes();
+        result.vlSwitches += eng->coproc().vlSwitches();
+        result.plansMade += eng->coproc().plansMade();
+        result.laneFaults += eng->coproc().laneFaults();
     }
     result.watchdogTrips = x.watchdog_trips;
 
@@ -1138,9 +1106,9 @@ System::finalize()
         for (unsigned k = 0; k < x.ncl; ++k) {
             ClusterRunResult &cr = result.clusters[k];
             cr.cluster = k;
-            cr.dramBytes = x.clusters[k]->mem.dramBytes();
-            cr.vlSwitches = x.clusters[k]->coproc.vlSwitches();
-            cr.plansMade = x.clusters[k]->coproc.plansMade();
+            cr.dramBytes = x.engines[k]->mem().dramBytes();
+            cr.vlSwitches = x.engines[k]->coproc().vlSwitches();
+            cr.plansMade = x.engines[k]->coproc().plansMade();
             cr.dramShareBpc = x.arbiter->shares()[k];
             cr.avgDramShareBpc = x.arbiter->avgShare(k, result.cycles);
             cr.migratedIn = x.arbiter->migratedIn(k);
@@ -1164,9 +1132,9 @@ System::finalize()
     // gem5-style stats dump (same groups the snapshots sampled).
     {
         std::ostringstream os;
-        for (const auto &cl : x.clusters) {
-            cl->mem_group.dump(os);
-            cl->cp_group.dump(os);
+        for (const auto &eng : x.engines) {
+            eng->memGroup().dump(os);
+            eng->cpGroup().dump(os);
         }
         stats::Group run_group("system.run");
         run_group.addFormula(
@@ -1307,8 +1275,8 @@ System::fingerprint(const Ctx &x) const
     if (c.numClusters > 1) {
         os << '#' << c.numClusters << '|' << c.interArbiterPeriod
            << '|' << c.clusterMigrationCycles << '|';
-        for (const auto &cl : x.clusters) {
-            for (unsigned u : cl->view.staticPlan)
+        for (const auto &eng : x.engines) {
+            for (unsigned u : eng->view().staticPlan)
                 os << u << ',';
             os << ';';
         }
@@ -1343,7 +1311,17 @@ System::saveCheckpoint(std::ostream &os) const
     w.u64(x.ff.spans);
     w.u64(x.ff.longestSpan);
     w.u64(x.watchdog_trips);
-    w.f64(x.busy_integral);
+    // The flat busy-integral slot stays a single f64 (the frozen byte
+    // layout): the cluster-id-order sum of the per-engine shares. On a
+    // flat machine that sum IS engine 0's accumulator, bit for bit; on
+    // clustered machines the per-engine shares needed to resume follow
+    // in the "cluster" section below.
+    {
+        double busy_integral = 0.0;
+        for (const auto &eng : x.engines)
+            busy_integral += eng->busyIntegral();
+        w.f64(busy_integral);
+    }
 
     // Program bookkeeping: the queue-dispatch compile log replays the
     // exact compile order on restore.
@@ -1375,13 +1353,18 @@ System::saveCheckpoint(std::ostream &os) const
     for (std::size_t p : x.pending_wl)
         w.u64(p);
 
-    // Timelines.
-    for (const auto &bk : x.busy_buckets) {
+    // Timelines, in global core order (the engines hold them now, but
+    // the byte layout is the pre-engine flat one).
+    for (unsigned c = 0; c < x.cfg.numCores; ++c) {
+        const auto &bk =
+            x.engines[x.clusterOf(c)]->busyBuckets(x.lc(c));
         w.u64(bk.size());
         for (double v : bk)
             w.f64(v);
     }
-    for (const auto &bk : x.alloc_buckets) {
+    for (unsigned c = 0; c < x.cfg.numCores; ++c) {
+        const auto &bk =
+            x.engines[x.clusterOf(c)]->allocBuckets(x.lc(c));
         w.u64(bk.size());
         for (double v : bk)
             w.f64(v);
@@ -1444,17 +1427,23 @@ System::saveCheckpoint(std::ostream &os) const
     if (x.arbiter) {
         w.section("cluster");
         x.arbiter->save(w);
+        // Per-engine busy-integral shares: the flat slot above only
+        // holds their sum, which is not enough to resume engines that
+        // keep accumulating independently.
+        for (const auto &eng : x.engines)
+            w.f64(eng->busyIntegral());
     }
 
     // Components: per cluster its memory system then its co-processor
-    // (the flat order on a 1-cluster machine), then every core.
-    for (const auto &cl : x.clusters) {
-        cl->mem.save(w);
-        cl->coproc.save(w);
+    // (the flat order on a 1-cluster machine), then every core in
+    // global id order.
+    for (const auto &eng : x.engines) {
+        eng->mem().save(w);
+        eng->coproc().save(w);
     }
-    w.u64(x.cores.size());
-    for (const auto &core : x.cores)
-        core->save(w);
+    w.u64(x.cfg.numCores);
+    for (unsigned c = 0; c < x.cfg.numCores; ++c)
+        x.engines[x.clusterOf(c)]->core(x.lc(c)).save(w);
 
     w.finish();
 }
@@ -1485,7 +1474,11 @@ System::restoreCheckpoint(std::istream &is, const RunOptions &opt)
         x.ff.spans = r.u64();
         x.ff.longestSpan = r.u64();
         x.watchdog_trips = r.u64();
-        x.busy_integral = r.f64();
+        // The flat slot holds the cluster-order sum of the per-engine
+        // busy-integral shares. Park it on engine 0 — exact on a flat
+        // machine; clustered machines overwrite every engine from the
+        // per-engine values in the "cluster" section below.
+        x.engines[0]->setBusyIntegral(r.f64());
 
         // Replay queued-workload compiles: deterministic compilation
         // reproduces byte-identical programs and array bindings.
@@ -1508,7 +1501,8 @@ System::restoreCheckpoint(std::istream &is, const RunOptions &opt)
                                 "checkpoint program index out of range");
         }
         for (unsigned c = 0; c < x.cfg.numCores; ++c)
-            x.cores[c]->restoreProgram(x.programs[x.core_prog[c]].get());
+            x.core(c).restoreProgram(
+                x.programs[x.core_prog[c]].get());
 
         for (Cycle &f : x.finish)
             f = r.u64();
@@ -1529,12 +1523,14 @@ System::restoreCheckpoint(std::istream &is, const RunOptions &opt)
         for (std::size_t &p : x.pending_wl)
             p = r.u64();
 
-        for (auto &bk : x.busy_buckets) {
+        for (unsigned c = 0; c < x.cfg.numCores; ++c) {
+            auto &bk = x.eng(c).busyBuckets(x.lc(c));
             bk.resize(r.arr());
             for (double &v : bk)
                 v = r.f64();
         }
-        for (auto &bk : x.alloc_buckets) {
+        for (unsigned c = 0; c < x.cfg.numCores; ++c) {
+            auto &bk = x.eng(c).allocBuckets(x.lc(c));
             bk.resize(r.arr());
             for (double &v : bk)
                 v = r.f64();
@@ -1594,17 +1590,19 @@ System::restoreCheckpoint(std::istream &is, const RunOptions &opt)
             x.arbiter->load(r);
             const std::vector<unsigned> &sh = x.arbiter->shares();
             for (unsigned k = 0; k < x.ncl; ++k)
-                x.clusters[k]->mem.setDramBytesPerCycle(sh[k]);
+                x.engines[k]->mem().setDramBytesPerCycle(sh[k]);
+            for (auto &eng : x.engines)
+                eng->setBusyIntegral(r.f64());
         }
 
-        for (auto &cl : x.clusters) {
-            cl->mem.load(r);
-            cl->coproc.load(r);
+        for (auto &eng : x.engines) {
+            eng->mem().load(r);
+            eng->coproc().load(r);
         }
-        ckpt::Reader::check(r.arr() == x.cores.size(),
+        ckpt::Reader::check(r.arr() == x.cfg.numCores,
                             "checkpoint core count mismatch");
-        for (auto &core : x.cores)
-            core->load(r);
+        for (unsigned c = 0; c < x.cfg.numCores; ++c)
+            x.core(c).load(r);
 
         r.finish();
 
@@ -1642,7 +1640,7 @@ System::inspect(const std::string &path) const
     // Un-prefixed component paths address cluster 0 — the whole
     // machine on a flat config, and a convenient alias on a clustered
     // one; system.clusterN.* addresses a specific cluster.
-    const SystemCluster &cl0 = *x.clusters[0];
+    const ClusterEngine &cl0 = *x.engines[0];
     if (path == "system") {
         os << "policy " << x.model.key() << '\n'
            << "cores " << x.cfg.numCores << '\n'
@@ -1675,40 +1673,40 @@ System::inspect(const std::string &path) const
             os << "cluster" << k << "_share "
                << x.arbiter->shares()[k] << '\n';
     } else if (path == "system.mem") {
-        cl0.mem.printState(os);
+        cl0.mem().printState(os);
     } else if (path == "system.mem.vec_cache") {
-        cl0.mem.vecCache().printState(os);
+        cl0.mem().vecCache().printState(os);
     } else if (path == "system.mem.l2") {
-        cl0.mem.l2().printState(os);
+        cl0.mem().l2().printState(os);
     } else if (path == "system.coproc") {
-        cl0.coproc.printState(os, "");
+        cl0.coproc().printState(os, "");
     } else if (path == "system.coproc.rt") {
-        cl0.coproc.printState(os, "rt");
+        cl0.coproc().printState(os, "rt");
     } else if (path == "system.coproc.lanemgr") {
-        cl0.coproc.printState(os, "lanemgr");
+        cl0.coproc().printState(os, "lanemgr");
     } else if (path == "system.coproc.regfile") {
-        cl0.coproc.printState(os, "regfile");
+        cl0.coproc().printState(os, "regfile");
     } else if (const char *rest = strip("system.coproc.core")) {
-        cl0.coproc.printState(os, rest);
+        cl0.coproc().printState(os, rest);
     } else if (const char *spec = strip("system.cluster")) {
         std::size_t pos = 0;
         const unsigned long k = std::stoul(spec, &pos);
         if (k >= x.ncl)
             throw std::out_of_range("no such cluster: " + path);
-        const SystemCluster &cl = *x.clusters[k];
+        const ClusterEngine &cl = *x.engines[k];
         const std::string sub(spec + pos);
         if (sub == ".mem")
-            cl.mem.printState(os);
+            cl.mem().printState(os);
         else if (sub == ".coproc")
-            cl.coproc.printState(os, "");
+            cl.coproc().printState(os, "");
         else
             throw std::invalid_argument("unknown component path: " +
                                         path);
     } else if (const char *core = strip("system.core")) {
         const std::size_t c = std::stoul(core);
-        if (c >= x.cores.size())
+        if (c >= x.cfg.numCores)
             throw std::out_of_range("no such core: " + path);
-        x.cores[c]->printState(os);
+        x.core(static_cast<unsigned>(c)).printState(os);
     } else {
         throw std::invalid_argument("unknown component path: " + path);
     }

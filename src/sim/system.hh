@@ -243,6 +243,15 @@ struct RunOptions
      *  perturbs simulated state or kEvAll-visible traces. */
     std::string checkpointOut;
     Cycle checkpointEvery = 0;
+
+    /** Threads ticking the per-cycle parallel cluster phase (DESIGN.md
+     *  §15), capped at the cluster count; <= 1 (and every flat
+     *  machine) keeps the classic serial loop. Results, stats, event
+     *  streams, checkpoints, and fingerprints are byte-identical for
+     *  any value — the thread count is an engine knob, never simulated
+     *  state, so it is deliberately excluded from the checkpoint
+     *  fingerprint. */
+    unsigned simThreads = 1;
 };
 
 /** One simulated machine plus the workloads bound to its cores. */

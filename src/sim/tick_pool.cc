@@ -1,0 +1,105 @@
+#include "sim/tick_pool.hh"
+
+namespace occamy
+{
+
+namespace
+{
+
+/** Spin this many probes before yielding the time slice: long enough
+ *  that a dedicated core never syscalls, short enough that a shared
+ *  core hands over promptly. */
+constexpr unsigned kSpinProbes = 2048;
+
+template <class Pred>
+void
+spinUntil(Pred pred)
+{
+    unsigned probes = 0;
+    while (!pred()) {
+        if (++probes >= kSpinProbes) {
+            probes = 0;
+            std::this_thread::yield();
+        }
+    }
+}
+
+} // namespace
+
+TickPool::TickPool(unsigned threads)
+{
+    const unsigned nworkers = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(nworkers);
+    for (unsigned i = 0; i < nworkers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+TickPool::~TickPool()
+{
+    quit_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+TickPool::drainTasks()
+{
+    for (;;) {
+        const unsigned i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n_)
+            return;
+        try {
+            (*fn_)(i);
+        } catch (...) {
+            errors_[i] = std::current_exception();
+        }
+    }
+}
+
+void
+TickPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        spinUntil([&] {
+            return epoch_.load(std::memory_order_acquire) != seen;
+        });
+        ++seen;
+        if (quit_.load(std::memory_order_relaxed))
+            return;
+        drainTasks();
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+TickPool::run(unsigned n, const std::function<void(unsigned)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (unsigned i = 0; i < n; ++i)
+            fn(i);      // Serial: propagate exceptions directly.
+        return;
+    }
+    fn_ = &fn;
+    n_ = n;
+    errors_.assign(n, nullptr);
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+
+    drainTasks();       // The coordinator participates.
+
+    const unsigned workers = static_cast<unsigned>(workers_.size());
+    spinUntil([&] {
+        return done_.load(std::memory_order_acquire) == workers;
+    });
+    fn_ = nullptr;
+    for (std::exception_ptr &e : errors_)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+} // namespace occamy

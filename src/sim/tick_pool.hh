@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Worker pool for the per-cycle parallel cluster tick phase.
+ *
+ * The cycle loop forks the same tiny job shape millions of times: "tick
+ * every ClusterEngine, then join". A condition-variable barrier would
+ * pay two syscalls per cycle; TickPool instead keeps its workers
+ * resident and synchronizes through three atomics — an epoch the
+ * coordinator bumps to publish work (release), a shared index counter
+ * the participants drain (engines are independent, so assignment order
+ * is load-balancing only, never determinism), and a done counter the
+ * coordinator waits on (acquire). The release/acquire pairs on
+ * epoch/done give the happens-before edges ThreadSanitizer (and the
+ * memory model) require: everything the coordinator wrote before run()
+ * is visible to the workers, and everything the workers wrote to their
+ * engines is visible to the coordinator after run() returns.
+ *
+ * Waits spin briefly then yield, so the pool stays fast on dedicated
+ * cores and merely slow — not pathological — on oversubscribed hosts.
+ * Exceptions thrown by tasks are captured per task index and rethrown
+ * by run() in index order (deterministic first-failure).
+ */
+
+#ifndef OCCAMY_SIM_TICK_POOL_HH
+#define OCCAMY_SIM_TICK_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace occamy
+{
+
+/** Resident fork-join pool; the calling thread participates. */
+class TickPool
+{
+  public:
+    /**
+     * @param threads Total participants including the coordinator;
+     * spawns threads-1 workers. <= 1 spawns nothing and run() degrades
+     * to a serial loop.
+     */
+    explicit TickPool(unsigned threads);
+    ~TickPool();
+
+    TickPool(const TickPool &) = delete;
+    TickPool &operator=(const TickPool &) = delete;
+
+    /** Run fn(0..n-1) across the coordinator and the workers; returns
+     *  when every task finished. Not reentrant. */
+    void run(unsigned n, const std::function<void(unsigned)> &fn);
+
+    /** Total participants (coordinator + workers). */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+  private:
+    void workerLoop();
+    void drainTasks();
+
+    const std::function<void(unsigned)> *fn_ = nullptr;
+    unsigned n_ = 0;
+    std::vector<std::exception_ptr> errors_;
+
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<unsigned> next_{0};
+    std::atomic<unsigned> done_{0};
+    std::atomic<bool> quit_{false};
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_SIM_TICK_POOL_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Flat wake-candidate table for the fast-forward engine.
+ *
+ * System::advance used to rebuild its quiescence probes every ticked
+ * cycle: a consider(...) closure plus a ladder of conditional loops
+ * (coprocs, cores, mems, arbiter boundary, per-core dispatch deadlines,
+ * snapshot boundary, fault plan, watchdog deadlines, traffic arrivals)
+ * re-testing configuration that cannot change mid-run. The table hoists
+ * that setup out of the hot loop: each candidate is registered once per
+ * advance() call — and only when its feature is configured — with the
+ * tier it belongs to, and evaluate() walks the flat array.
+ *
+ * Tiers preserve the exact early-out structure of the ladder: tier 0
+ * (co-processors) always runs; a later tier runs only if everything
+ * before it left wake > now + 1 (i.e. a skip is still possible). Within
+ * a tier, candidates are evaluated in registration order and ties keep
+ * the first source, so the WakeSource attribution recorded in
+ * SchedFastForward events is unchanged. Probes may be conservative
+ * (wake early) but never late; kCycleNever means "no candidate now".
+ */
+
+#ifndef OCCAMY_SIM_WAKE_TABLE_HH
+#define OCCAMY_SIM_WAKE_TABLE_HH
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/system.hh"
+
+namespace occamy
+{
+
+/** Registration-order candidate table with tiered early-outs. */
+class WakeTable
+{
+  public:
+    /** Register a probe; candidates must be added in non-decreasing
+     *  tier order. */
+    void add(unsigned tier, WakeSource source,
+             std::function<Cycle(Cycle)> probe)
+    {
+        cands_.push_back(
+            Candidate{std::move(probe), source, tier});
+    }
+
+    /** @return the earliest candidate cycle and its source (the cap
+     *  pair {kCycleNever, Cap} when nothing is pending). */
+    std::pair<Cycle, WakeSource> evaluate(Cycle now) const
+    {
+        Cycle wake = kCycleNever;
+        WakeSource why = WakeSource::Cap;
+        unsigned tier = 0;
+        for (const Candidate &c : cands_) {
+            if (c.tier != tier) {
+                if (wake <= now + 1)
+                    break;      // A skip is already impossible.
+                tier = c.tier;
+            }
+            const Cycle at = c.probe(now);
+            if (at < wake) {
+                wake = at;
+                why = c.source;
+            }
+        }
+        return {wake, why};
+    }
+
+  private:
+    struct Candidate
+    {
+        std::function<Cycle(Cycle)> probe;
+        WakeSource source;
+        unsigned tier;
+    };
+
+    std::vector<Candidate> cands_;
+};
+
+} // namespace occamy
+
+#endif // OCCAMY_SIM_WAKE_TABLE_HH

@@ -278,6 +278,47 @@ TEST(CkptCluster, SixteenCoreClusteredRunRestoresByteIdentically)
     }
 }
 
+/** Checkpoints taken while ClusterEngines tick on a worker pool are
+ *  byte-identical to serial ones (the save runs between horizons, when
+ *  the workers are parked and every event buffer is drained), and the
+ *  thread count is excluded from the fingerprint — a serial checkpoint
+ *  resumes under any worker count and vice versa. */
+TEST(CkptCluster, WorkerPoolCheckpointsMatchSerialAndCrossRestore)
+{
+    const MachineConfig cfg =
+        MachineConfig::Builder(SharingPolicy::Elastic)
+            .topology(2, 2)
+            .build();
+    const auto prep = [](System &sys) { setupClustered(sys, 4); };
+
+    RunOptions serial;
+    serial.maxCycles = 10'000'000;
+    RunOptions threaded = serial;
+    threaded.simThreads = 3;
+
+    // Same mid-run pause point, same bytes.
+    std::string serial_bytes, threaded_bytes;
+    const Artifacts ref = straightRun(cfg, serial, prep);
+    const Artifacts split_threaded =
+        splitRun(cfg, threaded, 10'000, &threaded_bytes, prep);
+    expectIdentical(ref, split_threaded, "2x2 threaded split");
+    splitRun(cfg, serial, 10'000, &serial_bytes, prep);
+    EXPECT_EQ(serial_bytes, threaded_bytes);
+
+    // Cross-restore: serial checkpoint, threaded resume.
+    obs::RingSink sink(1u << 20, obs::kEvAll);
+    RunOptions resume = threaded;
+    resume.sink = &sink;
+    System sys(cfg);
+    prep(sys);
+    std::istringstream is(serial_bytes, std::ios::binary);
+    sys.restoreCheckpoint(is, resume);
+    sys.advance();
+    const RunResult r = sys.finalize();
+    EXPECT_EQ(trace::toJson(r), ref.json);
+    EXPECT_EQ(r.statsText, ref.stats);
+}
+
 /** A clustered checkpoint never restores into a flat machine with the
  *  same core count: the topology is part of the fingerprint. */
 TEST(CkptCluster, TopologyMismatchFailsLoudly)

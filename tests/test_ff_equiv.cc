@@ -146,6 +146,117 @@ TEST(FastForwardEquiv, BatchQueueWithContextSwitchCostMatchesAndSkips)
     EXPECT_LT(on_stats.cyclesTicked, off_stats.cyclesTicked);
 }
 
+// -------------------------------------------- sim-threads equivalence
+
+/** Clustered machine for the 1-vs-N worker matrix: 4 clusters of 2
+ *  cores, alternating memory-bound and compute-bound workloads, plus
+ *  batch-queued work so cross-cluster dispatch runs too. */
+runner::JobSpec
+clusteredSpec(SharingPolicy policy, bool traffic)
+{
+    runner::JobSpec spec;
+    spec.cfg =
+        MachineConfig::Builder(policy).topology(4, 2).build();
+    for (unsigned c = 0; c < 8; ++c) {
+        const std::string n = std::to_string(c);
+        if (traffic) {
+            spec.workloads.emplace_back("idle" + n,
+                                        std::vector<kir::Loop>{});
+        } else if (c % 2) {
+            spec.workloads.emplace_back(
+                "comp" + n,
+                std::vector<kir::Loop>{
+                    workloads::makeNamedPhase("wsm51", 4096)});
+        } else {
+            spec.workloads.emplace_back(
+                "mem" + n,
+                std::vector<kir::Loop>{
+                    workloads::makeNamedPhase("rho_eos1", 2048)});
+        }
+    }
+    if (traffic) {
+        spec.traffic.process = "poisson";
+        spec.traffic.scheduler = "sjf";
+        spec.traffic.tenants = 2;
+        spec.traffic.seed = 11;
+        spec.traffic.jobsPerTenant = 2;
+        spec.traffic.meanGapCycles = 20'000.0;
+        spec.traffic.sloCycles = 1'000'000;
+    } else {
+        for (int i = 0; i < 2; ++i)
+            spec.batch.emplace_back(
+                "q" + std::to_string(i),
+                std::vector<kir::Loop>{
+                    workloads::makeNamedPhase("wsm53", 4096)});
+    }
+    spec.maxCycles = 20'000'000;
+    return spec;
+}
+
+runner::JobResult
+runThreaded(runner::JobSpec spec, unsigned threads)
+{
+    spec.simThreads = threads;
+    spec.traceEvents = obs::kEvAll;
+    spec.snapshotEvery = 5'000;
+    runner::JobResult r = runner::Runner::runOne(spec);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r;
+}
+
+/** The tentpole contract (DESIGN.md §15): every observable artifact of
+ *  a clustered run is byte-identical whether the per-cluster engines
+ *  tick serially or on a worker pool, across policy x fault plan x
+ *  traffic x fast-forward. */
+TEST(SimThreadsEquiv, ClusteredMatrixIsByteIdenticalOneVsN)
+{
+    for (const SharingPolicy policy :
+         {SharingPolicy::Elastic, SharingPolicy::Private}) {
+        for (const bool traffic : {false, true}) {
+            for (const std::uint64_t fault_seed :
+                 {std::uint64_t{0}, std::uint64_t{7}}) {
+                for (const bool ff : {true, false}) {
+                    runner::JobSpec spec = clusteredSpec(policy, traffic);
+                    spec.label = std::string("4x2/") +
+                                 policyName(policy) +
+                                 (traffic ? "/traffic" : "/batch") +
+                                 (fault_seed ? "/faults" : "") +
+                                 (ff ? "/ff" : "/ticked");
+                    SCOPED_TRACE(spec.label);
+                    spec.fastForward = ff;
+                    spec.faultSeed = fault_seed;
+                    spec.watchdogCycles = 50'000;
+                    const runner::JobResult serial = runThreaded(spec, 1);
+                    // 4 workers = one per cluster; 3 leaves a cluster
+                    // to work-stealing, covering uneven division.
+                    expectIdentical(serial, runThreaded(spec, 4));
+                    expectIdentical(serial, runThreaded(spec, 3));
+                }
+            }
+        }
+    }
+}
+
+/** Thread counts beyond the cluster count are capped, not an error,
+ *  and a flat machine stays on the serial loop for any value. */
+TEST(SimThreadsEquiv, OversizedAndFlatRequestsDegradeGracefully)
+{
+    runner::JobSpec clustered =
+        clusteredSpec(SharingPolicy::Elastic, false);
+    clustered.label = "oversized";
+    expectIdentical(runThreaded(clustered, 1),
+                    runThreaded(clustered, 64));
+
+    runner::JobSpec flat;
+    flat.label = "flat";
+    flat.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    const auto w6 = workloads::specWorkload(6);
+    const auto w16 = workloads::specWorkload(16);
+    flat.workloads.emplace_back(w6.name, w6.loops);
+    flat.workloads.emplace_back(w16.name, w16.loops);
+    expectIdentical(runThreaded(flat, 1), runThreaded(flat, 8));
+}
+
 TEST(NextEventAt, MemSystemReportsPendingFillsThenDrains)
 {
     MachineConfig cfg =

@@ -278,6 +278,48 @@ TEST(Runner, UnknownTrafficNamesAreContained)
               std::string::npos);
 }
 
+TEST(Runner, SimThreadsForwardsAndKeepsSweepExportsIdentical)
+{
+    // JobSpec::simThreads reaches RunOptions::simThreads: a clustered
+    // sweep exports byte-identical JSON/CSV whether each job's own
+    // cycle loop runs serial or on a worker pool (and composes with
+    // the runner's job-level threads).
+    auto jobsWith = [](unsigned sim_threads) {
+        std::vector<runner::JobSpec> jobs;
+        for (const SharingPolicy p :
+             {SharingPolicy::Elastic, SharingPolicy::Private}) {
+            runner::JobSpec spec;
+            spec.id = jobs.size();
+            spec.label = std::string("2x2/") + policyName(p);
+            spec.cfg =
+                MachineConfig::Builder(p).topology(2, 2).build();
+            const auto w6 = workloads::specWorkload(6);
+            const auto w16 = workloads::specWorkload(16);
+            for (unsigned c = 0; c < 4; ++c)
+                spec.workloads.emplace_back(c % 2 ? w16.name : w6.name,
+                                            c % 2 ? w16.loops
+                                                  : w6.loops);
+            spec.simThreads = sim_threads;
+            jobs.push_back(std::move(spec));
+        }
+        return jobs;
+    };
+
+    runner::RunnerOptions opt;
+    opt.numThreads = 2;
+    const runner::SweepResult serial =
+        runner::Runner(opt).run(jobsWith(1));
+    const runner::SweepResult pooled =
+        runner::Runner(opt).run(jobsWith(2));
+    ASSERT_TRUE(serial.allOk());
+    ASSERT_TRUE(pooled.allOk());
+    EXPECT_EQ(runner::sweepToJson(serial), runner::sweepToJson(pooled));
+    std::ostringstream scsv, pcsv;
+    runner::writeSweepCsv(scsv, serial);
+    runner::writeSweepCsv(pcsv, pooled);
+    EXPECT_EQ(scsv.str(), pcsv.str());
+}
+
 TEST(Runner, BatchJobsRunThroughTheQueue)
 {
     runner::JobSpec spec;

@@ -11,7 +11,9 @@
 #   - `cycles_ticked` and `spans` may grow by at most 10% — these are
 #     the deterministic leverage metrics (fewer skipped cycles == the
 #     quiescence detector got weaker);
-#   - `results_match` must stay true (fast-forward on == off).
+#   - `results_match` must stay true (fast-forward on == off; for the
+#     parallel_clusters scenario, 1 worker thread == N worker threads);
+#   - the parallel_clusters scenario itself must be present.
 #   Wall-clock fields are machine-dependent noise and are ignored.
 #
 # fig16_scalability (BENCH_scalability.json) — clustered scale-out:
@@ -27,6 +29,26 @@ set -euo pipefail
 fresh="${1:?usage: check_bench_ticks.sh <fresh.json> <snapshot.json>}"
 snap="${2:?usage: check_bench_ticks.sh <fresh.json> <snapshot.json>}"
 
+# A missing tool or input must be a loud failure, never a gate that
+# "passes" because it compared nothing.
+if ! command -v jq >/dev/null 2>&1; then
+    echo "FAIL: jq not found on PATH; install jq (the gate parses the" \
+         "bench JSON with it)" >&2
+    exit 1
+fi
+if [ ! -r "$fresh" ]; then
+    echo "FAIL: fresh report '$fresh' missing or unreadable; build and" \
+         "run the bench binary first, e.g." \
+         "'cmake --build build --target micro_ticks &&" \
+         "./build/bench/micro_ticks $fresh'" >&2
+    exit 1
+fi
+if [ ! -r "$snap" ]; then
+    echo "FAIL: committed snapshot '$snap' missing or unreadable;" \
+         "expected a checked-in BENCH_*.json at the repo root" >&2
+    exit 1
+fi
+
 fail=0
 bench=$(jq -r '.bench' "$snap")
 
@@ -37,6 +59,25 @@ if [ "$fb" != "$bench" ]; then
 fi
 
 names=$(jq -r '.scenarios[].name' "$snap")
+if [ -z "$names" ]; then
+    echo "FAIL: snapshot '$snap' lists no scenarios; nothing would be" \
+         "gated — regenerate it from the bench binary" >&2
+    exit 1
+fi
+
+# The parallel-ticking scenario (1 vs N cycle-loop worker threads,
+# DESIGN.md §15) must stay in the micro_ticks snapshot: its
+# results_match and exact-cycles gates are the CI proof that the
+# worker pool is deterministic. Wall-clock speedup is host-dependent
+# (~1x on a single-core runner) and deliberately not gated.
+if [ "$bench" = micro_ticks ] &&
+   ! grep -q parallel_clusters <<<"$names"; then
+    echo "FAIL: micro_ticks snapshot lacks the parallel_clusters" \
+         "scenario; regenerate BENCH_ticks.json with a micro_ticks" \
+         "build that includes it" >&2
+    exit 1
+fi
+
 for name in $names; do
     f=$(jq -c --arg n "$name" '.scenarios[] | select(.name == $n)' "$fresh")
     if [ -z "$f" ]; then

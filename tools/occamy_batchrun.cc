@@ -69,6 +69,7 @@ struct Options
     std::string checkpointPrefix;
     Cycle checkpointEvery = 0;
     std::string restoreFrom;
+    unsigned simThreads = 1;
 
     // Multi-tenant traffic mode (replaces the pair sweep when set).
     std::string traffic;            ///< Arrival-process name; "" = off.
@@ -252,6 +253,10 @@ optionTable(Options &opt)
         .value("restore", &opt.restoreFrom, "F",
                "resume from checkpoint F; the sweep must select\n"
                "exactly one pair and one policy")
+        .value("sim-threads", &opt.simThreads, "N",
+               "worker threads per job's own cycle loop (clustered\n"
+               "machines only; byte-identical for any N; composes\n"
+               "with --jobs)")
         .value("traffic", &opt.traffic, "PROC",
                "multi-tenant traffic mode: stochastic arrivals from\n"
                "process PROC (poisson|bursty|diurnal|closed) swept\n"
@@ -393,6 +398,7 @@ main(int argc, char **argv)
         spec.faultSeed = opt.faultSeed;
         spec.watchdogCycles = opt.watchdogCycles;
         spec.wallClockLimitSec = opt.wallClockLimitSec;
+        spec.simThreads = opt.simThreads;
         if (!opt.checkpointPrefix.empty() && opt.checkpointEvery) {
             // One checkpoint file per job, named by its label.
             std::string label = spec.label;

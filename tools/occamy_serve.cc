@@ -338,6 +338,7 @@ struct SimSpec
     std::uint64_t checkpointEvery = 0;
     std::string traceEvents;
     std::uint64_t traceCapacity = 1u << 20;
+    unsigned simThreads = 1;
 };
 
 /** The config-key table: one entry per request key makeEntry honors. */
@@ -372,7 +373,9 @@ simSpecOptions(SimSpec &s)
         .value("trace-events", &s.traceEvents, "L",
                "extra event categories")
         .value("trace-capacity", &s.traceCapacity, "N",
-               "event ring capacity", 1);
+               "event ring capacity", 1)
+        .value("sim-threads", &s.simThreads, "N",
+               "cycle-loop worker threads (clustered machines)", 1);
     return set;
 }
 
@@ -457,6 +460,9 @@ makeEntry(const Kv &m, bool boot)
     e->opt.watchdogCycles = s.watchdogCycles;
     e->opt.checkpointOut = s.checkpointOut;
     e->opt.checkpointEvery = s.checkpointEvery;
+    // Not part of specKey: thread count never changes results, so a
+    // pooled instance may serve requests with any sim-threads value.
+    e->opt.simThreads = s.simThreads;
     e->opt.ffStats = &e->ff;
 
     // Engine events always on: SystemBoot is the warm-pool proof and

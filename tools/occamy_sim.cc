@@ -68,6 +68,7 @@ struct Options
     std::string checkpointOut;
     Cycle checkpointEvery = 0;
     std::string restoreFrom;
+    unsigned simThreads = 1;
 };
 
 std::optional<SharingPolicy>
@@ -211,7 +212,11 @@ optionTable(Options &opt)
         .value("restore", &opt.restoreFrom, "F",
                "resume from checkpoint F instead of cycle 0;\n"
                "config/workloads/options must match the run that\n"
-               "wrote it (single-policy runs only)");
+               "wrote it (single-policy runs only)")
+        .value("sim-threads", &opt.simThreads, "N",
+               "tick clustered machines with N worker threads between\n"
+               "deterministic horizons; results are byte-identical\n"
+               "for any N (default 1 = serial)");
     cliopts::addListOptions(cli, cliopts::kListWorkloads |
                                      cliopts::kListPolicies);
     cli.alias("list", "list-workloads");
@@ -360,6 +365,7 @@ main(int argc, char **argv)
             spec.checkpointOut = opt.checkpointOut;
             spec.checkpointEvery = opt.checkpointEvery;
             spec.restoreFrom = opt.restoreFrom;
+            spec.simThreads = opt.simThreads;
             if (!opt.traceOut.empty())
                 spec.traceEvents = obs::parseEventMask(opt.traceEvents);
             spec.snapshotEvery = opt.snapshotEvery;
