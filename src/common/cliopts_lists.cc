@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "policy/sharing_model.hh"
+#include "traffic/admission.hh"
 #include "traffic/arrival.hh"
 #include "traffic/scheduler.hh"
 #include "workloads/suite.hh"
@@ -81,11 +82,26 @@ printSchedulers()
     return 0;
 }
 
+int
+printAdmission()
+{
+    std::printf("registered admission policies (--admission):\n");
+    for (const traffic::AdmissionPolicy *p :
+         traffic::allAdmissionPolicies())
+        std::printf("  %-12s %s\n", p->key().c_str(),
+                    p->summary().c_str());
+    return 0;
+}
+
 } // namespace
 
 void
 addListOptions(OptionSet &set, unsigned which)
 {
+    if (which & kListAdmission)
+        set.action("list-admission",
+                   "print registered admission policies and exit",
+                   printAdmission);
     if (which & kListTraffic)
         set.action("list-traffic",
                    "print registered arrival processes and exit",

@@ -21,6 +21,7 @@ inline constexpr unsigned kListWorkloads = 1u << 1;
 inline constexpr unsigned kListPairs = 1u << 2;
 inline constexpr unsigned kListTraffic = 1u << 3;
 inline constexpr unsigned kListSchedulers = 1u << 4;
+inline constexpr unsigned kListAdmission = 1u << 5;
 
 /**
  * Register the listing actions selected by the @p which bitmask onto

@@ -116,6 +116,19 @@ enum class EventKind : std::uint8_t
                            ///< clusters. core=adopting core (global
                            ///< id), a=queue idx, b=(home cluster
                            ///< << 32) | adopting cluster.
+
+    // --- Admission control & overload (src/traffic/admission).
+    // --- Appended after the arbiter kinds to keep the binary trace
+    // --- format stable. Never emitted unless an admission policy is
+    // --- installed, so admission-off traces are unaffected. ---
+    JobDefer,       ///< Admission deferred a candidate. a=queue idx,
+                    ///< b=backoff cycles until re-evaluation.
+    JobShed,        ///< Admission rejected a candidate permanently.
+                    ///< a=queue idx, b=(tenant << 32) | defer count.
+    OverloadEnter,  ///< Overload detector tripped (hysteresis).
+                    ///< a=ready backlog depth, b=p95 queueing delay.
+    OverloadExit,   ///< Backlog drained below the exit threshold.
+                    ///< a=ready backlog depth, b=p95 queueing delay.
 };
 
 /** Coarse category bits used to subset recording. */
@@ -211,6 +224,10 @@ categoryOf(EventKind k)
       case EventKind::JobAdmit:
       case EventKind::JobComplete:
       case EventKind::SloViolation:
+      case EventKind::JobDefer:
+      case EventKind::JobShed:
+      case EventKind::OverloadEnter:
+      case EventKind::OverloadExit:
         return kEvTraffic;
       case EventKind::ClusterArbiterPlan:
       case EventKind::ClusterArbiterMigrate:

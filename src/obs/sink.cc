@@ -40,6 +40,10 @@ eventKindName(EventKind k)
       case EventKind::ClusterArbiterPlan: return "cluster_arbiter_plan";
       case EventKind::ClusterArbiterMigrate:
         return "cluster_arbiter_migrate";
+      case EventKind::JobDefer: return "job_defer";
+      case EventKind::JobShed: return "job_shed";
+      case EventKind::OverloadEnter: return "overload_enter";
+      case EventKind::OverloadExit: return "overload_exit";
     }
     return "unknown";
 }

@@ -68,6 +68,7 @@ Runner::runOne(const JobSpec &spec, unsigned transient_retries)
     out.id = spec.id;
     out.label = spec.label;
     out.policy = spec.cfg.policy;
+    out.retryBudget = transient_retries;
 
     const auto t0 = std::chrono::steady_clock::now();
     for (unsigned attempt = 0;; ++attempt) {
@@ -111,6 +112,25 @@ Runner::runOne(const JobSpec &spec, unsigned transient_retries)
                      traffic::generate(spec.traffic))
                     sys.enqueueArrival(a);
                 sys.setDispatcher(disp);
+                // Admission control: validated here so a bad name or
+                // cap is a contained per-job failure too. "none" (the
+                // default) installs nothing at all, keeping the run
+                // byte-identical to pre-admission builds.
+                if (spec.traffic.admissionEnabled()) {
+                    const traffic::AdmissionPolicy *adm =
+                        traffic::admissionByName(spec.traffic.admission);
+                    if (!adm)
+                        throw std::invalid_argument(
+                            "unknown admission policy: " +
+                            spec.traffic.admission);
+                    if (spec.traffic.admissionCap < 1)
+                        throw std::invalid_argument(
+                            "admission cap must be >= 1");
+                    sys.setAdmission(
+                        adm, spec.traffic.admissionCap,
+                        static_cast<Cycle>(spec.traffic.meanGapCycles));
+                    out.hasAdmission = true;
+                }
             }
             RunOptions ropt;
             ropt.maxCycles = spec.maxCycles;
@@ -184,6 +204,7 @@ Runner::runOne(const JobSpec &spec, unsigned transient_retries)
         }
         if (sink)
             out.trace = sink->take();
+        out.retriesUsed = attempt;
         if (out.ok() || !transient || attempt >= transient_retries)
             break;
         // Host-condition failure with retries left: back off and rerun.

@@ -186,6 +186,19 @@ struct JobResult
     unsigned trafficTenants = 0;
     traffic::TrafficMetrics trafficMetrics;
 
+    /** True when the job ran with an admission policy installed;
+     *  gates the shed/defer/goodput export fields so admission-off
+     *  sweeps stay byte-identical. */
+    bool hasAdmission = false;
+
+    /** Transient-retry accounting: attempts actually retried (0 on a
+     *  clean first attempt) and the configured budget
+     *  (RunnerOptions::transientRetries). Exported only when a budget
+     *  was configured — retry counts reflect host conditions, not
+     *  simulated state, so default sweeps must not carry the field. */
+    unsigned retriesUsed = 0;
+    unsigned retryBudget = 0;
+
     bool ok() const { return status == JobStatus::Ok; }
 };
 

@@ -114,15 +114,22 @@ trafficToJson(const JobResult &j)
        << ",\"latency_p50\":" << num(m.latencyP50)
        << ",\"latency_p95\":" << num(m.latencyP95)
        << ",\"latency_p99\":" << num(m.latencyP99)
-       << ",\"fairness_jain\":" << num(m.fairnessJain)
-       << ",\"tenants\":[";
+       << ",\"fairness_jain\":" << num(m.fairnessJain);
+    // Admission aggregates appear only for jobs that actually ran with
+    // an admission policy, keeping admission-off sweeps byte-identical.
+    if (j.hasAdmission)
+        os << ",\"shed\":" << m.shed << ",\"deferrals\":" << m.deferrals
+           << ",\"goodput\":" << m.goodput;
+    os << ",\"tenants\":[";
     for (std::size_t t = 0; t < m.tenants.size(); ++t) {
         const traffic::TenantMetrics &tm = m.tenants[t];
         os << (t ? "," : "") << "{\"tenant\":" << tm.tenant
            << ",\"arrivals\":" << tm.arrivals
            << ",\"completed\":" << tm.completed
-           << ",\"slo_violations\":" << tm.sloViolations
-           << ",\"throughput\":" << num(tm.throughput)
+           << ",\"slo_violations\":" << tm.sloViolations;
+        if (j.hasAdmission)
+            os << ",\"shed\":" << tm.shed;
+        os << ",\"throughput\":" << num(tm.throughput)
            << ",\"mean_latency\":" << num(tm.meanLatency) << "}";
     }
     os << "],\"jobs\":[";
@@ -132,8 +139,11 @@ trafficToJson(const JobResult &j)
            << ",\"arrive\":" << cyc(r.arrive)
            << ",\"admit\":" << cyc(r.admit)
            << ",\"finish\":" << cyc(r.finish)
-           << ",\"slo_violated\":" << (r.violatedSlo() ? "true" : "false")
-           << "}";
+           << ",\"slo_violated\":" << (r.violatedSlo() ? "true" : "false");
+        if (j.hasAdmission)
+            os << ",\"shed\":" << (r.shed ? "true" : "false")
+               << ",\"defers\":" << r.defers;
+        os << "}";
     }
     os << "]}";
     return os.str();
@@ -159,6 +169,11 @@ sweepToJson(const SweepResult &sweep)
            << ",\"ff\":{\"simulated\":" << j.ff.cyclesSimulated
            << ",\"ticked\":" << j.ff.cyclesTicked
            << ",\"spans\":" << j.ff.spans << "}";
+        // Retry accounting is exported only when a retry budget was
+        // configured: attempt counts depend on host conditions, so
+        // default (no-retry) sweeps must not grow a new field.
+        if (j.retryBudget > 0)
+            os << ",\"retries\":" << j.retriesUsed;
         if (j.hasTraffic)
             os << ",\"traffic\":" << trafficToJson(j);
         os << ",\"result\":" << trace::toJson(j.result) << "}";
@@ -179,6 +194,8 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
     std::size_t max_tenants = 0;
     std::size_t max_clusters = 0;
     bool any_traffic = false;
+    bool any_admission = false;
+    bool any_retries = false;
     for (const auto &j : sweep.jobs) {
         max_cores = std::max(max_cores, j.result.cores.size());
         max_clusters = std::max(max_clusters, j.result.clusters.size());
@@ -187,10 +204,16 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
             max_tenants = std::max(
                 max_tenants, static_cast<std::size_t>(j.trafficTenants));
         }
+        any_admission = any_admission || j.hasAdmission;
+        any_retries = any_retries || j.retryBudget > 0;
     }
 
     os << "id,label,policy,status,timed_out,cycles,simd_util,dram_bytes,"
           "cycles_ticked,watchdog_trips,lane_faults";
+    // Like the traffic block below, retry columns exist only in sweeps
+    // that configured a retry budget.
+    if (any_retries)
+        os << ",retries";
     // Traffic columns only appear in sweeps that ran traffic, so
     // pre-existing consumers of traffic-free CSVs see the exact format
     // they always did.
@@ -198,6 +221,8 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
         os << ",traffic_arrivals,traffic_completed,slo_violations,"
               "queueing_delay_mean,latency_p50,latency_p95,latency_p99,"
               "fairness_jain";
+        if (any_admission)
+            os << ",shed,deferrals,goodput";
         for (std::size_t t = 0; t < max_tenants; ++t)
             os << ",tenant" << t << "_throughput";
     }
@@ -221,6 +246,8 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
            << "," << j.result.simdUtil << "," << j.result.dramBytes
            << "," << j.ff.cyclesTicked << "," << j.result.watchdogTrips
            << "," << j.result.laneFaults;
+        if (any_retries)
+            os << "," << j.retriesUsed;
         if (any_traffic) {
             if (j.hasTraffic) {
                 const traffic::TrafficMetrics &m = j.trafficMetrics;
@@ -229,6 +256,17 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
                    << "," << num(m.latencyP50) << "," << num(m.latencyP95)
                    << "," << num(m.latencyP99) << ","
                    << num(m.fairnessJain);
+                if (any_admission) {
+                    // Admission-less jobs in a mixed sweep leave the
+                    // shed/defer cells empty rather than printing 0, so
+                    // "no policy" and "policy shed nothing" stay
+                    // distinguishable.
+                    if (j.hasAdmission)
+                        os << "," << m.shed << "," << m.deferrals << ","
+                           << m.goodput;
+                    else
+                        os << ",,,";
+                }
                 for (std::size_t t = 0; t < max_tenants; ++t) {
                     os << ",";
                     if (t < m.tenants.size())
@@ -236,6 +274,8 @@ writeSweepCsv(std::ostream &os, const SweepResult &sweep)
                 }
             } else {
                 os << ",,,,,,,,";
+                if (any_admission)
+                    os << ",,,";
                 for (std::size_t t = 0; t < max_tenants; ++t)
                     os << ",";
             }

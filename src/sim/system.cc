@@ -134,6 +134,39 @@ struct System::Ctx
     std::vector<std::size_t> core_job;   ///< Traffic entry running per core.
     std::uint64_t slo_violations = 0;
 
+    // Admission-control state (src/traffic/admission). Inert unless a
+    // policy is installed: `admission` gates every branch, event,
+    // checkpoint section and exported artifact, so admission-off runs
+    // stay byte-identical. All of it is simulated state (checkpointed
+    // in the "admit" section) except the borrowed policy pointer.
+    const traffic::AdmissionPolicy *admission = nullptr;
+    unsigned admission_cap = 4;
+    std::vector<bool> adm_latched;      ///< Admission granted (one-time).
+    std::vector<bool> adm_shed;         ///< Rejected permanently.
+    std::vector<Cycle> adm_defer_until; ///< Backoff expiry per entry.
+    std::vector<std::uint32_t> adm_defer_count;
+    std::vector<unsigned> adm_inflight; ///< Per tenant: latched, unfinished.
+    std::vector<std::uint64_t> adm_tokens;      ///< Per tenant.
+    std::vector<Cycle> adm_last_refill;         ///< Per tenant.
+    Cycle adm_refill_period = 0;    ///< Cycles per token (from config
+                                    ///< mean gap; 0 = no token state).
+    std::uint64_t adm_shed_total = 0;
+    std::uint64_t adm_defer_total = 0;
+    std::size_t adm_ready = 0;      ///< Arrived, not dispatched/shed.
+    bool adm_overloaded = false;
+    std::uint64_t adm_overload_enters = 0;
+    /** Ring of the last 32 queueing delays (p95 detector input). */
+    std::array<Cycle, 32> adm_delay_ring{};
+    std::uint32_t adm_delay_n = 0;  ///< Total delays ever pushed.
+    /** Per-workload-class service EMA, sorted by class name for
+     *  deterministic checkpoint order. */
+    std::vector<std::pair<std::string, Cycle>> adm_class_ema;
+    Cycle adm_mean_ema = 0;
+    /** Earliest cycle an admission verdict can change without any
+     *  other wake (backoff expiry / token refill); recomputed from
+     *  scratch on every admission-aware selection scan. */
+    Cycle next_admission = kCycleNever;
+
     FastForwardStats ff;
     std::uint64_t watchdog_trips = 0;
     std::chrono::steady_clock::time_point wall_start;
@@ -360,6 +393,43 @@ System::boot(const RunOptions &opt)
         }
     }
 
+    // Admission-control state: active only for traffic runs with a
+    // policy installed; otherwise none of it exists, so admission-off
+    // runs (the default) carry zero admission state anywhere.
+    x.admission = x.has_traffic ? admission_ : nullptr;
+    x.admission_cap = admission_cap_;
+    if (x.admission) {
+        const std::size_t n = queue_.size();
+        x.adm_latched.assign(n, false);
+        x.adm_shed.assign(n, false);
+        x.adm_defer_until.assign(n, 0);
+        x.adm_defer_count.assign(n, 0);
+        unsigned tenants = 1;
+        for (const traffic::Arrival &m : queue_meta_)
+            tenants = std::max(tenants, m.tenant + 1);
+        x.adm_inflight.assign(tenants, 0);
+        x.adm_tokens.assign(tenants, 0);
+        x.adm_last_refill.assign(tenants, 0);
+        if (x.admission->wantsTokens()) {
+            x.adm_refill_period =
+                admission_refill_ ? admission_refill_ : 100'000;
+            // Buckets start full: a tenant may burst up to `cap` jobs
+            // before the per-period refill becomes the binding rate.
+            x.adm_tokens.assign(tenants, x.admission_cap);
+        }
+        // Per-class service-EMA table, sorted by class name so the
+        // checkpoint order is deterministic.
+        std::vector<std::string> classes;
+        for (const auto &[wl_name, wl_loops] : queue_)
+            classes.push_back(wl_name);
+        std::sort(classes.begin(), classes.end());
+        classes.erase(std::unique(classes.begin(), classes.end()),
+                      classes.end());
+        for (const std::string &cls : classes)
+            x.adm_class_ema.emplace_back(cls, 0);
+        x.next_admission = kCycleNever;
+    }
+
     // What each core is running or about to run, for placement
     // decisions (the resource table lags behind pending dispatches).
     x.sched_oi.assign(x.cfg.numCores, PhaseOI{});
@@ -389,6 +459,12 @@ bool
 System::finished() const
 {
     return ctx_ && ctx_->complete;
+}
+
+bool
+System::overloaded() const
+{
+    return ctx_ && ctx_->admission && ctx_->adm_overloaded;
 }
 
 bool
@@ -491,10 +567,71 @@ System::advance(Cycle stop_at)
         return total;
     };
 
-    // A queue entry is dispatchable once undispatched and (under
-    // traffic) arrived.
+    // A queue entry is dispatchable once undispatched, (under
+    // traffic) arrived, and (under admission control) admitted. Shed
+    // entries are marked dispatched, so they are excluded implicitly.
     auto available = [&](std::size_t q) {
-        return !x.dispatched[q] && (!x.has_traffic || x.arrived[q]);
+        return !x.dispatched[q] && (!x.has_traffic || x.arrived[q]) &&
+               (!x.admission || x.adm_latched[q]);
+    };
+
+    // p95 queueing delay over the sliding ring of recent admits
+    // (0 until any sample) — the overload detector's latency signal.
+    auto admDelayP95 = [&]() -> Cycle {
+        const std::size_t n = std::min<std::size_t>(
+            x.adm_delay_n, x.adm_delay_ring.size());
+        if (n == 0)
+            return 0;
+        std::array<Cycle, 32> tmp{};
+        std::copy_n(x.adm_delay_ring.begin(), n, tmp.begin());
+        std::sort(tmp.begin(), tmp.begin() + n);
+        std::size_t rank = (95 * n + 99) / 100;     // ceil(0.95 n).
+        if (rank < 1)
+            rank = 1;
+        return tmp[rank - 1];
+    };
+
+    // Overload detector with enter/exit hysteresis: trip when the
+    // ready backlog reaches 4x the core count or the p95 queueing
+    // delay reaches 4x the mean observed service time; exit only once
+    // the backlog drains to <= cores AND the p95 falls back under 2x
+    // — the asymmetric thresholds prevent enter/exit flapping.
+    auto updateOverload = [&]() {
+        if (!x.admission)
+            return;
+        const Cycle p95 = admDelayP95();
+        if (!x.adm_overloaded) {
+            const bool deep =
+                x.adm_ready >= 4ull * cfg.numCores;
+            const bool slow =
+                x.adm_mean_ema > 0 && p95 > 4 * x.adm_mean_ema;
+            if (!deep && !slow)
+                return;
+            x.adm_overloaded = true;
+            ++x.adm_overload_enters;
+            if (opt.sink &&
+                opt.sink->wants(obs::EventKind::OverloadEnter)) {
+                obs::Event ev;
+                ev.cycle = now;
+                ev.kind = obs::EventKind::OverloadEnter;
+                ev.a = x.adm_ready;
+                ev.b = p95;
+                opt.sink->record(ev);
+            }
+        } else if (x.adm_ready <= cfg.numCores &&
+                   (x.adm_mean_ema == 0 ||
+                    p95 <= 2 * x.adm_mean_ema)) {
+            x.adm_overloaded = false;
+            if (opt.sink &&
+                opt.sink->wants(obs::EventKind::OverloadExit)) {
+                obs::Event ev;
+                ev.cycle = now;
+                ev.kind = obs::EventKind::OverloadExit;
+                ev.a = x.adm_ready;
+                ev.b = p95;
+                opt.sink->record(ev);
+            }
+        }
     };
 
     // Choose which queued workload an idle core picks up next; returns
@@ -646,6 +783,16 @@ System::advance(Cycle stop_at)
                        ? std::max(x.next_arrival, at + 1)
                        : kCycleNever;
         });
+    // Admission re-evaluation boundaries (a deferred job's backoff
+    // expiry, or a fresh arrival's first verdict) change scheduling
+    // state no component probe can see. next_admission is recomputed
+    // from scratch by every admission pass, so it is never stale.
+    if (x.admission)
+        wt.add(2, WakeSource::Admission, [&x](Cycle at) {
+            return x.next_admission != kCycleNever
+                       ? std::max(x.next_admission, at + 1)
+                       : kCycleNever;
+        });
 
     // --- Cycle loop. ---
     for (; now < max_cycles; ++now) {
@@ -759,6 +906,10 @@ System::advance(Cycle stop_at)
                 if (x.eff_arrive[q] <= now) {
                     x.arrived[q] = true;
                     --x.unarrived;
+                    if (x.admission) {
+                        ++x.adm_ready;
+                        x.next_admission = now; // Evaluate on sight.
+                    }
                     if (opt.sink &&
                         opt.sink->wants(obs::EventKind::JobArrival)) {
                         obs::Event ev;
@@ -776,6 +927,127 @@ System::advance(Cycle stop_at)
                 }
             }
             x.next_arrival = next;
+        }
+
+        // Admission verdicts for arrived-but-unlatched candidates
+        // whose backoff has expired. Runs at arrival instants and at
+        // deferred re-evaluation boundaries, before any dispatch
+        // decision, so an admitted job is dispatchable the same cycle
+        // it would have been without admission control. Recomputes
+        // next_admission from scratch so the fast-forward wake above
+        // is never stale.
+        if (x.admission && x.next_admission <= now) {
+            Cycle next = kCycleNever;
+            for (std::size_t q = 0; q < queue_.size(); ++q) {
+                if (x.dispatched[q] || !x.arrived[q] ||
+                    x.adm_latched[q])
+                    continue;
+                if (x.adm_defer_until[q] > now) {
+                    next = std::min(next, x.adm_defer_until[q]);
+                    continue;
+                }
+                const traffic::Arrival &m = queue_meta_[q];
+                const unsigned t = m.tenant;
+                // Deterministic lazy token refill: one token per
+                // tenant per period, capped at the bucket size.
+                if (x.adm_refill_period) {
+                    const Cycle elapsed = now - x.adm_last_refill[t];
+                    const std::uint64_t add =
+                        elapsed / x.adm_refill_period;
+                    if (add) {
+                        x.adm_tokens[t] = std::min<std::uint64_t>(
+                            x.adm_tokens[t] + add, x.admission_cap);
+                        x.adm_last_refill[t] +=
+                            add * x.adm_refill_period;
+                    }
+                }
+                traffic::AdmissionContext ac;
+                ac.now = now;
+                ac.tenant = t;
+                ac.sloBudget = m.sloBudget;
+                if (m.sloBudget != kCycleNever)
+                    ac.deadline = x.eff_arrive[q] + m.sloBudget;
+                ac.estCost = static_cast<Cycle>(m.estCost);
+                {
+                    const std::string &cls = queue_[q].first;
+                    auto it = std::lower_bound(
+                        x.adm_class_ema.begin(), x.adm_class_ema.end(),
+                        cls,
+                        [](const std::pair<std::string, Cycle> &e,
+                           const std::string &k) { return e.first < k; });
+                    if (it != x.adm_class_ema.end() && it->first == cls)
+                        ac.classServiceEma = it->second;
+                }
+                ac.meanServiceEma = x.adm_mean_ema;
+                ac.readyJobs = x.adm_ready;
+                ac.inFlight = x.adm_inflight[t];
+                ac.tokens = x.adm_tokens[t];
+                ac.overloaded = x.adm_overloaded;
+                ac.cores = cfg.numCores;
+                ac.deferCount = x.adm_defer_count[q];
+                ac.cap = x.admission_cap;
+
+                switch (x.admission->decide(ac)) {
+                  case traffic::AdmissionDecision::Admit:
+                    // One-time latch; tokens are consumed here, at
+                    // admission, never at dispatch.
+                    x.adm_latched[q] = true;
+                    ++x.adm_inflight[t];
+                    if (x.admission->wantsTokens() &&
+                        x.adm_tokens[t] > 0)
+                        --x.adm_tokens[t];
+                    break;
+                  case traffic::AdmissionDecision::Defer: {
+                    const Cycle backoff =
+                        traffic::admissionBackoff(x.adm_defer_count[q]);
+                    ++x.adm_defer_count[q];
+                    ++x.adm_defer_total;
+                    x.adm_defer_until[q] = now + backoff;
+                    next = std::min(next, x.adm_defer_until[q]);
+                    if (opt.sink &&
+                        opt.sink->wants(obs::EventKind::JobDefer)) {
+                        obs::Event ev;
+                        ev.cycle = now;
+                        ev.kind = obs::EventKind::JobDefer;
+                        ev.a = q;
+                        ev.b = backoff;
+                        opt.sink->record(ev);
+                    }
+                    break;
+                  }
+                  case traffic::AdmissionDecision::Shed: {
+                    x.adm_shed[q] = true;
+                    x.dispatched[q] = true;
+                    --x.undispatched;
+                    --x.adm_ready;
+                    ++x.adm_shed_total;
+                    if (opt.sink &&
+                        opt.sink->wants(obs::EventKind::JobShed)) {
+                        obs::Event ev;
+                        ev.cycle = now;
+                        ev.kind = obs::EventKind::JobShed;
+                        ev.a = q;
+                        ev.b = (static_cast<std::uint64_t>(t) << 32) |
+                               x.adm_defer_count[q];
+                        opt.sink->record(ev);
+                    }
+                    // Release the closed-loop successor exactly as a
+                    // completion would: the simulated client carries
+                    // on after a rejection, so no chain (and no run)
+                    // ever hangs on a shed predecessor.
+                    const std::size_t dep = x.dependent[q];
+                    if (dep != traffic::kNoJob) {
+                        x.eff_arrive[dep] =
+                            now + queue_meta_[dep].thinkGap;
+                        x.next_arrival = std::min(x.next_arrival,
+                                                  x.eff_arrive[dep]);
+                    }
+                    break;
+                  }
+                }
+            }
+            x.next_admission = next;
+            updateOverload();
         }
 
         // Dispatch queued workloads onto cores whose context switch
@@ -860,6 +1132,37 @@ System::advance(Cycle stop_at)
                             x.next_arrival = std::min(x.next_arrival,
                                                       x.eff_arrive[dep]);
                         }
+                        // Admission bookkeeping: the tenant's slot
+                        // frees, and the observed service time
+                        // (dispatch decision to completion) feeds the
+                        // per-class and mean EMAs the slo-aware
+                        // policy predicts with. Integer EMA,
+                        // alpha = 1/4.
+                        if (x.admission) {
+                            const unsigned t = queue_meta_[q].tenant;
+                            if (x.adm_inflight[t] > 0)
+                                --x.adm_inflight[t];
+                            const Cycle service = now - x.admit_at[q];
+                            const std::string &cls = queue_[q].first;
+                            auto it = std::lower_bound(
+                                x.adm_class_ema.begin(),
+                                x.adm_class_ema.end(), cls,
+                                [](const std::pair<std::string,
+                                                   Cycle> &e,
+                                   const std::string &k) {
+                                    return e.first < k;
+                                });
+                            if (it != x.adm_class_ema.end() &&
+                                it->first == cls)
+                                it->second =
+                                    it->second
+                                        ? (3 * it->second + service) / 4
+                                        : service;
+                            x.adm_mean_ema =
+                                x.adm_mean_ema
+                                    ? (3 * x.adm_mean_ema + service) / 4
+                                    : service;
+                        }
                     }
                     // Close the batch record of the workload that just
                     // completed on this core, if any.
@@ -928,6 +1231,15 @@ System::advance(Cycle stop_at)
                                     ev.a = q;
                                     ev.b = now - x.eff_arrive[q];
                                     opt.sink->record(ev);
+                                }
+                                if (x.admission) {
+                                    --x.adm_ready;
+                                    x.adm_delay_ring
+                                        [x.adm_delay_n %
+                                         x.adm_delay_ring.size()] =
+                                        now - x.eff_arrive[q];
+                                    ++x.adm_delay_n;
+                                    updateOverload();
                                 }
                             }
                         }
@@ -1126,6 +1438,15 @@ System::finalize()
             jr.admit = x.admit_at[q];
             jr.finish = x.done_at[q];
             jr.sloBudget = queue_meta_[q].sloBudget;
+            if (x.admission) {
+                jr.shed = x.adm_shed[q];
+                jr.defers = x.adm_defer_count[q];
+            }
+        }
+        if (x.admission) {
+            result.jobsShed = x.adm_shed_total;
+            result.jobDeferrals = x.adm_defer_total;
+            result.overloadEnters = x.adm_overload_enters;
         }
     }
 
@@ -1173,6 +1494,23 @@ System::finalize()
             run_group.addFormula(
                 "slo_violations", [viol] { return viol; },
                 "completions whose latency exceeded the SLO budget");
+            if (x.admission) {
+                const double shed =
+                    static_cast<double>(x.adm_shed_total);
+                const double defers =
+                    static_cast<double>(x.adm_defer_total);
+                const double enters =
+                    static_cast<double>(x.adm_overload_enters);
+                run_group.addFormula(
+                    "jobs_shed", [shed] { return shed; },
+                    "arrivals rejected by admission control");
+                run_group.addFormula(
+                    "job_deferrals", [defers] { return defers; },
+                    "admission defer verdicts issued");
+                run_group.addFormula(
+                    "overload_enters", [enters] { return enters; },
+                    "times the overload detector tripped");
+            }
         }
         run_group.dump(os);
         result.statsText = os.str();
@@ -1269,6 +1607,12 @@ System::fingerprint(const Ctx &x) const
                << ',' << m.dependsOn << ',' << m.thinkGap << ','
                << m.estCost << ';';
     }
+    // The admission policy and its knobs are determinism-relevant.
+    // Appended only when a policy is installed so admission-off
+    // fingerprints — and every existing checkpoint — are unchanged.
+    if (has_traffic_ && admission_)
+        os << '#' << "adm:" << admission_->key() << '|'
+           << admission_cap_ << '|' << admission_refill_;
     // Cluster topology and per-cluster resolved static plans. Appended
     // only on clustered machines so every flat-machine fingerprint —
     // and every existing checkpoint — is unchanged.
@@ -1419,6 +1763,42 @@ System::saveCheckpoint(std::ostream &os) const
         w.u64(x.slo_violations);
         for (std::size_t j : x.core_job)
             w.u64(j);
+    }
+
+    // Admission-control state. Like the traffic section, it exists
+    // only when a policy is installed, so admission-off checkpoints
+    // keep their exact byte layout. Presence mismatches are caught by
+    // the fingerprint (the policy key and knobs are part of it).
+    if (x.admission) {
+        w.section("admit");
+        w.u64(queue_.size());
+        for (std::size_t q = 0; q < queue_.size(); ++q) {
+            w.b(x.adm_latched[q]);
+            w.b(x.adm_shed[q]);
+            w.u64(x.adm_defer_until[q]);
+            w.u32(x.adm_defer_count[q]);
+        }
+        w.u64(x.adm_inflight.size());
+        for (std::size_t t = 0; t < x.adm_inflight.size(); ++t) {
+            w.u32(x.adm_inflight[t]);
+            w.u64(x.adm_tokens[t]);
+            w.u64(x.adm_last_refill[t]);
+        }
+        for (Cycle d : x.adm_delay_ring)
+            w.u64(d);
+        w.u32(x.adm_delay_n);
+        w.u64(x.adm_class_ema.size());
+        for (const auto &[cls, ema] : x.adm_class_ema) {
+            w.str(cls);
+            w.u64(ema);
+        }
+        w.u64(x.adm_mean_ema);
+        w.u64(x.adm_ready);
+        w.b(x.adm_overloaded);
+        w.u64(x.adm_overload_enters);
+        w.u64(x.adm_shed_total);
+        w.u64(x.adm_defer_total);
+        w.u64(x.next_admission);
     }
 
     // Inter-cluster arbiter grants and accounting. Like the traffic
@@ -1585,6 +1965,46 @@ System::restoreCheckpoint(std::istream &is, const RunOptions &opt)
                 j = r.u64();
         }
 
+        if (x.admission) {
+            r.expectSection("admit");
+            ckpt::Reader::check(r.u64() == queue_.size(),
+                                "checkpoint admission queue length "
+                                "mismatch");
+            for (std::size_t q = 0; q < queue_.size(); ++q) {
+                x.adm_latched[q] = r.b();
+                x.adm_shed[q] = r.b();
+                x.adm_defer_until[q] = r.u64();
+                x.adm_defer_count[q] = r.u32();
+            }
+            ckpt::Reader::check(r.u64() == x.adm_inflight.size(),
+                                "checkpoint admission tenant count "
+                                "mismatch");
+            for (std::size_t t = 0; t < x.adm_inflight.size(); ++t) {
+                x.adm_inflight[t] = r.u32();
+                x.adm_tokens[t] = r.u64();
+                x.adm_last_refill[t] = r.u64();
+            }
+            for (Cycle &d : x.adm_delay_ring)
+                d = r.u64();
+            x.adm_delay_n = r.u32();
+            ckpt::Reader::check(r.u64() == x.adm_class_ema.size(),
+                                "checkpoint admission class table "
+                                "mismatch");
+            for (auto &[cls, ema] : x.adm_class_ema) {
+                ckpt::Reader::check(r.str() == cls,
+                                    "checkpoint admission class name "
+                                    "mismatch");
+                ema = r.u64();
+            }
+            x.adm_mean_ema = r.u64();
+            x.adm_ready = r.u64();
+            x.adm_overloaded = r.b();
+            x.adm_overload_enters = r.u64();
+            x.adm_shed_total = r.u64();
+            x.adm_defer_total = r.u64();
+            x.next_admission = r.u64();
+        }
+
         if (x.arbiter) {
             r.expectSection("cluster");
             x.arbiter->load(r);
@@ -1663,6 +2083,14 @@ System::inspect(const std::string &path) const
                << (x.dispatcher ? x.dispatcher->key() : "legacy") << '\n'
                << "traffic_unarrived " << x.unarrived << '\n'
                << "slo_violations " << x.slo_violations << '\n';
+        if (x.admission)
+            os << "admission " << x.admission->key() << '\n'
+               << "admission_cap " << x.admission_cap << '\n'
+               << "admission_ready " << x.adm_ready << '\n'
+               << "overloaded " << (x.adm_overloaded ? 1 : 0) << '\n'
+               << "jobs_shed " << x.adm_shed_total << '\n'
+               << "job_deferrals " << x.adm_defer_total << '\n'
+               << "overload_enters " << x.adm_overload_enters << '\n';
     } else if (path == "system.arbiter" && x.arbiter) {
         os << "clusters " << x.ncl << '\n'
            << "total_dram_bpc " << x.arbiter->totalBpc() << '\n'

@@ -27,6 +27,7 @@
 #include "mem/memsystem.hh"
 #include "obs/events.hh"
 #include "obs/sink.hh"
+#include "traffic/admission.hh"
 #include "traffic/metrics.hh"
 #include "traffic/scheduler.hh"
 #include "traffic/traffic.hh"
@@ -145,6 +146,13 @@ struct RunResult
     /** Jobs whose completion latency exceeded their SLO budget. */
     std::uint64_t sloViolations = 0;
 
+    /** Admission-control outcome counters (all 0 — and absent from
+     *  every exported artifact — unless setAdmission installed a
+     *  policy). */
+    std::uint64_t jobsShed = 0;     ///< Permanently rejected jobs.
+    std::uint64_t jobDeferrals = 0; ///< Total defer verdicts issued.
+    std::uint64_t overloadEnters = 0; ///< Times the detector tripped.
+
     /** Per-cluster records (clustered topologies only; empty on flat
      *  machines so their exported artifacts never change). */
     std::vector<ClusterRunResult> clusters;
@@ -180,6 +188,10 @@ enum class WakeSource : std::uint8_t
                 ///< (clustered topologies only): the arbiter may change
                 ///< per-cluster DRAM grants there, which no component
                 ///< probe can anticipate.
+    Admission,  ///< Earliest admission re-evaluation boundary: a
+                ///< deferred job's backoff expiry or a token-bucket
+                ///< refill instant. Like Arrival, invisible to
+                ///< component probes, so it must be a wake candidate.
 };
 
 /**
@@ -296,6 +308,28 @@ class System
      */
     void setDispatcher(const traffic::Dispatcher *d) { dispatcher_ = d; }
 
+    /**
+     * Install an admission policy gating entry of traffic arrivals
+     * into the dispatchable pool (src/traffic/admission.hh). Null
+     * (the default) disables the layer entirely: no admission state
+     * exists, checkpoints/fingerprints/exports are byte-identical to
+     * pre-admission builds. Borrowed like the dispatcher; registry
+     * policies (traffic::admissionByName) are immortal singletons.
+     * @p cap is the policy knob (per-tenant in-flight bound or token
+     * bucket capacity; must be >= 1 when a policy is set).
+     * @p refillPeriod is the token-bucket refill period in cycles
+     * (one token per tenant per period); 0 picks a 100k-cycle
+     * default. Only meaningful on runs with traffic arrivals.
+     */
+    void
+    setAdmission(const traffic::AdmissionPolicy *p, unsigned cap = 4,
+                 Cycle refillPeriod = 0)
+    {
+        admission_ = p;
+        admission_cap_ = cap;
+        admission_refill_ = refillPeriod;
+    }
+
     /** Run to completion of all workloads under @p opt. Equivalent to
      *  boot(opt); advance(); finalize(). */
     RunResult run(const RunOptions &opt = {});
@@ -319,6 +353,12 @@ class System
     /** @return true once the booted run has completed (all workloads
      *  done, or a cap/kill ended it). */
     bool finished() const;
+
+    /** @return true while the booted run's admission controller is in
+     *  its overload regime. Always false when no admission policy is
+     *  installed (setAdmission) or the run is not booted; callers like
+     *  occamy-serve use it to shed work before queueing more. */
+    bool overloaded() const;
 
     /**
      * Execute the cycle loop until it completes or reaches @p stopAt
@@ -379,6 +419,11 @@ class System
     std::vector<traffic::Arrival> queue_meta_;
     bool has_traffic_ = false;
     const traffic::Dispatcher *dispatcher_ = nullptr;
+
+    /** Admission layer (null = off; see setAdmission). */
+    const traffic::AdmissionPolicy *admission_ = nullptr;
+    unsigned admission_cap_ = 4;
+    Cycle admission_refill_ = 0;
 
     std::unique_ptr<Ctx> ctx_;
 };

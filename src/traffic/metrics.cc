@@ -75,7 +75,15 @@ computeMetrics(const std::vector<JobRecord> &records, unsigned tenants,
             ++m.sloViolations;
             if (tm)
                 ++tm->sloViolations;
+        } else if (r.completed()) {
+            ++m.goodput;    // In-time completion (or no deadline).
         }
+        if (r.shed) {
+            ++m.shed;
+            if (tm)
+                ++tm->shed;
+        }
+        m.deferrals += r.defers;
     }
 
     if (qdelay_n > 0)

@@ -27,6 +27,14 @@ struct JobRecord
     Cycle finish = kCycleNever;    ///< Completion cycle.
     Cycle sloBudget = kCycleNever; ///< Relative deadline; kCycleNever = none.
 
+    /** True when admission control rejected the job permanently; shed
+     *  jobs never admit or finish. Always false with admission off. */
+    bool shed = false;
+
+    /** Times admission deferred the job before its final verdict.
+     *  Always 0 with admission off. */
+    std::uint32_t defers = 0;
+
     bool completed() const { return finish != kCycleNever; }
     bool admitted() const { return admit != kCycleNever; }
 
@@ -52,6 +60,9 @@ struct TenantMetrics
     std::uint64_t completed = 0;
     std::uint64_t sloViolations = 0;
 
+    /** Jobs shed by admission control (0 with admission off). */
+    std::uint64_t shed = 0;
+
     /** Completed jobs per million cycles of run horizon. */
     double throughput = 0.0;
 
@@ -65,6 +76,16 @@ struct TrafficMetrics
     std::uint64_t arrivals = 0;
     std::uint64_t completed = 0;
     std::uint64_t sloViolations = 0;
+
+    /** Admission-control outcome counters (0 with admission off). */
+    std::uint64_t shed = 0;         ///< Jobs rejected permanently.
+    std::uint64_t deferrals = 0;    ///< Total defer verdicts issued.
+
+    /** Goodput: completions that met their SLO (== completed when no
+     *  deadline is configured). The shed/goodput pair is the
+     *  overload-resilience headline — throughput counts work done,
+     *  goodput counts work done *in time*. */
+    std::uint64_t goodput = 0;
 
     double queueingDelayMean = 0.0;
 

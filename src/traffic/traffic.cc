@@ -93,6 +93,15 @@ TrafficConfig::describe() const
         out += workloadSet[i];
     }
     out += ']';
+    // Appended only when admission control is on, so pre-admission
+    // descriptions (and the fingerprints derived from them) are
+    // byte-identical for the default "none".
+    if (admissionEnabled()) {
+        out += " admission=";
+        out += admission;
+        out += " cap=";
+        out += std::to_string(admissionCap);
+    }
     return out;
 }
 

@@ -138,7 +138,23 @@ struct TrafficConfig
      *  "CV7"); empty = the full 34-workload catalog. */
     std::vector<std::string> workloadSet;
 
+    /** Admission-policy registry key (admission.hh); "none" (default)
+     *  = no admission layer at all — byte-identical to pre-admission
+     *  builds. */
+    std::string admission = "none";
+
+    /** Admission knob: per-tenant in-flight bound (static-cap) or
+     *  token-bucket capacity. */
+    unsigned admissionCap = 4;
+
     bool enabled() const { return !process.empty(); }
+
+    /** True when an admission policy other than "none" is selected. */
+    bool
+    admissionEnabled() const
+    {
+        return !admission.empty() && admission != "none";
+    }
 
     /** Canonical one-line rendering, used in checkpoint fingerprints
      *  and job labels; every determinism-relevant field appears. */

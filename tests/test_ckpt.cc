@@ -514,6 +514,163 @@ TEST(CkptTraffic, TrafficPresenceMismatchFailsLoudly)
     EXPECT_FALSE(sys.booted());
 }
 
+// ------------------------------------------------- admission state
+
+/** Oversubscribed admission-controlled stream: arrival rate far above
+ *  service rate, so the slo-aware policy defers and sheds while the
+ *  overload detector trips — the richest admission state to carry
+ *  across a pause boundary. */
+traffic::TrafficConfig
+stormConfig()
+{
+    traffic::TrafficConfig tc;
+    tc.process = "poisson";
+    tc.scheduler = "fcfs";
+    tc.tenants = 4;
+    tc.seed = 11;
+    tc.jobsPerTenant = 4;
+    tc.meanGapCycles = 25'000.0;
+    tc.sloCycles = 600'000;
+    return tc;
+}
+
+void
+setupStorm(System &sys, const char *admission)
+{
+    setupTraffic(sys, stormConfig());
+    sys.setAdmission(traffic::admissionByName(admission), 2,
+                     static_cast<Cycle>(stormConfig().meanGapCycles));
+}
+
+/** Restore-equivalence holds mid-overload: checkpoint while the
+ *  slo-aware controller is deferring/shedding under a storm, restore
+ *  into a fresh System, and every artifact — trace, stats, shed/defer
+ *  verdicts, per-job lifecycles — matches the uninterrupted run
+ *  byte-identically. */
+TEST(CkptAdmission, MidOverloadRestoreIsByteIdentical)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    RunOptions opt;
+    opt.maxCycles = 20'000'000;
+
+    auto straight = [&] {
+        System sys(cfg);
+        setupStorm(sys, "slo-aware");
+        return sys.run(opt);
+    };
+    const RunResult ref = straight();
+    ASSERT_FALSE(ref.timedOut);
+    ASSERT_GT(ref.jobsShed, 0u)
+        << "storm no longer sheds; the test would not cover mid-"
+           "overload state — retune stormConfig()";
+
+    // Checkpoint at several depths, including while deferred jobs are
+    // waiting out their backoff and sheds have already happened.
+    for (const Cycle at : {10'000ULL, 60'000ULL, 200'000ULL}) {
+        std::string bytes;
+        {
+            System sys(cfg);
+            setupStorm(sys, "slo-aware");
+            sys.boot(opt);
+            sys.advance(at);
+            std::ostringstream os(std::ios::binary);
+            sys.saveCheckpoint(os);
+            bytes = os.str();
+        }
+        System sys(cfg);
+        setupStorm(sys, "slo-aware");
+        std::istringstream is(bytes, std::ios::binary);
+        sys.restoreCheckpoint(is, opt);
+        sys.advance();
+        const RunResult resumed = sys.finalize();
+
+        const std::string what = "ckpt@" + std::to_string(at);
+        EXPECT_EQ(trace::toJson(ref), trace::toJson(resumed)) << what;
+        EXPECT_EQ(ref.statsText, resumed.statsText) << what;
+        EXPECT_EQ(ref.jobsShed, resumed.jobsShed) << what;
+        EXPECT_EQ(ref.jobDeferrals, resumed.jobDeferrals) << what;
+        ASSERT_EQ(ref.trafficJobs.size(), resumed.trafficJobs.size())
+            << what;
+        for (std::size_t i = 0; i < ref.trafficJobs.size(); ++i) {
+            EXPECT_EQ(ref.trafficJobs[i].shed,
+                      resumed.trafficJobs[i].shed) << what << " " << i;
+            EXPECT_EQ(ref.trafficJobs[i].defers,
+                      resumed.trafficJobs[i].defers) << what << " " << i;
+            EXPECT_EQ(ref.trafficJobs[i].finish,
+                      resumed.trafficJobs[i].finish) << what << " " << i;
+        }
+    }
+}
+
+/** The fingerprint covers the admission configuration: a checkpoint
+ *  taken under one policy never restores into a System running
+ *  another (or none), and vice versa. */
+TEST(CkptAdmission, AdmissionConfigMismatchFailsLoudly)
+{
+    const MachineConfig cfg =
+        MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    RunOptions opt;
+    opt.maxCycles = 20'000'000;
+
+    std::string with_admission;
+    {
+        System sys(cfg);
+        setupStorm(sys, "slo-aware");
+        sys.boot(opt);
+        sys.advance(10'000);
+        std::ostringstream os(std::ios::binary);
+        sys.saveCheckpoint(os);
+        with_admission = os.str();
+    }
+
+    // Admission checkpoint into an admission-free traffic System.
+    {
+        System sys(cfg);
+        setupTraffic(sys, stormConfig());
+        std::istringstream is(with_admission, std::ios::binary);
+        EXPECT_THROW(sys.restoreCheckpoint(is, opt), ckpt::Error);
+        EXPECT_FALSE(sys.booted());
+    }
+
+    // ...into a different policy.
+    {
+        System sys(cfg);
+        setupStorm(sys, "token-bucket");
+        std::istringstream is(with_admission, std::ios::binary);
+        EXPECT_THROW(sys.restoreCheckpoint(is, opt), ckpt::Error);
+        EXPECT_FALSE(sys.booted());
+    }
+
+    // ...into a different cap.
+    {
+        System sys(cfg);
+        setupTraffic(sys, stormConfig());
+        sys.setAdmission(traffic::admissionByName("slo-aware"), 7,
+                         static_cast<Cycle>(stormConfig().meanGapCycles));
+        std::istringstream is(with_admission, std::ios::binary);
+        EXPECT_THROW(sys.restoreCheckpoint(is, opt), ckpt::Error);
+        EXPECT_FALSE(sys.booted());
+    }
+
+    // Admission-free checkpoint into an admission System.
+    std::string plain;
+    {
+        System sys(cfg);
+        setupTraffic(sys, stormConfig());
+        sys.boot(opt);
+        sys.advance(10'000);
+        std::ostringstream os(std::ios::binary);
+        sys.saveCheckpoint(os);
+        plain = os.str();
+    }
+    System sys(cfg);
+    setupStorm(sys, "slo-aware");
+    std::istringstream is(plain, std::ios::binary);
+    EXPECT_THROW(sys.restoreCheckpoint(is, opt), ckpt::Error);
+    EXPECT_FALSE(sys.booted());
+}
+
 // ------------------------------------------------- pinned fingerprints
 
 /** Checkpoint fingerprint of a reference traffic-free setup. The

@@ -19,6 +19,7 @@
 #include "runner/runner.hh"
 #include "sim/system.hh"
 #include "sim/trace.hh"
+#include "traffic/admission.hh"
 #include "traffic/arrival.hh"
 
 namespace occamy
@@ -379,11 +380,12 @@ TEST_P(FuzzSweep, RandomCheckpointCycleIsInvisible)
 
 /**
  * Traffic fuzzing: a seeded random TrafficConfig (process, scheduler,
- * tenant count, rate, SLO) drained on a random policy must conserve
- * jobs — every generated arrival appears exactly once in the lifecycle
- * records, every record of a drained run is completed with ordered
- * timestamps, SLO violations never exceed the job count, and the same
- * config reproduces the identical outcome.
+ * admission policy, tenant count, rate, SLO) drained on a random
+ * policy must conserve jobs — every generated arrival appears exactly
+ * once in the lifecycle records, every record of a drained run is
+ * either completed with ordered timestamps or (admission only)
+ * explicitly shed, SLO violations never exceed the job count, and the
+ * same config reproduces the identical outcome.
  */
 TEST_P(FuzzSweep, TrafficInvariantsHoldForRandomConfigs)
 {
@@ -400,6 +402,10 @@ TEST_P(FuzzSweep, TrafficInvariantsHoldForRandomConfigs)
     tc.meanGapCycles = 50'000.0 * rng.range(1, 4);
     tc.sloCycles = rng.range(0, 1) ? 800'000 : 0;
     tc.burstiness = 1.0 + rng.range(0, 15);
+    const auto &admissions = traffic::allAdmissionPolicies();
+    tc.admission = admissions[rng.next() % admissions.size()]->key();
+    tc.admissionCap = rng.range(1, 4);
+    const bool admission_on = tc.admission != "none";
 
     const auto &models = policy::allModels();
     const policy::SharingModel *m = models[rng.next() % models.size()];
@@ -411,37 +417,61 @@ TEST_P(FuzzSweep, TrafficInvariantsHoldForRandomConfigs)
     spec.maxCycles = 60'000'000;
 
     const std::string what = std::string(tc.process) + "/" +
-                             tc.scheduler + "/" + m->key() + " seed " +
+                             tc.scheduler + "/" + tc.admission + "/" +
+                             m->key() + " seed " +
                              std::to_string(GetParam());
     const runner::JobResult r = runner::Runner::runOne(spec);
     ASSERT_TRUE(r.ok()) << what << ": " << r.error;
 
     // Job conservation: the simulator's lifecycle records match the
     // generated stream one-to-one — nothing lost, nothing duplicated.
+    // With admission on, "shed" is the only other legal fate and it is
+    // always explicit; defers may delay jobs but never lose them.
     const std::vector<traffic::Arrival> stream = traffic::generate(tc);
     const auto &jobs = r.result.trafficJobs;
     ASSERT_EQ(jobs.size(), stream.size()) << what;
     ASSERT_EQ(r.trafficMetrics.arrivals, stream.size()) << what;
-    EXPECT_EQ(r.trafficMetrics.completed, stream.size()) << what;
+    EXPECT_EQ(r.trafficMetrics.completed + r.trafficMetrics.shed,
+              stream.size())
+        << what;
+    if (!admission_on) {
+        EXPECT_EQ(r.trafficMetrics.shed, 0u) << what;
+    }
     EXPECT_LE(r.trafficMetrics.sloViolations, stream.size()) << what;
     EXPECT_EQ(r.result.sloViolations, r.trafficMetrics.sloViolations)
         << what;
+    EXPECT_EQ(r.result.jobsShed, r.trafficMetrics.shed) << what;
+    EXPECT_EQ(r.result.jobDeferrals, r.trafficMetrics.deferrals) << what;
     EXPECT_GT(r.trafficMetrics.fairnessJain, 0.0) << what;
     EXPECT_LE(r.trafficMetrics.fairnessJain, 1.0 + 1e-12) << what;
 
+    std::uint64_t shed_records = 0;
     for (std::size_t q = 0; q < jobs.size(); ++q) {
         const traffic::JobRecord &j = jobs[q];
-        ASSERT_TRUE(j.completed()) << what << " job " << q;
         EXPECT_EQ(j.tenant, stream[q].tenant) << what << " job " << q;
+        if (j.shed) {
+            // Shed jobs are counted, never dispatched or finished.
+            ++shed_records;
+            EXPECT_TRUE(admission_on) << what << " job " << q;
+            EXPECT_FALSE(j.admitted()) << what << " job " << q;
+            EXPECT_FALSE(j.completed()) << what << " job " << q;
+            continue;
+        }
+        ASSERT_TRUE(j.completed()) << what << " job " << q;
+        if (!admission_on) {
+            EXPECT_EQ(j.defers, 0u) << what << " job " << q;
+        }
         // Ordered lifecycle: arrive <= admit < finish, and open-loop
         // jobs keep their generated arrival cycle.
         EXPECT_GE(j.admit, j.arrive) << what << " job " << q;
         EXPECT_GT(j.finish, j.admit) << what << " job " << q;
         if (stream[q].dependsOn == traffic::kNoJob &&
-            !traffic::processByName(tc.process)->closedLoop())
+            !traffic::processByName(tc.process)->closedLoop()) {
             EXPECT_EQ(j.arrive, stream[q].arriveAt)
                 << what << " job " << q;
+        }
     }
+    EXPECT_EQ(shed_records, r.trafficMetrics.shed) << what;
 
     // Same config, same everything.
     const runner::JobResult r2 = runner::Runner::runOne(spec);

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "runner/runner.hh"
 #include "runner/sweep.hh"
@@ -276,6 +279,159 @@ TEST(Runner, UnknownTrafficNamesAreContained)
     EXPECT_EQ(r2.status, runner::JobStatus::Failed);
     EXPECT_NE(r2.error.find("unknown traffic scheduler"),
               std::string::npos);
+}
+
+TEST(Runner, UnknownAdmissionNamesAndBadCapsAreContained)
+{
+    runner::JobSpec bad;
+    bad.label = "bad-admission";
+    bad.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    bad.traffic.process = "poisson";
+    bad.traffic.admission = "nonesuch";
+    const runner::JobResult r = runner::Runner::runOne(bad);
+    EXPECT_EQ(r.status, runner::JobStatus::Failed);
+    EXPECT_NE(r.error.find("unknown admission policy"),
+              std::string::npos);
+
+    runner::JobSpec cap;
+    cap.label = "bad-cap";
+    cap.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    cap.traffic.process = "poisson";
+    cap.traffic.admission = "static-cap";
+    cap.traffic.admissionCap = 0;
+    const runner::JobResult r2 = runner::Runner::runOne(cap);
+    EXPECT_EQ(r2.status, runner::JobStatus::Failed);
+    EXPECT_NE(r2.error.find("admission cap"), std::string::npos);
+}
+
+TEST(Runner, AdmissionSweepExportsAreDeterministicAndGated)
+{
+    // A mixed sweep: one admission-free job and one admission-
+    // controlled storm. Exports must stay byte-identical across
+    // runner thread counts, carry shed/defer/goodput only for the
+    // admission job, and leave admission-free rows with empty CSV
+    // cells (distinguishable from "policy shed nothing").
+    auto specFor = [](const char *adm) {
+        runner::JobSpec spec;
+        spec.label = std::string("adm-") + adm;
+        spec.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+        spec.traffic.process = "poisson";
+        spec.traffic.tenants = 4;
+        spec.traffic.seed = 11;
+        spec.traffic.jobsPerTenant = 4;
+        spec.traffic.meanGapCycles = 25'000.0;
+        spec.traffic.sloCycles = 600'000;
+        spec.traffic.admission = adm;
+        spec.traffic.admissionCap = 2;
+        return spec;
+    };
+    std::vector<runner::JobSpec> jobs = {specFor("none"),
+                                         specFor("slo-aware")};
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        jobs[i].id = i;
+
+    auto runWith = [&](unsigned threads) {
+        runner::RunnerOptions opt;
+        opt.numThreads = threads;
+        return runner::Runner(opt).run(jobs);
+    };
+    const runner::SweepResult serial = runWith(1);
+    const runner::SweepResult parallel = runWith(4);
+    ASSERT_TRUE(serial.allOk());
+    ASSERT_TRUE(parallel.allOk());
+    EXPECT_EQ(runner::sweepToJson(serial),
+              runner::sweepToJson(parallel));
+    std::ostringstream scsv, pcsv;
+    runner::writeSweepCsv(scsv, serial);
+    runner::writeSweepCsv(pcsv, parallel);
+    EXPECT_EQ(scsv.str(), pcsv.str());
+
+    EXPECT_FALSE(serial.jobs[0].hasAdmission);
+    EXPECT_TRUE(serial.jobs[1].hasAdmission);
+
+    // JSON gating: shed/goodput appear in the sweep (the admission
+    // job), but an admission-free sweep carries none of them.
+    const std::string json = runner::sweepToJson(serial);
+    EXPECT_NE(json.find("\"shed\":"), std::string::npos);
+    EXPECT_NE(json.find("\"goodput\":"), std::string::npos);
+    const runner::SweepResult plain =
+        runner::Runner().run({specFor("none")});
+    ASSERT_TRUE(plain.allOk());
+    const std::string plain_json = runner::sweepToJson(plain);
+    EXPECT_EQ(plain_json.find("\"shed\":"), std::string::npos);
+    EXPECT_EQ(plain_json.find("\"goodput\":"), std::string::npos);
+    EXPECT_EQ(plain_json.find("\"deferrals\":"), std::string::npos);
+    EXPECT_EQ(plain_json.find("\"retries\":"), std::string::npos);
+
+    // CSV gating: the mixed sweep has the columns, and the admission-
+    // free row leaves those cells empty, not zero.
+    const std::string csv = scsv.str();
+    EXPECT_NE(csv.find(",shed,deferrals,goodput"), std::string::npos);
+    auto cells = [](const std::string &row) {
+        std::vector<std::string> out;
+        std::istringstream is(row);
+        std::string cell;
+        while (std::getline(is, cell, ','))
+            out.push_back(cell);
+        if (!row.empty() && row.back() == ',')
+            out.emplace_back();
+        return out;
+    };
+    std::istringstream lines(csv);
+    std::string header, line, none_row, slo_row;
+    std::getline(lines, header);
+    while (std::getline(lines, line)) {
+        if (line.find("adm-none") != std::string::npos)
+            none_row = line;
+        if (line.find("adm-slo-aware") != std::string::npos)
+            slo_row = line;
+    }
+    ASSERT_FALSE(none_row.empty());
+    ASSERT_FALSE(slo_row.empty());
+    const std::vector<std::string> cols = cells(header);
+    const std::size_t shed_col =
+        std::find(cols.begin(), cols.end(), "shed") - cols.begin();
+    ASSERT_LT(shed_col, cols.size());
+    for (std::size_t c = shed_col; c < shed_col + 3; ++c) {
+        EXPECT_TRUE(cells(none_row)[c].empty()) << "col " << c;
+        EXPECT_FALSE(cells(slo_row)[c].empty()) << "col " << c;
+    }
+    std::ostringstream plain_csv;
+    runner::writeSweepCsv(plain_csv, plain);
+    EXPECT_EQ(plain_csv.str().find("shed"), std::string::npos);
+}
+
+TEST(Runner, RetryCountsAreExportedOnlyWhenABudgetExists)
+{
+    runner::JobSpec spec;
+    spec.label = "retry-export";
+    spec.cfg = MachineConfig::forPolicy(SharingPolicy::Elastic, 2);
+    const auto w8 = workloads::specWorkload(8);
+    spec.workloads.emplace_back(w8.name, w8.loops);
+
+    // Default: no retry budget, no "retries" field anywhere.
+    const runner::SweepResult bare = runner::Runner().run({spec});
+    ASSERT_TRUE(bare.allOk());
+    EXPECT_EQ(bare.jobs[0].retryBudget, 0u);
+    EXPECT_EQ(runner::sweepToJson(bare).find("\"retries\":"),
+              std::string::npos);
+    std::ostringstream bare_csv;
+    runner::writeSweepCsv(bare_csv, bare);
+    EXPECT_EQ(bare_csv.str().find("retries"), std::string::npos);
+
+    // With a budget, the field appears (0 used on a clean run) so
+    // flaky-host forensics can tell "no budget" from "never retried".
+    runner::RunnerOptions opt;
+    opt.transientRetries = 2;
+    const runner::SweepResult budgeted = runner::Runner(opt).run({spec});
+    ASSERT_TRUE(budgeted.allOk());
+    EXPECT_EQ(budgeted.jobs[0].retryBudget, 2u);
+    EXPECT_EQ(budgeted.jobs[0].retriesUsed, 0u);
+    EXPECT_NE(runner::sweepToJson(budgeted).find("\"retries\":0"),
+              std::string::npos);
+    std::ostringstream bcsv;
+    runner::writeSweepCsv(bcsv, budgeted);
+    EXPECT_NE(bcsv.str().find("retries"), std::string::npos);
 }
 
 TEST(Runner, SimThreadsForwardsAndKeepsSweepExportsIdentical)

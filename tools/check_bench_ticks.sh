@@ -23,6 +23,14 @@
 #   the clustered machine model changed without regenerating the
 #   snapshot (see bench/fig16_scalability.cc).
 #
+# traffic_admission (BENCH_admission.json) — admission-control cross:
+#   shed/defer/goodput under a seeded poisson stream are pure functions
+#   of the config (DESIGN.md §16), so `cycles`, `arrivals`,
+#   `completed`, `shed`, `deferrals`, `goodput` and `slo_violations`
+#   must all match EXACTLY; drift means admission or overload behavior
+#   changed without regenerating the snapshot (see
+#   bench/traffic_ablation.cc's admission section).
+#
 # Usage: check_bench_ticks.sh <fresh.json> <committed-snapshot.json>
 set -euo pipefail
 
@@ -118,6 +126,19 @@ for name in $names; do
             if [ "$sv" != "$fv" ]; then
                 echo "FAIL $name: $field drifted ($sv -> $fv);" \
                      "regenerate BENCH_scalability.json if intended" >&2
+                fail=1
+            else
+                echo "ok   $name: $field $sv"
+            fi
+        done
+        ;;
+    traffic_admission)
+        for field in cycles arrivals completed shed deferrals goodput \
+                     slo_violations; do
+            sv=$(jq -r ".$field" <<<"$s"); fv=$(jq -r ".$field" <<<"$f")
+            if [ "$sv" != "$fv" ]; then
+                echo "FAIL $name: $field drifted ($sv -> $fv);" \
+                     "regenerate BENCH_admission.json if intended" >&2
                 fail=1
             else
                 echo "ok   $name: $field $sv"

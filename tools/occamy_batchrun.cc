@@ -34,6 +34,7 @@
 #include "policy/sharing_model.hh"
 #include "runner/runner.hh"
 #include "runner/sweep.hh"
+#include "traffic/admission.hh"
 #include "traffic/arrival.hh"
 #include "traffic/scheduler.hh"
 #include "workloads/suite.hh"
@@ -79,6 +80,8 @@ struct Options
     double trafficRate = 200'000.0; ///< Mean inter-arrival gap, cycles.
     std::uint64_t trafficJobs = 4;  ///< Jobs per tenant stream.
     std::string scheduler = "fcfs"; ///< Dispatcher name or "all".
+    std::string admission = "none"; ///< Admission policy; "none" = off.
+    unsigned admissionCap = 4;      ///< Per-tenant cap / bucket size.
 };
 
 std::optional<SharingPolicy>
@@ -276,11 +279,18 @@ optionTable(Options &opt)
                "jobs generated per tenant (default 4)", 1)
         .value("scheduler", &opt.scheduler, "S",
                "dispatch discipline (fcfs|sjf|edf|oi) or 'all'\n"
-               "(default fcfs)");
+               "(default fcfs)")
+        .value("admission", &opt.admission, "A",
+               "admission policy for traffic mode (none|static-cap|\n"
+               "token-bucket|slo-aware); 'none' (default) keeps every\n"
+               "export byte-identical to admission-less builds")
+        .value("admission-cap", &opt.admissionCap, "N",
+               "per-tenant in-flight cap / token-bucket size\n"
+               "(default 4)", 1);
     cliopts::addListOptions(
         cli, cliopts::kListTraffic | cliopts::kListSchedulers |
-                 cliopts::kListPairs | cliopts::kListWorkloads |
-                 cliopts::kListPolicies);
+                 cliopts::kListAdmission | cliopts::kListPairs |
+                 cliopts::kListWorkloads | cliopts::kListPolicies);
     cli.alias("list", "list-pairs");
     cli.footer("exit status: 0 all jobs ok, 1 some job failed, 2 usage "
                "error,\n             3 a job timed out under "
@@ -344,12 +354,20 @@ main(int argc, char **argv)
                 }
                 scheds = {opt.scheduler};
             }
+            if (opt.admission != "none" &&
+                !traffic::admissionByName(opt.admission)) {
+                std::fprintf(stderr, "unknown admission policy: %s\n",
+                             opt.admission.c_str());
+                return 2;
+            }
             traffic::TrafficConfig tc;
             tc.process = opt.traffic;
             tc.tenants = opt.tenants;
             tc.seed = opt.arrivalSeed;
             tc.jobsPerTenant = opt.trafficJobs;
             tc.meanGapCycles = opt.trafficRate;
+            tc.admission = opt.admission;
+            tc.admissionCap = opt.admissionCap;
             jobs = runner::trafficSweepJobs(tc, opt.policies, scheds,
                                             opt.maxCycles, tweak);
             // The SLO budget is given in simulated milliseconds;
@@ -462,13 +480,20 @@ main(int argc, char **argv)
                     continue;
                 const traffic::TrafficMetrics &m = j.trafficMetrics;
                 std::printf("%3zu  %-22s done %llu/%llu p50 %.0f "
-                            "p99 %.0f jain %.3f slo_viol %llu\n",
+                            "p99 %.0f jain %.3f slo_viol %llu",
                             j.id, j.label.c_str(),
                             static_cast<unsigned long long>(m.completed),
                             static_cast<unsigned long long>(m.arrivals),
                             m.latencyP50, m.latencyP99, m.fairnessJain,
                             static_cast<unsigned long long>(
                                 m.sloViolations));
+                if (j.hasAdmission)
+                    std::printf(
+                        " shed %llu defer %llu goodput %llu",
+                        static_cast<unsigned long long>(m.shed),
+                        static_cast<unsigned long long>(m.deferrals),
+                        static_cast<unsigned long long>(m.goodput));
+                std::printf("\n");
             }
         }
 

@@ -27,12 +27,25 @@
  *
  * Requests may carry an "id"; it is echoed on every response line the
  * request produces, so a client can multiplex.
+ *
+ * Overload survival (see DESIGN.md section 16): request lines are
+ * bounded (--max-line-bytes; oversized lines get a structured
+ * "too_large" error and the stream stays request-aligned), "load" with
+ * a "traffic" key opens a multi-tenant traffic session whose admission
+ * policy sheds work under overload, requests may carry a "deadline_ms"
+ * wall-clock budget (tripping it yields a "busy" error with a
+ * retry_after_ms hint instead of an unbounded stall), and
+ * --checkpoint-dir/--auto-checkpoint persist the live session every N
+ * requests so --recover can resume from the last good checkpoint after
+ * a crash, reporting exactly what was lost.
  */
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -48,6 +61,9 @@
 #include "runner/runner.hh"
 #include "runner/sweep.hh"
 #include "sim/system.hh"
+#include "traffic/admission.hh"
+#include "traffic/arrival.hh"
+#include "traffic/scheduler.hh"
 #include "workloads/suite.hh"
 
 using namespace occamy;
@@ -235,11 +251,24 @@ class Reply
     std::string body_;
 };
 
+/** Structured error line. Every error carries a machine-readable
+ *  "code" ("error" for generic failures; "too_large", "busy",
+ *  "recover_failed" for the conditions a client is expected to handle
+ *  programmatically). A non-negative @p retry_after_ms adds the
+ *  back-off hint that accompanies "busy". */
 void
-sendError(const Kv &req, const std::string &msg)
+sendError(const Kv &req, const std::string &msg,
+          const std::string &code = "error",
+          std::int64_t retry_after_ms = -1)
 {
     Reply r(req);
-    r.boolean("ok", false).str("event", "error").str("error", msg);
+    r.boolean("ok", false)
+        .str("event", "error")
+        .str("code", code)
+        .str("error", msg);
+    if (retry_after_ms >= 0)
+        r.num("retry_after_ms",
+              static_cast<std::uint64_t>(retry_after_ms));
     r.send();
 }
 
@@ -315,6 +344,8 @@ struct SimEntry
     RunOptions opt;
     FastForwardStats ff;
     std::unique_ptr<System> sys;
+    bool hasTraffic = false;    ///< Traffic session (arrival stream).
+    bool hasAdmission = false;  ///< Admission policy installed.
 };
 
 /** Simulation parameters a request may set. Parsed through the same
@@ -339,6 +370,19 @@ struct SimSpec
     std::string traceEvents;
     std::uint64_t traceCapacity = 1u << 20;
     unsigned simThreads = 1;
+
+    // Traffic session mode: a non-empty "traffic" swaps the pair/batch
+    // workload for a generated multi-tenant arrival stream (the same
+    // expansion occamy-batchrun's traffic mode uses).
+    std::string traffic;            ///< Arrival-process name; "" = off.
+    unsigned tenants = 2;
+    std::uint64_t arrivalSeed = 1;
+    std::uint64_t trafficJobs = 4;
+    double trafficRate = 200'000.0;
+    std::uint64_t sloCycles = 0;
+    std::string scheduler = "fcfs";
+    std::string admission = "none";
+    unsigned admissionCap = 4;
 };
 
 /** The config-key table: one entry per request key makeEntry honors. */
@@ -375,7 +419,19 @@ simSpecOptions(SimSpec &s)
         .value("trace-capacity", &s.traceCapacity, "N",
                "event ring capacity", 1)
         .value("sim-threads", &s.simThreads, "N",
-               "cycle-loop worker threads (clustered machines)", 1);
+               "cycle-loop worker threads (clustered machines)", 1)
+        .value("traffic", &s.traffic, "PROC",
+               "traffic session: arrival process name")
+        .value("tenants", &s.tenants, "N", "tenant streams", 1)
+        .value("arrival-seed", &s.arrivalSeed, "N", "arrival seed")
+        .value("traffic-jobs", &s.trafficJobs, "N", "jobs per tenant", 1)
+        .value("traffic-rate", &s.trafficRate, "G",
+               "mean inter-arrival gap, cycles", true)
+        .value("slo-cycles", &s.sloCycles, "N", "per-job SLO budget")
+        .value("scheduler", &s.scheduler, "S", "dispatch discipline")
+        .value("admission", &s.admission, "A", "admission policy")
+        .value("admission-cap", &s.admissionCap, "N",
+               "per-tenant in-flight cap / token-bucket size", 1);
     return set;
 }
 
@@ -402,13 +458,27 @@ parseSpec(const Kv &m)
 std::string
 specKey(const SimSpec &s)
 {
-    return s.policy + "|" + s.pair + "|" +
-           std::to_string(s.clusters) + "x" + std::to_string(s.cores) +
-           "|" + s.batch + "|" + std::to_string(s.maxCycles) + "|" +
-           std::to_string(s.watchdogCycles) + "|" + s.faultPlan + "|" +
-           std::to_string(s.faultSeed) + "|" +
-           std::to_string(s.snapshotEvery) + "|" +
-           (s.fastForward ? "ff" : "tick");
+    std::string key =
+        s.policy + "|" + s.pair + "|" +
+        std::to_string(s.clusters) + "x" + std::to_string(s.cores) +
+        "|" + s.batch + "|" + std::to_string(s.maxCycles) + "|" +
+        std::to_string(s.watchdogCycles) + "|" + s.faultPlan + "|" +
+        std::to_string(s.faultSeed) + "|" +
+        std::to_string(s.snapshotEvery) + "|" +
+        (s.fastForward ? "ff" : "tick");
+    // Traffic sessions extend the key (batch requests keep their
+    // historical keys): a pooled batch instance never serves a traffic
+    // request or vice versa.
+    if (!s.traffic.empty()) {
+        char rate[32];
+        std::snprintf(rate, sizeof rate, "%.6g", s.trafficRate);
+        key += "|tr:" + s.traffic + "|" + std::to_string(s.tenants) +
+               "|" + std::to_string(s.arrivalSeed) + "|" +
+               std::to_string(s.trafficJobs) + "|" + rate + "|" +
+               std::to_string(s.sloCycles) + "|" + s.scheduler + "|" +
+               s.admission + "|" + std::to_string(s.admissionCap);
+    }
+    return key;
 }
 
 std::string
@@ -438,21 +508,61 @@ makeEntry(const Kv &m, bool boot)
                        .build();
 
     e->sys = std::make_unique<System>(e->cfg);
-    const auto plus = s.pair.find('+');
-    if (plus == std::string::npos)
-        throw std::runtime_error("bad pair (want e.g. \"6+16\"): " +
-                                 s.pair);
-    const workloads::Workload w0 = lookupWorkload(s.pair.substr(0, plus));
-    const workloads::Workload w1 =
-        lookupWorkload(s.pair.substr(plus + 1));
-    e->sys->setWorkload(0, w0.name, w0.loops);
-    if (e->cfg.numCores > 1)
-        e->sys->setWorkload(1, w1.name, w1.loops);
-    for (const std::string &token : splitCommas(s.batch)) {
-        const workloads::Workload w = lookupWorkload(token);
-        e->sys->enqueueWorkload(w.name, w.loops);
+    if (!s.traffic.empty()) {
+        // Traffic session: the workload is a generated multi-tenant
+        // arrival stream; the pair/batch keys are ignored.
+        traffic::TrafficConfig tc;
+        tc.process = s.traffic;
+        tc.tenants = s.tenants;
+        tc.seed = s.arrivalSeed;
+        tc.jobsPerTenant = s.trafficJobs;
+        tc.meanGapCycles = s.trafficRate;
+        tc.sloCycles = s.sloCycles;
+        tc.scheduler = s.scheduler;
+        tc.admission = s.admission;
+        tc.admissionCap = s.admissionCap;
+        const traffic::Dispatcher *disp =
+            traffic::dispatcherByName(tc.scheduler);
+        if (!disp)
+            throw std::runtime_error("unknown scheduler: " +
+                                     tc.scheduler);
+        if (!traffic::processByName(tc.process))
+            throw std::runtime_error("unknown traffic process: " +
+                                     tc.process);
+        for (const traffic::Arrival &a : traffic::generate(tc))
+            e->sys->enqueueArrival(a);
+        e->sys->setDispatcher(disp);
+        if (tc.admissionEnabled()) {
+            const traffic::AdmissionPolicy *adm =
+                traffic::admissionByName(tc.admission);
+            if (!adm)
+                throw std::runtime_error("unknown admission policy: " +
+                                         tc.admission);
+            e->sys->setAdmission(
+                adm, tc.admissionCap,
+                static_cast<Cycle>(tc.meanGapCycles));
+            e->hasAdmission = true;
+        }
+        e->hasTraffic = true;
+        e->label = s.traffic + "/" + model->key() + "/" + tc.scheduler;
+    } else {
+        const auto plus = s.pair.find('+');
+        if (plus == std::string::npos)
+            throw std::runtime_error("bad pair (want e.g. \"6+16\"): " +
+                                     s.pair);
+        const workloads::Workload w0 =
+            lookupWorkload(s.pair.substr(0, plus));
+        const workloads::Workload w1 =
+            lookupWorkload(s.pair.substr(plus + 1));
+        e->sys->setWorkload(0, w0.name, w0.loops);
+        if (e->cfg.numCores > 1)
+            e->sys->setWorkload(1, w1.name, w1.loops);
+        for (const std::string &token : splitCommas(s.batch)) {
+            const workloads::Workload w = lookupWorkload(token);
+            e->sys->enqueueWorkload(w.name, w.loops);
+        }
+        e->label = s.pair + "/" + model->key();
     }
-    e->label = s.pair + "/" + model->key();
 
     e->opt.maxCycles = s.maxCycles;
     e->opt.snapshotEvery = s.snapshotEvery;
@@ -506,6 +616,16 @@ struct Daemon
     /** The stepped session (load/step/inspect/checkpoint/restore). */
     std::unique_ptr<SimEntry> session;
 
+    // Crash-recovery state (--checkpoint-dir / --auto-checkpoint /
+    // --recover). The request Kv that created the live session is kept
+    // so a recovery checkpoint can be rebuilt without the client:
+    // System::restoreCheckpoint needs a same-config System first.
+    std::string ckptDir;        ///< "" = auto-checkpointing off.
+    std::uint64_t autoEvery = 0; ///< Checkpoint every N requests.
+    std::uint64_t handled = 0;  ///< Successfully handled requests.
+    std::uint64_t ckptSeq = 0;  ///< Monotonic auto-checkpoint number.
+    Kv sessionSpec;             ///< Request that built `session`.
+
     /** Take a pool entry matching @p key, or null. */
     std::unique_ptr<SimEntry> takePooled(const std::string &key)
     {
@@ -519,6 +639,132 @@ struct Daemon
         return nullptr;
     }
 };
+
+/** One flat-JSON line of @p m with every value as a string — readable
+ *  back through parseFlat, whose output is raw strings anyway. The
+ *  sidecar a recovery checkpoint needs to rebuild its System. */
+std::string
+kvToJsonLine(const Kv &m)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : m) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(k) + "\":\"" + jsonEscape(v) + "\"";
+    }
+    return out + "}";
+}
+
+/**
+ * Persist the live session: <dir>/auto-<seq>.ckpt (binary state) plus
+ * <dir>/auto-<seq>.json (the creating request, so recovery can rebuild
+ * the System) and finally <dir>/LATEST naming the pair — written to a
+ * temp file and renamed, so a crash mid-checkpoint leaves the previous
+ * LATEST intact and recovery always sees a complete checkpoint.
+ */
+void
+autoCheckpoint(Daemon &d)
+{
+    if (!d.session || !d.session->sys->booted() || d.ckptDir.empty())
+        return;
+    const std::string base = "auto-" + std::to_string(d.ckptSeq++);
+    const std::string ckpt = d.ckptDir + "/" + base + ".ckpt";
+    const std::string meta = d.ckptDir + "/" + base + ".json";
+    {
+        std::ofstream os(ckpt, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("auto-checkpoint: cannot open " +
+                                     ckpt);
+        d.session->sys->saveCheckpoint(os);
+    }
+    {
+        std::ofstream os(meta, std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("auto-checkpoint: cannot open " +
+                                     meta);
+        os << kvToJsonLine(d.sessionSpec) << "\n";
+    }
+    const std::string latest = d.ckptDir + "/LATEST";
+    const std::string tmp = latest + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("auto-checkpoint: cannot open " +
+                                     tmp);
+        os << base << "\n";
+    }
+    if (std::rename(tmp.c_str(), latest.c_str()) != 0)
+        throw std::runtime_error("auto-checkpoint: cannot rename " +
+                                 tmp);
+    Reply r{Kv{}};
+    r.boolean("ok", true)
+        .str("event", "auto_checkpoint")
+        .str("file", ckpt)
+        .num("cycle", d.session->sys->now())
+        .num("after_requests", d.handled);
+    r.send();
+}
+
+/**
+ * Resume the session a crashed daemon left behind: read <dir>/LATEST,
+ * rebuild the System from the recorded request, restore the state and
+ * report — honestly — that everything handled after that checkpoint
+ * was lost. Any failure degrades to a structured "recover_failed"
+ * error and a fresh daemon; recovery never crashes the restart.
+ */
+void
+recoverSession(Daemon &d, const std::string &dir)
+{
+    try {
+        std::string base;
+        {
+            std::ifstream is(dir + "/LATEST");
+            if (!is || !std::getline(is, base) || base.empty())
+                throw std::runtime_error("no readable " + dir +
+                                         "/LATEST (nothing to recover)");
+        }
+        const std::string meta = dir + "/" + base + ".json";
+        const std::string ckpt = dir + "/" + base + ".ckpt";
+        std::string line;
+        {
+            std::ifstream is(meta);
+            if (!is || !std::getline(is, line))
+                throw std::runtime_error("cannot read " + meta);
+        }
+        Kv spec;
+        std::string perr;
+        if (!parseFlat(line, spec, perr))
+            throw std::runtime_error("bad metadata in " + meta + ": " +
+                                     perr);
+        auto e = makeEntry(spec, /*boot=*/false);
+        std::ifstream is(ckpt, std::ios::binary);
+        if (!is)
+            throw std::runtime_error("cannot open " + ckpt);
+        e->sys->restoreCheckpoint(is, e->opt);
+        d.session = std::move(e);
+        d.sessionSpec = spec;
+        Reply r{Kv{}};
+        r.boolean("ok", true)
+            .str("event", "recovered")
+            .str("file", ckpt)
+            .str("label", d.session->label)
+            .num("cycle", d.session->sys->now())
+            // The honest loss statement: state up to this cycle is
+            // back; every request handled after the checkpoint was
+            // written is gone and must be replayed by the client.
+            .str("lost", "all requests handled after " + ckpt +
+                             " was written");
+        r.send();
+    } catch (const std::exception &ex) {
+        d.session.reset();
+        d.sessionSpec.clear();
+        sendError({}, std::string("recovery failed, starting fresh: ") +
+                          ex.what(),
+                  "recover_failed");
+    }
+}
 
 void
 cmdHello(Daemon &, const Kv &req)
@@ -577,14 +823,28 @@ acquire(Daemon &d, const Kv &req, bool &pool_hit)
 }
 
 /** Stream progress while advancing to completion; shared by run and
- *  the finishing step of a session. */
-void
+ *  the finishing step of a session. A request-supplied "deadline_ms"
+ *  bounds the wall clock spent: when it trips, advancing stops at the
+ *  current cycle boundary and false comes back — the caller turns that
+ *  into a structured "busy" error (the session keeps its progress, so
+ *  a client may simply retry). 0 / absent = no deadline. */
+bool
 streamToCompletion(SimEntry &e, const Kv &req)
 {
     const Cycle chunk = std::max<Cycle>(getU64(req, "progress_every",
                                                2'000'000),
                                         1);
+    const std::uint64_t deadline_ms = getU64(req, "deadline_ms", 0);
+    const auto t0 = std::chrono::steady_clock::now();
     while (!e.sys->advance(e.sys->now() + chunk)) {
+        if (deadline_ms) {
+            const double elapsed =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (elapsed > static_cast<double>(deadline_ms))
+                return false;
+        }
         Reply p(req);
         p.boolean("ok", true)
             .str("event", "progress")
@@ -592,6 +852,7 @@ streamToCompletion(SimEntry &e, const Kv &req)
             .num("cycle", e.sys->now());
         p.send();
     }
+    return true;
 }
 
 void
@@ -618,15 +879,43 @@ sendRunSummary(const Kv &req, SimEntry &e, const RunResult &res,
         .num("cycles_ticked", e.ff.cyclesTicked)
         .num("cycles_simulated", e.ff.cyclesSimulated)
         .num("events", tb.events.size());
+    if (e.hasTraffic)
+        r.num("traffic_jobs", res.trafficJobs.size());
+    if (e.hasAdmission)
+        r.num("jobs_shed", res.jobsShed)
+            .num("job_deferrals", res.jobDeferrals)
+            .num("overload_enters", res.overloadEnters);
     r.send();
 }
 
 void
 cmdRun(Daemon &d, const Kv &req)
 {
+    // Self-protection under overload: while the live traffic session's
+    // admission controller reports overload, new run requests (which
+    // would boot and execute a whole extra simulation inline) are
+    // refused with a back-off hint instead of queued behind the storm.
+    if (d.session && d.session->sys->booted() &&
+        d.session->sys->overloaded()) {
+        sendError(req,
+                  "daemon overloaded (live traffic session is "
+                  "shedding); retry later",
+                  "busy", 100);
+        return;
+    }
     bool pool_hit = false;
     auto e = acquire(d, req, pool_hit);
-    streamToCompletion(*e, req);
+    if (!streamToCompletion(*e, req)) {
+        // Deadline tripped mid-run: the one-shot run is abandoned.
+        sendError(req,
+                  "deadline_ms exceeded at cycle " +
+                      std::to_string(e->sys->now()) +
+                      " before completion",
+                  "busy",
+                  static_cast<std::int64_t>(
+                      getU64(req, "deadline_ms", 0)));
+        return;
+    }
     const RunResult res = e->sys->finalize();
     sendRunSummary(req, *e, res, pool_hit, "done");
 }
@@ -716,6 +1005,8 @@ cmdLoad(Daemon &d, const Kv &req)
 {
     bool pool_hit = false;
     d.session = acquire(d, req, pool_hit);
+    d.sessionSpec = req;
+    d.sessionSpec.erase("id");
     const obs::TraceBuffer tb = d.session->sink->take();
     Reply r(req);
     r.boolean("ok", true)
@@ -747,6 +1038,10 @@ cmdStep(Daemon &d, const Kv &req)
         .str("event", "stepped")
         .num("cycle", e.sys->now())
         .boolean("finished", finished);
+    // Live overload telemetry for traffic sessions, so a client can
+    // throttle itself before its requests start bouncing with "busy".
+    if (e.hasAdmission)
+        r.boolean("overloaded", e.sys->overloaded());
     r.send();
 }
 
@@ -754,7 +1049,18 @@ void
 cmdFinalize(Daemon &d, const Kv &req)
 {
     SimEntry &e = needSession(d);
-    streamToCompletion(e, req);
+    if (!streamToCompletion(e, req)) {
+        // The session keeps its progress; the client may finalize
+        // again (possibly with a larger deadline).
+        sendError(req,
+                  "deadline_ms exceeded at cycle " +
+                      std::to_string(e.sys->now()) +
+                      "; session kept, retry finalize",
+                  "busy",
+                  static_cast<std::int64_t>(
+                      getU64(req, "deadline_ms", 0)));
+        return;
+    }
     const RunResult res = e.sys->finalize();
     sendRunSummary(req, e, res, false, "finalized");
     d.session.reset();
@@ -823,6 +1129,8 @@ cmdRestore(Daemon &d, const Kv &req)
     auto e = makeEntry(req, /*boot=*/false);
     e->sys->restoreCheckpoint(is, e->opt);
     d.session = std::move(e);
+    d.sessionSpec = req;
+    d.sessionSpec.erase("id");
     Reply r(req);
     r.boolean("ok", true)
         .str("event", "restored")
@@ -832,14 +1140,93 @@ cmdRestore(Daemon &d, const Kv &req)
     r.send();
 }
 
+/**
+ * Read one newline-terminated request of at most @p max bytes into
+ * @p line. @return 0 at EOF with nothing read, 1 on a complete line,
+ * 2 when the line exceeded the bound — the remainder of the physical
+ * line is consumed, so the stream stays aligned on request boundaries
+ * and the next read starts at the next request.
+ */
+int
+readBoundedLine(std::istream &in, std::string &line, std::size_t max)
+{
+    line.clear();
+    int c;
+    bool any = false;
+    while ((c = in.get()) != std::char_traits<char>::eof()) {
+        any = true;
+        if (c == '\n')
+            return 1;
+        if (line.size() >= max) {
+            while ((c = in.get()) != std::char_traits<char>::eof() &&
+                   c != '\n') {
+            }
+            return 2;
+        }
+        line.push_back(static_cast<char>(c));
+    }
+    return any ? 1 : 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::uint64_t maxLineBytes = 1u << 20;
+    std::string ckptDir;
+    std::uint64_t autoEvery = 8;
+    std::string recoverDir;
+
+    cliopts::OptionSet cli("occamy-serve",
+                           "NDJSON simulation daemon on stdin/stdout");
+    cli.value("max-line-bytes", &maxLineBytes, "N",
+              "reject request lines longer than N bytes with a\n"
+              "structured too_large error (default 1 MiB)", 1)
+        .value("checkpoint-dir", &ckptDir, "DIR",
+               "auto-checkpoint the live session into DIR (created\n"
+               "if missing) every --auto-checkpoint requests")
+        .value("auto-checkpoint", &autoEvery, "N",
+               "auto-checkpoint period in handled requests\n"
+               "(default 8; needs --checkpoint-dir)", 1)
+        .value("recover", &recoverDir, "DIR",
+               "on startup, restore the last good auto-checkpoint\n"
+               "from DIR (implies --checkpoint-dir DIR unless given)");
+    const cliopts::ParseResult pr = cli.parse(argc, argv);
+    if (pr.status == cliopts::Status::Exit)
+        return pr.exitCode;
+    if (pr.status == cliopts::Status::Error) {
+        std::fprintf(stderr, "%s\n", pr.error.c_str());
+        cli.printHelp(stderr);
+        return 2;
+    }
+
     Daemon d;
+    if (!recoverDir.empty() && ckptDir.empty())
+        ckptDir = recoverDir;
+    d.ckptDir = ckptDir;
+    d.autoEvery = ckptDir.empty() ? 0 : autoEvery;
+    if (!ckptDir.empty()) {
+        // Best-effort: a dir that still cannot be written surfaces as
+        // a contained structured error on the first auto-checkpoint.
+        std::error_code ec;
+        std::filesystem::create_directories(ckptDir, ec);
+    }
+    if (!recoverDir.empty())
+        recoverSession(d, recoverDir);
+
     std::string line;
-    while (std::getline(std::cin, line)) {
+    int got;
+    while ((got = readBoundedLine(std::cin, line,
+                                  static_cast<std::size_t>(
+                                      maxLineBytes))) != 0) {
+        if (got == 2) {
+            sendError({}, "request line exceeds " +
+                              std::to_string(maxLineBytes) +
+                              " bytes (--max-line-bytes); line dropped",
+                      "too_large");
+            continue;
+        }
         if (line.empty())
             continue;
         Kv req;
@@ -882,6 +1269,18 @@ main()
             }
         } catch (const std::exception &ex) {
             sendError(req, ex.what());
+        }
+        // Crash-recovery heartbeat: persist the live session every N
+        // handled requests. A checkpoint failure is reported but never
+        // takes the daemon down — serving beats checkpointing.
+        ++d.handled;
+        if (d.autoEvery && d.handled % d.autoEvery == 0) {
+            try {
+                autoCheckpoint(d);
+            } catch (const std::exception &ex) {
+                sendError({}, std::string("auto-checkpoint failed: ") +
+                                  ex.what());
+            }
         }
     }
     // EOF without shutdown: still a clean exit (client hung up).
